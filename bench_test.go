@@ -1,0 +1,272 @@
+package ipso_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its experiment end to
+// end — workload generation, parallel and sequential simulated
+// executions, trace extraction, factor fitting — so `go test -bench=.`
+// exercises the complete reproduction pipeline and reports its cost.
+// cmd/ipsobench prints the regenerated rows/series themselves.
+
+import (
+	"testing"
+
+	"ipso"
+	"ipso/internal/core"
+	"ipso/internal/experiment"
+	"ipso/internal/stats"
+)
+
+func statsUniform() stats.Distribution {
+	return stats.Uniform{Low: 13.2, High: 24.4} // mean 18.8, like a Sort map task
+}
+
+// benchGrid is a reduced but representative MapReduce scale-out grid
+// (includes n=1 for baselines and the TeraSort fit window 16..64).
+func benchGrid() []int { return []int{1, 2, 4, 8, 16, 24, 32, 48, 64} }
+
+func benchSweeps(b *testing.B) []experiment.MRSweep {
+	b.Helper()
+	sweeps, err := experiment.RunMRCaseStudies(benchGrid())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweeps
+}
+
+func BenchmarkFig2_FixedTimeTaxonomy(b *testing.B) {
+	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128, 200}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.FigureTaxonomy(core.FixedTime, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_FixedSizeTaxonomy(b *testing.B) {
+	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128, 200}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.FigureTaxonomy(core.FixedSize, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_MapReduceSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweeps, err := experiment.RunMRCaseStudies(benchGrid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiment.Figure4(sweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_TeraSortInternalScaling(b *testing.B) {
+	sweeps := benchSweeps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure5(sweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_ScalingFactors(b *testing.B) {
+	sweeps := benchSweeps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure6(sweeps, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_IPSOPrediction(b *testing.B) {
+	sweeps := benchSweeps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure7(sweeps, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI_CollaborativeFiltering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.TableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_CFSpeedup(b *testing.B) {
+	ns := []float64{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 120, 150}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure8(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_SparkFixedTime(b *testing.B) {
+	execs := []int{2, 4, 8, 16}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure9(experiment.DefaultLoadLevels(), execs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_SparkFixedSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure10(experiment.DefaultFixedSizeTasks, experiment.DefaultFixedSizeExecGrid()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiagnosticProcedure(b *testing.B) {
+	sweeps := benchSweeps(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Diagnostics(sweeps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBroadcast(b *testing.B) {
+	ns := []int{10, 30, 60, 90, 120}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationBroadcast(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReducerMemory(b *testing.B) {
+	ns := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
+	mems := []float64{1 << 30, 2 << 30, 4 << 30}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationReducerMemory(ns, mems); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStatisticVsDeterministic(b *testing.B) {
+	ns := []int{1, 4, 16, 64}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationStatistic(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProvisioning(b *testing.B) {
+	model, err := ipso.Asymptotic{Eta: 1, Beta: 0.6 / 1602.5, Gamma: 2}.Model(ipso.FixedSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := ipso.ProvisionInput{Model: model, SeqJobSeconds: 1602.5, PricePerNodeHour: 0.4, MaxN: 120}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BestSpeedupPerDollar(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealNetWordCount(b *testing.B) {
+	// A genuine distributed execution per iteration: TCP master + 4
+	// workers on localhost counting 20k lines.
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RealNet([]int{4}, 20000, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparkSurfaceFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.SparkSurface([]int{1, 2, 4}, []int{2, 4, 8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedSizeMR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.FixedSizeMR(16*128<<20, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationContention(b *testing.B) {
+	ns := make([]float64, 0, 95)
+	for n := 1.0; n < 96; n++ {
+		ns = append(ns, n)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationContention([]float64{100, 200}, 20, 10, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFutureWorkAutoProvision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.FutureWork(0.4, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatisticModelSpeedup(b *testing.B) {
+	s := ipso.StatisticModel{
+		Model: ipso.Model{
+			Eta: 0.59,
+			EX:  ipso.LinearFactor(1, 0),
+			IN:  ipso.LinearFactor(0.377, 0.623),
+			Q:   ipso.ZeroOverhead(),
+		},
+		TaskTime:   statsUniform(),
+		SerialTime: 12.85,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Speedup(float64(i%128 + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the core model evaluation itself.
+
+func BenchmarkModelSpeedup(b *testing.B) {
+	m := ipso.Model{
+		Eta: 0.59,
+		EX:  ipso.LinearFactor(1, 0),
+		IN:  ipso.LinearFactor(0.36, 0.64),
+		Q:   ipso.PowerFactor(0.001, 1.2),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Speedup(float64(i%200 + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAsymptoticClassify(b *testing.B) {
+	a := ipso.Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0, Beta: 0.01, Gamma: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Classify(ipso.FixedTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

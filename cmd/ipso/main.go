@@ -1,0 +1,429 @@
+// Command ipso evaluates, classifies, fits and diagnoses IPSO scaling
+// models from the command line.
+//
+// Usage:
+//
+//	ipso eval     -eta 0.59 -alpha 2.6 -delta 0 -beta 0 -gamma 0 -w fixed-time -nmax 200
+//	ipso classify -eta 1 -beta 3.7e-4 -gamma 2 -w fixed-size
+//	ipso laws     -eta 0.9 -nmax 64
+//	ipso diagnose -w fixed-size -data n1:s1,n2:s2,...
+//	ipso fit      -wp n1:wp1,... -ws n1:ws1,... [-wo n1:wo1,...] [-predict 200] [-save model.json]
+//	ipso fit      -traces run1.jsonl,run4.jsonl,run16.jsonl [-predict 200]
+//	ipso predict  -model model.json -n 200
+//
+// eval prints the speedup curve and classification of an asymptotic IPSO
+// model; classify prints just the scaling type and bound; laws prints the
+// three classic laws side by side; diagnose runs the Section V procedure
+// on measured (n, speedup) pairs.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipso"
+	"ipso/internal/experiment"
+	"ipso/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ipso:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: ipso <eval|classify|laws|diagnose> [flags] (run 'ipso <cmd> -h' for flags)")
+	}
+	switch args[0] {
+	case "eval":
+		return cmdEval(args[1:])
+	case "classify":
+		return cmdClassify(args[1:])
+	case "laws":
+		return cmdLaws(args[1:])
+	case "diagnose":
+		return cmdDiagnose(args[1:])
+	case "fit":
+		return cmdFit(args[1:])
+	case "predict":
+		return cmdPredict(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func modelFlags(fs *flag.FlagSet) (*float64, *float64, *float64, *float64, *float64, *string) {
+	eta := fs.Float64("eta", 1, "parallelizable fraction η at n=1")
+	alpha := fs.Float64("alpha", 1, "in-proportion ratio coefficient α")
+	delta := fs.Float64("delta", 0, "in-proportion ratio exponent δ")
+	beta := fs.Float64("beta", 0, "scale-out-induced coefficient β")
+	gamma := fs.Float64("gamma", 0, "scale-out-induced exponent γ")
+	w := fs.String("w", "fixed-time", "workload type: fixed-time or fixed-size")
+	return eta, alpha, delta, beta, gamma, w
+}
+
+func parseWorkload(s string) (ipso.WorkloadType, error) {
+	switch s {
+	case "fixed-time", "t":
+		return ipso.FixedTime, nil
+	case "fixed-size", "s":
+		return ipso.FixedSize, nil
+	default:
+		return 0, fmt.Errorf("unknown workload type %q (want fixed-time or fixed-size)", s)
+	}
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	eta, alpha, delta, beta, gamma, w := modelFlags(fs)
+	nmax := fs.Int("nmax", 200, "largest scale-out degree to evaluate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wt, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	a := ipso.Asymptotic{Eta: *eta, Alpha: *alpha, Delta: *delta, Beta: *beta, Gamma: *gamma}
+	typ, err := a.Classify(wt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("type: %s — %s\n", typ, typ.Describe())
+	if limit, bounded, err := a.Bound(wt); err == nil && bounded && limit > 0 {
+		fmt.Printf("asymptotic bound: %.3f\n", limit)
+	}
+	if typ == ipso.TypeIVt || typ == ipso.TypeIVs {
+		nStar, sStar, err := a.Peak(*nmax)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("peak: S=%.3f at n=%.0f (scaling out further is harmful)\n", sStar, nStar)
+	}
+	fmt.Printf("%8s  %12s\n", "n", "S(n)")
+	for n := 1; n <= *nmax; n = nextGridPoint(n) {
+		s, err := a.Speedup(float64(n))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  %12.4f\n", n, s)
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	eta, alpha, delta, beta, gamma, w := modelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wt, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	a := ipso.Asymptotic{Eta: *eta, Alpha: *alpha, Delta: *delta, Beta: *beta, Gamma: *gamma}
+	typ, err := a.Classify(wt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s workload): %s\n", typ, wt, typ.Describe())
+	if limit, bounded, err := a.Bound(wt); err == nil {
+		if bounded && limit > 0 {
+			fmt.Printf("bound: %.3f\n", limit)
+		} else if !bounded {
+			fmt.Println("bound: unbounded")
+		}
+	}
+	return nil
+}
+
+func cmdLaws(args []string) error {
+	fs := flag.NewFlagSet("laws", flag.ContinueOnError)
+	eta := fs.Float64("eta", 0.9, "parallelizable fraction η")
+	nmax := fs.Int("nmax", 64, "largest scale-out degree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "n", "Amdahl", "Gustafson", "Sun-Ni(g=n)")
+	for n := 1; n <= *nmax; n = nextGridPoint(n) {
+		am, err := ipso.Amdahl(*eta, float64(n))
+		if err != nil {
+			return err
+		}
+		gu, err := ipso.Gustafson(*eta, float64(n))
+		if err != nil {
+			return err
+		}
+		sn, err := ipso.SunNi(*eta, float64(n), ipso.LinearFactor(1, 0))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  %12.4f  %12.4f  %12.4f\n", n, am, gu, sn)
+	}
+	if b, err := ipso.AmdahlBound(*eta); err == nil {
+		fmt.Printf("Amdahl bound: %.4f\n", b)
+	}
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ContinueOnError)
+	w := fs.String("w", "fixed-time", "workload type: fixed-time or fixed-size")
+	data := fs.String("data", "", "measured points as n1:s1,n2:s2,... (ascending n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wt, err := parseWorkload(*w)
+	if err != nil {
+		return err
+	}
+	ns, ss, err := parsePoints(*data)
+	if err != nil {
+		return err
+	}
+	d, err := ipso.Diagnose(wt, ns, ss)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("family: %s\n", d.Family)
+	fmt.Printf("type:   %s — %s\n", d.Type, d.Type.Describe())
+	fmt.Printf("root cause: %s\n", d.RootCause)
+	if d.NeedsFactorAnalysis {
+		fmt.Println("next step: measure EX(n), IN(n), q(n) and classify with the fitted factors (step 6)")
+	}
+	if d.Family == ipso.FamilyPeaked {
+		fmt.Printf("observed peak: S=%.3f at n=%.0f\n", d.PeakS, d.PeakN)
+	}
+	return nil
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ContinueOnError)
+	w := fs.String("w", "fixed-time", "workload type for classification: fixed-time or fixed-size")
+	wpRaw := fs.String("wp", "", "parallel workloads as n1:w1,n2:w2,... (seconds)")
+	wsRaw := fs.String("ws", "", "serial workloads as n1:w1,... (seconds)")
+	woRaw := fs.String("wo", "", "scale-out-induced workloads as n1:w1,... (optional)")
+	tracesRaw := fs.String("traces", "", "comma-separated JSONL event logs (one per scale-out degree; overrides -wp/-ws)")
+	predictN := fs.Float64("predict", 0, "also predict the speedup at this n")
+	savePath := fs.String("save", "", "save the fitted model as JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m ipso.Measurements
+	if *tracesRaw != "" {
+		var err error
+		m, err = measurementsFromTraces(strings.Split(*tracesRaw, ","))
+		if err != nil {
+			return err
+		}
+	} else {
+		wpN, wp, err := parsePoints(*wpRaw)
+		if err != nil {
+			return fmt.Errorf("-wp: %w", err)
+		}
+		wsN, ws, err := parsePoints(*wsRaw)
+		if err != nil {
+			return fmt.Errorf("-ws: %w", err)
+		}
+		if !sameGrid(wpN, wsN) {
+			return errors.New("-wp and -ws must cover the same n values")
+		}
+		m = ipso.Measurements{N: wpN, Wp: wp, Ws: ws}
+		if *woRaw != "" {
+			woN, wo, err := parsePoints(*woRaw)
+			if err != nil {
+				return fmt.Errorf("-wo: %w", err)
+			}
+			if !sameGrid(wpN, woN) {
+				return errors.New("-wo must cover the same n values as -wp")
+			}
+			m.Wo = wo
+		}
+	}
+	est, err := ipso.Estimate(m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("η      = %.4f\n", est.Eta)
+	fmt.Printf("EX(n)  : %s\n", est.EXFit)
+	if est.INStep != nil {
+		fmt.Printf("IN(n)  : step at n≈%.0f — %s then %s\n", est.INStep.Break, est.INStep.Left, est.INStep.Right)
+	} else {
+		fmt.Printf("IN(n)  : %s\n", est.INFit)
+	}
+	fmt.Printf("ε(n)   : %s (δ = %.3f)\n", est.Epsilon, est.Epsilon.Exponent)
+	if est.HasOverhead {
+		fmt.Printf("q(n)   : %s (γ = %.3f)\n", est.QFit, est.QFit.Exponent)
+	} else {
+		fmt.Println("q(n)   : negligible (γ = 0)")
+	}
+	if wt, err := parseWorkload(*w); err == nil {
+		a := est.Asymptotic()
+		if wt == ipso.FixedSize {
+			a.Delta = 0 // fixed-size: EX(n) = 1 cannot outpace IN
+		}
+		if typ, err := a.Classify(wt); err == nil {
+			fmt.Printf("type   : %s — %s\n", typ, typ.Describe())
+		}
+	}
+	tp1 := m.Wp[0] / m.N[0]
+	ts1 := m.Ws[0]
+	if *predictN > 0 {
+		pred, err := ipso.NewPredictor(est, tp1, ts1)
+		if err != nil {
+			return err
+		}
+		s, err := pred.Speedup(*predictN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("predicted S(%g) = %.3f\n", *predictN, s)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := ipso.SaveEstimates(f, est, tp1, ts1); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s\n", *savePath)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	modelPath := fs.String("model", "", "saved model file from 'ipso fit -save'")
+	n := fs.Float64("n", 0, "scale-out degree to predict at")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return errors.New("missing -model")
+	}
+	if *n < 1 {
+		return errors.New("need -n >= 1")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	est, pred, err := ipso.LoadEstimates(f)
+	if err != nil {
+		return err
+	}
+	s, err := pred.Speedup(*n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("η = %.4f, predicted S(%g) = %.3f\n", est.Eta, *n, s)
+	return nil
+}
+
+func sameGrid(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measurementsFromTraces extracts the Section V workload decomposition
+// from exported JSONL event logs (e.g. from mrsim -trace), one log per
+// scale-out degree; the degree is read off the number of map tasks.
+func measurementsFromTraces(paths []string) (ipso.Measurements, error) {
+	type point struct {
+		n, wp, ws, wo, maxTask float64
+	}
+	var points []point
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return ipso.Measurements{}, err
+		}
+		log, err := trace.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return ipso.Measurements{}, fmt.Errorf("%s: %w", path, err)
+		}
+		n := len(log.TaskDurations(trace.PhaseMap))
+		if n == 0 {
+			return ipso.Measurements{}, fmt.Errorf("%s: no map task events", path)
+		}
+		wp, ws, wo, maxTask := experiment.PhasesFromLog(log)
+		points = append(points, point{n: float64(n), wp: wp, ws: ws, wo: wo, maxTask: maxTask})
+	}
+	if len(points) < 2 {
+		return ipso.Measurements{}, errors.New("-traces needs at least two event logs at distinct degrees")
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].n < points[j].n })
+	m := ipso.Measurements{SerialPrecision: 0.01}
+	for i, p := range points {
+		if i > 0 && p.n == points[i-1].n {
+			return ipso.Measurements{}, fmt.Errorf("two traces share scale-out degree %.0f", p.n)
+		}
+		m.N = append(m.N, p.n)
+		m.Wp = append(m.Wp, p.wp)
+		m.Ws = append(m.Ws, p.ws)
+		m.Wo = append(m.Wo, p.wo)
+		m.MaxTask = append(m.MaxTask, p.maxTask)
+	}
+	return m, nil
+}
+
+func parsePoints(s string) (ns, ss []float64, err error) {
+	if s == "" {
+		return nil, nil, errors.New("missing -data (e.g. -data 10:7.5,30:17.1,60:20.4,90:18.8)")
+	}
+	for _, pair := range strings.Split(s, ",") {
+		parts := strings.SplitN(pair, ":", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("bad point %q (want n:speedup)", pair)
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad n in %q: %v", pair, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad speedup in %q: %v", pair, err)
+		}
+		ns = append(ns, n)
+		ss = append(ss, v)
+	}
+	return ns, ss, nil
+}
+
+// nextGridPoint walks 1,2,...,16 then strides to keep output short.
+func nextGridPoint(n int) int {
+	switch {
+	case n < 16:
+		return n + 1
+	case n < 64:
+		return n + 8
+	default:
+		return n + 32
+	}
+}

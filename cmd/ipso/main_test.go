@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipso/internal/experiment"
+	"ipso/internal/mapreduce"
+	"ipso/internal/workload"
+)
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no args", args: nil},
+		{name: "unknown subcommand", args: []string{"bogus"}},
+		{name: "bad workload", args: []string{"classify", "-w", "nope"}},
+		{name: "eval bad workload", args: []string{"eval", "-w", "nope"}},
+		{name: "diagnose missing data", args: []string{"diagnose"}},
+		{name: "diagnose malformed pair", args: []string{"diagnose", "-data", "10-3"}},
+		{name: "diagnose bad n", args: []string{"diagnose", "-data", "x:1,2:2,3:3,4:4"}},
+		{name: "diagnose bad speedup", args: []string{"diagnose", "-data", "1:x,2:2,3:3,4:4"}},
+		{name: "classify invalid params", args: []string{"classify", "-eta", "0.5", "-alpha", "0"}},
+		{name: "fit missing series", args: []string{"fit"}},
+		{name: "fit grid mismatch", args: []string{"fit", "-wp", "1:10,2:20", "-ws", "1:5"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) should fail", tt.args)
+			}
+		})
+	}
+}
+
+func TestRunHappyPaths(t *testing.T) {
+	tests := [][]string{
+		{"classify", "-eta", "1", "-beta", "3.7e-4", "-gamma", "2", "-w", "fixed-size"},
+		{"classify", "-eta", "0.59", "-alpha", "2.6", "-w", "t"},
+		{"eval", "-eta", "0.59", "-alpha", "2.6", "-nmax", "32"},
+		{"eval", "-eta", "1", "-beta", "0.002", "-gamma", "2", "-w", "s", "-nmax", "64"},
+		{"laws", "-eta", "0.9", "-nmax", "16"},
+		{"diagnose", "-w", "fixed-size", "-data", "10:7.5,30:17.1,60:20.4,90:18.8"},
+		{"fit", "-wp", "1:18.8,2:37.6,4:75.2,8:150.3,16:300.6",
+			"-ws", "1:13.1,2:18.2,4:28.3,8:48.7,16:89.3", "-predict", "200"},
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) failed: %v", args, err)
+		}
+	}
+}
+
+func TestParsePoints(t *testing.T) {
+	ns, ss, err := parsePoints("1:2, 3:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 || ns[1] != 3 || ss[1] != 4 {
+		t.Errorf("parsed %v %v", ns, ss)
+	}
+	if _, _, err := parsePoints(""); err == nil {
+		t.Error("empty data should error")
+	}
+}
+
+func TestNextGridPoint(t *testing.T) {
+	if nextGridPoint(3) != 4 {
+		t.Error("small n should step by 1")
+	}
+	if nextGridPoint(16) != 24 {
+		t.Error("mid n should step by 8")
+	}
+	if nextGridPoint(64) != 96 {
+		t.Error("large n should step by 32")
+	}
+}
+
+func TestSameGrid(t *testing.T) {
+	if !sameGrid([]float64{1, 2}, []float64{1, 2}) {
+		t.Error("equal grids reported unequal")
+	}
+	if sameGrid([]float64{1}, []float64{1, 2}) || sameGrid([]float64{1, 3}, []float64{1, 2}) {
+		t.Error("unequal grids reported equal")
+	}
+}
+
+func TestFitSaveThenPredict(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+	if err := run([]string{"fit",
+		"-wp", "1:18.8,2:37.6,4:75.2,8:150.3,16:300.6",
+		"-ws", "1:13.1,2:18.2,4:28.3,8:48.7,16:89.3",
+		"-save", model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"predict", "-model", model, "-n", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	if err := run([]string{"predict"}); err == nil {
+		t.Error("missing model should error")
+	}
+	if err := run([]string{"predict", "-model", "/nonexistent", "-n", "10"}); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(model, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"predict", "-model", model, "-n", "10"}); err == nil {
+		t.Error("corrupt model should error")
+	}
+	if err := run([]string{"predict", "-model", model}); err == nil {
+		t.Error("missing -n should error")
+	}
+}
+
+func TestFitFromTraces(t *testing.T) {
+	// Generate event logs with the simulator, then fit from them — the
+	// mrsim → ipso pipeline.
+	dir := t.TempDir()
+	var paths []string
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := experiment.MRConfig(workload.NewSort(), n)
+		par, err := mapreduce.RunParallel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("run%d.jsonl", n))
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Log.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, p)
+	}
+	if err := run([]string{"fit", "-traces", strings.Join(paths, ","), "-predict", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate inputs.
+	if err := run([]string{"fit", "-traces", paths[0]}); err == nil {
+		t.Error("single trace should error")
+	}
+	if err := run([]string{"fit", "-traces", paths[0] + "," + paths[0]}); err == nil {
+		t.Error("duplicate-degree traces should error")
+	}
+	if err := run([]string{"fit", "-traces", "/nonexistent.jsonl,/also-missing.jsonl"}); err == nil {
+		t.Error("missing files should error")
+	}
+}

@@ -1,0 +1,153 @@
+// Command ipsobench regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate and prints the rows and
+// series the paper reports.
+//
+// Usage:
+//
+//	ipsobench                 # run everything
+//	ipsobench -only fig4,fig7 # run a subset
+//	ipsobench -csv            # emit series as CSV instead of text
+//	ipsobench -quick          # reduced grids (CI-friendly)
+//
+// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 diag
+// provisioning ablation-broadcast ablation-memory ablation-statistic
+// ablation-contention futurework surface fixedsize-mr realnet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ipso/internal/cluster"
+	"ipso/internal/core"
+	"ipso/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ipsobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ipsobench", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	csv := fs.Bool("csv", false, "emit series as CSV")
+	quick := fs.Bool("quick", false, "reduced grids")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	mrGrid := experiment.DefaultMRGrid()
+	taxGrid := gridF(1, 200)
+	fig8Grid := gridF(5, 150)
+	loadLevels := experiment.DefaultLoadLevels()
+	sparkExecs := experiment.DefaultSparkExecGrid()
+	fsTasks := experiment.DefaultFixedSizeTasks
+	fsExecs := experiment.DefaultFixedSizeExecGrid()
+	cfGrid := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 120}
+	memGrid := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
+	jitterGrid := []int{1, 2, 4, 8, 16, 32, 64}
+	if *quick {
+		mrGrid = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
+		taxGrid = gridF(1, 64)
+		sparkExecs = []int{2, 4, 8, 16}
+		cfGrid = []int{10, 30, 60, 90}
+		jitterGrid = []int{1, 4, 16}
+	}
+
+	var mrSweeps []experiment.MRSweep
+	needMR := want("fig4") || want("fig5") || want("fig6") || want("fig7") || want("diag") || want("provisioning")
+	if needMR {
+		var err error
+		mrSweeps, err = experiment.RunMRCaseStudies(mrGrid)
+		if err != nil {
+			return err
+		}
+	}
+
+	type job struct {
+		id  string
+		run func() (experiment.Report, error)
+	}
+	jobs := []job{
+		{id: "fig2", run: func() (experiment.Report, error) { return experiment.FigureTaxonomy(core.FixedTime, taxGrid) }},
+		{id: "fig3", run: func() (experiment.Report, error) { return experiment.FigureTaxonomy(core.FixedSize, taxGrid) }},
+		{id: "fig4", run: func() (experiment.Report, error) { return experiment.Figure4(mrSweeps) }},
+		{id: "fig5", run: func() (experiment.Report, error) { return experiment.Figure5(mrSweeps) }},
+		{id: "fig6", run: func() (experiment.Report, error) { return experiment.Figure6(mrSweeps, 16) }},
+		{id: "fig7", run: func() (experiment.Report, error) { return experiment.Figure7(mrSweeps, 16) }},
+		{id: "table1", run: experiment.TableI},
+		{id: "fig8", run: func() (experiment.Report, error) { return experiment.Figure8(fig8Grid) }},
+		{id: "fig9", run: func() (experiment.Report, error) { return experiment.Figure9(loadLevels, sparkExecs) }},
+		{id: "fig10", run: func() (experiment.Report, error) { return experiment.Figure10(fsTasks, fsExecs) }},
+		{id: "diag", run: func() (experiment.Report, error) { return experiment.Diagnostics(mrSweeps) }},
+		{id: "provisioning", run: func() (experiment.Report, error) { return experiment.Provisioning(mrSweeps, 0.4, 200) }},
+		{id: "ablation-broadcast", run: func() (experiment.Report, error) { return experiment.AblationBroadcast(cfGrid) }},
+		{id: "ablation-memory", run: func() (experiment.Report, error) {
+			return experiment.AblationReducerMemory(memGrid, []float64{1 << 30, 2 << 30, 4 << 30})
+		}},
+		{id: "ablation-statistic", run: func() (experiment.Report, error) { return experiment.AblationStatistic(jitterGrid) }},
+		{id: "futurework", run: func() (experiment.Report, error) { return experiment.FutureWork(0.4, 128) }},
+		{id: "surface", run: func() (experiment.Report, error) {
+			return experiment.SparkSurface([]int{1, 2, 4}, sparkExecs)
+		}},
+		{id: "fixedsize-mr", run: func() (experiment.Report, error) {
+			return experiment.FixedSizeMR(16*cluster.BlockBytes, []int{1, 2, 4, 8, 16, 32, 64})
+		}},
+		{id: "ablation-contention", run: func() (experiment.Report, error) {
+			return experiment.AblationContention([]float64{100, 200}, 20, 10, gridF(1, 96))
+		}},
+		{id: "realnet", run: func() (experiment.Report, error) {
+			counts := []int{1, 2, 4, 8}
+			if *quick {
+				counts = []int{1, 2}
+			}
+			return experiment.RealNet(counts, 20000, 16)
+		}},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if !want(j.id) {
+			continue
+		}
+		rep, err := j.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		if *csv {
+			if err := rep.WriteCSV(out); err != nil {
+				return err
+			}
+		} else if err := rep.WriteText(out); err != nil {
+			return err
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	return nil
+}
+
+// gridF builds a doubling+tail grid of float64 scale-out degrees.
+func gridF(lo, hi float64) []float64 {
+	var out []float64
+	for n := lo; n < hi; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, hi)
+}

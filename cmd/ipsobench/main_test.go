@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetQuick(t *testing.T) {
+	// A cheap end-to-end pass through the harness plumbing.
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "fig2,fig3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "== fig2:") || !strings.Contains(sb.String(), "== fig3:") {
+		t.Errorf("missing report headers:\n%s", sb.String()[:200])
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-csv", "-only", "fig2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "series,") {
+		t.Error("CSV mode should emit series blocks")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "nope"}, &sb); err == nil {
+		t.Error("unknown experiment id should error")
+	}
+}
+
+func TestRunEverythingQuick(t *testing.T) {
+	// The complete evaluation section end to end on reduced grids: every
+	// experiment must produce a report without error.
+	var sb strings.Builder
+	if err := run([]string{"-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8",
+		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
+		"ablation-memory", "ablation-statistic", "ablation-contention",
+		"futurework", "surface", "fixedsize-mr", "realnet",
+	} {
+		if !strings.Contains(sb.String(), "== "+id+":") {
+			t.Errorf("full run missing experiment %s", id)
+		}
+	}
+}
+
+func TestGridF(t *testing.T) {
+	g := gridF(1, 200)
+	if g[0] != 1 || g[len(g)-1] != 200 {
+		t.Errorf("grid %v should span [1, 200]", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Errorf("grid not increasing: %v", g)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Command mrsim runs a single simulated job — MapReduce or Spark-like —
+// prints the phase breakdown and measured speedup, and optionally dumps
+// the execution event log as JSON Lines (the same shape as Spark's event
+// log files, which is what the paper's measurement methodology parses).
+//
+// Usage:
+//
+//	mrsim -engine mapreduce -app sort -n 16
+//	mrsim -engine mapreduce -app terasort -n 32 -trace terasort.jsonl
+//	mrsim -engine spark -app bayes -tasks 64 -execs 16
+//	mrsim -engine spark -app cf -execs 60 -trace -
+//
+// Apps: mapreduce — qmc, wordcount, sort, terasort;
+// spark — bayes, random-forest, svm, nweight, cf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ipso/internal/experiment"
+	"ipso/internal/mapreduce"
+	"ipso/internal/spark"
+	"ipso/internal/trace"
+	"ipso/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mrsim", flag.ContinueOnError)
+	engine := fs.String("engine", "mapreduce", "engine: mapreduce or spark")
+	app := fs.String("app", "sort", "application name")
+	n := fs.Int("n", 16, "mapreduce: scale-out degree")
+	tasks := fs.Int("tasks", 64, "spark: nominal problem size N")
+	execs := fs.Int("execs", 16, "spark: executors m")
+	spec := fs.String("spec", "", "JSON cost-model file defining a custom app (overrides -app)")
+	timeline := fs.Bool("timeline", false, "print the phase timeline and parallelism profile")
+	tracePath := fs.String("trace", "", "write the JSONL event log here ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *engine {
+	case "mapreduce":
+		return runMapReduce(out, *app, *spec, *n, *timeline, *tracePath)
+	case "spark":
+		return runSpark(out, *app, *spec, *tasks, *execs, *timeline, *tracePath)
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+}
+
+func runMapReduce(out io.Writer, app, spec string, n int, timeline bool, tracePath string) error {
+	var model mapreduce.AppModel
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return err
+		}
+		custom, err := workload.ParseCustomMR(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		model, app = custom, custom.Name()
+	} else {
+		var err error
+		model, err = mrApp(app)
+		if err != nil {
+			return err
+		}
+	}
+	s, par, seq, err := mapreduce.Speedup(experiment.MRConfig(model, n))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "app: %s (mapreduce), n = %d\n", app, n)
+	fmt.Fprintf(out, "parallel makespan:   %10.2f s\n", par.Makespan)
+	fmt.Fprintf(out, "sequential makespan: %10.2f s\n", seq.Makespan)
+	fmt.Fprintf(out, "measured speedup:    %10.3f\n", s)
+	fmt.Fprintln(out, "phase breakdown (parallel run):")
+	for _, p := range []trace.Phase{trace.PhaseInit, trace.PhaseSchedule, trace.PhaseMap, trace.PhaseShuffle, trace.PhaseSpill, trace.PhaseMerge, trace.PhaseReduce} {
+		if total := par.Log.PhaseTotal(p); total > 0 {
+			fmt.Fprintf(out, "  %-9s %10.2f s total", p, total)
+			if start, end, ok := par.Log.PhaseSpan(p); ok {
+				fmt.Fprintf(out, "  (span %.2f..%.2f)", start, end)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if mx, ok := par.Log.MaxTaskDuration(trace.PhaseMap); ok {
+		fmt.Fprintf(out, "E[max map task]:     %10.2f s\n", mx)
+	}
+	if timeline {
+		if err := printTimeline(out, par.Log); err != nil {
+			return err
+		}
+	}
+	return writeTrace(par.Log, tracePath)
+}
+
+// printTimeline renders the phase spans and the parallelism profile — a
+// text Gantt view of the Split-Merge execution.
+func printTimeline(out io.Writer, log *trace.Log) error {
+	bd, err := log.Breakdown()
+	if err != nil {
+		return err
+	}
+	_, end, _ := log.MakeSpan()
+	fmt.Fprintln(out, "timeline:")
+	const width = 48
+	for _, p := range bd {
+		lo := int(p.SpanStart / end * width)
+		hi := int(p.SpanEnd / end * width)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
+		fmt.Fprintf(out, "  %-9s |%s| %.1f..%.1f s (%.0f%% of makespan)\n",
+			p.Phase, bar, p.SpanStart, p.SpanEnd, 100*p.SpanFraction)
+	}
+	if prof, err := log.Parallelism(); err == nil {
+		fmt.Fprintf(out, "parallelism: mean %.1f, peak %d, serial %.1f s\n",
+			prof.Mean, prof.Peak, prof.SerialSeconds)
+	}
+	return nil
+}
+
+func runSpark(out io.Writer, app, spec string, tasks, execs int, timeline bool, tracePath string) error {
+	var cfg spark.Config
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return err
+		}
+		custom, err := workload.ParseCustomSpark(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg, app = workload.SparkConfig(custom, tasks, execs), custom.Name()
+	} else {
+		var err error
+		cfg, err = sparkConfig(app, tasks, execs)
+		if err != nil {
+			return err
+		}
+	}
+	s, par, seq, err := spark.Speedup(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "app: %s (spark), N = %d, m = %d\n", app, cfg.Tasks, cfg.Executors)
+	fmt.Fprintf(out, "parallel makespan:   %10.2f s\n", par.Makespan)
+	fmt.Fprintf(out, "sequential makespan: %10.2f s\n", seq.Makespan)
+	fmt.Fprintf(out, "measured speedup:    %10.3f\n", s)
+	fmt.Fprintf(out, "task retries:        %10d\n", par.Retries)
+	fmt.Fprintln(out, "per-stage spans (parallel run):")
+	for _, st := range par.Log.Stages() {
+		if start, end, ok := par.Log.StageSpan(st); ok {
+			fmt.Fprintf(out, "  stage %-3d %10.2f s  (%.2f..%.2f)\n", st, end-start, start, end)
+		}
+	}
+	if timeline {
+		if err := printTimeline(out, par.Log); err != nil {
+			return err
+		}
+	}
+	return writeTrace(par.Log, tracePath)
+}
+
+func mrApp(name string) (mapreduce.AppModel, error) {
+	switch name {
+	case "qmc", "qmc-pi":
+		return workload.NewQMCPi(), nil
+	case "wordcount":
+		return workload.NewWordCount(), nil
+	case "sort":
+		return workload.NewSort(), nil
+	case "terasort":
+		return workload.NewTeraSort(), nil
+	default:
+		return nil, fmt.Errorf("unknown mapreduce app %q (want qmc, wordcount, sort, terasort)", name)
+	}
+}
+
+func sparkConfig(name string, tasks, execs int) (spark.Config, error) {
+	if name == "cf" || name == "collaborative-filtering" {
+		return workload.CFConfig(workload.NewCollaborativeFiltering(), execs), nil
+	}
+	for _, app := range workload.SparkBenchmarks() {
+		if app.Name() == name {
+			return workload.SparkConfig(app, tasks, execs), nil
+		}
+	}
+	return spark.Config{}, fmt.Errorf("unknown spark app %q (want bayes, random-forest, svm, nweight, cf)", name)
+}
+
+func writeTrace(log *trace.Log, path string) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return log.WriteJSON(os.Stdout)
+	default:
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := log.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", log.Len(), path)
+		return nil
+	}
+}

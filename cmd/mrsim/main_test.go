@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipso/internal/trace"
+)
+
+func TestRunMapReduceOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-engine", "mapreduce", "-app", "terasort", "-n", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"terasort", "measured speedup", "map", "merge", "spill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSparkOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-engine", "spark", "-app", "bayes", "-tasks", "16", "-execs", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"bayes", "stage 0", "stage 2", "measured speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCFAlias(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-engine", "spark", "-app", "cf", "-execs", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "m = 10") {
+		t.Errorf("CF output unexpected:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	tests := [][]string{
+		{"-engine", "nope"},
+		{"-engine", "mapreduce", "-app", "nope"},
+		{"-engine", "spark", "-app", "nope"},
+		{"-engine", "mapreduce", "-app", "sort", "-n", "0"},
+	}
+	for _, args := range tests {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestTraceFileExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	var sb strings.Builder
+	if err := run([]string{"-engine", "mapreduce", "-app", "sort", "-n", "4", "-trace", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := trace.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Error("exported trace is empty")
+	}
+	if _, ok := log.MaxTaskDuration(trace.PhaseMap); !ok {
+		t.Error("exported trace lacks map task events")
+	}
+}
+
+func TestCustomSpecMapReduce(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "sortlike.json")
+	spec := `{"name":"custom-sort","map_work_per_byte":14,"output_fraction":1,
+	  "merge_setup_work":8e8,"merge_work_per_byte":2,"streaming_merge":true}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-engine", "mapreduce", "-spec", specPath, "-n", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "custom-sort") {
+		t.Errorf("output should use the spec's name:\n%s", sb.String())
+	}
+}
+
+func TestCustomSpecSpark(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "svmlike.json")
+	spec := `{"name":"custom-svm","stages":[{"name":"grad","work_per_byte":4,
+	  "broadcast_bytes":32e6,"driver_work":3e8}]}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-engine", "spark", "-spec", specPath, "-tasks", "16", "-execs", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "custom-svm") {
+		t.Errorf("output should use the spec's name:\n%s", sb.String())
+	}
+}
+
+func TestCustomSpecErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-engine", "mapreduce", "-spec", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing spec file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-engine", "spark", "-spec", bad}, &sb); err == nil {
+		t.Error("malformed spec should error")
+	}
+}

@@ -1,0 +1,52 @@
+package ipso_test
+
+import (
+	"fmt"
+
+	"ipso"
+)
+
+// The Sort case study in one screen: in-proportion scaling bounds the
+// speedup of a fixed-time workload, which Gustafson's law cannot express.
+func Example() {
+	m := ipso.Model{
+		Eta: 0.59,
+		EX:  ipso.LinearFactor(1, 0),       // fixed-time: EX(n) = n
+		IN:  ipso.LinearFactor(0.36, 0.64), // the paper's Sort fit
+		Q:   ipso.ZeroOverhead(),
+	}
+	s, _ := m.Speedup(200)
+	g, _ := ipso.Gustafson(0.59, 200)
+	fmt.Printf("IPSO S(200) = %.1f, Gustafson S(200) = %.1f\n", s, g)
+	// Output: IPSO S(200) = 4.9, Gustafson S(200) = 118.4
+}
+
+// Classifying an asymptotic parameter set against the Fig. 2 taxonomy.
+func ExampleAsymptotic_Classify() {
+	a := ipso.Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}
+	typ, _ := a.Classify(ipso.FixedTime)
+	limit, _, _ := a.Bound(ipso.FixedTime)
+	fmt.Printf("%s, bound %.2f\n", typ, limit)
+	// Output: IIIt,1, bound 4.74
+}
+
+// The Collaborative Filtering pathology: γ = 2 makes the speedup peak
+// and fall (type IVs) even though there is no serial portion at all.
+func ExampleDiagnose() {
+	ns := []float64{10, 30, 60, 90}
+	speedups := make([]float64, len(ns))
+	for i, n := range ns {
+		speedups[i], _ = ipso.CFSpeedup(1602.5, 2001/n+9, 0.6*n)
+	}
+	d, _ := ipso.Diagnose(ipso.FixedSize, ns, speedups)
+	fmt.Printf("%s, peak S=%.1f at n=%.0f\n", d.Type, d.PeakS, d.PeakN)
+	// Output: IVs, peak S=20.5 at n=60
+}
+
+// Amdahl's law is the fixed-size IPSO special case.
+func ExampleAmdahlModel() {
+	s, _ := ipso.AmdahlModel(0.75).Speedup(1e6)
+	bound, _ := ipso.AmdahlBound(0.75)
+	fmt.Printf("S(1e6) = %.3f, bound = %.0f\n", s, bound)
+	// Output: S(1e6) = 4.000, bound = 4
+}

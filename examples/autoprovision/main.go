@@ -1,0 +1,66 @@
+// Autoprovision: the paper's Section VI future work, implemented — a
+// measurement-based provisioning algorithm that probes a system at a few
+// small scale-out degrees, estimates δ and γ online with confidence
+// intervals, and provisions for large n without ever running at large n.
+//
+// Run with: go run ./examples/autoprovision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipso"
+	"ipso/internal/experiment"
+	"ipso/internal/mapreduce"
+	"ipso/internal/workload"
+)
+
+func main() {
+	app := workload.NewSort()
+
+	// The probe runs one simulated parallel execution per requested
+	// degree — on a real deployment this would launch a real job and
+	// parse its logs.
+	probe := experiment.MRProbe(app)
+
+	plan, err := ipso.AutoProvision(probe, ipso.AutoProvisionOptions{
+		Online:           ipso.OnlineOptions{SerialPrecision: 0.01},
+		PricePerNodeHour: 0.40,
+		MaxN:             256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("probed degrees:   %v (converged: %v)\n", plan.Probed, plan.Converged)
+	fmt.Printf("fitted δ:         %.3f (ε(n) ≈ %.2f·n^δ)\n",
+		plan.Estimates.Epsilon.Exponent, plan.Estimates.Epsilon.Coeff)
+	fmt.Printf("fitted IN(n):     %s\n", plan.Estimates.INFit)
+	if plan.HardLimit > 0 {
+		fmt.Printf("hard limit:       n = %d\n", plan.HardLimit)
+	}
+	fmt.Printf("best $/speedup:   n = %d (S = %.2f, $%.4f per job)\n",
+		plan.Best.N, plan.Best.Speedup, plan.Best.Dollars)
+
+	// Validate: extrapolate to n = 200 and compare against an actual
+	// (simulated) run there — the run the algorithm never needed.
+	predicted, err := plan.Predictor.Speedup(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, _, _, err := mapreduce.Speedup(experiment.MRConfig(app, 200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nextrapolated S(200) = %.2f; ground truth %.2f (%.0f%% error)\n",
+		predicted, measured, 100*abs(predicted-measured)/measured)
+	fmt.Println("probing cost: a handful of small runs — versus measuring the full sweep.")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

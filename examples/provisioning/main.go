@@ -1,0 +1,63 @@
+// Provisioning: use a fitted IPSO model to answer the question the paper
+// motivates — how many nodes give the best speedup-versus-cost tradeoff,
+// and when does scaling out become pure waste?
+//
+// Run with: go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipso"
+)
+
+func main() {
+	// The Collaborative Filtering model from the paper's Fig. 8 analysis:
+	// fixed-size, η = 1, q(n) = β·n² with β = Wo-slope / E[Tp,1(1)].
+	model, err := ipso.Asymptotic{Eta: 1, Beta: 0.6 / 1602.5, Gamma: 2}.Model(ipso.FixedSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := ipso.ProvisionInput{
+		Model:            model,
+		SeqJobSeconds:    1602.5, // one iteration, sequentially
+		PricePerNodeHour: 0.40,   // on-demand m4.large-ish
+		MaxN:             120,
+	}
+
+	limit, ok, err := p.HardScaleOutLimit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("hard scale-out limit: n = %d — beyond it, adding nodes SLOWS the job\n", limit)
+	}
+
+	best, err := p.BestSpeedupPerDollar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best speedup per dollar: n = %d (S = %.1f, %.0f s, $%.3f)\n",
+		best.N, best.Speedup, best.Seconds, best.Dollars)
+
+	for _, deadline := range []float64{600, 120, 80} {
+		pt, err := p.CheapestWithinDeadline(deadline)
+		if err != nil {
+			fmt.Printf("deadline %4.0f s: impossible at any n ≤ %d — the IVs pathology sets a floor\n", deadline, p.MaxN)
+			continue
+		}
+		fmt.Printf("deadline %4.0f s: n = %d ($%.3f, %.0f s)\n", deadline, pt.N, pt.Dollars, pt.Seconds)
+	}
+
+	fmt.Println("\nsweep (n, speedup, job seconds, dollars):")
+	points, err := p.Sweep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.N%10 == 0 {
+			fmt.Printf("  n=%-4d S=%-6.1f t=%-7.0f $%.3f\n", pt.N, pt.Speedup, pt.Seconds, pt.Dollars)
+		}
+	}
+}

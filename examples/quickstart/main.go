@@ -1,0 +1,54 @@
+// Quickstart: build an IPSO model for a Sort-like data-intensive workload
+// and see why Gustafson's law mispredicts its scaling.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipso"
+)
+
+func main() {
+	// A Sort-like fixed-time workload (one data shard per node): the map
+	// phase parallelizes perfectly, but the single reducer merges ALL
+	// data, so the serial portion grows in proportion to the parallel
+	// portion. These numbers are the paper's measured factors (Fig. 6):
+	// η = 0.59, EX(n) = n, IN(n) = 0.36n − 0.11.
+	sort := ipso.Model{
+		Eta: 0.59,
+		EX:  ipso.LinearFactor(1, 0),
+		IN:  ipso.LinearFactor(0.36, 0.64),
+		Q:   ipso.ZeroOverhead(),
+	}
+
+	fmt.Println("n      IPSO S(n)   Gustafson S(n)")
+	for _, n := range []float64{1, 8, 32, 64, 128, 200} {
+		s, err := sort.Speedup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := ipso.Gustafson(0.59, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.0f %-11.2f %.2f\n", n, s, g)
+	}
+
+	// The asymptotic classification explains the gap: the in-proportion
+	// scaling (δ = 0) makes this a type IIIt,1 workload — upper-bounded
+	// even though it is fixed-time, which Gustafson's law cannot express.
+	a := ipso.Asymptotic{Eta: 0.59, Alpha: 1 / 0.36, Delta: 0}
+	typ, err := a.Classify(ipso.FixedTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	limit, _, err := a.Bound(ipso.FixedTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclassification: %s — %s\n", typ, typ.Describe())
+	fmt.Printf("speedup bound:  %.2f (Gustafson says unbounded)\n", limit)
+}

@@ -1,0 +1,3 @@
+module ipso
+
+go 1.22

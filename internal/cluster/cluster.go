@@ -1,0 +1,252 @@
+// Package cluster simulates the datacenter substrate the IPSO case studies
+// ran on: a homogeneous pool of worker nodes plus a master node, connected
+// by a star network, with a centralized dispatcher.
+//
+// The paper's experiments used Amazon EC2/EMR (m4.large workers behind an
+// m4.4xlarge master, one container per processing unit). This package is
+// the simulated stand-in: it does not reproduce EC2's absolute speeds, but
+// it reproduces the *mechanisms* the paper attributes scaling behavior to:
+//
+//   - a serialized central dispatcher, whose per-task service time turns
+//     into scale-out-induced workload Wo(n) that grows with n [7];
+//   - serialized master broadcast, which makes per-iteration broadcast cost
+//     grow linearly in n and hence q(n) ∝ n² for fixed-size workloads [12];
+//   - a single reducer ingest link, serializing the shuffle like the
+//     TCP-incast effect [13];
+//   - per-node memory capacity, whose overflow forces disk spill (the
+//     TeraSort IN(n) step of Fig. 5).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"ipso/internal/simtime"
+)
+
+// BroadcastMode selects how the master ships one payload to all workers.
+type BroadcastMode int
+
+const (
+	// BroadcastSerial sends to workers one at a time through the master
+	// NIC (total time ∝ n·bytes). This is the mode that produces the
+	// pathological IVs scaling of the Collaborative Filtering case study.
+	BroadcastSerial BroadcastMode = iota + 1
+	// BroadcastParallel models an idealized tree/cornet-style broadcast
+	// whose time is independent of n (ablation counterfactual).
+	BroadcastParallel
+)
+
+// NodeSpec describes one machine's capacities. All rates are per second.
+type NodeSpec struct {
+	CPURate     float64 // abstract work units per second
+	MemoryBytes float64 // RAM available to a container/executor
+	DiskBW      float64 // bytes/s for spill reads+writes (combined)
+	NICBW       float64 // bytes/s for each of ingress and egress
+}
+
+func (s NodeSpec) validate() error {
+	if s.CPURate <= 0 || s.MemoryBytes <= 0 || s.DiskBW <= 0 || s.NICBW <= 0 {
+		return fmt.Errorf("cluster: node spec fields must be positive: %+v", s)
+	}
+	return nil
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	Workers int      // number of worker nodes (processing units), >= 1
+	Worker  NodeSpec // worker node capacities
+	Master  NodeSpec // master node capacities
+
+	// DispatchTime is the master's service time to schedule one task
+	// (queueing at the centralized scheduler serializes dispatches).
+	DispatchTime float64
+	// Broadcast selects the broadcast mechanism (default BroadcastSerial).
+	Broadcast BroadcastMode
+}
+
+func (c Config) withDefaults() Config {
+	if c.Broadcast == 0 {
+		c.Broadcast = BroadcastSerial
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("cluster: need at least 1 worker, got %d", c.Workers)
+	}
+	if c.DispatchTime < 0 {
+		return fmt.Errorf("cluster: negative dispatch time %g", c.DispatchTime)
+	}
+	if err := c.Worker.validate(); err != nil {
+		return err
+	}
+	return c.Master.validate()
+}
+
+// Node is one simulated machine: a single-container CPU, an ingest link,
+// and a disk, each a FIFO server (the paper's setup runs one container per
+// processing unit, so CPU concurrency is 1).
+type Node struct {
+	Spec NodeSpec
+	ID   int // 0 = master, workers are 1..n
+
+	cpu  *simtime.Server
+	nic  *simtime.Server // ingress; serializes concurrent incoming flows
+	disk *simtime.Server
+}
+
+// RunCPU schedules work abstract units on the node CPU; done fires at
+// completion.
+func (nd *Node) RunCPU(work float64, done func()) error {
+	return nd.RunCPUTracked(work, nil, done)
+}
+
+// RunCPUTracked is RunCPU with a started hook that fires when the CPU
+// actually begins the work (after any queueing behind earlier tasks).
+func (nd *Node) RunCPUTracked(work float64, started, done func()) error {
+	if work < 0 {
+		return errors.New("cluster: negative CPU work")
+	}
+	return nd.cpu.SubmitTracked(work/nd.Spec.CPURate, started, done)
+}
+
+// DiskIO schedules bytes of spill traffic on the node disk.
+func (nd *Node) DiskIO(bytes float64, done func()) error {
+	if bytes < 0 {
+		return errors.New("cluster: negative disk bytes")
+	}
+	return nd.disk.Submit(bytes/nd.Spec.DiskBW, done)
+}
+
+// CPUBusy returns cumulative CPU busy seconds (for phase accounting).
+func (nd *Node) CPUBusy() float64 { return nd.cpu.BusyTime() }
+
+// NICBusy returns cumulative ingress-NIC busy seconds.
+func (nd *Node) NICBusy() float64 { return nd.nic.BusyTime() }
+
+// DiskBusy returns cumulative disk busy seconds.
+func (nd *Node) DiskBusy() float64 { return nd.disk.BusyTime() }
+
+// Cluster is the simulated datacenter.
+type Cluster struct {
+	Eng *simtime.Engine
+
+	cfg       Config
+	master    *Node
+	workers   []*Node
+	dispatch  *simtime.Server // centralized scheduler
+	masterOut *simtime.Server // master egress NIC (serial broadcast)
+}
+
+// New builds a cluster on the given engine.
+func New(eng *simtime.Engine, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Eng:       eng,
+		cfg:       cfg,
+		dispatch:  simtime.NewServer(eng),
+		masterOut: simtime.NewServer(eng),
+	}
+	c.master = newNode(eng, cfg.Master, 0)
+	c.workers = make([]*Node, cfg.Workers)
+	for i := range c.workers {
+		c.workers[i] = newNode(eng, cfg.Worker, i+1)
+	}
+	return c, nil
+}
+
+func newNode(eng *simtime.Engine, spec NodeSpec, id int) *Node {
+	return &Node{
+		Spec: spec,
+		ID:   id,
+		cpu:  simtime.NewServer(eng),
+		nic:  simtime.NewServer(eng),
+		disk: simtime.NewServer(eng),
+	}
+}
+
+// Config returns the cluster configuration (with defaults applied).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Master returns the master node.
+func (c *Cluster) Master() *Node { return c.master }
+
+// Workers returns the worker nodes. The returned slice must not be
+// modified.
+func (c *Cluster) Workers() []*Node { return c.workers }
+
+// Worker returns worker i (0-based).
+func (c *Cluster) Worker(i int) (*Node, error) {
+	if i < 0 || i >= len(c.workers) {
+		return nil, fmt.Errorf("cluster: worker index %d out of range [0,%d)", i, len(c.workers))
+	}
+	return c.workers[i], nil
+}
+
+// Dispatch runs one task-scheduling operation through the centralized
+// scheduler; done fires when the dispatcher has processed it. With n
+// outstanding dispatches the k-th completes at k·DispatchTime — the
+// serialization that the paper identifies as a job-scaling bottleneck.
+func (c *Cluster) Dispatch(done func()) error {
+	return c.dispatch.Submit(c.cfg.DispatchTime, done)
+}
+
+// DispatchBusy returns cumulative scheduler busy seconds.
+func (c *Cluster) DispatchBusy() float64 { return c.dispatch.BusyTime() }
+
+// MasterEgressBusy returns cumulative master-NIC busy seconds — the
+// serialized broadcast cost that becomes Wo(n) in the CF case study.
+func (c *Cluster) MasterEgressBusy() float64 { return c.masterOut.BusyTime() }
+
+// Transfer moves bytes from one node to another; the transfer occupies the
+// destination's ingress NIC, so concurrent flows into the same node
+// serialize (the incast-style single-reducer bottleneck).
+func (c *Cluster) Transfer(from, to *Node, bytes float64, done func()) error {
+	if bytes < 0 {
+		return errors.New("cluster: negative transfer size")
+	}
+	bw := from.Spec.NICBW
+	if to.Spec.NICBW < bw {
+		bw = to.Spec.NICBW
+	}
+	return to.nic.Submit(bytes/bw, done)
+}
+
+// Broadcast ships bytes from the master to every worker; done fires when
+// the last worker has the payload.
+func (c *Cluster) Broadcast(bytes float64, done func()) error {
+	if bytes < 0 {
+		return errors.New("cluster: negative broadcast size")
+	}
+	n := len(c.workers)
+	switch c.cfg.Broadcast {
+	case BroadcastSerial:
+		// Each send occupies the master egress NIC in turn: last worker
+		// receives at n·bytes/bw. Wo grows linearly in n; for a
+		// fixed-size workload that is q(n) ∝ n² (γ=2) per Eq. (6).
+		remaining := n
+		for i := 0; i < n; i++ {
+			err := c.masterOut.Submit(bytes/c.master.Spec.NICBW, func() {
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	case BroadcastParallel:
+		// Idealized pipelined tree broadcast: completion time is one
+		// payload transmission regardless of n.
+		return c.Eng.Schedule(bytes/c.master.Spec.NICBW, done)
+	default:
+		return fmt.Errorf("cluster: unknown broadcast mode %d", c.cfg.Broadcast)
+	}
+}

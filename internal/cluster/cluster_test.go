@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipso/internal/simtime"
+)
+
+func testConfig(workers int) Config {
+	spec := NodeSpec{CPURate: 10, MemoryBytes: 100, DiskBW: 5, NICBW: 2}
+	return Config{
+		Workers:      workers,
+		Worker:       spec,
+		Master:       NodeSpec{CPURate: 100, MemoryBytes: 1000, DiskBW: 50, NICBW: 4},
+		DispatchTime: 0.5,
+	}
+}
+
+func mustCluster(t *testing.T, eng *simtime.Engine, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := simtime.NewEngine()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero workers", mutate: func(c *Config) { c.Workers = 0 }},
+		{name: "negative dispatch", mutate: func(c *Config) { c.DispatchTime = -1 }},
+		{name: "bad worker cpu", mutate: func(c *Config) { c.Worker.CPURate = 0 }},
+		{name: "bad master nic", mutate: func(c *Config) { c.Master.NICBW = -5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig(3)
+			tt.mutate(&cfg)
+			if _, err := New(eng, cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := mustCluster(t, simtime.NewEngine(), testConfig(2))
+	if c.Config().Broadcast != BroadcastSerial {
+		t.Errorf("default broadcast = %d, want serial", c.Config().Broadcast)
+	}
+	if len(c.Workers()) != 2 {
+		t.Errorf("workers = %d, want 2", len(c.Workers()))
+	}
+	if c.Master().ID != 0 || c.Workers()[1].ID != 2 {
+		t.Error("node IDs not assigned as 0=master, workers 1..n")
+	}
+}
+
+func TestWorkerIndexErrors(t *testing.T) {
+	c := mustCluster(t, simtime.NewEngine(), testConfig(2))
+	if _, err := c.Worker(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := c.Worker(2); err == nil {
+		t.Error("out-of-range index should error")
+	}
+	w, err := c.Worker(1)
+	if err != nil || w.ID != 2 {
+		t.Errorf("Worker(1) = %v, %v", w, err)
+	}
+}
+
+func TestRunCPUTime(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(1))
+	w := c.Workers()[0]
+	var done float64
+	if err := w.RunCPU(30, func() { done = eng.Now() }); err != nil { // 30 units / 10 per s
+		t.Fatal(err)
+	}
+	eng.Run()
+	if done != 3 {
+		t.Errorf("CPU completion at %g, want 3", done)
+	}
+	if w.CPUBusy() != 3 {
+		t.Errorf("CPUBusy = %g, want 3", w.CPUBusy())
+	}
+	if err := w.RunCPU(-1, nil); err == nil {
+		t.Error("negative work should error")
+	}
+}
+
+func TestDiskIO(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(1))
+	w := c.Workers()[0]
+	var done float64
+	if err := w.DiskIO(10, func() { done = eng.Now() }); err != nil { // 10 bytes / 5 Bps
+		t.Fatal(err)
+	}
+	eng.Run()
+	if done != 2 {
+		t.Errorf("disk completion at %g, want 2", done)
+	}
+	if err := w.DiskIO(-1, nil); err == nil {
+		t.Error("negative bytes should error")
+	}
+}
+
+func TestDispatchSerializes(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(1))
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		if err := c.Dispatch(func() { finish = append(finish, eng.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	want := []float64{0.5, 1.0, 1.5, 2.0}
+	for i := range want {
+		if !almost(finish[i], want[i]) {
+			t.Fatalf("dispatch completions %v, want %v", finish, want)
+		}
+	}
+	if !almost(c.DispatchBusy(), 2.0) {
+		t.Errorf("DispatchBusy = %g, want 2", c.DispatchBusy())
+	}
+}
+
+func TestTransferUsesBottleneckBandwidthAndSerializesAtDest(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(3))
+	dst := c.Workers()[0]
+	var finish []float64
+	// Two concurrent 4-byte flows into the same node: NIC bw 2 B/s, so the
+	// flows serialize: 2 s and 4 s (incast-style).
+	for i := 0; i < 2; i++ {
+		src := c.Workers()[i+1]
+		if err := c.Transfer(src, dst, 4, func() { finish = append(finish, eng.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if !almost(finish[0], 2) || !almost(finish[1], 4) {
+		t.Errorf("transfer completions %v, want [2 4]", finish)
+	}
+	if err := c.Transfer(dst, dst, -1, nil); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestBroadcastSerialScalesWithWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		eng := simtime.NewEngine()
+		c := mustCluster(t, eng, testConfig(n))
+		var done float64
+		// Master NIC 4 B/s, payload 8 bytes: serial broadcast ends at 2n.
+		if err := c.Broadcast(8, func() { done = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if want := 2 * float64(n); !almost(done, want) {
+			t.Errorf("n=%d: serial broadcast done at %g, want %g", n, done, want)
+		}
+	}
+}
+
+func TestBroadcastParallelIndependentOfWorkers(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		eng := simtime.NewEngine()
+		cfg := testConfig(n)
+		cfg.Broadcast = BroadcastParallel
+		c := mustCluster(t, eng, cfg)
+		var done float64
+		if err := c.Broadcast(8, func() { done = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !almost(done, 2) {
+			t.Errorf("n=%d: parallel broadcast done at %g, want 2", n, done)
+		}
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(1))
+	if err := c.Broadcast(-1, nil); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := simtime.NewEngine()
+	c := mustCluster(t, eng, testConfig(2))
+	w := c.Workers()[0]
+	if err := w.DiskIO(10, nil); err != nil { // 2 s at 5 B/s
+		t.Fatal(err)
+	}
+	if err := c.Transfer(c.Workers()[1], w, 4, nil); err != nil { // 2 s at 2 B/s
+		t.Fatal(err)
+	}
+	if err := c.Broadcast(8, nil); err != nil { // 2 workers × 2 s
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got := w.DiskBusy(); !almost(got, 2) {
+		t.Errorf("DiskBusy = %g, want 2", got)
+	}
+	if got := w.NICBusy(); !almost(got, 2) {
+		t.Errorf("NICBusy = %g, want 2", got)
+	}
+	if got := c.MasterEgressBusy(); !almost(got, 4) {
+		t.Errorf("MasterEgressBusy = %g, want 4", got)
+	}
+}
+
+func TestCost(t *testing.T) {
+	// 4 workers + master = 5 nodes for half an hour at $2/node-hour.
+	if got := Cost(4, 1800, 2); !almost(got, 5) {
+		t.Errorf("Cost = %g, want 5", got)
+	}
+}
+
+func TestStandardSpecsValid(t *testing.T) {
+	cfg := DefaultConfig(8)
+	if err := cfg.validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+	if cfg.Worker.MemoryBytes != float64(ReducerMemoryBytes) {
+		t.Errorf("worker memory %g, want %d", cfg.Worker.MemoryBytes, ReducerMemoryBytes)
+	}
+}
+
+// Property: serial broadcast completion time is exactly n·(bytes/bw), i.e.
+// linear in the scale-out degree — the mechanism behind γ=2 for the
+// fixed-size CF workload.
+func TestSerialBroadcastLinearProperty(t *testing.T) {
+	f := func(workers, payload uint8) bool {
+		n := int(workers%20) + 1
+		b := float64(payload%50 + 1)
+		eng := simtime.NewEngine()
+		c, err := New(eng, testConfig(n))
+		if err != nil {
+			return false
+		}
+		var done float64
+		if err := c.Broadcast(b, func() { done = eng.Now() }); err != nil {
+			return false
+		}
+		eng.Run()
+		return almost(done, float64(n)*b/4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9*math.Max(1, math.Abs(b)) }

@@ -1,0 +1,54 @@
+package cluster
+
+// Standard capacity constants used by the case studies. They mirror the
+// paper's EMR setup in structure (128 MB block per processing unit,
+// ~2 GB reducer memory) while using round simulated rates; IPSO only needs
+// the ratios to be realistic.
+const (
+	// BlockBytes is one HDFS-style block: the per-processing-unit shard
+	// for the fixed-time (memory-bounded) workloads of Section V.
+	BlockBytes = 128 << 20 // 128 MB
+
+	// ReducerMemoryBytes is the preconfigured reducer memory whose
+	// overflow near n≈15 (n·128 MB > 2 GB) causes TeraSort's IN(n) step.
+	ReducerMemoryBytes = 2 << 30 // 2 GB
+)
+
+// M4LargeWorker is the simulated stand-in for the paper's m4.large worker
+// instances.
+func M4LargeWorker() NodeSpec {
+	return NodeSpec{
+		CPURate:     100e6,              // 100M work units/s (≈ bytes/s of map work)
+		MemoryBytes: ReducerMemoryBytes, // container memory
+		DiskBW:      150e6,              // 150 MB/s spill bandwidth
+		NICBW:       56e6,               // ≈450 Mbit/s, the paper's floor
+	}
+}
+
+// M44XLargeMaster is the simulated stand-in for the paper's m4.4xlarge
+// master instance (more CPU and network headroom than workers).
+func M44XLargeMaster() NodeSpec {
+	return NodeSpec{
+		CPURate:     800e6,
+		MemoryBytes: 64 << 30,
+		DiskBW:      600e6,
+		NICBW:       250e6,
+	}
+}
+
+// DefaultConfig returns the EMR-like cluster used across the case studies.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:      workers,
+		Worker:       M4LargeWorker(),
+		Master:       M44XLargeMaster(),
+		DispatchTime: 0.002, // 2 ms of centralized scheduling per task
+		Broadcast:    BroadcastSerial,
+	}
+}
+
+// Cost models the speedup-versus-cost tradeoff the paper motivates:
+// renting (workers+1) nodes for the job duration at a per-node-hour price.
+func Cost(workers int, jobSeconds, pricePerNodeHour float64) float64 {
+	return float64(workers+1) * jobSeconds / 3600 * pricePerNodeHour
+}

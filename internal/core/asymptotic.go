@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// WorkloadType selects which of the paper's two workload dimensions a
+// classification applies to (Section IV): fixed-time (EX(n) = n, the
+// resource-constrained Gustafson dimension) or fixed-size (EX(n) = 1, the
+// resource-abundant Amdahl dimension).
+type WorkloadType int
+
+// Workload types.
+const (
+	FixedTime WorkloadType = iota + 1
+	FixedSize
+)
+
+// String returns the workload type name.
+func (w WorkloadType) String() string {
+	switch w {
+	case FixedTime:
+		return "fixed-time"
+	case FixedSize:
+		return "fixed-size"
+	default:
+		return fmt.Sprintf("WorkloadType(%d)", int(w))
+	}
+}
+
+// ScalingType is one of the paper's ten speedup scaling behaviors
+// (Figs. 2-3). The fixed-time and fixed-size families have parallel
+// structure: I linear, II sublinear unbounded, III upper-bounded (two
+// subtypes with distinct bounds), IV pathological peak-and-fall.
+type ScalingType int
+
+// Fixed-time scaling types (Fig. 2) and fixed-size types (Fig. 3).
+const (
+	TypeIt ScalingType = iota + 1
+	TypeIIt
+	TypeIIIt1
+	TypeIIIt2
+	TypeIVt
+	TypeIs
+	TypeIIs
+	TypeIIIs1
+	TypeIIIs2
+	TypeIVs
+)
+
+// String returns the paper's name for the type, e.g. "IIIt,1".
+func (t ScalingType) String() string {
+	switch t {
+	case TypeIt:
+		return "It"
+	case TypeIIt:
+		return "IIt"
+	case TypeIIIt1:
+		return "IIIt,1"
+	case TypeIIIt2:
+		return "IIIt,2"
+	case TypeIVt:
+		return "IVt"
+	case TypeIs:
+		return "Is"
+	case TypeIIs:
+		return "IIs"
+	case TypeIIIs1:
+		return "IIIs,1"
+	case TypeIIIs2:
+		return "IIIs,2"
+	case TypeIVs:
+		return "IVs"
+	default:
+		return fmt.Sprintf("ScalingType(%d)", int(t))
+	}
+}
+
+// Describe returns the paper's one-line characterization of the type.
+func (t ScalingType) Describe() string {
+	switch t {
+	case TypeIt:
+		return "Gustafson-like linear scaling (unbounded)"
+	case TypeIIt:
+		return "unbounded sublinear scaling"
+	case TypeIIIt1, TypeIIIt2:
+		return "pathological: monotone but upper-bounded despite fixed-time workload"
+	case TypeIVt:
+		return "pathological: speedup peaks then falls (superlinear scale-out-induced overhead)"
+	case TypeIs:
+		return "ideal linear scaling S(n) = n (very special case)"
+	case TypeIIs:
+		return "unbounded sublinear scaling (special case)"
+	case TypeIIIs1, TypeIIIs2:
+		return "Amdahl-like: monotone, upper-bounded"
+	case TypeIVs:
+		return "pathological: speedup peaks then falls (superlinear scale-out-induced overhead)"
+	default:
+		return "unknown scaling type"
+	}
+}
+
+// Pathological reports whether the type is one the paper flags as
+// pathological (IIIt, IVt, IVs) — behaviors that should be avoided or at
+// least diagnosed.
+func (t ScalingType) Pathological() bool {
+	switch t {
+	case TypeIIIt1, TypeIIIt2, TypeIVt, TypeIVs:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bounded reports whether the speedup has a finite upper bound.
+func (t ScalingType) Bounded() bool {
+	switch t {
+	case TypeIt, TypeIIt, TypeIs, TypeIIs:
+		return false
+	default:
+		return true
+	}
+}
+
+// Asymptotic is the large-n IPSO form of Eqs. (14-16): ε(n) ≈ α·n^δ and
+// q(n) ≈ β·n^γ, giving
+//
+//	S(n) ≈ (η·α·n^δ + (1−η)) / (η·α·n^(δ−1)·(1+β·n^γ) + (1−η))
+//
+// and, for η = 1 (no serial portion, Eq. 17), S(n) = n / (1 + β·n^γ).
+type Asymptotic struct {
+	Eta   float64 // η ∈ [0, 1]
+	Alpha float64 // α ≥ 0: in-proportion ratio coefficient
+	Delta float64 // δ: relative speed of external vs internal scaling
+	Beta  float64 // β ≥ 0: scale-out-induced coefficient
+	Gamma float64 // γ ≥ 0: scale-out-induced exponent (0 ⇒ q = 0)
+}
+
+// Validate checks the parameter domain. For fixed-time workloads the
+// paper argues 0 ≤ δ ≤ 1; for fixed-size, δ = 0 by construction. Those
+// are enforced by Classify, not here.
+func (a Asymptotic) Validate() error {
+	if a.Eta < 0 || a.Eta > 1 || math.IsNaN(a.Eta) {
+		return fmt.Errorf("core: η = %g outside [0, 1]", a.Eta)
+	}
+	if a.Eta < 1 && a.Alpha <= 0 {
+		return fmt.Errorf("core: α = %g must be positive when η < 1", a.Alpha)
+	}
+	if a.Beta < 0 {
+		return fmt.Errorf("core: β = %g must be nonnegative", a.Beta)
+	}
+	if a.Gamma < 0 {
+		return fmt.Errorf("core: γ = %g must be nonnegative", a.Gamma)
+	}
+	if a.Gamma > 0 && a.Beta == 0 {
+		return fmt.Errorf("core: γ = %g > 0 requires β > 0", a.Gamma)
+	}
+	return nil
+}
+
+// hasOverhead reports whether a scale-out-induced workload is present.
+// Per the paper, γ = 0 corresponds to q(n) = 0.
+func (a Asymptotic) hasOverhead() bool { return a.Gamma > 0 && a.Beta > 0 }
+
+// Q evaluates q(n) = β·n^γ (0 when γ = 0, per the paper's convention).
+func (a Asymptotic) Q(n float64) float64 {
+	if !a.hasOverhead() {
+		return 0
+	}
+	return a.Beta * math.Pow(n, a.Gamma)
+}
+
+// Speedup evaluates Eq. (16), or Eq. (17) when η = 1.
+func (a Asymptotic) Speedup(n float64) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("core: n = %g must be >= 1", n)
+	}
+	if a.Eta == 1 {
+		return n / (1 + a.Q(n)), nil
+	}
+	num := a.Eta*a.Alpha*math.Pow(n, a.Delta) + (1 - a.Eta)
+	den := a.Eta*a.Alpha*math.Pow(n, a.Delta-1)*(1+a.Q(n)) + (1 - a.Eta)
+	return num / den, nil
+}
+
+// Model converts the asymptotic parameters to a full Model with
+// EX(n) = n^max(δ,·) appropriate for the workload type: for fixed-time,
+// EX(n) = n and IN(n) = n^(1−δ)·/α normalized to IN(1)=1 is implied; the
+// conversion keeps ε(n) = α·n^δ exactly.
+func (a Asymptotic) Model(w WorkloadType) (Model, error) {
+	if err := a.Validate(); err != nil {
+		return Model{}, err
+	}
+	var ex, in ScalingFactor
+	switch w {
+	case FixedTime:
+		ex = LinearFactor(1, 0)
+		in = func(n float64) float64 { return n / (a.Alpha * math.Pow(n, a.Delta)) }
+	case FixedSize:
+		ex = Constant(1)
+		in = func(n float64) float64 { return 1 / (a.Alpha * math.Pow(n, a.Delta)) }
+	default:
+		return Model{}, fmt.Errorf("core: unknown workload type %v", w)
+	}
+	if a.Eta == 1 {
+		in = Constant(0)
+	}
+	return Model{Eta: a.Eta, EX: ex, IN: in, Q: a.Q}, nil
+}
+
+// Classify maps the parameters to the scaling taxonomy of Fig. 2
+// (fixed-time) or Fig. 3 (fixed-size).
+func (a Asymptotic) Classify(w WorkloadType) (ScalingType, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	switch w {
+	case FixedTime:
+		return a.classifyFixedTime()
+	case FixedSize:
+		return a.classifyFixedSize()
+	default:
+		return 0, fmt.Errorf("core: unknown workload type %v", w)
+	}
+}
+
+func (a Asymptotic) classifyFixedTime() (ScalingType, error) {
+	if a.Delta < 0 || a.Delta > 1 {
+		return 0, fmt.Errorf("core: fixed-time requires 0 <= δ <= 1, got %g", a.Delta)
+	}
+	// Superlinear overhead dominates everything: IVt.
+	if a.hasOverhead() && a.Gamma > 1 {
+		return TypeIVt, nil
+	}
+	// η = 1 (no serial portion): S = n/(1+βn^γ).
+	if a.Eta == 1 {
+		switch {
+		case !a.hasOverhead():
+			return TypeIt, nil
+		case a.Gamma < 1:
+			return TypeIIt, nil
+		default: // γ == 1
+			return TypeIIIt2, nil
+		}
+	}
+	// γ == 1: bounded (IIIt,2) regardless of δ.
+	if a.hasOverhead() && a.Gamma == 1 {
+		return TypeIIIt2, nil
+	}
+	// Here γ < 1 (sublinear or no overhead).
+	switch {
+	case a.Delta == 0:
+		// Internal scaling keeps pace with external: bounded, IIIt,1.
+		return TypeIIIt1, nil
+	case a.Delta == 1 && !a.hasOverhead():
+		return TypeIt, nil
+	default:
+		// 0 < δ < 1, or δ = 1 with sublinear overhead: unbounded
+		// sublinear growth.
+		return TypeIIt, nil
+	}
+}
+
+func (a Asymptotic) classifyFixedSize() (ScalingType, error) {
+	if a.Delta != 0 {
+		return 0, fmt.Errorf("core: fixed-size requires δ = 0 (EX(n) = 1 cannot outpace IN), got %g", a.Delta)
+	}
+	if a.hasOverhead() && a.Gamma > 1 {
+		return TypeIVs, nil
+	}
+	if a.Eta == 1 {
+		switch {
+		case !a.hasOverhead():
+			return TypeIs, nil
+		case a.Gamma < 1:
+			return TypeIIs, nil
+		default: // γ == 1
+			return TypeIIIs2, nil
+		}
+	}
+	if a.hasOverhead() && a.Gamma == 1 {
+		return TypeIIIs2, nil
+	}
+	return TypeIIIs1, nil
+}
+
+// Bound returns the asymptotic speedup limit for bounded types (the
+// closed forms annotated in Figs. 2-3) and bounded=false for unbounded
+// ones. For peaked types (IVt/IVs) the limit is 0; use Peak for the
+// maximum.
+func (a Asymptotic) Bound(w WorkloadType) (limit float64, bounded bool, err error) {
+	t, err := a.Classify(w)
+	if err != nil {
+		return 0, false, err
+	}
+	switch t {
+	case TypeIt, TypeIIt, TypeIs, TypeIIs:
+		return 0, false, nil
+	case TypeIVt, TypeIVs:
+		return 0, true, nil
+	case TypeIIIt1, TypeIIIs1:
+		// S → (ηα + (1−η)) / (1−η).
+		return (a.Eta*a.Alpha + (1 - a.Eta)) / (1 - a.Eta), true, nil
+	case TypeIIIt2, TypeIIIs2:
+		if a.Eta == 1 || a.Delta > 0 {
+			// S → 1/β.
+			return 1 / a.Beta, true, nil
+		}
+		// δ = 0: S → (ηα + (1−η)) / (ηαβ + (1−η)).
+		return (a.Eta*a.Alpha + (1 - a.Eta)) / (a.Eta*a.Alpha*a.Beta + (1 - a.Eta)), true, nil
+	default:
+		return 0, false, fmt.Errorf("core: unhandled type %v", t)
+	}
+}
+
+// Peak numerically locates the speedup maximum over n ∈ [1, nMax] on an
+// integer grid — meaningful for the peaked types IVt/IVs, where the paper
+// reads off a hard scale-out upper bound "beyond which the parallel
+// computing performance deteriorates" (n ≈ 60 for Collaborative
+// Filtering).
+func (a Asymptotic) Peak(nMax int) (nStar float64, sStar float64, err error) {
+	if nMax < 1 {
+		return 0, 0, fmt.Errorf("core: nMax = %d must be >= 1", nMax)
+	}
+	best, bestN := math.Inf(-1), 1.0
+	for n := 1; n <= nMax; n++ {
+		s, err := a.Speedup(float64(n))
+		if err != nil {
+			return 0, 0, err
+		}
+		if s > best {
+			best, bestN = s, float64(n)
+		}
+	}
+	return bestN, best, nil
+}

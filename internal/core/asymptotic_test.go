@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAsymptoticValidate(t *testing.T) {
+	bad := []Asymptotic{
+		{Eta: -0.1, Alpha: 1},
+		{Eta: 1.5, Alpha: 1},
+		{Eta: 0.5, Alpha: 0},
+		{Eta: 0.5, Alpha: 1, Beta: -1},
+		{Eta: 0.5, Alpha: 1, Gamma: -1},
+		{Eta: 0.5, Alpha: 1, Gamma: 1, Beta: 0}, // overhead exponent without coefficient
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d (%+v) should be invalid", i, a)
+		}
+	}
+	good := Asymptotic{Eta: 1} // α irrelevant when η = 1
+	if err := good.Validate(); err != nil {
+		t.Errorf("η=1 without α should validate: %v", err)
+	}
+}
+
+// The ten classification cases of Figs. 2 and 3.
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		a    Asymptotic
+		w    WorkloadType
+		want ScalingType
+	}{
+		// Fixed-time (Fig. 2).
+		{name: "It via δ=1", a: Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1}, w: FixedTime, want: TypeIt},
+		{name: "It via η=1", a: Asymptotic{Eta: 1}, w: FixedTime, want: TypeIt},
+		{name: "IIt sublinear overhead", a: Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1, Beta: 0.1, Gamma: 0.5}, w: FixedTime, want: TypeIIt},
+		{name: "IIt partial in-proportion", a: Asymptotic{Eta: 0.8, Alpha: 1, Delta: 0.5}, w: FixedTime, want: TypeIIt},
+		{name: "IIt η=1 sublinear overhead", a: Asymptotic{Eta: 1, Beta: 0.2, Gamma: 0.7}, w: FixedTime, want: TypeIIt},
+		{name: "IIIt1 full in-proportion", a: Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}, w: FixedTime, want: TypeIIIt1},
+		{name: "IIIt1 in-proportion with mild overhead", a: Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0, Beta: 0.01, Gamma: 0.5}, w: FixedTime, want: TypeIIIt1},
+		{name: "IIIt2 linear overhead", a: Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1, Beta: 0.05, Gamma: 1}, w: FixedTime, want: TypeIIIt2},
+		{name: "IIIt2 η=1 linear overhead", a: Asymptotic{Eta: 1, Beta: 0.05, Gamma: 1}, w: FixedTime, want: TypeIIIt2},
+		{name: "IVt superlinear overhead", a: Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1, Beta: 0.001, Gamma: 2}, w: FixedTime, want: TypeIVt},
+		{name: "IVt η=1 superlinear", a: Asymptotic{Eta: 1, Beta: 0.0004, Gamma: 2}, w: FixedTime, want: TypeIVt},
+		// Fixed-size (Fig. 3).
+		{name: "Is", a: Asymptotic{Eta: 1}, w: FixedSize, want: TypeIs},
+		{name: "IIs", a: Asymptotic{Eta: 1, Beta: 0.2, Gamma: 0.5}, w: FixedSize, want: TypeIIs},
+		{name: "IIIs1 Amdahl", a: Asymptotic{Eta: 0.9, Alpha: 1}, w: FixedSize, want: TypeIIIs1},
+		{name: "IIIs1 with sublinear overhead", a: Asymptotic{Eta: 0.9, Alpha: 1, Beta: 0.1, Gamma: 0.5}, w: FixedSize, want: TypeIIIs1},
+		{name: "IIIs2 linear overhead", a: Asymptotic{Eta: 0.9, Alpha: 1, Beta: 0.05, Gamma: 1}, w: FixedSize, want: TypeIIIs2},
+		{name: "IVs CF", a: Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}, w: FixedSize, want: TypeIVs},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.a.Classify(tt.w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Classify = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClassifyDomainErrors(t *testing.T) {
+	if _, err := (Asymptotic{Eta: 0.5, Alpha: 1, Delta: 2}).Classify(FixedTime); err == nil {
+		t.Error("δ > 1 should be rejected for fixed-time")
+	}
+	if _, err := (Asymptotic{Eta: 0.5, Alpha: 1, Delta: 0.5}).Classify(FixedSize); err == nil {
+		t.Error("δ ≠ 0 should be rejected for fixed-size")
+	}
+	if _, err := (Asymptotic{Eta: 0.5, Alpha: 1}).Classify(WorkloadType(99)); err == nil {
+		t.Error("unknown workload type should error")
+	}
+}
+
+func TestTypeMetadata(t *testing.T) {
+	if TypeIIIt1.String() != "IIIt,1" || TypeIVs.String() != "IVs" {
+		t.Error("type names do not match the paper's notation")
+	}
+	for _, p := range []ScalingType{TypeIIIt1, TypeIIIt2, TypeIVt, TypeIVs} {
+		if !p.Pathological() {
+			t.Errorf("%v should be pathological", p)
+		}
+	}
+	for _, u := range []ScalingType{TypeIt, TypeIIt, TypeIs, TypeIIs} {
+		if u.Pathological() {
+			t.Errorf("%v should not be pathological", u)
+		}
+		if u.Bounded() {
+			t.Errorf("%v should be unbounded", u)
+		}
+		if u.Describe() == "unknown scaling type" {
+			t.Errorf("%v lacks a description", u)
+		}
+	}
+}
+
+func TestBoundClosedForms(t *testing.T) {
+	// IIIt,1: S → (ηα + (1−η))/(1−η). Sort-like: η=0.59, α=2.6.
+	a := Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}
+	limit, bounded, err := a.Bound(FixedTime)
+	if err != nil || !bounded {
+		t.Fatalf("Bound: %v bounded=%v", err, bounded)
+	}
+	want := (0.59*2.6 + 0.41) / 0.41
+	if !almostEqual(limit, want, 1e-12) {
+		t.Errorf("IIIt,1 bound %g, want %g", limit, want)
+	}
+	// The speedup must actually approach (and not exceed) the bound.
+	s, err := a.Speedup(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > limit || s < 0.99*limit {
+		t.Errorf("S(1e6) = %g does not approach bound %g", s, limit)
+	}
+
+	// IIIt,2 with δ > 0: S → 1/β.
+	b := Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1, Beta: 0.04, Gamma: 1}
+	limit, bounded, _ = b.Bound(FixedTime)
+	if !bounded || !almostEqual(limit, 25, 1e-12) {
+		t.Errorf("IIIt,2 bound %g, want 25", limit)
+	}
+	s, _ = b.Speedup(1e7)
+	if s > limit || s < 0.99*limit {
+		t.Errorf("S(1e7) = %g does not approach bound %g", s, limit)
+	}
+
+	// IIIs,2 with δ = 0: S → (ηα+1−η)/(ηαβ+1−η).
+	c := Asymptotic{Eta: 0.9, Alpha: 1, Beta: 0.05, Gamma: 1}
+	limit, bounded, _ = c.Bound(FixedSize)
+	want = (0.9 + 0.1) / (0.9*0.05 + 0.1)
+	if !bounded || !almostEqual(limit, want, 1e-12) {
+		t.Errorf("IIIs,2 bound %g, want %g", limit, want)
+	}
+
+	// Unbounded type.
+	d := Asymptotic{Eta: 1}
+	if _, bounded, _ := d.Bound(FixedTime); bounded {
+		t.Error("It should be unbounded")
+	}
+
+	// Peaked type: limit 0 (S → 0).
+	e := Asymptotic{Eta: 1, Beta: 1e-3, Gamma: 2}
+	limit, bounded, _ = e.Bound(FixedTime)
+	if !bounded || limit != 0 {
+		t.Errorf("IVt bound (%g, %v), want (0, true)", limit, bounded)
+	}
+}
+
+func TestPeakMatchesCFAnalysis(t *testing.T) {
+	// CF: S(n) = n/(1+βn²) peaks at n = 1/√β. With β = 3.7e-4 → n ≈ 52.
+	a := Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}
+	nStar, sStar, err := a.Peak(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := 1 / math.Sqrt(3.7e-4)
+	if math.Abs(nStar-analytic) > 1.0 {
+		t.Errorf("peak at n=%g, want ≈%g", nStar, analytic)
+	}
+	if sStar < 20 || sStar > 30 {
+		t.Errorf("peak speedup %g, want ≈26 (n*/2)", sStar)
+	}
+	if _, _, err := a.Peak(0); err == nil {
+		t.Error("nMax < 1 should error")
+	}
+}
+
+func TestAsymptoticSpeedupEquation16(t *testing.T) {
+	// Hand-evaluated Eq. (16): η=0.5, α=2, δ=0.5, β=0.1, γ=0.5, n=16.
+	a := Asymptotic{Eta: 0.5, Alpha: 2, Delta: 0.5, Beta: 0.1, Gamma: 0.5}
+	got, err := a.Speedup(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := 0.5*2*4 + 0.5
+	den := 0.5*2*(4.0/16)*(1+0.1*4) + 0.5
+	if !almostEqual(got, num/den, 1e-12) {
+		t.Errorf("S(16) = %g, want %g", got, num/den)
+	}
+}
+
+func TestAsymptoticModelConsistency(t *testing.T) {
+	// The Model conversion must agree with the Asymptotic formula.
+	cases := []struct {
+		a Asymptotic
+		w WorkloadType
+	}{
+		{a: Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}, w: FixedTime},
+		{a: Asymptotic{Eta: 0.8, Alpha: 1.5, Delta: 0.5, Beta: 0.05, Gamma: 0.8}, w: FixedTime},
+		{a: Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}, w: FixedSize},
+	}
+	for _, tc := range cases {
+		m, err := tc.a.Model(tc.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []float64{1, 4, 30, 100} {
+			want, err := tc.a.Speedup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Speedup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, want, 1e-9) {
+				t.Errorf("%+v at n=%g: model %g vs asymptotic %g", tc.a, n, got, want)
+			}
+		}
+	}
+}
+
+// Property: classification is total over the valid parameter grid and
+// bounded types' speedups respect their bounds over a wide n range.
+func TestBoundsRespectedProperty(t *testing.T) {
+	f := func(etaRaw, alphaRaw, deltaRaw, betaRaw, gammaRaw uint8) bool {
+		a := Asymptotic{
+			Eta:   float64(etaRaw%100)/100 + 0.01, // avoid η=0 (degenerate)
+			Alpha: float64(alphaRaw%40)/10 + 0.1,
+			Delta: float64(deltaRaw%11) / 10,
+			Beta:  float64(betaRaw%20) / 100,
+			Gamma: float64(gammaRaw%30) / 10,
+		}
+		if a.Eta > 1 {
+			a.Eta = 1
+		}
+		if a.Beta == 0 {
+			a.Gamma = 0
+		}
+		typ, err := a.Classify(FixedTime)
+		if err != nil {
+			return true // out of domain (e.g. δ>1 impossible here) — skip
+		}
+		limit, bounded, err := a.Bound(FixedTime)
+		if err != nil {
+			return false
+		}
+		if !bounded {
+			return true
+		}
+		if typ == TypeIVt {
+			return true // bound 0 is the n→∞ limit, not a running bound
+		}
+		for _, n := range []float64{1, 2, 5, 17, 129, 4097} {
+			s, err := a.Speedup(n)
+			if err != nil || s > limit*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for peaked types the speedup eventually falls below 1 — the
+// "negative speedup" (slower than sequential) region of Section III.
+func TestPeakedTypesEventuallySlowerThanSequentialProperty(t *testing.T) {
+	f := func(betaRaw, gammaRaw uint8) bool {
+		a := Asymptotic{
+			Eta:   1,
+			Beta:  float64(betaRaw%50)/1000 + 0.001,
+			Gamma: 1.1 + float64(gammaRaw%10)/10,
+		}
+		typ, err := a.Classify(FixedTime)
+		if err != nil || typ != TypeIVt {
+			return false
+		}
+		// β·n^γ > 2n once n exceeds (2/β)^(1/(γ−1)); there S < 1.
+		nCross := math.Pow(2/a.Beta, 1/(a.Gamma-1))
+		s, err := a.Speedup(math.Max(2, 2*nCross))
+		return err == nil && s < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

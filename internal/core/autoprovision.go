@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProbeFunc measures one scale-out degree on the real (or simulated)
+// system: it runs the workload at degree n and returns the phase
+// workloads. It is how the measurement-based provisioning algorithm
+// talks to the world.
+type ProbeFunc func(n int) (Observation, error)
+
+// AutoProvisionOptions configures the measurement-based provisioning
+// algorithm.
+type AutoProvisionOptions struct {
+	// Online tunes the underlying estimator.
+	Online OnlineOptions
+	// MaxProbeN bounds the probing budget: probing stops (converged or
+	// not) once the next recommended degree exceeds it. Default 64.
+	MaxProbeN int
+	// SeqJobSeconds and PricePerNodeHour frame the provisioning question
+	// (see ProvisionInput). SeqJobSeconds 0 means "use the probed n=1
+	// job time".
+	SeqJobSeconds    float64
+	PricePerNodeHour float64
+	// MaxN bounds the provisioning sweep. Default 1024.
+	MaxN int
+}
+
+func (o AutoProvisionOptions) withDefaults() AutoProvisionOptions {
+	if o.MaxProbeN == 0 {
+		o.MaxProbeN = 64
+	}
+	if o.MaxN == 0 {
+		o.MaxN = 1024
+	}
+	return o
+}
+
+// Plan is the outcome of AutoProvision: the fitted model, how much
+// probing it took, and the recommended operating points.
+type Plan struct {
+	// Probed lists the degrees actually measured.
+	Probed []int
+	// Converged reports whether (δ, γ) reached their tolerances within
+	// the probe budget; when false the plan is a best-effort fit.
+	Converged bool
+	// Estimates and Predictor are the fitted model artifacts.
+	Estimates Estimates
+	Predictor Predictor
+	// Best is the speedup-per-dollar-optimal operating point.
+	Best ProvisionPoint
+	// HardLimit is the degree beyond which speedup decreases (0 when
+	// none was found within MaxN).
+	HardLimit int
+}
+
+// AutoProvision is the paper's envisioned measurement-based provisioning
+// algorithm: probe the system at geometrically spaced small degrees until
+// δ and γ are estimated with confidence, fit the IPSO model, and return
+// the speedup-versus-cost-optimal operating point — without ever running
+// the workload at large n.
+func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
+	if probe == nil {
+		return Plan{}, errors.New("core: nil probe function")
+	}
+	opts = opts.withDefaults()
+	if opts.PricePerNodeHour <= 0 {
+		return Plan{}, fmt.Errorf("core: price %g must be positive", opts.PricePerNodeHour)
+	}
+	est, err := NewOnlineEstimator(opts.Online)
+	if err != nil {
+		return Plan{}, err
+	}
+
+	plan := Plan{}
+	for {
+		n := est.NextProbe()
+		if n > opts.MaxProbeN {
+			break
+		}
+		obs, err := probe(n)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: probe at n=%d: %w", n, err)
+		}
+		if obs.N == 0 {
+			obs.N = float64(n)
+		}
+		if err := est.Observe(obs); err != nil {
+			return Plan{}, err
+		}
+		plan.Probed = append(plan.Probed, n)
+		if len(plan.Probed) >= opts.Online.withDefaults().MinPoints {
+			converged, err := est.Converged()
+			if err != nil {
+				return Plan{}, err
+			}
+			if converged {
+				plan.Converged = true
+				break
+			}
+		}
+	}
+	if len(plan.Probed) < 2 {
+		return Plan{}, errors.New("core: probe budget too small to fit anything")
+	}
+
+	estimates, err := est.Estimates()
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Estimates = estimates
+	pred, err := est.Predictor()
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Predictor = pred
+
+	seq := opts.SeqJobSeconds
+	if seq == 0 {
+		seq = pred.T1
+	}
+	input := ProvisionInput{
+		Model:            pred.Model(),
+		SeqJobSeconds:    seq,
+		PricePerNodeHour: opts.PricePerNodeHour,
+		MaxN:             opts.MaxN,
+	}
+	best, err := input.BestSpeedupPerDollar()
+	if err != nil {
+		return Plan{}, err
+	}
+	plan.Best = best
+	if limit, ok, err := input.HardScaleOutLimit(); err == nil && ok {
+		plan.HardLimit = limit
+	}
+	return plan, nil
+}

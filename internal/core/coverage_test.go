@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ipso/internal/stats"
+)
+
+func TestScalingTypeStringsComplete(t *testing.T) {
+	names := map[ScalingType]string{
+		TypeIt: "It", TypeIIt: "IIt", TypeIIIt1: "IIIt,1", TypeIIIt2: "IIIt,2", TypeIVt: "IVt",
+		TypeIs: "Is", TypeIIs: "IIs", TypeIIIs1: "IIIs,1", TypeIIIs2: "IIIs,2", TypeIVs: "IVs",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+		if typ.Describe() == "unknown scaling type" {
+			t.Errorf("%v lacks a description", typ)
+		}
+	}
+	if !strings.HasPrefix(ScalingType(99).String(), "ScalingType(") {
+		t.Error("unknown type should format as ScalingType(n)")
+	}
+	if ScalingType(99).Describe() != "unknown scaling type" {
+		t.Error("unknown type should describe as unknown")
+	}
+	if ScalingType(99).Pathological() {
+		t.Error("unknown type must not be flagged pathological")
+	}
+}
+
+func TestWorkloadTypeStrings(t *testing.T) {
+	if FixedTime.String() != "fixed-time" || FixedSize.String() != "fixed-size" {
+		t.Error("workload type names wrong")
+	}
+	if !strings.HasPrefix(WorkloadType(9).String(), "WorkloadType(") {
+		t.Error("unknown workload type should format as WorkloadType(n)")
+	}
+}
+
+func TestBoundedCoversAllTypes(t *testing.T) {
+	for _, typ := range []ScalingType{TypeIIIt1, TypeIIIt2, TypeIVt, TypeIIIs1, TypeIIIs2, TypeIVs} {
+		if !typ.Bounded() {
+			t.Errorf("%v should be bounded", typ)
+		}
+	}
+}
+
+func TestStatisticModelCurveAndKnobs(t *testing.T) {
+	s := StatisticModel{
+		Model:      sortLikeModel(),
+		TaskTime:   stats.LogNormal{Mu: 2.8, Sigma: 0.2}, // no closed form: exercises MC knobs
+		SerialTime: 12.85,
+		MCReps:     512,
+		Seed:       9,
+	}
+	curve, err := s.Curve([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 || curve[0] <= 0 {
+		t.Fatalf("curve %v", curve)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Errorf("statistic curve should grow on this range: %v", curve)
+		}
+	}
+	if _, err := s.Curve([]float64{0.5}); err == nil {
+		t.Error("invalid n in curve should error")
+	}
+	if _, err := s.StragglerPenalty(0.5); err == nil {
+		t.Error("invalid n in penalty should error")
+	}
+	if s.mcReps() != 512 || s.seed() != 9 {
+		t.Errorf("knobs not honored: reps=%d seed=%d", s.mcReps(), s.seed())
+	}
+	var defaults StatisticModel
+	if defaults.mcReps() != 4096 || defaults.seed() != 1 {
+		t.Errorf("default knobs wrong: reps=%d seed=%d", defaults.mcReps(), defaults.seed())
+	}
+}
+
+func TestSpeedupWithMaxTaskErrors(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SpeedupWithMaxTask(8, -1); err == nil {
+		t.Error("negative max task time should error")
+	}
+	broken := p
+	broken.T1 = 0
+	if _, err := broken.SpeedupWithMaxTask(8, 1); err == nil {
+		t.Error("missing T1 should error")
+	}
+}
+
+func TestPredictionSpreadHelpers(t *testing.T) {
+	sp := PredictionSpread{Point: 4, Low: 3.5, High: 4.5}
+	if sp.Width() != 1 {
+		t.Errorf("width %g", sp.Width())
+	}
+	if sp.RelativeWidth() != 0.25 {
+		t.Errorf("relative width %g", sp.RelativeWidth())
+	}
+	zero := PredictionSpread{}
+	if zero.RelativeWidth() != 0 {
+		t.Error("zero point should give zero relative width")
+	}
+}
+
+func TestOnlineConvergedEarlyExit(t *testing.T) {
+	e, err := NewOnlineEstimator(OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below MinPoints: not converged, no error.
+	converged, err := e.Converged()
+	if err != nil || converged {
+		t.Errorf("empty estimator converged=%v err=%v", converged, err)
+	}
+	if _, err := e.Predictor(); err == nil {
+		t.Error("predictor without n=1 baseline should error")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Crossover returns the smallest integer degree in [2, maxN] at which
+// model b's speedup strictly exceeds model a's — "where crossovers fall"
+// when comparing two designs (e.g. a contention-free configuration versus
+// a broadcast-heavy one). found is false when no crossover occurs within
+// the range.
+func Crossover(a, b Model, maxN int) (n int, found bool, err error) {
+	if maxN < 2 {
+		return 0, false, fmt.Errorf("core: maxN %d must be >= 2", maxN)
+	}
+	for k := 2; k <= maxN; k++ {
+		sa, err := a.Speedup(float64(k))
+		if err != nil {
+			return 0, false, err
+		}
+		sb, err := b.Speedup(float64(k))
+		if err != nil {
+			return 0, false, err
+		}
+		if sb > sa {
+			return k, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// GustafsonDivergence returns the smallest integer degree in [2, maxN] at
+// which Gustafson's prediction overestimates the model's speedup by more
+// than relTol (e.g. 0.25 for 25%). It is the practical answer to "up to
+// what scale can I trust the classic law for this workload?" — for a
+// Sort-like in-proportion workload the law diverges almost immediately,
+// while for WordCount it holds through the whole measured range.
+func GustafsonDivergence(m Model, relTol float64, maxN int) (n int, diverges bool, err error) {
+	if relTol <= 0 {
+		return 0, false, fmt.Errorf("core: relTol %g must be positive", relTol)
+	}
+	if maxN < 2 {
+		return 0, false, fmt.Errorf("core: maxN %d must be >= 2", maxN)
+	}
+	if err := m.Validate(); err != nil {
+		return 0, false, err
+	}
+	for k := 2; k <= maxN; k++ {
+		s, err := m.Speedup(float64(k))
+		if err != nil {
+			return 0, false, err
+		}
+		g, err := Gustafson(m.Eta, float64(k))
+		if err != nil {
+			return 0, false, err
+		}
+		if g > s*(1+relTol) {
+			return k, true, nil
+		}
+	}
+	return 0, false, nil
+}

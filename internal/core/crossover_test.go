@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+func TestCrossover(t *testing.T) {
+	// A Sort-like bounded model versus a slower-starting but unbounded
+	// one: the unbounded model must eventually cross above.
+	bounded := Model{Eta: 0.59, EX: LinearFactor(1, 0), IN: LinearFactor(0.377, 0.623), Q: ZeroOverhead()}
+	slowLinear := Model{Eta: 0.3, EX: LinearFactor(1, 0), IN: Constant(1), Q: ZeroOverhead()}
+	n, found, err := Crossover(bounded, slowLinear, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("unbounded model should cross the bounded one")
+	}
+	// Verify the crossover is genuine: below it the bounded model wins.
+	sa, _ := bounded.Speedup(float64(n - 1))
+	sb, _ := slowLinear.Speedup(float64(n - 1))
+	if sb > sa {
+		t.Errorf("crossover at n=%d not minimal: b already ahead at %d", n, n-1)
+	}
+	sa, _ = bounded.Speedup(float64(n))
+	sb, _ = slowLinear.Speedup(float64(n))
+	if sb <= sa {
+		t.Errorf("no actual crossover at reported n=%d", n)
+	}
+
+	// No crossover case: a strictly dominated model.
+	if _, found, err := Crossover(slowLinear, slowLinear, 100); err != nil || found {
+		t.Errorf("identical models should not cross (found=%v err=%v)", found, err)
+	}
+	if _, _, err := Crossover(bounded, slowLinear, 1); err == nil {
+		t.Error("maxN < 2 should error")
+	}
+}
+
+func TestGustafsonDivergence(t *testing.T) {
+	// Sort-like in-proportion workload: the law diverges early.
+	sort := Model{Eta: 0.59, EX: LinearFactor(1, 0), IN: LinearFactor(0.377, 0.623), Q: ZeroOverhead()}
+	n, diverges, err := GustafsonDivergence(sort, 0.25, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverges {
+		t.Fatal("Gustafson must diverge for an in-proportion workload")
+	}
+	if n > 10 {
+		t.Errorf("divergence at n=%d, want very early (paper: already visible at small n)", n)
+	}
+	// A true Gustafson workload never diverges from itself.
+	gust := GustafsonModel(0.9)
+	if _, diverges, err := GustafsonDivergence(gust, 0.25, 500); err != nil || diverges {
+		t.Errorf("pure Gustafson workload should not diverge (diverges=%v err=%v)", diverges, err)
+	}
+	if _, _, err := GustafsonDivergence(sort, 0, 100); err == nil {
+		t.Error("zero tolerance should error")
+	}
+	if _, _, err := GustafsonDivergence(sort, 0.1, 1); err == nil {
+		t.Error("maxN < 2 should error")
+	}
+	if _, _, err := GustafsonDivergence(Model{Eta: 2}, 0.1, 10); err == nil {
+		t.Error("invalid model should error")
+	}
+}

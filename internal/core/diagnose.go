@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ipso/internal/stats"
+)
+
+// Family is the coarse shape of a measured speedup curve — what steps 1-5
+// of the paper's diagnostic procedure identify by comparing the measured
+// trend against Fig. 2 or Fig. 3.
+type Family int
+
+// Speedup curve families.
+const (
+	FamilyLinear    Family = iota + 1 // type I: linear, unbounded
+	FamilySublinear                   // type II: sublinear, unbounded
+	FamilyBounded                     // type III: monotone, upper-bounded
+	FamilyPeaked                      // type IV: peaks then falls
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyLinear:
+		return "linear (type I)"
+	case FamilySublinear:
+		return "sublinear unbounded (type II)"
+	case FamilyBounded:
+		return "upper-bounded (type III)"
+	case FamilyPeaked:
+		return "peaked (type IV)"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Diagnosis is the outcome of the Section V diagnostic procedure applied
+// to a measured speedup series.
+type Diagnosis struct {
+	Workload WorkloadType
+	Family   Family
+	// Type is the matched scaling type. For FamilyBounded the subtype
+	// (III,1 vs III,2) cannot be determined from the speedup curve alone
+	// — per step 6 of the procedure — so Type holds the ",1" subtype and
+	// NeedsFactorAnalysis is set.
+	Type ScalingType
+	// NeedsFactorAnalysis indicates step 6 applies: estimate δ and γ
+	// (e.g. with Estimate + Asymptotic.Classify) to pin down the subtype.
+	NeedsFactorAnalysis bool
+	// RootCause is the analysis-backed explanation from Section IV.
+	RootCause string
+	// Peak holds the observed maximum for FamilyPeaked diagnoses.
+	PeakN, PeakS float64
+	// Fit quality (SSE) of the chosen shape on the normalized data.
+	SSE float64
+}
+
+// Diagnose runs steps 2-5 of the paper's recommended diagnostic procedure
+// on a measured speedup series: plot S against n, match the trend against
+// the four families, and identify root causes. It requires at least four
+// points spanning more than one scale-out degree.
+//
+// Step 1 (choosing the workload type) is the caller's: pass FixedTime or
+// FixedSize. Step 6 (subtype analysis for bounded curves) requires factor
+// measurements; see Estimate and Asymptotic.Classify.
+func Diagnose(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
+	if w != FixedTime && w != FixedSize {
+		return Diagnosis{}, fmt.Errorf("core: unknown workload type %v", w)
+	}
+	if len(ns) != len(speedups) {
+		return Diagnosis{}, fmt.Errorf("core: %d ns vs %d speedups", len(ns), len(speedups))
+	}
+	if len(ns) < 4 {
+		return Diagnosis{}, errors.New("core: need at least 4 measured points to diagnose")
+	}
+	for i := range ns {
+		if ns[i] < 1 || speedups[i] <= 0 {
+			return Diagnosis{}, fmt.Errorf("core: invalid point (n=%g, S=%g)", ns[i], speedups[i])
+		}
+		if i > 0 && ns[i] <= ns[i-1] {
+			return Diagnosis{}, errors.New("core: ns must be strictly ascending")
+		}
+	}
+
+	d := Diagnosis{Workload: w}
+
+	// Peak detection: the curve falls significantly after an interior
+	// maximum (type IV: superlinear scale-out-induced overhead).
+	maxIdx := 0
+	for i, s := range speedups {
+		if s > speedups[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx < len(speedups)-1 && speedups[len(speedups)-1] < 0.95*speedups[maxIdx] {
+		d.Family = FamilyPeaked
+		d.PeakN, d.PeakS = ns[maxIdx], speedups[maxIdx]
+		if w == FixedTime {
+			d.Type = TypeIVt
+		} else {
+			d.Type = TypeIVs
+		}
+		d.RootCause = "scale-out-induced workload q(n) grows superlinearly (γ > 1), " +
+			"e.g. centralized scheduling or data broadcast; scaling out beyond the peak is harmful"
+		return d, nil
+	}
+
+	// Monotone families are told apart by the tail elasticity
+	// e = d ln S / d ln n estimated over the last measured octave:
+	// e ≈ 1 for linear growth (type I), 0 < e < 1 sustained for
+	// sublinear growth (type II), e ≈ 0 for saturation (type III).
+	// Like the paper's WordCount discussion notes ("more data samples at
+	// larger scale-out degree are needed to be certain"), curves measured
+	// far from their asymptote are genuinely ambiguous; the thresholds
+	// below (0.92 and 0.15) encode the same judgment call.
+	last := len(ns) - 1
+	lo := last - 2
+	if lo < 0 {
+		lo = 0
+	}
+	elasticity := math.Log(speedups[last]/speedups[lo]) / math.Log(ns[last]/ns[lo])
+
+	switch {
+	case elasticity >= 0.92:
+		d.Family = FamilyLinear
+		if fit, err := stats.Linear(ns, speedups); err == nil {
+			d.SSE = shapeSSE(ns, speedups, fit.Eval)
+		}
+	case elasticity >= 0.15:
+		d.Family = FamilySublinear
+		if fit, err := stats.PowerLaw(ns, speedups); err == nil {
+			d.SSE = shapeSSE(ns, speedups, fit.Eval)
+		}
+	default:
+		d.Family = FamilyBounded
+		// Saturating hypothesis S(n) = L·n / (n + k) for SSE reporting.
+		sat := func(p []float64, x float64) float64 { return p[0] * x / (x + math.Abs(p[1])) }
+		sMax := speedups[last]
+		if res, err := stats.NonlinearFit(sat, ns, speedups, []float64{sMax * 1.5, ns[last] / 2}, stats.NLSOptions{}); err == nil {
+			d.SSE = res.SSE
+		}
+	}
+
+	switch d.Family {
+	case FamilyLinear:
+		if w == FixedTime {
+			d.Type = TypeIt
+			d.RootCause = "Gustafson-like: no in-proportion scaling (δ = 1 or η = 1) and no scale-out-induced workload (γ = 0)"
+		} else {
+			d.Type = TypeIs
+			d.RootCause = "ideal fixed-size scaling: no serial portion (η = 1) and no scale-out-induced workload — a very special case"
+		}
+	case FamilySublinear:
+		if w == FixedTime {
+			d.Type = TypeIIt
+			d.RootCause = "unbounded but sublinear: scale-out-induced workload grows slower than linearly (γ < 1)"
+		} else {
+			d.Type = TypeIIs
+			d.RootCause = "unbounded but sublinear: η = 1 with sublinear scale-out-induced workload (γ < 1)"
+		}
+	case FamilyBounded:
+		d.NeedsFactorAnalysis = true
+		if w == FixedTime {
+			d.Type = TypeIIIt1
+			d.RootCause = "pathological for a fixed-time workload: the serial portion scales in proportion " +
+				"to the parallel portion (in-proportion scaling) and/or linear scale-out-induced workload bounds the speedup; " +
+				"measure δ and γ to pin down subtype III_t,1 vs III_t,2"
+		} else {
+			d.Type = TypeIIIs1
+			d.RootCause = "Amdahl-like bounded scaling; measure δ and γ to pin down subtype III_s,1 vs III_s,2"
+		}
+	}
+	return d, nil
+}
+
+// DiagnoseWithFactors completes step 6: given fitted asymptotic factors,
+// it returns the exact scaling type (subtype included).
+func DiagnoseWithFactors(w WorkloadType, a Asymptotic) (ScalingType, error) {
+	return a.Classify(w)
+}
+
+func shapeSSE(ns, ys []float64, f func(float64) float64) float64 {
+	sse := 0.0
+	for i := range ns {
+		r := ys[i] - f(ns[i])
+		sse += r * r
+	}
+	return sse
+}

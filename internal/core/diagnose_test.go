@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+)
+
+func curveOf(t *testing.T, a Asymptotic, ns []float64) []float64 {
+	t.Helper()
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		s, err := a.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func gridTo(max float64) []float64 {
+	var ns []float64
+	for n := 1.0; n <= max; n *= 2 {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+func TestDiagnoseLinear(t *testing.T) {
+	ns := gridTo(256)
+	ss := curveOf(t, Asymptotic{Eta: 0.95, Alpha: 1, Delta: 1}, ns)
+	d, err := Diagnose(FixedTime, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyLinear || d.Type != TypeIt {
+		t.Errorf("diagnosis %+v, want linear/It", d)
+	}
+	if d.NeedsFactorAnalysis {
+		t.Error("linear diagnosis should not need factor analysis")
+	}
+}
+
+func TestDiagnoseSublinear(t *testing.T) {
+	ns := gridTo(1024)
+	ss := curveOf(t, Asymptotic{Eta: 1, Beta: 0.3, Gamma: 0.5}, ns)
+	d, err := Diagnose(FixedTime, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilySublinear || d.Type != TypeIIt {
+		t.Errorf("diagnosis %v/%v, want sublinear/IIt", d.Family, d.Type)
+	}
+}
+
+func TestDiagnoseBounded(t *testing.T) {
+	// Sort-like IIIt,1 curve.
+	ns := gridTo(256)
+	ss := curveOf(t, Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}, ns)
+	d, err := Diagnose(FixedTime, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyBounded {
+		t.Fatalf("family %v, want bounded", d.Family)
+	}
+	if !d.NeedsFactorAnalysis {
+		t.Error("bounded diagnosis must point to step 6 (factor analysis)")
+	}
+	// Step 6 with the true factors resolves the subtype.
+	typ, err := DiagnoseWithFactors(FixedTime, Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0})
+	if err != nil || typ != TypeIIIt1 {
+		t.Errorf("factor classification %v, %v; want IIIt,1", typ, err)
+	}
+}
+
+func TestDiagnosePeaked(t *testing.T) {
+	// CF-like IVs curve on the paper's measurement grid.
+	ns := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 120, 150}
+	ss := curveOf(t, Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}, ns)
+	d, err := Diagnose(FixedSize, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyPeaked || d.Type != TypeIVs {
+		t.Fatalf("diagnosis %v/%v, want peaked/IVs", d.Family, d.Type)
+	}
+	if d.PeakN < 40 || d.PeakN > 70 {
+		t.Errorf("observed peak at n=%g, want near 52", d.PeakN)
+	}
+	if d.PeakS < 15 || d.PeakS > 30 {
+		t.Errorf("observed peak speedup %g, want ≈21-26", d.PeakS)
+	}
+}
+
+func TestDiagnoseAmdahlLike(t *testing.T) {
+	ns := gridTo(512)
+	ss := make([]float64, len(ns))
+	for i, n := range ns {
+		ss[i], _ = Amdahl(0.9, n)
+	}
+	d, err := Diagnose(FixedSize, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyBounded || d.Type != TypeIIIs1 {
+		t.Errorf("diagnosis %v/%v, want bounded/IIIs,1", d.Family, d.Type)
+	}
+}
+
+func TestDiagnoseInputValidation(t *testing.T) {
+	ns := []float64{1, 2, 3, 4}
+	ss := []float64{1, 2, 3, 4}
+	if _, err := Diagnose(WorkloadType(0), ns, ss); err == nil {
+		t.Error("unknown workload type should error")
+	}
+	if _, err := Diagnose(FixedTime, ns[:3], ss[:3]); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := Diagnose(FixedTime, ns, ss[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Diagnose(FixedTime, []float64{1, 2, 2, 3}, ss); err == nil {
+		t.Error("non-ascending ns should error")
+	}
+	if _, err := Diagnose(FixedTime, ns, []float64{1, 2, -1, 4}); err == nil {
+		t.Error("nonpositive speedup should error")
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for _, f := range []Family{FamilyLinear, FamilySublinear, FamilyBounded, FamilyPeaked} {
+		if f.String() == "" || f.String()[0] == 'F' {
+			t.Errorf("family %d has no human name: %q", f, f.String())
+		}
+	}
+}

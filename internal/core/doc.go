@@ -1,0 +1,28 @@
+// Package core implements the IPSO scaling model — the primary
+// contribution of "IPSO: A Scaling Model for Data-Intensive Applications"
+// (Li, Duan, Nguyen, Che, Lei, Jiang; ICDCS 2019).
+//
+// IPSO generalizes the classic speedup laws along two axes:
+//
+//   - in-proportion scaling: the serial portion Ws(n) = Ws(1)·IN(n) of a
+//     data-intensive workload scales along with the parallelizable portion
+//     Wp(n) = Wp(1)·EX(n), with in-proportion ratio ε(n) = EX(n)/IN(n)
+//     (Eqs. 3-5);
+//   - scale-out-induced scaling: scaling out induces collective overhead
+//     Wo(n) = (Wp(n)/n)·q(n) with q(1) = 0 (Eq. 6).
+//
+// The package provides:
+//
+//   - Model: the deterministic speedup of Eq. (10) for arbitrary scaling
+//     factors, plus the statistic speedup of Eq. (8) given E[max{Tp,i(n)}];
+//   - the classic laws (Amdahl, Gustafson, Sun-Ni; Eqs. 12-13) and their
+//     derivation as IPSO special cases;
+//   - Asymptotic: the large-n form ε(n) ≈ α·n^δ, q(n) ≈ β·n^γ of
+//     Eqs. (14-17), with the complete solution-space classification of
+//     Figs. 2-3 (types It..IVt and Is..IVs) and closed-form bounds;
+//   - factor estimation from phase measurements and speedup prediction at
+//     large n from fits at small n (Section V "Scaling Prediction");
+//   - the six-step diagnostic procedure of Section V;
+//   - speedup-versus-cost provisioning helpers (the resource-provisioning
+//     application the paper motivates).
+package core

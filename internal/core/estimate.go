@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ipso/internal/stats"
+)
+
+// Measurements holds per-scale-out-degree workload measurements extracted
+// from execution traces, in the units of Section V: seconds of sequential
+// processing time on one processing unit.
+type Measurements struct {
+	N []float64 // scale-out degrees (ascending)
+	// Wp is the total parallelizable workload Wp(n) (sum of map-task
+	// times).
+	Wp []float64
+	// Ws is the serial workload Ws(n) (everything attributed to the
+	// merging phase: the paper attributes all non-map time to it).
+	Ws []float64
+	// Wo is the scale-out-induced workload Wo(n) (overheads present in
+	// the scale-out execution but absent from the sequential one). May be
+	// nil when negligible.
+	Wo []float64
+	// MaxTask is the measured E[max{Tp,i(n)}]. May be nil for purely
+	// deterministic analysis.
+	MaxTask []float64
+	// Wp1 and Ws1, when positive, override the n = 1 normalization
+	// baselines. They let factors be fitted over a window that excludes
+	// n = 1 (the paper fits TeraSort over 16 <= n <= 64 but still
+	// normalizes against the measured n = 1 run).
+	Wp1 float64
+	Ws1 float64
+	// SerialPrecision is the measurement precision of the serial phase:
+	// a serial baseline at or below it is treated as zero (η = 1, IN = 1).
+	// The paper's experiments measure with one-second precision, so its
+	// QMC case — with a sub-second merge — reads as having no serial
+	// portion at all.
+	SerialPrecision float64
+}
+
+// Validate checks shape consistency.
+func (m Measurements) Validate() error {
+	if len(m.N) == 0 {
+		return errors.New("core: no measurements")
+	}
+	if len(m.Wp) != len(m.N) || len(m.Ws) != len(m.N) {
+		return fmt.Errorf("core: Wp/Ws lengths (%d/%d) must match N (%d)", len(m.Wp), len(m.Ws), len(m.N))
+	}
+	if m.Wo != nil && len(m.Wo) != len(m.N) {
+		return fmt.Errorf("core: Wo length %d must match N (%d)", len(m.Wo), len(m.N))
+	}
+	if m.MaxTask != nil && len(m.MaxTask) != len(m.N) {
+		return fmt.Errorf("core: MaxTask length %d must match N (%d)", len(m.MaxTask), len(m.N))
+	}
+	for i := 1; i < len(m.N); i++ {
+		if m.N[i] <= m.N[i-1] {
+			return errors.New("core: N must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+// baseline returns the n = 1 reference value for a series: the measured
+// value at n = 1 if present, otherwise a linear extrapolation to n = 1
+// from the first two points.
+func baseline(ns, ys []float64) (float64, error) {
+	if ns[0] == 1 {
+		return ys[0], nil
+	}
+	if len(ns) < 2 {
+		return 0, errors.New("core: need n=1 or at least two points to extrapolate a baseline")
+	}
+	fit, err := stats.Linear(ns[:2], ys[:2])
+	if err != nil {
+		return 0, err
+	}
+	return fit.Eval(1), nil
+}
+
+// FactorSeries normalizes a workload series into a scaling-factor series:
+// f(n) = W(n)/W(1) (Eqs. 3-4). The n = 1 workload is measured or
+// extrapolated.
+func FactorSeries(ns, ws []float64) ([]float64, error) {
+	if len(ns) != len(ws) || len(ns) == 0 {
+		return nil, errors.New("core: factor series needs equal, nonempty inputs")
+	}
+	w1, err := baseline(ns, ws)
+	if err != nil {
+		return nil, err
+	}
+	if w1 <= 0 {
+		return nil, fmt.Errorf("core: nonpositive baseline workload %g", w1)
+	}
+	out := make([]float64, len(ws))
+	for i := range ws {
+		out[i] = ws[i] / w1
+	}
+	return out, nil
+}
+
+// Estimates are the fitted scaling factors and asymptotic parameters
+// produced by Estimate — the quantities Section V derives from
+// measurement before predicting speedups.
+type Estimates struct {
+	// Eta is η from the n = 1 phase breakdown.
+	Eta float64
+	// EXFit and INFit are linear fits of the external and internal
+	// factor series (the paper's Fig. 6 regressions).
+	EXFit stats.LinearFit
+	INFit stats.LinearFit
+	// INStep is a two-segment fit of IN(n), populated when a breakpoint
+	// fits markedly better (the TeraSort memory-overflow step, Fig. 5).
+	INStep *stats.PiecewiseLinear
+	// Epsilon is the power-law fit ε(n) ≈ α·n^δ.
+	Epsilon stats.PowerFit
+	// QFit is the power-law fit q(n) ≈ β·n^γ; zero when Wo is absent or
+	// negligible.
+	QFit stats.PowerFit
+	// HasOverhead reports whether a non-negligible q(n) was fitted.
+	HasOverhead bool
+}
+
+// Asymptotic packages the estimates as the (η, α, δ, β, γ) parameter set.
+func (e Estimates) Asymptotic() Asymptotic {
+	a := Asymptotic{Eta: e.Eta, Alpha: e.Epsilon.Coeff, Delta: e.Epsilon.Exponent}
+	if e.HasOverhead {
+		a.Beta = e.QFit.Coeff
+		a.Gamma = e.QFit.Exponent
+	}
+	return a
+}
+
+// stepImprovement is how much smaller (fraction) the two-segment SSE must
+// be before the step fit is reported.
+const stepImprovement = 0.5
+
+// Estimate fits the scaling factors from measurements, following the
+// Section V procedure: normalize Wp and Ws into EX(n) and IN(n), regress
+// them linearly (with a breakpoint search on IN for environment changes
+// such as memory overflow), fit ε(n) and q(n) as power laws, and compute
+// η from the n = 1 phase times.
+func Estimate(m Measurements) (Estimates, error) {
+	if err := m.Validate(); err != nil {
+		return Estimates{}, err
+	}
+	if len(m.N) < 2 {
+		return Estimates{}, errors.New("core: need at least two scale-out degrees to fit factors")
+	}
+
+	wp1 := m.Wp1
+	if wp1 <= 0 {
+		var err error
+		wp1, err = baseline(m.N, m.Wp)
+		if err != nil {
+			return Estimates{}, err
+		}
+	}
+	ws1 := m.Ws1
+	if ws1 <= 0 {
+		var err error
+		ws1, err = baseline(m.N, m.Ws)
+		if err != nil {
+			return Estimates{}, err
+		}
+	}
+	if ws1 < 0 {
+		return Estimates{}, fmt.Errorf("core: negative serial baseline %g", ws1)
+	}
+	if ws1 <= m.SerialPrecision {
+		ws1 = 0
+	}
+	eta, err := EtaFromPhases(wp1, ws1)
+	if err != nil {
+		return Estimates{}, err
+	}
+	if wp1 <= 0 {
+		return Estimates{}, fmt.Errorf("core: nonpositive parallel baseline %g", wp1)
+	}
+
+	ex := make([]float64, len(m.Wp))
+	for i := range m.Wp {
+		ex[i] = m.Wp[i] / wp1
+	}
+	exFit, err := stats.Linear(m.N, ex)
+	if err != nil {
+		return Estimates{}, fmt.Errorf("core: EX fit: %w", err)
+	}
+
+	est := Estimates{Eta: eta, EXFit: exFit}
+
+	// Serial portion: a workload with (near-)zero serial time has IN = 1.
+	in := make([]float64, len(m.N))
+	if ws1 == 0 {
+		for i := range in {
+			in[i] = 1
+		}
+	} else {
+		for i := range m.Ws {
+			in[i] = m.Ws[i] / ws1
+		}
+	}
+	inFit, err := stats.Linear(m.N, in)
+	if err != nil {
+		return Estimates{}, fmt.Errorf("core: IN fit: %w", err)
+	}
+	est.INFit = inFit
+
+	// Breakpoint search for step-wise internal scaling (Fig. 5). Report
+	// the two-segment fit only when it reduces a non-trivial residual
+	// decisively AND the segment slopes differ meaningfully — an exact
+	// single line must never be reported as a step.
+	if step, err := stats.FitPiecewiseLinear(m.N, in); err == nil {
+		sse1 := linearSSE(inFit, m.N, in)
+		sse2 := piecewiseSSE(step, m.N, in)
+		meanIN := stats.Mean(in)
+		slopeScale := math.Max(math.Abs(step.Left.Slope), math.Abs(step.Right.Slope))
+		slopesDiffer := slopeScale > 0 &&
+			math.Abs(step.Left.Slope-step.Right.Slope) > 0.15*slopeScale
+		if sse1 > 1e-9*meanIN*meanIN*float64(len(in)) && sse2 < stepImprovement*sse1 && slopesDiffer {
+			s := step
+			est.INStep = &s
+		}
+	}
+
+	// In-proportion ratio ε(n) = EX(n)/IN(n) ≈ α·n^δ.
+	eps := make([]float64, len(m.N))
+	for i := range eps {
+		if in[i] <= 0 {
+			return Estimates{}, fmt.Errorf("core: nonpositive IN(%g) = %g", m.N[i], in[i])
+		}
+		eps[i] = ex[i] / in[i]
+	}
+	epsFit, err := stats.PowerLaw(m.N, eps)
+	if err != nil {
+		return Estimates{}, fmt.Errorf("core: ε fit: %w", err)
+	}
+	est.Epsilon = epsFit
+
+	// Scale-out-induced factor q(n) = n·Wo(n)/Wp(n) (Eq. 6 rearranged).
+	// Wo is treated as negligible — the paper's finding for all four
+	// MapReduce cases — when the mean q across the grid stays below 5%.
+	if m.Wo != nil {
+		qs := make([]float64, 0, len(m.N))
+		ns := make([]float64, 0, len(m.N))
+		qSum := 0.0
+		for i := range m.N {
+			if m.Wp[i] <= 0 {
+				return Estimates{}, fmt.Errorf("core: nonpositive Wp(%g)", m.N[i])
+			}
+			q := m.N[i] * m.Wo[i] / m.Wp[i]
+			qSum += q
+			if q > 1e-9 {
+				ns = append(ns, m.N[i])
+				qs = append(qs, q)
+			}
+		}
+		if qSum/float64(len(m.N)) > 0.05 && len(qs) >= 2 {
+			qFit, err := stats.PowerLaw(ns, qs)
+			if err != nil {
+				return Estimates{}, fmt.Errorf("core: q fit: %w", err)
+			}
+			est.QFit = qFit
+			est.HasOverhead = true
+		}
+	}
+	return est, nil
+}
+
+func linearSSE(fit stats.LinearFit, xs, ys []float64) float64 {
+	sse := 0.0
+	for i := range xs {
+		r := ys[i] - fit.Eval(xs[i])
+		sse += r * r
+	}
+	return sse
+}
+
+func piecewiseSSE(fit stats.PiecewiseLinear, xs, ys []float64) float64 {
+	sse := 0.0
+	for i := range xs {
+		r := ys[i] - fit.Eval(xs[i])
+		sse += r * r
+	}
+	return sse
+}

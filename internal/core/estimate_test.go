@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// sortLikeMeasurements synthesizes phase measurements for a Sort-like
+// workload: Wp(n) = 18.8·n, Ws(n) = 12.85·(0.377n + 0.623), Wo ≈ 0.
+func sortLikeMeasurements(ns []float64) Measurements {
+	m := Measurements{N: ns}
+	for _, n := range ns {
+		m.Wp = append(m.Wp, 18.8*n)
+		m.Ws = append(m.Ws, 12.85*(0.377*n+0.623))
+		m.Wo = append(m.Wo, 1e-6)
+	}
+	return m
+}
+
+func TestMeasurementsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Measurements
+	}{
+		{name: "empty", m: Measurements{}},
+		{name: "length mismatch", m: Measurements{N: []float64{1, 2}, Wp: []float64{1}, Ws: []float64{1, 2}}},
+		{name: "wo mismatch", m: Measurements{N: []float64{1}, Wp: []float64{1}, Ws: []float64{1}, Wo: []float64{1, 2}}},
+		{name: "unsorted", m: Measurements{N: []float64{2, 1}, Wp: []float64{1, 2}, Ws: []float64{1, 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestFactorSeries(t *testing.T) {
+	// With an n=1 sample, normalization divides by it.
+	fs, err := FactorSeries([]float64{1, 2, 4}, []float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if !almostEqual(fs[i], want[i], 1e-12) {
+			t.Errorf("factor[%d] = %g, want %g", i, fs[i], want[i])
+		}
+	}
+	// Without n=1, the baseline is extrapolated (here exactly linear).
+	fs, err = FactorSeries([]float64{2, 4}, []float64{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fs[0], 2, 1e-12) {
+		t.Errorf("extrapolated factor = %g, want 2", fs[0])
+	}
+	if _, err := FactorSeries([]float64{2}, []float64{5}); err == nil {
+		t.Error("single non-unit sample should error (no baseline)")
+	}
+	if _, err := FactorSeries([]float64{1, 2}, []float64{0, 5}); err == nil {
+		t.Error("zero baseline should error")
+	}
+}
+
+func TestEstimateSortLike(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// η = 18.8 / (18.8 + 12.85).
+	wantEta := 18.8 / (18.8 + 12.85)
+	if !almostEqual(est.Eta, wantEta, 1e-9) {
+		t.Errorf("η = %g, want %g", est.Eta, wantEta)
+	}
+	if !almostEqual(est.EXFit.Slope, 1, 1e-9) || !almostEqual(est.EXFit.Intercept, 0, 1e-9) {
+		t.Errorf("EX fit %v, want n", est.EXFit)
+	}
+	if !almostEqual(est.INFit.Slope, 0.377, 1e-6) {
+		t.Errorf("IN slope = %g, want 0.377", est.INFit.Slope)
+	}
+	if est.HasOverhead {
+		t.Error("negligible Wo must not produce an overhead fit")
+	}
+	if est.INStep != nil {
+		t.Error("linear IN must not report a breakpoint")
+	}
+	// ε(n) fit should be sub-power of n with δ < 1 (ratio flattens).
+	if est.Epsilon.Exponent >= 1 {
+		t.Errorf("ε exponent = %g, want < 1", est.Epsilon.Exponent)
+	}
+}
+
+func TestEstimateDetectsINStep(t *testing.T) {
+	// TeraSort-like: IN slope 0.17 before n=15, 0.25 after (Fig. 5).
+	var m Measurements
+	for n := 1.0; n <= 40; n += 1 {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 10.7*n)
+		in := 0.17*n + 0.83
+		if n > 15 {
+			in = 0.25*n - 0.37
+		}
+		m.Ws = append(m.Ws, 24.4*in)
+	}
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.INStep == nil {
+		t.Fatal("step-wise IN not detected")
+	}
+	if est.INStep.Break < 12 || est.INStep.Break > 18 {
+		t.Errorf("breakpoint %g, want near 15", est.INStep.Break)
+	}
+	if !almostEqual(est.INStep.Left.Slope, 0.17, 1e-6) || !almostEqual(est.INStep.Right.Slope, 0.25, 1e-6) {
+		t.Errorf("segment slopes (%g, %g), want (0.17, 0.25)", est.INStep.Left.Slope, est.INStep.Right.Slope)
+	}
+}
+
+func TestEstimateQuadraticOverhead(t *testing.T) {
+	// CF-like: fixed-size Wp, Wo = 0.6n ⇒ q(n) = n·Wo/Wp ∝ n² (γ = 2).
+	var m Measurements
+	for _, n := range []float64{10, 30, 60, 90} {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 1602.5)
+		m.Ws = append(m.Ws, 1e-9) // no serial portion
+		m.Wo = append(m.Wo, 0.6*n)
+	}
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.HasOverhead {
+		t.Fatal("overhead not detected")
+	}
+	if !almostEqual(est.QFit.Exponent, 2, 1e-6) {
+		t.Errorf("γ = %g, want 2", est.QFit.Exponent)
+	}
+	wantBeta := 0.6 / 1602.5
+	if !almostEqual(est.QFit.Coeff, wantBeta, 1e-6) {
+		t.Errorf("β = %g, want %g", est.QFit.Coeff, wantBeta)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(Measurements{}); err == nil {
+		t.Error("empty measurements should error")
+	}
+	one := Measurements{N: []float64{1}, Wp: []float64{1}, Ws: []float64{1}}
+	if _, err := Estimate(one); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestEstimatesAsymptotic(t *testing.T) {
+	est := Estimates{Eta: 0.6}
+	est.Epsilon.Coeff = 2.6
+	est.Epsilon.Exponent = 0.1
+	a := est.Asymptotic()
+	if a.Eta != 0.6 || a.Alpha != 2.6 || a.Delta != 0.1 || a.Beta != 0 || a.Gamma != 0 {
+		t.Errorf("asymptotic %+v", a)
+	}
+	est.HasOverhead = true
+	est.QFit.Coeff = 0.01
+	est.QFit.Exponent = 1.5
+	a = est.Asymptotic()
+	if a.Beta != 0.01 || a.Gamma != 1.5 {
+		t.Errorf("asymptotic with overhead %+v", a)
+	}
+}
+
+func TestWordCountLikeHasINOne(t *testing.T) {
+	// Constant serial portion ⇒ IN(n) ≈ 1, slope ≈ 0 (paper Fig. 6).
+	var m Measurements
+	for _, n := range []float64{1, 2, 4, 8, 16} {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 13.4*n)
+		m.Ws = append(m.Ws, 1.0)
+	}
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.INFit.Slope) > 1e-9 {
+		t.Errorf("IN slope = %g, want 0", est.INFit.Slope)
+	}
+	if !almostEqual(est.INFit.Intercept, 1, 1e-9) {
+		t.Errorf("IN intercept = %g, want 1", est.INFit.Intercept)
+	}
+}

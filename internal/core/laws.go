@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The classic speedup laws of Eq. (12), written with the paper's η
+// notation, plus their derivation as IPSO special cases (Eq. 13): set
+// IN(n) = 1 and q(n) = 0, and choose EX(n) = 1 (fixed-size, Amdahl),
+// EX(n) = n (fixed-time, Gustafson), or EX(n) = g(n) (memory-bounded,
+// Sun-Ni).
+
+// Amdahl evaluates Amdahl's law S(n) = 1 / (η/n + (1−η)).
+func Amdahl(eta, n float64) (float64, error) {
+	if err := checkLawArgs(eta, n); err != nil {
+		return 0, err
+	}
+	return 1 / (eta/n + (1 - eta)), nil
+}
+
+// AmdahlBound returns the well-known asymptote 1/(1−η), or +Inf for η = 1.
+func AmdahlBound(eta float64) (float64, error) {
+	if eta < 0 || eta > 1 {
+		return 0, fmt.Errorf("core: η = %g outside [0, 1]", eta)
+	}
+	if eta == 1 {
+		return math.Inf(1), nil
+	}
+	return 1 / (1 - eta), nil
+}
+
+// Gustafson evaluates Gustafson's law S(n) = η·n + (1−η).
+func Gustafson(eta, n float64) (float64, error) {
+	if err := checkLawArgs(eta, n); err != nil {
+		return 0, err
+	}
+	return eta*n + (1 - eta), nil
+}
+
+// SunNi evaluates Sun-Ni's memory-bounded law
+// S(n) = (η·g(n) + (1−η)) / (η·g(n)/n + (1−η)) for a memory-bound
+// external factor g. For the data-intensive workloads of the paper
+// g(n) ≈ n with high precision (Fig. 6), making Sun-Ni coincide with
+// Gustafson.
+func SunNi(eta, n float64, g ScalingFactor) (float64, error) {
+	if err := checkLawArgs(eta, n); err != nil {
+		return 0, err
+	}
+	if g == nil {
+		return 0, fmt.Errorf("core: Sun-Ni needs a memory-bound factor g")
+	}
+	gn := g(n)
+	den := eta*gn/n + (1 - eta)
+	if den <= 0 {
+		return 0, fmt.Errorf("core: nonpositive denominator at n=%g", n)
+	}
+	return (eta*gn + (1 - eta)) / den, nil
+}
+
+// AmdahlModel returns Amdahl's law as an IPSO special case:
+// EX(n) = 1, IN(n) = 1, q(n) = 0 (Eq. 13, fixed-size).
+func AmdahlModel(eta float64) Model {
+	return Model{Eta: eta, EX: Constant(1), IN: Constant(1), Q: ZeroOverhead()}
+}
+
+// GustafsonModel returns Gustafson's law as an IPSO special case:
+// EX(n) = n, IN(n) = 1, q(n) = 0 (Eq. 13, fixed-time).
+func GustafsonModel(eta float64) Model {
+	return Model{Eta: eta, EX: LinearFactor(1, 0), IN: Constant(1), Q: ZeroOverhead()}
+}
+
+// SunNiModel returns Sun-Ni's law as an IPSO special case:
+// EX(n) = g(n), IN(n) = 1, q(n) = 0 (Eq. 13, memory-bounded).
+func SunNiModel(eta float64, g ScalingFactor) Model {
+	return Model{Eta: eta, EX: g, IN: Constant(1), Q: ZeroOverhead()}
+}
+
+func checkLawArgs(eta, n float64) error {
+	if eta < 0 || eta > 1 || math.IsNaN(eta) {
+		return fmt.Errorf("core: η = %g outside [0, 1]", eta)
+	}
+	if n < 1 {
+		return fmt.Errorf("core: n = %g must be >= 1", n)
+	}
+	return nil
+}

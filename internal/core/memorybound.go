@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MemoryBoundedFactor returns Sun-Ni's external scaling factor g(n) for a
+// data-intensive workload whose working set is constrained by per-node
+// memory: each of the n processing units can host at most blockBytes of
+// the working data set (e.g. a 128 MB block), and the problem is scaled
+// to fill the available memory, up to a total working set of
+// maxDatasetBytes (0 or +Inf for no cap).
+//
+// g(n) is normalized so g(1) = 1. While the data set fits in the
+// aggregate memory budget g(n) = n exactly — the Section IV observation
+// that "for all the cases studied where the working data sets are memory
+// bounded, g(n) ≈ n with high precision", which is why the paper treats
+// Sun-Ni's model as coinciding with Gustafson's for data-intensive
+// applications. Past the cap, g(n) flattens at maxDatasetBytes/blockBytes.
+func MemoryBoundedFactor(blockBytes, maxDatasetBytes float64) (ScalingFactor, error) {
+	if blockBytes <= 0 {
+		return nil, fmt.Errorf("core: block size %g must be positive", blockBytes)
+	}
+	if maxDatasetBytes < 0 {
+		return nil, fmt.Errorf("core: negative data set cap %g", maxDatasetBytes)
+	}
+	capBlocks := math.Inf(1)
+	if maxDatasetBytes > 0 {
+		capBlocks = maxDatasetBytes / blockBytes
+		if capBlocks < 1 {
+			return nil, fmt.Errorf("core: data set (%g bytes) smaller than one block (%g)", maxDatasetBytes, blockBytes)
+		}
+	}
+	return func(n float64) float64 {
+		if n < 1 {
+			n = 1
+		}
+		return math.Min(n, capBlocks)
+	}, nil
+}

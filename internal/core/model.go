@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ScalingFactor is a scaling function of the scale-out degree n ≥ 1.
+// External and internal factors are normalized so f(1) = 1; the
+// scale-out-induced factor satisfies q(1) = 0.
+type ScalingFactor func(n float64) float64
+
+// Constant returns the factor f(n) = c. Constant(1) is the classic
+// "serial portion does not scale" assumption (IN of Amdahl/Gustafson) and
+// the fixed-size external factor of Amdahl's law.
+func Constant(c float64) ScalingFactor {
+	return func(float64) float64 { return c }
+}
+
+// LinearFactor returns f(n) = slope·n + intercept — the fixed-time
+// external factor EX(n) = n is LinearFactor(1, 0), and the measured
+// internal factors of Sort and TeraSort are of this form (Fig. 6).
+func LinearFactor(slope, intercept float64) ScalingFactor {
+	return func(n float64) float64 { return slope*n + intercept }
+}
+
+// PowerFactor returns f(n) = c·n^p, the asymptotic form of Eqs. (14-15).
+func PowerFactor(c, p float64) ScalingFactor {
+	return func(n float64) float64 { return c * math.Pow(n, p) }
+}
+
+// ZeroOverhead is the q(n) = 0 factor of the classic laws.
+func ZeroOverhead() ScalingFactor { return Constant(0) }
+
+// Interpolated builds a factor from measured samples by piecewise-linear
+// interpolation (constant extrapolation beyond the sampled range). The
+// inputs must be positive ns; they are sorted internally.
+func Interpolated(ns, values []float64) (ScalingFactor, error) {
+	if len(ns) != len(values) || len(ns) == 0 {
+		return nil, errors.New("core: interpolation needs equal, nonempty samples")
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(ns))
+	for i := range ns {
+		if ns[i] <= 0 {
+			return nil, fmt.Errorf("core: nonpositive sample n=%g", ns[i])
+		}
+		pts[i] = pt{x: ns[i], y: values[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	for i := 1; i < len(pts); i++ {
+		if pts[i].x == pts[i-1].x {
+			return nil, fmt.Errorf("core: duplicate sample n=%g", pts[i].x)
+		}
+	}
+	return func(n float64) float64 {
+		if n <= pts[0].x {
+			return pts[0].y
+		}
+		if n >= pts[len(pts)-1].x {
+			return pts[len(pts)-1].y
+		}
+		idx := sort.Search(len(pts), func(i int) bool { return pts[i].x >= n })
+		a, b := pts[idx-1], pts[idx]
+		frac := (n - a.x) / (b.x - a.x)
+		return a.y + frac*(b.y-a.y)
+	}, nil
+}
+
+// Model is the deterministic IPSO model (Section IV): the special case of
+// the statistic model with Tp,i(n) = tp(n) for all i and Ts(n) = ts(n).
+type Model struct {
+	// Eta is η, the parallelizable fraction of the workload at n = 1
+	// (Eq. 9/11): η = tp(1) / (tp(1) + ts(1)).
+	Eta float64
+	// EX is the external scaling factor (parallelizable portion), EX(1)=1.
+	EX ScalingFactor
+	// IN is the internal scaling factor (serial portion), IN(1)=1.
+	IN ScalingFactor
+	// Q is the scale-out-induced scaling factor, Q(1)=0, non-decreasing.
+	Q ScalingFactor
+}
+
+// Validate checks the model's structural constraints.
+func (m Model) Validate() error {
+	if m.Eta < 0 || m.Eta > 1 || math.IsNaN(m.Eta) {
+		return fmt.Errorf("core: η = %g outside [0, 1]", m.Eta)
+	}
+	if m.EX == nil || m.IN == nil || m.Q == nil {
+		return errors.New("core: model requires EX, IN and Q factors (use Constant/ZeroOverhead)")
+	}
+	return nil
+}
+
+// Speedup evaluates Eq. (10):
+//
+//	S(n) = (η·EX(n) + (1−η)·IN(n)) /
+//	       (η·EX(n)/n·(1+q(n)) + (1−η)·IN(n))
+func (m Model) Speedup(n float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("core: scale-out degree n = %g must be >= 1", n)
+	}
+	ex, in, q := m.EX(n), m.IN(n), m.Q(n)
+	num := m.Eta*ex + (1-m.Eta)*in
+	den := m.Eta*ex/n*(1+q) + (1-m.Eta)*in
+	if den <= 0 {
+		return 0, fmt.Errorf("core: nonpositive denominator at n=%g (ex=%g in=%g q=%g)", n, ex, in, q)
+	}
+	return num / den, nil
+}
+
+// SpeedupStatistic evaluates the statistic model of Eq. (8), with the
+// measured (or analytically derived) normalized split-phase response time
+// maxOverT1 = E[max{Tp,i(n)}] / (E[Tp,1(1)] + E[Ts(1)]):
+//
+//	S(n) = (η·EX(n) + (1−η)·IN(n)) /
+//	       (maxOverT1 + (1−η)·IN(n) + η·EX(n)·q(n)/n)
+//
+// With deterministic task times maxOverT1 = η·EX(n)/n and Eq. (8) reduces
+// to Eq. (10).
+func (m Model) SpeedupStatistic(n, maxOverT1 float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("core: scale-out degree n = %g must be >= 1", n)
+	}
+	if maxOverT1 < 0 {
+		return 0, fmt.Errorf("core: negative normalized split time %g", maxOverT1)
+	}
+	ex, in, q := m.EX(n), m.IN(n), m.Q(n)
+	num := m.Eta*ex + (1-m.Eta)*in
+	den := maxOverT1 + (1-m.Eta)*in + m.Eta*ex*q/n
+	if den <= 0 {
+		return 0, fmt.Errorf("core: nonpositive denominator at n=%g", n)
+	}
+	return num / den, nil
+}
+
+// Epsilon evaluates the in-proportion scaling ratio ε(n) = EX(n)/IN(n)
+// (Eq. 5).
+func (m Model) Epsilon(n float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	in := m.IN(n)
+	if in == 0 {
+		return 0, fmt.Errorf("core: IN(%g) = 0, ε undefined", n)
+	}
+	return m.EX(n) / in, nil
+}
+
+// Curve evaluates the speedup at each n in ns.
+func (m Model) Curve(ns []float64) ([]float64, error) {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		s, err := m.Speedup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EtaFromPhases computes η from the n = 1 phase times (Eq. 11):
+// η = tp1 / (tp1 + ts1).
+func EtaFromPhases(tp1, ts1 float64) (float64, error) {
+	if tp1 < 0 || ts1 < 0 || tp1+ts1 == 0 {
+		return 0, fmt.Errorf("core: invalid phase times tp1=%g ts1=%g", tp1, ts1)
+	}
+	return tp1 / (tp1 + ts1), nil
+}
+
+// CFSpeedup evaluates Eq. (18), the fixed-size, η = 1 statistic speedup
+// used for the Collaborative Filtering case study:
+//
+//	S(n) = E[Tp,1(1)] / (E[max{Tp,i(n)}] + Wo(n))
+func CFSpeedup(tp1, maxTask, wo float64) (float64, error) {
+	if tp1 <= 0 {
+		return 0, fmt.Errorf("core: E[Tp,1(1)] = %g must be positive", tp1)
+	}
+	den := maxTask + wo
+	if den <= 0 {
+		return 0, fmt.Errorf("core: nonpositive denominator %g", den)
+	}
+	return tp1 / den, nil
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestConstantAndLinearFactors(t *testing.T) {
+	if got := Constant(3)(99); got != 3 {
+		t.Errorf("Constant(3)(99) = %g", got)
+	}
+	if got := LinearFactor(2, 1)(4); got != 9 {
+		t.Errorf("LinearFactor(2,1)(4) = %g, want 9", got)
+	}
+	if got := PowerFactor(2, 0.5)(16); got != 8 {
+		t.Errorf("PowerFactor(2,0.5)(16) = %g, want 8", got)
+	}
+	if got := ZeroOverhead()(100); got != 0 {
+		t.Errorf("ZeroOverhead()(100) = %g, want 0", got)
+	}
+}
+
+func TestInterpolated(t *testing.T) {
+	f, err := Interpolated([]float64{1, 4, 2}, []float64{10, 40, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ n, want float64 }{
+		{n: 1, want: 10},
+		{n: 2, want: 20},
+		{n: 3, want: 30},   // interpolated
+		{n: 0.5, want: 10}, // clamp left
+		{n: 9, want: 40},   // clamp right
+	}
+	for _, tt := range tests {
+		if got := f(tt.n); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("f(%g) = %g, want %g", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestInterpolatedErrors(t *testing.T) {
+	if _, err := Interpolated(nil, nil); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, err := Interpolated([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Interpolated([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("nonpositive n should error")
+	}
+	if _, err := Interpolated([]float64{2, 2}, []float64{1, 2}); err == nil {
+		t.Error("duplicate n should error")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	good := GustafsonModel(0.5)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Model{
+		{Eta: -0.1, EX: Constant(1), IN: Constant(1), Q: ZeroOverhead()},
+		{Eta: 1.1, EX: Constant(1), IN: Constant(1), Q: ZeroOverhead()},
+		{Eta: 0.5, IN: Constant(1), Q: ZeroOverhead()},
+		{Eta: 0.5, EX: Constant(1), Q: ZeroOverhead()},
+		{Eta: 0.5, EX: Constant(1), IN: Constant(1)},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should be invalid", i)
+		}
+	}
+}
+
+func TestSpeedupRejectsBadN(t *testing.T) {
+	m := GustafsonModel(0.5)
+	if _, err := m.Speedup(0.5); err == nil {
+		t.Error("n < 1 should error")
+	}
+	if _, err := m.SpeedupStatistic(0.5, 1); err == nil {
+		t.Error("n < 1 should error (statistic)")
+	}
+	if _, err := m.SpeedupStatistic(2, -1); err == nil {
+		t.Error("negative normalized time should error")
+	}
+}
+
+// Eq. (10) must reduce to the classic laws under Eq. (13)'s settings.
+func TestModelReducesToClassicLaws(t *testing.T) {
+	etas := []float64{0.1, 0.5, 0.9, 0.99}
+	ns := []float64{1, 2, 8, 64, 500}
+	for _, eta := range etas {
+		for _, n := range ns {
+			amdahlWant, _ := Amdahl(eta, n)
+			amdahlGot, err := AmdahlModel(eta).Speedup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(amdahlGot, amdahlWant, 1e-12) {
+				t.Errorf("Amdahl η=%g n=%g: IPSO %g vs law %g", eta, n, amdahlGot, amdahlWant)
+			}
+			gustWant, _ := Gustafson(eta, n)
+			gustGot, err := GustafsonModel(eta).Speedup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(gustGot, gustWant, 1e-12) {
+				t.Errorf("Gustafson η=%g n=%g: IPSO %g vs law %g", eta, n, gustGot, gustWant)
+			}
+			sunWant, _ := SunNi(eta, n, PowerFactor(1, 0.8))
+			sunGot, err := SunNiModel(eta, PowerFactor(1, 0.8)).Speedup(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(sunGot, sunWant, 1e-12) {
+				t.Errorf("Sun-Ni η=%g n=%g: IPSO %g vs law %g", eta, n, sunGot, sunWant)
+			}
+		}
+	}
+}
+
+func TestSunNiCoincidesWithGustafsonWhenGIsLinear(t *testing.T) {
+	// Section IV: for memory-bounded data-intensive workloads g(n) ≈ n, so
+	// Sun-Ni's law coincides with Gustafson's.
+	for _, n := range []float64{1, 4, 32, 160} {
+		sn, err := SunNi(0.7, n, LinearFactor(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gu, _ := Gustafson(0.7, n)
+		if !almostEqual(sn, gu, 1e-12) {
+			t.Errorf("n=%g: Sun-Ni %g vs Gustafson %g", n, sn, gu)
+		}
+	}
+}
+
+func TestAmdahlBound(t *testing.T) {
+	b, err := AmdahlBound(0.75)
+	if err != nil || b != 4 {
+		t.Errorf("AmdahlBound(0.75) = %g, %v; want 4", b, err)
+	}
+	if b, _ := AmdahlBound(1); !math.IsInf(b, 1) {
+		t.Errorf("AmdahlBound(1) = %g, want +Inf", b)
+	}
+	if _, err := AmdahlBound(2); err == nil {
+		t.Error("η > 1 should error")
+	}
+}
+
+func TestLawArgErrors(t *testing.T) {
+	if _, err := Amdahl(-0.1, 2); err == nil {
+		t.Error("bad η should error")
+	}
+	if _, err := Gustafson(0.5, 0); err == nil {
+		t.Error("bad n should error")
+	}
+	if _, err := SunNi(0.5, 2, nil); err == nil {
+		t.Error("nil g should error")
+	}
+}
+
+func TestSpeedupStatisticReducesToDeterministic(t *testing.T) {
+	// With deterministic tasks, E[max]/T1 = η·EX(n)/n and Eq. (8) equals
+	// Eq. (10).
+	m := Model{Eta: 0.6, EX: LinearFactor(1, 0), IN: LinearFactor(0.36, 0.64), Q: ZeroOverhead()}
+	for _, n := range []float64{1, 3, 10, 80} {
+		det, err := m.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		statNorm := m.Eta * m.EX(n) / n
+		stat, err := m.SpeedupStatistic(n, statNorm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(det, stat, 1e-12) {
+			t.Errorf("n=%g: deterministic %g vs statistic %g", n, det, stat)
+		}
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	m := Model{Eta: 0.5, EX: LinearFactor(1, 0), IN: LinearFactor(0.25, 0.75), Q: ZeroOverhead()}
+	eps, err := m.Epsilon(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eps, 4/(0.25*4+0.75), 1e-12) {
+		t.Errorf("ε(4) = %g", eps)
+	}
+	m.IN = Constant(0)
+	if _, err := m.Epsilon(4); err == nil {
+		t.Error("IN = 0 should make ε undefined")
+	}
+}
+
+func TestEtaFromPhases(t *testing.T) {
+	eta, err := EtaFromPhases(3, 1)
+	if err != nil || eta != 0.75 {
+		t.Errorf("EtaFromPhases(3,1) = %g, %v; want 0.75", eta, err)
+	}
+	if _, err := EtaFromPhases(0, 0); err == nil {
+		t.Error("zero phase times should error")
+	}
+	if _, err := EtaFromPhases(-1, 1); err == nil {
+		t.Error("negative phase times should error")
+	}
+}
+
+func TestCFSpeedup(t *testing.T) {
+	// Paper values: E[Tp,1(1)] = 1602.5, n=60 row of Table I.
+	s, err := CFSpeedup(1602.5, 43.7, 36.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 19 || s > 22 {
+		t.Errorf("CF speedup at n=60 = %g, want ≈20 (paper's peak ≈21)", s)
+	}
+	if _, err := CFSpeedup(0, 1, 1); err == nil {
+		t.Error("nonpositive Tp1 should error")
+	}
+	if _, err := CFSpeedup(1, 0, 0); err == nil {
+		t.Error("zero denominator should error")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := GustafsonModel(1)
+	c, err := m.Curve([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEqual(c[i], want, 1e-12) {
+			t.Errorf("curve[%d] = %g, want %g", i, c[i], want)
+		}
+	}
+	if _, err := m.Curve([]float64{0}); err == nil {
+		t.Error("invalid n in curve should error")
+	}
+}
+
+// Property: Amdahl's speedup is monotone in n and within [1, 1/(1−η)].
+func TestAmdahlBoundsProperty(t *testing.T) {
+	f := func(etaRaw, nRaw uint8) bool {
+		eta := float64(etaRaw%100) / 100
+		n := float64(nRaw%200) + 1
+		s, err := Amdahl(eta, n)
+		if err != nil {
+			return false
+		}
+		bound, _ := AmdahlBound(eta)
+		return s >= 1-1e-12 && s <= bound+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with IN ≥ 1 and q ≥ 0, the IPSO speedup never exceeds n — the
+// generalization cannot beat perfect linear scaling.
+func TestIPSOSpeedupAtMostNProperty(t *testing.T) {
+	f := func(etaRaw, slopeRaw, qRaw, nRaw uint8) bool {
+		m := Model{
+			Eta: float64(etaRaw%101) / 100,
+			EX:  LinearFactor(1, 0),
+			IN:  LinearFactor(float64(slopeRaw%50)/50, 1),
+			Q:   PowerFactor(float64(qRaw%20)/100, 1.2),
+		}
+		n := float64(nRaw%150) + 1
+		s, err := m.Speedup(n)
+		if err != nil {
+			return false
+		}
+		return s <= n+1e-9 && s > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the IPSO speedup with in-proportion scaling (IN growing) is
+// never above Gustafson's prediction for the same η — the paper's central
+// claim that the classic laws are overly optimistic.
+func TestIPSOBelowGustafsonProperty(t *testing.T) {
+	f := func(etaRaw, slopeRaw, nRaw uint8) bool {
+		eta := float64(etaRaw%100) / 100
+		m := Model{
+			Eta: eta,
+			EX:  LinearFactor(1, 0),
+			IN:  LinearFactor(float64(slopeRaw%50)/50+0.01, 1), // IN(n) ≥ 1, growing
+			Q:   ZeroOverhead(),
+		}
+		n := float64(nRaw%150) + 1
+		s, err := m.Speedup(n)
+		if err != nil {
+			return false
+		}
+		g, err := Gustafson(eta, n)
+		if err != nil {
+			return false
+		}
+		return s <= g+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Round is one split-merge round of a multi-round job. Section III notes
+// that "by viewing Wp(n), Ws(n) and Wo(n) as the sum of the corresponding
+// workloads in all rounds, the IPSO model can be applied to the case
+// involving multiple rounds of the same scale-out degree n" — Multi
+// implements that composition.
+type Round struct {
+	// Name identifies the round (e.g. a Spark stage or MR iteration).
+	Name string
+	// Wp1, Ws1 are the round's parallelizable and serial workloads at
+	// n = 1, in seconds.
+	Wp1 float64
+	Ws1 float64
+	// EX, IN, Q are the round's scaling factors (EX/IN normalized to 1
+	// at n = 1, Q(1) = 0). Nil factors default to Constant(1) for EX/IN
+	// and ZeroOverhead for Q.
+	EX ScalingFactor
+	IN ScalingFactor
+	Q  ScalingFactor
+}
+
+func (r Round) withDefaults() Round {
+	if r.EX == nil {
+		r.EX = Constant(1)
+	}
+	if r.IN == nil {
+		r.IN = Constant(1)
+	}
+	if r.Q == nil {
+		r.Q = ZeroOverhead()
+	}
+	return r
+}
+
+func (r Round) validate() error {
+	if r.Wp1 < 0 || r.Ws1 < 0 {
+		return fmt.Errorf("core: round %q has negative workloads (Wp1=%g Ws1=%g)", r.Name, r.Wp1, r.Ws1)
+	}
+	if r.Wp1+r.Ws1 == 0 {
+		return fmt.Errorf("core: round %q has no workload", r.Name)
+	}
+	return nil
+}
+
+// Multi is a multi-round job at a common scale-out degree.
+type Multi struct {
+	Rounds []Round
+}
+
+// NewMulti validates and builds a multi-round model.
+func NewMulti(rounds ...Round) (Multi, error) {
+	if len(rounds) == 0 {
+		return Multi{}, errors.New("core: need at least one round")
+	}
+	out := make([]Round, len(rounds))
+	for i, r := range rounds {
+		if err := r.validate(); err != nil {
+			return Multi{}, err
+		}
+		out[i] = r.withDefaults()
+	}
+	return Multi{Rounds: out}, nil
+}
+
+// Workloads returns the summed Wp(n), Ws(n), Wo(n) across rounds, in
+// seconds.
+func (m Multi) Workloads(n float64) (wp, ws, wo float64, err error) {
+	if len(m.Rounds) == 0 {
+		return 0, 0, 0, errors.New("core: empty multi-round model")
+	}
+	if n < 1 {
+		return 0, 0, 0, fmt.Errorf("core: n = %g must be >= 1", n)
+	}
+	for _, r := range m.Rounds {
+		rwp := r.Wp1 * r.EX(n)
+		wp += rwp
+		ws += r.Ws1 * r.IN(n)
+		wo += rwp / n * r.Q(n)
+	}
+	return wp, ws, wo, nil
+}
+
+// Model flattens the rounds into a single IPSO model: the effective η is
+// the workload-weighted parallel fraction at n = 1, and the effective
+// factors are the workload-weighted mixtures of the per-round factors —
+// exactly the paper's "sum of the corresponding workloads in all rounds".
+func (m Multi) Model() (Model, error) {
+	if len(m.Rounds) == 0 {
+		return Model{}, errors.New("core: empty multi-round model")
+	}
+	var wp1, ws1 float64
+	for _, r := range m.Rounds {
+		if err := r.validate(); err != nil {
+			return Model{}, err
+		}
+		wp1 += r.Wp1
+		ws1 += r.Ws1
+	}
+	eta, err := EtaFromPhases(wp1, ws1)
+	if err != nil {
+		return Model{}, err
+	}
+	rounds := make([]Round, len(m.Rounds))
+	for i, r := range m.Rounds {
+		rounds[i] = r.withDefaults()
+	}
+	ex := func(n float64) float64 {
+		if wp1 == 0 {
+			return 1
+		}
+		total := 0.0
+		for _, r := range rounds {
+			total += r.Wp1 * r.EX(n)
+		}
+		return total / wp1
+	}
+	in := func(n float64) float64 {
+		if ws1 == 0 {
+			return 1
+		}
+		total := 0.0
+		for _, r := range rounds {
+			total += r.Ws1 * r.IN(n)
+		}
+		return total / ws1
+	}
+	q := func(n float64) float64 {
+		// Wo(n) = Σ (Wp_r(n)/n)·q_r(n) ≡ (Wp(n)/n)·q_eff(n).
+		var wpn, wo float64
+		for _, r := range rounds {
+			rwp := r.Wp1 * r.EX(n)
+			wpn += rwp
+			wo += rwp / n * r.Q(n)
+		}
+		if wpn == 0 {
+			return 0
+		}
+		return wo * n / wpn
+	}
+	return Model{Eta: eta, EX: ex, IN: in, Q: q}, nil
+}
+
+// Speedup evaluates the multi-round speedup directly from the summed
+// workloads (equivalent to Model().Speedup, kept as the primary,
+// assumption-free path):
+//
+//	S(n) = (Wp(n) + Ws(n)) / (Wp(n)/n + Ws(n) + Wo(n))
+func (m Multi) Speedup(n float64) (float64, error) {
+	wp, ws, wo, err := m.Workloads(n)
+	if err != nil {
+		return 0, err
+	}
+	den := wp/n + ws + wo
+	if den <= 0 {
+		return 0, fmt.Errorf("core: nonpositive denominator at n=%g", n)
+	}
+	return (wp + ws) / den, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(); err == nil {
+		t.Error("no rounds should error")
+	}
+	if _, err := NewMulti(Round{Name: "bad", Wp1: -1}); err == nil {
+		t.Error("negative workload should error")
+	}
+	if _, err := NewMulti(Round{Name: "empty"}); err == nil {
+		t.Error("zero-workload round should error")
+	}
+	m, err := NewMulti(Round{Name: "ok", Wp1: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds[0].EX == nil || m.Rounds[0].IN == nil || m.Rounds[0].Q == nil {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestMultiSingleRoundMatchesModel(t *testing.T) {
+	// One round ≡ the plain model with the same η and factors.
+	r := Round{Name: "r", Wp1: 18.8, Ws1: 12.85, EX: LinearFactor(1, 0), IN: LinearFactor(0.377, 0.623)}
+	multi, err := NewMulti(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Model{Eta: 18.8 / (18.8 + 12.85), EX: r.EX, IN: r.IN, Q: ZeroOverhead()}
+	for _, n := range []float64{1, 4, 32, 128} {
+		got, err := multi.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := want.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, ref, 1e-9) {
+			t.Errorf("n=%g: multi %g vs model %g", n, got, ref)
+		}
+	}
+}
+
+func TestMultiModelFlattening(t *testing.T) {
+	// Two CF-like rounds: fixed-size parallel work with quadratic
+	// overhead from broadcast (γ = 2 each) and no serial portion.
+	cfRound := Round{Name: "update", Wp1: 950, EX: Constant(1), Q: PowerFactor(3.7e-4, 2)}
+	multi, err := NewMulti(cfRound, cfRound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := multi.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Eta != 1 {
+		t.Errorf("η = %g, want 1 (no serial rounds)", m.Eta)
+	}
+	for _, n := range []float64{1, 10, 60, 90} {
+		direct, err := multi.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := m.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(direct, flat, 1e-9) {
+			t.Errorf("n=%g: direct %g vs flattened %g", n, direct, flat)
+		}
+	}
+	// The composed job keeps the IVs peak near 1/√β.
+	s30, _ := multi.Speedup(30)
+	s52, _ := multi.Speedup(52)
+	s90, _ := multi.Speedup(90)
+	if !(s52 > s30 && s52 > s90) {
+		t.Errorf("composed CF job should peak near n≈52: S(30)=%g S(52)=%g S(90)=%g", s30, s52, s90)
+	}
+}
+
+func TestMultiHeterogeneousRounds(t *testing.T) {
+	// A map-heavy linear round plus a merge-heavy in-proportion round:
+	// the composite must be bounded (the IIIt,1 round dominates at large
+	// n) but faster than the slow round alone.
+	fast := Round{Name: "fast", Wp1: 100, Ws1: 0.0001, EX: LinearFactor(1, 0)}
+	slow := Round{Name: "slow", Wp1: 20, Ws1: 15, EX: LinearFactor(1, 0), IN: LinearFactor(0.4, 0.6)}
+	multi, err := NewMulti(fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowOnly, err := NewMulti(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBoth, err := multi.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSlow, err := slowOnly.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBoth <= sSlow {
+		t.Errorf("adding a parallel-friendly round should raise the composite speedup: %g vs %g", sBoth, sSlow)
+	}
+	if sBoth > 50 {
+		t.Errorf("composite %g should still be bounded well below n=200", sBoth)
+	}
+}
+
+func TestMultiWorkloadErrors(t *testing.T) {
+	var empty Multi
+	if _, _, _, err := empty.Workloads(4); err == nil {
+		t.Error("empty model should error")
+	}
+	if _, err := empty.Model(); err == nil {
+		t.Error("empty model should error")
+	}
+	m, _ := NewMulti(Round{Name: "r", Wp1: 1})
+	if _, _, _, err := m.Workloads(0.5); err == nil {
+		t.Error("n < 1 should error")
+	}
+}
+
+// Property: the flattened Model agrees with the direct workload-sum
+// speedup for arbitrary two-round compositions.
+func TestMultiFlatteningConsistencyProperty(t *testing.T) {
+	f := func(wp1, ws1, wp2, ws2, nRaw uint8) bool {
+		r1 := Round{Name: "a", Wp1: float64(wp1%50) + 1, Ws1: float64(ws1 % 20), EX: LinearFactor(1, 0), IN: LinearFactor(0.3, 0.7)}
+		r2 := Round{Name: "b", Wp1: float64(wp2%50) + 1, Ws1: float64(ws2 % 20), EX: Constant(1), Q: PowerFactor(0.001, 1.5)}
+		multi, err := NewMulti(r1, r2)
+		if err != nil {
+			return false
+		}
+		model, err := multi.Model()
+		if err != nil {
+			return false
+		}
+		n := float64(nRaw%100) + 1
+		direct, err1 := multi.Speedup(n)
+		flat, err2 := model.Speedup(n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(direct, flat, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryBoundedFactor(t *testing.T) {
+	// Uncapped: g(n) = n exactly — Sun-Ni coincides with Gustafson.
+	g, err := MemoryBoundedFactor(128<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{1, 16, 160} {
+		if g(n) != n {
+			t.Errorf("g(%g) = %g, want n", n, g(n))
+		}
+	}
+	// Capped at 32 blocks: flattens.
+	g, err = MemoryBoundedFactor(128<<20, 32*128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g(16) != 16 || g(64) != 32 {
+		t.Errorf("capped factor wrong: g(16)=%g g(64)=%g", g(16), g(64))
+	}
+	if g(0.5) != 1 {
+		t.Errorf("g clamps n below 1, got %g", g(0.5))
+	}
+	if _, err := MemoryBoundedFactor(0, 0); err == nil {
+		t.Error("zero block size should error")
+	}
+	if _, err := MemoryBoundedFactor(10, -1); err == nil {
+		t.Error("negative cap should error")
+	}
+	if _, err := MemoryBoundedFactor(10, 5); err == nil {
+		t.Error("cap below one block should error")
+	}
+}

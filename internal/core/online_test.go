@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthProbe builds a ProbeFunc from a ground-truth model with optional
+// multiplicative measurement noise.
+func synthProbe(truth Model, tp1, ts1, noise float64, seed int64) ProbeFunc {
+	rng := rand.New(rand.NewSource(seed))
+	jitter := func() float64 {
+		if noise == 0 {
+			return 1
+		}
+		return 1 + noise*(2*rng.Float64()-1)
+	}
+	return func(n int) (Observation, error) {
+		fn := float64(n)
+		wp := tp1 * truth.EX(fn) * jitter()
+		ws := ts1 * truth.IN(fn) * jitter()
+		wo := wp / fn * truth.Q(fn)
+		return Observation{N: fn, Wp: wp, Ws: ws, Wo: wo, MaxTask: wp / fn}, nil
+	}
+}
+
+func TestOnlineOptionsValidation(t *testing.T) {
+	if _, err := NewOnlineEstimator(OnlineOptions{Level: 2}); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := NewOnlineEstimator(OnlineOptions{DeltaTol: -1}); err == nil {
+		t.Error("bad tolerance should error")
+	}
+	if _, err := NewOnlineEstimator(OnlineOptions{MinPoints: 2}); err == nil {
+		t.Error("too few MinPoints should error")
+	}
+}
+
+func TestObserveOrdering(t *testing.T) {
+	e, err := NewOnlineEstimator(OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(Observation{N: 0.5, Wp: 1}); err == nil {
+		t.Error("n < 1 should error")
+	}
+	if err := e.Observe(Observation{N: 1, Wp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(Observation{N: 1, Wp: 1}); err == nil {
+		t.Error("non-increasing n should error")
+	}
+	if err := e.Observe(Observation{N: 2, Wp: -1}); err == nil {
+		t.Error("invalid workloads should error")
+	}
+	if e.Count() != 1 {
+		t.Errorf("Count = %d, want 1", e.Count())
+	}
+	if _, err := e.Estimates(); err == nil {
+		t.Error("single observation cannot be fitted")
+	}
+}
+
+func TestNextProbeDoubles(t *testing.T) {
+	e, _ := NewOnlineEstimator(OnlineOptions{})
+	if e.NextProbe() != 1 {
+		t.Errorf("first probe %d, want 1", e.NextProbe())
+	}
+	for _, n := range []float64{1, 2, 4} {
+		if err := e.Observe(Observation{N: n, Wp: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.NextProbe() != 8 {
+		t.Errorf("next probe %d, want 8", e.NextProbe())
+	}
+}
+
+func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
+	truth := Model{Eta: 0.59, EX: LinearFactor(1, 0), IN: LinearFactor(0.377, 0.623), Q: ZeroOverhead()}
+	probe := synthProbe(truth, 18.8, 12.85, 0.01, 3)
+	e, err := NewOnlineEstimator(OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := false
+	for probes := 0; probes < 8; probes++ {
+		obs, err := probe(e.NextProbe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+		if e.Count() >= 4 {
+			c, err := e.Converged()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c {
+				converged = true
+				break
+			}
+		}
+	}
+	if !converged {
+		t.Fatal("estimator did not converge within 8 probes")
+	}
+	dci, err := e.DeltaCI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort-like truth: ε(n) flattens, so δ must be estimated well below
+	// 1 (the paper's δ ≈ 0 conclusion for Sort).
+	if dci.Point > 0.45 {
+		t.Errorf("δ point estimate %g, want ≪ 1", dci.Point)
+	}
+	pred, err := e.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pred.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := truth.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("extrapolated S(200) = %g, truth %g", got, want)
+	}
+}
+
+func TestGammaCIDetectsQuadraticOverhead(t *testing.T) {
+	truth := Model{Eta: 1, EX: Constant(1), IN: Constant(0), Q: PowerFactor(3.7e-4, 2)}
+	probe := synthProbe(truth, 1602.5, 0, 0, 1)
+	e, err := NewOnlineEstimator(OnlineOptions{SerialPrecision: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		obs, err := probe(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gci, hasOverhead, err := e.GammaCI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasOverhead {
+		t.Fatal("quadratic overhead not detected")
+	}
+	if math.Abs(gci.Point-2) > 0.1 {
+		t.Errorf("γ = %g, want ≈2", gci.Point)
+	}
+	if gci.Width() > 0.2 {
+		t.Errorf("γ CI width %g, want tight on exact data", gci.Width())
+	}
+}
+
+func TestAutoProvisionEndToEnd(t *testing.T) {
+	// CF-like truth: the algorithm must find the hard limit near 52 and
+	// pick an operating point at or below it — by probing only n ≤ 64.
+	truth := Model{Eta: 1, EX: Constant(1), IN: Constant(0), Q: PowerFactor(3.7e-4, 2)}
+	probe := synthProbe(truth, 1602.5, 0, 0, 1)
+	plan, err := AutoProvision(probe, AutoProvisionOptions{
+		Online:           OnlineOptions{SerialPrecision: 0.01},
+		PricePerNodeHour: 0.4,
+		MaxN:             150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Probed) == 0 || plan.Probed[len(plan.Probed)-1] > 64 {
+		t.Errorf("probe schedule %v should stay within the budget", plan.Probed)
+	}
+	if plan.HardLimit < 40 || plan.HardLimit > 65 {
+		t.Errorf("hard limit %d, want ≈52", plan.HardLimit)
+	}
+	if plan.Best.N > plan.HardLimit {
+		t.Errorf("best point n=%d beyond the hard limit %d", plan.Best.N, plan.HardLimit)
+	}
+	if !plan.Converged {
+		t.Error("exact measurements should converge")
+	}
+}
+
+func TestAutoProvisionValidation(t *testing.T) {
+	if _, err := AutoProvision(nil, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
+		t.Error("nil probe should error")
+	}
+	probe := func(n int) (Observation, error) { return Observation{N: float64(n), Wp: 1}, nil }
+	if _, err := AutoProvision(probe, AutoProvisionOptions{}); err == nil {
+		t.Error("missing price should error")
+	}
+	if _, err := AutoProvision(probe, AutoProvisionOptions{PricePerNodeHour: 1, MaxProbeN: -1}); err == nil {
+		t.Error("unusable probe budget should error")
+	}
+}
+
+func TestAutoProvisionPropagatesProbeErrors(t *testing.T) {
+	boom := func(int) (Observation, error) { return Observation{}, errTest }
+	if _, err := AutoProvision(boom, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
+		t.Error("probe error should propagate")
+	}
+}
+
+var errTest = errorString("probe failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

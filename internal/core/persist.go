@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// persistedEstimates is the on-disk form of a fitted model: the estimates
+// plus the n = 1 baselines a Predictor needs. Fields use snake_case tags
+// so files are stable across refactors.
+type persistedEstimates struct {
+	Version   int       `json:"version"`
+	Estimates Estimates `json:"estimates"`
+	Tp1       float64   `json:"tp1_seconds"`
+	Ts1       float64   `json:"ts1_seconds"`
+}
+
+// persistVersion is bumped on breaking format changes.
+const persistVersion = 1
+
+// SaveEstimates writes fitted estimates plus the n = 1 phase baselines as
+// JSON, so a fit made once (e.g. from production logs) can be reused for
+// prediction and provisioning later.
+func SaveEstimates(w io.Writer, est Estimates, tp1, ts1 float64) error {
+	if tp1 <= 0 || ts1 < 0 {
+		return fmt.Errorf("core: invalid baselines tp1=%g ts1=%g", tp1, ts1)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(persistedEstimates{
+		Version:   persistVersion,
+		Estimates: est,
+		Tp1:       tp1,
+		Ts1:       ts1,
+	}); err != nil {
+		return fmt.Errorf("core: save estimates: %w", err)
+	}
+	return nil
+}
+
+// LoadEstimates reads a saved fit and rebuilds the Predictor.
+func LoadEstimates(r io.Reader) (Estimates, Predictor, error) {
+	var p persistedEstimates
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return Estimates{}, Predictor{}, fmt.Errorf("core: load estimates: %w", err)
+	}
+	if p.Version != persistVersion {
+		return Estimates{}, Predictor{}, fmt.Errorf("core: unsupported estimates version %d (want %d)", p.Version, persistVersion)
+	}
+	if p.Tp1 <= 0 || p.Ts1 < 0 {
+		return Estimates{}, Predictor{}, fmt.Errorf("core: corrupt baselines tp1=%g ts1=%g", p.Tp1, p.Ts1)
+	}
+	if p.Estimates.Eta < 0 || p.Estimates.Eta > 1 {
+		return Estimates{}, Predictor{}, fmt.Errorf("core: corrupt η = %g", p.Estimates.Eta)
+	}
+	pred, err := NewPredictor(p.Estimates, p.Tp1, p.Ts1)
+	if err != nil {
+		return Estimates{}, Predictor{}, err
+	}
+	return p.Estimates, pred, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadEstimatesRoundTrip(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveEstimates(&buf, est, 18.8, 12.85); err != nil {
+		t.Fatal(err)
+	}
+	loadedEst, pred, err := LoadEstimates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(loadedEst.Eta, est.Eta, 1e-12) {
+		t.Errorf("η round-trip: %g vs %g", loadedEst.Eta, est.Eta)
+	}
+	if !almostEqual(loadedEst.INFit.Slope, est.INFit.Slope, 1e-12) {
+		t.Errorf("IN slope round-trip: %g vs %g", loadedEst.INFit.Slope, est.INFit.Slope)
+	}
+	// The rebuilt predictor matches a freshly built one.
+	fresh, err := NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{10, 100, 200} {
+		a, err := pred.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(a, b, 1e-12) {
+			t.Errorf("n=%g: loaded %g vs fresh %g", n, a, b)
+		}
+	}
+}
+
+func TestSaveLoadEstimatesWithStep(t *testing.T) {
+	// TeraSort-like fit with a breakpoint: the piecewise segment must
+	// survive serialization.
+	var m Measurements
+	for n := 1.0; n <= 40; n++ {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 10.7*n)
+		in := 0.17*n + 0.83
+		if n > 15 {
+			in = 0.25*n - 0.37
+		}
+		m.Ws = append(m.Ws, 24.4*in)
+	}
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.INStep == nil {
+		t.Fatal("fixture lost its step")
+	}
+	var buf bytes.Buffer
+	if err := SaveEstimates(&buf, est, 10.7, 24.4); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := LoadEstimates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.INStep == nil {
+		t.Fatal("step fit lost in round-trip")
+	}
+	if !almostEqual(loaded.INStep.Break, est.INStep.Break, 1e-12) {
+		t.Errorf("break round-trip: %g vs %g", loaded.INStep.Break, est.INStep.Break)
+	}
+}
+
+func TestSaveLoadEstimatesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveEstimates(&buf, Estimates{}, 0, 1); err == nil {
+		t.Error("invalid tp1 should error")
+	}
+	if _, _, err := LoadEstimates(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if _, _, err := LoadEstimates(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown version should error")
+	}
+	if _, _, err := LoadEstimates(strings.NewReader(`{"version":1,"tp1_seconds":0}`)); err == nil {
+		t.Error("corrupt baselines should error")
+	}
+	if _, _, err := LoadEstimates(strings.NewReader(`{"version":1,"tp1_seconds":1,"estimates":{"Eta":7}}`)); err == nil {
+		t.Error("corrupt η should error")
+	}
+}

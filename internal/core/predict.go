@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Predictor predicts speedups at large problem sizes from scaling factors
+// fitted at small problem sizes — the Section V "Scaling Prediction"
+// workflow behind Fig. 7: "as long as the three scaling factors ... can be
+// accurately estimated at small problem sizes, the speedups at large
+// problem sizes may be predicted with high accuracy."
+type Predictor struct {
+	// Eta is η from the n = 1 phase breakdown.
+	Eta float64
+	// T1 is the n = 1 whole-job time E[Tp,1(1)] + E[Ts(1)], used to
+	// normalize measured split-phase times in Eq. (8).
+	T1 float64
+	// EX, IN, Q are the fitted scaling factors.
+	EX ScalingFactor
+	IN ScalingFactor
+	Q  ScalingFactor
+}
+
+// NewPredictor builds a Predictor from fitted estimates plus the n = 1
+// phase times tp1 = E[Tp,1(1)] and ts1 = E[Ts(1)].
+func NewPredictor(est Estimates, tp1, ts1 float64) (Predictor, error) {
+	if tp1 <= 0 || ts1 < 0 {
+		return Predictor{}, fmt.Errorf("core: invalid n=1 phase times tp1=%g ts1=%g", tp1, ts1)
+	}
+	ex := ScalingFactor(est.EXFit.Eval)
+	var in ScalingFactor
+	if est.INStep != nil {
+		step := *est.INStep
+		in = step.Eval
+	} else {
+		in = est.INFit.Eval
+	}
+	q := ZeroOverhead()
+	if est.HasOverhead {
+		q = PowerFactor(est.QFit.Coeff, est.QFit.Exponent)
+	}
+	return Predictor{Eta: est.Eta, T1: tp1 + ts1, EX: ex, IN: in, Q: q}, nil
+}
+
+// Model returns the deterministic IPSO model with the fitted factors.
+func (p Predictor) Model() Model {
+	return Model{Eta: p.Eta, EX: p.EX, IN: p.IN, Q: p.Q}
+}
+
+// Speedup predicts S(n) with the deterministic model (Eq. 10).
+func (p Predictor) Speedup(n float64) (float64, error) {
+	return p.Model().Speedup(n)
+}
+
+// SpeedupWithMaxTask predicts S(n) with the statistic model (Eq. 8),
+// using a measured split-phase response time E[max{Tp,i(n)}] in seconds —
+// the exact procedure of Fig. 7, which feeds measured E[max] together
+// with predicted EX and IN into Eq. (8).
+func (p Predictor) SpeedupWithMaxTask(n, maxTaskSeconds float64) (float64, error) {
+	if p.T1 <= 0 {
+		return 0, errors.New("core: predictor missing the n=1 job time")
+	}
+	if maxTaskSeconds < 0 {
+		return 0, fmt.Errorf("core: negative split-phase time %g", maxTaskSeconds)
+	}
+	return p.Model().SpeedupStatistic(n, maxTaskSeconds/p.T1)
+}
+
+// Curve predicts the speedup at each n.
+func (p Predictor) Curve(ns []float64) ([]float64, error) {
+	return p.Model().Curve(ns)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPredictorFromSortLikeFit(t *testing.T) {
+	// Fit at n ≤ 16 (the paper's procedure), predict at n = 200, compare
+	// against the ground-truth model.
+	truth := Model{
+		Eta: 18.8 / (18.8 + 12.85),
+		EX:  LinearFactor(1, 0),
+		IN:  LinearFactor(0.377, 0.623),
+		Q:   ZeroOverhead(),
+	}
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []float64{40, 100, 200} {
+		want, err := truth.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, want, 1e-6) {
+			t.Errorf("n=%g: predicted %g, truth %g", n, got, want)
+		}
+	}
+}
+
+func TestPredictorStatisticUsesMeasuredMax(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the deterministic split time tp(n) = Wp(n)/n = 18.8 s, the
+	// statistic prediction equals the deterministic one.
+	det, err := p.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := p.SpeedupWithMaxTask(64, 18.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(det, stat, 1e-9) {
+		t.Errorf("deterministic %g vs statistic %g", det, stat)
+	}
+	// A straggler-inflated measured max lowers the prediction.
+	slow, err := p.SpeedupWithMaxTask(64, 2*18.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow >= stat {
+		t.Errorf("straggler-inflated prediction %g should be below %g", slow, stat)
+	}
+}
+
+func TestPredictorUsesINStep(t *testing.T) {
+	// A step-wise IN fit must flow into predictions (TeraSort, Fig. 5→7).
+	var m Measurements
+	for n := 1.0; n <= 40; n++ {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 10.7*n)
+		in := 0.17*n + 0.83
+		if n > 15 {
+			in = 0.25*n - 0.37
+		}
+		m.Ws = append(m.Ws, 24.4*in)
+	}
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.INStep == nil {
+		t.Fatal("expected a step fit")
+	}
+	p, err := NewPredictor(est, 10.7, 24.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Beyond the breakpoint the prediction must use the steeper slope:
+	// compare against a non-step predictor built from the single fit.
+	flat := p
+	flat.IN = est.INFit.Eval
+	sStep, err := p.Speedup(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFlat, err := flat.Speedup(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStep == sFlat {
+		t.Error("step fit had no effect on the prediction")
+	}
+}
+
+func TestNewPredictorErrors(t *testing.T) {
+	if _, err := NewPredictor(Estimates{}, 0, 1); err == nil {
+		t.Error("tp1 <= 0 should error")
+	}
+	if _, err := NewPredictor(Estimates{}, 1, -1); err == nil {
+		t.Error("ts1 < 0 should error")
+	}
+}
+
+func TestPredictorCurve(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8})
+	est, err := Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Curve([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 3 || c[0] > c[1] || c[1] > c[2] {
+		t.Errorf("curve %v should be increasing for a IIIt,1 workload", c)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+)
+
+// PredictionSpread quantifies the sensitivity of an extrapolated speedup
+// to the measurement set: the model is refitted with each measured degree
+// left out in turn (jackknife), and the spread of the resulting
+// predictions brackets the point estimate. A wide spread at the target
+// degree means the probes do not yet pin the extrapolation down — the
+// operational complement to the Section VI question of how quickly δ and
+// γ can be estimated.
+type PredictionSpread struct {
+	Point float64 // prediction from the full measurement set
+	Low   float64 // minimum leave-one-out prediction
+	High  float64 // maximum leave-one-out prediction
+}
+
+// Width returns High − Low.
+func (p PredictionSpread) Width() float64 { return p.High - p.Low }
+
+// RelativeWidth returns Width/Point.
+func (p PredictionSpread) RelativeWidth() float64 {
+	if p.Point == 0 {
+		return 0
+	}
+	return p.Width() / p.Point
+}
+
+// PredictSpread fits the full measurement set plus every leave-one-out
+// subset and returns the spread of S(n) predictions. The measurements
+// must keep at least three degrees after removal, and tp1/ts1 are the
+// n = 1 phase baselines (as in NewPredictor).
+func PredictSpread(m Measurements, tp1, ts1, n float64) (PredictionSpread, error) {
+	if err := m.Validate(); err != nil {
+		return PredictionSpread{}, err
+	}
+	if len(m.N) < 4 {
+		return PredictionSpread{}, fmt.Errorf("core: need >= 4 measured degrees for a jackknife spread, got %d", len(m.N))
+	}
+	predict := func(mm Measurements) (float64, error) {
+		est, err := Estimate(mm)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := NewPredictor(est, tp1, ts1)
+		if err != nil {
+			return 0, err
+		}
+		return pred.Speedup(n)
+	}
+	point, err := predict(m)
+	if err != nil {
+		return PredictionSpread{}, err
+	}
+	spread := PredictionSpread{Point: point, Low: point, High: point}
+	for drop := range m.N {
+		sub := Measurements{
+			Wp1: m.Wp1, Ws1: m.Ws1, SerialPrecision: m.SerialPrecision,
+		}
+		for i := range m.N {
+			if i == drop {
+				continue
+			}
+			sub.N = append(sub.N, m.N[i])
+			sub.Wp = append(sub.Wp, m.Wp[i])
+			sub.Ws = append(sub.Ws, m.Ws[i])
+			if m.Wo != nil {
+				sub.Wo = append(sub.Wo, m.Wo[i])
+			}
+			if m.MaxTask != nil {
+				sub.MaxTask = append(sub.MaxTask, m.MaxTask[i])
+			}
+		}
+		s, err := predict(sub)
+		if err != nil {
+			// A subset can be degenerate (e.g. dropping the only point
+			// that anchors a fit); skip it rather than fail the spread.
+			continue
+		}
+		if s < spread.Low {
+			spread.Low = s
+		}
+		if s > spread.High {
+			spread.High = s
+		}
+	}
+	return spread, nil
+}

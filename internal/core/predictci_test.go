@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictSpreadExactDataIsTight(t *testing.T) {
+	m := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	sp, err := PredictSpread(m, 18.8, 12.85, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Point < 4 || sp.Point > 5.5 {
+		t.Errorf("point prediction %g, want ≈4.6", sp.Point)
+	}
+	if sp.RelativeWidth() > 0.01 {
+		t.Errorf("exact data should give a near-zero spread, got %g", sp.RelativeWidth())
+	}
+	if sp.Low > sp.Point || sp.High < sp.Point {
+		t.Errorf("spread [%g, %g] must bracket the point %g", sp.Low, sp.High, sp.Point)
+	}
+}
+
+func TestPredictSpreadWidensWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	noisy := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	for i := range noisy.Ws {
+		noisy.Ws[i] *= 1 + 0.15*rng.NormFloat64()
+	}
+	noisySp, err := PredictSpread(noisy, 18.8, 12.85, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := sortLikeMeasurements([]float64{1, 2, 4, 8, 16})
+	cleanSp, err := PredictSpread(clean, 18.8, 12.85, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisySp.Width() <= cleanSp.Width() {
+		t.Errorf("noisy spread %g should exceed clean spread %g", noisySp.Width(), cleanSp.Width())
+	}
+}
+
+func TestPredictSpreadValidation(t *testing.T) {
+	if _, err := PredictSpread(Measurements{}, 1, 1, 10); err == nil {
+		t.Error("empty measurements should error")
+	}
+	small := sortLikeMeasurements([]float64{1, 2, 4})
+	if _, err := PredictSpread(small, 18.8, 12.85, 10); err == nil {
+		t.Error("too few degrees should error")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ProvisionInput describes a provisioning question: a fitted IPSO model
+// for the application, the sequential job time at n = 1, and the
+// per-node-hour price. The paper motivates IPSO precisely for "informed
+// datacenter resource provisioning decisions ... to achieve the best
+// speedup-versus-cost tradeoffs".
+type ProvisionInput struct {
+	Model Model
+	// SeqJobSeconds is the sequential execution time of the n = 1 job
+	// (T(1)). For fixed-time workloads the job grows with n; JobSeconds
+	// accounts for that through the model's workload scaling.
+	SeqJobSeconds float64
+	// PricePerNodeHour is the rental price of one processing unit.
+	PricePerNodeHour float64
+	// MaxN bounds the search.
+	MaxN int
+}
+
+func (p ProvisionInput) validate() error {
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if p.SeqJobSeconds <= 0 {
+		return fmt.Errorf("core: sequential job time %g must be positive", p.SeqJobSeconds)
+	}
+	if p.PricePerNodeHour <= 0 {
+		return fmt.Errorf("core: price %g must be positive", p.PricePerNodeHour)
+	}
+	if p.MaxN < 1 {
+		return fmt.Errorf("core: MaxN = %d must be >= 1", p.MaxN)
+	}
+	return nil
+}
+
+// JobSeconds returns the parallel job time at scale-out degree n: the
+// workload at n divided by the speedup, i.e.
+// T(n) = T(1) · (η·EX(n) + (1−η)·IN(n)) / S(n).
+func (p ProvisionInput) JobSeconds(n float64) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	s, err := p.Model.Speedup(n)
+	if err != nil {
+		return 0, err
+	}
+	growth := p.Model.Eta*p.Model.EX(n) + (1-p.Model.Eta)*p.Model.IN(n)
+	return p.SeqJobSeconds * growth / s, nil
+}
+
+// CostDollars returns the rental cost of running the job at degree n:
+// (n+1) nodes (n split units plus the merge unit) for the job duration.
+func (p ProvisionInput) CostDollars(n float64) (float64, error) {
+	t, err := p.JobSeconds(n)
+	if err != nil {
+		return 0, err
+	}
+	return (n + 1) * t / 3600 * p.PricePerNodeHour, nil
+}
+
+// ProvisionPoint is one candidate operating point.
+type ProvisionPoint struct {
+	N       int
+	Speedup float64
+	Seconds float64
+	Dollars float64
+}
+
+// Sweep evaluates all operating points n = 1..MaxN.
+func (p ProvisionInput) Sweep() ([]ProvisionPoint, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]ProvisionPoint, 0, p.MaxN)
+	for n := 1; n <= p.MaxN; n++ {
+		fn := float64(n)
+		s, err := p.Model.Speedup(fn)
+		if err != nil {
+			return nil, err
+		}
+		t, err := p.JobSeconds(fn)
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.CostDollars(fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ProvisionPoint{N: n, Speedup: s, Seconds: t, Dollars: c})
+	}
+	return out, nil
+}
+
+// BestSpeedupPerDollar returns the operating point maximizing S(n)/cost —
+// the "best speedup-versus-cost tradeoff".
+func (p ProvisionInput) BestSpeedupPerDollar() (ProvisionPoint, error) {
+	points, err := p.Sweep()
+	if err != nil {
+		return ProvisionPoint{}, err
+	}
+	best := points[0]
+	bestRatio := best.Speedup / best.Dollars
+	for _, pt := range points[1:] {
+		if r := pt.Speedup / pt.Dollars; r > bestRatio {
+			best, bestRatio = pt, r
+		}
+	}
+	return best, nil
+}
+
+// CheapestWithinDeadline returns the lowest-cost operating point whose
+// job time meets the deadline. It reports an error when no n ≤ MaxN
+// meets it — for pathological scaling types that answer can be "none",
+// which is exactly the insight IPSO adds over the classic laws.
+func (p ProvisionInput) CheapestWithinDeadline(deadlineSeconds float64) (ProvisionPoint, error) {
+	if deadlineSeconds <= 0 {
+		return ProvisionPoint{}, fmt.Errorf("core: deadline %g must be positive", deadlineSeconds)
+	}
+	points, err := p.Sweep()
+	if err != nil {
+		return ProvisionPoint{}, err
+	}
+	best := ProvisionPoint{Dollars: math.Inf(1)}
+	found := false
+	for _, pt := range points {
+		if pt.Seconds <= deadlineSeconds && pt.Dollars < best.Dollars {
+			best = pt
+			found = true
+		}
+	}
+	if !found {
+		return ProvisionPoint{}, errors.New("core: no scale-out degree within MaxN meets the deadline")
+	}
+	return best, nil
+}
+
+// HardScaleOutLimit returns the degree beyond which adding nodes reduces
+// the speedup (the paper's "hard scale-out degree upper bound" — n ≈ 60
+// for Collaborative Filtering). ok is false when the speedup is still
+// non-decreasing at MaxN.
+func (p ProvisionInput) HardScaleOutLimit() (limit int, ok bool, err error) {
+	points, err := p.Sweep()
+	if err != nil {
+		return 0, false, err
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Speedup < points[i-1].Speedup {
+			return points[i-1].N, true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func cfProvisionInput() ProvisionInput {
+	// The CF pathological model: fixed-size, γ=2 — has a hard scale-out
+	// limit near n = 52.
+	m, _ := Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}.Model(FixedSize)
+	return ProvisionInput{
+		Model:            m,
+		SeqJobSeconds:    1602.5,
+		PricePerNodeHour: 0.4,
+		MaxN:             120,
+	}
+}
+
+func TestProvisionValidation(t *testing.T) {
+	good := cfProvisionInput()
+	tests := []struct {
+		name   string
+		mutate func(*ProvisionInput)
+	}{
+		{name: "bad model", mutate: func(p *ProvisionInput) { p.Model = Model{Eta: 2} }},
+		{name: "zero time", mutate: func(p *ProvisionInput) { p.SeqJobSeconds = 0 }},
+		{name: "zero price", mutate: func(p *ProvisionInput) { p.PricePerNodeHour = 0 }},
+		{name: "zero maxn", mutate: func(p *ProvisionInput) { p.MaxN = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := good
+			tt.mutate(&p)
+			if _, err := p.Sweep(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestJobSecondsFixedSize(t *testing.T) {
+	p := cfProvisionInput()
+	// Fixed-size: workload growth is 1, so T(n) = T(1)/S(n).
+	tn, err := p.JobSeconds(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := p.Model.Speedup(10)
+	if !almostEqual(tn, 1602.5/s, 1e-9) {
+		t.Errorf("T(10) = %g, want %g", tn, 1602.5/s)
+	}
+}
+
+func TestJobSecondsFixedTimeStaysFlat(t *testing.T) {
+	// For a pure Gustafson workload the parallel time is constant in n —
+	// that is what "fixed-time" means.
+	p := ProvisionInput{
+		Model:            GustafsonModel(0.8),
+		SeqJobSeconds:    100,
+		PricePerNodeHour: 1,
+		MaxN:             64,
+	}
+	t1, err := p.JobSeconds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := p.JobSeconds(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(t1, t64, 1e-9) || !almostEqual(t1, 100, 1e-9) {
+		t.Errorf("fixed-time job times T(1)=%g T(64)=%g, want both 100", t1, t64)
+	}
+}
+
+func TestHardScaleOutLimitCF(t *testing.T) {
+	p := cfProvisionInput()
+	limit, ok, err := p.HardScaleOutLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("CF must have a hard scale-out limit")
+	}
+	if limit < 45 || limit > 60 {
+		t.Errorf("hard limit n=%d, want ≈52 (paper: ≈60)", limit)
+	}
+}
+
+func TestHardScaleOutLimitAbsentForGustafson(t *testing.T) {
+	p := ProvisionInput{Model: GustafsonModel(0.9), SeqJobSeconds: 100, PricePerNodeHour: 1, MaxN: 50}
+	_, ok, err := p.HardScaleOutLimit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Gustafson scaling has no hard limit")
+	}
+}
+
+func TestBestSpeedupPerDollar(t *testing.T) {
+	p := cfProvisionInput()
+	best, err := p.BestSpeedupPerDollar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.N < 1 || best.N > p.MaxN {
+		t.Fatalf("best point out of range: %+v", best)
+	}
+	// It must actually be the argmax over the sweep.
+	points, _ := p.Sweep()
+	for _, pt := range points {
+		if pt.Speedup/pt.Dollars > best.Speedup/best.Dollars*(1+1e-12) {
+			t.Errorf("point %+v beats reported best %+v", pt, best)
+		}
+	}
+}
+
+func TestCheapestWithinDeadline(t *testing.T) {
+	p := cfProvisionInput()
+	// A deadline only parallel execution can meet.
+	pt, err := p.CheapestWithinDeadline(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Seconds > 200 {
+		t.Errorf("deadline violated: %+v", pt)
+	}
+	// An impossible deadline: the pathological model cannot go below the
+	// peak-time floor (T(1)/21 ≈ 76 s), so 10 s is unreachable.
+	if _, err := p.CheapestWithinDeadline(10); err == nil {
+		t.Error("unreachable deadline should error")
+	}
+	if _, err := p.CheapestWithinDeadline(-1); err == nil {
+		t.Error("nonpositive deadline should error")
+	}
+}
+
+func TestSweepMonotonicCostBeyondPeak(t *testing.T) {
+	p := cfProvisionInput()
+	points, err := p.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != p.MaxN {
+		t.Fatalf("sweep length %d, want %d", len(points), p.MaxN)
+	}
+	// Past the hard limit, both time and cost increase with n: adding
+	// nodes is pure waste — the actionable insight of the IVs diagnosis.
+	limit, _, _ := p.HardScaleOutLimit()
+	for i := limit + 5; i < len(points); i++ {
+		if points[i].Seconds < points[i-1].Seconds || points[i].Dollars < points[i-1].Dollars {
+			t.Fatalf("past the peak, time/cost should increase: %+v then %+v", points[i-1], points[i])
+		}
+	}
+	for _, pt := range points {
+		if math.IsNaN(pt.Dollars) || pt.Dollars <= 0 {
+			t.Fatalf("invalid cost %+v", pt)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sensitivity quantifies how strongly the speedup at a given scale-out
+// degree depends on each asymptotic parameter: the elasticity
+// (∂S/∂p)·(p/S), estimated by central finite differences. It answers the
+// diagnostic question "which factor is the binding constraint here?" —
+// e.g. for Sort at large n the speedup is dominated by δ (in-proportion
+// scaling), while for Collaborative Filtering it is dominated by γ.
+type Sensitivity struct {
+	Eta   float64
+	Alpha float64
+	Delta float64
+	Beta  float64
+	Gamma float64
+}
+
+// relStep is the relative finite-difference step.
+const relStep = 1e-4
+
+// Sensitivities computes the parameter elasticities of S(n).
+func Sensitivities(a Asymptotic, n float64) (Sensitivity, error) {
+	if err := a.Validate(); err != nil {
+		return Sensitivity{}, err
+	}
+	if n < 1 {
+		return Sensitivity{}, fmt.Errorf("core: n = %g must be >= 1", n)
+	}
+	base, err := a.Speedup(n)
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	if base <= 0 {
+		return Sensitivity{}, fmt.Errorf("core: nonpositive speedup %g at n=%g", base, n)
+	}
+
+	elasticity := func(get func(*Asymptotic) *float64) (float64, error) {
+		lo, hi := a, a
+		pLo, pHi := get(&lo), get(&hi)
+		p := *get(&a)
+		if p == 0 {
+			return 0, nil // zero parameters have no multiplicative response
+		}
+		h := relStep * p
+		*pLo = p - h
+		*pHi = p + h
+		if err := clampAsymptotic(&lo); err != nil {
+			return 0, err
+		}
+		if err := clampAsymptotic(&hi); err != nil {
+			return 0, err
+		}
+		sLo, err := lo.Speedup(n)
+		if err != nil {
+			return 0, err
+		}
+		sHi, err := hi.Speedup(n)
+		if err != nil {
+			return 0, err
+		}
+		return (sHi - sLo) / (2 * h) * p / base, nil
+	}
+
+	var s Sensitivity
+	fields := []struct {
+		out *float64
+		get func(*Asymptotic) *float64
+	}{
+		{out: &s.Eta, get: func(x *Asymptotic) *float64 { return &x.Eta }},
+		{out: &s.Alpha, get: func(x *Asymptotic) *float64 { return &x.Alpha }},
+		{out: &s.Delta, get: func(x *Asymptotic) *float64 { return &x.Delta }},
+		{out: &s.Beta, get: func(x *Asymptotic) *float64 { return &x.Beta }},
+		{out: &s.Gamma, get: func(x *Asymptotic) *float64 { return &x.Gamma }},
+	}
+	for _, f := range fields {
+		v, err := elasticity(f.get)
+		if err != nil {
+			return Sensitivity{}, err
+		}
+		*f.out = v
+	}
+	return s, nil
+}
+
+// clampAsymptotic keeps perturbed parameters in their domains. When a
+// perturbation moves η off the η = 1 boundary of a model that carried no
+// α (α is undefined at η = 1), the neutral continuation α = 1 is used.
+func clampAsymptotic(a *Asymptotic) error {
+	if a.Eta > 1 {
+		a.Eta = 1
+	}
+	if a.Eta < 0 {
+		a.Eta = 0
+	}
+	if a.Eta < 1 && a.Alpha <= 0 {
+		a.Alpha = 1
+	}
+	if a.Beta < 0 {
+		a.Beta = 0
+	}
+	if a.Gamma < 0 {
+		a.Gamma = 0
+	}
+	return nil
+}
+
+// Dominant returns the parameter names ordered by |elasticity|,
+// largest first.
+func (s Sensitivity) Dominant() []string {
+	type pv struct {
+		name string
+		v    float64
+	}
+	ps := []pv{
+		{name: "eta", v: abs(s.Eta)},
+		{name: "alpha", v: abs(s.Alpha)},
+		{name: "delta", v: abs(s.Delta)},
+		{name: "beta", v: abs(s.Beta)},
+		{name: "gamma", v: abs(s.Gamma)},
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].v > ps[j].v })
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.name
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

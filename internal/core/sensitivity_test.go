@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSensitivitiesValidation(t *testing.T) {
+	if _, err := Sensitivities(Asymptotic{Eta: 2}, 10); err == nil {
+		t.Error("invalid parameters should error")
+	}
+	if _, err := Sensitivities(Asymptotic{Eta: 1}, 0.5); err == nil {
+		t.Error("n < 1 should error")
+	}
+}
+
+func TestSensitivityGammaDominatesCF(t *testing.T) {
+	// Collaborative Filtering at large n: the superlinear overhead
+	// exponent γ is by far the binding parameter.
+	a := Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}
+	s, err := Sensitivities(a, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gamma >= 0 {
+		t.Errorf("γ elasticity %g, want negative (more γ → less speedup)", s.Gamma)
+	}
+	// η sits on the η = 1 cliff (introducing any serial portion is
+	// catastrophic at n = 90), so it ranks first; among the overhead and
+	// in-proportion parameters, γ must dominate.
+	order := s.Dominant()
+	if order[0] != "eta" {
+		t.Errorf("dominant parameter %q, want eta (the η = 1 cliff), order %v", order[0], order)
+	}
+	for _, name := range order {
+		if name == "gamma" {
+			break
+		}
+		if name == "beta" || name == "alpha" || name == "delta" {
+			t.Errorf("γ should dominate the remaining parameters, order %v", order)
+			break
+		}
+	}
+	if math.Abs(s.Gamma) <= math.Abs(s.Beta) {
+		t.Errorf("|γ| elasticity (%g) should exceed |β| (%g)", s.Gamma, s.Beta)
+	}
+}
+
+func TestSensitivityEtaDominatesAmdahl(t *testing.T) {
+	// Amdahl-like fixed-size workload near saturation: η rules.
+	a := Asymptotic{Eta: 0.9, Alpha: 1}
+	s, err := Sensitivities(a, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Eta <= 0 {
+		t.Errorf("η elasticity %g, want positive", s.Eta)
+	}
+	if got := s.Dominant()[0]; got != "eta" {
+		t.Errorf("dominant parameter %q, want eta (order %v)", got, s.Dominant())
+	}
+	// Unused parameters have zero elasticity.
+	if s.Beta != 0 || s.Gamma != 0 {
+		t.Errorf("zero-valued β/γ should have zero elasticity, got %g/%g", s.Beta, s.Gamma)
+	}
+}
+
+func TestSensitivityDeltaMattersForSortLike(t *testing.T) {
+	// Sort-like IIIt,1: δ sits at the boundary (0) so its elasticity is
+	// zero by the multiplicative convention; α then carries the
+	// in-proportion sensitivity and must be positive (higher ε → higher
+	// bound).
+	a := Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}
+	s, err := Sensitivities(a, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Alpha <= 0 {
+		t.Errorf("α elasticity %g, want positive", s.Alpha)
+	}
+	if s.Delta != 0 {
+		t.Errorf("δ = 0 should report zero elasticity, got %g", s.Delta)
+	}
+}
+
+func TestSensitivityMatchesAnalyticGustafson(t *testing.T) {
+	// Gustafson: S = ηn + (1−η); elasticity wrt η is ηn/(ηn+1−η) —
+	// analytic cross-check of the finite differences.
+	a := Asymptotic{Eta: 0.8, Alpha: 1, Delta: 1}
+	n := 50.0
+	s, err := Sensitivities(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S(η) = η·α·n^δ+(1−η) over denominator → for δ=1, γ=0:
+	// S = (ηn+1−η)/(η+1−η) = ηn+1−η. dS/dη = n−1.
+	base := 0.8*n + 0.2
+	want := (n - 1) * 0.8 / base
+	if math.Abs(s.Eta-want) > 1e-3 {
+		t.Errorf("η elasticity %g, analytic %g", s.Eta, want)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ipso/internal/stats"
+)
+
+// StatisticModel is the full statistic IPSO model of Section III/IV: a
+// deterministic Model plus a distributional description of the per-task
+// processing times. The split-phase response time becomes
+// E[max{Tp,i(n)}] instead of the deterministic tp(n), capturing long-tail
+// effects — stragglers [17] and task queuing [18].
+type StatisticModel struct {
+	Model Model
+	// TaskTime is the distribution of one task's processing time at
+	// n = 1, in seconds. At scale-out degree n each of the n tasks is an
+	// i.i.d. draw scaled by EX(n)/n (the per-task share of the scaled
+	// workload).
+	TaskTime stats.Distribution
+	// SerialTime is E[Ts(1)] in seconds (the n = 1 serial phase).
+	SerialTime float64
+	// MCReps and Seed control Monte Carlo evaluation of E[max] for
+	// distributions without a closed form. Defaults: 4096 reps, seed 1.
+	MCReps int
+	Seed   int64
+}
+
+func (s StatisticModel) validate() error {
+	if err := s.Model.Validate(); err != nil {
+		return err
+	}
+	if s.TaskTime == nil {
+		return errors.New("core: statistic model needs a task-time distribution")
+	}
+	if s.SerialTime < 0 {
+		return fmt.Errorf("core: negative serial time %g", s.SerialTime)
+	}
+	return nil
+}
+
+func (s StatisticModel) mcReps() int {
+	if s.MCReps > 0 {
+		return s.MCReps
+	}
+	return 4096
+}
+
+func (s StatisticModel) seed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 1
+}
+
+// ExpectedMaxTask returns E[max{Tp,i(n)}] in seconds: the expected
+// slowest of n i.i.d. task times, each scaled by the per-task workload
+// share EX(n)/n.
+func (s StatisticModel) ExpectedMaxTask(n float64) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("core: n = %g must be >= 1", n)
+	}
+	scaled := stats.Scaled{Base: s.TaskTime, Factor: s.Model.EX(n) / n}
+	k := int(n)
+	em, err := stats.ExpectedMax(scaled, k)
+	if err != nil {
+		// Fall back to Monte Carlo for validation-free distributions.
+		return stats.ExpectedMaxMC(scaled, k, s.mcReps(), s.seed())
+	}
+	return em, nil
+}
+
+// Speedup evaluates Eq. (8) with the distributional E[max{Tp,i(n)}].
+// With a Deterministic task time it coincides with Model.Speedup.
+func (s StatisticModel) Speedup(n float64) (float64, error) {
+	if err := s.validate(); err != nil {
+		return 0, err
+	}
+	em, err := s.ExpectedMaxTask(n)
+	if err != nil {
+		return 0, err
+	}
+	t1 := s.TaskTime.Mean() + s.SerialTime
+	if t1 <= 0 {
+		return 0, fmt.Errorf("core: nonpositive n=1 job time %g", t1)
+	}
+	return s.Model.SpeedupStatistic(n, em/t1)
+}
+
+// Curve evaluates the statistic speedup across ns.
+func (s StatisticModel) Curve(ns []float64) ([]float64, error) {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		v, err := s.Speedup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// StragglerPenalty returns the ratio of the deterministic speedup to the
+// statistic speedup at n — how much the task-time randomness costs. It is
+// 1 for deterministic task times and grows with tail weight, but stays
+// bounded for bounded-support distributions (the Section IV argument for
+// why deterministic analysis suffices qualitatively).
+func (s StatisticModel) StragglerPenalty(n float64) (float64, error) {
+	stat, err := s.Speedup(n)
+	if err != nil {
+		return 0, err
+	}
+	det, err := s.Model.Speedup(n)
+	if err != nil {
+		return 0, err
+	}
+	if stat <= 0 {
+		return 0, fmt.Errorf("core: nonpositive statistic speedup %g", stat)
+	}
+	return det / stat, nil
+}

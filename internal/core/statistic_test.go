@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipso/internal/stats"
+)
+
+func sortLikeModel() Model {
+	return Model{
+		Eta: 0.59,
+		EX:  LinearFactor(1, 0),
+		IN:  LinearFactor(0.377, 0.623),
+		Q:   ZeroOverhead(),
+	}
+}
+
+func TestStatisticModelValidation(t *testing.T) {
+	s := StatisticModel{Model: sortLikeModel()}
+	if _, err := s.Speedup(4); err == nil {
+		t.Error("missing distribution should error")
+	}
+	s.TaskTime = stats.Deterministic{Value: 10}
+	s.SerialTime = -1
+	if _, err := s.Speedup(4); err == nil {
+		t.Error("negative serial time should error")
+	}
+	s.SerialTime = 1
+	if _, err := s.Speedup(0.5); err == nil {
+		t.Error("n < 1 should error")
+	}
+}
+
+func TestStatisticDeterministicMatchesModel(t *testing.T) {
+	m := sortLikeModel()
+	// Calibrate the η of the model to the distribution: tp1 = 18.8,
+	// ts1 = 12.85 gives η = 0.594 ≈ model η.
+	s := StatisticModel{
+		Model:      m,
+		TaskTime:   stats.Deterministic{Value: 18.8},
+		SerialTime: 18.8 * (1 - m.Eta) / m.Eta, // makes η consistent exactly
+	}
+	for _, n := range []float64{1, 4, 16, 64} {
+		det, err := m.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stat, err := s.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(det, stat, 1e-9) {
+			t.Errorf("n=%g: deterministic %g vs statistic %g", n, det, stat)
+		}
+	}
+}
+
+func TestStatisticStragglersLowerSpeedup(t *testing.T) {
+	m := sortLikeModel()
+	ser := 18.8 * (1 - m.Eta) / m.Eta
+	det := StatisticModel{Model: m, TaskTime: stats.Deterministic{Value: 18.8}, SerialTime: ser}
+	rnd := StatisticModel{Model: m, TaskTime: stats.Uniform{Low: 9.4, High: 28.2}, SerialTime: ser}
+	for _, n := range []float64{4, 16, 64} {
+		d, err := det.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := rnd.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r >= d {
+			t.Errorf("n=%g: straggler speedup %g should be below deterministic %g", n, r, d)
+		}
+	}
+}
+
+func TestStragglerPenaltyBoundedForBoundedTails(t *testing.T) {
+	m := sortLikeModel()
+	s := StatisticModel{
+		Model:      m,
+		TaskTime:   stats.Uniform{Low: 9.4, High: 28.2}, // bounded support
+		SerialTime: 12.85,
+	}
+	p16, err := s.StragglerPenalty(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p256, err := s.StragglerPenalty(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16 < 1 || p256 < 1 {
+		t.Errorf("penalties (%g, %g) must be >= 1", p16, p256)
+	}
+	// Bounded tail ⇒ E[max] <= High, so the penalty cannot exceed
+	// High/Mean = 1.5 no matter how large n gets (the Section IV
+	// boundedness argument).
+	if p256 > 1.6 {
+		t.Errorf("penalty %g at n=256 exceeds the bounded-tail cap", p256)
+	}
+}
+
+func TestExpectedMaxTaskScalesWithShare(t *testing.T) {
+	// Fixed-size: EX = 1 so the per-task share shrinks as 1/n, and the
+	// expected max shrinks accordingly.
+	s := StatisticModel{
+		Model:      Model{Eta: 1, EX: Constant(1), IN: Constant(0), Q: ZeroOverhead()},
+		TaskTime:   stats.Deterministic{Value: 100},
+		SerialTime: 0,
+	}
+	em10, err := s.ExpectedMaxTask(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(em10, 10, 1e-12) {
+		t.Errorf("E[max] at n=10 = %g, want 10 (100/10)", em10)
+	}
+}
+
+// Property: the statistic speedup with a mean-1-scaled bounded
+// distribution never exceeds the deterministic speedup (Jensen-style
+// E[max] >= mean) and stays positive.
+func TestStatisticBelowDeterministicProperty(t *testing.T) {
+	f := func(nRaw, widthRaw uint8) bool {
+		n := float64(nRaw%64) + 1
+		width := float64(widthRaw%90)/100 + 0.05 // 0.05..0.95
+		m := sortLikeModel()
+		s := StatisticModel{
+			Model:      m,
+			TaskTime:   stats.Uniform{Low: 18.8 * (1 - width), High: 18.8 * (1 + width)},
+			SerialTime: 18.8 * (1 - m.Eta) / m.Eta,
+		}
+		stat, err := s.Speedup(n)
+		if err != nil {
+			return false
+		}
+		det, err := m.Speedup(n)
+		if err != nil {
+			return false
+		}
+		return stat > 0 && stat <= det+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/cluster"
+	"ipso/internal/mapreduce"
+	"ipso/internal/spark"
+	"ipso/internal/stats"
+	"ipso/internal/workload"
+)
+
+// AblationBroadcast contrasts the serialized master broadcast (the
+// mechanism behind the CF case's γ = 2 pathology) with an idealized
+// parallel broadcast: with the same workload, the parallel broadcast
+// removes the peak-and-fall behavior.
+func AblationBroadcast(ns []int) (Report, error) {
+	rep := Report{ID: "ablation-broadcast", Title: "CF speedup: serialized vs idealized parallel broadcast"}
+	cf := workload.NewCollaborativeFiltering()
+	for _, mode := range []cluster.BroadcastMode{cluster.BroadcastSerial, cluster.BroadcastParallel} {
+		name := "serial"
+		if mode == cluster.BroadcastParallel {
+			name = "parallel"
+		}
+		xs := make([]float64, 0, len(ns))
+		ys := make([]float64, 0, len(ns))
+		for _, n := range ns {
+			cfg := workload.CFConfig(cf, n)
+			cfg.Cluster.Broadcast = mode
+			s, _, _, err := spark.Speedup(cfg)
+			if err != nil {
+				return Report{}, fmt.Errorf("experiment: CF %s broadcast n=%d: %w", name, n, err)
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, s)
+		}
+		rep.Series = append(rep.Series, Series{Name: "cf/broadcast-" + name, X: xs, Y: ys})
+	}
+	return rep, nil
+}
+
+// AblationReducerMemory sweeps the reducer memory bound and reports where
+// TeraSort's IN(n) step lands: the overflow point moves with the memory
+// size (memory/blockSize), demonstrating the Fig. 5 mechanism.
+func AblationReducerMemory(ns []int, memories []float64) (Report, error) {
+	rep := Report{ID: "ablation-memory", Title: "TeraSort IN(n) step location vs reducer memory"}
+	tbl := Table{
+		Title:   "detected IN(n) breakpoints",
+		Headers: []string{"reducer memory (GB)", "expected overflow n", "detected break n"},
+	}
+	app := workload.NewTeraSort()
+	for _, mem := range memories {
+		if mem <= 0 {
+			return Report{}, fmt.Errorf("experiment: invalid memory %g", mem)
+		}
+		var xs, in []float64
+		var wsSeries []float64
+		for _, n := range ns {
+			cfg := MRConfig(app, n)
+			cfg.ReducerMemoryBytes = mem
+			par, err := mapreduce.RunParallel(cfg)
+			if err != nil {
+				return Report{}, err
+			}
+			_, ws, _, _ := PhasesFromLog(par.Log)
+			xs = append(xs, float64(n))
+			wsSeries = append(wsSeries, ws)
+		}
+		var err error
+		in, err = normalizeToFirstUnit(xs, wsSeries)
+		if err != nil {
+			return Report{}, err
+		}
+		step, err := stats.FitPiecewiseLinear(xs, in)
+		detected := "none"
+		if err == nil && stepIsReal(step) {
+			detected = fmt.Sprintf("%.0f", step.Break)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.1f", mem/(1<<30)),
+			fmt.Sprintf("%.0f", mem/cluster.BlockBytes),
+			detected,
+		})
+		rep.Series = append(rep.Series, Series{
+			Name: fmt.Sprintf("terasort/IN@%.1fGB", mem/(1<<30)),
+			X:    xs, Y: in,
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// AblationStatistic contrasts the deterministic model with straggler-
+// afflicted executions: multiplicative task-time jitter (mean 1) lowers
+// the measured speedup through E[max{Tp,i(n)}] — the effect the statistic
+// IPSO model (Eq. 8) captures and the deterministic one ignores.
+func AblationStatistic(ns []int) (Report, error) {
+	rep := Report{ID: "ablation-statistic", Title: "Sort speedup: deterministic vs straggler task times"}
+	app := workload.NewSort()
+	jitters := []struct {
+		name string
+		dist stats.Distribution
+	}{
+		{name: "deterministic", dist: nil},
+		{name: "uniform±30%", dist: stats.Uniform{Low: 0.7, High: 1.3}},
+		{name: "pareto-stragglers", dist: stats.Scaled{
+			// Truncated Pareto with mean ≈ 1: occasional 3× stragglers.
+			Base:   stats.TruncatedPareto{Xm: 1, Alpha: 2.2, Cap: 4},
+			Factor: 1 / stats.TruncatedPareto{Xm: 1, Alpha: 2.2, Cap: 4}.Mean(),
+		}},
+	}
+	for _, j := range jitters {
+		xs := make([]float64, 0, len(ns))
+		ys := make([]float64, 0, len(ns))
+		for _, n := range ns {
+			cfg := MRConfig(app, n)
+			cfg.Jitter = j.dist
+			cfg.Seed = 7
+			s, _, _, err := mapreduce.Speedup(cfg)
+			if err != nil {
+				return Report{}, fmt.Errorf("experiment: sort %s n=%d: %w", j.name, n, err)
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, s)
+		}
+		rep.Series = append(rep.Series, Series{Name: "sort/" + j.name, X: xs, Y: ys})
+	}
+	return rep, nil
+}
+
+func normalizeToFirstUnit(ns, ws []float64) ([]float64, error) {
+	if len(ns) == 0 || ws[0] <= 0 {
+		return nil, fmt.Errorf("experiment: cannot normalize series (first value %g)", ws[0])
+	}
+	base := ws[0]
+	if ns[0] != 1 {
+		// Extrapolate to n=1 from the first two points.
+		if len(ns) < 2 {
+			return nil, fmt.Errorf("experiment: need n=1 or two points")
+		}
+		slope := (ws[1] - ws[0]) / (ns[1] - ns[0])
+		base = ws[0] - slope*(ns[0]-1)
+	}
+	out := make([]float64, len(ws))
+	for i := range ws {
+		out[i] = ws[i] / base
+	}
+	return out, nil
+}
+
+func stepIsReal(step stats.PiecewiseLinear) bool {
+	scale := step.Left.Slope
+	if step.Right.Slope > scale {
+		scale = step.Right.Slope
+	}
+	return scale > 0 && (step.Right.Slope-step.Left.Slope) > 0.15*scale
+}

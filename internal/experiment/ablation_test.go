@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"ipso/internal/core"
+)
+
+func TestAblationBroadcast(t *testing.T) {
+	ns := []int{10, 30, 60, 90, 120}
+	rep, err := AblationBroadcast(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := seriesByName(t, rep, "cf/broadcast-serial")
+	parallel := seriesByName(t, rep, "cf/broadcast-parallel")
+	// Serial broadcast peaks and falls; the idealized broadcast keeps
+	// growing across the same grid.
+	if serial.Y[len(serial.Y)-1] >= serial.Y[2] {
+		t.Errorf("serial broadcast should fall past its peak: %v", serial.Y)
+	}
+	for i := 1; i < len(parallel.Y); i++ {
+		if parallel.Y[i] <= parallel.Y[i-1] {
+			t.Errorf("parallel broadcast should scale monotonically: %v", parallel.Y)
+			break
+		}
+	}
+	// And it strictly dominates at large n.
+	if parallel.Y[len(parallel.Y)-1] <= serial.Y[len(serial.Y)-1] {
+		t.Error("parallel broadcast should beat serial at large n")
+	}
+}
+
+func TestAblationReducerMemory(t *testing.T) {
+	ns := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
+	rep, err := AblationReducerMemory(ns, []float64{1 << 30, 2 << 30, 4 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// 1 GB overflows at n≈8, 2 GB at n≈16, 4 GB at n≈32: detected breaks
+	// must be ordered and near the expected points.
+	breaks := make([]float64, 0, 3)
+	for _, row := range rows {
+		if row[2] == "none" {
+			t.Fatalf("no break detected for memory %s GB", row[0])
+		}
+		breaks = append(breaks, parseF(t, row[2]))
+	}
+	if !(breaks[0] < breaks[1] && breaks[1] < breaks[2]) {
+		t.Errorf("break points should move with memory: %v", breaks)
+	}
+	for i, want := range []float64{8, 16, 32} {
+		if breaks[i] < want/2 || breaks[i] > want*1.8 {
+			t.Errorf("break %d at n=%g, want near %g", i, breaks[i], want)
+		}
+	}
+	if _, err := AblationReducerMemory(ns, []float64{-1}); err == nil {
+		t.Error("invalid memory should error")
+	}
+}
+
+func TestAblationStatistic(t *testing.T) {
+	ns := []int{1, 4, 16, 64}
+	rep, err := AblationStatistic(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := seriesByName(t, rep, "sort/deterministic")
+	uni := seriesByName(t, rep, "sort/uniform±30%")
+	par := seriesByName(t, rep, "sort/pareto-stragglers")
+	for i := 1; i < len(ns); i++ { // skip n=1 (single task, no max effect)
+		if uni.Y[i] >= det.Y[i] {
+			t.Errorf("n=%d: uniform jitter %g should lower speedup below %g", ns[i], uni.Y[i], det.Y[i])
+		}
+		if par.Y[i] >= det.Y[i] {
+			t.Errorf("n=%d: straggler jitter %g should lower speedup below %g", ns[i], par.Y[i], det.Y[i])
+		}
+	}
+}
+
+func TestFigureTaxonomyReports(t *testing.T) {
+	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	for _, w := range []core.WorkloadType{core.FixedTime, core.FixedSize} {
+		rep, err := FigureTaxonomy(w, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Series) != 5 {
+			t.Errorf("%v: series = %d, want 5", w, len(rep.Series))
+		}
+		if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 5 {
+			t.Fatalf("%v: missing classification table", w)
+		}
+		// Exactly one peaked row, two bounded type-III rows.
+		peaked, bounded := 0, 0
+		for _, row := range rep.Tables[0].Rows {
+			if strings.HasPrefix(row[1], "IV") {
+				peaked++
+			}
+			if strings.HasPrefix(row[1], "III") {
+				bounded++
+			}
+		}
+		if peaked != 1 || bounded != 2 {
+			t.Errorf("%v: peaked=%d bounded=%d, want 1 and 2", w, peaked, bounded)
+		}
+	}
+	if _, err := FigureTaxonomy(core.WorkloadType(0), ns); err == nil {
+		t.Error("unknown workload type should error")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := Report{
+		ID:    "x",
+		Title: "demo",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+		},
+		Tables: []Table{
+			{Title: "t", Headers: []string{"h1", "h2"}, Rows: [][]string{{"a", "bb"}}},
+		},
+	}
+	var txt strings.Builder
+	if err := rep.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== x: demo ==", "-- t --", "h1", "series a"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, txt.String())
+		}
+	}
+	var csv strings.Builder
+	if err := rep.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "series,a\n1,3\n2,4\n") {
+		t.Errorf("csv output unexpected:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/core"
+	"ipso/internal/mapreduce"
+	"ipso/internal/workload"
+)
+
+// MRProbe adapts the simulated MapReduce cluster into the probe interface
+// of the measurement-based provisioning algorithm: probing degree n runs
+// one parallel execution and extracts the phase workloads from its trace.
+func MRProbe(app mapreduce.AppModel) core.ProbeFunc {
+	return func(n int) (core.Observation, error) {
+		par, err := mapreduce.RunParallel(MRConfig(app, n))
+		if err != nil {
+			return core.Observation{}, err
+		}
+		wp, ws, wo, maxTask := PhasesFromLog(par.Log)
+		return core.Observation{N: float64(n), Wp: wp, Ws: ws, Wo: wo, MaxTask: maxTask}, nil
+	}
+}
+
+// FutureWork runs the Section VI future-work pipeline end to end on the
+// simulator: probe an application at geometrically spaced small degrees
+// until δ and γ converge, fit the model, pick the best speedup-per-dollar
+// operating point, and validate the extrapolated speedup against a real
+// (simulated) run at a degree far beyond the probes.
+func FutureWork(pricePerNodeHour float64, validateN int) (Report, error) {
+	if pricePerNodeHour <= 0 || validateN < 2 {
+		return Report{}, fmt.Errorf("experiment: invalid future-work parameters (price=%g, validateN=%d)", pricePerNodeHour, validateN)
+	}
+	rep := Report{ID: "futurework", Title: "Section VI: measurement-based provisioning via online (δ, γ) estimation"}
+	tbl := Table{
+		Title:   "per-application plans",
+		Headers: []string{"app", "probes", "converged", "δ", "best n", "best S", "$", "predicted S@val", "simulated S@val", "rel err"},
+	}
+	for _, app := range mrCaseApps() {
+		plan, err := core.AutoProvision(MRProbe(app), core.AutoProvisionOptions{
+			Online:           core.OnlineOptions{SerialPrecision: 0.01},
+			PricePerNodeHour: pricePerNodeHour,
+			MaxN:             256,
+		})
+		if err != nil {
+			return Report{}, fmt.Errorf("experiment: autoprovision %s: %w", app.Name(), err)
+		}
+		predicted, err := plan.Predictor.Speedup(float64(validateN))
+		if err != nil {
+			return Report{}, err
+		}
+		measured, _, _, err := mapreduce.Speedup(MRConfig(app, validateN))
+		if err != nil {
+			return Report{}, err
+		}
+		relErr := (predicted - measured) / measured
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			app.Name(),
+			fmt.Sprintf("%v", plan.Probed),
+			fmt.Sprintf("%v", plan.Converged),
+			f3(plan.Estimates.Epsilon.Exponent),
+			fmt.Sprintf("%d", plan.Best.N),
+			f2(plan.Best.Speedup),
+			fmt.Sprintf("%.4f", plan.Best.Dollars),
+			f2(predicted),
+			f2(measured),
+			f3(relErr),
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// CFProbe adapts the simulated Collaborative Filtering application.
+func CFProbe() core.ProbeFunc {
+	cf := workload.NewCollaborativeFiltering()
+	points := func(n int) (core.Observation, error) {
+		res, err := runCFPoint(cf, n)
+		if err != nil {
+			return core.Observation{}, err
+		}
+		return res, nil
+	}
+	return points
+}
+
+func runCFPoint(cf *workload.CollaborativeFiltering, n int) (core.Observation, error) {
+	pts, err := RunCFSweep([]int{n})
+	if err != nil {
+		return core.Observation{}, err
+	}
+	p := pts[0]
+	// Fixed-size: Wp(n) = Wp(1) ≈ total work; approximate from the
+	// split-phase measurement Wp ≈ n·E[max Tp,i] minus overheads.
+	return core.Observation{
+		N:       float64(n),
+		Wp:      cf.WorkPerIteration / 1e8, // seconds on the reference worker
+		Ws:      0,
+		Wo:      p.Wo,
+		MaxTask: p.MaxTask,
+	}, nil
+}

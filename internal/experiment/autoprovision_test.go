@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+
+	"ipso/internal/core"
+	"ipso/internal/workload"
+)
+
+func TestMRProbeMatchesSweep(t *testing.T) {
+	probe := MRProbe(workload.NewSort())
+	obs, err := probe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.N != 8 || obs.Wp <= 0 || obs.Ws <= 0 || obs.MaxTask <= 0 {
+		t.Errorf("unexpected observation %+v", obs)
+	}
+	sweep := sweepByApp(t, "sort")
+	for _, p := range sweep.Points {
+		if p.N == 8 {
+			if !almostF(obs.Wp, p.Wp) || !almostF(obs.Ws, p.Ws) {
+				t.Errorf("probe (%g, %g) disagrees with sweep (%g, %g)", obs.Wp, obs.Ws, p.Wp, p.Ws)
+			}
+		}
+	}
+}
+
+func TestFutureWorkPipeline(t *testing.T) {
+	rep, err := FutureWork(0.4, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		app, relErr := row[0], parseF(t, row[9])
+		// The key future-work claim: speedups at large problem sizes are
+		// predicted accurately from small-n probes.
+		if relErr > 0.25 {
+			t.Errorf("%s: prediction error %g at n=128, want <= 0.25", app, relErr)
+		}
+		// Probes never exceed the budget of 64.
+		if len(row[1]) == 0 {
+			t.Errorf("%s: no probes recorded", app)
+		}
+	}
+	if _, err := FutureWork(0, 128); err == nil {
+		t.Error("invalid price should error")
+	}
+	if _, err := FutureWork(1, 1); err == nil {
+		t.Error("invalid validation degree should error")
+	}
+}
+
+func TestCFProbeObservations(t *testing.T) {
+	probe := CFProbe()
+	est, err := core.NewOnlineEstimator(core.OnlineOptions{SerialPrecision: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		obs, err := probe(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gci, hasOverhead, err := est.GammaCI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasOverhead {
+		t.Fatal("CF broadcast overhead must be detectable by n=64")
+	}
+	// The simulated CF broadcasts give Wo ∝ n ⇒ γ ≈ 2.
+	if gci.Point < 1.8 || gci.Point > 2.2 {
+		t.Errorf("online γ = %g, want ≈2", gci.Point)
+	}
+}
+
+func almostF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 1 {
+		scale = 1
+	}
+	return d < 1e-9*scale
+}

@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"ipso/internal/workload"
+)
+
+func TestRunCFSweepMatchesTableI(t *testing.T) {
+	paper := workload.PaperTableI()
+	ns := make([]int, len(paper))
+	for i, row := range paper {
+		ns[i] = row.N
+	}
+	sim, err := RunCFSweep(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range paper {
+		if rel := math.Abs(sim[i].MaxTask-row.MaxTask) / row.MaxTask; rel > 0.15 {
+			t.Errorf("n=%d: simulated E[max] %.1f vs paper %.1f (rel %.2f)", row.N, sim[i].MaxTask, row.MaxTask, rel)
+		}
+		if rel := math.Abs(sim[i].Wo-row.Wo) / row.Wo; rel > 0.15 {
+			t.Errorf("n=%d: simulated Wo %.1f vs paper %.1f (rel %.2f)", row.N, sim[i].Wo, row.Wo, rel)
+		}
+	}
+	if _, err := RunCFSweep([]int{0}); err == nil {
+		t.Error("invalid n should error")
+	}
+}
+
+func TestAnalyzeCFRecoversGammaTwo(t *testing.T) {
+	points := make([]CFPoint, 0, 4)
+	for _, row := range workload.PaperTableI() {
+		points = append(points, CFPoint{N: row.N, MaxTask: row.MaxTask, Wo: row.Wo})
+	}
+	an, err := AnalyzeCF(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Gamma < 1.9 || an.Gamma > 2.2 {
+		t.Errorf("γ = %g, want ≈2 (the paper's conclusion)", an.Gamma)
+	}
+	if an.Tp1 < 1500 || an.Tp1 > 2200 {
+		t.Errorf("E[Tp,1(1)] = %g, want ≈1600-2000", an.Tp1)
+	}
+	if _, err := AnalyzeCF(points[:1]); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestTableIReport(t *testing.T) {
+	rep, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "table1" || len(rep.Tables) != 1 {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+	if got := len(rep.Tables[0].Rows); got != 4 {
+		t.Errorf("Table I rows = %d, want 4", got)
+	}
+}
+
+func TestFigure8ReproducesPaper(t *testing.T) {
+	ns := []float64{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 120, 150}
+	rep, err := Figure8(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipso := seriesByName(t, rep, "cf/ipso")
+	amdahl := seriesByName(t, rep, "cf/amdahl")
+	measured := seriesByName(t, rep, "cf/measured")
+
+	// The IPSO curve must peak in the interior near n ≈ 55-60 with
+	// S ≈ 20 (paper: ≈21 near n ≈ 60), then fall.
+	peakIdx := 0
+	for i := range ipso.Y {
+		if ipso.Y[i] > ipso.Y[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if peakIdx == 0 || peakIdx == len(ipso.Y)-1 {
+		t.Fatalf("IPSO curve does not peak in the interior: %v", ipso.Y)
+	}
+	if ipso.X[peakIdx] < 40 || ipso.X[peakIdx] > 70 {
+		t.Errorf("peak at n=%g, want near 60", ipso.X[peakIdx])
+	}
+	if ipso.Y[peakIdx] < 17 || ipso.Y[peakIdx] > 24 {
+		t.Errorf("peak speedup %g, want ≈21", ipso.Y[peakIdx])
+	}
+	// Amdahl's law (η = 1) predicts S = n — qualitatively wrong.
+	if last(amdahl) != ns[len(ns)-1] {
+		t.Errorf("Amdahl series must be S = n, got %g at n=%g", last(amdahl), ns[len(ns)-1])
+	}
+	// Measured points follow IVs: the n=90 point is below the n=60 point.
+	if measured.Y[len(measured.Y)-1] >= measured.Y[len(measured.Y)-2] {
+		t.Errorf("measured speedups should fall past the peak: %v", measured.Y)
+	}
+	// The parameter table must classify as IVs.
+	found := false
+	for _, row := range rep.Tables[0].Rows {
+		for _, cell := range row {
+			if cell == "IVs" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("Fig. 8 table must classify the CF workload as IVs")
+	}
+}

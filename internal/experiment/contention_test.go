@@ -1,0 +1,59 @@
+package experiment
+
+import "testing"
+
+func TestAblationContention(t *testing.T) {
+	ns := make([]float64, 0, 99)
+	for n := 1.0; n < 100; n++ {
+		ns = append(ns, n)
+	}
+	// Two service capacities: saturation at n = 50 and n = 100.
+	rep, err := AblationContention([]float64{100, 200}, 20, 10, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		// Each curve must peak strictly inside its plotted range and fall
+		// afterwards — contention alone produces the type-IV pathology.
+		peak := 0
+		for i := range s.Y {
+			if s.Y[i] > s.Y[peak] {
+				peak = i
+			}
+		}
+		if peak == 0 || peak == len(s.Y)-1 {
+			t.Errorf("%s: no interior peak: peak idx %d of %d", s.Name, peak, len(s.Y))
+			continue
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[peak] {
+			t.Errorf("%s: speedup should fall past the peak", s.Name)
+		}
+	}
+	// More service capacity → later saturation and a higher peak.
+	rows := rep.Tables[0].Rows
+	if parseF(t, rows[0][1]) >= parseF(t, rows[1][1]) {
+		t.Errorf("saturation should move out with capacity: %v vs %v", rows[0], rows[1])
+	}
+	if parseF(t, rows[0][2]) >= parseF(t, rows[1][2]) {
+		t.Errorf("peak speedup should rise with capacity: %v vs %v", rows[0], rows[1])
+	}
+}
+
+func TestAblationContentionValidation(t *testing.T) {
+	if _, err := AblationContention(nil, 1, 1, []float64{1}); err == nil {
+		t.Error("empty rates should error")
+	}
+	if _, err := AblationContention([]float64{10}, 1, 1, nil); err == nil {
+		t.Error("empty grid should error")
+	}
+	if _, err := AblationContention([]float64{-1}, 1, 1, []float64{1}); err == nil {
+		t.Error("invalid resource should error")
+	}
+	// Grid entirely past saturation: saturation at n = 0.5.
+	if _, err := AblationContention([]float64{1}, 20, 10, []float64{1, 2}); err == nil {
+		t.Error("all-saturated grid should error")
+	}
+}

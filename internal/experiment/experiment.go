@@ -1,0 +1,132 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulated substrate: it sweeps the
+// scale-out degree, runs parallel and sequential executions, extracts
+// phase workloads from traces exactly the way the paper does from log
+// files, fits the scaling factors, and emits the same rows/series the
+// paper reports.
+//
+// Each Figure*/Table* function returns a Report of named series (curve
+// data) and tables (rows), which cmd/ipsobench renders as text and CSV.
+// Absolute values differ from the paper (the substrate is a simulator,
+// not EC2); the shapes — bounds, slopes, orderings, peak locations — are
+// the reproduction targets, asserted by this package's tests.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named curve: y versus x (usually speedup versus n).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table is a titled grid of formatted rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Report is the output of one experiment: the figure/table identifier,
+// what the paper shows, and the regenerated data.
+type Report struct {
+	ID     string // e.g. "fig4", "table1"
+	Title  string
+	Series []Series
+	Tables []Table
+}
+
+// WriteText renders the report as aligned text.
+func (r Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.writeText(w); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if err := s.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders all series as CSV blocks (one header line per series).
+func (r Report) WriteCSV(w io.Writer) error {
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "series,%s\n", s.Name); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%g,%g\n", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (t Table) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "-- %s --\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(parts, "  "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Series) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "-- series %s --\n", s.Name); err != nil {
+		return err
+	}
+	for i := range s.X {
+		if _, err := fmt.Fprintf(w, "  %10.4g  %10.4g\n", s.X[i], s.Y[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

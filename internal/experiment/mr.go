@@ -1,0 +1,383 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/cluster"
+	"ipso/internal/core"
+	"ipso/internal/mapreduce"
+	"ipso/internal/trace"
+	"ipso/internal/workload"
+)
+
+// DefaultMRGrid is the scale-out grid of the MapReduce case studies
+// (Fig. 4/6/7 plot up to n = 200).
+func DefaultMRGrid() []int {
+	return []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 200}
+}
+
+// MRConfig assembles the EMR-like job configuration of the fixed-time
+// case studies: one 128 MB block per processing unit, 2 GB reducer
+// memory, 1 s of job initialization.
+func MRConfig(app mapreduce.AppModel, n int) mapreduce.Config {
+	return mapreduce.Config{
+		App:                app,
+		N:                  n,
+		ShardBytes:         cluster.BlockBytes,
+		Cluster:            cluster.DefaultConfig(n + 1),
+		ReducerMemoryBytes: cluster.ReducerMemoryBytes,
+		InitTime:           0.5,
+	}
+}
+
+// MRPoint is one measured operating point of a MapReduce sweep.
+type MRPoint struct {
+	N        int
+	Speedup  float64
+	Wp       float64 // total map work (Σ task durations)
+	Ws       float64 // serial portion (shuffle+merge+spill+reduce)
+	Wo       float64 // scale-out-induced portion (init + dispatch span)
+	MaxTask  float64 // E[max{Tp,i(n)}]
+	Parallel float64 // parallel makespan
+	Seq      float64 // sequential makespan
+}
+
+// MRSweep is a full scale-out sweep of one application.
+type MRSweep struct {
+	App    string
+	Eta    float64 // from the n = 1 phase breakdown
+	Tp1    float64 // E[Tp,1(1)]
+	Ts1    float64 // E[Ts(1)]
+	Points []MRPoint
+}
+
+// PhasesFromLog extracts the paper's workload decomposition from a
+// parallel execution trace: part (b), the map phase, is the
+// parallelizable portion; the rest of the reduce-side pipeline is
+// attributed to the serial merging phase; init and dispatch are the
+// candidate scale-out-induced overheads.
+func PhasesFromLog(log *trace.Log) (wp, ws, wo, maxTask float64) {
+	wp = log.PhaseTotal(trace.PhaseMap)
+	ws = log.PhaseTotal(trace.PhaseShuffle) +
+		log.PhaseTotal(trace.PhaseMerge) +
+		log.PhaseTotal(trace.PhaseSpill) +
+		log.PhaseTotal(trace.PhaseReduce)
+	wo = log.PhaseTotal(trace.PhaseInit)
+	if start, end, ok := log.PhaseSpan(trace.PhaseSchedule); ok {
+		wo += end - start
+	}
+	maxTask, _ = log.MaxTaskDuration(trace.PhaseMap)
+	return wp, ws, wo, maxTask
+}
+
+// RunMRSweep measures one application across the scale-out grid.
+func RunMRSweep(app mapreduce.AppModel, ns []int) (MRSweep, error) {
+	if len(ns) == 0 {
+		return MRSweep{}, fmt.Errorf("experiment: empty grid for %s", app.Name())
+	}
+	sweep := MRSweep{App: app.Name()}
+	for _, n := range ns {
+		if n < 1 {
+			return MRSweep{}, fmt.Errorf("experiment: invalid n=%d", n)
+		}
+		s, par, seq, err := mapreduce.Speedup(MRConfig(app, n))
+		if err != nil {
+			return MRSweep{}, fmt.Errorf("experiment: %s at n=%d: %w", app.Name(), n, err)
+		}
+		wp, ws, wo, maxTask := PhasesFromLog(par.Log)
+		sweep.Points = append(sweep.Points, MRPoint{
+			N: n, Speedup: s, Wp: wp, Ws: ws, Wo: wo, MaxTask: maxTask,
+			Parallel: par.Makespan, Seq: seq.Makespan,
+		})
+		if n == 1 {
+			sweep.Tp1 = maxTask
+			sweep.Ts1 = ws
+			eta, err := core.EtaFromPhases(maxTask, ws)
+			if err != nil {
+				return MRSweep{}, err
+			}
+			sweep.Eta = eta
+		}
+	}
+	if sweep.Tp1 == 0 {
+		return MRSweep{}, fmt.Errorf("experiment: grid for %s must include n=1 for the η baseline", app.Name())
+	}
+	return sweep, nil
+}
+
+// Measurements converts the sweep into the core estimation input. The
+// n = 1 baselines come from the sweep's n = 1 run even when the points
+// are a window that excludes it (the paper's TeraSort fit).
+func (s MRSweep) Measurements() core.Measurements {
+	// SerialPrecision 10 ms: well below the paper's one-second measurement
+	// precision, so sub-precision merge phases (QMC) read as zero.
+	m := core.Measurements{Wp1: s.Tp1, Ws1: s.Ts1, SerialPrecision: 0.01}
+	for _, p := range s.Points {
+		m.N = append(m.N, float64(p.N))
+		m.Wp = append(m.Wp, p.Wp)
+		m.Ws = append(m.Ws, p.Ws)
+		m.Wo = append(m.Wo, p.Wo)
+		m.MaxTask = append(m.MaxTask, p.MaxTask)
+	}
+	return m
+}
+
+// truncate keeps only points with N <= maxN.
+func (s MRSweep) truncate(maxN int) MRSweep {
+	out := MRSweep{App: s.App, Eta: s.Eta, Tp1: s.Tp1, Ts1: s.Ts1}
+	for _, p := range s.Points {
+		if p.N <= maxN {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// window keeps only points with minN <= N <= maxN.
+func (s MRSweep) window(minN, maxN int) MRSweep {
+	out := MRSweep{App: s.App, Eta: s.Eta, Tp1: s.Tp1, Ts1: s.Ts1}
+	for _, p := range s.Points {
+		if p.N >= minN && p.N <= maxN {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// mrCaseApps returns the four MapReduce case studies in the paper's
+// order: QMC, WordCount, Sort, TeraSort.
+func mrCaseApps() []mapreduce.AppModel {
+	return []mapreduce.AppModel{
+		workload.NewQMCPi(),
+		workload.NewWordCount(),
+		workload.NewSort(),
+		workload.NewTeraSort(),
+	}
+}
+
+// RunMRCaseStudies sweeps all four applications once; the per-figure
+// builders below share the result to avoid re-simulating.
+func RunMRCaseStudies(ns []int) ([]MRSweep, error) {
+	sweeps := make([]MRSweep, 0, 4)
+	for _, app := range mrCaseApps() {
+		s, err := RunMRSweep(app, ns)
+		if err != nil {
+			return nil, err
+		}
+		sweeps = append(sweeps, s)
+	}
+	return sweeps, nil
+}
+
+// Figure4 regenerates Fig. 4: measured speedups of the four HiBench-style
+// micro benchmarks versus Gustafson's prediction.
+func Figure4(sweeps []MRSweep) (Report, error) {
+	rep := Report{ID: "fig4", Title: "Measured speedups vs Gustafson's prediction (fixed-time MapReduce)"}
+	for _, sw := range sweeps {
+		xs := make([]float64, len(sw.Points))
+		measured := make([]float64, len(sw.Points))
+		gust := make([]float64, len(sw.Points))
+		for i, p := range sw.Points {
+			xs[i] = float64(p.N)
+			measured[i] = p.Speedup
+			g, err := core.Gustafson(sw.Eta, float64(p.N))
+			if err != nil {
+				return Report{}, err
+			}
+			gust[i] = g
+		}
+		rep.Series = append(rep.Series,
+			Series{Name: sw.App + "/measured", X: xs, Y: measured},
+			Series{Name: sw.App + "/gustafson", X: xs, Y: gust},
+		)
+	}
+	return rep, nil
+}
+
+// Figure5 regenerates Fig. 5: TeraSort's step-wise internal scaling
+// factor — IN(n) with the slope change at the reducer-memory overflow.
+func Figure5(sweeps []MRSweep) (Report, error) {
+	rep := Report{ID: "fig5", Title: "TeraSort internal scaling factor IN(n): step at reducer-memory overflow"}
+	for _, sw := range sweeps {
+		if sw.App != "terasort" {
+			continue
+		}
+		in, err := core.FactorSeries(measN(sw), measWs(sw))
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Series = append(rep.Series, Series{Name: "terasort/IN", X: measN(sw), Y: in})
+
+		est, err := core.Estimate(sw.Measurements())
+		if err != nil {
+			return Report{}, err
+		}
+		tbl := Table{Title: "IN(n) fits", Headers: []string{"segment", "slope", "intercept"}}
+		if est.INStep != nil {
+			tbl.Rows = append(tbl.Rows,
+				[]string{fmt.Sprintf("IN'(n), n <= %.0f", est.INStep.Break), f3(est.INStep.Left.Slope), f3(est.INStep.Left.Intercept)},
+				[]string{fmt.Sprintf("IN(n), n > %.0f", est.INStep.Break), f3(est.INStep.Right.Slope), f3(est.INStep.Right.Intercept)},
+			)
+		} else {
+			tbl.Rows = append(tbl.Rows, []string{"IN(n) (no step found)", f3(est.INFit.Slope), f3(est.INFit.Intercept)})
+		}
+		rep.Tables = append(rep.Tables, tbl)
+		return rep, nil
+	}
+	return Report{}, fmt.Errorf("experiment: terasort sweep missing")
+}
+
+// Figure6 regenerates Fig. 6: measured EX(n) and IN(n) for the four
+// cases, with the linear fits of the paper (fitted at n <= fitMaxN, and
+// for TeraSort at 16 <= n <= 64 as the paper does because of the memory
+// overflow).
+func Figure6(sweeps []MRSweep, fitMaxN int) (Report, error) {
+	rep := Report{ID: "fig6", Title: "External and internal scaling factors with linear fits"}
+	tbl := Table{
+		Title:   "scaling-factor fits (paper: EX(n) ≈ n for all; IN_Sort ≈ 0.36n−0.11; IN_TeraSort ≈ 0.23n+2.72)",
+		Headers: []string{"app", "EX slope", "EX intercept", "IN slope", "IN intercept", "fit window"},
+	}
+	for _, sw := range sweeps {
+		ex, err := core.FactorSeries(measN(sw), measWp(sw))
+		if err != nil {
+			return Report{}, err
+		}
+		in, err := serialFactor(sw)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Series = append(rep.Series,
+			Series{Name: sw.App + "/EX", X: measN(sw), Y: ex},
+			Series{Name: sw.App + "/IN", X: measN(sw), Y: in},
+		)
+
+		fitWindow := sw.truncate(fitMaxN)
+		window := fmt.Sprintf("n<=%d", fitMaxN)
+		if sw.App == "terasort" {
+			fitWindow = sw.window(16, 64)
+			window = "16<=n<=64"
+		}
+		est, err := core.Estimate(fitWindow.Measurements())
+		if err != nil {
+			return Report{}, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			sw.App,
+			f3(est.EXFit.Slope), f3(est.EXFit.Intercept),
+			f3(est.INFit.Slope), f3(est.INFit.Intercept),
+			window,
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+// Figure7 regenerates Fig. 7: speedups from IPSO prediction (factors
+// fitted at small n, Eq. 8 with measured E[max{Tp,i(n)}]), measurement,
+// and Gustafson's law.
+func Figure7(sweeps []MRSweep, fitMaxN int) (Report, error) {
+	rep := Report{ID: "fig7", Title: "IPSO-predicted vs measured vs Gustafson speedups"}
+	for _, sw := range sweeps {
+		fitWindow := sw.truncate(fitMaxN)
+		if sw.App == "terasort" {
+			fitWindow = sw.window(16, 64)
+		}
+		est, err := core.Estimate(fitWindow.Measurements())
+		if err != nil {
+			return Report{}, err
+		}
+		pred, err := core.NewPredictor(est, sw.Tp1, sw.Ts1)
+		if err != nil {
+			return Report{}, err
+		}
+		xs := make([]float64, len(sw.Points))
+		measured := make([]float64, len(sw.Points))
+		ipso := make([]float64, len(sw.Points))
+		gust := make([]float64, len(sw.Points))
+		for i, p := range sw.Points {
+			xs[i] = float64(p.N)
+			measured[i] = p.Speedup
+			s, err := pred.SpeedupWithMaxTask(float64(p.N), p.MaxTask)
+			if err != nil {
+				return Report{}, err
+			}
+			ipso[i] = s
+			g, err := core.Gustafson(sw.Eta, float64(p.N))
+			if err != nil {
+				return Report{}, err
+			}
+			gust[i] = g
+		}
+		rep.Series = append(rep.Series,
+			Series{Name: sw.App + "/measured", X: xs, Y: measured},
+			Series{Name: sw.App + "/ipso", X: xs, Y: ipso},
+			Series{Name: sw.App + "/gustafson", X: xs, Y: gust},
+		)
+	}
+	return rep, nil
+}
+
+// Diagnostics applies the Section V diagnostic procedure to each measured
+// speedup curve.
+func Diagnostics(sweeps []MRSweep) (Report, error) {
+	rep := Report{ID: "diag", Title: "Section V diagnostic procedure on measured curves"}
+	tbl := Table{
+		Title:   "diagnoses (fixed-time workloads)",
+		Headers: []string{"app", "family", "type", "needs factor analysis", "root cause"},
+	}
+	for _, sw := range sweeps {
+		var ns, ss []float64
+		for _, p := range sw.Points {
+			ns = append(ns, float64(p.N))
+			ss = append(ss, p.Speedup)
+		}
+		d, err := core.Diagnose(core.FixedTime, ns, ss)
+		if err != nil {
+			return Report{}, fmt.Errorf("experiment: diagnose %s: %w", sw.App, err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			sw.App, d.Family.String(), d.Type.String(),
+			fmt.Sprintf("%v", d.NeedsFactorAnalysis), d.RootCause,
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}
+
+func measN(s MRSweep) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = float64(p.N)
+	}
+	return out
+}
+
+func measWp(s MRSweep) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Wp
+	}
+	return out
+}
+
+func measWs(s MRSweep) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Ws
+	}
+	return out
+}
+
+// serialFactor returns IN(n), treating an app whose serial phase is below
+// the paper's measurement precision (sub-second phases read as zero) as
+// IN = 1 — the QMC case.
+func serialFactor(s MRSweep) ([]float64, error) {
+	if s.Ts1 < 0.01 {
+		out := make([]float64, len(s.Points))
+		for i := range out {
+			out[i] = 1
+		}
+		return out, nil
+	}
+	return core.FactorSeries(measN(s), measWs(s))
+}

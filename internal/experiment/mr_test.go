@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testGrid is the reduced scale-out grid used by the tests; it includes
+// n = 1 (η baseline), the TeraSort fit window 16..64, and a large tail.
+func testGrid() []int { return []int{1, 2, 4, 8, 16, 24, 32, 48, 64} }
+
+// sweepsOnce caches the four case-study sweeps across tests.
+var cachedSweeps []MRSweep
+
+func caseSweeps(t *testing.T) []MRSweep {
+	t.Helper()
+	if cachedSweeps == nil {
+		s, err := RunMRCaseStudies(testGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSweeps = s
+	}
+	return cachedSweeps
+}
+
+func sweepByApp(t *testing.T, app string) MRSweep {
+	t.Helper()
+	for _, s := range caseSweeps(t) {
+		if s.App == app {
+			return s
+		}
+	}
+	t.Fatalf("no sweep for %s", app)
+	return MRSweep{}
+}
+
+func seriesByName(t *testing.T, rep Report, name string) Series {
+	t.Helper()
+	for _, s := range rep.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("report %s has no series %q", rep.ID, name)
+	return Series{}
+}
+
+func last(s Series) float64 { return s.Y[len(s.Y)-1] }
+
+func TestRunMRSweepRequiresBaseline(t *testing.T) {
+	app := mrCaseApps()[0]
+	if _, err := RunMRSweep(app, []int{2, 4}); err == nil {
+		t.Error("grid without n=1 should error")
+	}
+	if _, err := RunMRSweep(app, nil); err == nil {
+		t.Error("empty grid should error")
+	}
+	if _, err := RunMRSweep(app, []int{0}); err == nil {
+		t.Error("invalid n should error")
+	}
+}
+
+func TestSweepShapeAnchors(t *testing.T) {
+	// QMC: η = 1 and near-linear speedup (type It).
+	qmc := sweepByApp(t, "qmc-pi")
+	if qmc.Eta < 0.999 {
+		t.Errorf("QMC η = %g, want ≈1", qmc.Eta)
+	}
+	lastPoint := qmc.Points[len(qmc.Points)-1]
+	if ratio := lastPoint.Speedup / float64(lastPoint.N); ratio < 0.9 {
+		t.Errorf("QMC speedup/n = %g at n=%d, want > 0.9 (linear)", ratio, lastPoint.N)
+	}
+
+	// WordCount: high η, near-linear.
+	wc := sweepByApp(t, "wordcount")
+	if wc.Eta < 0.9 {
+		t.Errorf("WordCount η = %g, want > 0.9", wc.Eta)
+	}
+
+	// Sort: bounded well below n (type IIIt,1) but still above 3.5 by
+	// n = 64 (the paper's bound is ≈5).
+	sort := sweepByApp(t, "sort")
+	sLast := sort.Points[len(sort.Points)-1]
+	if sLast.Speedup > 6 || sLast.Speedup < 3 {
+		t.Errorf("Sort speedup at n=%d is %g, want in [3, 6] (paper ≈4-5)", sLast.N, sLast.Speedup)
+	}
+
+	// TeraSort: bounded lower (paper ≈3).
+	ts := sweepByApp(t, "terasort")
+	tLast := ts.Points[len(ts.Points)-1]
+	if tLast.Speedup > 3.5 || tLast.Speedup < 1.8 {
+		t.Errorf("TeraSort speedup at n=%d is %g, want in [1.8, 3.5] (paper ≈3)", tLast.N, tLast.Speedup)
+	}
+	if ts.Eta >= sort.Eta {
+		t.Errorf("TeraSort η (%g) should be below Sort's (%g): larger serial portion", ts.Eta, sort.Eta)
+	}
+}
+
+func TestSpeedupMonotoneForBenignApps(t *testing.T) {
+	for _, app := range []string{"qmc-pi", "wordcount", "sort"} {
+		sw := sweepByApp(t, app)
+		for i := 1; i < len(sw.Points); i++ {
+			if sw.Points[i].Speedup < sw.Points[i-1].Speedup {
+				t.Errorf("%s speedup not monotone at n=%d", app, sw.Points[i].N)
+			}
+		}
+	}
+}
+
+func TestFigure4GustafsonGap(t *testing.T) {
+	rep, err := Figure4(caseSweeps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QMC and WordCount track Gustafson within 10%.
+	for _, app := range []string{"qmc-pi", "wordcount"} {
+		meas := last(seriesByName(t, rep, app+"/measured"))
+		gust := last(seriesByName(t, rep, app+"/gustafson"))
+		if meas < 0.9*gust || meas > 1.02*gust {
+			t.Errorf("%s: measured %g vs Gustafson %g — should track closely", app, meas, gust)
+		}
+	}
+	// Sort and TeraSort fall far below Gustafson (< 20% of it at n=64).
+	for _, app := range []string{"sort", "terasort"} {
+		meas := last(seriesByName(t, rep, app+"/measured"))
+		gust := last(seriesByName(t, rep, app+"/gustafson"))
+		if meas > 0.2*gust {
+			t.Errorf("%s: measured %g vs Gustafson %g — Gustafson should fail badly", app, meas, gust)
+		}
+	}
+}
+
+func TestFigure5Step(t *testing.T) {
+	rep, err := Figure5(caseSweeps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 2 {
+		t.Fatalf("Fig. 5 must report a two-segment fit, got %+v", rep.Tables)
+	}
+	// The break must sit at the 2 GB / 128 MB ≈ 15-16 overflow point.
+	left, right := rep.Tables[0].Rows[0], rep.Tables[0].Rows[1]
+	if !strings.Contains(left[0], "16") && !strings.Contains(left[0], "15") {
+		t.Errorf("break location row %q, want near n=15-16", left[0])
+	}
+	if left[1] >= right[1] { // lexicographic works for "0.18" vs "0.25"
+		t.Errorf("IN slope must step up across the break: %q → %q", left[1], right[1])
+	}
+}
+
+func TestFigure6Fits(t *testing.T) {
+	rep, err := Figure6(caseSweeps(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	got := make(map[string][]string, len(rows))
+	for _, r := range rows {
+		got[r[0]] = r
+	}
+	checks := []struct {
+		app                  string
+		inSlopeLo, inSlopeHi float64
+	}{
+		{app: "qmc-pi", inSlopeLo: -0.01, inSlopeHi: 0.01},
+		{app: "wordcount", inSlopeLo: -0.01, inSlopeHi: 0.05},
+		{app: "sort", inSlopeLo: 0.3, inSlopeHi: 0.45},    // paper: 0.36
+		{app: "terasort", inSlopeLo: 0.2, inSlopeHi: 0.3}, // paper: 0.23
+	}
+	for _, c := range checks {
+		row, ok := got[c.app]
+		if !ok {
+			t.Fatalf("no fit row for %s", c.app)
+		}
+		slope := parseF(t, row[3])
+		if slope < c.inSlopeLo || slope > c.inSlopeHi {
+			t.Errorf("%s IN slope %g, want in [%g, %g]", c.app, slope, c.inSlopeLo, c.inSlopeHi)
+		}
+		exSlope := parseF(t, row[1])
+		if exSlope < 0.99 || exSlope > 1.01 {
+			t.Errorf("%s EX slope %g, want ≈1 (EX(n) ≈ n)", c.app, exSlope)
+		}
+	}
+}
+
+func TestFigure7PredictionQuality(t *testing.T) {
+	rep, err := Figure7(caseSweeps(t), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"qmc-pi", "wordcount", "sort", "terasort"} {
+		meas := last(seriesByName(t, rep, app+"/measured"))
+		ipso := last(seriesByName(t, rep, app+"/ipso"))
+		if rel := abs(ipso-meas) / meas; rel > 0.25 {
+			t.Errorf("%s: IPSO prediction %g vs measured %g (rel %g > 0.25)", app, ipso, meas, rel)
+		}
+	}
+	// Gustafson must be qualitatively wrong for the in-proportion cases.
+	for _, app := range []string{"sort", "terasort"} {
+		meas := last(seriesByName(t, rep, app+"/measured"))
+		gust := last(seriesByName(t, rep, app+"/gustafson"))
+		if gust < 3*meas {
+			t.Errorf("%s: Gustafson %g vs measured %g — should overpredict ≫", app, gust, meas)
+		}
+	}
+}
+
+func TestDiagnosticsTable(t *testing.T) {
+	rep, err := Diagnostics(caseSweeps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"qmc-pi":    "It",
+		"wordcount": "It",
+		"sort":      "IIIt,1",
+		"terasort":  "IIIt,1",
+	}
+	for _, row := range rep.Tables[0].Rows {
+		if w := want[row[0]]; row[2] != w {
+			t.Errorf("%s diagnosed as %s, want %s", row[0], row[2], w)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

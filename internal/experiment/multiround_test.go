@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"ipso/internal/core"
+	"ipso/internal/spark"
+	"ipso/internal/workload"
+)
+
+// TestMultiRoundModelMatchesSimulatedCF validates the Section III claim
+// that multi-round jobs are modeled "by viewing Wp(n), Ws(n) and Wo(n) as
+// the sum of the corresponding workloads in all rounds": a two-round
+// core.Multi built from the CF app's per-round workloads must track the
+// engine-simulated CF speedup across the Table I grid.
+func TestMultiRoundModelMatchesSimulatedCF(t *testing.T) {
+	cf := workload.NewCollaborativeFiltering()
+
+	// Per-round analytical workloads on the reference cluster: each of
+	// the two update rounds carries half the iteration's fixed-size work;
+	// the serialized broadcast gives Wo_r(n) = n·bytes/masterBW, i.e.
+	// q_r(n) = n²·bytes/(masterBW·Wp_r(1)) — γ = 2.
+	const (
+		cpuRate  = 100e6
+		masterBW = 250e6
+	)
+	wp1Round := cf.WorkPerIteration / 2 / cpuRate // seconds
+	betaRound := cf.FeatureVectorBytes / masterBW / wp1Round
+	round := core.Round{
+		Name: "update",
+		Wp1:  wp1Round,
+		EX:   core.Constant(1),
+		Q:    core.PowerFactor(betaRound, 2),
+	}
+	multi, err := core.NewMulti(round, round)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{10, 30, 60, 90} {
+		modeled, err := multi.Speedup(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated, _, _, err := spark.Speedup(workload.CFConfig(cf, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The model omits the per-stage deserialization constant the
+		// simulator charges, so agreement within 20% is the target.
+		if rel := math.Abs(modeled-simulated) / simulated; rel > 0.20 {
+			t.Errorf("n=%d: multi-round model %.2f vs simulated %.2f (rel %.2f)", n, modeled, simulated, rel)
+		}
+	}
+
+	// Both must peak in the same neighborhood.
+	mPeak, sPeak := 0.0, 0.0
+	var mN, sN int
+	for n := 10; n <= 120; n += 5 {
+		m, err := multi.Speedup(float64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > mPeak {
+			mPeak, mN = m, n
+		}
+		s, _, _, err := spark.Speedup(workload.CFConfig(cf, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > sPeak {
+			sPeak, sN = s, n
+		}
+	}
+	if abs(float64(mN-sN)) > 15 {
+		t.Errorf("peak locations diverge: model n=%d vs simulated n=%d", mN, sN)
+	}
+}

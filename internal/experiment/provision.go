@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/core"
+	"ipso/internal/workload"
+)
+
+// Provisioning frames every case study as the resource question the
+// paper's introduction motivates: "informed datacenter resource
+// provisioning decisions ... to achieve the best speedup-versus-cost
+// tradeoffs". For each MapReduce app the IPSO model is fitted from a
+// small-n sweep and swept over operating points; the Collaborative
+// Filtering row uses the Fig. 8 parameters. Rows report the
+// speedup-per-dollar optimum and the hard scale-out limit (if any).
+func Provisioning(sweeps []MRSweep, pricePerNodeHour float64, maxN int) (Report, error) {
+	if pricePerNodeHour <= 0 || maxN < 1 {
+		return Report{}, fmt.Errorf("experiment: invalid provisioning parameters (price=%g maxN=%d)", pricePerNodeHour, maxN)
+	}
+	rep := Report{ID: "provisioning", Title: "Speedup-versus-cost operating points per application"}
+	tbl := Table{
+		Title:   fmt.Sprintf("at $%.2f/node-hour, n <= %d", pricePerNodeHour, maxN),
+		Headers: []string{"app", "best $ n", "speedup", "job s", "$ per job", "hard limit"},
+	}
+
+	addRow := func(name string, input core.ProvisionInput) error {
+		best, err := input.BestSpeedupPerDollar()
+		if err != nil {
+			return err
+		}
+		limit := "none"
+		if l, ok, err := input.HardScaleOutLimit(); err == nil && ok {
+			limit = fmt.Sprintf("%d", l)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			name,
+			fmt.Sprintf("%d", best.N),
+			f2(best.Speedup),
+			fmt.Sprintf("%.0f", best.Seconds),
+			fmt.Sprintf("%.4f", best.Dollars),
+			limit,
+		})
+		return nil
+	}
+
+	for _, sw := range sweeps {
+		fit := sw.truncate(16)
+		est, err := core.Estimate(fit.Measurements())
+		if err != nil {
+			return Report{}, fmt.Errorf("experiment: fit %s: %w", sw.App, err)
+		}
+		pred, err := core.NewPredictor(est, sw.Tp1, sw.Ts1)
+		if err != nil {
+			return Report{}, err
+		}
+		input := core.ProvisionInput{
+			Model:            pred.Model(),
+			SeqJobSeconds:    sw.Tp1 + sw.Ts1,
+			PricePerNodeHour: pricePerNodeHour,
+			MaxN:             maxN,
+		}
+		if err := addRow(sw.App, input); err != nil {
+			return Report{}, fmt.Errorf("experiment: provision %s: %w", sw.App, err)
+		}
+	}
+
+	// Collaborative Filtering from the Fig. 8 parameters.
+	cfModel, err := core.Asymptotic{Eta: 1, Beta: 0.6 / workload.PaperCFSeqTime, Gamma: 2}.Model(core.FixedSize)
+	if err != nil {
+		return Report{}, err
+	}
+	cfInput := core.ProvisionInput{
+		Model:            cfModel,
+		SeqJobSeconds:    workload.PaperCFSeqTime,
+		PricePerNodeHour: pricePerNodeHour,
+		MaxN:             maxN,
+	}
+	if err := addRow("collaborative-filtering", cfInput); err != nil {
+		return Report{}, err
+	}
+
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}

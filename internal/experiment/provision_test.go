@@ -1,0 +1,41 @@
+package experiment
+
+import "testing"
+
+func TestProvisioningReport(t *testing.T) {
+	rep, err := Provisioning(caseSweeps(t), 0.4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 5 { // four MR apps + CF
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byApp := make(map[string][]string, len(rows))
+	for _, r := range rows {
+		byApp[r[0]] = r
+	}
+	// CF must report a hard scale-out limit near the Fig. 8 peak.
+	cf := byApp["collaborative-filtering"]
+	if cf[5] == "none" {
+		t.Error("CF must have a hard scale-out limit (IVs)")
+	} else if l := parseF(t, cf[5]); l < 40 || l > 70 {
+		t.Errorf("CF hard limit %g, want ≈52-60", l)
+	}
+	// The near-linear apps have no hard limit and choose large n.
+	for _, app := range []string{"qmc-pi", "wordcount"} {
+		if byApp[app][5] != "none" {
+			t.Errorf("%s should have no hard limit, got %q", app, byApp[app][5])
+		}
+	}
+	// The bounded apps (Sort/TeraSort) are not cost-effective to scale:
+	// the speedup-per-dollar optimum stays tiny.
+	for _, app := range []string{"sort", "terasort"} {
+		if n := parseF(t, byApp[app][1]); n > 4 {
+			t.Errorf("%s best-$ n = %g, want small (bounded speedup, cost ∝ n)", app, n)
+		}
+	}
+	if _, err := Provisioning(caseSweeps(t), 0, 200); err == nil {
+		t.Error("invalid price should error")
+	}
+}

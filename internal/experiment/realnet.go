@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipso/internal/netmr"
+	"ipso/internal/workload"
+)
+
+// RealNet measures the actual TCP MapReduce runtime: the same WordCount
+// computation is run over the network with growing worker pools and the
+// measured wall-clock speedups (against the one-worker execution) are
+// reported alongside the phase decomposition. Unlike every other
+// experiment here, these are genuine measurements on the host machine —
+// noisy and hardware-dependent, included to close the loop between the
+// simulated case studies and a running distributed system.
+//
+// Interpretation caveats: in-process workers share the host's cores, so
+// the measured speedup is capped by the physical core count (≈1 on a
+// single-vCPU box no matter how many workers join), and the master-side
+// scatter serializes records through one JSON encoder — a real instance
+// of scale-out-induced serial work. Both effects are the resource
+// constraints the paper's model is about, showing up on a real wall
+// clock.
+func RealNet(workerCounts []int, lines, shards int) (Report, error) {
+	if len(workerCounts) == 0 || lines < 1 || shards < 1 {
+		return Report{}, fmt.Errorf("experiment: invalid realnet grid (workers=%v lines=%d shards=%d)", workerCounts, lines, shards)
+	}
+	input, err := workload.TextLines(lines, 10, 42)
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{ID: "realnet", Title: "Real TCP MapReduce runtime: measured wall-clock phases and speedups"}
+	tbl := Table{
+		Title:   "wordcount over localhost TCP (wall-clock; machine-dependent)",
+		Headers: []string{"workers", "split ms", "merge ms", "total ms", "speedup vs 1 worker"},
+	}
+	var base time.Duration
+	var xs, ys []float64
+	for _, n := range workerCounts {
+		if n < 1 {
+			return Report{}, fmt.Errorf("experiment: invalid worker count %d", n)
+		}
+		stats, err := runRealWordCount(input, n, shards)
+		if err != nil {
+			return Report{}, err
+		}
+		if base == 0 {
+			base = stats.TotalWall
+		}
+		speedup := float64(base) / float64(stats.TotalWall)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", float64(stats.SplitWall)/1e6),
+			fmt.Sprintf("%.1f", float64(stats.MergeWall)/1e6),
+			fmt.Sprintf("%.1f", float64(stats.TotalWall)/1e6),
+			f2(speedup),
+		})
+		xs = append(xs, float64(n))
+		ys = append(ys, speedup)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	rep.Series = append(rep.Series, Series{Name: "realnet/wordcount", X: xs, Y: ys})
+	return rep, nil
+}
+
+func runRealWordCount(input []string, workers, shards int) (netmr.Stats, error) {
+	job := netmr.Job{
+		Name: "wordcount",
+		Map: func(record string, emit func(string, float64)) {
+			for _, w := range strings.Fields(record) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(_ string, values []float64) float64 {
+			total := 0.0
+			for _, v := range values {
+				total += v
+			}
+			return total
+		},
+	}
+	registry, err := netmr.NewRegistry(job)
+	if err != nil {
+		return netmr.Stats{}, err
+	}
+	master, err := netmr.NewMaster(registry, netmr.MasterConfig{})
+	if err != nil {
+		return netmr.Stats{}, err
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		return netmr.Stats{}, err
+	}
+	defer master.Close()
+
+	stops := make([]func(), 0, workers)
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		wreg, err := netmr.NewRegistry(job)
+		if err != nil {
+			return netmr.Stats{}, err
+		}
+		w, err := netmr.NewWorker(wreg)
+		if err != nil {
+			return netmr.Stats{}, err
+		}
+		if err := w.Start(addr); err != nil {
+			return netmr.Stats{}, err
+		}
+		stops = append(stops, w.Stop)
+	}
+	if err := master.WaitForWorkers(workers, 30*time.Second); err != nil {
+		return netmr.Stats{}, err
+	}
+	_, stats, err := master.Run("wordcount", input, shards)
+	return stats, err
+}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/mapreduce"
+	"ipso/internal/stats"
+)
+
+// ReplicatedSpeedup runs one MapReduce operating point reps times with
+// independent straggler seeds and returns the sample of measured
+// speedups — the paper's "data presented are average results of multiple
+// experimental runs" for the statistic model.
+func ReplicatedSpeedup(app mapreduce.AppModel, n, reps int, jitter stats.Distribution) ([]float64, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("experiment: reps %d must be >= 1", reps)
+	}
+	out := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		cfg := MRConfig(app, n)
+		cfg.Jitter = jitter
+		cfg.Seed = int64(r + 1)
+		s, _, _, err := mapreduce.Speedup(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: rep %d: %w", r, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ReplicationSummary is the averaged result at one operating point.
+type ReplicationSummary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Reps   int
+}
+
+// ReplicatedSweep averages the measured speedup across replicated runs at
+// each degree.
+func ReplicatedSweep(app mapreduce.AppModel, ns []int, reps int, jitter stats.Distribution) ([]ReplicationSummary, error) {
+	out := make([]ReplicationSummary, 0, len(ns))
+	for _, n := range ns {
+		sample, err := ReplicatedSpeedup(app, n, reps, jitter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ReplicationSummary{
+			N:      n,
+			Mean:   stats.Mean(sample),
+			StdDev: stats.StdDev(sample),
+			Reps:   reps,
+		})
+	}
+	return out, nil
+}

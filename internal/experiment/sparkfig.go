@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/spark"
+	"ipso/internal/workload"
+)
+
+// DefaultLoadLevels are the paper's per-executor load levels N/m for the
+// fixed-time dimension (Fig. 9).
+func DefaultLoadLevels() []int { return []int{1, 2, 4, 8} }
+
+// DefaultSparkExecGrid is the executor (scale-out) grid of the Spark case
+// studies.
+func DefaultSparkExecGrid() []int { return []int{1, 2, 4, 8, 12, 16, 24, 32} }
+
+// DefaultFixedSizeTasks is the fixed problem size N for Fig. 10, chosen
+// large enough that all four apps peak within the executor grid.
+const DefaultFixedSizeTasks = 96
+
+// DefaultFixedSizeExecGrid is the executor grid for the fixed-size
+// dimension (Fig. 10) — it extends past the peak but stays below N, the
+// regime the paper plots (one executor handling several tasks).
+func DefaultFixedSizeExecGrid() []int { return []int{2, 4, 8, 16, 24, 32, 48, 64} }
+
+// Figure9 regenerates Fig. 9: the fixed-time dimension of the four Spark
+// benchmarks — speedup versus m with N/m held at each load level.
+func Figure9(loadLevels, execs []int) (Report, error) {
+	if len(loadLevels) == 0 || len(execs) == 0 {
+		return Report{}, fmt.Errorf("experiment: empty Fig. 9 grids")
+	}
+	rep := Report{ID: "fig9", Title: "Spark benchmarks, fixed-time dimension (N/m fixed, scaling m)"}
+	for _, app := range workload.SparkBenchmarks() {
+		for _, k := range loadLevels {
+			if k < 1 {
+				return Report{}, fmt.Errorf("experiment: invalid load level %d", k)
+			}
+			xs := make([]float64, 0, len(execs))
+			ys := make([]float64, 0, len(execs))
+			for _, m := range execs {
+				s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+				if err != nil {
+					return Report{}, fmt.Errorf("experiment: %s N/m=%d m=%d: %w", app.Name(), k, m, err)
+				}
+				xs = append(xs, float64(m))
+				ys = append(ys, s)
+			}
+			rep.Series = append(rep.Series, Series{
+				Name: fmt.Sprintf("%s/N_m=%d", app.Name(), k),
+				X:    xs, Y: ys,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Figure10 regenerates Fig. 10: the fixed-size dimension — speedup versus
+// m with the problem size N fixed; the speedups peak and then fall (IVs).
+func Figure10(tasks int, execs []int) (Report, error) {
+	if tasks < 1 || len(execs) == 0 {
+		return Report{}, fmt.Errorf("experiment: invalid Fig. 10 grid (tasks=%d)", tasks)
+	}
+	rep := Report{ID: "fig10", Title: fmt.Sprintf("Spark benchmarks, fixed-size dimension (N = %d, scaling m)", tasks)}
+	for _, app := range workload.SparkBenchmarks() {
+		xs := make([]float64, 0, len(execs))
+		ys := make([]float64, 0, len(execs))
+		for _, m := range execs {
+			if m < 1 {
+				return Report{}, fmt.Errorf("experiment: invalid executor count %d", m)
+			}
+			s, _, _, err := spark.Speedup(workload.SparkConfig(app, tasks, m))
+			if err != nil {
+				return Report{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), tasks, m, err)
+			}
+			xs = append(xs, float64(m))
+			ys = append(ys, s)
+		}
+		rep.Series = append(rep.Series, Series{Name: app.Name() + "/fixed-size", X: xs, Y: ys})
+	}
+	return rep, nil
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFigure9LoadLevelOrdering(t *testing.T) {
+	execs := []int{4, 8, 16, 32}
+	rep, err := Figure9(DefaultLoadLevels(), execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []string{"bayes", "random-forest", "svm", "nweight"}
+	if len(rep.Series) != len(apps)*len(DefaultLoadLevels()) {
+		t.Fatalf("series count %d, want %d", len(rep.Series), len(apps)*4)
+	}
+	for _, app := range apps {
+		at := func(k int) float64 {
+			return last(seriesByName(t, rep, fmt.Sprintf("%s/N_m=%d", app, k)))
+		}
+		// Paper: "the larger the per executor load level, the higher the
+		// speedup" — 4 > 2 > 1 ...
+		if !(at(4) > at(2) && at(2) > at(1)) {
+			t.Errorf("%s: load-level ordering violated: k=1:%g k=2:%g k=4:%g", app, at(1), at(2), at(4))
+		}
+		// ... except N/m = 8, which drops below 4 due to RAM pressure.
+		if at(8) >= at(4) {
+			t.Errorf("%s: N/m=8 (%g) should fall below N/m=4 (%g)", app, at(8), at(4))
+		}
+	}
+}
+
+func TestFigure9SublinearAtBest(t *testing.T) {
+	execs := []int{8, 32}
+	rep, err := Figure9([]int{4}, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Series {
+		// Fixed-time Spark cases degrade from It to IIt/IIIt: the speedup
+		// at m=32 must be clearly below linear.
+		if last(s) > 0.9*32 {
+			t.Errorf("%s: speedup %g at m=32 is too close to linear", s.Name, last(s))
+		}
+		if last(s) <= s.Y[0] {
+			t.Errorf("%s: speedup should still grow from m=8 to m=32", s.Name)
+		}
+	}
+}
+
+func TestFigure10PeaksAndFalls(t *testing.T) {
+	rep, err := Figure10(DefaultFixedSizeTasks, DefaultFixedSizeExecGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("series count %d, want 4", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		peak := 0
+		for i := range s.Y {
+			if s.Y[i] > s.Y[peak] {
+				peak = i
+			}
+		}
+		if peak == 0 || peak == len(s.Y)-1 {
+			t.Errorf("%s: no interior peak (IVs expected): %v", s.Name, s.Y)
+			continue
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[peak] {
+			t.Errorf("%s: speedup should fall after the peak", s.Name)
+		}
+	}
+}
+
+func TestFigureGridValidation(t *testing.T) {
+	if _, err := Figure9(nil, []int{2}); err == nil {
+		t.Error("empty load levels should error")
+	}
+	if _, err := Figure9([]int{0}, []int{2}); err == nil {
+		t.Error("invalid load level should error")
+	}
+	if _, err := Figure10(0, []int{2}); err == nil {
+		t.Error("invalid task count should error")
+	}
+	if _, err := Figure10(8, []int{0}); err == nil {
+		t.Error("invalid executor count should error")
+	}
+}

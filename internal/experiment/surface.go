@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/spark"
+	"ipso/internal/stats"
+	"ipso/internal/workload"
+)
+
+// SurfacePoint is one (N, m) operating point of a Spark benchmark.
+type SurfacePoint struct {
+	Tasks   int // N
+	Execs   int // m
+	Speedup float64
+}
+
+// SurfaceFit is the nonlinear-regression surface the paper overlays on
+// Figs. 9-10: the speedup of a stage-structured job modeled as
+//
+//	S(N, m) ≈ a·N / (a·N/m + b·m + c)
+//
+// where a is the per-task work, b the per-executor scale-out cost
+// (broadcast + dispatch serialization), and c the fixed serial/driver
+// part. The projections of this surface at fixed N/m and fixed N are the
+// paper's "matched curves" for the fixed-time and fixed-size dimensions.
+type SurfaceFit struct {
+	A, B, C float64
+	SSE     float64
+	R2      float64
+}
+
+// Eval returns the fitted speedup at (tasks, execs).
+func (f SurfaceFit) Eval(tasks, execs float64) float64 {
+	return f.A * tasks / (f.A*tasks/execs + f.B*execs + f.C)
+}
+
+// FitSurface fits the surface to measured points by Levenberg-Marquardt,
+// encoding the 2-D inputs through the sample index.
+func FitSurface(points []SurfacePoint) (SurfaceFit, error) {
+	if len(points) < 4 {
+		return SurfaceFit{}, fmt.Errorf("experiment: need >= 4 surface points, got %d", len(points))
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		if p.Tasks < 1 || p.Execs < 1 || p.Speedup <= 0 {
+			return SurfaceFit{}, fmt.Errorf("experiment: invalid surface point %+v", p)
+		}
+		xs[i] = float64(i)
+		ys[i] = p.Speedup
+	}
+	model := func(par []float64, x float64) float64 {
+		p := points[int(x)]
+		a, b, c := abs64(par[0]), abs64(par[1]), abs64(par[2])
+		den := a*float64(p.Tasks)/float64(p.Execs) + b*float64(p.Execs) + c
+		if den <= 0 {
+			return 0
+		}
+		return a * float64(p.Tasks) / den
+	}
+	res, err := stats.NonlinearFit(model, xs, ys, []float64{10, 0.3, 10}, stats.NLSOptions{})
+	if err != nil {
+		return SurfaceFit{}, err
+	}
+	fit := SurfaceFit{A: abs64(res.Params[0]), B: abs64(res.Params[1]), C: abs64(res.Params[2]), SSE: res.SSE}
+
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	ssTot := 0.0
+	for _, y := range ys {
+		ssTot += (y - mean) * (y - mean)
+	}
+	if ssTot > 0 {
+		fit.R2 = 1 - fit.SSE/ssTot
+	}
+	return fit, nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SparkSurface measures each benchmark on a (N, m) grid, fits the
+// regression surface, and reports the fitted parameters plus the
+// projected fixed-time (N/m = 4) and fixed-size (largest N) curves — the
+// methodology behind the matched curves of Figs. 9-10.
+func SparkSurface(loadLevels, execs []int) (Report, error) {
+	if len(loadLevels) == 0 || len(execs) == 0 {
+		return Report{}, fmt.Errorf("experiment: empty surface grids")
+	}
+	rep := Report{ID: "surface", Title: "Spark speedup surfaces S(N, m) via nonlinear regression"}
+	tbl := Table{
+		Title:   "fitted surfaces S(N,m) = aN / (aN/m + bm + c)",
+		Headers: []string{"app", "a (task s)", "b (per-exec s)", "c (serial s)", "R²"},
+	}
+	for _, app := range workload.SparkBenchmarks() {
+		var points []SurfacePoint
+		for _, k := range loadLevels {
+			for _, m := range execs {
+				s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+				if err != nil {
+					return Report{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), k*m, m, err)
+				}
+				points = append(points, SurfacePoint{Tasks: k * m, Execs: m, Speedup: s})
+			}
+		}
+		fit, err := FitSurface(points)
+		if err != nil {
+			return Report{}, fmt.Errorf("experiment: fit %s: %w", app.Name(), err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			app.Name(), f3(fit.A), f3(fit.B), f3(fit.C), f3(fit.R2),
+		})
+
+		// Projections: fixed-time at N/m = 4 and fixed-size at the
+		// largest measured N.
+		var ftX, ftY, fsX, fsY []float64
+		maxN := loadLevels[len(loadLevels)-1] * execs[len(execs)-1]
+		for _, m := range execs {
+			ftX = append(ftX, float64(m))
+			ftY = append(ftY, fit.Eval(float64(4*m), float64(m)))
+			fsX = append(fsX, float64(m))
+			fsY = append(fsY, fit.Eval(float64(maxN), float64(m)))
+		}
+		rep.Series = append(rep.Series,
+			Series{Name: app.Name() + "/surface-fixed-time", X: ftX, Y: ftY},
+			Series{Name: app.Name() + "/surface-fixed-size", X: fsX, Y: fsY},
+		)
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}

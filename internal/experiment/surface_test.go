@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+
+	"ipso/internal/mapreduce"
+	"ipso/internal/stats"
+	"ipso/internal/workload"
+)
+
+func TestFitSurfaceRecoversSyntheticParameters(t *testing.T) {
+	truth := SurfaceFit{A: 12, B: 0.4, C: 18}
+	var points []SurfacePoint
+	for _, k := range []int{1, 2, 4} {
+		for _, m := range []int{2, 4, 8, 16, 32} {
+			points = append(points, SurfacePoint{
+				Tasks: k * m, Execs: m,
+				Speedup: truth.Eval(float64(k*m), float64(m)),
+			})
+		}
+	}
+	fit, err := FitSurface(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SSE > 1e-6 {
+		t.Errorf("SSE %g on exact data, want ~0 (fit %+v)", fit.SSE, fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R² %g, want ~1", fit.R2)
+	}
+	// The surface is identifiable only up to scale when exact; check the
+	// ratios instead of the raw parameters.
+	if ratio := fit.B / fit.A; ratio < 0.4/12*0.9 || ratio > 0.4/12*1.1 {
+		t.Errorf("b/a = %g, want ≈%g", ratio, 0.4/12)
+	}
+}
+
+func TestFitSurfaceValidation(t *testing.T) {
+	if _, err := FitSurface(nil); err == nil {
+		t.Error("too few points should error")
+	}
+	bad := []SurfacePoint{{Tasks: 1, Execs: 1, Speedup: 1}, {Tasks: 0, Execs: 1, Speedup: 1}, {Tasks: 1, Execs: 1, Speedup: 1}, {Tasks: 1, Execs: 1, Speedup: -1}}
+	if _, err := FitSurface(bad); err == nil {
+		t.Error("invalid points should error")
+	}
+}
+
+func TestSparkSurfaceReport(t *testing.T) {
+	rep, err := SparkSurface([]int{1, 2, 4}, []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 4 {
+		t.Fatalf("expected 4 fitted surfaces, got %+v", rep.Tables)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		r2 := parseF(t, row[4])
+		if r2 < 0.9 {
+			t.Errorf("%s: surface R² %g, want >= 0.9 (the matched surface must track the measurements)", row[0], r2)
+		}
+	}
+	if len(rep.Series) != 8 {
+		t.Errorf("expected 2 projected curves per app, got %d series", len(rep.Series))
+	}
+	if _, err := SparkSurface(nil, []int{2}); err == nil {
+		t.Error("empty grid should error")
+	}
+}
+
+func TestReplicatedSweep(t *testing.T) {
+	app := workload.NewSort()
+	jitter := stats.Uniform{Low: 0.8, High: 1.2}
+	sums, err := ReplicatedSweep(app, []int{4, 16}, 6, jitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(sums))
+	}
+	for _, s := range sums {
+		if s.StdDev <= 0 {
+			t.Errorf("n=%d: replicated runs with jitter should vary, stddev %g", s.N, s.StdDev)
+		}
+		if s.Mean <= 0 {
+			t.Errorf("n=%d: nonpositive mean %g", s.N, s.Mean)
+		}
+	}
+	// The averaged jittered speedup sits below the deterministic one.
+	det, _, _, err := mapreduce.Speedup(MRConfig(app, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[1].Mean >= det {
+		t.Errorf("jittered mean %g should fall below deterministic %g", sums[1].Mean, det)
+	}
+	if _, err := ReplicatedSpeedup(app, 4, 0, jitter); err == nil {
+		t.Error("zero reps should error")
+	}
+}

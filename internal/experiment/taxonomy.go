@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ipso/internal/core"
+)
+
+// taxonomyCase is one canonical parameterization of a scaling type.
+type taxonomyCase struct {
+	name string
+	a    core.Asymptotic
+}
+
+func fixedTimeCases() []taxonomyCase {
+	return []taxonomyCase{
+		{name: "It (Gustafson-like)", a: core.Asymptotic{Eta: 0.9, Alpha: 1, Delta: 1}},
+		{name: "IIt (sublinear unbounded)", a: core.Asymptotic{Eta: 0.9, Alpha: 1, Delta: 1, Beta: 0.3, Gamma: 0.5}},
+		{name: "IIIt,1 (bounded, in-proportion)", a: core.Asymptotic{Eta: 0.59, Alpha: 2.6, Delta: 0}},
+		{name: "IIIt,2 (bounded, linear overhead)", a: core.Asymptotic{Eta: 0.9, Alpha: 1, Delta: 1, Beta: 0.05, Gamma: 1}},
+		{name: "IVt (peaked)", a: core.Asymptotic{Eta: 0.9, Alpha: 1, Delta: 1, Beta: 0.002, Gamma: 2}},
+	}
+}
+
+func fixedSizeCases() []taxonomyCase {
+	return []taxonomyCase{
+		{name: "Is (ideal linear)", a: core.Asymptotic{Eta: 1}},
+		{name: "IIs (sublinear unbounded)", a: core.Asymptotic{Eta: 1, Beta: 0.3, Gamma: 0.5}},
+		{name: "IIIs,1 (Amdahl-like)", a: core.Asymptotic{Eta: 0.9, Alpha: 1}},
+		{name: "IIIs,2 (linear overhead)", a: core.Asymptotic{Eta: 0.9, Alpha: 1, Beta: 0.05, Gamma: 1}},
+		{name: "IVs (peaked)", a: core.Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}},
+	}
+}
+
+// FigureTaxonomy regenerates Fig. 2 (fixed-time) or Fig. 3 (fixed-size):
+// one canonical speedup curve per scaling type over the ns grid, plus a
+// table of the classification and asymptotic bound of each curve.
+func FigureTaxonomy(w core.WorkloadType, ns []float64) (Report, error) {
+	var cases []taxonomyCase
+	var id, title string
+	switch w {
+	case core.FixedTime:
+		cases, id, title = fixedTimeCases(), "fig2", "Four distinct IPSO scaling behaviors, fixed-time workload"
+	case core.FixedSize:
+		cases, id, title = fixedSizeCases(), "fig3", "Four distinct IPSO scaling behaviors, fixed-size workload"
+	default:
+		return Report{}, fmt.Errorf("experiment: unknown workload type %v", w)
+	}
+
+	rep := Report{ID: id, Title: title}
+	tbl := Table{
+		Title:   "classification and bounds",
+		Headers: []string{"curve", "type", "bounded", "asymptotic bound", "pathological"},
+	}
+	for _, c := range cases {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			s, err := c.a.Speedup(n)
+			if err != nil {
+				return Report{}, fmt.Errorf("experiment: %s at n=%g: %w", c.name, n, err)
+			}
+			ys[i] = s
+		}
+		rep.Series = append(rep.Series, Series{Name: c.name, X: ns, Y: ys})
+
+		typ, err := c.a.Classify(w)
+		if err != nil {
+			return Report{}, err
+		}
+		limit, bounded, err := c.a.Bound(w)
+		if err != nil {
+			return Report{}, err
+		}
+		boundCell := "unbounded"
+		if bounded {
+			boundCell = f2(limit)
+			if typ == core.TypeIVt || typ == core.TypeIVs {
+				nStar, sStar, err := c.a.Peak(int(ns[len(ns)-1]))
+				if err != nil {
+					return Report{}, err
+				}
+				boundCell = fmt.Sprintf("peak %.2f at n=%.0f, then falls", sStar, nStar)
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			c.name, typ.String(), fmt.Sprintf("%v", bounded), boundCell, fmt.Sprintf("%v", typ.Pathological()),
+		})
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipso/internal/cluster"
+)
+
+// The deterministic engine has a closed-form makespan; this file verifies
+// the simulator against the hand-derived formulas across a randomized
+// parameter space — the strongest correctness check available for a
+// discrete-event model.
+//
+// Parallel (equal tasks, FIFO dispatch, serialized reducer ingest):
+//
+//	T_par = init + n·d + mapWork/rate            (last dispatch, then map)
+//	      + n·outBytes/bw                        (incast-serialized shuffle)
+//	      + spillBytes/diskBW + mergeWork/rate + reduceWork/rate
+//
+// Sequential (footnote 1: no init/dispatch/shuffle):
+//
+//	T_seq = n·mapWork/rate + spillBytes/diskBW + mergeWork/rate + reduceWork/rate
+func analyticMakespans(cfg Config) (par, seq float64) {
+	spec := cfg.Cluster.Worker
+	mapT := cfg.App.MapWork(cfg.ShardBytes) / spec.CPURate
+	out := cfg.App.MapOutputBytes(cfg.ShardBytes)
+	total := out * float64(cfg.N)
+	spill := spillBytes(cfg.App, total, reducerMemory(cfg))
+	serialTail := spill/spec.DiskBW + cfg.App.MergeWork(total)/spec.CPURate + cfg.App.ReduceWork(total)/spec.CPURate
+
+	bw := spec.NICBW // worker and reducer share the spec; min is itself
+	par = cfg.InitTime + float64(cfg.N)*cfg.Cluster.DispatchTime + mapT +
+		float64(cfg.N)*out/bw + serialTail
+	seq = float64(cfg.N)*mapT + serialTail
+	return par, seq
+}
+
+func TestEngineMatchesClosedForm(t *testing.T) {
+	f := func(nRaw, shardRaw, mapRaw, outRaw, mergeRaw, memRaw, dRaw uint8) bool {
+		cfg := Config{
+			App: testApp{
+				name:              "cf-check",
+				mapWorkPerByte:    float64(mapRaw%20)/4 + 0.25,
+				outBytesPerByte:   float64(outRaw%10) / 10,
+				mergeSetup:        float64(mergeRaw % 50),
+				mergeWorkPerByte:  float64(mergeRaw%8) / 8,
+				reduceWorkPerByte: float64(mergeRaw%4) / 16,
+			},
+			N:                  int(nRaw%24) + 1,
+			ShardBytes:         float64(shardRaw%100) + 1,
+			Cluster:            testClusterConfig(),
+			ReducerMemoryBytes: float64(memRaw%200) + 1,
+			InitTime:           float64(dRaw%10) / 10,
+		}
+		cfg.Cluster.DispatchTime = float64(dRaw%5) / 20
+
+		wantPar, wantSeq := analyticMakespans(cfg)
+		par, err := RunParallel(cfg)
+		if err != nil {
+			return false
+		}
+		seq, err := RunSequential(cfg)
+		if err != nil {
+			return false
+		}
+		return almost(par.Makespan, wantPar) && almost(seq.Makespan, wantSeq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineMatchesClosedFormOnCalibratedCluster(t *testing.T) {
+	// The same check on the EMR-like cluster the experiments use.
+	cfg := Config{
+		App: testApp{
+			name:             "emr-check",
+			mapWorkPerByte:   14,
+			outBytesPerByte:  1,
+			mergeSetup:       8e8,
+			mergeWorkPerByte: 2,
+		},
+		N:                  24,
+		ShardBytes:         cluster.BlockBytes,
+		Cluster:            cluster.DefaultConfig(25),
+		ReducerMemoryBytes: cluster.ReducerMemoryBytes,
+		InitTime:           0.5,
+	}
+	wantPar, wantSeq := analyticMakespans(cfg)
+	s, par, seq, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(par.Makespan, wantPar) {
+		t.Errorf("parallel makespan %g, closed form %g", par.Makespan, wantPar)
+	}
+	if !almost(seq.Makespan, wantSeq) {
+		t.Errorf("sequential makespan %g, closed form %g", seq.Makespan, wantSeq)
+	}
+	if !almost(s, wantSeq/wantPar) {
+		t.Errorf("speedup %g, closed form %g", s, wantSeq/wantPar)
+	}
+}

@@ -1,0 +1,394 @@
+// Package mapreduce simulates the paper's single-round MapReduce execution
+// (the homogeneous Split-Merge model of Section III): n identical
+// processing units run the parallelizable map tasks with barrier
+// synchronization, one more identical unit runs the serial shuffle/merge/
+// reduce, and a centralized dispatcher schedules tasks.
+//
+// Two execution modes mirror Section IV exactly:
+//
+//   - RunParallel: the scale-out execution (init + dispatch + map wave +
+//     shuffle into the single reducer + merge/spill + reduce);
+//   - RunSequential: the paper's sequential job execution model — the n
+//     tasks of the split phase run back-to-back on one processing unit and
+//     the merge runs afterwards, with no scale-out-induced workload
+//     charged (footnote 1 of the paper).
+//
+// The measured speedup is the ratio of the two makespans, and all phase
+// timings are recorded in a trace.Log so the experiment harness can apply
+// the paper's log-based estimation of EX(n), IN(n) and q(n).
+//
+// The package also contains a real in-memory MapReduce runner (local.go)
+// for executing genuine map/reduce functions over real records; the
+// simulator reproduces the paper's cluster-scale experiments while the
+// local runner makes the library usable as an actual (small-scale)
+// MapReduce library.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ipso/internal/cluster"
+	"ipso/internal/simtime"
+	"ipso/internal/stats"
+	"ipso/internal/trace"
+)
+
+// StreamingMerger is an optional AppModel refinement: applications whose
+// reducer merges as a stream (identity reduce over sorted runs, e.g.
+// HiBench Sort over text) never materialize the full working set in
+// reducer memory and therefore never trigger spill I/O. Applications that
+// do materialize it (TeraSort's total-order merge) are subject to the
+// reducer-memory spill model — the mechanism behind the paper's Fig. 5.
+type StreamingMerger interface {
+	StreamingMerge() bool
+}
+
+// AppModel is a workload cost model for a single-round MapReduce
+// application. Work is expressed in abstract CPU units (a node with
+// CPURate r executes w units in w/r seconds); data sizes are bytes.
+type AppModel interface {
+	// Name identifies the application in traces.
+	Name() string
+	// MapWork returns the CPU work to map one shard of the given size.
+	MapWork(shardBytes float64) float64
+	// MapOutputBytes returns the intermediate bytes one map task emits.
+	MapOutputBytes(shardBytes float64) float64
+	// MergeWork returns the CPU work of the serial merge over all
+	// intermediate data (including any fixed per-job merge setup).
+	MergeWork(totalIntermediateBytes float64) float64
+	// ReduceWork returns the CPU work of the final reduce stage.
+	ReduceWork(totalIntermediateBytes float64) float64
+}
+
+// Config describes one simulated job execution.
+type Config struct {
+	App AppModel
+	// N is the scale-out degree: the number of parallel map tasks, each
+	// on its own processing unit (the paper's n).
+	N int
+	// ShardBytes is the input size per map task. For the paper's
+	// fixed-time workloads this is one 128 MB block per unit; for
+	// fixed-size workloads the harness divides a fixed total by N.
+	ShardBytes float64
+	// Cluster configures the simulated datacenter. Its Workers field is
+	// ignored: the engine allocates N map units plus 1 merge unit.
+	Cluster cluster.Config
+	// ReducerMemoryBytes bounds the merge unit's in-memory working set;
+	// intermediate data beyond it is spilled to disk (2 bytes of disk
+	// traffic per overflow byte: write + read back). Zero means the
+	// worker NodeSpec's memory.
+	ReducerMemoryBytes float64
+	// InitTime is the execution-environment initialization overhead
+	// charged to the parallel run (part (a) of the paper's breakdown).
+	InitTime float64
+	// Jitter optionally makes per-task map times random (multiplicative,
+	// should have mean ≈ 1): the statistic IPSO model. Nil means
+	// deterministic.
+	Jitter stats.Distribution
+	// Seed drives Jitter sampling; the same seed yields the same task
+	// workloads in RunParallel and RunSequential, so the speedup isolates
+	// the E[max] straggler penalty.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.App == nil {
+		return errors.New("mapreduce: nil AppModel")
+	}
+	if c.N < 1 {
+		return fmt.Errorf("mapreduce: N must be >= 1, got %d", c.N)
+	}
+	if c.ShardBytes < 0 {
+		return fmt.Errorf("mapreduce: negative shard size %g", c.ShardBytes)
+	}
+	if c.InitTime < 0 {
+		return fmt.Errorf("mapreduce: negative init time %g", c.InitTime)
+	}
+	if c.ReducerMemoryBytes < 0 {
+		return fmt.Errorf("mapreduce: negative reducer memory %g", c.ReducerMemoryBytes)
+	}
+	return nil
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	Log      *trace.Log
+	Makespan float64 // seconds of simulated wall-clock time
+	N        int
+}
+
+// taskWorks returns the (possibly jittered) per-task map work. The same
+// cfg yields identical slices for parallel and sequential runs.
+func taskWorks(cfg Config) []float64 {
+	base := cfg.App.MapWork(cfg.ShardBytes)
+	works := make([]float64, cfg.N)
+	if cfg.Jitter == nil {
+		for i := range works {
+			works[i] = base
+		}
+		return works
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range works {
+		works[i] = base * cfg.Jitter.Sample(rng)
+	}
+	return works
+}
+
+func reducerMemory(cfg Config) float64 {
+	if cfg.ReducerMemoryBytes > 0 {
+		return cfg.ReducerMemoryBytes
+	}
+	return cfg.Cluster.Worker.MemoryBytes
+}
+
+// spillBytes returns the disk traffic caused by merging total bytes with
+// the given memory bound: every overflow byte is written and read back.
+// Streaming mergers never spill.
+func spillBytes(app AppModel, total, memory float64) float64 {
+	if s, ok := app.(StreamingMerger); ok && s.StreamingMerge() {
+		return 0
+	}
+	if total <= memory {
+		return 0
+	}
+	return 2 * (total - memory)
+}
+
+// RunParallel simulates the scale-out execution at scale-out degree cfg.N
+// and returns the trace and makespan.
+func RunParallel(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	eng := simtime.NewEngine()
+	ccfg := cfg.Cluster
+	ccfg.Workers = cfg.N + 1 // N map units + 1 merge unit (Split-Merge model)
+	clus, err := cluster.New(eng, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	log := trace.NewLog()
+	job := cfg.App.Name()
+	works := taskWorks(cfg)
+	outBytes := cfg.App.MapOutputBytes(cfg.ShardBytes)
+	totalOut := outBytes * float64(cfg.N)
+	reducer := clus.Workers()[cfg.N]
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	record := func(e trace.Event) {
+		if err := log.Add(e); err != nil {
+			fail(err)
+		}
+	}
+
+	mapsLeft := cfg.N
+	shuffleLeft := cfg.N
+	var shuffleStart float64
+
+	finishJob := func() {} // assigned below; declared for closure ordering
+
+	runMerge := func() {
+		spill := spillBytes(cfg.App, totalOut, reducerMemory(cfg))
+		doMergeCPU := func() {
+			mergeStart := eng.Now()
+			if err := reducer.RunCPU(cfg.App.MergeWork(totalOut), func() {
+				record(trace.Event{Job: job, Phase: trace.PhaseMerge, Task: -1, Start: mergeStart, End: eng.Now()})
+				reduceStart := eng.Now()
+				if err := reducer.RunCPU(cfg.App.ReduceWork(totalOut), func() {
+					record(trace.Event{Job: job, Phase: trace.PhaseReduce, Task: -1, Start: reduceStart, End: eng.Now()})
+					finishJob()
+				}); err != nil {
+					fail(err)
+				}
+			}); err != nil {
+				fail(err)
+			}
+		}
+		if spill > 0 {
+			spillStart := eng.Now()
+			if err := reducer.DiskIO(spill, func() {
+				record(trace.Event{Job: job, Phase: trace.PhaseSpill, Task: -1, Start: spillStart, End: eng.Now()})
+				doMergeCPU()
+			}); err != nil {
+				fail(err)
+			}
+			return
+		}
+		doMergeCPU()
+	}
+
+	startShuffle := func() {
+		shuffleStart = eng.Now()
+		for i := 0; i < cfg.N; i++ {
+			src := clus.Workers()[i]
+			if err := clus.Transfer(src, reducer, outBytes, func() {
+				shuffleLeft--
+				if shuffleLeft == 0 {
+					record(trace.Event{Job: job, Phase: trace.PhaseShuffle, Task: -1, Start: shuffleStart, End: eng.Now()})
+					runMerge()
+				}
+			}); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	initStart := eng.Now()
+	err = eng.Schedule(cfg.InitTime, func() {
+		record(trace.Event{Job: job, Phase: trace.PhaseInit, Task: -1, Start: initStart, End: eng.Now()})
+		for i := 0; i < cfg.N; i++ {
+			i := i
+			dispatchStart := eng.Now()
+			if err := clus.Dispatch(func() {
+				record(trace.Event{Job: job, Phase: trace.PhaseSchedule, Task: i, Start: dispatchStart, End: eng.Now()})
+				mapStart := eng.Now()
+				if err := clus.Workers()[i].RunCPU(works[i], func() {
+					record(trace.Event{Job: job, Phase: trace.PhaseMap, Task: i, Start: mapStart, End: eng.Now()})
+					mapsLeft--
+					if mapsLeft == 0 { // barrier synchronization
+						startShuffle()
+					}
+				}); err != nil {
+					fail(err)
+				}
+			}); err != nil {
+				fail(err)
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var makespan float64
+	done := false
+	finishJob = func() {
+		makespan = eng.Now()
+		done = true
+	}
+	eng.Run()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if !done {
+		return Result{}, errors.New("mapreduce: parallel execution did not complete")
+	}
+	return Result{Log: log, Makespan: makespan, N: cfg.N}, nil
+}
+
+// RunSequential simulates the paper's sequential job execution model: the
+// N split-phase tasks run back-to-back on a single processing unit,
+// followed by the merge. No dispatch, shuffle, or init is charged — by
+// definition the sequential execution generates no scale-out-induced
+// workload (footnote 1).
+func RunSequential(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	eng := simtime.NewEngine()
+	ccfg := cfg.Cluster
+	ccfg.Workers = 1
+	clus, err := cluster.New(eng, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	log := trace.NewLog()
+	job := cfg.App.Name()
+	works := taskWorks(cfg)
+	totalOut := cfg.App.MapOutputBytes(cfg.ShardBytes) * float64(cfg.N)
+	unit := clus.Workers()[0]
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	record := func(e trace.Event) {
+		if err := log.Add(e); err != nil {
+			fail(err)
+		}
+	}
+
+	var makespan float64
+	done := false
+
+	var runTask func(i int)
+	runMergePhase := func() {
+		spill := spillBytes(cfg.App, totalOut, reducerMemory(cfg))
+		mergeCPU := func() {
+			mergeStart := eng.Now()
+			if err := unit.RunCPU(cfg.App.MergeWork(totalOut), func() {
+				record(trace.Event{Job: job, Phase: trace.PhaseMerge, Task: -1, Start: mergeStart, End: eng.Now()})
+				reduceStart := eng.Now()
+				if err := unit.RunCPU(cfg.App.ReduceWork(totalOut), func() {
+					record(trace.Event{Job: job, Phase: trace.PhaseReduce, Task: -1, Start: reduceStart, End: eng.Now()})
+					makespan = eng.Now()
+					done = true
+				}); err != nil {
+					fail(err)
+				}
+			}); err != nil {
+				fail(err)
+			}
+		}
+		if spill > 0 {
+			spillStart := eng.Now()
+			if err := unit.DiskIO(spill, func() {
+				record(trace.Event{Job: job, Phase: trace.PhaseSpill, Task: -1, Start: spillStart, End: eng.Now()})
+				mergeCPU()
+			}); err != nil {
+				fail(err)
+			}
+			return
+		}
+		mergeCPU()
+	}
+	runTask = func(i int) {
+		if i == cfg.N {
+			runMergePhase()
+			return
+		}
+		start := eng.Now()
+		if err := unit.RunCPU(works[i], func() {
+			record(trace.Event{Job: job, Phase: trace.PhaseMap, Task: i, Start: start, End: eng.Now()})
+			runTask(i + 1)
+		}); err != nil {
+			fail(err)
+		}
+	}
+	runTask(0)
+	eng.Run()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if !done {
+		return Result{}, errors.New("mapreduce: sequential execution did not complete")
+	}
+	return Result{Log: log, Makespan: makespan, N: cfg.N}, nil
+}
+
+// Speedup runs both execution modes and returns T_sequential / T_parallel,
+// the measured speedup of Section V, along with both results.
+func Speedup(cfg Config) (s float64, par, seq Result, err error) {
+	par, err = RunParallel(cfg)
+	if err != nil {
+		return 0, Result{}, Result{}, fmt.Errorf("parallel run: %w", err)
+	}
+	seq, err = RunSequential(cfg)
+	if err != nil {
+		return 0, Result{}, Result{}, fmt.Errorf("sequential run: %w", err)
+	}
+	if par.Makespan <= 0 {
+		return 0, Result{}, Result{}, errors.New("mapreduce: nonpositive parallel makespan")
+	}
+	return seq.Makespan / par.Makespan, par, seq, nil
+}

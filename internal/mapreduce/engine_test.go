@@ -1,0 +1,264 @@
+package mapreduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipso/internal/cluster"
+	"ipso/internal/stats"
+	"ipso/internal/trace"
+)
+
+// testApp is a tunable cost model for engine tests. Work units are chosen
+// against a CPURate of 1 so work == seconds.
+type testApp struct {
+	name              string
+	mapWorkPerByte    float64
+	outBytesPerByte   float64
+	mergeSetup        float64
+	mergeWorkPerByte  float64
+	reduceWorkPerByte float64
+}
+
+func (a testApp) Name() string { return a.name }
+
+func (a testApp) MapWork(shard float64) float64 { return a.mapWorkPerByte * shard }
+
+func (a testApp) MapOutputBytes(shard float64) float64 { return a.outBytesPerByte * shard }
+
+func (a testApp) MergeWork(total float64) float64 { return a.mergeSetup + a.mergeWorkPerByte*total }
+
+func (a testApp) ReduceWork(total float64) float64 { return a.reduceWorkPerByte * total }
+
+func testClusterConfig() cluster.Config {
+	spec := cluster.NodeSpec{CPURate: 1, MemoryBytes: 1000, DiskBW: 2, NICBW: 10}
+	return cluster.Config{
+		Workers: 1, // overridden by the engine
+		Worker:  spec,
+		Master:  cluster.NodeSpec{CPURate: 10, MemoryBytes: 1e6, DiskBW: 10, NICBW: 100},
+	}
+}
+
+func baseConfig(n int) Config {
+	return Config{
+		App:        testApp{name: "test", mapWorkPerByte: 1, outBytesPerByte: 1, mergeWorkPerByte: 0.5},
+		N:          n,
+		ShardBytes: 10,
+		Cluster:    testClusterConfig(),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil app", mutate: func(c *Config) { c.App = nil }},
+		{name: "zero N", mutate: func(c *Config) { c.N = 0 }},
+		{name: "negative shard", mutate: func(c *Config) { c.ShardBytes = -1 }},
+		{name: "negative init", mutate: func(c *Config) { c.InitTime = -1 }},
+		{name: "negative memory", mutate: func(c *Config) { c.ReducerMemoryBytes = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baseConfig(2)
+			tt.mutate(&cfg)
+			if _, err := RunParallel(cfg); err == nil {
+				t.Error("RunParallel should reject invalid config")
+			}
+			if _, err := RunSequential(cfg); err == nil {
+				t.Error("RunSequential should reject invalid config")
+			}
+		})
+	}
+}
+
+func TestSequentialMakespanIsSumOfPhases(t *testing.T) {
+	cfg := baseConfig(3)
+	// 3 tasks × 10 B × 1 work/B / 1 rate = 30 s map; merge 0.5·30 = 15 s.
+	res, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, 45) {
+		t.Errorf("sequential makespan %g, want 45", res.Makespan)
+	}
+	if got := res.Log.PhaseTotal(trace.PhaseMap); !almost(got, 30) {
+		t.Errorf("map total %g, want 30", got)
+	}
+	if got := res.Log.PhaseTotal(trace.PhaseMerge); !almost(got, 15) {
+		t.Errorf("merge total %g, want 15", got)
+	}
+}
+
+func TestParallelMakespanStructure(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.InitTime = 1
+	cfg.Cluster.DispatchTime = 0.25
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// init 1; dispatches serialize at 0.25 so task i starts at 1+0.25(i+1);
+	// each map takes 10 s; last map ends at 1 + 1 + 10 = 12.
+	// Shuffle: 4 transfers of 10 B at min(10,10) B/s into one NIC = 4 s
+	// serialized → ends 16. Merge: 0.5·40 = 20 → 36.
+	if !almost(res.Makespan, 36) {
+		t.Errorf("parallel makespan %g, want 36", res.Makespan)
+	}
+	start, end, ok := res.Log.PhaseSpan(trace.PhaseShuffle)
+	if !ok || !almost(end-start, 4) {
+		t.Errorf("shuffle span (%g, %g, %v), want 4 s wide", start, end, ok)
+	}
+	if mx, ok := res.Log.MaxTaskDuration(trace.PhaseMap); !ok || !almost(mx, 10) {
+		t.Errorf("max map task %g, want 10", mx)
+	}
+	if got := len(res.Log.TaskDurations(trace.PhaseSchedule)); got != 4 {
+		t.Errorf("schedule events %d, want 4", got)
+	}
+}
+
+func TestSpillTriggersAboveMemory(t *testing.T) {
+	cfg := baseConfig(2) // total intermediate = 20 B
+	cfg.ReducerMemoryBytes = 15
+	par, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow 5 B → 10 B of disk at 2 B/s = 5 s of spill.
+	if got := par.Log.PhaseTotal(trace.PhaseSpill); !almost(got, 5) {
+		t.Errorf("spill time %g, want 5", got)
+	}
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.Log.PhaseTotal(trace.PhaseSpill); !almost(got, 5) {
+		t.Errorf("sequential spill time %g, want 5 (same memory model)", got)
+	}
+
+	cfg.ReducerMemoryBytes = 100
+	par, err = RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Log.PhaseTotal(trace.PhaseSpill); got != 0 {
+		t.Errorf("spill time %g below memory bound, want 0", got)
+	}
+}
+
+func TestSpeedupPerfectlyParallelApp(t *testing.T) {
+	// No merge, no reduce, negligible shuffle: speedup ≈ n (type It).
+	app := testApp{name: "embarrassing", mapWorkPerByte: 100, outBytesPerByte: 1e-9}
+	cfg := baseConfig(8)
+	cfg.App = app
+	s, _, _, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 7.9 || s > 8.0 {
+		t.Errorf("speedup %g, want ≈8 for perfectly parallel app", s)
+	}
+}
+
+func TestSpeedupBoundedBySerialMerge(t *testing.T) {
+	// Heavy merge: speedup saturates well below n (type IIIt).
+	app := testApp{name: "mergebound", mapWorkPerByte: 1, outBytesPerByte: 1, mergeWorkPerByte: 1}
+	s8 := mustSpeedup(t, withApp(baseConfig(8), app))
+	s32 := mustSpeedup(t, withApp(baseConfig(32), app))
+	if s32 > 3 {
+		t.Errorf("speedup %g at n=32, want bounded ≪ n", s32)
+	}
+	if s32 < s8*0.8 {
+		t.Errorf("speedup collapsed: s8=%g s32=%g", s8, s32)
+	}
+}
+
+func TestJitterReducesSpeedup(t *testing.T) {
+	det := baseConfig(16)
+	detS := mustSpeedup(t, det)
+
+	jit := baseConfig(16)
+	jit.Jitter = stats.Uniform{Low: 0.5, High: 1.5} // mean 1
+	jit.Seed = 11
+	jitS := mustSpeedup(t, jit)
+
+	if jitS >= detS {
+		t.Errorf("straggler jitter should lower speedup: det=%g jitter=%g", detS, jitS)
+	}
+}
+
+func TestJitterSameSeedSameTotalWork(t *testing.T) {
+	cfg := baseConfig(8)
+	cfg.Jitter = stats.Uniform{Low: 0.8, High: 1.2}
+	cfg.Seed = 3
+	par, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := par.Log.PhaseTotal(trace.PhaseMap)
+	sw := seq.Log.PhaseTotal(trace.PhaseMap)
+	if !almost(pw, sw) {
+		t.Errorf("total map work differs: parallel %g vs sequential %g", pw, sw)
+	}
+}
+
+func TestSequentialChargesNoScaleOutWork(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.InitTime = 5
+	cfg.Cluster.DispatchTime = 1
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []trace.Phase{trace.PhaseInit, trace.PhaseSchedule, trace.PhaseShuffle} {
+		if got := seq.Log.PhaseTotal(phase); got != 0 {
+			t.Errorf("sequential run charged %g s of %s; footnote 1 forbids it", got, phase)
+		}
+	}
+}
+
+// Property: the measured speedup never exceeds the scale-out degree for a
+// deterministic workload with nonnegative overheads, and is positive.
+func TestSpeedupBoundProperty(t *testing.T) {
+	f := func(nRaw, mergeRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		app := testApp{
+			name:             "prop",
+			mapWorkPerByte:   1,
+			outBytesPerByte:  0.5,
+			mergeWorkPerByte: float64(mergeRaw%4) / 4,
+		}
+		cfg := baseConfig(n)
+		cfg.App = app
+		s, _, _, err := Speedup(cfg)
+		if err != nil {
+			return false
+		}
+		return s > 0 && s <= float64(n)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustSpeedup(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	s, _, _, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func withApp(cfg Config, app AppModel) Config {
+	cfg.App = app
+	return cfg
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9*math.Max(1, math.Abs(b)) }

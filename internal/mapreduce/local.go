@@ -1,0 +1,92 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pair is one intermediate or final key/value record of a local job.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// LocalJob is a real (non-simulated) in-memory MapReduce job: Map emits
+// intermediate pairs for one input record; Reduce folds all values of one
+// key. It executes the same Split-Merge structure the simulator models —
+// a parallel map wave with barrier synchronization followed by a serial
+// merge — but over genuine data, which is what the examples and the
+// workload-shape tests use.
+type LocalJob[In any, K comparable, V any] struct {
+	Map    func(record In, emit func(K, V))
+	Reduce func(key K, values []V) V
+}
+
+// Run executes the job over records using the given number of parallel
+// map workers, returning the reduced pairs. Output order is unspecified;
+// use RunSorted for deterministic ordering.
+func (j LocalJob[In, K, V]) Run(records []In, workers int) (map[K]V, error) {
+	if j.Map == nil || j.Reduce == nil {
+		return nil, errors.New("mapreduce: LocalJob needs both Map and Reduce")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("mapreduce: workers must be >= 1, got %d", workers)
+	}
+	if workers > len(records) && len(records) > 0 {
+		workers = len(records)
+	}
+
+	// Split phase: each worker maps a contiguous shard into its own
+	// intermediate store (no shared state, so no locking on the hot path).
+	partials := make([]map[K][]V, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		lo := len(records) * w / workers
+		hi := len(records) * (w + 1) / workers
+		partials[w] = make(map[K][]V)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			emit := func(k K, v V) {
+				partials[w][k] = append(partials[w][k], v)
+			}
+			for _, rec := range records[lo:hi] {
+				j.Map(rec, emit)
+			}
+		}()
+	}
+	wg.Wait() // barrier synchronization
+
+	// Merge phase: a single reducer merges all intermediate results.
+	merged := make(map[K][]V)
+	for _, p := range partials {
+		for k, vs := range p {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+	out := make(map[K]V, len(merged))
+	for k, vs := range merged {
+		out[k] = j.Reduce(k, vs)
+	}
+	return out, nil
+}
+
+// RunSorted executes the job and returns pairs sorted by key using less.
+func (j LocalJob[In, K, V]) RunSorted(records []In, workers int, less func(a, b K) bool) ([]Pair[K, V], error) {
+	if less == nil {
+		return nil, errors.New("mapreduce: RunSorted needs a key ordering")
+	}
+	m, err := j.Run(records, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pair[K, V], 0, len(m))
+	for k, v := range m {
+		out = append(out, Pair[K, V]{Key: k, Value: v})
+	}
+	sort.Slice(out, func(a, b int) bool { return less(out[a].Key, out[b].Key) })
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func wordCountJob() LocalJob[string, string, int] {
+	return LocalJob[string, string, int]{
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(_ string, counts []int) int {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			return total
+		},
+	}
+}
+
+func TestLocalWordCount(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	got, err := wordCountJob().Run(lines, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("word counts = %v, want %v", got, want)
+	}
+}
+
+func TestLocalJobValidation(t *testing.T) {
+	var j LocalJob[string, string, int]
+	if _, err := j.Run([]string{"x"}, 1); err == nil {
+		t.Error("nil Map/Reduce should error")
+	}
+	if _, err := wordCountJob().Run([]string{"x"}, 0); err == nil {
+		t.Error("zero workers should error")
+	}
+	if _, err := wordCountJob().RunSorted([]string{"x"}, 1, nil); err == nil {
+		t.Error("nil less should error")
+	}
+}
+
+func TestLocalRunEmptyInput(t *testing.T) {
+	got, err := wordCountJob().Run(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty result, got %v", got)
+	}
+}
+
+func TestLocalRunSorted(t *testing.T) {
+	lines := []string{"b a", "c a"}
+	pairs, err := wordCountJob().RunSorted(lines, 2, func(a, b string) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair[string, int]{{Key: "a", Value: 2}, {Key: "b", Value: 1}, {Key: "c", Value: 1}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("sorted pairs = %v, want %v", pairs, want)
+	}
+}
+
+// Property: results are independent of the worker count — parallel and
+// sequential executions of the same job agree, the invariant behind the
+// paper's speedup definition (same job output, different makespan).
+func TestLocalWorkerCountInvarianceProperty(t *testing.T) {
+	f := func(words []uint8, workersRaw uint8) bool {
+		workers := int(workersRaw%8) + 1
+		lines := make([]string, 0, len(words))
+		for _, w := range words {
+			lines = append(lines, strings.Repeat("w"+string(rune('a'+w%5)), 1)+" tail")
+		}
+		seqOut, err1 := wordCountJob().Run(lines, 1)
+		parOut, err2 := wordCountJob().Run(lines, workers)
+		return err1 == nil && err2 == nil && reflect.DeepEqual(seqOut, parOut)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sum of counts equals the number of emitted words.
+func TestLocalCountConservationProperty(t *testing.T) {
+	f := func(words []uint8) bool {
+		lines := make([]string, 0, len(words))
+		for _, w := range words {
+			lines = append(lines, string(rune('a'+w%26)))
+		}
+		out, err := wordCountJob().Run(lines, 3)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range out {
+			total += c
+		}
+		return total == len(lines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package netmr
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MasterConfig tunes the master.
+type MasterConfig struct {
+	// TaskTimeout bounds one shard execution round-trip (default 30 s).
+	TaskTimeout time.Duration
+	// MaxAttempts is how many times a shard may be tried before the job
+	// fails (default 3) — the Hadoop-style task re-execution budget.
+	MaxAttempts int
+	// JobTimeout bounds a whole Run call (default 5 min).
+	JobTimeout time.Duration
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Stats reports the wall-clock phase decomposition of one Run — the real
+// measurements behind the IPSO workload split: the scatter+map wave is
+// the parallelizable portion, the serial merge the internal portion.
+type Stats struct {
+	Workers       int           // workers used at job start
+	Shards        int           // split-phase tasks
+	Reassignments int           // shards re-executed after worker failure
+	SplitWall     time.Duration // scatter + parallel map (barrier to barrier)
+	MergeWall     time.Duration // serial master-side merge
+	TotalWall     time.Duration
+}
+
+type workerHandle struct {
+	c *conn
+}
+
+// Master coordinates a pool of connected workers.
+type Master struct {
+	cfg      MasterConfig
+	registry *Registry
+
+	ln      net.Listener
+	idle    chan *workerHandle
+	count   atomic.Int64
+	runMu   sync.Mutex // one Run at a time
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewMaster builds a master able to run jobs from the registry (the
+// master needs each job's Reduce for the merge phase).
+func NewMaster(registry *Registry, cfg MasterConfig) (*Master, error) {
+	if registry == nil || len(registry.jobs) == 0 {
+		return nil, errors.New("netmr: master needs a non-empty registry")
+	}
+	return &Master{
+		cfg:      cfg.withDefaults(),
+		registry: registry,
+		idle:     make(chan *workerHandle, 1024),
+	}, nil
+}
+
+// Listen binds the master to addr (use "127.0.0.1:0" for an ephemeral
+// port) and accepts workers in the background. It returns the bound
+// address.
+func (m *Master) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("netmr: listen: %w", err)
+	}
+	m.ln = ln
+	go m.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (m *Master) acceptLoop(ln net.Listener) {
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.admit(raw)
+	}
+}
+
+func (m *Master) admit(raw net.Conn) {
+	c := newConn(raw)
+	hello, err := c.recv(10 * time.Second)
+	if err != nil || hello.Type != "hello" {
+		c.close()
+		return
+	}
+	select {
+	case m.idle <- &workerHandle{c: c}:
+		m.count.Add(1)
+	default:
+		c.close() // pool full
+	}
+}
+
+// WorkerCount returns the number of admitted workers not yet lost.
+func (m *Master) WorkerCount() int { return int(m.count.Load()) }
+
+// WaitForWorkers blocks until at least n workers have joined or the
+// timeout expires.
+func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for m.WorkerCount() < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netmr: only %d of %d workers joined within %v", m.WorkerCount(), n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+type shardTask struct {
+	id       int
+	records  []string
+	attempts int
+}
+
+// Run scatters records into shards across the connected workers, waits
+// for the barrier, merges the partials serially, and returns the reduced
+// result with the phase timings. Reduce must be associative and
+// commutative over its values (it is applied both as the workers'
+// map-side combiner and as the master's merge).
+func (m *Master) Run(jobName string, records []string, shards int) (map[string]float64, Stats, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+
+	job, ok := m.registry.lookup(jobName)
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("netmr: unknown job %q", jobName)
+	}
+	if shards < 1 {
+		return nil, Stats{}, fmt.Errorf("netmr: shards %d must be >= 1", shards)
+	}
+	if m.ln == nil {
+		return nil, Stats{}, errors.New("netmr: master is not listening")
+	}
+	stats := Stats{Workers: m.WorkerCount(), Shards: shards}
+	if stats.Workers == 0 {
+		return nil, Stats{}, errors.New("netmr: no workers connected")
+	}
+
+	// Split phase: scatter shards, collect partials at the barrier.
+	queue := make([]shardTask, 0, shards)
+	for i := 0; i < shards; i++ {
+		lo := len(records) * i / shards
+		hi := len(records) * (i + 1) / shards
+		queue = append(queue, shardTask{id: i, records: records[lo:hi]})
+	}
+	type result struct {
+		partial map[string]float64
+	}
+	resultCh := make(chan result, shards)
+	failCh := make(chan shardTask, shards)
+
+	dispatch := func(w *workerHandle, t shardTask) {
+		err := w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Records: t.records}, m.cfg.TaskTimeout)
+		var reply message
+		if err == nil {
+			reply, err = w.c.recv(m.cfg.TaskTimeout)
+		}
+		if err != nil || reply.Type != "result" {
+			// Lost or misbehaving worker: drop it, requeue the shard.
+			w.c.close()
+			m.count.Add(-1)
+			failCh <- t
+			return
+		}
+		resultCh <- result{partial: reply.Partial}
+		m.idle <- w // back to the pool
+	}
+
+	splitStart := time.Now()
+	deadline := time.NewTimer(m.cfg.JobTimeout)
+	defer deadline.Stop()
+	partials := make([]map[string]float64, 0, shards)
+	pending := shards
+	for pending > 0 {
+		if len(queue) > 0 {
+			select {
+			case w := <-m.idle:
+				t := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				go dispatch(w, t)
+			case r := <-resultCh:
+				partials = append(partials, r.partial)
+				pending--
+			case t := <-failCh:
+				t.attempts++
+				stats.Reassignments++
+				if t.attempts >= m.cfg.MaxAttempts {
+					return nil, stats, fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+				}
+				if m.WorkerCount() == 0 {
+					return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
+				}
+				queue = append(queue, t)
+			case <-deadline.C:
+				return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
+			}
+			continue
+		}
+		select {
+		case r := <-resultCh:
+			partials = append(partials, r.partial)
+			pending--
+		case t := <-failCh:
+			t.attempts++
+			stats.Reassignments++
+			if t.attempts >= m.cfg.MaxAttempts {
+				return nil, stats, fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+			}
+			if m.WorkerCount() == 0 {
+				return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
+			}
+			queue = append(queue, t)
+		case <-deadline.C:
+			return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
+		}
+	}
+	stats.SplitWall = time.Since(splitStart)
+
+	// Merge phase: one serial pass over all partials — the Ws(n) of this
+	// runtime, growing with the number of distinct keys shipped back.
+	mergeStart := time.Now()
+	merged := make(map[string][]float64)
+	for _, p := range partials {
+		for k, v := range p {
+			merged[k] = append(merged[k], v)
+		}
+	}
+	out := make(map[string]float64, len(merged))
+	for k, vs := range merged {
+		out[k] = job.Reduce(k, vs)
+	}
+	stats.MergeWall = time.Since(mergeStart)
+	stats.TotalWall = stats.SplitWall + stats.MergeWall
+	return out, stats, nil
+}
+
+// Close stops accepting workers and closes all idle connections. Workers
+// blocked waiting for tasks observe EOF and exit.
+func (m *Master) Close() {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	if m.ln != nil {
+		m.ln.Close()
+	}
+	for {
+		select {
+		case w := <-m.idle:
+			w.c.close()
+			m.count.Add(-1)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package netmr is a real, network-distributed Split-Merge MapReduce
+// runtime: a master listens on TCP, workers connect, the master scatters
+// input shards to the workers (the split phase, with barrier
+// synchronization), and merges their partial results serially (the merge
+// phase) — the execution structure of Fig. 1 running over genuine
+// sockets rather than the simulator.
+//
+// It exists so the library is a usable distributed system and so the
+// IPSO phase decomposition (Wp from the parallel map wave, Ws from the
+// serial merge, Wo from dispatch) can be measured on real wall clocks.
+// Values are restricted to string→float64 pairs so results serialize
+// uniformly; that covers counting, summing and histogram workloads.
+//
+// The master tolerates worker failure: a shard whose worker dies or
+// times out is reassigned to another live worker (up to a retry budget),
+// the same recovery model as Hadoop's task re-execution.
+package netmr
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// message is the single wire frame, JSON-encoded one per line.
+type message struct {
+	Type    string             `json:"type"`              // hello | task | result | error
+	Job     string             `json:"job,omitempty"`     // task
+	TaskID  int                `json:"task_id,omitempty"` // task | result | error
+	Records []string           `json:"records,omitempty"` // task
+	Partial map[string]float64 `json:"partial,omitempty"` // result
+	Jobs    []string           `json:"jobs,omitempty"`    // hello
+	Message string             `json:"message,omitempty"` // error
+}
+
+// conn wraps a net.Conn with line-delimited JSON framing and deadlines.
+type conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, r: bufio.NewReader(raw), enc: json.NewEncoder(raw)}
+}
+
+func (c *conn) send(m message, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+	}
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("netmr: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+func (c *conn) recv(timeout time.Duration) (message, error) {
+	if timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return message{}, err
+		}
+	} else if err := c.raw.SetReadDeadline(time.Time{}); err != nil {
+		return message{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return message{}, fmt.Errorf("netmr: recv: %w", err)
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return message{}, fmt.Errorf("netmr: decode: %w", err)
+	}
+	return m, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// Job is a MapReduce job executable by workers that registered it. Map
+// and Reduce must be pure (no shared state): the same job name must mean
+// the same computation on every worker.
+type Job struct {
+	Name   string
+	Map    func(record string, emit func(key string, value float64))
+	Reduce func(key string, values []float64) float64
+}
+
+// Validate checks the job definition.
+func (j Job) Validate() error {
+	if j.Name == "" {
+		return fmt.Errorf("netmr: job needs a name")
+	}
+	if j.Map == nil || j.Reduce == nil {
+		return fmt.Errorf("netmr: job %q needs Map and Reduce", j.Name)
+	}
+	return nil
+}
+
+// Registry holds the jobs a worker can execute.
+type Registry struct {
+	jobs map[string]Job
+}
+
+// NewRegistry builds a registry from jobs.
+func NewRegistry(jobs ...Job) (*Registry, error) {
+	r := &Registry{jobs: make(map[string]Job, len(jobs))}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := r.jobs[j.Name]; dup {
+			return nil, fmt.Errorf("netmr: duplicate job %q", j.Name)
+		}
+		r.jobs[j.Name] = j
+	}
+	return r, nil
+}
+
+// Names lists the registered job names.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.jobs))
+	for name := range r.jobs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// lookup returns the named job.
+func (r *Registry) lookup(name string) (Job, bool) {
+	j, ok := r.jobs[name]
+	return j, ok
+}
+
+// runShard executes the map side of a job over one shard of records,
+// pre-reducing locally (combiner) so only one value per key crosses the
+// network — mirroring the map-side combine of real frameworks.
+func runShard(j Job, records []string) map[string]float64 {
+	interm := make(map[string][]float64)
+	emit := func(k string, v float64) {
+		interm[k] = append(interm[k], v)
+	}
+	for _, rec := range records {
+		j.Map(rec, emit)
+	}
+	out := make(map[string]float64, len(interm))
+	for k, vs := range interm {
+		out[k] = j.Reduce(k, vs)
+	}
+	return out
+}

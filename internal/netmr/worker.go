@@ -1,0 +1,100 @@
+package netmr
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Worker connects to a master and executes shards of registered jobs
+// until the connection closes or Stop is called. One worker handles one
+// task at a time — the "one container per processing unit" configuration
+// of the paper's experiments.
+type Worker struct {
+	registry *Registry
+
+	mu      sync.Mutex
+	netConn net.Conn
+	stopped bool
+	done    chan struct{}
+}
+
+// NewWorker builds a worker executing jobs from the registry.
+func NewWorker(registry *Registry) (*Worker, error) {
+	if registry == nil || len(registry.jobs) == 0 {
+		return nil, errors.New("netmr: worker needs a non-empty registry")
+	}
+	return &Worker{registry: registry, done: make(chan struct{})}, nil
+}
+
+// Start connects to the master and serves tasks on a background
+// goroutine. Use Stop (or closing the master) to terminate; Wait blocks
+// until the serve loop exits.
+func (w *Worker) Start(masterAddr string) error {
+	raw, err := net.DialTimeout("tcp", masterAddr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("netmr: dial master: %w", err)
+	}
+	c := newConn(raw)
+	if err := c.send(message{Type: "hello", Jobs: w.registry.Names()}, 5*time.Second); err != nil {
+		c.close()
+		return err
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		c.close()
+		return errors.New("netmr: worker already stopped")
+	}
+	w.netConn = raw
+	w.mu.Unlock()
+
+	go func() {
+		defer close(w.done)
+		defer c.close()
+		w.serve(c)
+	}()
+	return nil
+}
+
+func (w *Worker) serve(c *conn) {
+	for {
+		m, err := c.recv(0) // block until the master sends work or closes
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case "task":
+			job, ok := w.registry.lookup(m.Job)
+			if !ok {
+				_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, 5*time.Second)
+				continue
+			}
+			partial := runShard(job, m.Records)
+			if err := c.send(message{Type: "result", TaskID: m.TaskID, Partial: partial}, 30*time.Second); err != nil {
+				return
+			}
+		default:
+			// Ignore unknown frames: forward compatibility.
+		}
+	}
+}
+
+// Stop closes the connection and waits for the serve loop to exit. It is
+// safe to call before Start (the worker then refuses to start) and more
+// than once.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	already := w.stopped
+	w.stopped = true
+	nc := w.netConn
+	w.mu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	if nc != nil && !already {
+		<-w.done
+	}
+}

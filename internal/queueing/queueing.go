@@ -1,0 +1,219 @@
+// Package queueing provides the queueing-theoretic grounding for
+// scale-out-induced workload. The paper's motivation cites a
+// queuing-network-model-based analysis [9] showing that "any resource
+// contention among parallel tasks is guaranteed to induce an effective
+// serial workload, resulting in lower speedup than that predicted by the
+// existing laws"; this package supplies the standard M/M/1, M/G/1 and
+// M/M/c waiting-time formulas and derives from them an effective q(n)
+// scaling factor that plugs directly into the IPSO model.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when a queue's utilization is >= 1.
+var ErrUnstable = errors.New("queueing: utilization >= 1 (unstable queue)")
+
+// MM1 is the M/M/1 queue: Poisson arrivals at rate Lambda, exponential
+// service at rate Mu, one server.
+type MM1 struct {
+	Lambda float64 // arrivals per second
+	Mu     float64 // services per second
+}
+
+func (q MM1) validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 {
+		return fmt.Errorf("queueing: invalid M/M/1 rates λ=%g μ=%g", q.Lambda, q.Mu)
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	return q.Lambda / q.Mu, nil
+}
+
+// MeanWait returns the mean time in queue (excluding service),
+// Wq = ρ/(μ−λ).
+func (q MM1) MeanWait() (float64, error) {
+	rho, err := q.Utilization()
+	if err != nil {
+		return 0, err
+	}
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return rho / (q.Mu - q.Lambda), nil
+}
+
+// MeanResponse returns the mean time in system, W = 1/(μ−λ).
+func (q MM1) MeanResponse() (float64, error) {
+	rho, err := q.Utilization()
+	if err != nil {
+		return 0, err
+	}
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// MG1 is the M/G/1 queue: Poisson arrivals, general service with the
+// given mean and variance, one server.
+type MG1 struct {
+	Lambda      float64
+	ServiceMean float64
+	ServiceVar  float64
+}
+
+func (q MG1) validate() error {
+	if q.Lambda < 0 || q.ServiceMean <= 0 || q.ServiceVar < 0 {
+		return fmt.Errorf("queueing: invalid M/G/1 parameters %+v", q)
+	}
+	return nil
+}
+
+// MeanWait returns the Pollaczek-Khinchine mean queueing delay
+// Wq = λ·E[S²] / (2(1−ρ)).
+func (q MG1) MeanWait() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	rho := q.Lambda * q.ServiceMean
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	es2 := q.ServiceVar + q.ServiceMean*q.ServiceMean
+	return q.Lambda * es2 / (2 * (1 - rho)), nil
+}
+
+// MMc is the M/M/c queue: Poisson arrivals, exponential service, c
+// identical servers.
+type MMc struct {
+	Lambda float64
+	Mu     float64
+	C      int
+}
+
+func (q MMc) validate() error {
+	if q.Lambda < 0 || q.Mu <= 0 || q.C < 1 {
+		return fmt.Errorf("queueing: invalid M/M/c parameters %+v", q)
+	}
+	return nil
+}
+
+// ErlangC returns the probability an arrival waits.
+func (q MMc) ErlangC() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	rho := a / float64(q.C)
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	// Σ_{k<c} a^k/k! computed iteratively to avoid overflow.
+	sum := 0.0
+	term := 1.0
+	for k := 0; k < q.C; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term now holds a^c/c!.
+	top := term / (1 - rho)
+	return top / (sum + top), nil
+}
+
+// MeanWait returns the mean queueing delay Wq = C(c,a)/(c·μ−λ).
+func (q MMc) MeanWait() (float64, error) {
+	pWait, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pWait / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// SharedResource models n parallel tasks contending on one serialized
+// resource (a scheduler, a metadata service, a shared disk): each task
+// issues RequestsPerTask requests over its isolated duration TaskSeconds,
+// and the resource serves ServiceRate requests per second. The aggregate
+// arrival process at scale-out degree n is n·RequestsPerTask/TaskSeconds.
+type SharedResource struct {
+	ServiceRate     float64 // μ
+	RequestsPerTask float64
+	TaskSeconds     float64
+}
+
+func (r SharedResource) validate() error {
+	if r.ServiceRate <= 0 || r.RequestsPerTask < 0 || r.TaskSeconds <= 0 {
+		return fmt.Errorf("queueing: invalid shared resource %+v", r)
+	}
+	return nil
+}
+
+// arrivalRate returns the aggregate request rate at degree n.
+func (r SharedResource) arrivalRate(n float64) float64 {
+	return n * r.RequestsPerTask / r.TaskSeconds
+}
+
+// SaturationN returns the scale-out degree at which the shared resource
+// saturates (ρ = 1): beyond it the contention delay is unbounded.
+func (r SharedResource) SaturationN() (float64, error) {
+	if err := r.validate(); err != nil {
+		return 0, err
+	}
+	if r.RequestsPerTask == 0 {
+		return math.Inf(1), nil
+	}
+	return r.ServiceRate * r.TaskSeconds / r.RequestsPerTask, nil
+}
+
+// ExtraDelayPerTask returns the queueing delay one task accumulates at
+// degree n beyond what it already suffers at n = 1 (M/M/1 waiting).
+func (r SharedResource) ExtraDelayPerTask(n float64) (float64, error) {
+	if err := r.validate(); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("queueing: n = %g must be >= 1", n)
+	}
+	if r.RequestsPerTask == 0 {
+		return 0, nil
+	}
+	wq := func(n float64) (float64, error) {
+		return MM1{Lambda: r.arrivalRate(n), Mu: r.ServiceRate}.MeanWait()
+	}
+	wqN, err := wq(n)
+	if err != nil {
+		return 0, err
+	}
+	wq1, err := wq(1)
+	if err != nil {
+		return 0, err
+	}
+	return r.RequestsPerTask * (wqN - wq1), nil
+}
+
+// Q returns the contention-induced scale-out scaling factor
+// q(n) = extra per-task delay / per-task workload, with q(1) = 0 — ready
+// to plug into an IPSO Model. The returned function reports +Inf at or
+// beyond saturation; callers who need a finite model must stay below
+// SaturationN.
+func (r SharedResource) Q() (func(n float64) float64, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return func(n float64) float64 {
+		d, err := r.ExtraDelayPerTask(n)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return d / r.TaskSeconds
+	}, nil
+}

@@ -1,0 +1,222 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b))
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	q := MM1{Lambda: 1, Mu: 2} // ρ = 0.5
+	rho, err := q.Utilization()
+	if err != nil || rho != 0.5 {
+		t.Errorf("utilization %g, %v; want 0.5", rho, err)
+	}
+	wq, err := q.MeanWait()
+	if err != nil || !almost(wq, 0.5, 1e-12) { // ρ/(μ−λ) = 0.5/1
+		t.Errorf("Wq = %g, %v; want 0.5", wq, err)
+	}
+	w, err := q.MeanResponse()
+	if err != nil || !almost(w, 1, 1e-12) { // 1/(μ−λ)
+		t.Errorf("W = %g, %v; want 1", w, err)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 3, Mu: 2}
+	if _, err := q.MeanWait(); !errors.Is(err, ErrUnstable) {
+		t.Errorf("expected ErrUnstable, got %v", err)
+	}
+	if _, err := (MM1{Lambda: -1, Mu: 1}).Utilization(); err == nil {
+		t.Error("negative λ should error")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: variance = mean², so P-K must equal M/M/1.
+	mm1 := MM1{Lambda: 0.8, Mu: 2}
+	mg1 := MG1{Lambda: 0.8, ServiceMean: 0.5, ServiceVar: 0.25}
+	w1, err := mm1.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := mg1.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(w1, w2, 1e-12) {
+		t.Errorf("M/G/1 with exponential service %g != M/M/1 %g", w2, w1)
+	}
+}
+
+func TestMG1DeterministicHalvesWait(t *testing.T) {
+	// Deterministic service (variance 0) halves the P-K delay relative
+	// to exponential service.
+	exp := MG1{Lambda: 0.8, ServiceMean: 0.5, ServiceVar: 0.25}
+	det := MG1{Lambda: 0.8, ServiceMean: 0.5, ServiceVar: 0}
+	we, _ := exp.MeanWait()
+	wd, _ := det.MeanWait()
+	if !almost(wd, we/2, 1e-12) {
+		t.Errorf("deterministic wait %g, want half of %g", wd, we)
+	}
+	if _, err := (MG1{Lambda: 3, ServiceMean: 0.5}).MeanWait(); !errors.Is(err, ErrUnstable) {
+		t.Error("ρ >= 1 should be unstable")
+	}
+	if _, err := (MG1{Lambda: 1, ServiceMean: -1}).MeanWait(); err == nil {
+		t.Error("invalid parameters should error")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	mm1 := MM1{Lambda: 1.2, Mu: 2}
+	mmc := MMc{Lambda: 1.2, Mu: 2, C: 1}
+	w1, err := mm1.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := mmc.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(w1, wc, 1e-12) {
+		t.Errorf("M/M/1 via Erlang C %g != direct %g", wc, w1)
+	}
+}
+
+func TestMMcErlangCKnownValue(t *testing.T) {
+	// a = 2 Erlangs over c = 3 servers: C(3,2) = 4/9 ≈ 0.4444.
+	q := MMc{Lambda: 2, Mu: 1, C: 3}
+	pw, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pw, 4.0/9.0, 1e-9) {
+		t.Errorf("Erlang C = %g, want 4/9", pw)
+	}
+	if _, err := (MMc{Lambda: 4, Mu: 1, C: 3}).ErlangC(); !errors.Is(err, ErrUnstable) {
+		t.Error("overloaded M/M/c should be unstable")
+	}
+	if _, err := (MMc{Lambda: 1, Mu: 1, C: 0}).ErlangC(); err == nil {
+		t.Error("zero servers should error")
+	}
+}
+
+func TestMMcMoreServersWaitLess(t *testing.T) {
+	w3, err := (MMc{Lambda: 2, Mu: 1, C: 3}).MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w5, err := (MMc{Lambda: 2, Mu: 1, C: 5}).MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w5 >= w3 {
+		t.Errorf("adding servers should reduce waiting: c=3 → %g, c=5 → %g", w3, w5)
+	}
+}
+
+func testResource() SharedResource {
+	// A centralized scheduler serving 100 req/s; each 10 s task issues 20
+	// requests. Saturation at n = 100·10/20 = 50.
+	return SharedResource{ServiceRate: 100, RequestsPerTask: 20, TaskSeconds: 10}
+}
+
+func TestSharedResourceSaturation(t *testing.T) {
+	satN, err := testResource().SaturationN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satN != 50 {
+		t.Errorf("saturation at n=%g, want 50", satN)
+	}
+	free := SharedResource{ServiceRate: 100, RequestsPerTask: 0, TaskSeconds: 10}
+	if satN, _ := free.SaturationN(); !math.IsInf(satN, 1) {
+		t.Errorf("no requests should mean no saturation, got %g", satN)
+	}
+	if _, err := (SharedResource{}).SaturationN(); err == nil {
+		t.Error("invalid resource should error")
+	}
+}
+
+func TestSharedResourceQ(t *testing.T) {
+	r := testResource()
+	q, err := r.Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q(1); got != 0 {
+		t.Errorf("q(1) = %g, want 0", got)
+	}
+	// Strictly increasing below saturation.
+	prev := 0.0
+	for _, n := range []float64{2, 10, 25, 40, 49} {
+		v := q(n)
+		if v <= prev {
+			t.Fatalf("q not increasing: q(%g) = %g after %g", n, v, prev)
+		}
+		prev = v
+	}
+	// At/beyond saturation: +Inf (unbounded contention delay).
+	if !math.IsInf(q(50), 1) || !math.IsInf(q(80), 1) {
+		t.Error("q at saturation should be +Inf")
+	}
+}
+
+func TestContentionInducedSpeedupCollapse(t *testing.T) {
+	// Plugging the contention q(n) into the IPSO denominator shape
+	// S(n) = n/(1+q(n)) (η = 1, fixed-time): the speedup must peak below
+	// the saturation degree and fall — the [9] result that contention
+	// alone bounds scaling.
+	q, err := testResource().Q()
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := func(n float64) float64 { return n / (1 + q(n)) }
+	peakN, peakS := 1.0, speedup(1)
+	for n := 2.0; n < 50; n++ {
+		if s := speedup(n); s > peakS {
+			peakN, peakS = n, s
+		}
+	}
+	if peakN >= 49 {
+		t.Errorf("speedup should peak strictly below saturation, peaked at %g", peakN)
+	}
+	if s49 := speedup(49); s49 >= peakS {
+		t.Errorf("speedup near saturation (%g) should fall below the peak (%g)", s49, peakS)
+	}
+}
+
+// Property: M/M/1 waiting grows monotonically with utilization.
+func TestMM1MonotoneProperty(t *testing.T) {
+	f := func(lraw, mraw uint8) bool {
+		mu := float64(mraw%50) + 10
+		l1 := float64(lraw%9) / 10 * mu // up to 0.8μ
+		l2 := l1 + 0.1*mu
+		w1, err1 := (MM1{Lambda: l1, Mu: mu}).MeanWait()
+		w2, err2 := (MM1{Lambda: l2, Mu: mu}).MeanWait()
+		return err1 == nil && err2 == nil && w2 > w1-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExtraDelayPerTask is nonnegative and increasing in n below
+// saturation.
+func TestExtraDelayMonotoneProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		r := testResource()
+		n := float64(nRaw%47) + 1 // stay below saturation at 50
+		d1, err1 := r.ExtraDelayPerTask(n)
+		d2, err2 := r.ExtraDelayPerTask(n + 1)
+		return err1 == nil && err2 == nil && d1 >= 0 && d2 >= d1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

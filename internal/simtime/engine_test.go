@@ -1,0 +1,224 @@
+package simtime
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		eng.MustSchedule(d, func() { order = append(order, eng.Now()) })
+	}
+	end := eng.Run()
+	if end != 5 {
+		t.Errorf("final clock %g, want 5", end)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if eng.EventsRun() != 5 {
+		t.Errorf("EventsRun = %d, want 5", eng.EventsRun())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.MustSchedule(1, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var times []float64
+	eng.MustSchedule(1, func() {
+		times = append(times, eng.Now())
+		eng.MustSchedule(2, func() {
+			times = append(times, eng.Now())
+		})
+	})
+	end := eng.Run()
+	if end != 3 {
+		t.Errorf("final clock %g, want 3", end)
+	}
+	want := []float64{1, 3}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.Schedule(-1, func() {}); err == nil {
+		t.Error("negative delay should error")
+	}
+	if err := eng.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN delay should error")
+	}
+	if err := eng.Schedule(1, nil); err == nil {
+		t.Error("nil fn should error")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.MustSchedule(1, func() { fired++ })
+	eng.MustSchedule(10, func() { fired++ })
+	now := eng.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired %d events by t=5, want 1", fired)
+	}
+	if now != 5 {
+		t.Errorf("clock %g, want 5", now)
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("pending %d, want 1", eng.Pending())
+	}
+	eng.Run()
+	if fired != 2 {
+		t.Errorf("fired %d total, want 2", fired)
+	}
+}
+
+func TestServerSerializesWork(t *testing.T) {
+	eng := NewEngine()
+	srv := NewServer(eng)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		if err := srv.Submit(2, func() { finish = append(finish, eng.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.QueueLen() != 2 {
+		t.Errorf("queue length %d, want 2", srv.QueueLen())
+	}
+	eng.Run()
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+	if srv.BusyTime() != 6 {
+		t.Errorf("busy time %g, want 6", srv.BusyTime())
+	}
+}
+
+func TestServerRejectsNegativeService(t *testing.T) {
+	srv := NewServer(NewEngine())
+	if err := srv.Submit(-1, nil); err == nil {
+		t.Error("negative service should error")
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	eng := NewEngine()
+	res, err := NewResource(eng, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var running, maxRunning int
+	for i := 0; i < 6; i++ {
+		if err := res.Acquire(func() {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			eng.MustSchedule(1, func() {
+				running--
+				res.Release()
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := eng.Run()
+	if maxRunning != 2 {
+		t.Errorf("max concurrency %d, want 2", maxRunning)
+	}
+	if end != 3 { // 6 jobs of 1s through 2 slots
+		t.Errorf("makespan %g, want 3", end)
+	}
+}
+
+func TestResourceErrors(t *testing.T) {
+	eng := NewEngine()
+	if _, err := NewResource(eng, 0); err == nil {
+		t.Error("zero capacity should error")
+	}
+	res, _ := NewResource(eng, 1)
+	if err := res.Acquire(nil); err == nil {
+		t.Error("nil callback should error")
+	}
+}
+
+func TestResourceReleaseWithoutWaiters(t *testing.T) {
+	eng := NewEngine()
+	res, _ := NewResource(eng, 1)
+	res.Release() // no-op on an idle resource
+	if res.InUse() != 0 {
+		t.Errorf("InUse = %d, want 0", res.InUse())
+	}
+}
+
+// Property: for arbitrary delay multisets, the engine's final clock equals
+// the maximum delay and events fire in nondecreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		eng := NewEngine()
+		var seen []float64
+		maxDelay := 0.0
+		for _, r := range raw {
+			d := float64(r) / 100
+			if d > maxDelay {
+				maxDelay = d
+			}
+			eng.MustSchedule(d, func() { seen = append(seen, eng.Now()) })
+		}
+		end := eng.Run()
+		if len(raw) == 0 {
+			return end == 0
+		}
+		return end == maxDelay && sort.Float64sAreSorted(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a FIFO server's makespan equals the sum of service times.
+func TestServerMakespanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		eng := NewEngine()
+		srv := NewServer(eng)
+		total := 0.0
+		for _, r := range raw {
+			s := float64(r) / 10
+			total += s
+			if err := srv.Submit(s, nil); err != nil {
+				return false
+			}
+		}
+		end := eng.Run()
+		return math.Abs(end-total) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package simtime
+
+import "errors"
+
+// Server is a FIFO single server: submitted work items are processed one
+// at a time, each occupying the server for its service duration.
+//
+// It models every serialized component the paper identifies as a source of
+// scale-out-induced workload Wo(n): a centralized job scheduler dispatching
+// tasks one by one [7], a master node broadcasting a data shard to workers
+// in turn [12], or the single reducer ingesting n mappers' outputs over one
+// link (the TCP-incast-style bottleneck [13]).
+type Server struct {
+	eng *Engine
+
+	busy    bool
+	queue   []serverItem
+	busyFor float64 // cumulative busy time (utilization accounting)
+}
+
+type serverItem struct {
+	service float64
+	started func()
+	done    func()
+}
+
+// NewServer returns an idle FIFO server bound to eng.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng}
+}
+
+// Submit enqueues a work item needing the given service time; done (may be
+// nil) runs when the item completes service.
+func (s *Server) Submit(service float64, done func()) error {
+	return s.SubmitTracked(service, nil, done)
+}
+
+// SubmitTracked is Submit with an additional started hook that fires when
+// the item begins service (after any queueing delay) — used to timestamp
+// task starts exactly, the way real execution logs do.
+func (s *Server) SubmitTracked(service float64, started, done func()) error {
+	if service < 0 {
+		return errors.New("simtime: negative service time")
+	}
+	if s.busy {
+		s.queue = append(s.queue, serverItem{service: service, started: started, done: done})
+		return nil
+	}
+	s.start(serverItem{service: service, started: started, done: done})
+	return nil
+}
+
+func (s *Server) start(it serverItem) {
+	s.busy = true
+	s.busyFor += it.service
+	if it.started != nil {
+		it.started()
+	}
+	s.eng.MustSchedule(it.service, func() {
+		if it.done != nil {
+			it.done()
+		}
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		} else {
+			s.busy = false
+		}
+	})
+}
+
+// BusyTime returns the cumulative service time started on this server.
+func (s *Server) BusyTime() float64 { return s.busyFor }
+
+// QueueLen returns the number of items waiting (excluding any in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Resource is a counting semaphore with a FIFO wait queue: Acquire grants
+// a unit when one is free, otherwise queues the grant callback. It models
+// bounded parallelism such as "one container per processing unit" or an
+// executor's task slots.
+type Resource struct {
+	eng *Engine
+
+	capacity int
+	inUse    int
+	waiters  []func()
+}
+
+// NewResource returns a resource with the given positive capacity.
+func NewResource(eng *Engine, capacity int) (*Resource, error) {
+	if capacity <= 0 {
+		return nil, errors.New("simtime: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}, nil
+}
+
+// Acquire requests one unit; granted (required) runs — at the current or a
+// later simulation instant — once a unit is held.
+func (r *Resource) Acquire(granted func()) error {
+	if granted == nil {
+		return errors.New("simtime: nil grant callback")
+	}
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.eng.MustSchedule(0, granted)
+		return nil
+	}
+	r.waiters = append(r.waiters, granted)
+	return nil
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.eng.MustSchedule(0, next)
+		return
+	}
+	if r.inUse > 0 {
+		r.inUse--
+	}
+}
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting returns the number of queued acquire requests.
+func (r *Resource) Waiting() int { return len(r.waiters) }

@@ -1,0 +1,98 @@
+package spark
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Closed-form verification of the stage engine in the analytically
+// tractable regime (no dispatch delay, no memory pressure, no jitter, no
+// failures): with N tasks over m executors, executor e runs
+// k_e = ceil((N−e)/m) tasks, the first paying DeserFirstWave and the rest
+// DeserPerTask, so a stage's task phase lasts
+//
+//	max_e [ deserFirst + work + (k_e−1)·(deserPer + work) ]
+//
+// followed by shuffle total/(m·bw) and the serial driver work. Broadcast
+// (serial) precedes the tasks and lasts m·bytes/masterBW.
+func analyticStage(cfg Config, st Stage) float64 {
+	m := cfg.Executors
+	spec := cfg.Cluster.Worker
+	work := st.WorkPerTask / spec.CPURate
+
+	t := 0.0
+	if st.BroadcastBytes > 0 {
+		t += float64(m) * st.BroadcastBytes / cfg.Cluster.Master.NICBW
+	}
+	longest := 0.0
+	for e := 0; e < m; e++ {
+		k := (st.Tasks - e + m - 1) / m
+		if k <= 0 {
+			continue
+		}
+		d := cfg.DeserFirstWave + work + float64(k-1)*(cfg.DeserPerTask+work)
+		if d > longest {
+			longest = d
+		}
+	}
+	t += longest
+	if st.ShuffleBytesPerTask > 0 {
+		t += st.ShuffleBytesPerTask * float64(st.Tasks) / (float64(m) * spec.NICBW)
+	}
+	t += st.DriverWork / cfg.Cluster.Master.CPURate
+	return t
+}
+
+func TestSparkEngineMatchesClosedForm(t *testing.T) {
+	f := func(tasksRaw, execsRaw, workRaw, bRaw, shRaw, drvRaw, d1Raw, d2Raw uint8) bool {
+		st := Stage{
+			Name:                "cf-check",
+			Tasks:               int(tasksRaw%32) + 1,
+			WorkPerTask:         float64(workRaw%40)/4 + 0.5,
+			BroadcastBytes:      float64(bRaw%4) * 25,
+			ShuffleBytesPerTask: float64(shRaw % 30),
+			DriverWork:          float64(drvRaw % 20),
+		}
+		cfg := Config{
+			App:            stagesApp{name: "cf", stages: []Stage{st}},
+			Tasks:          st.Tasks,
+			Executors:      int(execsRaw%8) + 1,
+			PartitionBytes: 1,
+			Cluster:        testClusterConfig(),
+			DeserFirstWave: float64(d1Raw%12) / 4,
+			DeserPerTask:   float64(d2Raw%6) / 8,
+		}
+		res, err := RunParallel(cfg)
+		if err != nil {
+			return false
+		}
+		return almost(res.Makespan, analyticStage(cfg, st))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparkMultiStageClosedForm(t *testing.T) {
+	stages := []Stage{
+		{Name: "a", Tasks: 12, WorkPerTask: 3, BroadcastBytes: 40, ShuffleBytesPerTask: 20},
+		{Name: "b", Tasks: 12, WorkPerTask: 5, DriverWork: 10},
+	}
+	cfg := Config{
+		App:            stagesApp{name: "multi", stages: stages},
+		Tasks:          12,
+		Executors:      4,
+		PartitionBytes: 1,
+		Cluster:        testClusterConfig(),
+		DeserFirstWave: 1.5,
+		DeserPerTask:   0.25,
+	}
+	want := analyticStage(cfg, stages[0]) + analyticStage(cfg, stages[1])
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Makespan, want) {
+		t.Errorf("makespan %g, closed form %g", res.Makespan, want)
+	}
+}

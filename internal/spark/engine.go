@@ -1,0 +1,473 @@
+// Package spark simulates the multi-stage, Spark-like execution engine of
+// the paper's Section V-B case studies.
+//
+// A job is configured by the paper's two knobs: the problem size N (the
+// nominal number of tasks per stage) and the parallel degree m (the number
+// of executors). Tasks run in waves of m; each task pays a centralized
+// scheduling cost and a deserialization cost, with the first wave's
+// deserialization dominating ("the scheduling and deserialization time
+// (i.e., the communication cost) of the first wave of tasks outweigh the
+// following waves"). Stages may broadcast data from the master to every
+// executor, shuffle output to the next stage, cache RDD partitions in
+// executor memory, and run serial driver work at the stage boundary.
+//
+// Memory pressure reproduces the paper's N/m=8 observation: when an
+// executor's resident set exceeds its memory, persisted RDDs spill to
+// local disk (tasks slow down) and the task failure rate rises, forcing
+// re-execution — "insufficient RAM may cause the persistent RDDs to be
+// spilled to the local disk, or even trigger increased task failure rate".
+package spark
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ipso/internal/cluster"
+	"ipso/internal/simtime"
+	"ipso/internal/stats"
+	"ipso/internal/trace"
+)
+
+// taskJitters pre-samples the multiplicative task-time factors for every
+// (stage, task) pair so that parallel and sequential executions of the
+// same Config see identical workloads (only the E[max] barrier effect
+// differs — the statistic model's straggler penalty).
+func taskJitters(cfg Config, stages []Stage) [][]float64 {
+	out := make([][]float64, len(stages))
+	if cfg.Jitter == nil {
+		for i, st := range stages {
+			row := make([]float64, st.Tasks)
+			for j := range row {
+				row[j] = 1
+			}
+			out[i] = row
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	for i, st := range stages {
+		row := make([]float64, st.Tasks)
+		for j := range row {
+			row[j] = cfg.Jitter.Sample(rng)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Stage describes one stage of a Spark-like application.
+type Stage struct {
+	Name string
+	// Tasks is the number of tasks in this stage (usually the nominal N).
+	Tasks int
+	// WorkPerTask is the CPU work (abstract units) of one task attempt.
+	WorkPerTask float64
+	// InputBytesPerTask is the partition size read by each task; it
+	// contributes to the executor's transient working set.
+	InputBytesPerTask float64
+	// BroadcastBytes, when positive, is broadcast from the master to every
+	// executor before the stage starts (e.g. feature vectors, model
+	// weights).
+	BroadcastBytes float64
+	// ShuffleBytesPerTask is emitted by each task and shuffled to the next
+	// stage across the cluster fabric.
+	ShuffleBytesPerTask float64
+	// CachedBytesPerTask is added permanently (for the rest of the job) to
+	// the executor's resident set after each task (persisted RDDs).
+	CachedBytesPerTask float64
+	// DriverWork is serial CPU work executed on the master at the stage
+	// boundary (result collection, model update) — the stage's
+	// contribution to the serial portion Ws.
+	DriverWork float64
+}
+
+func (s Stage) validate() error {
+	if s.Tasks < 1 {
+		return fmt.Errorf("spark: stage %q needs at least 1 task", s.Name)
+	}
+	if s.WorkPerTask < 0 || s.InputBytesPerTask < 0 || s.BroadcastBytes < 0 ||
+		s.ShuffleBytesPerTask < 0 || s.CachedBytesPerTask < 0 || s.DriverWork < 0 {
+		return fmt.Errorf("spark: stage %q has negative fields", s.Name)
+	}
+	return nil
+}
+
+// AppModel produces the stage list of an application for a given nominal
+// task count N and per-partition size.
+type AppModel interface {
+	// Name identifies the application in traces.
+	Name() string
+	// Stages returns the job's stages for nominal problem size tasks and
+	// partition size partBytes.
+	Stages(tasks int, partBytes float64) []Stage
+}
+
+// Config describes one simulated Spark job execution.
+type Config struct {
+	App AppModel
+	// Tasks is the nominal problem size N (tasks per stage).
+	Tasks int
+	// Executors is the parallel degree m — the paper's scale-out degree
+	// for the Spark case studies (n = m).
+	Executors int
+	// PartitionBytes is the input partition size per task.
+	PartitionBytes float64
+	// Cluster configures the datacenter; Workers is overridden to
+	// Executors.
+	Cluster cluster.Config
+
+	// SchedPerTask is the centralized scheduler's service time per task
+	// dispatch (serialized at the master).
+	SchedPerTask float64
+	// DeserFirstWave is the deserialization overhead paid by each task in
+	// a stage's first wave (task index < m).
+	DeserFirstWave float64
+	// DeserPerTask is the (smaller) overhead for subsequent waves.
+	DeserPerTask float64
+
+	// SpillPenalty scales task slowdown under memory pressure: a resident
+	// set of r times memory slows tasks by 1 + SpillPenalty·(r−1).
+	// Default 0.5.
+	SpillPenalty float64
+	// FailureCoef sets the per-attempt failure probability under memory
+	// pressure: min(0.3, FailureCoef·(r−1)) for r > 1. Default 0.05.
+	FailureCoef float64
+	// Jitter optionally makes per-task compute times random
+	// (multiplicative, mean ≈ 1): the statistic model's stragglers. The
+	// same (Seed, stage, task) always draws the same factor, so the
+	// sequential reference sees the same total work.
+	Jitter stats.Distribution
+	// Seed drives failure and jitter sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpillPenalty == 0 {
+		c.SpillPenalty = 0.5
+	}
+	if c.FailureCoef == 0 {
+		c.FailureCoef = 0.05
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.App == nil {
+		return errors.New("spark: nil AppModel")
+	}
+	if c.Tasks < 1 {
+		return fmt.Errorf("spark: Tasks must be >= 1, got %d", c.Tasks)
+	}
+	if c.Executors < 1 {
+		return fmt.Errorf("spark: Executors must be >= 1, got %d", c.Executors)
+	}
+	if c.PartitionBytes < 0 {
+		return fmt.Errorf("spark: negative partition size %g", c.PartitionBytes)
+	}
+	if c.SchedPerTask < 0 || c.DeserFirstWave < 0 || c.DeserPerTask < 0 {
+		return errors.New("spark: negative overhead times")
+	}
+	if c.SpillPenalty < 0 || c.FailureCoef < 0 {
+		return errors.New("spark: negative pressure coefficients")
+	}
+	return nil
+}
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	Log      *trace.Log
+	Makespan float64
+	Tasks    int
+	Execs    int
+	// Retries counts task re-executions caused by memory-pressure
+	// failures.
+	Retries int
+}
+
+// RunParallel simulates the job with m executors.
+func RunParallel(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	stages := cfg.App.Stages(cfg.Tasks, cfg.PartitionBytes)
+	if len(stages) == 0 {
+		return Result{}, fmt.Errorf("spark: app %q produced no stages", cfg.App.Name())
+	}
+	for _, st := range stages {
+		if err := st.validate(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	eng := simtime.NewEngine()
+	ccfg := cfg.Cluster
+	ccfg.Workers = cfg.Executors
+	ccfg.DispatchTime = cfg.SchedPerTask
+	clus, err := cluster.New(eng, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	log := trace.NewLog()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	job := cfg.App.Name()
+	m := cfg.Executors
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	record := func(e trace.Event) {
+		if err := log.Add(e); err != nil {
+			fail(err)
+		}
+	}
+
+	// resident tracks each executor's persisted bytes across stages.
+	resident := make([]float64, m)
+	jitters := taskJitters(cfg, stages)
+	retries := 0
+	var makespan float64
+	done := false
+
+	var runStage func(si int)
+	runStage = func(si int) {
+		if si == len(stages) {
+			makespan = eng.Now()
+			done = true
+			return
+		}
+		st := stages[si]
+		tasksPerExec := make([]int, m)
+		for i := 0; i < st.Tasks; i++ {
+			tasksPerExec[i%m]++
+		}
+
+		startTasks := func() {
+			left := st.Tasks
+			finishStage := func() {
+				// Shuffle the stage output across the aggregate fabric.
+				shuffleTotal := st.ShuffleBytesPerTask * float64(st.Tasks)
+				shuffleTime := 0.0
+				if shuffleTotal > 0 {
+					shuffleTime = shuffleTotal / (float64(m) * cfg.Cluster.Worker.NICBW)
+				}
+				shufStart := eng.Now()
+				if err := eng.Schedule(shuffleTime, func() {
+					if shuffleTotal > 0 {
+						record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseShuffle, Task: -1, Start: shufStart, End: eng.Now()})
+					}
+					drvStart := eng.Now()
+					if err := clus.Master().RunCPU(st.DriverWork, func() {
+						if st.DriverWork > 0 {
+							record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseReduce, Task: -1, Start: drvStart, End: eng.Now()})
+						}
+						runStage(si + 1)
+					}); err != nil {
+						fail(err)
+					}
+				}); err != nil {
+					fail(err)
+				}
+			}
+
+			for i := 0; i < st.Tasks; i++ {
+				i := i
+				exec := i % m
+				node := clus.Workers()[exec]
+				deser := cfg.DeserPerTask
+				if i < m {
+					deser = cfg.DeserFirstWave
+				}
+
+				// Memory pressure for this executor during this stage:
+				// persisted set plus this stage's local partitions.
+				demand := resident[exec] + (st.InputBytesPerTask+st.CachedBytesPerTask)*float64(tasksPerExec[exec])
+				ratio := demand / cfg.Cluster.Worker.MemoryBytes
+				slowdown := 1.0
+				failProb := 0.0
+				if ratio > 1 {
+					slowdown = 1 + cfg.SpillPenalty*(ratio-1)
+					failProb = cfg.FailureCoef * (ratio - 1)
+					if failProb > 0.3 {
+						failProb = 0.3
+					}
+				}
+				deserWork := deser * cfg.Cluster.Worker.CPURate
+				computeWork := st.WorkPerTask * jitters[si][i] * slowdown
+
+				// Each attempt pays deserialization then computes; the two
+				// submissions are enqueued back-to-back (the executor CPU
+				// is FIFO, so they stay contiguous) and recorded as
+				// separate phases so the trace supports the paper's
+				// analysis of first-wave scheduling+deserialization
+				// dominance.
+				var attempt func()
+				attempt = func() {
+					var dStart float64
+					if err := node.RunCPUTracked(deserWork, func() { dStart = eng.Now() }, func() {
+						record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseDeser, Task: i, Start: dStart, End: eng.Now()})
+					}); err != nil {
+						fail(err)
+						return
+					}
+					var start float64
+					if err := node.RunCPUTracked(computeWork, func() { start = eng.Now() }, func() {
+						record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseCompute, Task: i, Start: start, End: eng.Now()})
+						if failProb > 0 && rng.Float64() < failProb {
+							retries++
+							attempt() // re-execute the failed task
+							return
+						}
+						left--
+						if left == 0 { // stage barrier
+							finishStage()
+						}
+					}); err != nil {
+						fail(err)
+					}
+				}
+
+				dispStart := eng.Now()
+				if err := clus.Dispatch(func() {
+					record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseSchedule, Task: i, Start: dispStart, End: eng.Now()})
+					attempt()
+				}); err != nil {
+					fail(err)
+				}
+			}
+
+			// Persisted RDDs survive the stage.
+			for e := 0; e < m; e++ {
+				resident[e] += st.CachedBytesPerTask * float64(tasksPerExec[e])
+			}
+		}
+
+		if st.BroadcastBytes > 0 {
+			bStart := eng.Now()
+			if err := clus.Broadcast(st.BroadcastBytes, func() {
+				record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseBroadcast, Task: -1, Start: bStart, End: eng.Now()})
+				startTasks()
+			}); err != nil {
+				fail(err)
+			}
+			return
+		}
+		startTasks()
+	}
+
+	runStage(0)
+	eng.Run()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if !done {
+		return Result{}, errors.New("spark: parallel execution did not complete")
+	}
+	return Result{Log: log, Makespan: makespan, Tasks: cfg.Tasks, Execs: m, Retries: retries}, nil
+}
+
+// RunSequential simulates the paper's sequential reference execution: all
+// stage tasks run back-to-back on one processing unit with the serial
+// driver work at each stage boundary, and no scale-out-induced overhead
+// (no scheduling, deserialization, broadcast, or shuffle traffic) and no
+// memory pressure — the resource-abundant sequential baseline of the
+// speedup numerator, Wp(n) + Ws(n).
+func RunSequential(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	stages := cfg.App.Stages(cfg.Tasks, cfg.PartitionBytes)
+	if len(stages) == 0 {
+		return Result{}, fmt.Errorf("spark: app %q produced no stages", cfg.App.Name())
+	}
+
+	eng := simtime.NewEngine()
+	ccfg := cfg.Cluster
+	ccfg.Workers = 1
+	clus, err := cluster.New(eng, ccfg)
+	if err != nil {
+		return Result{}, err
+	}
+	log := trace.NewLog()
+	job := cfg.App.Name()
+	unit := clus.Workers()[0]
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	record := func(e trace.Event) {
+		if err := log.Add(e); err != nil {
+			fail(err)
+		}
+	}
+
+	var makespan float64
+	done := false
+
+	jitters := taskJitters(cfg, stages)
+	var runStage func(si int)
+	runStage = func(si int) {
+		if si == len(stages) {
+			makespan = eng.Now()
+			done = true
+			return
+		}
+		st := stages[si]
+		if err := st.validate(); err != nil {
+			fail(err)
+			return
+		}
+		stageWork := 0.0
+		for _, j := range jitters[si] {
+			stageWork += st.WorkPerTask * j
+		}
+		start := eng.Now()
+		if err := unit.RunCPU(stageWork, func() {
+			record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseCompute, Task: -1, Start: start, End: eng.Now()})
+			drvStart := eng.Now()
+			if err := clus.Master().RunCPU(st.DriverWork, func() {
+				if st.DriverWork > 0 {
+					record(trace.Event{Job: job, Stage: si, Phase: trace.PhaseReduce, Task: -1, Start: drvStart, End: eng.Now()})
+				}
+				runStage(si + 1)
+			}); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			fail(err)
+		}
+	}
+	runStage(0)
+	eng.Run()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if !done {
+		return Result{}, errors.New("spark: sequential execution did not complete")
+	}
+	return Result{Log: log, Makespan: makespan, Tasks: cfg.Tasks, Execs: 1}, nil
+}
+
+// Speedup runs both modes and returns T_sequential / T_parallel.
+func Speedup(cfg Config) (s float64, par, seq Result, err error) {
+	par, err = RunParallel(cfg)
+	if err != nil {
+		return 0, Result{}, Result{}, fmt.Errorf("parallel run: %w", err)
+	}
+	seq, err = RunSequential(cfg)
+	if err != nil {
+		return 0, Result{}, Result{}, fmt.Errorf("sequential run: %w", err)
+	}
+	if par.Makespan <= 0 {
+		return 0, Result{}, Result{}, errors.New("spark: nonpositive parallel makespan")
+	}
+	return seq.Makespan / par.Makespan, par, seq, nil
+}

@@ -1,0 +1,334 @@
+package spark
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipso/internal/cluster"
+	"ipso/internal/stats"
+	"ipso/internal/trace"
+)
+
+// stagesApp is a fixed stage list for tests.
+type stagesApp struct {
+	name   string
+	stages []Stage
+}
+
+func (a stagesApp) Name() string { return a.name }
+
+func (a stagesApp) Stages(tasks int, partBytes float64) []Stage {
+	out := make([]Stage, len(a.stages))
+	copy(out, a.stages)
+	for i := range out {
+		if out[i].Tasks == 0 {
+			out[i].Tasks = tasks
+		}
+		if out[i].InputBytesPerTask == 0 {
+			out[i].InputBytesPerTask = partBytes
+		}
+	}
+	return out
+}
+
+func testClusterConfig() cluster.Config {
+	return cluster.Config{
+		Workers: 1,
+		Worker:  cluster.NodeSpec{CPURate: 1, MemoryBytes: 1000, DiskBW: 10, NICBW: 10},
+		Master:  cluster.NodeSpec{CPURate: 1, MemoryBytes: 1e6, DiskBW: 10, NICBW: 10},
+	}
+}
+
+func simpleConfig(tasks, execs int) Config {
+	return Config{
+		App:            stagesApp{name: "t", stages: []Stage{{Name: "s0", WorkPerTask: 4}}},
+		Tasks:          tasks,
+		Executors:      execs,
+		PartitionBytes: 1,
+		Cluster:        testClusterConfig(),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil app", mutate: func(c *Config) { c.App = nil }},
+		{name: "zero tasks", mutate: func(c *Config) { c.Tasks = 0 }},
+		{name: "zero executors", mutate: func(c *Config) { c.Executors = 0 }},
+		{name: "negative partition", mutate: func(c *Config) { c.PartitionBytes = -1 }},
+		{name: "negative sched", mutate: func(c *Config) { c.SchedPerTask = -1 }},
+		{name: "negative pressure", mutate: func(c *Config) { c.SpillPenalty = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := simpleConfig(4, 2)
+			tt.mutate(&cfg)
+			if _, err := RunParallel(cfg); err == nil {
+				t.Error("RunParallel should reject invalid config")
+			}
+			if _, err := RunSequential(cfg); err == nil {
+				t.Error("RunSequential should reject invalid config")
+			}
+		})
+	}
+}
+
+func TestStageValidation(t *testing.T) {
+	cfg := simpleConfig(2, 1)
+	cfg.App = stagesApp{name: "bad", stages: []Stage{{Name: "s", Tasks: 1, WorkPerTask: -1}}}
+	if _, err := RunParallel(cfg); err == nil {
+		t.Error("negative stage field should error")
+	}
+	cfg.App = stagesApp{name: "empty"}
+	if _, err := RunParallel(cfg); err == nil {
+		t.Error("empty stage list should error")
+	}
+}
+
+func TestSequentialMakespan(t *testing.T) {
+	cfg := simpleConfig(6, 2)
+	res, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 tasks × 4 work / rate 1 = 24 s.
+	if !almost(res.Makespan, 24) {
+		t.Errorf("sequential makespan %g, want 24", res.Makespan)
+	}
+}
+
+func TestParallelWaves(t *testing.T) {
+	cfg := simpleConfig(6, 2)
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 waves of 2 tasks × 4 s = 12 s; no overheads configured.
+	if !almost(res.Makespan, 12) {
+		t.Errorf("parallel makespan %g, want 12", res.Makespan)
+	}
+	if got := len(res.Log.TaskDurations(trace.PhaseCompute)); got != 6 {
+		t.Errorf("compute events %d, want 6", got)
+	}
+}
+
+func TestSpeedupIdealIsExecutors(t *testing.T) {
+	s, _, _, err := Speedup(simpleConfig(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s, 4) {
+		t.Errorf("ideal speedup %g, want 4", s)
+	}
+}
+
+func TestFirstWaveDeserDominates(t *testing.T) {
+	cfg := simpleConfig(4, 2)
+	cfg.DeserFirstWave = 3
+	cfg.DeserPerTask = 1
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deserialization is recorded as its own phase: the first wave
+	// (tasks 0,1) pays 3 s, later waves 1 s; compute is 4 s everywhere.
+	deser := res.Log.TaskDurations(trace.PhaseDeser)
+	if !almost(deser[0], 3) || !almost(deser[1], 3) {
+		t.Errorf("first-wave deser %v, want 3", deser[:2])
+	}
+	if !almost(deser[2], 1) || !almost(deser[3], 1) {
+		t.Errorf("later-wave deser %v, want 1", deser[2:])
+	}
+	for i, d := range res.Log.TaskDurations(trace.PhaseCompute) {
+		if !almost(d, 4) {
+			t.Errorf("compute[%d] = %g, want 4", i, d)
+		}
+	}
+	// Makespan: executor runs (3+4) + (1+4) = 12 s.
+	if !almost(res.Makespan, 12) {
+		t.Errorf("makespan %g, want 12", res.Makespan)
+	}
+}
+
+func TestBroadcastDelaysStage(t *testing.T) {
+	cfg := simpleConfig(2, 2)
+	cfg.App = stagesApp{name: "b", stages: []Stage{{Name: "s0", WorkPerTask: 4, BroadcastBytes: 20}}}
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial broadcast: 2 sends × 20 B / 10 Bps = 4 s, then 4 s of work.
+	if !almost(res.Makespan, 8) {
+		t.Errorf("makespan %g, want 8", res.Makespan)
+	}
+	if _, _, ok := res.Log.PhaseSpan(trace.PhaseBroadcast); !ok {
+		t.Error("broadcast event missing")
+	}
+}
+
+func TestDriverWorkIsSerialInBothModes(t *testing.T) {
+	cfg := simpleConfig(4, 4)
+	cfg.App = stagesApp{name: "d", stages: []Stage{{Name: "s0", WorkPerTask: 4, DriverWork: 2}}}
+	par, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(par.Makespan, 6) { // 4 work + 2 driver
+		t.Errorf("parallel makespan %g, want 6", par.Makespan)
+	}
+	if !almost(seq.Makespan, 18) { // 16 work + 2 driver
+		t.Errorf("sequential makespan %g, want 18", seq.Makespan)
+	}
+}
+
+func TestShuffleBetweenStages(t *testing.T) {
+	cfg := simpleConfig(2, 2)
+	cfg.App = stagesApp{name: "sh", stages: []Stage{
+		{Name: "s0", WorkPerTask: 4, ShuffleBytesPerTask: 40},
+		{Name: "s1", WorkPerTask: 4},
+	}}
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0: 4 s work + shuffle 80 B / (2×10 Bps) = 4 s; stage 1: 4 s.
+	if !almost(res.Makespan, 12) {
+		t.Errorf("makespan %g, want 12", res.Makespan)
+	}
+	if got := res.Log.Stages(); len(got) != 2 {
+		t.Errorf("stages in log %v, want 2", got)
+	}
+}
+
+func TestMemoryPressureSlowsAndRetries(t *testing.T) {
+	mk := func(cached float64) Config {
+		cfg := simpleConfig(32, 2)
+		cfg.App = stagesApp{name: "mem", stages: []Stage{
+			{Name: "s0", WorkPerTask: 4, CachedBytesPerTask: cached},
+		}}
+		cfg.FailureCoef = 0.3
+		cfg.Seed = 5
+		return cfg
+	}
+	light, err := RunParallel(mk(1)) // 16 tasks/exec × 2 B ≪ 1000 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunParallel(mk(200)) // 16 × 201 B ≫ 1000 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Makespan <= light.Makespan {
+		t.Errorf("memory pressure should slow the job: light %g, heavy %g", light.Makespan, heavy.Makespan)
+	}
+	if heavy.Retries == 0 {
+		t.Error("memory pressure should trigger task retries")
+	}
+	if light.Retries != 0 {
+		t.Errorf("no pressure should mean no retries, got %d", light.Retries)
+	}
+}
+
+func TestCentralSchedulingSerializes(t *testing.T) {
+	cfg := simpleConfig(8, 8)
+	cfg.SchedPerTask = 1
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatches at 1 s apart; last task starts at t=8 and runs 4 s.
+	if !almost(res.Makespan, 12) {
+		t.Errorf("makespan %g, want 12", res.Makespan)
+	}
+}
+
+func TestJitterLowersSpeedup(t *testing.T) {
+	det, _, _, err := Speedup(simpleConfig(32, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simpleConfig(32, 8)
+	cfg.Jitter = stats.Uniform{Low: 0.5, High: 1.5}
+	cfg.Seed = 3
+	jit, par, seq, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit >= det {
+		t.Errorf("straggler jitter should lower speedup: det %g, jitter %g", det, jit)
+	}
+	// Same seed ⇒ identical total work in both execution modes.
+	parWork := par.Log.PhaseTotal(trace.PhaseCompute)
+	seqWork := seq.Log.PhaseTotal(trace.PhaseCompute)
+	if !almost(parWork, seqWork) {
+		t.Errorf("total compute differs: parallel %g vs sequential %g", parWork, seqWork)
+	}
+}
+
+func TestHeavyFailureRateTerminates(t *testing.T) {
+	// Even at the 30% failure-probability cap the retry loop terminates
+	// (geometric retries) and the job completes.
+	cfg := simpleConfig(64, 4)
+	cfg.App = stagesApp{name: "hot", stages: []Stage{{Name: "s", WorkPerTask: 1, CachedBytesPerTask: 500}}}
+	cfg.FailureCoef = 100 // force the 0.3 cap
+	cfg.Seed = 2
+	res, err := RunParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Error("expected retries under extreme pressure")
+	}
+	if res.Makespan <= 0 {
+		t.Error("job did not complete")
+	}
+}
+
+// Property: speedup is positive and never exceeds the executor count when
+// no randomness is configured.
+func TestSpeedupBoundProperty(t *testing.T) {
+	f := func(tRaw, eRaw uint8) bool {
+		tasks := int(tRaw%16) + 1
+		execs := int(eRaw%8) + 1
+		s, _, _, err := Speedup(simpleConfig(tasks, execs))
+		if err != nil {
+			return false
+		}
+		return s > 0 && s <= float64(execs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with fixed N, adding broadcast overhead makes the parallel
+// makespan strictly increase with executors once work per executor is
+// small — the peak-and-fall precondition (IVs).
+func TestBroadcastOverheadGrowsWithExecutorsProperty(t *testing.T) {
+	f := func(eRaw uint8) bool {
+		execs := int(eRaw%10) + 2
+		mk := func(m int) float64 {
+			cfg := simpleConfig(2, m)
+			cfg.App = stagesApp{name: "b", stages: []Stage{{Name: "s", WorkPerTask: 0.001, BroadcastBytes: 100}}}
+			res, err := RunParallel(cfg)
+			if err != nil {
+				return -1
+			}
+			return res.Makespan
+		}
+		a, b := mk(execs), mk(execs+1)
+		return a > 0 && b > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9*math.Max(1, math.Abs(b)) }

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution models a nonnegative task processing time Tp,i(n).
+//
+// The paper's statistic IPSO model (Eq. 8) treats per-task times as random
+// variables so that long-tail effects — stragglers [17] and task queuing
+// [18] — show up in E[max{Tp,i(n)}]. All distributions here have finite
+// support or finite tails, matching the paper's observation that
+// "the tail length of the task response time must be finite in practice",
+// which is what makes E[max] bounded as n grows.
+type Distribution interface {
+	// Mean returns the expected value.
+	Mean() float64
+	// Sample draws one value using rng.
+	Sample(rng *rand.Rand) float64
+}
+
+// Deterministic is a point mass: every task takes exactly Value.
+// It reduces the statistic model to the deterministic model (Section IV).
+type Deterministic struct{ Value float64 }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// Uniform is the continuous uniform distribution on [Low, High].
+type Uniform struct{ Low, High float64 }
+
+// Mean returns (Low+High)/2.
+func (u Uniform) Mean() float64 { return (u.Low + u.High) / 2 }
+
+// Sample draws uniformly from [Low, High).
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Low + rng.Float64()*(u.High-u.Low)
+}
+
+// Exponential has rate Rate (mean 1/Rate). Note its tail is unbounded, so
+// E[max] grows like ln(n)/Rate — useful to contrast with bounded tails.
+type Exponential struct{ Rate float64 }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Rate
+}
+
+// LogNormal has parameters Mu and Sigma of the underlying normal.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Sample draws a lognormal variate.
+func (l LogNormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// TruncatedPareto is a Pareto distribution with shape Alpha and scale Xm,
+// truncated at Cap. It models stragglers: heavy-tailed but with the finite
+// maximum the paper requires for E[max{Tp,i(n)}] to be upper bounded.
+type TruncatedPareto struct {
+	Xm    float64 // scale (minimum value), > 0
+	Alpha float64 // shape, > 0
+	Cap   float64 // truncation point, > Xm
+}
+
+// Mean returns the mean of the truncated distribution.
+func (p TruncatedPareto) Mean() float64 {
+	if p.Alpha == 1 {
+		// E = Xm·ln(Cap/Xm) / (1 − Xm/Cap)
+		return p.Xm * math.Log(p.Cap/p.Xm) / (1 - p.Xm/p.Cap)
+	}
+	a := p.Alpha
+	num := math.Pow(p.Xm, a) / (1 - math.Pow(p.Xm/p.Cap, a)) * a / (a - 1)
+	return num * (math.Pow(p.Xm, 1-a) - math.Pow(p.Cap, 1-a))
+}
+
+// Sample draws from the truncated Pareto by inverse transform.
+func (p TruncatedPareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	// CDF of truncation: F(x) = (1 − (Xm/x)^α) / (1 − (Xm/Cap)^α)
+	denom := 1 - math.Pow(p.Xm/p.Cap, p.Alpha)
+	x := p.Xm / math.Pow(1-u*denom, 1/p.Alpha)
+	if x > p.Cap {
+		x = p.Cap
+	}
+	return x
+}
+
+// Scaled wraps a distribution, multiplying every sample (and the mean) by
+// Factor. It lets one base task-time distribution be reused across shard
+// sizes: Tp,i(n) = shardWork(n) · Base.
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// Mean returns Factor · Base.Mean().
+func (s Scaled) Mean() float64 { return s.Factor * s.Base.Mean() }
+
+// Sample returns Factor · Base.Sample(rng).
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.Factor * s.Base.Sample(rng) }
+
+func validateDistribution(d Distribution) error {
+	switch v := d.(type) {
+	case Uniform:
+		if v.High < v.Low {
+			return fmt.Errorf("stats: uniform High < Low (%g < %g)", v.High, v.Low)
+		}
+	case Exponential:
+		if v.Rate <= 0 {
+			return fmt.Errorf("stats: exponential rate must be positive, got %g", v.Rate)
+		}
+	case TruncatedPareto:
+		if v.Xm <= 0 || v.Alpha <= 0 || v.Cap <= v.Xm {
+			return fmt.Errorf("stats: invalid truncated pareto %+v", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(d Distribution, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += d.Sample(rng)
+	}
+	return total / float64(n)
+}
+
+func TestDistributionMeansMatchSamples(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Distribution
+		tol  float64
+	}{
+		{name: "deterministic", d: Deterministic{Value: 3.5}, tol: 1e-12},
+		{name: "uniform", d: Uniform{Low: 2, High: 6}, tol: 0.02},
+		{name: "exponential", d: Exponential{Rate: 0.5}, tol: 0.03},
+		{name: "lognormal", d: LogNormal{Mu: 0, Sigma: 0.5}, tol: 0.03},
+		{name: "truncated-pareto", d: TruncatedPareto{Xm: 1, Alpha: 2, Cap: 50}, tol: 0.03},
+		{name: "scaled", d: Scaled{Base: Uniform{Low: 0, High: 1}, Factor: 10}, tol: 0.05},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := sampleMean(tt.d, 200000, 42)
+			want := tt.d.Mean()
+			if !almostEqual(got, want, tt.tol) {
+				t.Errorf("sample mean %g, analytic mean %g", got, want)
+			}
+		})
+	}
+}
+
+func TestTruncatedParetoBounds(t *testing.T) {
+	d := TruncatedPareto{Xm: 1, Alpha: 1.5, Cap: 20}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(rng)
+		if x < d.Xm || x > d.Cap {
+			t.Fatalf("sample %g outside [%g, %g]", x, d.Xm, d.Cap)
+		}
+	}
+}
+
+func TestTruncatedParetoAlphaOneMean(t *testing.T) {
+	d := TruncatedPareto{Xm: 1, Alpha: 1, Cap: math.E}
+	// Mean = ln(e)/ (1 − 1/e) = 1/(1−1/e).
+	want := 1 / (1 - 1/math.E)
+	if !almostEqual(d.Mean(), want, 1e-12) {
+		t.Errorf("mean %g, want %g", d.Mean(), want)
+	}
+}
+
+func TestValidateDistribution(t *testing.T) {
+	bad := []Distribution{
+		Uniform{Low: 5, High: 1},
+		Exponential{Rate: -1},
+		TruncatedPareto{Xm: -1, Alpha: 1, Cap: 2},
+		TruncatedPareto{Xm: 1, Alpha: 1, Cap: 0.5},
+	}
+	for _, d := range bad {
+		if err := validateDistribution(d); err == nil {
+			t.Errorf("expected validation error for %#v", d)
+		}
+	}
+	if err := validateDistribution(Deterministic{Value: 1}); err != nil {
+		t.Errorf("deterministic should validate: %v", err)
+	}
+}
+
+// Property: samples from Uniform stay within [Low, High] for arbitrary
+// nonnegative widths.
+func TestUniformSampleBoundsProperty(t *testing.T) {
+	f := func(lo uint8, width uint8, seed int64) bool {
+		d := Uniform{Low: float64(lo), High: float64(lo) + float64(width)}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := d.Sample(rng)
+			if x < d.Low || x > d.High {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Scaled multiplies both mean and samples consistently.
+func TestScaledConsistencyProperty(t *testing.T) {
+	f := func(factor uint8, seed int64) bool {
+		k := 1 + float64(factor%20)
+		base := Uniform{Low: 1, High: 3}
+		s := Scaled{Base: base, Factor: k}
+		if !almostEqual(s.Mean(), k*base.Mean(), 1e-12) {
+			return false
+		}
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10; i++ {
+			if !almostEqual(s.Sample(r1), k*base.Sample(r2), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

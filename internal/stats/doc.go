@@ -1,0 +1,12 @@
+// Package stats provides the statistical substrate used throughout the IPSO
+// reproduction: descriptive summaries, linear and power-law regression,
+// nonlinear least squares (Levenberg-Marquardt), task-time distributions,
+// and order statistics for E[max{Tp,i(n)}].
+//
+// The paper (Section IV) formulates IPSO as a statistic model whose split
+// phase is characterized by the expected maximum of n task processing
+// times; this package supplies both analytic expected maxima (for
+// distributions where a closed form exists) and seeded Monte Carlo
+// estimates (for the rest), plus the regression machinery Section V uses
+// to estimate the scaling factors EX(n), IN(n) and q(n) from measurements.
+package stats

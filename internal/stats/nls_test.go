@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNonlinearFitHyperbola(t *testing.T) {
+	// The Collaborative Filtering split-phase model: y = a/x + b with the
+	// paper's approximate values a≈2001, b≈9 (Table I reconstruction).
+	model := func(p []float64, x float64) float64 { return p[0]/x + p[1] }
+	xs := []float64{10, 30, 60, 90}
+	ys := []float64{209.0, 79.3, 43.7, 31.1}
+	res, err := NonlinearFit(model, xs, ys, []float64{100, 1}, NLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params[0] < 1800 || res.Params[0] > 2200 {
+		t.Errorf("a = %g, want ≈2000", res.Params[0])
+	}
+	if res.Params[1] < 5 || res.Params[1] > 13 {
+		t.Errorf("b = %g, want ≈9", res.Params[1])
+	}
+}
+
+func TestNonlinearFitPowerPlusConstant(t *testing.T) {
+	// y = a·x^c + b, exact data — the solver should reach near-zero SSE.
+	model := func(p []float64, x float64) float64 { return p[0]*math.Pow(x, p[2]) + p[1] }
+	truth := []float64{0.6, 2.0, 1.0}
+	xs := []float64{5, 10, 20, 40, 80, 160}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = model(truth, x)
+	}
+	res, err := NonlinearFit(model, xs, ys, []float64{1, 1, 0.5}, NLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE > 1e-6 {
+		t.Errorf("SSE = %g, want ~0 (params %v)", res.SSE, res.Params)
+	}
+}
+
+func TestNonlinearFitErrors(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * x }
+	if _, err := NonlinearFit(model, []float64{1, 2}, []float64{1}, []float64{1}, NLSOptions{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NonlinearFit(model, []float64{1}, []float64{1}, []float64{1, 2}, NLSOptions{}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	if _, err := NonlinearFit(model, nil, nil, nil, NLSOptions{}); err == nil {
+		t.Error("no parameters should error")
+	}
+	bad := func(p []float64, x float64) float64 { return math.NaN() }
+	if _, err := NonlinearFit(bad, []float64{1}, []float64{1}, []float64{1}, NLSOptions{}); err == nil {
+		t.Error("non-finite model should error")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, ok := solveLinearSystem(a, b)
+	if !ok {
+		t.Fatal("system reported singular")
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("solution %v, want [1 3]", x)
+	}
+	if _, ok := solveLinearSystem([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); ok {
+		t.Error("singular system should report !ok")
+	}
+}
+
+func TestFitHyperbolic(t *testing.T) {
+	xs := []float64{10, 30, 60, 90}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2001/x + 9
+	}
+	a, b, err := FitHyperbolic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 2001, 1e-9) || !almostEqual(b, 9, 1e-9) {
+		t.Errorf("fit (%g, %g), want (2001, 9)", a, b)
+	}
+	if _, _, err := FitHyperbolic([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero x should error")
+	}
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ExpectedMax returns E[max of n i.i.d. draws] from d.
+//
+// This is the denominator term E[max{Tp,i(n)}] of the statistic IPSO model
+// (Eq. 8): with barrier synchronization, the split-phase response time is
+// the slowest of the n parallel tasks. Closed forms are used where they
+// exist; otherwise a seeded Monte Carlo estimate is returned.
+func ExpectedMax(d Distribution, n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("stats: ExpectedMax needs n >= 1, got %d", n)
+	}
+	if err := validateDistribution(d); err != nil {
+		return 0, err
+	}
+	switch v := d.(type) {
+	case Deterministic:
+		return v.Value, nil
+	case Uniform:
+		// E[max] = Low + (High−Low)·n/(n+1).
+		return v.Low + (v.High-v.Low)*float64(n)/float64(n+1), nil
+	case Exponential:
+		// E[max] = H_n / Rate (harmonic number).
+		h := 0.0
+		for i := 1; i <= n; i++ {
+			h += 1 / float64(i)
+		}
+		return h / v.Rate, nil
+	case Scaled:
+		inner, err := ExpectedMax(v.Base, n)
+		if err != nil {
+			return 0, err
+		}
+		return v.Factor * inner, nil
+	default:
+		return ExpectedMaxMC(d, n, 4096, 1)
+	}
+}
+
+// ExpectedMaxMC estimates E[max of n draws] by Monte Carlo with the given
+// number of replications and RNG seed. Deterministic for a fixed seed.
+func ExpectedMaxMC(d Distribution, n, reps int, seed int64) (float64, error) {
+	if n < 1 || reps < 1 {
+		return 0, fmt.Errorf("stats: ExpectedMaxMC needs n>=1 and reps>=1 (n=%d reps=%d)", n, reps)
+	}
+	if err := validateDistribution(d); err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for r := 0; r < reps; r++ {
+		mx := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if x := d.Sample(rng); x > mx {
+				mx = x
+			}
+		}
+		total += mx
+	}
+	return total / float64(reps), nil
+}
+
+// StragglerInflation returns E[max of n]/mean for d — the multiplicative
+// penalty that randomness adds to the split phase relative to the
+// deterministic model. It is 1 for Deterministic and grows (boundedly, for
+// bounded tails) with n.
+func StragglerInflation(d Distribution, n int) (float64, error) {
+	em, err := ExpectedMax(d, n)
+	if err != nil {
+		return 0, err
+	}
+	mean := d.Mean()
+	if mean <= 0 {
+		return 0, fmt.Errorf("stats: nonpositive mean %g", mean)
+	}
+	return em / mean, nil
+}

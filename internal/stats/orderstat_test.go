@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedMaxClosedForms(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Distribution
+		n    int
+		want float64
+	}{
+		{name: "deterministic", d: Deterministic{Value: 7}, n: 100, want: 7},
+		{name: "uniform-n1", d: Uniform{Low: 0, High: 1}, n: 1, want: 0.5},
+		{name: "uniform-n3", d: Uniform{Low: 0, High: 1}, n: 3, want: 0.75},
+		{name: "uniform-shifted", d: Uniform{Low: 2, High: 4}, n: 4, want: 2 + 2*4.0/5.0},
+		{name: "exponential-n1", d: Exponential{Rate: 2}, n: 1, want: 0.5},
+		{name: "exponential-n3", d: Exponential{Rate: 1}, n: 3, want: 1 + 0.5 + 1.0/3.0},
+		{name: "scaled", d: Scaled{Base: Uniform{Low: 0, High: 1}, Factor: 10}, n: 3, want: 7.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ExpectedMax(tt.d, tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("ExpectedMax = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExpectedMaxErrors(t *testing.T) {
+	if _, err := ExpectedMax(Deterministic{Value: 1}, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := ExpectedMax(Exponential{Rate: -1}, 2); err == nil {
+		t.Error("invalid distribution should error")
+	}
+	if _, err := ExpectedMaxMC(Deterministic{Value: 1}, 1, 0, 1); err == nil {
+		t.Error("reps=0 should error")
+	}
+}
+
+func TestExpectedMaxMCAgreesWithClosedForm(t *testing.T) {
+	d := Uniform{Low: 0, High: 1}
+	for _, n := range []int{1, 2, 8, 32} {
+		analytic, err := ExpectedMax(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := ExpectedMaxMC(d, n, 20000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(analytic, mc, 0.02) {
+			t.Errorf("n=%d: analytic %g vs MC %g", n, analytic, mc)
+		}
+	}
+}
+
+func TestExpectedMaxMonteCarloFallback(t *testing.T) {
+	// LogNormal has no closed form here; ExpectedMax must fall back to MC
+	// and still be ≥ the mean.
+	d := LogNormal{Mu: 0, Sigma: 0.25}
+	got, err := ExpectedMax(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < d.Mean() {
+		t.Errorf("E[max of 16] = %g < mean %g", got, d.Mean())
+	}
+}
+
+func TestStragglerInflation(t *testing.T) {
+	infl, err := StragglerInflation(Deterministic{Value: 5}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infl != 1 {
+		t.Errorf("deterministic inflation = %g, want 1", infl)
+	}
+	infl, err = StragglerInflation(Uniform{Low: 0, High: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(infl, 1.8, 1e-12) { // (2·9/10) / 1
+		t.Errorf("uniform inflation = %g, want 1.8", infl)
+	}
+	if _, err := StragglerInflation(Deterministic{Value: 0}, 2); err == nil {
+		t.Error("zero mean should error")
+	}
+}
+
+// Property: E[max] is non-decreasing in n (bounded tails or not).
+func TestExpectedMaxMonotoneProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k%64) + 1
+		d := Uniform{Low: 1, High: 2}
+		a, err1 := ExpectedMax(d, n)
+		b, err2 := ExpectedMax(d, n+1)
+		return err1 == nil && err2 == nil && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for a bounded distribution, E[max] never exceeds the upper
+// bound of the support — the finiteness the paper relies on when arguing
+// that E[max{Tp,i(n)}] is upper bounded as n grows.
+func TestExpectedMaxBoundedProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k)%200 + 1
+		d := Uniform{Low: 0, High: 10}
+		em, err := ExpectedMax(d, n)
+		return err == nil && em <= 10 && em >= d.Mean()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

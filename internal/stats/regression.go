@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadFit is returned when a regression cannot be computed from the
+// provided data (too few points, degenerate inputs, or domain violations).
+var ErrBadFit = errors.New("stats: regression cannot be computed")
+
+// LinearFit is the ordinary-least-squares fit y ≈ Intercept + Slope·x.
+//
+// Section V of the paper estimates the internal scaling factor IN(n) of
+// Sort and TeraSort by exactly this kind of linear regression (e.g.
+// IN_Sort(n) = 0.36n − 0.11).
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// Eval returns the fitted value at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// String renders the fit as "y = <slope>·x + <intercept>".
+func (f LinearFit) String() string {
+	sign := "+"
+	b := f.Intercept
+	if b < 0 {
+		sign, b = "-", -b
+	}
+	return fmt.Sprintf("y = %.4g·x %s %.4g (R²=%.4f)", f.Slope, sign, b, f.R2)
+}
+
+// Linear computes the ordinary-least-squares line through (xs, ys).
+// At least two points with distinct x values are required.
+func Linear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("%w: len(xs)=%d len(ys)=%d", ErrBadFit, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need at least 2 points, got %d", ErrBadFit, len(xs))
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	n := float64(len(xs))
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("%w: all x values identical", ErrBadFit)
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// R² = 1 − SS_res/SS_tot. A constant y series has SS_tot == 0; report
+	// R²=1 if the fit is exact there, 0 otherwise.
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// PowerFit is the fit y ≈ Coeff·x^Exponent obtained by OLS in log-log space.
+//
+// The paper's asymptotic analysis (Eqs. 14-15) approximates the
+// in-proportion ratio as ε(n) ≈ α·n^δ and the scale-out-induced factor as
+// q(n) ≈ β·n^γ; PowerLaw estimates (α, δ) or (β, γ) from measurements.
+type PowerFit struct {
+	Coeff    float64 // α or β
+	Exponent float64 // δ or γ
+	R2       float64 // R² in log-log space
+}
+
+// Eval returns the fitted value at x.
+func (f PowerFit) Eval(x float64) float64 { return f.Coeff * math.Pow(x, f.Exponent) }
+
+// String renders the fit as "y = <coeff>·x^<exp>".
+func (f PowerFit) String() string {
+	return fmt.Sprintf("y = %.4g·x^%.4g (log-log R²=%.4f)", f.Coeff, f.Exponent, f.R2)
+}
+
+// PowerLaw fits y = c·x^e by linear regression on (ln x, ln y).
+// All xs and ys must be strictly positive.
+func PowerLaw(xs, ys []float64) (PowerFit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PowerFit{}, fmt.Errorf("%w: need >=2 paired points", ErrBadFit)
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerFit{}, fmt.Errorf("%w: power-law fit requires positive data (x=%g, y=%g)", ErrBadFit, xs[i], ys[i])
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	lin, err := Linear(lx, ly)
+	if err != nil {
+		return PowerFit{}, err
+	}
+	return PowerFit{Coeff: math.Exp(lin.Intercept), Exponent: lin.Slope, R2: lin.R2}, nil
+}
+
+// PiecewiseLinear is a two-segment linear fit with a breakpoint, used for
+// step-wise internal scaling such as TeraSort's IN(n) in Fig. 5, where the
+// slope changes once the reducer memory overflows.
+type PiecewiseLinear struct {
+	Break float64   // x value where the segments switch
+	Left  LinearFit // fit over x <= Break
+	Right LinearFit // fit over x > Break
+}
+
+// Eval returns the fitted value at x, using the segment containing x.
+func (f PiecewiseLinear) Eval(x float64) float64 {
+	if x <= f.Break {
+		return f.Left.Eval(x)
+	}
+	return f.Right.Eval(x)
+}
+
+// FitPiecewiseLinear searches candidate breakpoints (interior x values) and
+// returns the two-segment fit minimizing total squared residual. The xs
+// must be sorted ascending; each segment must contain at least two points.
+func FitPiecewiseLinear(xs, ys []float64) (PiecewiseLinear, error) {
+	if len(xs) != len(ys) || len(xs) < 4 {
+		return PiecewiseLinear{}, fmt.Errorf("%w: need >=4 paired points", ErrBadFit)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("%w: xs must be sorted", ErrBadFit)
+		}
+	}
+	best := PiecewiseLinear{}
+	bestSSE := math.Inf(1)
+	found := false
+	for k := 2; k <= len(xs)-2; k++ {
+		left, err := Linear(xs[:k], ys[:k])
+		if err != nil {
+			continue
+		}
+		right, err := Linear(xs[k:], ys[k:])
+		if err != nil {
+			continue
+		}
+		sse := 0.0
+		for i := 0; i < k; i++ {
+			r := ys[i] - left.Eval(xs[i])
+			sse += r * r
+		}
+		for i := k; i < len(xs); i++ {
+			r := ys[i] - right.Eval(xs[i])
+			sse += r * r
+		}
+		if sse < bestSSE {
+			bestSSE = sse
+			best = PiecewiseLinear{Break: xs[k-1], Left: left, Right: right}
+			found = true
+		}
+	}
+	if !found {
+		return PiecewiseLinear{}, fmt.Errorf("%w: no valid breakpoint", ErrBadFit)
+	}
+	return best, nil
+}

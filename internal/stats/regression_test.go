@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearExact(t *testing.T) {
+	tests := []struct {
+		name         string
+		slope, icept float64
+		xs           []float64
+	}{
+		{name: "identity", slope: 1, icept: 0, xs: []float64{1, 2, 3}},
+		{name: "paper-sort-IN", slope: 0.36, icept: -0.11, xs: []float64{2, 4, 8, 16}},
+		{name: "paper-terasort-IN", slope: 0.23, icept: 2.72, xs: []float64{16, 24, 32, 48, 64}},
+		{name: "negative-slope", slope: -3.5, icept: 10, xs: []float64{0, 1, 2, 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ys := make([]float64, len(tt.xs))
+			for i, x := range tt.xs {
+				ys[i] = tt.icept + tt.slope*x
+			}
+			fit, err := Linear(tt.xs, ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(fit.Slope, tt.slope, 1e-9) {
+				t.Errorf("slope = %g, want %g", fit.Slope, tt.slope)
+			}
+			if !almostEqual(fit.Intercept, tt.icept, 1e-9) {
+				t.Errorf("intercept = %g, want %g", fit.Intercept, tt.icept)
+			}
+			if !almostEqual(fit.R2, 1, 1e-9) {
+				t.Errorf("R² = %g, want 1", fit.R2)
+			}
+		})
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should error")
+	}
+}
+
+func TestLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2.5*xs[i] + 4 + rng.NormFloat64()*0.01
+	}
+	fit, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2.5, 1e-3) || !almostEqual(fit.Intercept, 4, 1e-2) {
+		t.Errorf("fit %v, want slope 2.5 intercept 4", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R² = %g, want ~1", fit.R2)
+	}
+}
+
+func TestPowerLawExact(t *testing.T) {
+	tests := []struct {
+		name       string
+		coeff, exp float64
+	}{
+		{name: "linear", coeff: 1, exp: 1},
+		{name: "quadratic-q", coeff: 3.7e-4, exp: 2}, // CF's q(n) shape, γ=2
+		{name: "sublinear", coeff: 2, exp: 0.5},
+		{name: "constant", coeff: 5, exp: 0},
+	}
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ys := make([]float64, len(xs))
+			for i, x := range xs {
+				ys[i] = tt.coeff * math.Pow(x, tt.exp)
+			}
+			fit, err := PowerLaw(xs, ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(fit.Coeff, tt.coeff, 1e-9) || !almostEqual(fit.Exponent, tt.exp, 1e-9) {
+				t.Errorf("fit %v, want coeff=%g exp=%g", fit, tt.coeff, tt.exp)
+			}
+		})
+	}
+}
+
+func TestPowerLawRejectsNonpositive(t *testing.T) {
+	if _, err := PowerLaw([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x should error")
+	}
+	if _, err := PowerLaw([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y should error")
+	}
+}
+
+func TestFitPiecewiseLinear(t *testing.T) {
+	// Mimics TeraSort's IN(n): slope 0.15 before the memory overflow at
+	// n≈15, slope 0.25 after (Fig. 5).
+	var xs, ys []float64
+	for n := 2.0; n <= 40; n += 2 {
+		xs = append(xs, n)
+		if n <= 14 {
+			ys = append(ys, 0.15*n+1)
+		} else {
+			ys = append(ys, 0.25*n+1)
+		}
+	}
+	fit, err := FitPiecewiseLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Left.Slope, 0.15, 1e-6) {
+		t.Errorf("left slope = %g, want 0.15", fit.Left.Slope)
+	}
+	if !almostEqual(fit.Right.Slope, 0.25, 1e-6) {
+		t.Errorf("right slope = %g, want 0.25", fit.Right.Slope)
+	}
+	if fit.Break < 10 || fit.Break > 18 {
+		t.Errorf("break = %g, want near 14", fit.Break)
+	}
+}
+
+func TestFitPiecewiseLinearErrors(t *testing.T) {
+	if _, err := FitPiecewiseLinear([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := FitPiecewiseLinear([]float64{3, 2, 1, 0}, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("unsorted xs should error")
+	}
+}
+
+// Property: OLS recovers an exact linear relationship for arbitrary
+// (slope, intercept) and any sample of >= 2 distinct integer x positions.
+func TestLinearRoundTripProperty(t *testing.T) {
+	f := func(slope, icept int8, count uint8) bool {
+		n := int(count%16) + 2
+		s, b := float64(slope), float64(icept)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+			ys[i] = b + s*xs[i]
+		}
+		fit, err := Linear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, s, 1e-6) && almostEqual(fit.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power-law fit recovers exact (coeff, exponent) pairs.
+func TestPowerLawRoundTripProperty(t *testing.T) {
+	f := func(c, e uint8) bool {
+		coeff := 0.1 + float64(c%50)/10 // 0.1 .. 5.0
+		exp := float64(e%40)/10 - 1     // -1.0 .. 2.9
+		xs := []float64{1, 2, 3, 5, 8, 13, 21}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = coeff * math.Pow(x, exp)
+		}
+		fit, err := PowerLaw(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Coeff, coeff, 1e-6) && almostEqual(fit.Exponent, exp, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TheilSen computes the Theil-Sen estimator: the median of all pairwise
+// slopes, with the intercept as the median of y − slope·x. It is robust
+// to outliers — useful when a scaling-factor series contains a few
+// measurements polluted by transient environment changes (the kind of
+// "program execution environment changes" Section V warns scaling-factor
+// prediction must watch for).
+func TheilSen(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need >=2 paired points", ErrBadFit)
+	}
+	slopes := make([]float64, 0, len(xs)*(len(xs)-1)/2)
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] == xs[j] {
+				continue
+			}
+			slopes = append(slopes, (ys[j]-ys[i])/(xs[j]-xs[i]))
+		}
+	}
+	if len(slopes) == 0 {
+		return LinearFit{}, fmt.Errorf("%w: all x values identical", ErrBadFit)
+	}
+	slope := median(slopes)
+	residuals := make([]float64, len(xs))
+	for i := range xs {
+		residuals[i] = ys[i] - slope*xs[i]
+	}
+	intercept := median(residuals)
+
+	// R² against the robust line (can be negative for terrible fits;
+	// clamp to 0 as is conventional when reporting).
+	var ssRes, ssTot float64
+	my := Mean(ys)
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += r * r
+		d := ys[i] - my
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+func median(xs []float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// WeightedLinear computes weighted least squares y ≈ a + b·x with the
+// given nonnegative weights (at least two must be positive). Heavier
+// weights pull the fit — e.g. weighting large-n measurements when the
+// asymptotic regime matters most.
+func WeightedLinear(xs, ys, ws []float64) (LinearFit, error) {
+	if len(xs) != len(ys) || len(xs) != len(ws) || len(xs) < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need >=2 equally sized x/y/w", ErrBadFit)
+	}
+	var sw, swx, swy float64
+	positive := 0
+	for i := range xs {
+		if ws[i] < 0 {
+			return LinearFit{}, fmt.Errorf("%w: negative weight %g", ErrBadFit, ws[i])
+		}
+		if ws[i] > 0 {
+			positive++
+		}
+		sw += ws[i]
+		swx += ws[i] * xs[i]
+		swy += ws[i] * ys[i]
+	}
+	if positive < 2 {
+		return LinearFit{}, fmt.Errorf("%w: need at least two positive weights", ErrBadFit)
+	}
+	mx, my := swx/sw, swy/sw
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += ws[i] * dx * dx
+		sxy += ws[i] * dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("%w: weighted x values degenerate", ErrBadFit)
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	var ssRes, ssTot float64
+	for i := range xs {
+		r := ys[i] - (intercept + slope*xs[i])
+		ssRes += ws[i] * r * r
+		d := ys[i] - my
+		ssTot += ws[i] * d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// BootstrapCI holds a percentile bootstrap confidence interval for a fit
+// parameter.
+type BootstrapCI struct {
+	Low, High float64
+	Point     float64
+}
+
+// Contains reports whether v lies within [Low, High].
+func (ci BootstrapCI) Contains(v float64) bool { return v >= ci.Low && v <= ci.High }
+
+// Width returns High − Low.
+func (ci BootstrapCI) Width() float64 { return ci.High - ci.Low }
+
+// BootstrapPowerLaw estimates percentile confidence intervals for the
+// power-law fit y = c·x^e by resampling the points with replacement. It
+// is the uncertainty machinery behind the paper's future-work goal of
+// "quickly estimating the two scaling parameters, δ and γ": the online
+// estimator declares convergence when the exponent's interval is narrow.
+// reps resamples are drawn with the given seed; level is the coverage
+// (e.g. 0.9). Resamples with fewer than two distinct x values are
+// redrawn.
+func BootstrapPowerLaw(xs, ys []float64, reps int, level float64, seed int64) (coeff, exponent BootstrapCI, err error) {
+	if reps < 10 {
+		return BootstrapCI{}, BootstrapCI{}, fmt.Errorf("%w: need >=10 bootstrap reps", ErrBadFit)
+	}
+	if level <= 0 || level >= 1 {
+		return BootstrapCI{}, BootstrapCI{}, fmt.Errorf("%w: level %g outside (0,1)", ErrBadFit, level)
+	}
+	point, err := PowerLaw(xs, ys)
+	if err != nil {
+		return BootstrapCI{}, BootstrapCI{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coeffs := make([]float64, 0, reps)
+	exps := make([]float64, 0, reps)
+	rx := make([]float64, len(xs))
+	ry := make([]float64, len(ys))
+	for r := 0; r < reps; r++ {
+		fit, ok := resamplePowerLaw(rng, xs, ys, rx, ry)
+		if !ok {
+			continue
+		}
+		coeffs = append(coeffs, fit.Coeff)
+		exps = append(exps, fit.Exponent)
+	}
+	if len(coeffs) < reps/2 {
+		return BootstrapCI{}, BootstrapCI{}, fmt.Errorf("%w: too many degenerate resamples", ErrBadFit)
+	}
+	lo := (1 - level) / 2
+	cLo, err := Quantile(coeffs, lo)
+	if err != nil {
+		return BootstrapCI{}, BootstrapCI{}, err
+	}
+	cHi, _ := Quantile(coeffs, 1-lo)
+	eLo, _ := Quantile(exps, lo)
+	eHi, _ := Quantile(exps, 1-lo)
+	return BootstrapCI{Low: cLo, High: cHi, Point: point.Coeff},
+		BootstrapCI{Low: eLo, High: eHi, Point: point.Exponent}, nil
+}
+
+func resamplePowerLaw(rng *rand.Rand, xs, ys, rx, ry []float64) (PowerFit, bool) {
+	distinct := false
+	for i := range xs {
+		j := rng.Intn(len(xs))
+		rx[i], ry[i] = xs[j], ys[j]
+		if rx[i] != rx[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		return PowerFit{}, false
+	}
+	fit, err := PowerLaw(rx, ry)
+	if err != nil {
+		return PowerFit{}, false
+	}
+	return fit, true
+}

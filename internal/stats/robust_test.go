@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTheilSenExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x + 1
+	}
+	fit, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit %+v, want slope 2 intercept 1", fit)
+	}
+}
+
+func TestTheilSenRobustToOutlier(t *testing.T) {
+	// OLS is dragged by the outlier; Theil-Sen is not.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 0.36 * x
+	}
+	ys[7] = 100 // corrupted measurement
+
+	robust, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust.Slope-0.36) > 0.05 {
+		t.Errorf("Theil-Sen slope %g, want ≈0.36 despite outlier", robust.Slope)
+	}
+	if math.Abs(ols.Slope-0.36) < math.Abs(robust.Slope-0.36) {
+		t.Error("OLS should be more affected by the outlier than Theil-Sen")
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, err := TheilSen([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := TheilSen([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("identical x should error")
+	}
+}
+
+func TestWeightedLinear(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 3, 100} // last point is off the line y = x
+	// Zero weight on the bad point recovers the exact line.
+	fit, err := WeightedLinear(xs, ys, []float64{1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 1, 1e-9) || !almostEqual(fit.Intercept, 0, 1e-9) {
+		t.Errorf("fit %+v, want y = x", fit)
+	}
+	// Uniform weights reduce to OLS.
+	w, err := WeightedLinear(xs, ys, []float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w.Slope, o.Slope, 1e-9) || !almostEqual(w.Intercept, o.Intercept, 1e-9) {
+		t.Errorf("uniform WLS %+v != OLS %+v", w, o)
+	}
+}
+
+func TestWeightedLinearErrors(t *testing.T) {
+	if _, err := WeightedLinear([]float64{1, 2}, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := WeightedLinear([]float64{1, 2}, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := WeightedLinear([]float64{1, 2}, []float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Error("single positive weight should error")
+	}
+	if _, err := WeightedLinear([]float64{3, 3}, []float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+func TestBootstrapPowerLawCoversTruth(t *testing.T) {
+	// Noisy q(n) = 0.0004·n² samples: the 90% interval for γ should cover
+	// 2 and be reasonably tight with 8 points.
+	rng := rand.New(rand.NewSource(5))
+	var xs, ys []float64
+	for _, n := range []float64{5, 10, 20, 30, 45, 60, 75, 90} {
+		xs = append(xs, n)
+		ys = append(ys, 4e-4*n*n*(1+0.05*rng.NormFloat64()))
+	}
+	_, expCI, err := BootstrapPowerLaw(xs, ys, 500, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single noisy draw need not cover the truth exactly, but the
+	// interval must sit tightly around γ ≈ 2 and contain its own point
+	// estimate.
+	if expCI.Low < 1.8 || expCI.High > 2.25 {
+		t.Errorf("γ interval [%g, %g] should sit near 2", expCI.Low, expCI.High)
+	}
+	if expCI.Width() > 0.5 {
+		t.Errorf("γ interval width %g too wide", expCI.Width())
+	}
+	if !expCI.Contains(expCI.Point) {
+		t.Errorf("interval [%g, %g] should contain the point estimate %g", expCI.Low, expCI.High, expCI.Point)
+	}
+	if math.Abs(expCI.Point-2) > 0.15 {
+		t.Errorf("point estimate %g, want ≈2", expCI.Point)
+	}
+}
+
+func TestBootstrapPowerLawErrors(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 3, 4}
+	if _, _, err := BootstrapPowerLaw(xs, ys, 5, 0.9, 1); err == nil {
+		t.Error("too few reps should error")
+	}
+	if _, _, err := BootstrapPowerLaw(xs, ys, 100, 1.5, 1); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, _, err := BootstrapPowerLaw([]float64{1, -2}, ys[:2], 100, 0.9, 1); err == nil {
+		t.Error("invalid data should error")
+	}
+}
+
+// Property: Theil-Sen recovers exact lines for arbitrary integer slopes
+// and intercepts.
+func TestTheilSenRoundTripProperty(t *testing.T) {
+	f := func(slope, icept int8, count uint8) bool {
+		n := int(count%12) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = float64(icept) + float64(slope)*xs[i]
+		}
+		fit, err := TheilSen(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, float64(slope), 1e-9) &&
+			almostEqual(fit.Intercept, float64(icept), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted fit with uniform weights matches OLS.
+func TestWeightedEqualsOLSProperty(t *testing.T) {
+	f := func(raw []uint8, wRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		w := float64(wRaw%5) + 1
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		ws := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(i)
+			ys[i] = float64(r)
+			ws[i] = w
+		}
+		wls, err1 := WeightedLinear(xs, ys, ws)
+		ols, err2 := Linear(xs, ys)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return almostEqual(wls.Slope, ols.Slope, 1e-9) && almostEqual(wls.Intercept, ols.Intercept, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %g, want 2.5", got)
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PhaseBreakdown is the per-phase accounting of one execution: total
+// busy time, wall-clock span, and the fraction of the job's makespan the
+// phase's span covers. It is the numeric form of the paper's "execution
+// time can be roughly broken down into four parts" analysis.
+type PhaseBreakdown struct {
+	Phase        Phase
+	Total        float64 // summed event durations (work)
+	SpanStart    float64
+	SpanEnd      float64
+	SpanFraction float64 // (SpanEnd−SpanStart)/makespan
+}
+
+// Breakdown summarizes every phase present in the log, ordered by span
+// start.
+func (l *Log) Breakdown() ([]PhaseBreakdown, error) {
+	start, end, ok := l.MakeSpan()
+	if !ok {
+		return nil, errors.New("trace: empty log")
+	}
+	makespan := end - start
+	if makespan <= 0 {
+		return nil, fmt.Errorf("trace: degenerate makespan %g", makespan)
+	}
+	seen := make(map[Phase]bool)
+	var phases []Phase
+	for _, e := range l.events {
+		if !seen[e.Phase] {
+			seen[e.Phase] = true
+			phases = append(phases, e.Phase)
+		}
+	}
+	out := make([]PhaseBreakdown, 0, len(phases))
+	for _, p := range phases {
+		s, e, ok := l.PhaseSpan(p)
+		if !ok {
+			continue
+		}
+		out = append(out, PhaseBreakdown{
+			Phase:        p,
+			Total:        l.PhaseTotal(p),
+			SpanStart:    s,
+			SpanEnd:      e,
+			SpanFraction: (e - s) / makespan,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SpanStart != out[j].SpanStart {
+			return out[i].SpanStart < out[j].SpanStart
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out, nil
+}
+
+// ParallelismProfile returns the time-weighted distribution of concurrent
+// task-level events: how many tasks overlap, and for how long. The mean
+// is the job's average parallelism — the split phase of a well-formed
+// n-degree run shows parallelism ≈ n, while the merge tail drops to 1,
+// which is exactly the Split-Merge picture of Fig. 1.
+type ParallelismProfile struct {
+	// Mean is the time-averaged number of concurrently running tasks
+	// over [Start, End].
+	Mean float64
+	// Peak is the maximum concurrency.
+	Peak int
+	// SerialSeconds is the duration with at most one task running.
+	SerialSeconds float64
+	Start, End    float64
+}
+
+// Parallelism computes the profile over the task-level events (Task >= 0)
+// of the whole log.
+func (l *Log) Parallelism() (ParallelismProfile, error) {
+	type edge struct {
+		at    float64
+		delta int
+	}
+	var edges []edge
+	for _, e := range l.events {
+		if e.Task < 0 {
+			continue
+		}
+		edges = append(edges, edge{at: e.Start, delta: 1}, edge{at: e.End, delta: -1})
+	}
+	if len(edges) == 0 {
+		return ParallelismProfile{}, errors.New("trace: no task-level events")
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	prof := ParallelismProfile{Start: edges[0].at, End: edges[len(edges)-1].at}
+	cur := 0
+	weighted := 0.0
+	for i, ed := range edges {
+		if i > 0 {
+			dt := ed.at - edges[i-1].at
+			weighted += float64(cur) * dt
+			if cur <= 1 {
+				prof.SerialSeconds += dt
+			}
+		}
+		cur += ed.delta
+		if cur > prof.Peak {
+			prof.Peak = cur
+		}
+	}
+	span := prof.End - prof.Start
+	if span > 0 {
+		prof.Mean = weighted / span
+	} else {
+		prof.Mean = float64(prof.Peak)
+	}
+	return prof, nil
+}

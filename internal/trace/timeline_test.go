@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func buildSplitMergeLog(t *testing.T, n int) *Log {
+	t.Helper()
+	l := NewLog()
+	// n parallel map tasks over [0, 10], then a serial merge [10, 20].
+	for i := 0; i < n; i++ {
+		if err := l.Add(Event{Phase: PhaseMap, Task: i, Start: 0, End: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Add(Event{Phase: PhaseMerge, Task: -1, Start: 10, End: 20}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBreakdown(t *testing.T) {
+	l := buildSplitMergeLog(t, 4)
+	bd, err := l.Breakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bd) != 2 {
+		t.Fatalf("breakdown phases = %d, want 2", len(bd))
+	}
+	if bd[0].Phase != PhaseMap || bd[1].Phase != PhaseMerge {
+		t.Errorf("phases out of order: %+v", bd)
+	}
+	if bd[0].Total != 40 { // 4 tasks × 10 s
+		t.Errorf("map total %g, want 40", bd[0].Total)
+	}
+	if math.Abs(bd[0].SpanFraction-0.5) > 1e-12 || math.Abs(bd[1].SpanFraction-0.5) > 1e-12 {
+		t.Errorf("span fractions %+v, want 0.5 each", bd)
+	}
+	if _, err := NewLog().Breakdown(); err == nil {
+		t.Error("empty log should error")
+	}
+}
+
+func TestParallelismSplitMerge(t *testing.T) {
+	l := buildSplitMergeLog(t, 8)
+	p, err := l.Parallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Peak != 8 {
+		t.Errorf("peak parallelism %d, want 8", p.Peak)
+	}
+	// Tasks cover [0, 10] at level 8; the merge is phase-level (Task<0)
+	// so the task window is [0, 10] with mean 8.
+	if math.Abs(p.Mean-8) > 1e-12 {
+		t.Errorf("mean parallelism %g, want 8", p.Mean)
+	}
+	if p.SerialSeconds != 0 {
+		t.Errorf("serial seconds %g, want 0 within the task window", p.SerialSeconds)
+	}
+}
+
+func TestParallelismStaggeredTasks(t *testing.T) {
+	l := NewLog()
+	// Two tasks overlapping for half their duration:
+	// [0,10] and [5,15] → levels: 1 on [0,5], 2 on [5,10], 1 on [10,15].
+	if err := l.Add(Event{Phase: PhaseMap, Task: 0, Start: 0, End: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(Event{Phase: PhaseMap, Task: 1, Start: 5, End: 15}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Parallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Peak != 2 {
+		t.Errorf("peak %d, want 2", p.Peak)
+	}
+	want := (1*5.0 + 2*5.0 + 1*5.0) / 15.0
+	if math.Abs(p.Mean-want) > 1e-12 {
+		t.Errorf("mean %g, want %g", p.Mean, want)
+	}
+	if math.Abs(p.SerialSeconds-10) > 1e-12 {
+		t.Errorf("serial seconds %g, want 10", p.SerialSeconds)
+	}
+}
+
+func TestParallelismRequiresTasks(t *testing.T) {
+	l := NewLog()
+	if err := l.Add(Event{Phase: PhaseMerge, Task: -1, Start: 0, End: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Parallelism(); err == nil {
+		t.Error("phase-level-only log should error")
+	}
+}
+
+func TestParallelismBackToBackTasksDoNotDoubleCount(t *testing.T) {
+	// Adjacent tasks on one executor ([0,5] then [5,10]) must never show
+	// concurrency 2 — the close-before-open tie-break guarantees it. A
+	// consequence is that zero-width (instantaneous) events register no
+	// concurrency at all.
+	l := NewLog()
+	if err := l.Add(Event{Phase: PhaseMap, Task: 0, Start: 0, End: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(Event{Phase: PhaseMap, Task: 1, Start: 5, End: 10}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Parallelism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Peak != 1 {
+		t.Errorf("peak %d for back-to-back tasks, want 1", p.Peak)
+	}
+	if math.Abs(p.Mean-1) > 1e-12 {
+		t.Errorf("mean %g, want 1", p.Mean)
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ipso/internal/stats"
+)
+
+// ALSModel is a trained low-rank matrix-factorization model — the actual
+// computation behind the Collaborative Filtering case study [12]: per
+// iteration, "two feature vectors are updated alternately", each update
+// solving regularized least squares for every user (resp. item) against
+// the other side's (broadcast) feature matrix.
+//
+// The simulated CF app model (CollaborativeFiltering) reproduces the
+// case study's *scaling* behavior; TrainALS is the real algorithm, so the
+// library is usable for genuine small-scale factorization and so tests
+// can verify the workload's structure (alternating barriers, broadcast
+// working set) against real code.
+type ALSModel struct {
+	Rank         int
+	UserFeatures [][]float64 // users × rank
+	ItemFeatures [][]float64 // items × rank
+}
+
+// ALSConfig configures training.
+type ALSConfig struct {
+	Users, Items int
+	Rank         int     // latent dimension, >= 1
+	Iterations   int     // alternating iterations, >= 1
+	Lambda       float64 // L2 regularization, > 0
+	Workers      int     // parallel solvers per update (default GOMAXPROCS)
+	Seed         int64
+}
+
+func (c ALSConfig) withDefaults() ALSConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c ALSConfig) validate() error {
+	if c.Users < 1 || c.Items < 1 {
+		return fmt.Errorf("workload: ALS needs users/items >= 1, got %d/%d", c.Users, c.Items)
+	}
+	if c.Rank < 1 {
+		return fmt.Errorf("workload: ALS rank %d must be >= 1", c.Rank)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("workload: ALS iterations %d must be >= 1", c.Iterations)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("workload: ALS lambda %g must be positive", c.Lambda)
+	}
+	return nil
+}
+
+// TrainALS factorizes the ratings by alternating least squares. Each
+// iteration performs the two barrier-synchronized update rounds of the
+// paper's CF application: fix item features, solve all users in parallel;
+// then fix user features, solve all items in parallel.
+func TrainALS(ratings []Rating, cfg ALSConfig) (*ALSModel, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ratings) == 0 {
+		return nil, errors.New("workload: no ratings to train on")
+	}
+	byUser := make([][]Rating, cfg.Users)
+	byItem := make([][]Rating, cfg.Items)
+	for _, r := range ratings {
+		if r.User < 0 || r.User >= cfg.Users || r.Item < 0 || r.Item >= cfg.Items {
+			return nil, fmt.Errorf("workload: rating %+v outside the %dx%d matrix", r, cfg.Users, cfg.Items)
+		}
+		byUser[r.User] = append(byUser[r.User], r)
+		byItem[r.Item] = append(byItem[r.Item], r)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &ALSModel{
+		Rank:         cfg.Rank,
+		UserFeatures: randomFeatures(rng, cfg.Users, cfg.Rank),
+		ItemFeatures: randomFeatures(rng, cfg.Items, cfg.Rank),
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		// Round 1: broadcast item features, update user features.
+		if err := alsUpdate(m.UserFeatures, m.ItemFeatures, byUser, pickItem, cfg); err != nil {
+			return nil, err
+		}
+		// Round 2: broadcast user features, update item features.
+		if err := alsUpdate(m.ItemFeatures, m.UserFeatures, byItem, pickUser, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func pickItem(r Rating) int { return r.Item }
+
+func pickUser(r Rating) int { return r.User }
+
+// alsUpdate solves the regularized normal equations for every row of
+// target against the fixed matrix, parallelized over rows with a final
+// barrier (sync.WaitGroup) — the Split-Merge structure of the case study.
+func alsUpdate(target, fixed [][]float64, rowRatings [][]Rating, other func(Rating) int, cfg ALSConfig) error {
+	rank := cfg.Rank
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		lo := len(target) * w / cfg.Workers
+		hi := len(target) * (w + 1) / cfg.Workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := make([][]float64, rank)
+			for i := range a {
+				a[i] = make([]float64, rank)
+			}
+			b := make([]float64, rank)
+			for row := lo; row < hi; row++ {
+				rs := rowRatings[row]
+				if len(rs) == 0 {
+					continue // cold row keeps its random init
+				}
+				for i := range a {
+					for j := range a[i] {
+						a[i][j] = 0
+					}
+					a[i][i] = cfg.Lambda * float64(len(rs))
+					b[i] = 0
+				}
+				for _, r := range rs {
+					f := fixed[other(r)]
+					for i := 0; i < rank; i++ {
+						b[i] += r.Score * f[i]
+						for j := 0; j <= i; j++ {
+							a[i][j] += f[i] * f[j]
+						}
+					}
+				}
+				for i := 0; i < rank; i++ {
+					for j := i + 1; j < rank; j++ {
+						a[i][j] = a[j][i]
+					}
+				}
+				x, err := stats.SolveLinear(a, b)
+				if err != nil {
+					errs[w] = fmt.Errorf("workload: ALS row %d: %w", row, err)
+					return
+				}
+				copy(target[row], x)
+			}
+		}()
+	}
+	wg.Wait() // barrier synchronization
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func randomFeatures(rng *rand.Rand, rows, rank int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, rank)
+		for j := range out[i] {
+			out[i][j] = rng.Float64()
+		}
+	}
+	return out
+}
+
+// Predict returns the model's score for a (user, item) pair.
+func (m *ALSModel) Predict(user, item int) (float64, error) {
+	if user < 0 || user >= len(m.UserFeatures) || item < 0 || item >= len(m.ItemFeatures) {
+		return 0, fmt.Errorf("workload: prediction (%d, %d) outside the trained matrix", user, item)
+	}
+	s := 0.0
+	for k := 0; k < m.Rank; k++ {
+		s += m.UserFeatures[user][k] * m.ItemFeatures[item][k]
+	}
+	return s, nil
+}
+
+// RMSE returns the root-mean-square error of the model on ratings.
+func (m *ALSModel) RMSE(ratings []Rating) (float64, error) {
+	if len(ratings) == 0 {
+		return 0, errors.New("workload: no ratings to score")
+	}
+	sum := 0.0
+	for _, r := range ratings {
+		p, err := m.Predict(r.User, r.Item)
+		if err != nil {
+			return 0, err
+		}
+		d := p - r.Score
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(ratings))), nil
+}

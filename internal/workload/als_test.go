@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func alsConfig() ALSConfig {
+	return ALSConfig{Users: 40, Items: 25, Rank: 4, Iterations: 12, Lambda: 0.02, Seed: 7}
+}
+
+// syntheticRatings builds ratings from a planted rank-k model so ALS has
+// something learnable.
+func syntheticRatings(users, items, rank, count int, seed int64) []Rating {
+	rng := rand.New(rand.NewSource(seed))
+	uf := randomFeatures(rng, users, rank)
+	vf := randomFeatures(rng, items, rank)
+	out := make([]Rating, count)
+	for i := range out {
+		u, v := rng.Intn(users), rng.Intn(items)
+		s := 0.0
+		for k := 0; k < rank; k++ {
+			s += uf[u][k] * vf[v][k]
+		}
+		out[i] = Rating{User: u, Item: v, Score: s}
+	}
+	return out
+}
+
+func TestTrainALSValidation(t *testing.T) {
+	ratings := []Rating{{User: 0, Item: 0, Score: 3}}
+	tests := []struct {
+		name   string
+		mutate func(*ALSConfig)
+	}{
+		{name: "zero users", mutate: func(c *ALSConfig) { c.Users = 0 }},
+		{name: "zero rank", mutate: func(c *ALSConfig) { c.Rank = 0 }},
+		{name: "zero iterations", mutate: func(c *ALSConfig) { c.Iterations = 0 }},
+		{name: "zero lambda", mutate: func(c *ALSConfig) { c.Lambda = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := alsConfig()
+			tt.mutate(&cfg)
+			if _, err := TrainALS(ratings, cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if _, err := TrainALS(nil, alsConfig()); err == nil {
+		t.Error("empty ratings should error")
+	}
+	if _, err := TrainALS([]Rating{{User: 99, Item: 0, Score: 1}}, alsConfig()); err == nil {
+		t.Error("out-of-range rating should error")
+	}
+}
+
+func TestTrainALSLearnsPlantedModel(t *testing.T) {
+	cfg := alsConfig()
+	ratings := syntheticRatings(cfg.Users, cfg.Items, cfg.Rank, 600, 3)
+	m, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := m.RMSE(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.12 {
+		t.Errorf("RMSE %g, want < 0.12 on a planted rank-%d model", rmse, cfg.Rank)
+	}
+	// Sanity floor: the factorization must beat the best constant
+	// predictor by a wide margin.
+	scores := make([]float64, len(ratings))
+	for i, r := range ratings {
+		scores[i] = r.Score
+	}
+	if base := stddev(scores); rmse > base/3 {
+		t.Errorf("RMSE %g vs constant-predictor baseline %g", rmse, base)
+	}
+}
+
+func stddev(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+func TestTrainALSIterationsImproveFit(t *testing.T) {
+	cfg := alsConfig()
+	ratings := syntheticRatings(cfg.Users, cfg.Items, cfg.Rank, 600, 3)
+	cfg.Iterations = 1
+	one, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 8
+	eight, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := one.RMSE(ratings)
+	r8, _ := eight.RMSE(ratings)
+	if r8 >= r1 {
+		t.Errorf("more alternating iterations should lower RMSE: 1 it → %g, 8 it → %g", r1, r8)
+	}
+}
+
+func TestTrainALSWorkerCountInvariance(t *testing.T) {
+	// The parallel degree must not change the result (same barrier
+	// structure as the paper's CF app): the per-row solves are
+	// independent within a round.
+	cfg := alsConfig()
+	ratings := syntheticRatings(cfg.Users, cfg.Items, cfg.Rank, 400, 9)
+	cfg.Workers = 1
+	serial, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := serial.RMSE(ratings)
+	rp, _ := parallel.RMSE(ratings)
+	if diff := rs - rp; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("worker count changed the result: RMSE %g vs %g", rs, rp)
+	}
+}
+
+func TestALSPredictErrors(t *testing.T) {
+	cfg := alsConfig()
+	ratings := syntheticRatings(cfg.Users, cfg.Items, cfg.Rank, 100, 1)
+	m, err := TrainALS(ratings, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(-1, 0); err == nil {
+		t.Error("negative user should error")
+	}
+	if _, err := m.Predict(0, 999); err == nil {
+		t.Error("out-of-range item should error")
+	}
+	if _, err := m.RMSE(nil); err == nil {
+		t.Error("empty RMSE input should error")
+	}
+}

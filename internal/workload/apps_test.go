@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ipso/internal/cluster"
+	"ipso/internal/mapreduce"
+	"ipso/internal/spark"
+)
+
+var mrModels = []mapreduce.AppModel{NewQMCPi(), NewWordCount(), NewSort(), NewTeraSort()}
+
+func TestMRModelBasics(t *testing.T) {
+	shard := float64(cluster.BlockBytes)
+	for _, m := range mrModels {
+		t.Run(m.Name(), func(t *testing.T) {
+			if m.Name() == "" {
+				t.Error("empty name")
+			}
+			if w := m.MapWork(shard); w <= 0 {
+				t.Errorf("MapWork = %g, want > 0", w)
+			}
+			if b := m.MapOutputBytes(shard); b <= 0 || b > shard {
+				t.Errorf("MapOutputBytes = %g, want in (0, shard]", b)
+			}
+			if w := m.MergeWork(shard); w < 0 {
+				t.Errorf("MergeWork = %g, want >= 0", w)
+			}
+			if w := m.ReduceWork(shard); w < 0 {
+				t.Errorf("ReduceWork = %g, want >= 0", w)
+			}
+		})
+	}
+}
+
+func TestQMCHasNoSerialPortion(t *testing.T) {
+	q := NewQMCPi()
+	if q.MergeWork(1e9)+q.ReduceWork(1e9) != 0 {
+		t.Error("QMC must have η = 1 (no serial workload)")
+	}
+	if q.MapWork(1) != q.MapWork(1e12) {
+		t.Error("QMC map work must be independent of shard size")
+	}
+}
+
+func TestWordCountOutputBoundedByDictionary(t *testing.T) {
+	w := NewWordCount()
+	bound := float64(DictionarySize) * w.EntryBytes
+	if got := w.MapOutputBytes(float64(cluster.BlockBytes)); got != bound {
+		t.Errorf("large-shard map output %g, want dictionary bound %g", got, bound)
+	}
+	if got := w.MapOutputBytes(100); got != 100 {
+		t.Errorf("small-shard map output %g, want 100 (shard-limited)", got)
+	}
+	// IN(n) = 1: merge work is (near) constant in n because the
+	// intermediate data is bounded.
+	small := w.MergeWork(w.MapOutputBytes(float64(cluster.BlockBytes)) * 2)
+	large := w.MergeWork(w.MapOutputBytes(float64(cluster.BlockBytes)) * 200)
+	if large/small > 1.5 {
+		t.Errorf("WordCount merge grows too fast: %g → %g", small, large)
+	}
+}
+
+func TestSortMergeProportionalToData(t *testing.T) {
+	s := NewSort()
+	m1 := s.MergeWork(1 * cluster.BlockBytes)
+	m10 := s.MergeWork(10 * cluster.BlockBytes)
+	// Linear growth with a fixed setup: 1 < m10/m1 < 10.
+	if ratio := m10 / m1; ratio <= 1 || ratio >= 10 {
+		t.Errorf("merge ratio %g, want in (1, 10) for setup+linear model", ratio)
+	}
+	if s.MapOutputBytes(123456) != 123456 {
+		t.Error("sort must preserve data size through map")
+	}
+}
+
+func TestCFStagesShape(t *testing.T) {
+	cf := NewCollaborativeFiltering()
+	stages := cf.Stages(10, 0)
+	if len(stages) != 2*cf.Iterations {
+		t.Fatalf("stages = %d, want %d", len(stages), 2*cf.Iterations)
+	}
+	for _, st := range stages {
+		if st.BroadcastBytes != cf.FeatureVectorBytes {
+			t.Errorf("stage %q broadcast %g, want %g", st.Name, st.BroadcastBytes, cf.FeatureVectorBytes)
+		}
+		if st.DriverWork != 0 {
+			t.Errorf("CF has no reduce phase; driver work %g", st.DriverWork)
+		}
+		if st.Tasks != 10 {
+			t.Errorf("stage tasks %d, want 10", st.Tasks)
+		}
+	}
+	// Fixed-size: total work is independent of the scale-out degree.
+	total := func(n int) float64 {
+		sum := 0.0
+		for _, st := range cf.Stages(n, 0) {
+			sum += st.WorkPerTask * float64(st.Tasks)
+		}
+		return sum
+	}
+	if a, b := total(10), total(90); math.Abs(a-b) > 1e-6*a {
+		t.Errorf("CF total work changed with n: %g vs %g", a, b)
+	}
+}
+
+func TestCFSimulationMatchesTableIShape(t *testing.T) {
+	// The simulated CF run must land near the published Table I columns:
+	// E[max{Tp,i(n)}] within 15% and Wo(n) within 15%.
+	cf := NewCollaborativeFiltering()
+	for _, row := range PaperTableI() {
+		cfg := CFConfig(cf, row.N)
+		res, err := spark.RunParallel(cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", row.N, err)
+		}
+		// Split-phase time per iteration: mean per-task deser+compute per
+		// stage, times 2 stages (1 wave each).
+		taskTotal := res.Log.PhaseTotal("compute") + res.Log.PhaseTotal("deser")
+		maxTask := taskTotal / float64(2*row.N) * 2
+		if rel(maxTask, row.MaxTask) > 0.15 {
+			t.Errorf("n=%d: simulated E[max Tp,i] = %.1f, Table I %.1f", row.N, maxTask, row.MaxTask)
+		}
+		wo := res.Log.PhaseTotal("broadcast")
+		if rel(wo, row.Wo) > 0.15 {
+			t.Errorf("n=%d: simulated Wo = %.1f, Table I %.1f", row.N, wo, row.Wo)
+		}
+	}
+}
+
+func TestSparkBenchmarksProduceValidStages(t *testing.T) {
+	for _, app := range SparkBenchmarks() {
+		t.Run(app.Name(), func(t *testing.T) {
+			stages := app.Stages(16, cluster.BlockBytes)
+			if len(stages) == 0 {
+				t.Fatal("no stages")
+			}
+			for _, st := range stages {
+				if st.Tasks != 16 {
+					t.Errorf("stage %q tasks %d, want 16", st.Name, st.Tasks)
+				}
+				if st.WorkPerTask <= 0 {
+					t.Errorf("stage %q has no work", st.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestSparkConfigRunsEndToEnd(t *testing.T) {
+	for _, app := range SparkBenchmarks() {
+		t.Run(app.Name(), func(t *testing.T) {
+			s, par, seq, err := spark.Speedup(SparkConfig(app, 16, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s <= 1 || s > 8 {
+				t.Errorf("speedup %g, want in (1, 8]", s)
+			}
+			if par.Makespan <= 0 || seq.Makespan <= 0 {
+				t.Error("nonpositive makespans")
+			}
+		})
+	}
+}
+
+func TestMemoryPressureAtLoadLevel8(t *testing.T) {
+	// The N/m = 8 load level must overflow executor memory (spill +
+	// retries) while N/m = 4 must not — the precondition for the paper's
+	// Fig. 9 observation that the speedup at N/m = 8 drops below N/m = 4.
+	m := 4
+	res4, err := spark.RunParallel(SparkConfig(NewBayes(), 4*m, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, err := spark.RunParallel(SparkConfig(NewBayes(), 8*m, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Retries != 0 {
+		t.Errorf("N/m=4 should fit in executor memory, got %d retries", res4.Retries)
+	}
+	if res8.Retries == 0 {
+		t.Error("N/m=8 should overflow executor memory and trigger retries")
+	}
+}
+
+func TestPaperTableI(t *testing.T) {
+	rows := PaperTableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].N <= rows[i-1].N {
+			t.Error("Table I rows must be ordered by n")
+		}
+		if rows[i].MaxTask >= rows[i-1].MaxTask {
+			t.Error("E[max Tp,i] must decrease with n (fixed-size split)")
+		}
+		if rows[i].Wo <= rows[i-1].Wo {
+			t.Error("Wo must grow with n (broadcast overhead)")
+		}
+	}
+}
+
+func rel(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }

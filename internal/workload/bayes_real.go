@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// BayesClassifier is a real multinomial naive Bayes text classifier — the
+// actual computation behind the HiBench Bayes benchmark whose *scaling*
+// the Bayes app model simulates. Training tokenizes documents (the
+// simulated "tokenize" stage), aggregates per-class token counts (the
+// "aggregate" stage), and derives log-probabilities (the "train" stage's
+// driver work).
+type BayesClassifier struct {
+	classes     []string
+	classLogPri map[string]float64
+	tokenLogPr  map[string]map[string]float64 // class → token → log P(token|class)
+	defaultLogP map[string]float64            // class → unseen-token log prob
+	vocabSize   int
+}
+
+// Document is one labeled training text.
+type Document struct {
+	Label string
+	Text  string
+}
+
+// TrainBayes fits the classifier with Laplace smoothing.
+func TrainBayes(docs []Document) (*BayesClassifier, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("workload: no training documents")
+	}
+	classDocs := make(map[string]int)
+	classTokens := make(map[string]map[string]int)
+	classTotal := make(map[string]int)
+	vocab := make(map[string]bool)
+	for _, d := range docs {
+		if d.Label == "" {
+			return nil, fmt.Errorf("workload: document %q has no label", truncate(d.Text, 20))
+		}
+		classDocs[d.Label]++
+		if classTokens[d.Label] == nil {
+			classTokens[d.Label] = make(map[string]int)
+		}
+		for _, tok := range strings.Fields(d.Text) {
+			classTokens[d.Label][tok]++
+			classTotal[d.Label]++
+			vocab[tok] = true
+		}
+	}
+	if len(vocab) == 0 {
+		return nil, errors.New("workload: training corpus has no tokens")
+	}
+
+	c := &BayesClassifier{
+		classLogPri: make(map[string]float64, len(classDocs)),
+		tokenLogPr:  make(map[string]map[string]float64, len(classDocs)),
+		defaultLogP: make(map[string]float64, len(classDocs)),
+		vocabSize:   len(vocab),
+	}
+	v := float64(len(vocab))
+	for label, nDocs := range classDocs {
+		c.classes = append(c.classes, label)
+		c.classLogPri[label] = math.Log(float64(nDocs) / float64(len(docs)))
+		total := float64(classTotal[label])
+		c.tokenLogPr[label] = make(map[string]float64, len(classTokens[label]))
+		for tok, count := range classTokens[label] {
+			c.tokenLogPr[label][tok] = math.Log((float64(count) + 1) / (total + v))
+		}
+		c.defaultLogP[label] = math.Log(1 / (total + v))
+	}
+	return c, nil
+}
+
+// Classify returns the most probable label for the text.
+func (c *BayesClassifier) Classify(text string) (string, error) {
+	if len(c.classes) == 0 {
+		return "", errors.New("workload: classifier not trained")
+	}
+	best := ""
+	bestScore := math.Inf(-1)
+	for _, label := range c.classes {
+		score := c.classLogPri[label]
+		for _, tok := range strings.Fields(text) {
+			if lp, ok := c.tokenLogPr[label][tok]; ok {
+				score += lp
+			} else {
+				score += c.defaultLogP[label]
+			}
+		}
+		if score > bestScore {
+			best, bestScore = label, score
+		}
+	}
+	return best, nil
+}
+
+// Accuracy scores the classifier on labeled documents.
+func (c *BayesClassifier) Accuracy(docs []Document) (float64, error) {
+	if len(docs) == 0 {
+		return 0, errors.New("workload: no documents to score")
+	}
+	correct := 0
+	for _, d := range docs {
+		got, err := c.Classify(d.Text)
+		if err != nil {
+			return 0, err
+		}
+		if got == d.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(docs)), nil
+}
+
+// VocabularySize returns the number of distinct training tokens.
+func (c *BayesClassifier) VocabularySize() int { return c.vocabSize }
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// LabeledTextLines generates a two-class synthetic corpus: each class
+// draws words from a different half of the dictionary with the given
+// mixing noise (0 = perfectly separable). Deterministic per seed.
+func LabeledTextLines(docsPerClass, wordsPerDoc int, noise float64, seed int64) ([]Document, error) {
+	if docsPerClass < 1 || wordsPerDoc < 1 {
+		return nil, fmt.Errorf("workload: invalid corpus shape docs=%d words=%d", docsPerClass, wordsPerDoc)
+	}
+	if noise < 0 || noise > 1 {
+		return nil, fmt.Errorf("workload: noise %g outside [0,1]", noise)
+	}
+	dict := Dictionary()
+	half := len(dict) / 2
+	lines, err := TextLines(2*docsPerClass, wordsPerDoc, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Re-map each line's words into the class's half of the dictionary;
+	// each token independently flips to the other half with probability
+	// noise, so noise → 0.5 makes the classes indistinguishable.
+	rng := rand.New(rand.NewSource(seed + 1))
+	out := make([]Document, 0, 2*docsPerClass)
+	idx := func(w string) int {
+		s := 0
+		for i := 0; i < len(w); i++ {
+			s += int(w[i]) * (i + 1)
+		}
+		return s
+	}
+	for i, line := range lines {
+		label := "alpha"
+		base := 0
+		if i >= docsPerClass {
+			label = "beta"
+			base = half
+		}
+		words := strings.Fields(line)
+		for j, w := range words {
+			off := base
+			if rng.Float64() < noise {
+				off = half - base // flip halves
+			}
+			words[j] = dict[off+(idx(w)%half)]
+		}
+		out = append(out, Document{Label: label, Text: strings.Join(words, " ")})
+	}
+	return out, nil
+}

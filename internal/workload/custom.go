@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipso/internal/spark"
+)
+
+// CustomMR is a user-defined MapReduce cost model loadable from JSON, so
+// the simulator can be pointed at workloads beyond the built-in case
+// studies without recompiling. All work values are CPU units (the
+// reference worker executes 100e6 units/second); see the built-in models
+// in mrapps.go for calibrated examples.
+type CustomMR struct {
+	JobName string `json:"name"`
+	// MapWorkPerByte scales map work with the shard; MapWorkFixed adds a
+	// shard-independent term (a QMC-style compute task sets only this).
+	MapWorkPerByte float64 `json:"map_work_per_byte"`
+	MapWorkFixed   float64 `json:"map_work_fixed"`
+	// OutputFraction emits a fraction of the shard as intermediate data;
+	// OutputBytesCap, when positive, bounds the emission (a WordCount-
+	// style dictionary cap).
+	OutputFraction float64 `json:"output_fraction"`
+	OutputBytesCap float64 `json:"output_bytes_cap"`
+	// Merge cost: fixed setup plus per-byte over all intermediate data.
+	MergeSetupWork    float64 `json:"merge_setup_work"`
+	MergeWorkPerByte  float64 `json:"merge_work_per_byte"`
+	ReduceWorkPerByte float64 `json:"reduce_work_per_byte"`
+	// Streaming marks the merge as streaming (never spills to disk).
+	Streaming bool `json:"streaming_merge"`
+}
+
+// ParseCustomMR decodes and validates a JSON cost model.
+func ParseCustomMR(r io.Reader) (*CustomMR, error) {
+	var c CustomMR
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("workload: parse custom MR model: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the model's domain.
+func (c *CustomMR) Validate() error {
+	if c.JobName == "" {
+		return fmt.Errorf("workload: custom MR model needs a name")
+	}
+	if c.MapWorkPerByte < 0 || c.MapWorkFixed < 0 || c.MergeSetupWork < 0 ||
+		c.MergeWorkPerByte < 0 || c.ReduceWorkPerByte < 0 || c.OutputBytesCap < 0 {
+		return fmt.Errorf("workload: custom MR model %q has negative fields", c.JobName)
+	}
+	if c.MapWorkPerByte == 0 && c.MapWorkFixed == 0 {
+		return fmt.Errorf("workload: custom MR model %q has no map work", c.JobName)
+	}
+	if c.OutputFraction < 0 || c.OutputFraction > 1 {
+		return fmt.Errorf("workload: output fraction %g outside [0,1]", c.OutputFraction)
+	}
+	return nil
+}
+
+// Name implements mapreduce.AppModel.
+func (c *CustomMR) Name() string { return c.JobName }
+
+// MapWork implements mapreduce.AppModel.
+func (c *CustomMR) MapWork(shardBytes float64) float64 {
+	return c.MapWorkFixed + c.MapWorkPerByte*shardBytes
+}
+
+// MapOutputBytes implements mapreduce.AppModel.
+func (c *CustomMR) MapOutputBytes(shardBytes float64) float64 {
+	out := c.OutputFraction * shardBytes
+	if c.OutputBytesCap > 0 && out > c.OutputBytesCap {
+		out = c.OutputBytesCap
+	}
+	return out
+}
+
+// MergeWork implements mapreduce.AppModel.
+func (c *CustomMR) MergeWork(total float64) float64 {
+	return c.MergeSetupWork + c.MergeWorkPerByte*total
+}
+
+// ReduceWork implements mapreduce.AppModel.
+func (c *CustomMR) ReduceWork(total float64) float64 { return c.ReduceWorkPerByte * total }
+
+// StreamingMerge implements mapreduce.StreamingMerger.
+func (c *CustomMR) StreamingMerge() bool { return c.Streaming }
+
+// CustomSpark is a user-defined multi-stage Spark-like application
+// loadable from JSON.
+type CustomSpark struct {
+	JobName    string             `json:"name"`
+	StageSpecs []CustomSparkStage `json:"stages"`
+}
+
+// CustomSparkStage mirrors one stageTemplate.
+type CustomSparkStage struct {
+	Name           string  `json:"name"`
+	WorkPerByte    float64 `json:"work_per_byte"`
+	BroadcastBytes float64 `json:"broadcast_bytes"`
+	ShufflePerByte float64 `json:"shuffle_per_byte"`
+	CachedPerByte  float64 `json:"cached_per_byte"`
+	DriverWork     float64 `json:"driver_work"`
+}
+
+// ParseCustomSpark decodes and validates a JSON application spec.
+func ParseCustomSpark(r io.Reader) (*CustomSpark, error) {
+	var c CustomSpark
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("workload: parse custom Spark model: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the spec's domain.
+func (c *CustomSpark) Validate() error {
+	if c.JobName == "" {
+		return fmt.Errorf("workload: custom Spark model needs a name")
+	}
+	if len(c.StageSpecs) == 0 {
+		return fmt.Errorf("workload: custom Spark model %q needs stages", c.JobName)
+	}
+	for i, st := range c.StageSpecs {
+		if st.WorkPerByte <= 0 {
+			return fmt.Errorf("workload: stage %d (%q) needs positive work_per_byte", i, st.Name)
+		}
+		if st.BroadcastBytes < 0 || st.ShufflePerByte < 0 || st.CachedPerByte < 0 || st.DriverWork < 0 {
+			return fmt.Errorf("workload: stage %d (%q) has negative fields", i, st.Name)
+		}
+	}
+	return nil
+}
+
+// Name implements spark.AppModel.
+func (c *CustomSpark) Name() string { return c.JobName }
+
+// Stages implements spark.AppModel.
+func (c *CustomSpark) Stages(tasks int, partBytes float64) []spark.Stage {
+	templates := make([]stageTemplate, len(c.StageSpecs))
+	for i, st := range c.StageSpecs {
+		templates[i] = stageTemplate{
+			name:           st.Name,
+			workPerByte:    st.WorkPerByte,
+			broadcastBytes: st.BroadcastBytes,
+			shufflePerByte: st.ShufflePerByte,
+			cachedPerByte:  st.CachedPerByte,
+			driverWork:     st.DriverWork,
+		}
+	}
+	return buildStages(templates, tasks, partBytes)
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"ipso/internal/mapreduce"
+	"ipso/internal/spark"
+)
+
+const sortLikeJSON = `{
+  "name": "my-sort",
+  "map_work_per_byte": 14,
+  "output_fraction": 1,
+  "merge_setup_work": 8e8,
+  "merge_work_per_byte": 2,
+  "streaming_merge": true
+}`
+
+func TestParseCustomMR(t *testing.T) {
+	c, err := ParseCustomMR(strings.NewReader(sortLikeJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "my-sort" {
+		t.Errorf("name %q", c.Name())
+	}
+	if got := c.MapWork(10); got != 140 {
+		t.Errorf("MapWork(10) = %g, want 140", got)
+	}
+	if got := c.MapOutputBytes(10); got != 10 {
+		t.Errorf("MapOutputBytes(10) = %g, want 10", got)
+	}
+	if !c.StreamingMerge() {
+		t.Error("streaming flag lost")
+	}
+	// Behaves identically to the built-in Sort model.
+	builtin := NewSort()
+	if c.MergeWork(1e9) != builtin.MergeWork(1e9) {
+		t.Errorf("merge work differs from built-in Sort")
+	}
+	var _ mapreduce.AppModel = c
+	var _ mapreduce.StreamingMerger = c
+}
+
+func TestCustomMRCapAndFixedWork(t *testing.T) {
+	c, err := ParseCustomMR(strings.NewReader(`{
+	  "name": "qmc-like",
+	  "map_work_fixed": 1.5e9,
+	  "output_fraction": 1,
+	  "output_bytes_cap": 16
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MapWork(1) != c.MapWork(1e12) {
+		t.Error("fixed work must not scale with the shard")
+	}
+	if got := c.MapOutputBytes(1e9); got != 16 {
+		t.Errorf("capped output %g, want 16", got)
+	}
+	if got := c.MapOutputBytes(8); got != 8 {
+		t.Errorf("small shard output %g, want 8", got)
+	}
+}
+
+func TestParseCustomMRErrors(t *testing.T) {
+	cases := []string{
+		`{`,                                   // malformed
+		`{"name":""}`,                         // unnamed
+		`{"name":"x"}`,                        // no work
+		`{"name":"x","map_work_per_byte":-1}`, // negative
+		`{"name":"x","map_work_per_byte":1,"output_fraction":2}`, // fraction
+		`{"name":"x","map_work_per_byte":1,"bogus":1}`,           // unknown field
+	}
+	for _, raw := range cases {
+		if _, err := ParseCustomMR(strings.NewReader(raw)); err == nil {
+			t.Errorf("ParseCustomMR(%s) should fail", raw)
+		}
+	}
+}
+
+const svmLikeJSON = `{
+  "name": "my-svm",
+  "stages": [
+    {"name": "gradient", "work_per_byte": 4, "broadcast_bytes": 32e6, "driver_work": 3e8}
+  ]
+}`
+
+func TestParseCustomSpark(t *testing.T) {
+	c, err := ParseCustomSpark(strings.NewReader(svmLikeJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := c.Stages(16, 1000)
+	if len(stages) != 1 || stages[0].Tasks != 16 {
+		t.Fatalf("stages %+v", stages)
+	}
+	if stages[0].WorkPerTask != 4000 || stages[0].BroadcastBytes != 32e6 {
+		t.Errorf("stage fields wrong: %+v", stages[0])
+	}
+	var _ spark.AppModel = c
+
+	// The custom model runs end to end through the engine.
+	s, _, _, err := spark.Speedup(SparkConfig(c, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1 || s > 4 {
+		t.Errorf("custom-model speedup %g out of (1, 4]", s)
+	}
+}
+
+func TestParseCustomSparkErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"", "stages":[{"name":"s","work_per_byte":1}]}`,
+		`{"name":"x", "stages":[]}`,
+		`{"name":"x", "stages":[{"name":"s","work_per_byte":0}]}`,
+		`{"name":"x", "stages":[{"name":"s","work_per_byte":1,"driver_work":-1}]}`,
+	}
+	for _, raw := range cases {
+		if _, err := ParseCustomSpark(strings.NewReader(raw)); err == nil {
+			t.Errorf("ParseCustomSpark(%s) should fail", raw)
+		}
+	}
+}

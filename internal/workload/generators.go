@@ -1,0 +1,183 @@
+// Package workload provides the data generators and application models of
+// the paper's nine case studies: the HiBench-style MapReduce micro
+// benchmarks (QMC Pi, WordCount, Sort, TeraSort), the Spark-based
+// Collaborative Filtering application of [12], and the four Spark
+// benchmarks (Bayes, Random Forest, SVM, NWeight).
+//
+// Two kinds of artifacts live here:
+//
+//   - real data generators (dictionary text, TeraGen records, QMC samples,
+//     ratings, graphs) used by the examples and the in-memory local
+//     MapReduce runner — the stand-ins for HiBench's data generators; and
+//   - cost models (mapreduce.AppModel / spark.AppModel implementations)
+//     whose coefficients are calibrated so the *simulated* cluster
+//     reproduces the scaling shapes reported in Section V (see DESIGN.md
+//     §5 for the calibration targets).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// DictionarySize is the number of distinct words in the generator
+// dictionary; the paper's WordCount/Sort inputs are "randomly generated
+// text, drawn from a UNIX dictionary that contains 1000 words".
+const DictionarySize = 1000
+
+var dictSyllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+	"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+}
+
+// Dictionary returns the deterministic 1000-word dictionary. The returned
+// slice is freshly allocated on each call.
+func Dictionary() []string {
+	words := make([]string, 0, DictionarySize)
+	n := len(dictSyllables)
+	for i := 0; len(words) < DictionarySize; i++ {
+		// Three-syllable words enumerated in a fixed order: 40³ = 64000
+		// candidates, of which the first 1000 are used.
+		w := dictSyllables[i/(n*n)%n] + dictSyllables[i/n%n] + dictSyllables[i%n]
+		words = append(words, w)
+	}
+	return words
+}
+
+// TextLines generates lines of space-separated dictionary words: the
+// random-text working set of WordCount and Sort. Deterministic per seed.
+func TextLines(lines, wordsPerLine int, seed int64) ([]string, error) {
+	if lines < 0 || wordsPerLine < 1 {
+		return nil, fmt.Errorf("workload: invalid text shape lines=%d wordsPerLine=%d", lines, wordsPerLine)
+	}
+	dict := Dictionary()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, lines)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(dict[rng.Intn(len(dict))])
+		}
+		out[i] = sb.String()
+	}
+	return out, nil
+}
+
+// TeraRecord is one 100-byte TeraGen-format record: a 10-byte key and a
+// 90-byte payload, the input format of the TeraSort benchmark.
+type TeraRecord struct {
+	Key     string // 10 bytes
+	Payload string // 90 bytes
+}
+
+// TeraRecordBytes is the on-disk size of one TeraGen record.
+const TeraRecordBytes = 100
+
+// TeraGen generates TeraGen-format records, deterministic per seed.
+func TeraGen(count int, seed int64) ([]TeraRecord, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative record count %d", count)
+	}
+	const keyAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TeraRecord, count)
+	key := make([]byte, 10)
+	payload := make([]byte, 90)
+	for i := range out {
+		for j := range key {
+			key[j] = keyAlphabet[rng.Intn(len(keyAlphabet))]
+		}
+		for j := range payload {
+			payload[j] = keyAlphabet[rng.Intn(len(keyAlphabet))]
+		}
+		out[i] = TeraRecord{Key: string(key), Payload: string(payload)}
+	}
+	return out, nil
+}
+
+// QMCEstimatePi estimates π with samples quasi-random points per the QMC
+// Pi example: the fraction of points inside the unit quarter-circle,
+// times 4. Deterministic per seed.
+func QMCEstimatePi(samples int, seed int64) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("workload: need at least 1 sample, got %d", samples)
+	}
+	// A Halton-style low-discrepancy sequence in bases 2 and 3 (the
+	// "quasi" in Quasi Monte Carlo), offset deterministically by the seed.
+	inside := 0
+	off := int(seed%1009) + 1
+	for i := 0; i < samples; i++ {
+		x := halton(i+off, 2)
+		y := halton(i+off, 3)
+		if x*x+y*y <= 1 {
+			inside++
+		}
+	}
+	return 4 * float64(inside) / float64(samples), nil
+}
+
+func halton(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// Rating is one (user, item, score) observation of the Collaborative
+// Filtering working set.
+type Rating struct {
+	User  int
+	Item  int
+	Score float64
+}
+
+// Ratings generates a synthetic ratings matrix sample, deterministic per
+// seed.
+func Ratings(users, items, count int, seed int64) ([]Rating, error) {
+	if users < 1 || items < 1 || count < 0 {
+		return nil, fmt.Errorf("workload: invalid ratings shape users=%d items=%d count=%d", users, items, count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Rating, count)
+	for i := range out {
+		out[i] = Rating{
+			User:  rng.Intn(users),
+			Item:  rng.Intn(items),
+			Score: 1 + 4*rng.Float64(),
+		}
+	}
+	return out, nil
+}
+
+// Edge is one directed edge of the NWeight graph workload.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph generates a random directed graph with the given node count and
+// average out-degree, deterministic per seed.
+func Graph(nodes, avgOutDegree int, seed int64) ([]Edge, error) {
+	if nodes < 1 || avgOutDegree < 0 {
+		return nil, fmt.Errorf("workload: invalid graph shape nodes=%d avgOutDegree=%d", nodes, avgOutDegree)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Edge, 0, nodes*avgOutDegree)
+	for u := 0; u < nodes; u++ {
+		for d := 0; d < avgOutDegree; d++ {
+			out = append(out, Edge{From: u, To: rng.Intn(nodes), Weight: rng.Float64()})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionary(t *testing.T) {
+	dict := Dictionary()
+	if len(dict) != DictionarySize {
+		t.Fatalf("dictionary size %d, want %d", len(dict), DictionarySize)
+	}
+	seen := make(map[string]bool, len(dict))
+	for _, w := range dict {
+		if w == "" {
+			t.Fatal("empty word in dictionary")
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+	// Deterministic across calls and safely mutable by callers.
+	again := Dictionary()
+	if !reflect.DeepEqual(dict, again) {
+		t.Error("dictionary not deterministic")
+	}
+	again[0] = "mutated"
+	if Dictionary()[0] == "mutated" {
+		t.Error("Dictionary must return a fresh slice")
+	}
+}
+
+func TestTextLines(t *testing.T) {
+	lines, err := TextLines(10, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 10 {
+		t.Fatalf("lines = %d, want 10", len(lines))
+	}
+	dict := make(map[string]bool)
+	for _, w := range Dictionary() {
+		dict[w] = true
+	}
+	for _, line := range lines {
+		words := strings.Fields(line)
+		if len(words) != 5 {
+			t.Fatalf("line %q has %d words, want 5", line, len(words))
+		}
+		for _, w := range words {
+			if !dict[w] {
+				t.Fatalf("word %q not from dictionary", w)
+			}
+		}
+	}
+	same, _ := TextLines(10, 5, 42)
+	if !reflect.DeepEqual(lines, same) {
+		t.Error("TextLines not deterministic per seed")
+	}
+	other, _ := TextLines(10, 5, 43)
+	if reflect.DeepEqual(lines, other) {
+		t.Error("different seeds should give different text")
+	}
+}
+
+func TestTextLinesErrors(t *testing.T) {
+	if _, err := TextLines(-1, 5, 1); err == nil {
+		t.Error("negative lines should error")
+	}
+	if _, err := TextLines(1, 0, 1); err == nil {
+		t.Error("zero words per line should error")
+	}
+}
+
+func TestTeraGen(t *testing.T) {
+	recs, err := TeraGen(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("records = %d, want 100", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Key) != 10 || len(r.Payload) != 90 {
+			t.Fatalf("record sizes key=%d payload=%d, want 10/90", len(r.Key), len(r.Payload))
+		}
+	}
+	same, _ := TeraGen(100, 7)
+	if !reflect.DeepEqual(recs, same) {
+		t.Error("TeraGen not deterministic per seed")
+	}
+	if _, err := TeraGen(-1, 0); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestQMCEstimatePi(t *testing.T) {
+	pi, err := QMCEstimatePi(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi-math.Pi) > 0.01 {
+		t.Errorf("π estimate %g too far from %g", pi, math.Pi)
+	}
+	if _, err := QMCEstimatePi(0, 1); err == nil {
+		t.Error("zero samples should error")
+	}
+}
+
+func TestQMCConvergesWithSamples(t *testing.T) {
+	coarse, _ := QMCEstimatePi(1000, 3)
+	fine, _ := QMCEstimatePi(500000, 3)
+	if math.Abs(fine-math.Pi) > math.Abs(coarse-math.Pi)+1e-4 {
+		t.Errorf("QMC did not converge: |%g−π| vs |%g−π|", coarse, fine)
+	}
+}
+
+func TestRatings(t *testing.T) {
+	rs, err := Ratings(50, 20, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.User < 0 || r.User >= 50 || r.Item < 0 || r.Item >= 20 {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+		if r.Score < 1 || r.Score > 5 {
+			t.Fatalf("score out of [1,5]: %+v", r)
+		}
+	}
+	if _, err := Ratings(0, 1, 1, 1); err == nil {
+		t.Error("zero users should error")
+	}
+}
+
+func TestGraph(t *testing.T) {
+	edges, err := Graph(100, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 400 {
+		t.Fatalf("edges = %d, want 400", len(edges))
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= 100 || e.To < 0 || e.To >= 100 {
+			t.Fatalf("edge endpoint out of range: %+v", e)
+		}
+	}
+	if _, err := Graph(0, 1, 1); err == nil {
+		t.Error("zero nodes should error")
+	}
+}
+
+// Property: generated text line counts and word counts always match the
+// request for valid shapes.
+func TestTextLinesShapeProperty(t *testing.T) {
+	f := func(linesRaw, wordsRaw uint8, seed int64) bool {
+		lines := int(linesRaw % 20)
+		words := int(wordsRaw%10) + 1
+		out, err := TextLines(lines, words, seed)
+		if err != nil || len(out) != lines {
+			return false
+		}
+		for _, l := range out {
+			if len(strings.Fields(l)) != words {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package workload
+
+import "math"
+
+// The MapReduce cost models below express CPU work in abstract units; the
+// reference worker (cluster.M4LargeWorker) executes 100e6 units/second, so
+// a coefficient of k units/byte costs k·1.342 seconds per 128 MB shard.
+//
+// Coefficients are calibrated against the Section V shape anchors (see
+// DESIGN.md §5):
+//
+//	Sort:     IN(n) slope ≈ 0.39, speedup bound ≈ 4.7  (paper: 0.36, ≈5)
+//	TeraSort: IN(n) slope ≈ 0.18 → 0.25 across the 2 GB reducer-memory
+//	          overflow at n≈15, ε ≈ 3.9, bound ≈ 2.7   (paper: 0.15→0.25,
+//	          ε = 4.3, bound 3)
+//	WordCount: IN(n) = 1 (merge bounded by the 1000-word dictionary)
+//	QMC:      η = 1, q(n) ≈ 0 → Gustafson-like linear scaling
+
+// QMCPi is the Quasi Monte Carlo π-estimation job from the Apache Hadoop
+// examples: pure computation per task, a 16-byte count as map output, and
+// essentially no merge — the paper's only case with η = 1 among the
+// MapReduce studies (type It: matches Gustafson's law).
+type QMCPi struct {
+	// WorkPerTask is the CPU work of one map task (sampling a fixed
+	// number of quasi-random points), independent of shard size.
+	WorkPerTask float64
+}
+
+// NewQMCPi returns the calibrated QMC Pi model (≈15 s map tasks on the
+// reference worker).
+func NewQMCPi() *QMCPi {
+	return &QMCPi{WorkPerTask: 1.5e9}
+}
+
+// Name implements mapreduce.AppModel.
+func (a *QMCPi) Name() string { return "qmc-pi" }
+
+// MapWork returns the fixed per-task sampling work (QMC is compute-bound;
+// the shard carries only the sample-count parameters).
+func (a *QMCPi) MapWork(float64) float64 { return a.WorkPerTask }
+
+// MapOutputBytes returns the 16-byte (inside, total) counter pair.
+func (a *QMCPi) MapOutputBytes(float64) float64 { return 16 }
+
+// MergeWork returns zero: summing a handful of counters is free at this
+// scale, which is exactly why QMC has no serial portion (η = 1).
+func (a *QMCPi) MergeWork(float64) float64 { return 0 }
+
+// ReduceWork returns zero.
+func (a *QMCPi) ReduceWork(float64) float64 { return 0 }
+
+// WordCount counts word occurrences in dictionary-drawn text. Its map
+// output — and therefore its merge workload — is bounded by the 1000-word
+// dictionary regardless of shard size, so IN(n) = 1: the only in-proportion
+// behavior it can exhibit is none, and it scales near-linearly (It/IIt).
+type WordCount struct {
+	MapWorkPerByte   float64 // tokenize + local count
+	EntryBytes       float64 // bytes per dictionary entry in map output
+	MergeSetupWork   float64 // fixed reducer startup
+	MergeWorkPerByte float64 // merging the (tiny) count tables
+}
+
+// NewWordCount returns the calibrated WordCount model (≈13.4 s map tasks,
+// ≈16 KB map output, ≈1 s fixed merge).
+func NewWordCount() *WordCount {
+	return &WordCount{
+		MapWorkPerByte:   10,
+		EntryBytes:       16,
+		MergeSetupWork:   1e8,
+		MergeWorkPerByte: 2,
+	}
+}
+
+// Name implements mapreduce.AppModel.
+func (a *WordCount) Name() string { return "wordcount" }
+
+// MapWork returns tokenization work proportional to the shard.
+func (a *WordCount) MapWork(shardBytes float64) float64 { return a.MapWorkPerByte * shardBytes }
+
+// MapOutputBytes returns the count-table size: at most one entry per
+// dictionary word, whatever the shard size.
+func (a *WordCount) MapOutputBytes(shardBytes float64) float64 {
+	return math.Min(shardBytes, DictionarySize*a.EntryBytes)
+}
+
+// MergeWork returns the fixed setup plus the (bounded) table merge.
+func (a *WordCount) MergeWork(total float64) float64 {
+	return a.MergeSetupWork + a.MergeWorkPerByte*total
+}
+
+// ReduceWork returns zero (counting finishes in the merge).
+func (a *WordCount) ReduceWork(float64) float64 { return 0 }
+
+// Sort is the HiBench Sort micro benchmark: map output equals input, and
+// the single reducer merges *all* data serially — the canonical
+// in-proportion workload. Ws(n) grows linearly with n, making IN(n) linear
+// and the speedup upper-bounded (type IIIt,1) even though the workload is
+// fixed-time, which Gustafson's law cannot capture.
+type Sort struct {
+	MapWorkPerByte   float64 // per-shard local sort
+	MergeSetupWork   float64 // fixed reducer startup
+	MergeWorkPerByte float64 // serial n-way merge over all data
+}
+
+// NewSort returns the calibrated Sort model (≈18.8 s map tasks, 8 s merge
+// setup, ≈2.7 s merge per shard).
+func NewSort() *Sort {
+	return &Sort{
+		MapWorkPerByte:   14,
+		MergeSetupWork:   8e8,
+		MergeWorkPerByte: 2,
+	}
+}
+
+// Name implements mapreduce.AppModel.
+func (a *Sort) Name() string { return "sort" }
+
+// MapWork returns the per-shard sorting work.
+func (a *Sort) MapWork(shardBytes float64) float64 { return a.MapWorkPerByte * shardBytes }
+
+// MapOutputBytes returns the full shard: sorting preserves data size.
+func (a *Sort) MapOutputBytes(shardBytes float64) float64 { return shardBytes }
+
+// MergeWork returns the serial merge over the entire working set.
+func (a *Sort) MergeWork(total float64) float64 {
+	return a.MergeSetupWork + a.MergeWorkPerByte*total
+}
+
+// ReduceWork returns zero (the merge produces the sorted output).
+func (a *Sort) ReduceWork(float64) float64 { return 0 }
+
+// StreamingMerge reports that Sort's identity reduce merges sorted runs
+// as a stream, never materializing the working set in reducer memory —
+// which is why the paper observes no memory-overflow step for Sort
+// (contrast TeraSort, Fig. 5).
+func (a *Sort) StreamingMerge() bool { return true }
+
+// TeraSort sorts TeraGen records. It behaves like Sort but with a larger
+// fixed merge setup and cheaper map work, and — crucially — its linearly
+// growing input overflows the preconfigured ≈2 GB reducer memory around
+// n≈15, adding disk-spill I/O that steps the IN(n) slope up (Fig. 5) and
+// bounds the speedup near 3 (Fig. 4d).
+type TeraSort struct {
+	MapWorkPerByte   float64
+	MergeSetupWork   float64
+	MergeWorkPerByte float64
+}
+
+// NewTeraSort returns the calibrated TeraSort model (≈10.7 s map tasks,
+// 20 s merge setup, ≈2 s merge per shard).
+func NewTeraSort() *TeraSort {
+	return &TeraSort{
+		MapWorkPerByte:   8,
+		MergeSetupWork:   2e9,
+		MergeWorkPerByte: 1.5,
+	}
+}
+
+// Name implements mapreduce.AppModel.
+func (a *TeraSort) Name() string { return "terasort" }
+
+// MapWork returns the per-shard sorting work.
+func (a *TeraSort) MapWork(shardBytes float64) float64 { return a.MapWorkPerByte * shardBytes }
+
+// MapOutputBytes returns the full shard.
+func (a *TeraSort) MapOutputBytes(shardBytes float64) float64 { return shardBytes }
+
+// MergeWork returns the serial merge over the entire working set. The
+// disk-spill cost of exceeding reducer memory is charged by the engine's
+// memory model, not here.
+func (a *TeraSort) MergeWork(total float64) float64 {
+	return a.MergeSetupWork + a.MergeWorkPerByte*total
+}
+
+// ReduceWork returns zero.
+func (a *TeraSort) ReduceWork(float64) float64 { return 0 }

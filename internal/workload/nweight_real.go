@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NWeights computes n-hop neighborhood weights on a directed weighted
+// graph — the real computation behind the HiBench NWeight benchmark: the
+// weight of node v's k-hop neighbor u is the sum over all k-step paths
+// v→…→u of the product of edge weights. Each expansion round is the
+// shuffle-heavy stage the NWeight app model simulates (the frontier
+// weight table grows every round, which is why the simulated stage
+// shuffle volume doubles per round).
+//
+// hops must be >= 1; the result maps each source node to its k-hop
+// neighbor weights.
+func NWeights(edges []Edge, nodes, hops int) ([]map[int]float64, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("workload: nodes %d must be >= 1", nodes)
+	}
+	if hops < 1 {
+		return nil, fmt.Errorf("workload: hops %d must be >= 1", hops)
+	}
+	adj := make([][]Edge, nodes)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= nodes || e.To < 0 || e.To >= nodes {
+			return nil, fmt.Errorf("workload: edge %+v outside %d nodes", e, nodes)
+		}
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("workload: negative edge weight %+v", e)
+		}
+		adj[e.From] = append(adj[e.From], e)
+	}
+
+	// frontier[v] holds the current-hop weights from each source v.
+	frontier := make([]map[int]float64, nodes)
+	for v := 0; v < nodes; v++ {
+		frontier[v] = map[int]float64{v: 1}
+	}
+	for h := 0; h < hops; h++ {
+		next := make([]map[int]float64, nodes)
+		for v := 0; v < nodes; v++ {
+			nv := make(map[int]float64)
+			for mid, w := range frontier[v] {
+				for _, e := range adj[mid] {
+					nv[e.To] += w * e.Weight
+				}
+			}
+			next[v] = nv
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// FrontierSize returns the total number of (source, neighbor) entries —
+// the shuffle volume of the corresponding expansion round.
+func FrontierSize(frontier []map[int]float64) (int, error) {
+	if frontier == nil {
+		return 0, errors.New("workload: nil frontier")
+	}
+	total := 0
+	for _, m := range frontier {
+		total += len(m)
+	}
+	return total, nil
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainBayesValidation(t *testing.T) {
+	if _, err := TrainBayes(nil); err == nil {
+		t.Error("empty corpus should error")
+	}
+	if _, err := TrainBayes([]Document{{Label: "", Text: "x"}}); err == nil {
+		t.Error("unlabeled document should error")
+	}
+	if _, err := TrainBayes([]Document{{Label: "a", Text: "   "}}); err == nil {
+		t.Error("tokenless corpus should error")
+	}
+}
+
+func TestBayesLearnsSeparableCorpus(t *testing.T) {
+	train, err := LabeledTextLines(100, 12, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := LabeledTextLines(40, 12, 0.05, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TrainBayes(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("accuracy %g on a nearly separable corpus, want >= 0.95", acc)
+	}
+	if c.VocabularySize() == 0 || c.VocabularySize() > DictionarySize {
+		t.Errorf("vocabulary size %d out of range", c.VocabularySize())
+	}
+}
+
+func TestBayesNoiseDegradesAccuracy(t *testing.T) {
+	clean, err := LabeledTextLines(80, 10, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := LabeledTextLines(80, 10, 0.45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cClean, err := TrainBayes(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNoisy, err := TrainBayes(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aClean, _ := cClean.Accuracy(clean)
+	aNoisy, _ := cNoisy.Accuracy(noisy)
+	if aNoisy >= aClean {
+		t.Errorf("noise should reduce accuracy: clean %g vs noisy %g", aClean, aNoisy)
+	}
+}
+
+func TestBayesClassifyErrors(t *testing.T) {
+	var c BayesClassifier
+	if _, err := c.Classify("anything"); err == nil {
+		t.Error("untrained classifier should error")
+	}
+	trained, err := TrainBayes([]Document{{Label: "a", Text: "x y"}, {Label: "b", Text: "z w"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trained.Accuracy(nil); err == nil {
+		t.Error("empty scoring set should error")
+	}
+}
+
+func TestLabeledTextLinesValidation(t *testing.T) {
+	if _, err := LabeledTextLines(0, 5, 0, 1); err == nil {
+		t.Error("zero docs should error")
+	}
+	if _, err := LabeledTextLines(5, 5, 1.5, 1); err == nil {
+		t.Error("noise > 1 should error")
+	}
+}
+
+func TestNWeightsPathGraph(t *testing.T) {
+	// 0 →(0.5) 1 →(0.4) 2: two-hop weight of 2 from 0 is 0.2.
+	edges := []Edge{{From: 0, To: 1, Weight: 0.5}, {From: 1, To: 2, Weight: 0.4}}
+	fr, err := NWeights(edges, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := fr[0][2]; math.Abs(w-0.2) > 1e-12 {
+		t.Errorf("2-hop weight 0→2 = %g, want 0.2", w)
+	}
+	if len(fr[2]) != 0 {
+		t.Errorf("sink node should have an empty 2-hop frontier, got %v", fr[2])
+	}
+}
+
+func TestNWeightsMultiplePaths(t *testing.T) {
+	// Two 2-step paths 0→1→3 (0.5·0.2) and 0→2→3 (0.5·0.6) sum to 0.4.
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 0.5},
+		{From: 0, To: 2, Weight: 0.5},
+		{From: 1, To: 3, Weight: 0.2},
+		{From: 2, To: 3, Weight: 0.6},
+	}
+	fr, err := NWeights(edges, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := fr[0][3]; math.Abs(w-0.4) > 1e-12 {
+		t.Errorf("2-hop weight 0→3 = %g, want 0.4", w)
+	}
+}
+
+func TestNWeightsValidation(t *testing.T) {
+	if _, err := NWeights(nil, 0, 1); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := NWeights(nil, 2, 0); err == nil {
+		t.Error("zero hops should error")
+	}
+	if _, err := NWeights([]Edge{{From: 9, To: 0}}, 2, 1); err == nil {
+		t.Error("out-of-range edge should error")
+	}
+	if _, err := NWeights([]Edge{{From: 0, To: 1, Weight: -1}}, 2, 1); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestNWeightsFrontierGrowsPerHop(t *testing.T) {
+	// On a random graph the frontier (shuffle volume) grows with hops —
+	// the property the simulated NWeight stage shuffle encodes.
+	edges, err := Graph(200, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NWeights(edges, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NWeights(edges, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := FrontierSize(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FrontierSize(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= s1 {
+		t.Errorf("2-hop frontier (%d) should exceed 1-hop (%d)", s2, s1)
+	}
+	if _, err := FrontierSize(nil); err == nil {
+		t.Error("nil frontier should error")
+	}
+}

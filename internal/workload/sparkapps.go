@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"ipso/internal/cluster"
+	"ipso/internal/spark"
+)
+
+// ExecutorMemoryBytes is the per-executor memory used by the Spark case
+// studies. It is sized so that a per-executor load level of N/m = 8 blocks
+// (plus persisted RDDs) overflows it while N/m = 4 does not — reproducing
+// the paper's observation that the speedup at N/m = 8 falls below N/m = 4
+// because "insufficient RAM may cause the persistent RDDs to be spilled to
+// the local disk, or even trigger increased task failure rate".
+const ExecutorMemoryBytes = 1536 << 20 // 1.5 GB
+
+// SparkConfig assembles the engine configuration shared by the four Spark
+// benchmarks: the EMR-like cluster, 5 ms centralized scheduling per task,
+// and first-wave-dominated deserialization overhead.
+func SparkConfig(app spark.AppModel, tasks, executors int) spark.Config {
+	ccfg := cluster.DefaultConfig(executors)
+	ccfg.Worker.MemoryBytes = ExecutorMemoryBytes
+	return spark.Config{
+		App:            app,
+		Tasks:          tasks,
+		Executors:      executors,
+		PartitionBytes: cluster.BlockBytes,
+		Cluster:        ccfg,
+		SchedPerTask:   0.005,
+		DeserFirstWave: 1.5,
+		DeserPerTask:   0.15,
+		SpillPenalty:   3,
+		FailureCoef:    0.2,
+		Seed:           1,
+	}
+}
+
+// CollaborativeFiltering models the iterative Spark application of [12]
+// (Chowdhury et al., Orchestra): per iteration, two feature vectors are
+// updated alternately, each update requiring a broadcast from the master
+// to all workers followed by a map phase with barrier synchronization, and
+// no reduce phase — so Ws(n) = 0 (η = 1) and the broadcast is pure
+// scale-out-induced workload.
+//
+// Calibration reproduces Table I: total parallelizable work of 1900 s per
+// iteration, 75 MB feature-vector broadcasts (serial sends from the
+// master's 250 MB/s NIC give Wo(n) ≈ 0.6n, i.e. q(n) ∝ n², γ = 2), and
+// ≈4.5 s of first-wave overhead per stage.
+type CollaborativeFiltering struct {
+	// Iterations is the number of alternating-update iterations.
+	Iterations int
+	// WorkPerIteration is the total CPU work of one iteration's two map
+	// phases combined (fixed-size: independent of n).
+	WorkPerIteration float64
+	// FeatureVectorBytes is the broadcast payload per update.
+	FeatureVectorBytes float64
+	// DatasetBytes is the (cached) ratings working set, partitioned over
+	// the executors.
+	DatasetBytes float64
+}
+
+// NewCollaborativeFiltering returns the Table-I-calibrated model with one
+// iteration (the paper analyzes per-iteration data).
+func NewCollaborativeFiltering() *CollaborativeFiltering {
+	return &CollaborativeFiltering{
+		Iterations:         1,
+		WorkPerIteration:   1.9e11, // 1900 s on the reference worker
+		FeatureVectorBytes: 75e6,
+		DatasetBytes:       4 << 30,
+	}
+}
+
+// Name implements spark.AppModel.
+func (a *CollaborativeFiltering) Name() string { return "collaborative-filtering" }
+
+// Stages returns two broadcast+map stages per iteration. The fixed-size
+// dataset is split across the tasks regardless of the partBytes argument.
+func (a *CollaborativeFiltering) Stages(tasks int, _ float64) []spark.Stage {
+	part := a.DatasetBytes / float64(tasks)
+	perStageWork := a.WorkPerIteration / 2 / float64(tasks)
+	stages := make([]spark.Stage, 0, 2*a.Iterations)
+	for it := 0; it < a.Iterations; it++ {
+		stages = append(stages,
+			spark.Stage{
+				Name:              "update-user-features",
+				Tasks:             tasks,
+				WorkPerTask:       perStageWork,
+				InputBytesPerTask: part,
+				BroadcastBytes:    a.FeatureVectorBytes,
+			},
+			spark.Stage{
+				Name:              "update-item-features",
+				Tasks:             tasks,
+				WorkPerTask:       perStageWork,
+				InputBytesPerTask: part,
+				BroadcastBytes:    a.FeatureVectorBytes,
+			},
+		)
+	}
+	return stages
+}
+
+// CFConfig assembles the engine configuration for the Collaborative
+// Filtering case study at scale-out degree n: one task per worker
+// (fixed-size split of the dataset) and ≈4.5 s first-wave overhead per
+// stage, which together with the 75 MB serial broadcasts reproduces the
+// measured columns of Table I.
+func CFConfig(app *CollaborativeFiltering, executors int) spark.Config {
+	ccfg := cluster.DefaultConfig(executors)
+	return spark.Config{
+		App:            app,
+		Tasks:          executors,
+		Executors:      executors,
+		PartitionBytes: app.DatasetBytes / float64(executors),
+		Cluster:        ccfg,
+		SchedPerTask:   0.005,
+		DeserFirstWave: 4.5,
+		DeserPerTask:   0.5,
+		Seed:           1,
+	}
+}
+
+// staticStages is shared scaffolding for the four HiBench-style Spark
+// benchmarks: a fixed stage template instantiated per (tasks, partBytes).
+type stageTemplate struct {
+	name           string
+	workPerByte    float64 // CPU units per input byte
+	broadcastBytes float64
+	shufflePerByte float64 // shuffle output fraction of input
+	cachedPerByte  float64 // persisted RDD fraction of input
+	driverWork     float64 // serial work at the stage boundary
+}
+
+func buildStages(templates []stageTemplate, tasks int, partBytes float64) []spark.Stage {
+	out := make([]spark.Stage, len(templates))
+	for i, t := range templates {
+		out[i] = spark.Stage{
+			Name:                t.name,
+			Tasks:               tasks,
+			WorkPerTask:         t.workPerByte * partBytes,
+			InputBytesPerTask:   partBytes,
+			BroadcastBytes:      t.broadcastBytes,
+			ShuffleBytesPerTask: t.shufflePerByte * partBytes,
+			CachedBytesPerTask:  t.cachedPerByte * partBytes,
+			DriverWork:          t.driverWork,
+		}
+	}
+	return out
+}
+
+// Bayes is the HiBench Bayes Classifier benchmark: tokenize → aggregate →
+// train, with persisted term tables and a model broadcast before training.
+type Bayes struct{ templates []stageTemplate }
+
+// NewBayes returns the calibrated Bayes model.
+func NewBayes() *Bayes {
+	return &Bayes{templates: []stageTemplate{
+		{name: "tokenize", workPerByte: 8, broadcastBytes: 32e6, shufflePerByte: 0.3, cachedPerByte: 0.5, driverWork: 2e8},
+		{name: "aggregate", workPerByte: 4, broadcastBytes: 32e6, shufflePerByte: 0.1, cachedPerByte: 0.3, driverWork: 5e8},
+		{name: "train", workPerByte: 4, broadcastBytes: 64e6, cachedPerByte: 0.2, driverWork: 1e9},
+	}}
+}
+
+// Name implements spark.AppModel.
+func (a *Bayes) Name() string { return "bayes" }
+
+// Stages implements spark.AppModel.
+func (a *Bayes) Stages(tasks int, partBytes float64) []spark.Stage {
+	return buildStages(a.templates, tasks, partBytes)
+}
+
+// RandomForest is the HiBench Random Forest benchmark: an ensemble of
+// tree-building rounds, each broadcasting the partial forest.
+type RandomForest struct{ templates []stageTemplate }
+
+// NewRandomForest returns the calibrated Random Forest model with eight
+// tree-building rounds.
+func NewRandomForest() *RandomForest {
+	templates := make([]stageTemplate, 0, 8)
+	for i := 0; i < 8; i++ {
+		templates = append(templates, stageTemplate{
+			name:           "grow-trees",
+			workPerByte:    3,
+			broadcastBytes: 24e6,
+			shufflePerByte: 0.05,
+			cachedPerByte:  0.125,
+			driverWork:     2e8,
+		})
+	}
+	return &RandomForest{templates: templates}
+}
+
+// Name implements spark.AppModel.
+func (a *RandomForest) Name() string { return "random-forest" }
+
+// Stages implements spark.AppModel.
+func (a *RandomForest) Stages(tasks int, partBytes float64) []spark.Stage {
+	return buildStages(a.templates, tasks, partBytes)
+}
+
+// SVM is the HiBench Support Vector Machine benchmark: gradient-descent
+// iterations, each broadcasting the weight vector and collecting gradients
+// at the driver — the most broadcast-intensive of the four.
+type SVM struct{ templates []stageTemplate }
+
+// NewSVM returns the calibrated SVM model with eight iterations.
+func NewSVM() *SVM {
+	templates := make([]stageTemplate, 0, 8)
+	for i := 0; i < 8; i++ {
+		templates = append(templates, stageTemplate{
+			name:           "gradient",
+			workPerByte:    4,
+			broadcastBytes: 32e6,
+			cachedPerByte:  0.125,
+			driverWork:     3e8,
+		})
+	}
+	return &SVM{templates: templates}
+}
+
+// Name implements spark.AppModel.
+func (a *SVM) Name() string { return "svm" }
+
+// Stages implements spark.AppModel.
+func (a *SVM) Stages(tasks int, partBytes float64) []spark.Stage {
+	return buildStages(a.templates, tasks, partBytes)
+}
+
+// NWeight is the HiBench NWeight graph benchmark: iterative neighborhood
+// expansion with shuffle volume growing each round.
+type NWeight struct{ templates []stageTemplate }
+
+// NewNWeight returns the calibrated NWeight model with three expansion
+// rounds.
+func NewNWeight() *NWeight {
+	return &NWeight{templates: []stageTemplate{
+		{name: "expand-1", workPerByte: 5, broadcastBytes: 32e6, shufflePerByte: 0.5, cachedPerByte: 0.4, driverWork: 2e8},
+		{name: "expand-2", workPerByte: 5, broadcastBytes: 32e6, shufflePerByte: 1.0, cachedPerByte: 0.4, driverWork: 2e8},
+		{name: "expand-3", workPerByte: 5, broadcastBytes: 32e6, shufflePerByte: 2.0, cachedPerByte: 0.4, driverWork: 2e8},
+	}}
+}
+
+// Name implements spark.AppModel.
+func (a *NWeight) Name() string { return "nweight" }
+
+// Stages implements spark.AppModel.
+func (a *NWeight) Stages(tasks int, partBytes float64) []spark.Stage {
+	return buildStages(a.templates, tasks, partBytes)
+}
+
+// SparkBenchmarks returns the four Section V-B benchmark models in the
+// paper's order.
+func SparkBenchmarks() []spark.AppModel {
+	return []spark.AppModel{NewBayes(), NewRandomForest(), NewSVM(), NewNWeight()}
+}

@@ -1,0 +1,28 @@
+package workload
+
+// TableIRow is one row of the paper's Table I: the measured external and
+// scale-out-induced workloads of the Collaborative Filtering application,
+// converted by the authors from the experimental histograms of [12].
+type TableIRow struct {
+	N       int     // scale-out degree
+	MaxTask float64 // E[max{Tp,i(n)}] in seconds
+	Wo      float64 // scale-out-induced workload in seconds
+}
+
+// PaperTableI returns the published Table I data. The experiment harness
+// uses it both as ground truth for the Fig. 8 reconstruction and as the
+// reference the simulated Collaborative Filtering run is validated
+// against.
+func PaperTableI() []TableIRow {
+	return []TableIRow{
+		{N: 10, MaxTask: 209.0, Wo: 5.5},
+		{N: 30, MaxTask: 79.3, Wo: 17.7},
+		{N: 60, MaxTask: 43.7, Wo: 36.0},
+		{N: 90, MaxTask: 31.1, Wo: 54.3},
+	}
+}
+
+// PaperCFSeqTime is E[Tp,1(1)] = 1602.5 s, the sequential split-phase time
+// the paper obtains by extrapolating the matched curve of Fig. 8(a) to
+// n = 1.
+const PaperCFSeqTime = 1602.5

@@ -1,0 +1,248 @@
+// Package ipso is the public API of the IPSO scaling-model library — a
+// reproduction of "IPSO: A Scaling Model for Data-Intensive Applications"
+// (Li, Duan, Nguyen, Che, Lei, Jiang; ICDCS 2019).
+//
+// IPSO generalizes Amdahl's, Gustafson's and Sun-Ni's laws for scale-out,
+// data-intensive workloads with two additional effects:
+//
+//   - in-proportion scaling — the serial (merge) portion of the workload
+//     grows along with the parallelizable portion: IN(n) alongside EX(n);
+//   - scale-out-induced scaling — collective overhead q(n) induced by
+//     scaling out itself (centralized scheduling, broadcast, contention).
+//
+// Quick start:
+//
+//	m := ipso.Model{
+//	    Eta: 0.59,                          // parallelizable fraction at n=1
+//	    EX:  ipso.LinearFactor(1, 0),       // fixed-time: EX(n) = n
+//	    IN:  ipso.LinearFactor(0.36, 0.64), // in-proportion serial growth
+//	    Q:   ipso.ZeroOverhead(),
+//	}
+//	s, _ := m.Speedup(200) // bounded near 4.7 — Gustafson would say 118
+//
+// The classification of Figs. 2-3, factor estimation, speedup prediction,
+// the Section V diagnostic procedure, and speedup-versus-cost provisioning
+// are all re-exported here from the internal implementation. The simulated
+// substrates (cluster, MapReduce, Spark-like engines) and the experiment
+// harness that regenerates every table and figure of the paper live under
+// internal/ and are driven by cmd/ipsobench and the repo-level benchmarks.
+package ipso
+
+import (
+	"io"
+
+	"ipso/internal/core"
+)
+
+// Re-exported model types. See the corresponding internal/core
+// documentation for the equation-level detail.
+type (
+	// Model is the deterministic IPSO model of Eq. (10).
+	Model = core.Model
+	// ScalingFactor is a scaling function of the scale-out degree n.
+	ScalingFactor = core.ScalingFactor
+	// Asymptotic is the large-n parameterization (η, α, δ, β, γ) of
+	// Eqs. (14-17).
+	Asymptotic = core.Asymptotic
+	// ScalingType is one of the ten behaviors of Figs. 2-3.
+	ScalingType = core.ScalingType
+	// WorkloadType selects the fixed-time or fixed-size dimension.
+	WorkloadType = core.WorkloadType
+	// Family is the coarse shape family of a measured speedup curve.
+	Family = core.Family
+	// Diagnosis is the outcome of the Section V diagnostic procedure.
+	Diagnosis = core.Diagnosis
+	// Measurements holds per-n workload measurements for estimation.
+	Measurements = core.Measurements
+	// Estimates holds fitted scaling factors.
+	Estimates = core.Estimates
+	// Predictor predicts large-n speedups from small-n fits.
+	Predictor = core.Predictor
+	// ProvisionInput frames a speedup-versus-cost question.
+	ProvisionInput = core.ProvisionInput
+	// ProvisionPoint is one candidate operating point.
+	ProvisionPoint = core.ProvisionPoint
+	// StatisticModel is the statistic IPSO model (Eq. 8) with a task-time
+	// distribution.
+	StatisticModel = core.StatisticModel
+	// Round and Multi compose multi-round jobs (Section III).
+	Round = core.Round
+	Multi = core.Multi
+	// Observation, OnlineEstimator, OnlineOptions implement the paper's
+	// Section VI future work: online estimation of δ and γ.
+	Observation     = core.Observation
+	OnlineEstimator = core.OnlineEstimator
+	OnlineOptions   = core.OnlineOptions
+	// ProbeFunc, AutoProvisionOptions and Plan form the measurement-based
+	// provisioning algorithm.
+	ProbeFunc            = core.ProbeFunc
+	AutoProvisionOptions = core.AutoProvisionOptions
+	Plan                 = core.Plan
+	// PredictionSpread is the jackknife uncertainty of an extrapolated
+	// speedup.
+	PredictionSpread = core.PredictionSpread
+	// Sensitivity holds the parameter elasticities of S(n).
+	Sensitivity = core.Sensitivity
+)
+
+// Workload types.
+const (
+	FixedTime = core.FixedTime
+	FixedSize = core.FixedSize
+)
+
+// Scaling types (Figs. 2-3).
+const (
+	TypeIt    = core.TypeIt
+	TypeIIt   = core.TypeIIt
+	TypeIIIt1 = core.TypeIIIt1
+	TypeIIIt2 = core.TypeIIIt2
+	TypeIVt   = core.TypeIVt
+	TypeIs    = core.TypeIs
+	TypeIIs   = core.TypeIIs
+	TypeIIIs1 = core.TypeIIIs1
+	TypeIIIs2 = core.TypeIIIs2
+	TypeIVs   = core.TypeIVs
+)
+
+// Curve-shape families.
+const (
+	FamilyLinear    = core.FamilyLinear
+	FamilySublinear = core.FamilySublinear
+	FamilyBounded   = core.FamilyBounded
+	FamilyPeaked    = core.FamilyPeaked
+)
+
+// Constant returns the factor f(n) = c.
+func Constant(c float64) ScalingFactor { return core.Constant(c) }
+
+// LinearFactor returns f(n) = slope·n + intercept.
+func LinearFactor(slope, intercept float64) ScalingFactor {
+	return core.LinearFactor(slope, intercept)
+}
+
+// PowerFactor returns f(n) = c·n^p.
+func PowerFactor(c, p float64) ScalingFactor { return core.PowerFactor(c, p) }
+
+// ZeroOverhead is q(n) = 0.
+func ZeroOverhead() ScalingFactor { return core.ZeroOverhead() }
+
+// Interpolated builds a factor from measured samples.
+func Interpolated(ns, values []float64) (ScalingFactor, error) {
+	return core.Interpolated(ns, values)
+}
+
+// Amdahl evaluates Amdahl's law S(n) = 1/(η/n + (1−η)).
+func Amdahl(eta, n float64) (float64, error) { return core.Amdahl(eta, n) }
+
+// AmdahlBound returns 1/(1−η).
+func AmdahlBound(eta float64) (float64, error) { return core.AmdahlBound(eta) }
+
+// Gustafson evaluates Gustafson's law S(n) = η·n + (1−η).
+func Gustafson(eta, n float64) (float64, error) { return core.Gustafson(eta, n) }
+
+// SunNi evaluates Sun-Ni's memory-bounded law with factor g.
+func SunNi(eta, n float64, g ScalingFactor) (float64, error) {
+	return core.SunNi(eta, n, g)
+}
+
+// AmdahlModel, GustafsonModel and SunNiModel return the classic laws as
+// IPSO special cases (Eq. 13).
+func AmdahlModel(eta float64) Model { return core.AmdahlModel(eta) }
+
+// GustafsonModel returns Gustafson's law as an IPSO special case.
+func GustafsonModel(eta float64) Model { return core.GustafsonModel(eta) }
+
+// SunNiModel returns Sun-Ni's law as an IPSO special case.
+func SunNiModel(eta float64, g ScalingFactor) Model { return core.SunNiModel(eta, g) }
+
+// EtaFromPhases computes η = tp1/(tp1+ts1) from n = 1 phase times.
+func EtaFromPhases(tp1, ts1 float64) (float64, error) {
+	return core.EtaFromPhases(tp1, ts1)
+}
+
+// CFSpeedup evaluates the fixed-size, η = 1 statistic speedup of Eq. (18).
+func CFSpeedup(tp1, maxTask, wo float64) (float64, error) {
+	return core.CFSpeedup(tp1, maxTask, wo)
+}
+
+// Estimate fits scaling factors from phase measurements (Section V).
+func Estimate(m Measurements) (Estimates, error) { return core.Estimate(m) }
+
+// FactorSeries normalizes a workload series into a scaling-factor series.
+func FactorSeries(ns, ws []float64) ([]float64, error) {
+	return core.FactorSeries(ns, ws)
+}
+
+// NewPredictor builds a large-n speedup predictor from fitted estimates.
+func NewPredictor(est Estimates, tp1, ts1 float64) (Predictor, error) {
+	return core.NewPredictor(est, tp1, ts1)
+}
+
+// Diagnose runs the Section V diagnostic procedure on a measured speedup
+// series.
+func Diagnose(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
+	return core.Diagnose(w, ns, speedups)
+}
+
+// DiagnoseWithFactors completes step 6 of the procedure with fitted
+// asymptotic factors.
+func DiagnoseWithFactors(w WorkloadType, a Asymptotic) (ScalingType, error) {
+	return core.DiagnoseWithFactors(w, a)
+}
+
+// NewMulti composes a multi-round job model (Section III: workloads sum
+// across rounds at a common scale-out degree).
+func NewMulti(rounds ...Round) (Multi, error) { return core.NewMulti(rounds...) }
+
+// MemoryBoundedFactor returns Sun-Ni's g(n) for a block-per-node,
+// memory-bounded working set (g(n) ≈ n until the data set cap).
+func MemoryBoundedFactor(blockBytes, maxDatasetBytes float64) (ScalingFactor, error) {
+	return core.MemoryBoundedFactor(blockBytes, maxDatasetBytes)
+}
+
+// NewOnlineEstimator returns the Section VI online (δ, γ) estimator.
+func NewOnlineEstimator(opts OnlineOptions) (*OnlineEstimator, error) {
+	return core.NewOnlineEstimator(opts)
+}
+
+// AutoProvision probes a system at small scale-out degrees until δ and γ
+// converge, then returns the speedup-versus-cost-optimal operating point.
+func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
+	return core.AutoProvision(probe, opts)
+}
+
+// PredictSpread returns the leave-one-out spread of the extrapolated
+// speedup at n — how strongly the prediction depends on each measurement.
+func PredictSpread(m Measurements, tp1, ts1, n float64) (PredictionSpread, error) {
+	return core.PredictSpread(m, tp1, ts1, n)
+}
+
+// Sensitivities returns the parameter elasticities of S(n) for an
+// asymptotic model — which of η, α, δ, β, γ binds the speedup at n.
+func Sensitivities(a Asymptotic, n float64) (Sensitivity, error) {
+	return core.Sensitivities(a, n)
+}
+
+// Crossover returns the smallest degree at which model b's speedup
+// overtakes model a's within [2, maxN].
+func Crossover(a, b Model, maxN int) (n int, found bool, err error) {
+	return core.Crossover(a, b, maxN)
+}
+
+// GustafsonDivergence returns the smallest degree at which Gustafson's
+// law overestimates the model's speedup by more than relTol.
+func GustafsonDivergence(m Model, relTol float64, maxN int) (n int, diverges bool, err error) {
+	return core.GustafsonDivergence(m, relTol, maxN)
+}
+
+// SaveEstimates persists a fitted model (estimates + n = 1 baselines) as
+// JSON.
+func SaveEstimates(w io.Writer, est Estimates, tp1, ts1 float64) error {
+	return core.SaveEstimates(w, est, tp1, ts1)
+}
+
+// LoadEstimates reads a saved fit and rebuilds its Predictor.
+func LoadEstimates(r io.Reader) (Estimates, Predictor, error) {
+	return core.LoadEstimates(r)
+}

@@ -1,0 +1,125 @@
+package ipso_test
+
+import (
+	"math"
+	"testing"
+
+	"ipso"
+	"ipso/internal/stats"
+)
+
+func TestStatisticModelThroughFacade(t *testing.T) {
+	s := ipso.StatisticModel{
+		Model: ipso.Model{
+			Eta: 0.59,
+			EX:  ipso.LinearFactor(1, 0),
+			IN:  ipso.LinearFactor(0.377, 0.623),
+			Q:   ipso.ZeroOverhead(),
+		},
+		TaskTime:   stats.Uniform{Low: 13.2, High: 24.4},
+		SerialTime: 12.85,
+	}
+	stat, err := s.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := s.Model.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat >= det {
+		t.Errorf("statistic speedup %g should fall below deterministic %g", stat, det)
+	}
+	penalty, err := s.StragglerPenalty(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if penalty <= 1 {
+		t.Errorf("straggler penalty %g, want > 1", penalty)
+	}
+}
+
+func TestMultiRoundThroughFacade(t *testing.T) {
+	multi, err := ipso.NewMulti(
+		ipso.Round{Name: "map-heavy", Wp1: 100, Ws1: 1, EX: ipso.LinearFactor(1, 0)},
+		ipso.Round{Name: "merge-heavy", Wp1: 20, Ws1: 15, EX: ipso.LinearFactor(1, 0), IN: ipso.LinearFactor(0.4, 0.6)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := multi.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1 || s >= 64 {
+		t.Errorf("composite speedup %g out of the plausible range", s)
+	}
+	m, err := multi.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := m.Speedup(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(flat-s) > 1e-9 {
+		t.Errorf("flattened model %g disagrees with direct %g", flat, s)
+	}
+}
+
+func TestMemoryBoundedFactorThroughFacade(t *testing.T) {
+	g, err := ipso.MemoryBoundedFactor(128<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With g(n) = n, Sun-Ni coincides with Gustafson — the paper's
+	// justification for treating the two as the same for data-intensive
+	// workloads.
+	sn, err := ipso.SunNi(0.8, 32, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu, _ := ipso.Gustafson(0.8, 32)
+	if math.Abs(sn-gu) > 1e-12 {
+		t.Errorf("Sun-Ni %g vs Gustafson %g", sn, gu)
+	}
+}
+
+func TestOnlineEstimatorThroughFacade(t *testing.T) {
+	e, err := ipso.NewOnlineEstimator(ipso.OnlineOptions{SerialPrecision: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CF-like fixed-size probes with quadratic overhead.
+	for _, n := range []float64{1, 2, 4, 8, 16, 32} {
+		obs := ipso.Observation{N: n, Wp: 1602.5, Ws: 0, Wo: 0.593 * n, MaxTask: 1602.5 / n}
+		if err := e.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gci, hasOverhead, err := e.GammaCI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasOverhead || math.Abs(gci.Point-2) > 0.1 {
+		t.Errorf("γ = %g (overhead %v), want ≈2", gci.Point, hasOverhead)
+	}
+}
+
+func TestAutoProvisionThroughFacade(t *testing.T) {
+	probe := ipso.ProbeFunc(func(n int) (ipso.Observation, error) {
+		fn := float64(n)
+		return ipso.Observation{N: fn, Wp: 1602.5, Ws: 0, Wo: 0.593 * fn, MaxTask: 1602.5 / fn}, nil
+	})
+	plan, err := ipso.AutoProvision(probe, ipso.AutoProvisionOptions{
+		Online:           ipso.OnlineOptions{SerialPrecision: 0.01},
+		PricePerNodeHour: 0.4,
+		MaxN:             150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HardLimit < 40 || plan.HardLimit > 70 {
+		t.Errorf("hard limit %d, want ≈52-60", plan.HardLimit)
+	}
+}

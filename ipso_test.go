@@ -1,0 +1,166 @@
+package ipso_test
+
+import (
+	"math"
+	"testing"
+
+	"ipso"
+)
+
+// The facade tests exercise the public API exactly the way the README's
+// quick start does.
+
+func TestQuickStartSortModel(t *testing.T) {
+	m := ipso.Model{
+		Eta: 0.59,
+		EX:  ipso.LinearFactor(1, 0),
+		IN:  ipso.LinearFactor(0.36, 0.64),
+		Q:   ipso.ZeroOverhead(),
+	}
+	s, err := m.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 4 || s > 5.5 {
+		t.Errorf("Sort-like speedup at n=200 is %g, want ≈4-5 (bounded)", s)
+	}
+	g, err := ipso.Gustafson(0.59, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 20*s {
+		t.Errorf("Gustafson (%g) should wildly overpredict the bounded speedup (%g)", g, s)
+	}
+}
+
+func TestClassifyThroughFacade(t *testing.T) {
+	a := ipso.Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}
+	typ, err := a.Classify(ipso.FixedSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != ipso.TypeIVs {
+		t.Errorf("classified %v, want IVs", typ)
+	}
+	if !typ.Pathological() {
+		t.Error("IVs must be pathological")
+	}
+}
+
+func TestLawsThroughFacade(t *testing.T) {
+	b, err := ipso.AmdahlBound(0.75)
+	if err != nil || b != 4 {
+		t.Errorf("AmdahlBound = %g, %v", b, err)
+	}
+	s, err := ipso.SunNi(0.5, 4, ipso.LinearFactor(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := ipso.Gustafson(0.5, 4)
+	if math.Abs(s-g) > 1e-12 {
+		t.Errorf("Sun-Ni with g(n)=n (%g) must equal Gustafson (%g)", s, g)
+	}
+	if am, _ := ipso.Amdahl(0.5, 4); math.Abs(am-1.6) > 1e-12 {
+		t.Errorf("Amdahl(0.5, 4) = %g, want 1.6", am)
+	}
+	for _, m := range []ipso.Model{ipso.AmdahlModel(0.5), ipso.GustafsonModel(0.5), ipso.SunNiModel(0.5, ipso.PowerFactor(1, 0.9))} {
+		if _, err := m.Speedup(8); err != nil {
+			t.Errorf("law model speedup: %v", err)
+		}
+	}
+}
+
+func TestEstimateAndPredictThroughFacade(t *testing.T) {
+	var m ipso.Measurements
+	for _, n := range []float64{1, 2, 4, 8, 16} {
+		m.N = append(m.N, n)
+		m.Wp = append(m.Wp, 18.8*n)
+		m.Ws = append(m.Ws, 12.85*(0.377*n+0.623))
+	}
+	est, err := ipso.Estimate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ipso.NewPredictor(est, 18.8, 12.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 4 || s > 5.5 {
+		t.Errorf("predicted speedup %g, want ≈4.6", s)
+	}
+}
+
+func TestDiagnoseThroughFacade(t *testing.T) {
+	ns := []float64{10, 30, 60, 90}
+	ss := make([]float64, len(ns))
+	for i, n := range ns {
+		s, err := ipso.CFSpeedup(1602.5, 2001/n+9, 0.6*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss[i] = s
+	}
+	d, err := ipso.Diagnose(ipso.FixedSize, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Type != ipso.TypeIVs {
+		t.Errorf("diagnosed %v, want IVs", d.Type)
+	}
+	typ, err := ipso.DiagnoseWithFactors(ipso.FixedSize, ipso.Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2})
+	if err != nil || typ != ipso.TypeIVs {
+		t.Errorf("factor diagnosis %v, %v", typ, err)
+	}
+}
+
+func TestFactorHelpersThroughFacade(t *testing.T) {
+	f, err := ipso.Interpolated([]float64{1, 2}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(1.5) != 2 {
+		t.Errorf("interpolated(1.5) = %g, want 2", f(1.5))
+	}
+	fs, err := ipso.FactorSeries([]float64{1, 2}, []float64{5, 10})
+	if err != nil || fs[1] != 2 {
+		t.Errorf("FactorSeries = %v, %v", fs, err)
+	}
+	eta, err := ipso.EtaFromPhases(3, 1)
+	if err != nil || eta != 0.75 {
+		t.Errorf("EtaFromPhases = %g, %v", eta, err)
+	}
+	if ipso.Constant(2)(9) != 2 {
+		t.Error("Constant broken")
+	}
+}
+
+func TestProvisioningThroughFacade(t *testing.T) {
+	model, err := ipso.Asymptotic{Eta: 1, Beta: 3.7e-4, Gamma: 2}.Model(ipso.FixedSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ipso.ProvisionInput{
+		Model:            model,
+		SeqJobSeconds:    1602.5,
+		PricePerNodeHour: 0.4,
+		MaxN:             100,
+	}
+	limit, ok, err := p.HardScaleOutLimit()
+	if err != nil || !ok {
+		t.Fatalf("hard limit: %v ok=%v", err, ok)
+	}
+	if limit < 45 || limit > 60 {
+		t.Errorf("hard limit %d, want ≈52", limit)
+	}
+	best, err := p.BestSpeedupPerDollar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.N < 1 || best.N > 100 {
+		t.Errorf("best point %+v out of range", best)
+	}
+}
