@@ -8,11 +8,14 @@ package ipso_test
 // cmd/ipsobench prints the regenerated rows/series themselves.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"ipso"
 	"ipso/internal/core"
 	"ipso/internal/experiment"
+	"ipso/internal/runner"
 	"ipso/internal/stats"
 )
 
@@ -26,7 +29,7 @@ func benchGrid() []int { return []int{1, 2, 4, 8, 16, 24, 32, 48, 64} }
 
 func benchSweeps(b *testing.B) []experiment.MRSweep {
 	b.Helper()
-	sweeps, err := experiment.RunMRCaseStudies(benchGrid())
+	sweeps, err := experiment.RunMRCaseStudies(context.Background(), benchGrid())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -36,7 +39,7 @@ func benchSweeps(b *testing.B) []experiment.MRSweep {
 func BenchmarkFig2_FixedTimeTaxonomy(b *testing.B) {
 	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128, 200}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.FigureTaxonomy(core.FixedTime, ns); err != nil {
+		if _, err := experiment.FigureTaxonomy(context.Background(), core.FixedTime, ns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +48,7 @@ func BenchmarkFig2_FixedTimeTaxonomy(b *testing.B) {
 func BenchmarkFig3_FixedSizeTaxonomy(b *testing.B) {
 	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128, 200}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.FigureTaxonomy(core.FixedSize, ns); err != nil {
+		if _, err := experiment.FigureTaxonomy(context.Background(), core.FixedSize, ns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,11 +56,11 @@ func BenchmarkFig3_FixedSizeTaxonomy(b *testing.B) {
 
 func BenchmarkFig4_MapReduceSpeedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sweeps, err := experiment.RunMRCaseStudies(benchGrid())
+		sweeps, err := experiment.RunMRCaseStudies(context.Background(), benchGrid())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiment.Figure4(sweeps); err != nil {
+		if _, err := experiment.Figure4(context.Background(), sweeps); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -67,7 +70,7 @@ func BenchmarkFig5_TeraSortInternalScaling(b *testing.B) {
 	sweeps := benchSweeps(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure5(sweeps); err != nil {
+		if _, err := experiment.Figure5(context.Background(), sweeps); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +80,7 @@ func BenchmarkFig6_ScalingFactors(b *testing.B) {
 	sweeps := benchSweeps(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure6(sweeps, 16); err != nil {
+		if _, err := experiment.Figure6(context.Background(), sweeps, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +90,7 @@ func BenchmarkFig7_IPSOPrediction(b *testing.B) {
 	sweeps := benchSweeps(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure7(sweeps, 16); err != nil {
+		if _, err := experiment.Figure7(context.Background(), sweeps, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +98,7 @@ func BenchmarkFig7_IPSOPrediction(b *testing.B) {
 
 func BenchmarkTableI_CollaborativeFiltering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.TableI(); err != nil {
+		if _, err := experiment.TableI(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +107,7 @@ func BenchmarkTableI_CollaborativeFiltering(b *testing.B) {
 func BenchmarkFig8_CFSpeedup(b *testing.B) {
 	ns := []float64{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 120, 150}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure8(ns); err != nil {
+		if _, err := experiment.Figure8(context.Background(), ns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -113,7 +116,7 @@ func BenchmarkFig8_CFSpeedup(b *testing.B) {
 func BenchmarkFig9_SparkFixedTime(b *testing.B) {
 	execs := []int{2, 4, 8, 16}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure9(experiment.DefaultLoadLevels(), execs); err != nil {
+		if _, err := experiment.Figure9(context.Background(), experiment.DefaultLoadLevels(), execs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +124,7 @@ func BenchmarkFig9_SparkFixedTime(b *testing.B) {
 
 func BenchmarkFig10_SparkFixedSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure10(experiment.DefaultFixedSizeTasks, experiment.DefaultFixedSizeExecGrid()); err != nil {
+		if _, err := experiment.Figure10(context.Background(), experiment.DefaultFixedSizeTasks, experiment.DefaultFixedSizeExecGrid()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +134,7 @@ func BenchmarkDiagnosticProcedure(b *testing.B) {
 	sweeps := benchSweeps(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Diagnostics(sweeps); err != nil {
+		if _, err := experiment.Diagnostics(context.Background(), sweeps); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +143,7 @@ func BenchmarkDiagnosticProcedure(b *testing.B) {
 func BenchmarkAblationBroadcast(b *testing.B) {
 	ns := []int{10, 30, 60, 90, 120}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationBroadcast(ns); err != nil {
+		if _, err := experiment.AblationBroadcast(context.Background(), ns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +153,7 @@ func BenchmarkAblationReducerMemory(b *testing.B) {
 	ns := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
 	mems := []float64{1 << 30, 2 << 30, 4 << 30}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationReducerMemory(ns, mems); err != nil {
+		if _, err := experiment.AblationReducerMemory(context.Background(), ns, mems); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +162,7 @@ func BenchmarkAblationReducerMemory(b *testing.B) {
 func BenchmarkAblationStatisticVsDeterministic(b *testing.B) {
 	ns := []int{1, 4, 16, 64}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationStatistic(ns); err != nil {
+		if _, err := experiment.AblationStatistic(context.Background(), ns, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -183,7 +186,7 @@ func BenchmarkRealNetWordCount(b *testing.B) {
 	// A genuine distributed execution per iteration: TCP master + 4
 	// workers on localhost counting 20k lines.
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RealNet([]int{4}, 20000, 16); err != nil {
+		if _, err := experiment.RealNet(context.Background(), []int{4}, 20000, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +194,7 @@ func BenchmarkRealNetWordCount(b *testing.B) {
 
 func BenchmarkSparkSurfaceFit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.SparkSurface([]int{1, 2, 4}, []int{2, 4, 8, 16}); err != nil {
+		if _, err := experiment.SparkSurface(context.Background(), []int{1, 2, 4}, []int{2, 4, 8, 16}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,7 +202,7 @@ func BenchmarkSparkSurfaceFit(b *testing.B) {
 
 func BenchmarkFixedSizeMR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.FixedSizeMR(16*128<<20, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
+		if _, err := experiment.FixedSizeMR(context.Background(), 16*128<<20, []int{1, 2, 4, 8, 16, 32, 64}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +214,7 @@ func BenchmarkAblationContention(b *testing.B) {
 		ns = append(ns, n)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.AblationContention([]float64{100, 200}, 20, 10, ns); err != nil {
+		if _, err := experiment.AblationContention(context.Background(), []float64{100, 200}, 20, 10, ns); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,7 +222,7 @@ func BenchmarkAblationContention(b *testing.B) {
 
 func BenchmarkFutureWorkAutoProvision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.FutureWork(0.4, 128); err != nil {
+		if _, err := experiment.FutureWork(context.Background(), 0.4, 128); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -242,6 +245,36 @@ func BenchmarkStatisticModelSpeedup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchFullEvaluation runs the whole registry (minus the wall-clock
+// realnet experiment) at the given worker-pool width, with a fresh
+// Config per iteration so the shared MR sweeps are recomputed rather
+// than served from the memo.
+func benchFullEvaluation(b *testing.B, workers int) {
+	b.Helper()
+	reg := experiment.DefaultRegistry()
+	var ids []string
+	for _, id := range reg.IDs() {
+		if e, _ := reg.Lookup(id); !e.Measured {
+			ids = append(ids, id)
+		}
+	}
+	ctx := runner.WithWorkers(context.Background(), workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.RunAll(ctx, ids, experiment.DefaultConfig(true), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullEvaluationSerial(b *testing.B) {
+	benchFullEvaluation(b, 1)
+}
+
+func BenchmarkFullEvaluationParallel(b *testing.B) {
+	benchFullEvaluation(b, runtime.GOMAXPROCS(0))
 }
 
 // Micro-benchmarks of the core model evaluation itself.

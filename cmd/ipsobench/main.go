@@ -4,130 +4,97 @@
 //
 // Usage:
 //
-//	ipsobench                 # run everything
-//	ipsobench -only fig4,fig7 # run a subset
-//	ipsobench -csv            # emit series as CSV instead of text
-//	ipsobench -quick          # reduced grids (CI-friendly)
+//	ipsobench                  # run everything
+//	ipsobench -only fig4,fig7  # run a subset
+//	ipsobench -csv             # emit series as CSV instead of text
+//	ipsobench -quick           # reduced grids (CI-friendly)
+//	ipsobench -parallel 8      # worker-pool width (default GOMAXPROCS)
+//	ipsobench -timeout 30s     # abort the whole run after a deadline
+//	ipsobench -progress        # per-experiment timings on stderr
+//	ipsobench -list            # list experiment IDs and exit
 //
-// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 diag
-// provisioning ablation-broadcast ablation-memory ablation-statistic
-// ablation-contention futurework surface fixedsize-mr realnet.
+// Experiments and sweep points fan out across the worker pool; reports
+// are printed in registration order and are byte-identical at any
+// -parallel width (except realnet, which prints real wall-clock times).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
-	"ipso/internal/cluster"
-	"ipso/internal/core"
 	"ipso/internal/experiment"
+	"ipso/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ipsobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("ipsobench", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
 	csv := fs.Bool("csv", false, "emit series as CSV")
 	quick := fs.Bool("quick", false, "reduced grids")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiments and sweep points")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	progress := fs.Bool("progress", false, "report per-experiment points and wall time on stderr")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	selected := map[string]bool{}
+	reg := experiment.DefaultRegistry()
+	if *list {
+		for _, id := range reg.IDs() {
+			e, _ := reg.Lookup(id)
+			if _, err := fmt.Fprintf(out, "%-20s %s\n", id, e.Title); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var ids []string
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
-			selected[id] = true
-		}
-	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
-
-	mrGrid := experiment.DefaultMRGrid()
-	taxGrid := gridF(1, 200)
-	fig8Grid := gridF(5, 150)
-	loadLevels := experiment.DefaultLoadLevels()
-	sparkExecs := experiment.DefaultSparkExecGrid()
-	fsTasks := experiment.DefaultFixedSizeTasks
-	fsExecs := experiment.DefaultFixedSizeExecGrid()
-	cfGrid := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 120}
-	memGrid := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
-	jitterGrid := []int{1, 2, 4, 8, 16, 32, 64}
-	if *quick {
-		mrGrid = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
-		taxGrid = gridF(1, 64)
-		sparkExecs = []int{2, 4, 8, 16}
-		cfGrid = []int{10, 30, 60, 90}
-		jitterGrid = []int{1, 4, 16}
-	}
-
-	var mrSweeps []experiment.MRSweep
-	needMR := want("fig4") || want("fig5") || want("fig6") || want("fig7") || want("diag") || want("provisioning")
-	if needMR {
-		var err error
-		mrSweeps, err = experiment.RunMRCaseStudies(mrGrid)
-		if err != nil {
-			return err
+			ids = append(ids, id)
 		}
 	}
 
-	type job struct {
-		id  string
-		run func() (experiment.Report, error)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	jobs := []job{
-		{id: "fig2", run: func() (experiment.Report, error) { return experiment.FigureTaxonomy(core.FixedTime, taxGrid) }},
-		{id: "fig3", run: func() (experiment.Report, error) { return experiment.FigureTaxonomy(core.FixedSize, taxGrid) }},
-		{id: "fig4", run: func() (experiment.Report, error) { return experiment.Figure4(mrSweeps) }},
-		{id: "fig5", run: func() (experiment.Report, error) { return experiment.Figure5(mrSweeps) }},
-		{id: "fig6", run: func() (experiment.Report, error) { return experiment.Figure6(mrSweeps, 16) }},
-		{id: "fig7", run: func() (experiment.Report, error) { return experiment.Figure7(mrSweeps, 16) }},
-		{id: "table1", run: experiment.TableI},
-		{id: "fig8", run: func() (experiment.Report, error) { return experiment.Figure8(fig8Grid) }},
-		{id: "fig9", run: func() (experiment.Report, error) { return experiment.Figure9(loadLevels, sparkExecs) }},
-		{id: "fig10", run: func() (experiment.Report, error) { return experiment.Figure10(fsTasks, fsExecs) }},
-		{id: "diag", run: func() (experiment.Report, error) { return experiment.Diagnostics(mrSweeps) }},
-		{id: "provisioning", run: func() (experiment.Report, error) { return experiment.Provisioning(mrSweeps, 0.4, 200) }},
-		{id: "ablation-broadcast", run: func() (experiment.Report, error) { return experiment.AblationBroadcast(cfGrid) }},
-		{id: "ablation-memory", run: func() (experiment.Report, error) {
-			return experiment.AblationReducerMemory(memGrid, []float64{1 << 30, 2 << 30, 4 << 30})
-		}},
-		{id: "ablation-statistic", run: func() (experiment.Report, error) { return experiment.AblationStatistic(jitterGrid) }},
-		{id: "futurework", run: func() (experiment.Report, error) { return experiment.FutureWork(0.4, 128) }},
-		{id: "surface", run: func() (experiment.Report, error) {
-			return experiment.SparkSurface([]int{1, 2, 4}, sparkExecs)
-		}},
-		{id: "fixedsize-mr", run: func() (experiment.Report, error) {
-			return experiment.FixedSizeMR(16*cluster.BlockBytes, []int{1, 2, 4, 8, 16, 32, 64})
-		}},
-		{id: "ablation-contention", run: func() (experiment.Report, error) {
-			return experiment.AblationContention([]float64{100, 200}, 20, 10, gridF(1, 96))
-		}},
-		{id: "realnet", run: func() (experiment.Report, error) {
-			counts := []int{1, 2, 4, 8}
-			if *quick {
-				counts = []int{1, 2}
-			}
-			return experiment.RealNet(counts, 20000, 16)
-		}},
+	ctx = runner.WithWorkers(ctx, *parallel)
+
+	var onProgress func(experiment.Progress)
+	if *progress {
+		onProgress = func(p experiment.Progress) {
+			fmt.Fprintf(errw, "done %-20s %5d points  %7.1f ms\n",
+				p.ID, p.Points, float64(p.Elapsed)/float64(time.Millisecond))
+		}
 	}
 
-	ran := 0
-	for _, j := range jobs {
-		if !want(j.id) {
-			continue
-		}
-		rep, err := j.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", j.id, err)
-		}
+	start := time.Now()
+	reports, err := reg.RunAll(ctx, ids, experiment.DefaultConfig(*quick), onProgress)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
 		if *csv {
 			if err := rep.WriteCSV(out); err != nil {
 				return err
@@ -135,19 +102,10 @@ func run(args []string, out io.Writer) error {
 		} else if err := rep.WriteText(out); err != nil {
 			return err
 		}
-		ran++
 	}
-	if ran == 0 {
-		return fmt.Errorf("no experiments matched -only=%q", *only)
+	if *progress {
+		fmt.Fprintf(errw, "ran %d experiments in %.1f ms with %d workers\n",
+			len(reports), float64(time.Since(start))/float64(time.Millisecond), runner.Workers(ctx))
 	}
 	return nil
-}
-
-// gridF builds a doubling+tail grid of float64 scale-out degrees.
-func gridF(lo, hi float64) []float64 {
-	var out []float64
-	for n := lo; n < hi; n *= 2 {
-		out = append(out, n)
-	}
-	return append(out, hi)
 }

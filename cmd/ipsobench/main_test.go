@@ -1,43 +1,62 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"io"
 	"strings"
 	"testing"
+	"time"
+
+	"ipso/internal/experiment"
 )
+
+func runArgs(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(context.Background(), args, &sb, io.Discard)
+	return sb.String(), err
+}
 
 func TestRunSubsetQuick(t *testing.T) {
 	// A cheap end-to-end pass through the harness plumbing.
-	var sb strings.Builder
-	if err := run([]string{"-quick", "-only", "fig2,fig3"}, &sb); err != nil {
+	out, err := runArgs(t, "-quick", "-only", "fig2,fig3")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "== fig2:") || !strings.Contains(sb.String(), "== fig3:") {
-		t.Errorf("missing report headers:\n%s", sb.String()[:200])
+	if !strings.Contains(out, "== fig2:") || !strings.Contains(out, "== fig3:") {
+		t.Errorf("missing report headers:\n%s", out[:200])
 	}
 }
 
 func TestRunCSVMode(t *testing.T) {
-	var sb strings.Builder
-	if err := run([]string{"-quick", "-csv", "-only", "fig2"}, &sb); err != nil {
+	out, err := runArgs(t, "-quick", "-csv", "-only", "fig2")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "series,") {
+	if !strings.Contains(out, "series,") {
 		t.Error("CSV mode should emit series blocks")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	var sb strings.Builder
-	if err := run([]string{"-only", "nope"}, &sb); err == nil {
-		t.Error("unknown experiment id should error")
+	_, err := runArgs(t, "-only", "nope")
+	if err == nil {
+		t.Fatal("unknown experiment id should error")
+	}
+	// The error must name the bad ID and list the valid ones.
+	for _, want := range []string{"nope", "fig2", "realnet"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
 	}
 }
 
 func TestRunEverythingQuick(t *testing.T) {
 	// The complete evaluation section end to end on reduced grids: every
 	// experiment must produce a report without error.
-	var sb strings.Builder
-	if err := run([]string{"-quick"}, &sb); err != nil {
+	out, err := runArgs(t, "-quick")
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{
@@ -46,20 +65,97 @@ func TestRunEverythingQuick(t *testing.T) {
 		"ablation-memory", "ablation-statistic", "ablation-contention",
 		"futurework", "surface", "fixedsize-mr", "realnet",
 	} {
-		if !strings.Contains(sb.String(), "== "+id+":") {
+		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("full run missing experiment %s", id)
 		}
 	}
 }
 
-func TestGridF(t *testing.T) {
-	g := gridF(1, 200)
-	if g[0] != 1 || g[len(g)-1] != 200 {
-		t.Errorf("grid %v should span [1, 200]", g)
-	}
-	for i := 1; i < len(g); i++ {
-		if g[i] <= g[i-1] {
-			t.Errorf("grid not increasing: %v", g)
+// TestParallelOutputByteIdentical is the reproducibility contract of the
+// execution engine: the quick evaluation must print byte-for-byte the
+// same text and CSV whatever the worker-pool width. realnet is excluded
+// — it is the one experiment reporting genuine machine-dependent
+// wall-clock measurements (Experiment.Measured).
+func TestParallelOutputByteIdentical(t *testing.T) {
+	reg := experiment.DefaultRegistry()
+	var ids []string
+	for _, id := range reg.IDs() {
+		if e, _ := reg.Lookup(id); !e.Measured {
+			ids = append(ids, id)
 		}
+	}
+	only := strings.Join(ids, ",")
+	for _, mode := range []string{"-csv", ""} {
+		args := []string{"-quick", "-only", only, "-parallel"}
+		if mode != "" {
+			args = append([]string{mode}, args...)
+		}
+		serial, err := runArgs(t, append(args, "1")...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := runArgs(t, append(args, "8")...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != wide {
+			t.Errorf("mode %q: -parallel 1 and -parallel 8 outputs differ", mode)
+			for i := 0; i < len(serial) && i < len(wide); i++ {
+				if serial[i] != wide[i] {
+					lo := i - 60
+					if lo < 0 {
+						lo = 0
+					}
+					t.Fatalf("first difference at byte %d:\nserial: %q\nwide:   %q", i, serial[i:lo+120], wide[i:lo+120])
+				}
+			}
+		}
+	}
+}
+
+func TestRunCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := run(ctx, []string{"-parallel", "4"}, io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	err := run(context.Background(), []string{"-timeout", "1ms"}, io.Discard, io.Discard)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunProgressAndList(t *testing.T) {
+	var out, errb strings.Builder
+	if err := run(context.Background(), []string{"-quick", "-only", "fig2", "-progress"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "done fig2") || !strings.Contains(errb.String(), "ran 1 experiments") {
+		t.Errorf("progress output unexpected:\n%s", errb.String())
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	reg := experiment.DefaultRegistry()
+	for _, id := range reg.IDs() {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+	if n := strings.Count(out.String(), "\n"); n != len(reg.IDs()) {
+		t.Errorf("-list printed %d lines, want %d", n, len(reg.IDs()))
 	}
 }

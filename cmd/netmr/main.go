@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -112,7 +113,7 @@ func runMaster(out io.Writer, addr, job string, lines, shards, workers int, seed
 	if err != nil {
 		return err
 	}
-	result, stats, err := master.Run(job, input, shards)
+	result, stats, err := master.Run(context.Background(), job, input, shards)
 	if err != nil {
 		return err
 	}

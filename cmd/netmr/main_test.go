@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -120,7 +121,7 @@ func TestMasterEndToEndWithInProcessWorker(t *testing.T) {
 	}
 
 	for _, job := range []string{"wordcount", "wordlen"} {
-		res, stats, err := master.Run(job, []string{"alpha beta", "gamma alpha"}, 2)
+		res, stats, err := master.Run(context.Background(), job, []string{"alpha beta", "gamma alpha"}, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", job, err)
 		}

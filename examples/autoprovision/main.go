@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	// parse its logs.
 	probe := experiment.MRProbe(app)
 
-	plan, err := ipso.AutoProvision(probe, ipso.AutoProvisionOptions{
+	plan, err := ipso.AutoProvision(context.Background(), probe, ipso.AutoProvisionOptions{
 		Online:           ipso.OnlineOptions{SerialPrecision: 0.01},
 		PricePerNodeHour: 0.40,
 		MaxN:             256,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	// merge with the 2 GB memory/spill model) plus the paper's sequential
 	// reference execution.
 	grid := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 200}
-	sweep, err := experiment.RunMRSweep(workload.NewTeraSort(), grid)
+	sweep, err := experiment.RunMRSweep(context.Background(), workload.NewTeraSort(), grid)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -72,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	counts, stats, err := master.Run("wordcount", lines, 16)
+	counts, stats, err := master.Run(context.Background(), "wordcount", lines, 16)
 	if err != nil {
 		log.Fatal(err)
 	}

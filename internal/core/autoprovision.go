@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -8,8 +9,9 @@ import (
 // ProbeFunc measures one scale-out degree on the real (or simulated)
 // system: it runs the workload at degree n and returns the phase
 // workloads. It is how the measurement-based provisioning algorithm
-// talks to the world.
-type ProbeFunc func(n int) (Observation, error)
+// talks to the world. The context bounds one probe; implementations
+// running real workloads should honor its cancellation.
+type ProbeFunc func(ctx context.Context, n int) (Observation, error)
 
 // AutoProvisionOptions configures the measurement-based provisioning
 // algorithm.
@@ -60,8 +62,9 @@ type Plan struct {
 // algorithm: probe the system at geometrically spaced small degrees until
 // δ and γ are estimated with confidence, fit the IPSO model, and return
 // the speedup-versus-cost-optimal operating point — without ever running
-// the workload at large n.
-func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
+// the workload at large n. The context cancels the probing loop between
+// (and, for cooperative probes, during) measurements.
+func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
 	if probe == nil {
 		return Plan{}, errors.New("core: nil probe function")
 	}
@@ -76,11 +79,14 @@ func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
 
 	plan := Plan{}
 	for {
+		if err := ctx.Err(); err != nil {
+			return Plan{}, err
+		}
 		n := est.NextProbe()
 		if n > opts.MaxProbeN {
 			break
 		}
-		obs, err := probe(n)
+		obs, err := probe(ctx, n)
 		if err != nil {
 			return Plan{}, fmt.Errorf("core: probe at n=%d: %w", n, err)
 		}
@@ -92,7 +98,7 @@ func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
 		}
 		plan.Probed = append(plan.Probed, n)
 		if len(plan.Probed) >= opts.Online.withDefaults().MinPoints {
-			converged, err := est.Converged()
+			converged, err := est.Converged(ctx)
 			if err != nil {
 				return Plan{}, err
 			}

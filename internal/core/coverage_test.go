@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -123,7 +124,7 @@ func TestOnlineConvergedEarlyExit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Below MinPoints: not converged, no error.
-	converged, err := e.Converged()
+	converged, err := e.Converged(context.Background())
 	if err != nil || converged {
 		t.Errorf("empty estimator converged=%v err=%v", converged, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -134,7 +135,7 @@ func (e *OnlineEstimator) Estimates() (Estimates, error) {
 
 // DeltaCI returns the bootstrap interval for δ (the ε(n) ≈ α·n^δ
 // exponent).
-func (e *OnlineEstimator) DeltaCI() (stats.BootstrapCI, error) {
+func (e *OnlineEstimator) DeltaCI(ctx context.Context) (stats.BootstrapCI, error) {
 	est, err := e.Estimates()
 	if err != nil {
 		return stats.BootstrapCI{}, err
@@ -162,7 +163,7 @@ func (e *OnlineEstimator) DeltaCI() (stats.BootstrapCI, error) {
 		}
 		eps[i] = ex / in
 	}
-	_, expCI, err := stats.BootstrapPowerLaw(m.N, eps, e.opts.BootstrapReps, e.opts.Level, e.opts.Seed)
+	_, expCI, err := stats.BootstrapPowerLaw(ctx, m.N, eps, e.opts.BootstrapReps, e.opts.Level, e.opts.Seed)
 	if err != nil {
 		return stats.BootstrapCI{}, err
 	}
@@ -193,12 +194,12 @@ func (e *OnlineEstimator) qSeries() (ns, qs []float64) {
 // exponent) and hasOverhead=false when the scale-out-induced workload is
 // undetectable at the probed degrees (γ is then 0 by the paper's
 // convention).
-func (e *OnlineEstimator) GammaCI() (ci stats.BootstrapCI, hasOverhead bool, err error) {
+func (e *OnlineEstimator) GammaCI(ctx context.Context) (ci stats.BootstrapCI, hasOverhead bool, err error) {
 	ns, qs := e.qSeries()
 	if len(qs) < 3 || qs[len(qs)-1] < qDetectable {
 		return stats.BootstrapCI{}, false, nil
 	}
-	_, expCI, err := stats.BootstrapPowerLaw(ns, qs, e.opts.BootstrapReps, e.opts.Level, e.opts.Seed)
+	_, expCI, err := stats.BootstrapPowerLaw(ctx, ns, qs, e.opts.BootstrapReps, e.opts.Level, e.opts.Seed)
 	if err != nil {
 		return stats.BootstrapCI{}, true, err
 	}
@@ -207,18 +208,18 @@ func (e *OnlineEstimator) GammaCI() (ci stats.BootstrapCI, hasOverhead bool, err
 
 // Converged reports whether δ (and γ, when overhead is present) are
 // estimated to within the configured tolerances.
-func (e *OnlineEstimator) Converged() (bool, error) {
+func (e *OnlineEstimator) Converged(ctx context.Context) (bool, error) {
 	if len(e.obs) < e.opts.MinPoints {
 		return false, nil
 	}
-	dci, err := e.DeltaCI()
+	dci, err := e.DeltaCI(ctx)
 	if err != nil {
 		return false, err
 	}
 	if dci.Width() > e.opts.DeltaTol {
 		return false, nil
 	}
-	gci, hasOverhead, err := e.GammaCI()
+	gci, hasOverhead, err := e.GammaCI(ctx)
 	if err != nil {
 		return false, err
 	}

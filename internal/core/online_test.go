@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func synthProbe(truth Model, tp1, ts1, noise float64, seed int64) ProbeFunc {
 		}
 		return 1 + noise*(2*rng.Float64()-1)
 	}
-	return func(n int) (Observation, error) {
+	return func(_ context.Context, n int) (Observation, error) {
 		fn := float64(n)
 		wp := tp1 * truth.EX(fn) * jitter()
 		ws := ts1 * truth.IN(fn) * jitter()
@@ -86,7 +87,7 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 	}
 	converged := false
 	for probes := 0; probes < 8; probes++ {
-		obs, err := probe(e.NextProbe())
+		obs, err := probe(context.Background(), e.NextProbe())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 			t.Fatal(err)
 		}
 		if e.Count() >= 4 {
-			c, err := e.Converged()
+			c, err := e.Converged(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +108,7 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 	if !converged {
 		t.Fatal("estimator did not converge within 8 probes")
 	}
-	dci, err := e.DeltaCI()
+	dci, err := e.DeltaCI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestGammaCIDetectsQuadraticOverhead(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range []int{1, 2, 4, 8, 16, 32} {
-		obs, err := probe(n)
+		obs, err := probe(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestGammaCIDetectsQuadraticOverhead(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	gci, hasOverhead, err := e.GammaCI()
+	gci, hasOverhead, err := e.GammaCI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestAutoProvisionEndToEnd(t *testing.T) {
 	// pick an operating point at or below it — by probing only n ≤ 64.
 	truth := Model{Eta: 1, EX: Constant(1), IN: Constant(0), Q: PowerFactor(3.7e-4, 2)}
 	probe := synthProbe(truth, 1602.5, 0, 0, 1)
-	plan, err := AutoProvision(probe, AutoProvisionOptions{
+	plan, err := AutoProvision(context.Background(), probe, AutoProvisionOptions{
 		Online:           OnlineOptions{SerialPrecision: 0.01},
 		PricePerNodeHour: 0.4,
 		MaxN:             150,
@@ -192,21 +193,21 @@ func TestAutoProvisionEndToEnd(t *testing.T) {
 }
 
 func TestAutoProvisionValidation(t *testing.T) {
-	if _, err := AutoProvision(nil, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
+	if _, err := AutoProvision(context.Background(), nil, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
 		t.Error("nil probe should error")
 	}
-	probe := func(n int) (Observation, error) { return Observation{N: float64(n), Wp: 1}, nil }
-	if _, err := AutoProvision(probe, AutoProvisionOptions{}); err == nil {
+	probe := func(_ context.Context, n int) (Observation, error) { return Observation{N: float64(n), Wp: 1}, nil }
+	if _, err := AutoProvision(context.Background(), probe, AutoProvisionOptions{}); err == nil {
 		t.Error("missing price should error")
 	}
-	if _, err := AutoProvision(probe, AutoProvisionOptions{PricePerNodeHour: 1, MaxProbeN: -1}); err == nil {
+	if _, err := AutoProvision(context.Background(), probe, AutoProvisionOptions{PricePerNodeHour: 1, MaxProbeN: -1}); err == nil {
 		t.Error("unusable probe budget should error")
 	}
 }
 
 func TestAutoProvisionPropagatesProbeErrors(t *testing.T) {
-	boom := func(int) (Observation, error) { return Observation{}, errTest }
-	if _, err := AutoProvision(boom, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
+	boom := func(context.Context, int) (Observation, error) { return Observation{}, errTest }
+	if _, err := AutoProvision(context.Background(), boom, AutoProvisionOptions{PricePerNodeHour: 1}); err == nil {
 		t.Error("probe error should propagate")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -69,7 +70,7 @@ func (s StatisticModel) ExpectedMaxTask(n float64) (float64, error) {
 	em, err := stats.ExpectedMax(scaled, k)
 	if err != nil {
 		// Fall back to Monte Carlo for validation-free distributions.
-		return stats.ExpectedMaxMC(scaled, k, s.mcReps(), s.seed())
+		return stats.ExpectedMaxMC(context.Background(), scaled, k, s.mcReps(), s.seed())
 	}
 	return em, nil
 }

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/cluster"
 	"ipso/internal/mapreduce"
+	"ipso/internal/runner"
 	"ipso/internal/spark"
 	"ipso/internal/stats"
 	"ipso/internal/workload"
@@ -14,27 +16,34 @@ import (
 // mechanism behind the CF case's γ = 2 pathology) with an idealized
 // parallel broadcast: with the same workload, the parallel broadcast
 // removes the peak-and-fall behavior.
-func AblationBroadcast(ns []int) (Report, error) {
+func AblationBroadcast(ctx context.Context, ns []int) (Report, error) {
 	rep := Report{ID: "ablation-broadcast", Title: "CF speedup: serialized vs idealized parallel broadcast"}
 	cf := workload.NewCollaborativeFiltering()
-	for _, mode := range []cluster.BroadcastMode{cluster.BroadcastSerial, cluster.BroadcastParallel} {
+	modes := []cluster.BroadcastMode{cluster.BroadcastSerial, cluster.BroadcastParallel}
+	ys, err := runner.Map(ctx, len(modes)*len(ns), func(_ context.Context, i int) (float64, error) {
+		mode := modes[i/len(ns)]
+		n := ns[i%len(ns)]
+		cfg := workload.CFConfig(cf, n)
+		cfg.Cluster.Broadcast = mode
+		s, _, _, err := spark.Speedup(cfg)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: CF broadcast mode %d n=%d: %w", mode, n, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	xs := make([]float64, len(ns))
+	for j, n := range ns {
+		xs[j] = float64(n)
+	}
+	for m, mode := range modes {
 		name := "serial"
 		if mode == cluster.BroadcastParallel {
 			name = "parallel"
 		}
-		xs := make([]float64, 0, len(ns))
-		ys := make([]float64, 0, len(ns))
-		for _, n := range ns {
-			cfg := workload.CFConfig(cf, n)
-			cfg.Cluster.Broadcast = mode
-			s, _, _, err := spark.Speedup(cfg)
-			if err != nil {
-				return Report{}, fmt.Errorf("experiment: CF %s broadcast n=%d: %w", name, n, err)
-			}
-			xs = append(xs, float64(n))
-			ys = append(ys, s)
-		}
-		rep.Series = append(rep.Series, Series{Name: "cf/broadcast-" + name, X: xs, Y: ys})
+		rep.Series = append(rep.Series, Series{Name: "cf/broadcast-" + name, X: xs, Y: ys[m*len(ns) : (m+1)*len(ns)]})
 	}
 	return rep, nil
 }
@@ -42,7 +51,7 @@ func AblationBroadcast(ns []int) (Report, error) {
 // AblationReducerMemory sweeps the reducer memory bound and reports where
 // TeraSort's IN(n) step lands: the overflow point moves with the memory
 // size (memory/blockSize), demonstrating the Fig. 5 mechanism.
-func AblationReducerMemory(ns []int, memories []float64) (Report, error) {
+func AblationReducerMemory(ctx context.Context, ns []int, memories []float64) (Report, error) {
 	rep := Report{ID: "ablation-memory", Title: "TeraSort IN(n) step location vs reducer memory"}
 	tbl := Table{
 		Title:   "detected IN(n) breakpoints",
@@ -53,21 +62,27 @@ func AblationReducerMemory(ns []int, memories []float64) (Report, error) {
 		if mem <= 0 {
 			return Report{}, fmt.Errorf("experiment: invalid memory %g", mem)
 		}
-		var xs, in []float64
-		var wsSeries []float64
-		for _, n := range ns {
-			cfg := MRConfig(app, n)
-			cfg.ReducerMemoryBytes = mem
-			par, err := mapreduce.RunParallel(cfg)
-			if err != nil {
-				return Report{}, err
-			}
-			_, ws, _, _ := PhasesFromLog(par.Log)
-			xs = append(xs, float64(n))
-			wsSeries = append(wsSeries, ws)
+	}
+	allWs, err := runner.Map(ctx, len(memories)*len(ns), func(_ context.Context, i int) (float64, error) {
+		cfg := MRConfig(app, ns[i%len(ns)])
+		cfg.ReducerMemoryBytes = memories[i/len(ns)]
+		par, err := mapreduce.RunParallel(cfg)
+		if err != nil {
+			return 0, err
 		}
-		var err error
-		in, err = normalizeToFirstUnit(xs, wsSeries)
+		_, ws, _, _ := PhasesFromLog(par.Log)
+		return ws, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	for mi, mem := range memories {
+		xs := make([]float64, len(ns))
+		for j, n := range ns {
+			xs[j] = float64(n)
+		}
+		wsSeries := allWs[mi*len(ns) : (mi+1)*len(ns)]
+		in, err := normalizeToFirstUnit(xs, wsSeries)
 		if err != nil {
 			return Report{}, err
 		}
@@ -94,7 +109,16 @@ func AblationReducerMemory(ns []int, memories []float64) (Report, error) {
 // afflicted executions: multiplicative task-time jitter (mean 1) lowers
 // the measured speedup through E[max{Tp,i(n)}] — the effect the statistic
 // IPSO model (Eq. 8) captures and the deterministic one ignores.
-func AblationStatistic(ns []int) (Report, error) {
+// statisticReps is how many independent straggler draws each stochastic
+// point averages — the paper's "average results of multiple experimental
+// runs". A single draw is too noisy: sequential-sum luck can outweigh
+// the E[max] inflation when serial work dominates the makespan.
+const statisticReps = 16
+
+// Each (jitter, n, replicate) run draws its RNG seed from the root seed
+// and its grid position, so the curves are identical however the points
+// are scheduled across workers.
+func AblationStatistic(ctx context.Context, ns []int, rootSeed int64) (Report, error) {
 	rep := Report{ID: "ablation-statistic", Title: "Sort speedup: deterministic vs straggler task times"}
 	app := workload.NewSort()
 	jitters := []struct {
@@ -109,21 +133,35 @@ func AblationStatistic(ns []int) (Report, error) {
 			Factor: 1 / stats.TruncatedPareto{Xm: 1, Alpha: 2.2, Cap: 4}.Mean(),
 		}},
 	}
-	for _, j := range jitters {
-		xs := make([]float64, 0, len(ns))
-		ys := make([]float64, 0, len(ns))
-		for _, n := range ns {
+	ys, err := runner.Map(ctx, len(jitters)*len(ns), func(_ context.Context, i int) (float64, error) {
+		j := jitters[i/len(ns)]
+		n := ns[i%len(ns)]
+		reps := statisticReps
+		if j.dist == nil {
+			reps = 1 // no randomness to average over
+		}
+		total := 0.0
+		for r := 0; r < reps; r++ {
 			cfg := MRConfig(app, n)
 			cfg.Jitter = j.dist
-			cfg.Seed = 7
+			cfg.Seed = runner.TaskSeed(rootSeed, i*statisticReps+r)
 			s, _, _, err := mapreduce.Speedup(cfg)
 			if err != nil {
-				return Report{}, fmt.Errorf("experiment: sort %s n=%d: %w", j.name, n, err)
+				return 0, fmt.Errorf("experiment: sort %s n=%d: %w", j.name, n, err)
 			}
-			xs = append(xs, float64(n))
-			ys = append(ys, s)
+			total += s
 		}
-		rep.Series = append(rep.Series, Series{Name: "sort/" + j.name, X: xs, Y: ys})
+		return total / float64(reps), nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	xs := make([]float64, len(ns))
+	for j, n := range ns {
+		xs[j] = float64(n)
+	}
+	for ji, j := range jitters {
+		rep.Series = append(rep.Series, Series{Name: "sort/" + j.name, X: xs, Y: ys[ji*len(ns) : (ji+1)*len(ns)]})
 	}
 	return rep, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestAblationBroadcast(t *testing.T) {
 	ns := []int{10, 30, 60, 90, 120}
-	rep, err := AblationBroadcast(ns)
+	rep, err := AblationBroadcast(context.Background(), ns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestAblationBroadcast(t *testing.T) {
 
 func TestAblationReducerMemory(t *testing.T) {
 	ns := []int{1, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48}
-	rep, err := AblationReducerMemory(ns, []float64{1 << 30, 2 << 30, 4 << 30})
+	rep, err := AblationReducerMemory(context.Background(), ns, []float64{1 << 30, 2 << 30, 4 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func TestAblationReducerMemory(t *testing.T) {
 			t.Errorf("break %d at n=%g, want near %g", i, breaks[i], want)
 		}
 	}
-	if _, err := AblationReducerMemory(ns, []float64{-1}); err == nil {
+	if _, err := AblationReducerMemory(context.Background(), ns, []float64{-1}); err == nil {
 		t.Error("invalid memory should error")
 	}
 }
 
 func TestAblationStatistic(t *testing.T) {
 	ns := []int{1, 4, 16, 64}
-	rep, err := AblationStatistic(ns)
+	rep, err := AblationStatistic(context.Background(), ns, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestAblationStatistic(t *testing.T) {
 func TestFigureTaxonomyReports(t *testing.T) {
 	ns := []float64{1, 2, 4, 8, 16, 32, 64, 128}
 	for _, w := range []core.WorkloadType{core.FixedTime, core.FixedSize} {
-		rep, err := FigureTaxonomy(w, ns)
+		rep, err := FigureTaxonomy(context.Background(), w, ns)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestFigureTaxonomyReports(t *testing.T) {
 			t.Errorf("%v: peaked=%d bounded=%d, want 1 and 2", w, peaked, bounded)
 		}
 	}
-	if _, err := FigureTaxonomy(core.WorkloadType(0), ns); err == nil {
+	if _, err := FigureTaxonomy(context.Background(), core.WorkloadType(0), ns); err == nil {
 		t.Error("unknown workload type should error")
 	}
 }

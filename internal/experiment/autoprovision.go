@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
@@ -12,7 +13,10 @@ import (
 // of the measurement-based provisioning algorithm: probing degree n runs
 // one parallel execution and extracts the phase workloads from its trace.
 func MRProbe(app mapreduce.AppModel) core.ProbeFunc {
-	return func(n int) (core.Observation, error) {
+	return func(ctx context.Context, n int) (core.Observation, error) {
+		if err := ctx.Err(); err != nil {
+			return core.Observation{}, err
+		}
 		par, err := mapreduce.RunParallel(MRConfig(app, n))
 		if err != nil {
 			return core.Observation{}, err
@@ -27,7 +31,7 @@ func MRProbe(app mapreduce.AppModel) core.ProbeFunc {
 // until δ and γ converge, fit the model, pick the best speedup-per-dollar
 // operating point, and validate the extrapolated speedup against a real
 // (simulated) run at a degree far beyond the probes.
-func FutureWork(pricePerNodeHour float64, validateN int) (Report, error) {
+func FutureWork(ctx context.Context, pricePerNodeHour float64, validateN int) (Report, error) {
 	if pricePerNodeHour <= 0 || validateN < 2 {
 		return Report{}, fmt.Errorf("experiment: invalid future-work parameters (price=%g, validateN=%d)", pricePerNodeHour, validateN)
 	}
@@ -37,7 +41,7 @@ func FutureWork(pricePerNodeHour float64, validateN int) (Report, error) {
 		Headers: []string{"app", "probes", "converged", "δ", "best n", "best S", "$", "predicted S@val", "simulated S@val", "rel err"},
 	}
 	for _, app := range mrCaseApps() {
-		plan, err := core.AutoProvision(MRProbe(app), core.AutoProvisionOptions{
+		plan, err := core.AutoProvision(ctx, MRProbe(app), core.AutoProvisionOptions{
 			Online:           core.OnlineOptions{SerialPrecision: 0.01},
 			PricePerNodeHour: pricePerNodeHour,
 			MaxN:             256,
@@ -77,8 +81,8 @@ func FutureWork(pricePerNodeHour float64, validateN int) (Report, error) {
 // CFProbe adapts the simulated Collaborative Filtering application.
 func CFProbe() core.ProbeFunc {
 	cf := workload.NewCollaborativeFiltering()
-	points := func(n int) (core.Observation, error) {
-		res, err := runCFPoint(cf, n)
+	points := func(ctx context.Context, n int) (core.Observation, error) {
+		res, err := runCFPoint(ctx, cf, n)
 		if err != nil {
 			return core.Observation{}, err
 		}
@@ -87,8 +91,8 @@ func CFProbe() core.ProbeFunc {
 	return points
 }
 
-func runCFPoint(cf *workload.CollaborativeFiltering, n int) (core.Observation, error) {
-	pts, err := RunCFSweep([]int{n})
+func runCFPoint(ctx context.Context, cf *workload.CollaborativeFiltering, n int) (core.Observation, error) {
+	pts, err := RunCFSweep(ctx, []int{n})
 	if err != nil {
 		return core.Observation{}, err
 	}

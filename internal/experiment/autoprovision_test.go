@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"ipso/internal/core"
@@ -9,7 +10,7 @@ import (
 
 func TestMRProbeMatchesSweep(t *testing.T) {
 	probe := MRProbe(workload.NewSort())
-	obs, err := probe(8)
+	obs, err := probe(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestMRProbeMatchesSweep(t *testing.T) {
 }
 
 func TestFutureWorkPipeline(t *testing.T) {
-	rep, err := FutureWork(0.4, 128)
+	rep, err := FutureWork(context.Background(), 0.4, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +48,10 @@ func TestFutureWorkPipeline(t *testing.T) {
 			t.Errorf("%s: no probes recorded", app)
 		}
 	}
-	if _, err := FutureWork(0, 128); err == nil {
+	if _, err := FutureWork(context.Background(), 0, 128); err == nil {
 		t.Error("invalid price should error")
 	}
-	if _, err := FutureWork(1, 1); err == nil {
+	if _, err := FutureWork(context.Background(), 1, 1); err == nil {
 		t.Error("invalid validation degree should error")
 	}
 }
@@ -62,7 +63,7 @@ func TestCFProbeObservations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
-		obs, err := probe(n)
+		obs, err := probe(context.Background(), n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func TestCFProbeObservations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	gci, hasOverhead, err := est.GammaCI()
+	gci, hasOverhead, err := est.GammaCI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
+	"ipso/internal/runner"
 	"ipso/internal/spark"
 	"ipso/internal/stats"
 	"ipso/internal/trace"
@@ -47,35 +49,35 @@ func cfExtract(res spark.Result) (maxTask, wo float64) {
 }
 
 // RunCFSweep simulates Collaborative Filtering across the grid and
-// measures the Table I columns plus the speedup.
-func RunCFSweep(ns []int) ([]CFPoint, error) {
+// measures the Table I columns plus the speedup. Grid points are
+// independent and run on the context's worker pool in grid order.
+func RunCFSweep(ctx context.Context, ns []int) ([]CFPoint, error) {
 	cf := workload.NewCollaborativeFiltering()
-	out := make([]CFPoint, 0, len(ns))
-	for _, n := range ns {
+	return runner.Map(ctx, len(ns), func(_ context.Context, i int) (CFPoint, error) {
+		n := ns[i]
 		if n < 1 {
-			return nil, fmt.Errorf("experiment: invalid n=%d", n)
+			return CFPoint{}, fmt.Errorf("experiment: invalid n=%d", n)
 		}
 		cfg := workload.CFConfig(cf, n)
 		s, par, _, err := spark.Speedup(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: CF at n=%d: %w", n, err)
+			return CFPoint{}, fmt.Errorf("experiment: CF at n=%d: %w", n, err)
 		}
 		maxTask, wo := cfExtract(par)
-		out = append(out, CFPoint{N: n, MaxTask: maxTask, Wo: wo, Speedup: s})
-	}
-	return out, nil
+		return CFPoint{N: n, MaxTask: maxTask, Wo: wo, Speedup: s}, nil
+	})
 }
 
 // TableI regenerates Table I: the simulated measurements side by side
 // with the paper's published values.
-func TableI() (Report, error) {
+func TableI(ctx context.Context) (Report, error) {
 	rep := Report{ID: "table1", Title: "Measured external and scale-out-induced workloads for Collaborative Filtering"}
 	paper := workload.PaperTableI()
 	ns := make([]int, len(paper))
 	for i, row := range paper {
 		ns[i] = row.N
 	}
-	sim, err := RunCFSweep(ns)
+	sim, err := RunCFSweep(ctx, ns)
 	if err != nil {
 		return Report{}, err
 	}
@@ -142,7 +144,10 @@ func AnalyzeCF(points []CFPoint) (CFAnalysis, error) {
 // speedup (Eq. 18 on the matched curves), and Amdahl's prediction, which
 // for η = 1 is S(n) = n. A companion table reports the fitted parameters
 // and the peak.
-func Figure8(ns []float64) (Report, error) {
+func Figure8(ctx context.Context, ns []float64) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig8", Title: "Collaborative Filtering: measured and IPSO speedups vs Amdahl's law"}
 
 	// Published measurements → analysis (γ = 2 per the paper). The

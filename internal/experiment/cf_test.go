@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestRunCFSweepMatchesTableI(t *testing.T) {
 	for i, row := range paper {
 		ns[i] = row.N
 	}
-	sim, err := RunCFSweep(ns)
+	sim, err := RunCFSweep(context.Background(), ns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestRunCFSweepMatchesTableI(t *testing.T) {
 			t.Errorf("n=%d: simulated Wo %.1f vs paper %.1f (rel %.2f)", row.N, sim[i].Wo, row.Wo, rel)
 		}
 	}
-	if _, err := RunCFSweep([]int{0}); err == nil {
+	if _, err := RunCFSweep(context.Background(), []int{0}); err == nil {
 		t.Error("invalid n should error")
 	}
 }
@@ -51,7 +52,7 @@ func TestAnalyzeCFRecoversGammaTwo(t *testing.T) {
 }
 
 func TestTableIReport(t *testing.T) {
-	rep, err := TableI()
+	rep, err := TableI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestTableIReport(t *testing.T) {
 
 func TestFigure8ReproducesPaper(t *testing.T) {
 	ns := []float64{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 120, 150}
-	rep, err := Figure8(ns)
+	rep, err := Figure8(context.Background(), ns)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
@@ -14,7 +15,10 @@ import (
 // is modeled as an M/M/1 queue; the resulting contention q(n) is plugged
 // into the IPSO speedup, which peaks and collapses as the service
 // saturates — without any explicit serial portion in the workload.
-func AblationContention(serviceRates []float64, requestsPerTask, taskSeconds float64, ns []float64) (Report, error) {
+func AblationContention(ctx context.Context, serviceRates []float64, requestsPerTask, taskSeconds float64, ns []float64) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	if len(serviceRates) == 0 || len(ns) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty contention grids")
 	}

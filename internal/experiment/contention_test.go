@@ -1,6 +1,9 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestAblationContention(t *testing.T) {
 	ns := make([]float64, 0, 99)
@@ -8,7 +11,7 @@ func TestAblationContention(t *testing.T) {
 		ns = append(ns, n)
 	}
 	// Two service capacities: saturation at n = 50 and n = 100.
-	rep, err := AblationContention([]float64{100, 200}, 20, 10, ns)
+	rep, err := AblationContention(context.Background(), []float64{100, 200}, 20, 10, ns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,17 +46,17 @@ func TestAblationContention(t *testing.T) {
 }
 
 func TestAblationContentionValidation(t *testing.T) {
-	if _, err := AblationContention(nil, 1, 1, []float64{1}); err == nil {
+	if _, err := AblationContention(context.Background(), nil, 1, 1, []float64{1}); err == nil {
 		t.Error("empty rates should error")
 	}
-	if _, err := AblationContention([]float64{10}, 1, 1, nil); err == nil {
+	if _, err := AblationContention(context.Background(), []float64{10}, 1, 1, nil); err == nil {
 		t.Error("empty grid should error")
 	}
-	if _, err := AblationContention([]float64{-1}, 1, 1, []float64{1}); err == nil {
+	if _, err := AblationContention(context.Background(), []float64{-1}, 1, 1, []float64{1}); err == nil {
 		t.Error("invalid resource should error")
 	}
 	// Grid entirely past saturation: saturation at n = 0.5.
-	if _, err := AblationContention([]float64{1}, 20, 10, []float64{1, 2}); err == nil {
+	if _, err := AblationContention(context.Background(), []float64{1}, 20, 10, []float64{1, 2}); err == nil {
 		t.Error("all-saturated grid should error")
 	}
 }

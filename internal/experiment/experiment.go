@@ -13,8 +13,10 @@
 package experiment
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -59,19 +61,40 @@ func (r Report) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV renders all series as CSV blocks (one header line per series).
+// WriteCSV renders all series as CSV blocks (one header line per
+// series), quoting per RFC 4180 so series names containing commas or
+// quotes stay machine-parseable.
 func (r Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
 	for _, s := range r.Series {
-		if _, err := fmt.Fprintf(w, "series,%s\n", s.Name); err != nil {
+		if err := cw.Write([]string{"series", s.Name}); err != nil {
 			return err
 		}
 		for i := range s.X {
-			if _, err := fmt.Fprintf(w, "%g,%g\n", s.X[i], s.Y[i]); err != nil {
+			// FormatFloat 'g' with precision -1 matches %g exactly.
+			if err := cw.Write([]string{
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			}); err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
+}
+
+// Points counts the data the report carries: one per series sample plus
+// one per table row — the unit the -progress flag reports.
+func (r Report) Points() int {
+	n := 0
+	for _, s := range r.Series {
+		n += len(s.X)
+	}
+	for _, t := range r.Tables {
+		n += len(t.Rows)
+	}
+	return n
 }
 
 func (t Table) writeText(w io.Writer) error {

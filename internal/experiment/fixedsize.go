@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
 	"ipso/internal/mapreduce"
+	"ipso/internal/runner"
 )
 
 // FixedSizeMR runs the experiment the paper could not: the fixed-size
@@ -19,43 +21,61 @@ import (
 //
 // Expected shapes (Fig. 3): QMC — near-Is; WordCount/Sort/TeraSort —
 // IIIs (Amdahl-like, bounded by 1/(1−η) with the in-proportion ratio α).
-func FixedSizeMR(totalBytes float64, ns []int) (Report, error) {
+func FixedSizeMR(ctx context.Context, totalBytes float64, ns []int) (Report, error) {
 	if totalBytes <= 0 {
 		return Report{}, fmt.Errorf("experiment: total bytes %g must be positive", totalBytes)
 	}
 	if len(ns) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty grid")
 	}
+	type fsPoint struct {
+		speedup float64
+		eta     float64 // only set at n = 1
+	}
+	apps := mrCaseApps()
+	points, err := runner.Map(ctx, len(apps)*len(ns), func(_ context.Context, i int) (fsPoint, error) {
+		app := apps[i/len(ns)]
+		n := ns[i%len(ns)]
+		if n < 1 {
+			return fsPoint{}, fmt.Errorf("experiment: invalid n=%d", n)
+		}
+		cfg := MRConfig(app, n)
+		cfg.ShardBytes = totalBytes / float64(n)
+		s, par, _, err := mapreduce.Speedup(cfg)
+		if err != nil {
+			return fsPoint{}, fmt.Errorf("experiment: %s fixed-size n=%d: %w", app.Name(), n, err)
+		}
+		pt := fsPoint{speedup: s}
+		if n == 1 {
+			_, ws, _, maxTask := PhasesFromLog(par.Log)
+			if ws < 0.01 {
+				ws = 0
+			}
+			e, err := core.EtaFromPhases(maxTask, ws)
+			if err != nil {
+				return fsPoint{}, err
+			}
+			pt.eta = e
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fixedsize-mr", Title: "Beyond the paper: fixed-size MapReduce dimension (unmeasurable on EMR at 1 s precision)"}
 	tbl := Table{
 		Title:   "diagnoses (fixed-size workloads)",
 		Headers: []string{"app", "η", "family", "type", "S at max n", "Amdahl bound"},
 	}
-	for _, app := range mrCaseApps() {
-		var xs, ss []float64
+	for a, app := range apps {
+		xs := make([]float64, len(ns))
+		ss := make([]float64, len(ns))
 		var eta float64
-		for _, n := range ns {
-			if n < 1 {
-				return Report{}, fmt.Errorf("experiment: invalid n=%d", n)
-			}
-			cfg := MRConfig(app, n)
-			cfg.ShardBytes = totalBytes / float64(n)
-			s, par, _, err := mapreduce.Speedup(cfg)
-			if err != nil {
-				return Report{}, fmt.Errorf("experiment: %s fixed-size n=%d: %w", app.Name(), n, err)
-			}
-			xs = append(xs, float64(n))
-			ss = append(ss, s)
+		for j, n := range ns {
+			xs[j] = float64(n)
+			ss[j] = points[a*len(ns)+j].speedup
 			if n == 1 {
-				_, ws, _, maxTask := PhasesFromLog(par.Log)
-				if ws < 0.01 {
-					ws = 0
-				}
-				e, err := core.EtaFromPhases(maxTask, ws)
-				if err != nil {
-					return Report{}, err
-				}
-				eta = e
+				eta = points[a*len(ns)+j].eta
 			}
 		}
 		rep.Series = append(rep.Series, Series{Name: app.Name() + "/fixed-size", X: xs, Y: ss})

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestFixedSizeMRShapes(t *testing.T) {
 	// 16 blocks of fixed working set, split across up to 64 units.
 	total := 16.0 * cluster.BlockBytes
 	ns := []int{1, 2, 4, 8, 16, 32, 64}
-	rep, err := FixedSizeMR(total, ns)
+	rep, err := FixedSizeMR(context.Background(), total, ns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,13 +52,13 @@ func TestFixedSizeMRShapes(t *testing.T) {
 }
 
 func TestFixedSizeMRValidation(t *testing.T) {
-	if _, err := FixedSizeMR(0, []int{1, 2}); err == nil {
+	if _, err := FixedSizeMR(context.Background(), 0, []int{1, 2}); err == nil {
 		t.Error("zero total should error")
 	}
-	if _, err := FixedSizeMR(1e9, nil); err == nil {
+	if _, err := FixedSizeMR(context.Background(), 1e9, nil); err == nil {
 		t.Error("empty grid should error")
 	}
-	if _, err := FixedSizeMR(1e9, []int{0}); err == nil {
+	if _, err := FixedSizeMR(context.Background(), 1e9, []int{0}); err == nil {
 		t.Error("invalid n should error")
 	}
 }
@@ -65,11 +66,11 @@ func TestFixedSizeMRValidation(t *testing.T) {
 func TestExperimentsAreDeterministic(t *testing.T) {
 	// The whole pipeline is a pure function of its inputs: two runs of
 	// the same experiment must produce identical reports.
-	a, err := RunMRCaseStudies([]int{1, 2, 4, 8})
+	a, err := RunMRCaseStudies(context.Background(), []int{1, 2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunMRCaseStudies([]int{1, 2, 4, 8})
+	b, err := RunMRCaseStudies(context.Background(), []int{1, 2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 			t.Errorf("%s: sweeps differ across identical runs", a[i].App)
 		}
 	}
-	ra, err := Figure10(32, []int{2, 4, 8, 16})
+	ra, err := Figure10(context.Background(), 32, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Figure10(32, []int{2, 4, 8, 16})
+	rb, err := Figure10(context.Background(), 32, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}

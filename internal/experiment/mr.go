@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/cluster"
 	"ipso/internal/core"
 	"ipso/internal/mapreduce"
+	"ipso/internal/runner"
 	"ipso/internal/trace"
 	"ipso/internal/workload"
 )
@@ -70,39 +72,60 @@ func PhasesFromLog(log *trace.Log) (wp, ws, wo, maxTask float64) {
 	return wp, ws, wo, maxTask
 }
 
-// RunMRSweep measures one application across the scale-out grid.
-func RunMRSweep(app mapreduce.AppModel, ns []int) (MRSweep, error) {
+// mrPoint measures one (app, n) operating point — one independent
+// simulated parallel + sequential execution pair.
+func mrPoint(app mapreduce.AppModel, n int) (MRPoint, error) {
+	if n < 1 {
+		return MRPoint{}, fmt.Errorf("experiment: invalid n=%d", n)
+	}
+	s, par, seq, err := mapreduce.Speedup(MRConfig(app, n))
+	if err != nil {
+		return MRPoint{}, fmt.Errorf("experiment: %s at n=%d: %w", app.Name(), n, err)
+	}
+	wp, ws, wo, maxTask := PhasesFromLog(par.Log)
+	return MRPoint{
+		N: n, Speedup: s, Wp: wp, Ws: ws, Wo: wo, MaxTask: maxTask,
+		Parallel: par.Makespan, Seq: seq.Makespan,
+	}, nil
+}
+
+// assembleSweep builds a sweep from measured points, extracting the
+// n = 1 baselines (Tp1, Ts1, η) the estimators need.
+func assembleSweep(app string, points []MRPoint) (MRSweep, error) {
+	sweep := MRSweep{App: app, Points: points}
+	for _, p := range points {
+		if p.N != 1 {
+			continue
+		}
+		sweep.Tp1 = p.MaxTask
+		sweep.Ts1 = p.Ws
+		eta, err := core.EtaFromPhases(p.MaxTask, p.Ws)
+		if err != nil {
+			return MRSweep{}, err
+		}
+		sweep.Eta = eta
+	}
+	if sweep.Tp1 == 0 {
+		return MRSweep{}, fmt.Errorf("experiment: grid for %s must include n=1 for the η baseline", app)
+	}
+	return sweep, nil
+}
+
+// RunMRSweep measures one application across the scale-out grid. The
+// grid points are independent simulations and run on the context's
+// worker pool (see runner.WithWorkers); results are assembled in grid
+// order, so the sweep is identical however wide the pool is.
+func RunMRSweep(ctx context.Context, app mapreduce.AppModel, ns []int) (MRSweep, error) {
 	if len(ns) == 0 {
 		return MRSweep{}, fmt.Errorf("experiment: empty grid for %s", app.Name())
 	}
-	sweep := MRSweep{App: app.Name()}
-	for _, n := range ns {
-		if n < 1 {
-			return MRSweep{}, fmt.Errorf("experiment: invalid n=%d", n)
-		}
-		s, par, seq, err := mapreduce.Speedup(MRConfig(app, n))
-		if err != nil {
-			return MRSweep{}, fmt.Errorf("experiment: %s at n=%d: %w", app.Name(), n, err)
-		}
-		wp, ws, wo, maxTask := PhasesFromLog(par.Log)
-		sweep.Points = append(sweep.Points, MRPoint{
-			N: n, Speedup: s, Wp: wp, Ws: ws, Wo: wo, MaxTask: maxTask,
-			Parallel: par.Makespan, Seq: seq.Makespan,
-		})
-		if n == 1 {
-			sweep.Tp1 = maxTask
-			sweep.Ts1 = ws
-			eta, err := core.EtaFromPhases(maxTask, ws)
-			if err != nil {
-				return MRSweep{}, err
-			}
-			sweep.Eta = eta
-		}
+	points, err := runner.Map(ctx, len(ns), func(_ context.Context, i int) (MRPoint, error) {
+		return mrPoint(app, ns[i])
+	})
+	if err != nil {
+		return MRSweep{}, err
 	}
-	if sweep.Tp1 == 0 {
-		return MRSweep{}, fmt.Errorf("experiment: grid for %s must include n=1 for the η baseline", app.Name())
-	}
-	return sweep, nil
+	return assembleSweep(app.Name(), points)
 }
 
 // Measurements converts the sweep into the core estimation input. The
@@ -156,11 +179,23 @@ func mrCaseApps() []mapreduce.AppModel {
 }
 
 // RunMRCaseStudies sweeps all four applications once; the per-figure
-// builders below share the result to avoid re-simulating.
-func RunMRCaseStudies(ns []int) ([]MRSweep, error) {
-	sweeps := make([]MRSweep, 0, 4)
-	for _, app := range mrCaseApps() {
-		s, err := RunMRSweep(app, ns)
+// builders below share the result to avoid re-simulating. All
+// (app, n) pairs are flattened into one task list so the worker pool
+// stays busy across application boundaries.
+func RunMRCaseStudies(ctx context.Context, ns []int) ([]MRSweep, error) {
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("experiment: empty case-study grid")
+	}
+	apps := mrCaseApps()
+	points, err := runner.Map(ctx, len(apps)*len(ns), func(_ context.Context, i int) (MRPoint, error) {
+		return mrPoint(apps[i/len(ns)], ns[i%len(ns)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweeps := make([]MRSweep, 0, len(apps))
+	for a, app := range apps {
+		s, err := assembleSweep(app.Name(), points[a*len(ns):(a+1)*len(ns)])
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +206,10 @@ func RunMRCaseStudies(ns []int) ([]MRSweep, error) {
 
 // Figure4 regenerates Fig. 4: measured speedups of the four HiBench-style
 // micro benchmarks versus Gustafson's prediction.
-func Figure4(sweeps []MRSweep) (Report, error) {
+func Figure4(ctx context.Context, sweeps []MRSweep) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig4", Title: "Measured speedups vs Gustafson's prediction (fixed-time MapReduce)"}
 	for _, sw := range sweeps {
 		xs := make([]float64, len(sw.Points))
@@ -196,7 +234,10 @@ func Figure4(sweeps []MRSweep) (Report, error) {
 
 // Figure5 regenerates Fig. 5: TeraSort's step-wise internal scaling
 // factor — IN(n) with the slope change at the reducer-memory overflow.
-func Figure5(sweeps []MRSweep) (Report, error) {
+func Figure5(ctx context.Context, sweeps []MRSweep) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig5", Title: "TeraSort internal scaling factor IN(n): step at reducer-memory overflow"}
 	for _, sw := range sweeps {
 		if sw.App != "terasort" {
@@ -231,7 +272,10 @@ func Figure5(sweeps []MRSweep) (Report, error) {
 // cases, with the linear fits of the paper (fitted at n <= fitMaxN, and
 // for TeraSort at 16 <= n <= 64 as the paper does because of the memory
 // overflow).
-func Figure6(sweeps []MRSweep, fitMaxN int) (Report, error) {
+func Figure6(ctx context.Context, sweeps []MRSweep, fitMaxN int) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig6", Title: "External and internal scaling factors with linear fits"}
 	tbl := Table{
 		Title:   "scaling-factor fits (paper: EX(n) ≈ n for all; IN_Sort ≈ 0.36n−0.11; IN_TeraSort ≈ 0.23n+2.72)",
@@ -275,7 +319,10 @@ func Figure6(sweeps []MRSweep, fitMaxN int) (Report, error) {
 // Figure7 regenerates Fig. 7: speedups from IPSO prediction (factors
 // fitted at small n, Eq. 8 with measured E[max{Tp,i(n)}]), measurement,
 // and Gustafson's law.
-func Figure7(sweeps []MRSweep, fitMaxN int) (Report, error) {
+func Figure7(ctx context.Context, sweeps []MRSweep, fitMaxN int) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig7", Title: "IPSO-predicted vs measured vs Gustafson speedups"}
 	for _, sw := range sweeps {
 		fitWindow := sw.truncate(fitMaxN)
@@ -319,7 +366,10 @@ func Figure7(sweeps []MRSweep, fitMaxN int) (Report, error) {
 
 // Diagnostics applies the Section V diagnostic procedure to each measured
 // speedup curve.
-func Diagnostics(sweeps []MRSweep) (Report, error) {
+func Diagnostics(ctx context.Context, sweeps []MRSweep) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "diag", Title: "Section V diagnostic procedure on measured curves"}
 	tbl := Table{
 		Title:   "diagnoses (fixed-time workloads)",

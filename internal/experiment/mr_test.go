@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ var cachedSweeps []MRSweep
 func caseSweeps(t *testing.T) []MRSweep {
 	t.Helper()
 	if cachedSweeps == nil {
-		s, err := RunMRCaseStudies(testGrid())
+		s, err := RunMRCaseStudies(context.Background(), testGrid())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,13 +52,13 @@ func last(s Series) float64 { return s.Y[len(s.Y)-1] }
 
 func TestRunMRSweepRequiresBaseline(t *testing.T) {
 	app := mrCaseApps()[0]
-	if _, err := RunMRSweep(app, []int{2, 4}); err == nil {
+	if _, err := RunMRSweep(context.Background(), app, []int{2, 4}); err == nil {
 		t.Error("grid without n=1 should error")
 	}
-	if _, err := RunMRSweep(app, nil); err == nil {
+	if _, err := RunMRSweep(context.Background(), app, nil); err == nil {
 		t.Error("empty grid should error")
 	}
-	if _, err := RunMRSweep(app, []int{0}); err == nil {
+	if _, err := RunMRSweep(context.Background(), app, []int{0}); err == nil {
 		t.Error("invalid n should error")
 	}
 }
@@ -110,7 +111,7 @@ func TestSpeedupMonotoneForBenignApps(t *testing.T) {
 }
 
 func TestFigure4GustafsonGap(t *testing.T) {
-	rep, err := Figure4(caseSweeps(t))
+	rep, err := Figure4(context.Background(), caseSweeps(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestFigure4GustafsonGap(t *testing.T) {
 }
 
 func TestFigure5Step(t *testing.T) {
-	rep, err := Figure5(caseSweeps(t))
+	rep, err := Figure5(context.Background(), caseSweeps(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestFigure5Step(t *testing.T) {
 }
 
 func TestFigure6Fits(t *testing.T) {
-	rep, err := Figure6(caseSweeps(t), 16)
+	rep, err := Figure6(context.Background(), caseSweeps(t), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFigure6Fits(t *testing.T) {
 }
 
 func TestFigure7PredictionQuality(t *testing.T) {
-	rep, err := Figure7(caseSweeps(t), 16)
+	rep, err := Figure7(context.Background(), caseSweeps(t), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestFigure7PredictionQuality(t *testing.T) {
 }
 
 func TestDiagnosticsTable(t *testing.T) {
-	rep, err := Diagnostics(caseSweeps(t))
+	rep, err := Diagnostics(context.Background(), caseSweeps(t))
 	if err != nil {
 		t.Fatal(err)
 	}

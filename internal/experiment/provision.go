@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
@@ -14,7 +15,10 @@ import (
 // small-n sweep and swept over operating points; the Collaborative
 // Filtering row uses the Fig. 8 parameters. Rows report the
 // speedup-per-dollar optimum and the hard scale-out limit (if any).
-func Provisioning(sweeps []MRSweep, pricePerNodeHour float64, maxN int) (Report, error) {
+func Provisioning(ctx context.Context, sweeps []MRSweep, pricePerNodeHour float64, maxN int) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	if pricePerNodeHour <= 0 || maxN < 1 {
 		return Report{}, fmt.Errorf("experiment: invalid provisioning parameters (price=%g maxN=%d)", pricePerNodeHour, maxN)
 	}

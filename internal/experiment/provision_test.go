@@ -1,9 +1,12 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestProvisioningReport(t *testing.T) {
-	rep, err := Provisioning(caseSweeps(t), 0.4, 200)
+	rep, err := Provisioning(context.Background(), caseSweeps(t), 0.4, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +38,7 @@ func TestProvisioningReport(t *testing.T) {
 			t.Errorf("%s best-$ n = %g, want small (bounded speedup, cost ∝ n)", app, n)
 		}
 	}
-	if _, err := Provisioning(caseSweeps(t), 0, 200); err == nil {
+	if _, err := Provisioning(context.Background(), caseSweeps(t), 0, 200); err == nil {
 		t.Error("invalid price should error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -24,7 +25,7 @@ import (
 // of scale-out-induced serial work. Both effects are the resource
 // constraints the paper's model is about, showing up on a real wall
 // clock.
-func RealNet(workerCounts []int, lines, shards int) (Report, error) {
+func RealNet(ctx context.Context, workerCounts []int, lines, shards int) (Report, error) {
 	if len(workerCounts) == 0 || lines < 1 || shards < 1 {
 		return Report{}, fmt.Errorf("experiment: invalid realnet grid (workers=%v lines=%d shards=%d)", workerCounts, lines, shards)
 	}
@@ -44,7 +45,7 @@ func RealNet(workerCounts []int, lines, shards int) (Report, error) {
 		if n < 1 {
 			return Report{}, fmt.Errorf("experiment: invalid worker count %d", n)
 		}
-		stats, err := runRealWordCount(input, n, shards)
+		stats, err := runRealWordCount(ctx, input, n, shards)
 		if err != nil {
 			return Report{}, err
 		}
@@ -67,7 +68,7 @@ func RealNet(workerCounts []int, lines, shards int) (Report, error) {
 	return rep, nil
 }
 
-func runRealWordCount(input []string, workers, shards int) (netmr.Stats, error) {
+func runRealWordCount(ctx context.Context, input []string, workers, shards int) (netmr.Stats, error) {
 	job := netmr.Job{
 		Name: "wordcount",
 		Map: func(record string, emit func(string, float64)) {
@@ -120,6 +121,6 @@ func runRealWordCount(input []string, workers, shards int) (netmr.Stats, error) 
 	if err := master.WaitForWorkers(workers, 30*time.Second); err != nil {
 		return netmr.Stats{}, err
 	}
-	_, stats, err := master.Run("wordcount", input, shards)
+	_, stats, err := master.Run(ctx, "wordcount", input, shards)
 	return stats, err
 }

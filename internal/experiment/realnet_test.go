@@ -1,11 +1,14 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRealNetSmoke(t *testing.T) {
 	// Genuine wall-clock measurement: assert structure and sanity only
 	// (absolute timings are machine-dependent).
-	rep, err := RealNet([]int{1, 2}, 2000, 4)
+	rep, err := RealNet(context.Background(), []int{1, 2}, 2000, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,13 +27,13 @@ func TestRealNetSmoke(t *testing.T) {
 }
 
 func TestRealNetValidation(t *testing.T) {
-	if _, err := RealNet(nil, 10, 2); err == nil {
+	if _, err := RealNet(context.Background(), nil, 10, 2); err == nil {
 		t.Error("empty worker grid should error")
 	}
-	if _, err := RealNet([]int{1}, 0, 2); err == nil {
+	if _, err := RealNet(context.Background(), []int{1}, 0, 2); err == nil {
 		t.Error("zero lines should error")
 	}
-	if _, err := RealNet([]int{0}, 10, 2); err == nil {
+	if _, err := RealNet(context.Background(), []int{0}, 10, 2); err == nil {
 		t.Error("invalid worker count should error")
 	}
 }

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ipso/internal/runner"
+)
+
+func TestDefaultRegistryIDs(t *testing.T) {
+	r := DefaultRegistry()
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8",
+		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
+		"ablation-memory", "ablation-statistic", "futurework", "surface",
+		"fixedsize-mr", "ablation-contention", "realnet",
+	}
+	got := r.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("got %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	e, ok := r.Lookup("realnet")
+	if !ok || !e.Measured {
+		t.Error("realnet must be registered and marked Measured")
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "diag", "provisioning"} {
+		e, ok := r.Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if len(e.Deps) != 1 || e.Deps[0] != DepMRSweeps {
+			t.Errorf("%s deps = %v, want [%s]", id, e.Deps, DepMRSweeps)
+		}
+	}
+}
+
+func TestRegistryRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	ok := Experiment{ID: "a", Run: func(context.Context, *Config) (Report, error) { return Report{}, nil }}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Error("duplicate ID should error")
+	}
+	if err := r.Register(Experiment{Run: ok.Run}); err == nil {
+		t.Error("empty ID should error")
+	}
+	if err := r.Register(Experiment{ID: "b"}); err == nil {
+		t.Error("nil Run should error")
+	}
+}
+
+func TestRegistrySelect(t *testing.T) {
+	r := DefaultRegistry()
+	all, err := r.Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(r.IDs()) {
+		t.Fatalf("empty selection should return all %d, got %d", len(r.IDs()), len(all))
+	}
+	// Requested out of order and duplicated: registration order, deduped.
+	sel, err := r.Select([]string{"fig4", "fig2", "fig4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].ID != "fig2" || sel[1].ID != "fig4" {
+		t.Fatalf("selection = %v", sel)
+	}
+	_, err = r.Select([]string{"fig99"})
+	if err == nil {
+		t.Fatal("unknown ID should error")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "fig4") || !strings.Contains(err.Error(), "realnet") {
+		t.Errorf("error should name the bad ID and list valid ones, got: %v", err)
+	}
+}
+
+func TestConfigMRSweepsMemoized(t *testing.T) {
+	cfg := DefaultConfig(true)
+	cfg.Grids.MR = []int{1, 2, 4}
+	a, err := cfg.MRSweeps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.MRSweeps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("second call should return the memoized sweeps")
+	}
+	// A cancelled first attempt must not poison the Config.
+	cfg2 := DefaultConfig(true)
+	cfg2.Grids.MR = []int{1, 2, 4}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cfg2.MRSweeps(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := cfg2.MRSweeps(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+func TestRunAllSubset(t *testing.T) {
+	r := DefaultRegistry()
+	cfg := DefaultConfig(true)
+	cfg.Grids.MR = []int{1, 2, 4, 8}
+	var done []string
+	reports, err := r.RunAll(runner.WithWorkers(context.Background(), 4),
+		[]string{"diag", "fig2", "fig4"}, cfg, func(p Progress) {
+			if p.Points <= 0 {
+				t.Errorf("%s reported %d points", p.ID, p.Points)
+			}
+			done = append(done, p.ID)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	// Registration order regardless of completion order.
+	for i, want := range []string{"fig2", "fig4", "diag"} {
+		if reports[i].ID != want {
+			t.Errorf("reports[%d].ID = %q, want %q", i, reports[i].ID, want)
+		}
+	}
+	if len(done) != 3 {
+		t.Errorf("progress callback ran %d times, want 3", len(done))
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	r := DefaultRegistry()
+	if _, err := r.RunAll(context.Background(), []string{"nope"}, DefaultConfig(true), nil); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestRunAllUnknownDep(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Experiment{ID: "x", Deps: []string{"no-such-dep"},
+		Run: func(context.Context, *Config) (Report, error) { return Report{}, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunAll(context.Background(), nil, DefaultConfig(true), nil); err == nil || !strings.Contains(err.Error(), "no-such-dep") {
+		t.Fatalf("err = %v, want unknown dependency", err)
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	r := NewRegistry()
+	block := Experiment{ID: "block", Run: func(ctx context.Context, _ *Config) (Report, error) {
+		<-ctx.Done()
+		return Report{}, ctx.Err()
+	}}
+	if err := r.Register(block); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := r.RunAll(ctx, nil, DefaultConfig(true), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("cancellation did not return promptly")
+	}
+}
+
+func TestDoublingGrid(t *testing.T) {
+	got := DoublingGrid(1, 200)
+	want := []float64{1, 2, 4, 8, 16, 32, 64, 128, 200}
+	if len(got) != len(want) {
+		t.Fatalf("grid = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grid = %v, want %v", got, want)
+		}
+	}
+	// hi already on the doubling path still terminates with hi once.
+	got = DoublingGrid(5, 150)
+	if got[0] != 5 || got[len(got)-1] != 150 {
+		t.Fatalf("grid = %v", got)
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	rep := Report{Series: []Series{{
+		Name: `weird,"name`, X: []float64{1}, Y: []float64{2.5},
+	}}}
+	var b strings.Builder
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,\"weird,\"\"name\"\n1,2.5\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestReportPoints(t *testing.T) {
+	rep := Report{
+		Series: []Series{{X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}}},
+		Tables: []Table{{Rows: [][]string{{"a"}, {"b"}}}},
+	}
+	if got := rep.Points(); got != 5 {
+		t.Errorf("Points() = %d, want 5", got)
+	}
+}

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
+	"ipso/internal/runner"
 	"ipso/internal/spark"
 	"ipso/internal/workload"
 )
@@ -26,29 +28,43 @@ func DefaultFixedSizeExecGrid() []int { return []int{2, 4, 8, 16, 24, 32, 48, 64
 
 // Figure9 regenerates Fig. 9: the fixed-time dimension of the four Spark
 // benchmarks — speedup versus m with N/m held at each load level.
-func Figure9(loadLevels, execs []int) (Report, error) {
+func Figure9(ctx context.Context, loadLevels, execs []int) (Report, error) {
 	if len(loadLevels) == 0 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty Fig. 9 grids")
 	}
+	for _, k := range loadLevels {
+		if k < 1 {
+			return Report{}, fmt.Errorf("experiment: invalid load level %d", k)
+		}
+	}
+	// Flatten (app, load level, executor count) into one task list so the
+	// worker pool stays busy across series boundaries.
+	apps := workload.SparkBenchmarks()
+	perApp := len(loadLevels) * len(execs)
+	ys, err := runner.Map(ctx, len(apps)*perApp, func(_ context.Context, i int) (float64, error) {
+		app := apps[i/perApp]
+		k := loadLevels[(i%perApp)/len(execs)]
+		m := execs[i%len(execs)]
+		s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+		if err != nil {
+			return 0, fmt.Errorf("experiment: %s N/m=%d m=%d: %w", app.Name(), k, m, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
 	rep := Report{ID: "fig9", Title: "Spark benchmarks, fixed-time dimension (N/m fixed, scaling m)"}
-	for _, app := range workload.SparkBenchmarks() {
-		for _, k := range loadLevels {
-			if k < 1 {
-				return Report{}, fmt.Errorf("experiment: invalid load level %d", k)
-			}
-			xs := make([]float64, 0, len(execs))
-			ys := make([]float64, 0, len(execs))
-			for _, m := range execs {
-				s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
-				if err != nil {
-					return Report{}, fmt.Errorf("experiment: %s N/m=%d m=%d: %w", app.Name(), k, m, err)
-				}
-				xs = append(xs, float64(m))
-				ys = append(ys, s)
-			}
+	xs := make([]float64, len(execs))
+	for j, m := range execs {
+		xs[j] = float64(m)
+	}
+	for a, app := range apps {
+		for l, k := range loadLevels {
+			lo := a*perApp + l*len(execs)
 			rep.Series = append(rep.Series, Series{
 				Name: fmt.Sprintf("%s/N_m=%d", app.Name(), k),
-				X:    xs, Y: ys,
+				X:    xs, Y: ys[lo : lo+len(execs)],
 			})
 		}
 	}
@@ -57,26 +73,35 @@ func Figure9(loadLevels, execs []int) (Report, error) {
 
 // Figure10 regenerates Fig. 10: the fixed-size dimension — speedup versus
 // m with the problem size N fixed; the speedups peak and then fall (IVs).
-func Figure10(tasks int, execs []int) (Report, error) {
+func Figure10(ctx context.Context, tasks int, execs []int) (Report, error) {
 	if tasks < 1 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: invalid Fig. 10 grid (tasks=%d)", tasks)
 	}
-	rep := Report{ID: "fig10", Title: fmt.Sprintf("Spark benchmarks, fixed-size dimension (N = %d, scaling m)", tasks)}
-	for _, app := range workload.SparkBenchmarks() {
-		xs := make([]float64, 0, len(execs))
-		ys := make([]float64, 0, len(execs))
-		for _, m := range execs {
-			if m < 1 {
-				return Report{}, fmt.Errorf("experiment: invalid executor count %d", m)
-			}
-			s, _, _, err := spark.Speedup(workload.SparkConfig(app, tasks, m))
-			if err != nil {
-				return Report{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), tasks, m, err)
-			}
-			xs = append(xs, float64(m))
-			ys = append(ys, s)
+	for _, m := range execs {
+		if m < 1 {
+			return Report{}, fmt.Errorf("experiment: invalid executor count %d", m)
 		}
-		rep.Series = append(rep.Series, Series{Name: app.Name() + "/fixed-size", X: xs, Y: ys})
+	}
+	apps := workload.SparkBenchmarks()
+	ys, err := runner.Map(ctx, len(apps)*len(execs), func(_ context.Context, i int) (float64, error) {
+		app := apps[i/len(execs)]
+		m := execs[i%len(execs)]
+		s, _, _, err := spark.Speedup(workload.SparkConfig(app, tasks, m))
+		if err != nil {
+			return 0, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), tasks, m, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{ID: "fig10", Title: fmt.Sprintf("Spark benchmarks, fixed-size dimension (N = %d, scaling m)", tasks)}
+	xs := make([]float64, len(execs))
+	for j, m := range execs {
+		xs[j] = float64(m)
+	}
+	for a, app := range apps {
+		rep.Series = append(rep.Series, Series{Name: app.Name() + "/fixed-size", X: xs, Y: ys[a*len(execs) : (a+1)*len(execs)]})
 	}
 	return rep, nil
 }

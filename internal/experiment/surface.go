@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
+	"ipso/internal/runner"
 	"ipso/internal/spark"
 	"ipso/internal/stats"
 	"ipso/internal/workload"
@@ -91,26 +93,32 @@ func abs64(x float64) float64 {
 // regression surface, and reports the fitted parameters plus the
 // projected fixed-time (N/m = 4) and fixed-size (largest N) curves — the
 // methodology behind the matched curves of Figs. 9-10.
-func SparkSurface(loadLevels, execs []int) (Report, error) {
+func SparkSurface(ctx context.Context, loadLevels, execs []int) (Report, error) {
 	if len(loadLevels) == 0 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty surface grids")
+	}
+	apps := workload.SparkBenchmarks()
+	perApp := len(loadLevels) * len(execs)
+	allPoints, err := runner.Map(ctx, len(apps)*perApp, func(_ context.Context, i int) (SurfacePoint, error) {
+		app := apps[i/perApp]
+		k := loadLevels[(i%perApp)/len(execs)]
+		m := execs[i%len(execs)]
+		s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+		if err != nil {
+			return SurfacePoint{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), k*m, m, err)
+		}
+		return SurfacePoint{Tasks: k * m, Execs: m, Speedup: s}, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
 	rep := Report{ID: "surface", Title: "Spark speedup surfaces S(N, m) via nonlinear regression"}
 	tbl := Table{
 		Title:   "fitted surfaces S(N,m) = aN / (aN/m + bm + c)",
 		Headers: []string{"app", "a (task s)", "b (per-exec s)", "c (serial s)", "R²"},
 	}
-	for _, app := range workload.SparkBenchmarks() {
-		var points []SurfacePoint
-		for _, k := range loadLevels {
-			for _, m := range execs {
-				s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
-				if err != nil {
-					return Report{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), k*m, m, err)
-				}
-				points = append(points, SurfacePoint{Tasks: k * m, Execs: m, Speedup: s})
-			}
-		}
+	for a, app := range apps {
+		points := allPoints[a*perApp : (a+1)*perApp]
 		fit, err := FitSurface(points)
 		if err != nil {
 			return Report{}, fmt.Errorf("experiment: fit %s: %w", app.Name(), err)

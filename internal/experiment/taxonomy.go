@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ipso/internal/core"
@@ -35,7 +36,10 @@ func fixedSizeCases() []taxonomyCase {
 // FigureTaxonomy regenerates Fig. 2 (fixed-time) or Fig. 3 (fixed-size):
 // one canonical speedup curve per scaling type over the ns grid, plus a
 // table of the classification and asymptotic bound of each curve.
-func FigureTaxonomy(w core.WorkloadType, ns []float64) (Report, error) {
+func FigureTaxonomy(ctx context.Context, w core.WorkloadType, ns []float64) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
 	var cases []taxonomyCase
 	var id, title string
 	switch w {

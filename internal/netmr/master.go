@@ -1,6 +1,7 @@
 package netmr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -139,11 +140,16 @@ type shardTask struct {
 // for the barrier, merges the partials serially, and returns the reduced
 // result with the phase timings. Reduce must be associative and
 // commutative over its values (it is applied both as the workers'
-// map-side combiner and as the master's merge).
-func (m *Master) Run(jobName string, records []string, shards int) (map[string]float64, Stats, error) {
+// map-side combiner and as the master's merge). Cancelling ctx aborts
+// the job between shard completions and returns the context's error;
+// the JobTimeout deadline applies on top of it.
+func (m *Master) Run(ctx context.Context, jobName string, records []string, shards int) (map[string]float64, Stats, error) {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
 
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	job, ok := m.registry.lookup(jobName)
 	if !ok {
 		return nil, Stats{}, fmt.Errorf("netmr: unknown job %q", jobName)
@@ -214,6 +220,8 @@ func (m *Master) Run(jobName string, records []string, shards int) (map[string]f
 					return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
 				}
 				queue = append(queue, t)
+			case <-ctx.Done():
+				return nil, stats, ctx.Err()
 			case <-deadline.C:
 				return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
 			}
@@ -233,6 +241,8 @@ func (m *Master) Run(jobName string, records []string, shards int) (map[string]f
 				return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
 			}
 			queue = append(queue, t)
+		case <-ctx.Done():
+			return nil, stats, ctx.Err()
 		case <-deadline.C:
 			return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
 		}

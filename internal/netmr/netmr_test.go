@@ -1,6 +1,7 @@
 package netmr
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -97,7 +98,7 @@ func TestDistributedWordCountMatchesLocal(t *testing.T) {
 	master, _ := startCluster(t, 3)
 	lines := testLines(t, 500)
 
-	got, stats, err := master.Run("wordcount", lines, 9)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +125,10 @@ func TestDistributedWordCountMatchesLocal(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	master, _ := startCluster(t, 1)
-	if _, _, err := master.Run("nope", []string{"a"}, 1); err == nil {
+	if _, _, err := master.Run(context.Background(), "nope", []string{"a"}, 1); err == nil {
 		t.Error("unknown job should error")
 	}
-	if _, _, err := master.Run("wordcount", []string{"a"}, 0); err == nil {
+	if _, _, err := master.Run(context.Background(), "wordcount", []string{"a"}, 0); err == nil {
 		t.Error("zero shards should error")
 	}
 }
@@ -137,14 +138,14 @@ func TestRunWithoutWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := master.Run("wordcount", []string{"a"}, 1); err == nil {
+	if _, _, err := master.Run(context.Background(), "wordcount", []string{"a"}, 1); err == nil {
 		t.Error("not-listening master should error")
 	}
 	if _, err := master.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	defer master.Close()
-	if _, _, err := master.Run("wordcount", []string{"a"}, 1); err == nil {
+	if _, _, err := master.Run(context.Background(), "wordcount", []string{"a"}, 1); err == nil {
 		t.Error("workerless run should error")
 	}
 }
@@ -158,7 +159,7 @@ func TestWorkerFailureReassignsShards(t *testing.T) {
 	// must reassign that shard to a survivor.
 	workers[0].Stop()
 
-	got, stats, err := master.Run("wordcount", lines, 12)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestWorkerFailureReassignsShards(t *testing.T) {
 func TestAllWorkersLostFailsCleanly(t *testing.T) {
 	master, workers := startCluster(t, 1)
 	workers[0].Stop()
-	if _, _, err := master.Run("wordcount", testLines(t, 50), 4); err == nil {
+	if _, _, err := master.Run(context.Background(), "wordcount", testLines(t, 50), 4); err == nil {
 		t.Error("run with every worker dead should fail")
 	}
 }
@@ -189,14 +190,14 @@ func TestSequentialVersusParallelShards(t *testing.T) {
 	lines := testLines(t, 400)
 
 	oneMaster, _ := startCluster(t, 1)
-	seq, _, err := oneMaster.Run("wordcount", lines, 8)
+	seq, _, err := oneMaster.Run(context.Background(), "wordcount", lines, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	oneMaster.Close()
 
 	fourMaster, _ := startCluster(t, 4)
-	par, _, err := fourMaster.Run("wordcount", lines, 8)
+	par, _, err := fourMaster.Run(context.Background(), "wordcount", lines, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestBackToBackRuns(t *testing.T) {
 	master, _ := startCluster(t, 2)
 	lines := testLines(t, 100)
 	for i := 0; i < 3; i++ {
-		if _, _, err := master.Run("wordcount", lines, 4); err != nil {
+		if _, _, err := master.Run(context.Background(), "wordcount", lines, 4); err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
 	}
@@ -222,7 +223,7 @@ func TestBackToBackRuns(t *testing.T) {
 
 func TestStatsPhases(t *testing.T) {
 	master, _ := startCluster(t, 2)
-	_, stats, err := master.Run("wordcount", testLines(t, 200), 4)
+	_, stats, err := master.Run(context.Background(), "wordcount", testLines(t, 200), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

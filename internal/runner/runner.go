@@ -1,0 +1,168 @@
+// Package runner is the worker-pool execution engine behind the
+// evaluation harness. The per-(app, n) sweep points of the experiment
+// suite are independent deterministic simulations — an embarrassingly
+// parallel workload with q(n) ≈ 0 in the paper's own terms — so the
+// harness fans them (and whole experiments) out across a bounded number
+// of goroutines while keeping the output byte-identical to a serial
+// run:
+//
+//   - order-preserving assembly: Map writes result i to slot i, so the
+//     caller sees results in task order no matter how tasks interleave;
+//   - per-task seeds: TaskSeed derives an independent RNG seed for each
+//     task from one root seed, so randomized tasks never share a stream
+//     and scheduling cannot change what any task samples;
+//   - panic-to-error recovery: a panicking task becomes an error on its
+//     own slot instead of crashing the process;
+//   - first-error cancellation: one failing task cancels the derived
+//     context so in-flight siblings stop early.
+//
+// The pool width travels in the context (WithWorkers), letting a single
+// -parallel flag govern every nested fan-out without threading a width
+// parameter through the experiment APIs.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+type workersKey struct{}
+
+// WithWorkers returns a context carrying the worker-pool width used by
+// Map and ForEach. Widths below 1 fall back to GOMAXPROCS.
+func WithWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// Workers reports the pool width carried by ctx; GOMAXPROCS when unset
+// or non-positive.
+func Workers(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on the context's worker
+// pool and returns the results in index order. The first task error (or
+// recovered panic) cancels the remaining tasks and is returned; when
+// the parent context itself is cancelled, the context's error is
+// returned instead.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative task count %d", n)
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	workers := Workers(ctx)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: identical task order and RNG usage to the
+		// original single-goroutine harness.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := protect(ctx, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				v, err := protect(runCtx, i, fn)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Prefer a genuine task failure (lowest index) over the cancellation
+	// noise it propagated to its siblings.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return results, nil
+}
+
+// ForEach is Map for side-effecting tasks with no result value.
+func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// protect runs one task with panic-to-error recovery.
+func protect[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// TaskSeed derives the RNG seed of task i from a root seed using a
+// SplitMix64 finalizer. Each task seeds its own rand.New, so sampling is
+// independent of both sibling tasks and worker scheduling — the
+// property that makes parallel runs byte-identical to serial ones.
+func TaskSeed(root int64, task int) int64 {
+	z := uint64(root) + (uint64(task)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		ctx := WithWorkers(context.Background(), workers)
+		got, err := Map(ctx, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNegative(t *testing.T) {
+	if got, err := Map(context.Background(), 0, func(context.Context, int) (int, error) { return 0, nil }); err != nil || len(got) != 0 {
+		t.Errorf("empty map: got %v, %v", got, err)
+	}
+	if _, err := Map(context.Background(), -1, func(context.Context, int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative task count should error")
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	ctx := WithWorkers(context.Background(), 4)
+	_, err := Map(ctx, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		// Slow tasks so the cancellation has something to cut short.
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("error should have cancelled outstanding tasks, but all ran")
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx := WithWorkers(context.Background(), workers)
+		_, err := Map(ctx, 10, func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("workers=%d: err = %v, want panic message", workers, err)
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(WithWorkers(context.Background(), workers))
+		start := time.Now()
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		_, err := Map(ctx, 10000, func(ctx context.Context, i int) (int, error) {
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v, want prompt return", workers, elapsed)
+		}
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Map(ctx, 5, func(context.Context, int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("no task should run under a cancelled context")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	sum := make([]int64, 50)
+	ctx := WithWorkers(context.Background(), 8)
+	if err := ForEach(ctx, 50, func(_ context.Context, i int) error {
+		sum[i] = int64(i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sum {
+		if v != int64(i) {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	wantErr := fmt.Errorf("nope")
+	if err := ForEach(ctx, 3, func(context.Context, int) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want nope", err)
+	}
+}
+
+func TestWorkersDefaultsAndOverride(t *testing.T) {
+	if w := Workers(context.Background()); w < 1 {
+		t.Errorf("default workers = %d, want >= 1", w)
+	}
+	if w := Workers(WithWorkers(context.Background(), 7)); w != 7 {
+		t.Errorf("workers = %d, want 7", w)
+	}
+	if w := Workers(WithWorkers(context.Background(), 0)); w < 1 {
+		t.Errorf("zero width should fall back to GOMAXPROCS, got %d", w)
+	}
+}
+
+func TestTaskSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := TaskSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("tasks %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+		if s != TaskSeed(42, i) {
+			t.Fatalf("TaskSeed not deterministic at task %d", i)
+		}
+	}
+	if TaskSeed(1, 0) == TaskSeed(2, 0) {
+		t.Error("different roots should give different task seeds")
+	}
+}

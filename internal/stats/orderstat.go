@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,13 +40,15 @@ func ExpectedMax(d Distribution, n int) (float64, error) {
 		}
 		return v.Factor * inner, nil
 	default:
-		return ExpectedMaxMC(d, n, 4096, 1)
+		return ExpectedMaxMC(context.Background(), d, n, 4096, 1)
 	}
 }
 
 // ExpectedMaxMC estimates E[max of n draws] by Monte Carlo with the given
 // number of replications and RNG seed. Deterministic for a fixed seed.
-func ExpectedMaxMC(d Distribution, n, reps int, seed int64) (float64, error) {
+// The context is polled between replication batches so long estimates are
+// cancellable.
+func ExpectedMaxMC(ctx context.Context, d Distribution, n, reps int, seed int64) (float64, error) {
 	if n < 1 || reps < 1 {
 		return 0, fmt.Errorf("stats: ExpectedMaxMC needs n>=1 and reps>=1 (n=%d reps=%d)", n, reps)
 	}
@@ -55,6 +58,11 @@ func ExpectedMaxMC(d Distribution, n, reps int, seed int64) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	total := 0.0
 	for r := 0; r < reps; r++ {
+		if r%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		mx := math.Inf(-1)
 		for i := 0; i < n; i++ {
 			if x := d.Sample(rng); x > mx {
@@ -65,6 +73,11 @@ func ExpectedMaxMC(d Distribution, n, reps int, seed int64) (float64, error) {
 	}
 	return total / float64(reps), nil
 }
+
+// cancelCheckEvery is how many Monte-Carlo iterations run between
+// context polls: cheap enough to be invisible, frequent enough that a
+// cancel lands within microseconds.
+const cancelCheckEvery = 64
 
 // StragglerInflation returns E[max of n]/mean for d — the multiplicative
 // penalty that randomness adds to the split phase relative to the

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -40,7 +41,7 @@ func TestExpectedMaxErrors(t *testing.T) {
 	if _, err := ExpectedMax(Exponential{Rate: -1}, 2); err == nil {
 		t.Error("invalid distribution should error")
 	}
-	if _, err := ExpectedMaxMC(Deterministic{Value: 1}, 1, 0, 1); err == nil {
+	if _, err := ExpectedMaxMC(context.Background(), Deterministic{Value: 1}, 1, 0, 1); err == nil {
 		t.Error("reps=0 should error")
 	}
 }
@@ -52,7 +53,7 @@ func TestExpectedMaxMCAgreesWithClosedForm(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mc, err := ExpectedMaxMC(d, n, 20000, 3)
+		mc, err := ExpectedMaxMC(context.Background(), d, n, 20000, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

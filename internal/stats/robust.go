@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -141,8 +142,9 @@ func (ci BootstrapCI) Width() float64 { return ci.High - ci.Low }
 // estimator declares convergence when the exponent's interval is narrow.
 // reps resamples are drawn with the given seed; level is the coverage
 // (e.g. 0.9). Resamples with fewer than two distinct x values are
-// redrawn.
-func BootstrapPowerLaw(xs, ys []float64, reps int, level float64, seed int64) (coeff, exponent BootstrapCI, err error) {
+// redrawn. The context is polled between resamples so long bootstraps
+// are cancellable.
+func BootstrapPowerLaw(ctx context.Context, xs, ys []float64, reps int, level float64, seed int64) (coeff, exponent BootstrapCI, err error) {
 	if reps < 10 {
 		return BootstrapCI{}, BootstrapCI{}, fmt.Errorf("%w: need >=10 bootstrap reps", ErrBadFit)
 	}
@@ -159,6 +161,11 @@ func BootstrapPowerLaw(xs, ys []float64, reps int, level float64, seed int64) (c
 	rx := make([]float64, len(xs))
 	ry := make([]float64, len(ys))
 	for r := 0; r < reps; r++ {
+		if r%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return BootstrapCI{}, BootstrapCI{}, err
+			}
+		}
 		fit, ok := resamplePowerLaw(rng, xs, ys, rx, ry)
 		if !ok {
 			continue

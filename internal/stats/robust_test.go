@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -105,7 +106,7 @@ func TestBootstrapPowerLawCoversTruth(t *testing.T) {
 		xs = append(xs, n)
 		ys = append(ys, 4e-4*n*n*(1+0.05*rng.NormFloat64()))
 	}
-	_, expCI, err := BootstrapPowerLaw(xs, ys, 500, 0.9, 1)
+	_, expCI, err := BootstrapPowerLaw(context.Background(), xs, ys, 500, 0.9, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,13 +130,13 @@ func TestBootstrapPowerLawCoversTruth(t *testing.T) {
 func TestBootstrapPowerLawErrors(t *testing.T) {
 	xs := []float64{1, 2, 3, 4}
 	ys := []float64{1, 2, 3, 4}
-	if _, _, err := BootstrapPowerLaw(xs, ys, 5, 0.9, 1); err == nil {
+	if _, _, err := BootstrapPowerLaw(context.Background(), xs, ys, 5, 0.9, 1); err == nil {
 		t.Error("too few reps should error")
 	}
-	if _, _, err := BootstrapPowerLaw(xs, ys, 100, 1.5, 1); err == nil {
+	if _, _, err := BootstrapPowerLaw(context.Background(), xs, ys, 100, 1.5, 1); err == nil {
 		t.Error("bad level should error")
 	}
-	if _, _, err := BootstrapPowerLaw([]float64{1, -2}, ys[:2], 100, 0.9, 1); err == nil {
+	if _, _, err := BootstrapPowerLaw(context.Background(), []float64{1, -2}, ys[:2], 100, 0.9, 1); err == nil {
 		t.Error("invalid data should error")
 	}
 }

@@ -29,6 +29,7 @@
 package ipso
 
 import (
+	"context"
 	"io"
 
 	"ipso/internal/core"
@@ -208,8 +209,10 @@ func NewOnlineEstimator(opts OnlineOptions) (*OnlineEstimator, error) {
 
 // AutoProvision probes a system at small scale-out degrees until δ and γ
 // converge, then returns the speedup-versus-cost-optimal operating point.
-func AutoProvision(probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
-	return core.AutoProvision(probe, opts)
+// The context cancels the probing loop (use context.Background() when no
+// cancellation is needed).
+func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
+	return core.AutoProvision(ctx, probe, opts)
 }
 
 // PredictSpread returns the leave-one-out spread of the extrapolated

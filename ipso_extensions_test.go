@@ -1,6 +1,7 @@
 package ipso_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -97,7 +98,7 @@ func TestOnlineEstimatorThroughFacade(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	gci, hasOverhead, err := e.GammaCI()
+	gci, hasOverhead, err := e.GammaCI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestOnlineEstimatorThroughFacade(t *testing.T) {
 }
 
 func TestAutoProvisionThroughFacade(t *testing.T) {
-	probe := ipso.ProbeFunc(func(n int) (ipso.Observation, error) {
+	probe := ipso.ProbeFunc(func(_ context.Context, n int) (ipso.Observation, error) {
 		fn := float64(n)
 		return ipso.Observation{N: fn, Wp: 1602.5, Ws: 0, Wo: 0.593 * fn, MaxTask: 1602.5 / fn}, nil
 	})
-	plan, err := ipso.AutoProvision(probe, ipso.AutoProvisionOptions{
+	plan, err := ipso.AutoProvision(context.Background(), probe, ipso.AutoProvisionOptions{
 		Online:           ipso.OnlineOptions{SerialPrecision: 0.01},
 		PricePerNodeHour: 0.4,
 		MaxN:             150,
