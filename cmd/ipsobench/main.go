@@ -12,10 +12,14 @@
 //	ipsobench -timeout 30s     # abort the whole run after a deadline
 //	ipsobench -progress        # per-experiment timings on stderr
 //	ipsobench -list            # list experiment IDs and exit
+//	ipsobench -metricsaddr 127.0.0.1:0   # serve /metrics + /healthz during the run
+//	ipsobench -metricsdump     # dump Prometheus exposition to stderr at the end
 //
 // Experiments and sweep points fan out across the worker pool; reports
 // are printed in registration order and are byte-identical at any
-// -parallel width (except realnet, which prints real wall-clock times).
+// -parallel width (except realnet and selfdiag, which print real
+// wall-clock measurements). All observability output goes to stderr so
+// the report stream on stdout stays reproducible.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"ipso/internal/experiment"
+	"ipso/internal/obs"
 	"ipso/internal/runner"
 )
 
@@ -52,6 +57,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "report per-experiment points and wall time on stderr")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	metricsAddr := fs.String("metricsaddr", "", "serve /metrics and /healthz on this address for the duration of the run (e.g. 127.0.0.1:0)")
+	metricsDump := fs.Bool("metricsdump", false, "write the final Prometheus exposition to stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,9 +88,22 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 	}
 	ctx = runner.WithWorkers(ctx, *parallel)
 
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, obs.Default(), func() map[string]any {
+			return map[string]any{"component": "ipsobench", "workers": *parallel}
+		})
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(errw, "serving metrics on http://%s/metrics\n", srv.Addr)
+	}
+
+	var totalPoints int
 	var onProgress func(experiment.Progress)
 	if *progress {
 		onProgress = func(p experiment.Progress) {
+			totalPoints += p.Points
 			fmt.Fprintf(errw, "done %-20s %5d points  %7.1f ms\n",
 				p.ID, p.Points, float64(p.Elapsed)/float64(time.Millisecond))
 		}
@@ -104,8 +124,13 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		}
 	}
 	if *progress {
-		fmt.Fprintf(errw, "ran %d experiments in %.1f ms with %d workers\n",
-			len(reports), float64(time.Since(start))/float64(time.Millisecond), runner.Workers(ctx))
+		fmt.Fprintf(errw, "ran %d experiments (%d points) in %.1f ms with %d workers\n",
+			len(reports), totalPoints, float64(time.Since(start))/float64(time.Millisecond), runner.Workers(ctx))
+	}
+	if *metricsDump {
+		if err := obs.Default().WritePrometheus(errw); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -63,7 +63,7 @@ func TestRunEverythingQuick(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8",
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "ablation-contention",
-		"futurework", "surface", "fixedsize-mr", "realnet",
+		"futurework", "surface", "fixedsize-mr", "realnet", "selfdiag",
 	} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("full run missing experiment %s", id)
@@ -73,9 +73,9 @@ func TestRunEverythingQuick(t *testing.T) {
 
 // TestParallelOutputByteIdentical is the reproducibility contract of the
 // execution engine: the quick evaluation must print byte-for-byte the
-// same text and CSV whatever the worker-pool width. realnet is excluded
-// — it is the one experiment reporting genuine machine-dependent
-// wall-clock measurements (Experiment.Measured).
+// same text and CSV whatever the worker-pool width. Measured experiments
+// (realnet, selfdiag) are excluded — they report genuine
+// machine-dependent wall-clock measurements.
 func TestParallelOutputByteIdentical(t *testing.T) {
 	reg := experiment.DefaultRegistry()
 	var ids []string
@@ -136,6 +136,41 @@ func TestRunTimeoutFlag(t *testing.T) {
 	}
 }
 
+func TestRunMetricsFlags(t *testing.T) {
+	var out, errb strings.Builder
+	err := run(context.Background(), []string{
+		"-quick", "-only", "fig2", "-metricsaddr", "127.0.0.1:0", "-metricsdump",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "serving metrics on http://") {
+		t.Errorf("missing metrics endpoint announcement:\n%s", errb.String())
+	}
+	// The dump is the process-wide registry in Prometheus text format;
+	// the runner instruments must be present after any experiment ran.
+	for _, want := range []string{
+		"# TYPE runner_tasks_started_total counter",
+		"# HELP runner_task_seconds",
+		"runner_tasks_completed_total",
+	} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+	// Observability output must never leak into the report stream.
+	if strings.Contains(out.String(), "runner_tasks_started_total") || strings.Contains(out.String(), "serving metrics") {
+		t.Error("metrics output leaked onto stdout")
+	}
+}
+
+func TestRunMetricsAddrInvalid(t *testing.T) {
+	err := run(context.Background(), []string{"-quick", "-only", "fig2", "-metricsaddr", "256.0.0.1:bad"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("unbindable metrics address should fail the run")
+	}
+}
+
 func TestRunProgressAndList(t *testing.T) {
 	var out, errb strings.Builder
 	if err := run(context.Background(), []string{"-quick", "-only", "fig2", "-progress"}, &out, &errb); err != nil {
@@ -143,6 +178,10 @@ func TestRunProgressAndList(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "done fig2") || !strings.Contains(errb.String(), "ran 1 experiments") {
 		t.Errorf("progress output unexpected:\n%s", errb.String())
+	}
+	// The summary line reports the total points alongside the count.
+	if !strings.Contains(errb.String(), "experiments (") || !strings.Contains(errb.String(), "points)") {
+		t.Errorf("progress summary missing point total:\n%s", errb.String())
 	}
 
 	out.Reset()

@@ -9,7 +9,12 @@
 //
 // The master waits for the requested number of workers, generates the
 // dictionary-text working set, runs the job, and prints the result
-// summary with the split/merge wall-clock decomposition.
+// summary with the split/merge wall-clock decomposition and a per-worker
+// breakdown (shards run, reassignments, cumulative busy time).
+//
+// With -metricsaddr the master also serves Prometheus /metrics and a
+// /healthz JSON endpoint for the duration of the run; -heartbeat enables
+// periodic liveness pings that evict dead idle workers.
 //
 // Built-in jobs: wordcount (occurrences per word), wordlen (summed word
 // lengths per first letter).
@@ -77,12 +82,18 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 16, "master: split-phase tasks")
 	workers := fs.Int("workers", 1, "master: workers to wait for")
 	seed := fs.Int64("seed", 42, "master: input generator seed")
+	metricsAddr := fs.String("metricsaddr", "", "master: serve /metrics and /healthz on this address (e.g. 127.0.0.1:0)")
+	heartbeat := fs.Duration("heartbeat", 0, "master: idle-worker liveness ping interval (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *role {
 	case "master":
-		return runMaster(out, *addr, *job, *lines, *shards, *workers, *seed)
+		return runMaster(out, masterOptions{
+			addr: *addr, job: *job, lines: *lines, shards: *shards,
+			workers: *workers, seed: *seed,
+			metricsAddr: *metricsAddr, heartbeat: *heartbeat,
+		})
 	case "worker":
 		return runWorker(out, *addr)
 	default:
@@ -90,30 +101,46 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runMaster(out io.Writer, addr, job string, lines, shards, workers int, seed int64) error {
+type masterOptions struct {
+	addr, job     string
+	lines, shards int
+	workers       int
+	seed          int64
+	metricsAddr   string
+	heartbeat     time.Duration
+}
+
+func runMaster(out io.Writer, opts masterOptions) error {
 	registry, err := netmr.NewRegistry(builtinJobs()...)
 	if err != nil {
 		return err
 	}
-	master, err := netmr.NewMaster(registry, netmr.MasterConfig{})
+	master, err := netmr.NewMaster(registry, netmr.MasterConfig{HeartbeatInterval: opts.heartbeat})
 	if err != nil {
 		return err
 	}
-	bound, err := master.Listen(addr)
+	bound, err := master.Listen(opts.addr)
 	if err != nil {
 		return err
 	}
 	defer master.Close()
-	fmt.Fprintf(out, "master listening on %s; waiting for %d worker(s)\n", bound, workers)
-	if err := master.WaitForWorkers(workers, 5*time.Minute); err != nil {
+	if opts.metricsAddr != "" {
+		obsAddr, err := master.ServeObservability(opts.metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", obsAddr)
+	}
+	fmt.Fprintf(out, "master listening on %s; waiting for %d worker(s)\n", bound, opts.workers)
+	if err := master.WaitForWorkers(opts.workers, 5*time.Minute); err != nil {
 		return err
 	}
 
-	input, err := workload.TextLines(lines, 10, seed)
+	input, err := workload.TextLines(opts.lines, 10, opts.seed)
 	if err != nil {
 		return err
 	}
-	result, stats, err := master.Run(context.Background(), job, input, shards)
+	result, stats, err := master.Run(context.Background(), opts.job, input, opts.shards)
 	if err != nil {
 		return err
 	}
@@ -121,9 +148,12 @@ func runMaster(out io.Writer, addr, job string, lines, shards, workers int, seed
 	for _, v := range result {
 		total += v
 	}
-	fmt.Fprintf(out, "job %q over %d lines: %d keys, value total %.0f\n", job, lines, len(result), total)
+	fmt.Fprintf(out, "job %q over %d lines: %d keys, value total %.0f\n", opts.job, opts.lines, len(result), total)
 	fmt.Fprintf(out, "workers %d, shards %d, reassignments %d\n", stats.Workers, stats.Shards, stats.Reassignments)
 	fmt.Fprintf(out, "split %v | merge %v | total %v\n", stats.SplitWall, stats.MergeWall, stats.TotalWall)
+	for _, w := range stats.PerWorker {
+		fmt.Fprintf(out, "worker %s: shards %d, reassignments %d, busy %v\n", w.ID, w.ShardsRun, w.Reassignments, w.Busy)
+	}
 	return nil
 }
 

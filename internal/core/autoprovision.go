@@ -90,6 +90,7 @@ func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptio
 		if err != nil {
 			return Plan{}, fmt.Errorf("core: probe at n=%d: %w", n, err)
 		}
+		provisionProbes.Inc()
 		if obs.N == 0 {
 			obs.N = float64(n)
 		}
@@ -104,6 +105,7 @@ func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptio
 			}
 			if converged {
 				plan.Converged = true
+				estimatorConverged.Inc()
 				break
 			}
 		}
@@ -141,5 +143,10 @@ func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptio
 	if limit, ok, err := input.HardScaleOutLimit(); err == nil && ok {
 		plan.HardLimit = limit
 	}
+	outcome := "budget_exhausted"
+	if plan.Converged {
+		outcome = "converged"
+	}
+	provisionDecisions.With(outcome).Inc()
 	return plan, nil
 }

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"ipso/internal/obs"
+)
+
+// Estimator and provisioning instrumentation, on the process-wide obs
+// registry: how often the online model is refreshed and what the
+// measurement-based provisioning loop decides. These close the
+// self-measurement loop of Section VI — the estimator that fits other
+// systems' scaling is itself observable.
+var (
+	estimateUpdates = obs.Default().Counter("core_estimate_updates_total",
+		"Observations ingested by online estimators.")
+	estimatorConverged = obs.Default().Counter("core_estimator_converged_total",
+		"Online estimators that reached their (δ, γ) tolerance.")
+	provisionProbes = obs.Default().Counter("core_provision_probes_total",
+		"Workload probes executed by AutoProvision.")
+	provisionDecisions = obs.Default().CounterVec("core_provision_decisions_total",
+		"Provisioning plans produced, by outcome (converged or budget_exhausted).", "outcome")
+)

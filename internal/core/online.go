@@ -106,6 +106,7 @@ func (e *OnlineEstimator) Observe(o Observation) error {
 		return fmt.Errorf("core: invalid workloads in observation %+v", o)
 	}
 	e.obs = append(e.obs, o)
+	estimateUpdates.Inc()
 	return nil
 }
 

@@ -52,6 +52,9 @@ type Grids struct {
 	RealNetWorkers []int // realnet worker pool sizes
 	RealNetLines   int
 	RealNetShards  int
+
+	SelfDiagMaxWidth int // selfdiag probe-width cap (0 = uncapped)
+	SelfDiagRounds   int // selfdiag per-task spin rounds
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -99,6 +102,9 @@ func DefaultGrids(quick bool) Grids {
 		RealNetWorkers: []int{1, 2, 4, 8},
 		RealNetLines:   20000,
 		RealNetShards:  16,
+
+		SelfDiagMaxWidth: 16,
+		SelfDiagRounds:   200000,
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -107,6 +113,8 @@ func DefaultGrids(quick bool) Grids {
 		g.CF = []int{10, 30, 60, 90}
 		g.Jitter = []int{1, 4, 16}
 		g.RealNetWorkers = []int{1, 2}
+		g.SelfDiagMaxWidth = 6
+		g.SelfDiagRounds = 60000
 	}
 	return g
 }
@@ -386,6 +394,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return RealNet(ctx, g.RealNetWorkers, g.RealNetLines, g.RealNetShards)
+		}})
+	r.mustRegister(Experiment{ID: "selfdiag", Title: "IPSO self-diagnosis of the harness runner", Measured: true,
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return SelfDiag(ctx, cfg.Seed, g.SelfDiagMaxWidth, g.SelfDiagRounds)
 		}})
 	return r
 }

@@ -16,7 +16,7 @@ func TestDefaultRegistryIDs(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "fig8",
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "futurework", "surface",
-		"fixedsize-mr", "ablation-contention", "realnet",
+		"fixedsize-mr", "ablation-contention", "realnet", "selfdiag",
 	}
 	got := r.IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSelfDiagShape(t *testing.T) {
+	rep, err := SelfDiag(context.Background(), 7, 4, 8000)
+	if err != nil {
+		t.Fatalf("SelfDiag: %v", err)
+	}
+	if rep.ID != "selfdiag" {
+		t.Fatalf("ID = %q", rep.ID)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (workloads + fit)", len(rep.Tables))
+	}
+	if len(rep.Series) != 1 || rep.Series[0].Name != "selfdiag/q" {
+		t.Fatalf("series = %+v, want one selfdiag/q", rep.Series)
+	}
+
+	// The width grid always reaches at least 4, so the probe has enough
+	// points to see overhead even on a single-core host.
+	wl := rep.Tables[0]
+	if len(wl.Rows) < 4 {
+		t.Fatalf("workload rows = %d, want >= 4", len(wl.Rows))
+	}
+	if got := len(rep.Series[0].X); got != len(wl.Rows) {
+		t.Fatalf("series has %d points, table %d rows", got, len(wl.Rows))
+	}
+
+	// Width 1 is the baseline: by construction Wo = 0 and q = 0 there,
+	// and Wp must be a real measurement.
+	first := wl.Rows[0]
+	if first[0] != "1" {
+		t.Fatalf("first row width = %q, want 1", first[0])
+	}
+	wp, err := strconv.ParseFloat(first[1], 64)
+	if err != nil || wp <= 0 {
+		t.Fatalf("width-1 Wp = %q, want positive number", first[1])
+	}
+	if q := rep.Series[0].Y[0]; q != 0 {
+		t.Fatalf("q(1) = %g, want 0", q)
+	}
+	for i, row := range wl.Rows {
+		if w, err := strconv.Atoi(row[0]); err != nil || w != i+1 {
+			t.Fatalf("row %d width = %q, want %d", i, row[0], i+1)
+		}
+	}
+
+	// The fit table must name β and γ whether or not the host showed
+	// enough overhead for a fit.
+	fit := rep.Tables[1]
+	var sawBeta, sawGamma bool
+	for _, row := range fit.Rows {
+		switch row[0] {
+		case "beta":
+			sawBeta = true
+		case "gamma":
+			sawGamma = true
+		}
+	}
+	if !sawBeta || !sawGamma {
+		t.Fatalf("fit table rows %v missing beta/gamma", fit.Rows)
+	}
+}
+
+func TestSelfDiagRejectsTinyRounds(t *testing.T) {
+	if _, err := SelfDiag(context.Background(), 7, 4, 1); err == nil {
+		t.Fatal("SelfDiag accepted degenerate rounds")
+	}
+}
+
+func TestSelfDiagHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SelfDiag(ctx, 7, 4, 8000); err == nil {
+		t.Fatal("SelfDiag ignored a cancelled context")
+	}
+}
+
+func TestSelfDiagRegistered(t *testing.T) {
+	r := DefaultRegistry()
+	e, ok := r.Lookup("selfdiag")
+	if !ok {
+		t.Fatal("selfdiag not registered")
+	}
+	if !e.Measured {
+		t.Fatal("selfdiag must be Measured: wall-clock output is machine-dependent")
+	}
+	if !strings.Contains(e.Title, "self-diagnosis") {
+		t.Fatalf("unexpected title %q", e.Title)
+	}
+}

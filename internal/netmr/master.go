@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ipso/internal/obs"
 )
 
 // MasterConfig tunes the master.
@@ -19,6 +22,16 @@ type MasterConfig struct {
 	MaxAttempts int
 	// JobTimeout bounds a whole Run call (default 5 min).
 	JobTimeout time.Duration
+	// HeartbeatInterval, when positive, makes the master ping idle
+	// workers on this period and drop the ones that do not answer —
+	// detecting dead workers before a job pays a reassignment for them.
+	// Zero disables heartbeats (the default).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one ping round-trip (default 5 s).
+	HeartbeatTimeout time.Duration
+	// Metrics is the registry master instruments register on; nil means
+	// the process-wide obs.Default().
+	Metrics *obs.Registry
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -31,7 +44,20 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 5 * time.Minute
 	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
 	return c
+}
+
+// WorkerStats is the per-worker slice of one Run: which worker did how
+// much, and who caused the reassignments — so a reassignment storm is
+// attributable to a machine instead of drowning in one aggregate count.
+type WorkerStats struct {
+	ID            string
+	ShardsRun     int           // shards this worker completed
+	Reassignments int           // shards re-queued because this worker failed
+	Busy          time.Duration // cumulative dispatch round-trip time
 }
 
 // Stats reports the wall-clock phase decomposition of one Run — the real
@@ -44,16 +70,19 @@ type Stats struct {
 	SplitWall     time.Duration // scatter + parallel map (barrier to barrier)
 	MergeWall     time.Duration // serial master-side merge
 	TotalWall     time.Duration
+	PerWorker     []WorkerStats // per-worker breakdown, sorted by ID
 }
 
 type workerHandle struct {
-	c *conn
+	id string
+	c  *conn
 }
 
 // Master coordinates a pool of connected workers.
 type Master struct {
 	cfg      MasterConfig
 	registry *Registry
+	metrics  *masterMetrics
 
 	ln      net.Listener
 	idle    chan *workerHandle
@@ -61,6 +90,9 @@ type Master struct {
 	runMu   sync.Mutex // one Run at a time
 	closeMu sync.Mutex
 	closed  bool
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	obsSrv  *obs.Server
 }
 
 // NewMaster builds a master able to run jobs from the registry (the
@@ -69,16 +101,19 @@ func NewMaster(registry *Registry, cfg MasterConfig) (*Master, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: master needs a non-empty registry")
 	}
+	cfg = cfg.withDefaults()
 	return &Master{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		registry: registry,
+		metrics:  newMasterMetrics(cfg.Metrics),
 		idle:     make(chan *workerHandle, 1024),
 	}, nil
 }
 
 // Listen binds the master to addr (use "127.0.0.1:0" for an ephemeral
 // port) and accepts workers in the background. It returns the bound
-// address.
+// address. When HeartbeatInterval is set the idle-worker heartbeat loop
+// starts here too.
 func (m *Master) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -86,7 +121,29 @@ func (m *Master) Listen(addr string) (string, error) {
 	}
 	m.ln = ln
 	go m.acceptLoop(ln)
+	if m.cfg.HeartbeatInterval > 0 {
+		m.hbStop = make(chan struct{})
+		m.hbDone = make(chan struct{})
+		go m.heartbeatLoop()
+	}
 	return ln.Addr().String(), nil
+}
+
+// ServeObservability starts an HTTP endpoint exposing the master's
+// metrics registry at /metrics (Prometheus text format) and a health
+// document at /healthz. It returns the bound address; Close stops it.
+func (m *Master) ServeObservability(addr string) (string, error) {
+	srv, err := obs.Serve(addr, m.metrics.registry, func() map[string]any {
+		return map[string]any{
+			"workers": m.WorkerCount(),
+			"jobs":    m.registry.Names(),
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	m.obsSrv = srv
+	return srv.Addr, nil
 }
 
 func (m *Master) acceptLoop(ln net.Listener) {
@@ -106,12 +163,73 @@ func (m *Master) admit(raw net.Conn) {
 		c.close()
 		return
 	}
+	id := hello.ID
+	if id == "" {
+		id = raw.RemoteAddr().String() // pre-ID workers: the peer address
+	}
 	select {
-	case m.idle <- &workerHandle{c: c}:
+	case m.idle <- &workerHandle{id: id, c: c}:
 		m.count.Add(1)
+		m.metrics.workersJoined.Inc()
+		m.metrics.workers.Set(float64(m.count.Load()))
 	default:
 		c.close() // pool full
 	}
+}
+
+// dropWorker closes a failed worker's connection and updates the
+// population accounting.
+func (m *Master) dropWorker(w *workerHandle) {
+	w.c.close()
+	m.count.Add(-1)
+	m.metrics.workersLost.Inc()
+	m.metrics.workers.Set(float64(m.count.Load()))
+}
+
+// heartbeatLoop pings every currently idle worker once per interval and
+// drops the ones that fail, so dead connections are discovered while the
+// master is between jobs rather than as mid-job reassignments.
+func (m *Master) heartbeatLoop() {
+	defer close(m.hbDone)
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.hbStop:
+			return
+		case <-ticker.C:
+		}
+		// Take a snapshot of the currently idle workers; ping each and
+		// return the healthy ones. Workers grabbed here are simply not
+		// available for dispatch until their ping round-trip completes.
+		var batch []*workerHandle
+	drain:
+		for {
+			select {
+			case w := <-m.idle:
+				batch = append(batch, w)
+			default:
+				break drain
+			}
+		}
+		for _, w := range batch {
+			if m.ping(w) {
+				m.metrics.heartbeats.With("ok").Inc()
+				m.idle <- w
+			} else {
+				m.metrics.heartbeats.With("failed").Inc()
+				m.dropWorker(w)
+			}
+		}
+	}
+}
+
+func (m *Master) ping(w *workerHandle) bool {
+	if err := w.c.send(message{Type: "ping"}, m.cfg.HeartbeatTimeout); err != nil {
+		return false
+	}
+	reply, err := w.c.recv(m.cfg.HeartbeatTimeout)
+	return err == nil && reply.Type == "pong"
 }
 
 // WorkerCount returns the number of admitted workers not yet lost.
@@ -136,16 +254,72 @@ type shardTask struct {
 	attempts int
 }
 
+// perWorkerLedger accumulates the Run's per-worker breakdown; dispatch
+// goroutines report into it concurrently.
+type perWorkerLedger struct {
+	mu sync.Mutex
+	by map[string]*WorkerStats
+}
+
+func newPerWorkerLedger() *perWorkerLedger {
+	return &perWorkerLedger{by: map[string]*WorkerStats{}}
+}
+
+func (l *perWorkerLedger) get(id string) *WorkerStats {
+	if ws, ok := l.by[id]; ok {
+		return ws
+	}
+	ws := &WorkerStats{ID: id}
+	l.by[id] = ws
+	return ws
+}
+
+func (l *perWorkerLedger) shardDone(id string, busy time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ws := l.get(id)
+	ws.ShardsRun++
+	ws.Busy += busy
+}
+
+func (l *perWorkerLedger) shardFailed(id string, busy time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ws := l.get(id)
+	ws.Reassignments++
+	ws.Busy += busy
+}
+
+func (l *perWorkerLedger) snapshot() []WorkerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]WorkerStats, 0, len(l.by))
+	for _, ws := range l.by {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // Run scatters records into shards across the connected workers, waits
 // for the barrier, merges the partials serially, and returns the reduced
 // result with the phase timings. Reduce must be associative and
 // commutative over its values (it is applied both as the workers'
 // map-side combiner and as the master's merge). Cancelling ctx aborts
 // the job between shard completions and returns the context's error;
-// the JobTimeout deadline applies on top of it.
-func (m *Master) Run(ctx context.Context, jobName string, records []string, shards int) (map[string]float64, Stats, error) {
+// the JobTimeout deadline applies on top of it. When ctx carries an obs
+// recorder, the split and merge phases are recorded as spans ("map" and
+// "merge" in the trace vocabulary).
+func (m *Master) Run(ctx context.Context, jobName string, records []string, shards int) (result map[string]float64, stats Stats, err error) {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
+	defer func() {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		m.metrics.jobs.With(status).Inc()
+	}()
 
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
@@ -160,10 +334,12 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	if m.ln == nil {
 		return nil, Stats{}, errors.New("netmr: master is not listening")
 	}
-	stats := Stats{Workers: m.WorkerCount(), Shards: shards}
+	stats = Stats{Workers: m.WorkerCount(), Shards: shards}
 	if stats.Workers == 0 {
 		return nil, Stats{}, errors.New("netmr: no workers connected")
 	}
+	ledger := newPerWorkerLedger()
+	defer func() { stats.PerWorker = ledger.snapshot() }()
 
 	// Split phase: scatter shards, collect partials at the barrier.
 	queue := make([]shardTask, 0, shards)
@@ -172,30 +348,49 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 		hi := len(records) * (i + 1) / shards
 		queue = append(queue, shardTask{id: i, records: records[lo:hi]})
 	}
-	type result struct {
+	type shardResult struct {
 		partial map[string]float64
 	}
-	resultCh := make(chan result, shards)
+	resultCh := make(chan shardResult, shards)
 	failCh := make(chan shardTask, shards)
 
 	dispatch := func(w *workerHandle, t shardTask) {
+		start := time.Now()
 		err := w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Records: t.records}, m.cfg.TaskTimeout)
 		var reply message
 		if err == nil {
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
 		}
+		elapsed := time.Since(start)
+		m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
 		if err != nil || reply.Type != "result" {
 			// Lost or misbehaving worker: drop it, requeue the shard.
-			w.c.close()
-			m.count.Add(-1)
+			ledger.shardFailed(w.id, elapsed)
+			m.metrics.reassignments.With(w.id).Inc()
+			m.dropWorker(w)
 			failCh <- t
 			return
 		}
-		resultCh <- result{partial: reply.Partial}
+		ledger.shardDone(w.id, elapsed)
+		resultCh <- shardResult{partial: reply.Partial}
 		m.idle <- w // back to the pool
 	}
 
+	requeue := func(t shardTask) error {
+		t.attempts++
+		stats.Reassignments++
+		if t.attempts >= m.cfg.MaxAttempts {
+			return fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+		}
+		if m.WorkerCount() == 0 {
+			return fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
+		}
+		queue = append(queue, t)
+		return nil
+	}
+
 	splitStart := time.Now()
+	_, splitSpan := obs.StartSpan(ctx, "map")
 	deadline := time.NewTimer(m.cfg.JobTimeout)
 	defer deadline.Stop()
 	partials := make([]map[string]float64, 0, shards)
@@ -206,20 +401,15 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			case w := <-m.idle:
 				t := queue[len(queue)-1]
 				queue = queue[:len(queue)-1]
+				m.metrics.shards.Inc()
 				go dispatch(w, t)
 			case r := <-resultCh:
 				partials = append(partials, r.partial)
 				pending--
 			case t := <-failCh:
-				t.attempts++
-				stats.Reassignments++
-				if t.attempts >= m.cfg.MaxAttempts {
-					return nil, stats, fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+				if err := requeue(t); err != nil {
+					return nil, stats, err
 				}
-				if m.WorkerCount() == 0 {
-					return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
-				}
-				queue = append(queue, t)
 			case <-ctx.Done():
 				return nil, stats, ctx.Err()
 			case <-deadline.C:
@@ -232,26 +422,23 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			partials = append(partials, r.partial)
 			pending--
 		case t := <-failCh:
-			t.attempts++
-			stats.Reassignments++
-			if t.attempts >= m.cfg.MaxAttempts {
-				return nil, stats, fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+			if err := requeue(t); err != nil {
+				return nil, stats, err
 			}
-			if m.WorkerCount() == 0 {
-				return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
-			}
-			queue = append(queue, t)
 		case <-ctx.Done():
 			return nil, stats, ctx.Err()
 		case <-deadline.C:
 			return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
 		}
 	}
+	splitSpan.End()
 	stats.SplitWall = time.Since(splitStart)
+	m.metrics.splitSeconds.Observe(stats.SplitWall.Seconds())
 
 	// Merge phase: one serial pass over all partials — the Ws(n) of this
 	// runtime, growing with the number of distinct keys shipped back.
 	mergeStart := time.Now()
+	_, mergeSpan := obs.StartSpan(ctx, "merge")
 	merged := make(map[string][]float64)
 	for _, p := range partials {
 		for k, v := range p {
@@ -262,12 +449,15 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	for k, vs := range merged {
 		out[k] = job.Reduce(k, vs)
 	}
+	mergeSpan.End()
 	stats.MergeWall = time.Since(mergeStart)
+	m.metrics.mergeSeconds.Observe(stats.MergeWall.Seconds())
 	stats.TotalWall = stats.SplitWall + stats.MergeWall
 	return out, stats, nil
 }
 
-// Close stops accepting workers and closes all idle connections. Workers
+// Close stops accepting workers, halts the heartbeat loop and the
+// observability endpoint, and closes all idle connections. Workers
 // blocked waiting for tasks observe EOF and exit.
 func (m *Master) Close() {
 	m.closeMu.Lock()
@@ -276,6 +466,13 @@ func (m *Master) Close() {
 		return
 	}
 	m.closed = true
+	if m.hbStop != nil {
+		close(m.hbStop)
+		<-m.hbDone
+	}
+	if m.obsSrv != nil {
+		_ = m.obsSrv.Close()
+	}
 	if m.ln != nil {
 		m.ln.Close()
 	}
@@ -284,6 +481,7 @@ func (m *Master) Close() {
 		case w := <-m.idle:
 			w.c.close()
 			m.count.Add(-1)
+			m.metrics.workers.Set(float64(m.count.Load()))
 		default:
 			return
 		}

@@ -1,0 +1,62 @@
+package netmr
+
+import (
+	"ipso/internal/obs"
+)
+
+// masterMetrics are the master-side instruments, registered on one obs
+// registry (the process default unless MasterConfig.Metrics overrides
+// it). Families are get-or-create, so several masters in one process
+// share counters — the per-run view lives in Stats.
+type masterMetrics struct {
+	registry      *obs.Registry
+	workersJoined *obs.Counter
+	workersLost   *obs.Counter
+	workers       *obs.Gauge
+	shards        *obs.Counter
+	reassignments *obs.CounterVec
+	heartbeats    *obs.CounterVec
+	jobs          *obs.CounterVec
+	rpcSeconds    *obs.HistogramVec
+	splitSeconds  *obs.Histogram
+	mergeSeconds  *obs.Histogram
+}
+
+func newMasterMetrics(r *obs.Registry) *masterMetrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &masterMetrics{
+		registry: r,
+		workersJoined: r.Counter("netmr_workers_joined_total",
+			"Workers admitted to the master's pool."),
+		workersLost: r.Counter("netmr_workers_lost_total",
+			"Workers dropped after an RPC or heartbeat failure."),
+		workers: r.Gauge("netmr_workers",
+			"Workers currently admitted and not lost."),
+		shards: r.Counter("netmr_shards_dispatched_total",
+			"Shard executions dispatched to workers (including retries)."),
+		reassignments: r.CounterVec("netmr_shard_reassignments_total",
+			"Shards re-queued after a worker failed, by the worker that failed.", "worker"),
+		heartbeats: r.CounterVec("netmr_heartbeats_total",
+			"Idle-worker heartbeat probes by result (ok or failed).", "result"),
+		jobs: r.CounterVec("netmr_jobs_total",
+			"Jobs run by final status (ok or error).", "status"),
+		rpcSeconds: r.HistogramVec("netmr_rpc_seconds",
+			"Shard dispatch round-trip latency by worker.", nil, "worker"),
+		splitSeconds: r.Histogram("netmr_split_seconds",
+			"Split-phase wall time (scatter + parallel map, barrier to barrier).", nil),
+		mergeSeconds: r.Histogram("netmr_merge_seconds",
+			"Serial master-side merge wall time.", nil),
+	}
+}
+
+// Worker-side instruments, on the process default registry.
+var (
+	workerTasks = obs.Default().CounterVec("netmr_worker_tasks_total",
+		"Shards executed by this process's workers, by result (ok or unknown_job).", "result")
+	workerTaskSeconds = obs.Default().Histogram("netmr_worker_task_seconds",
+		"Map+combine execution time of one shard on a worker.", nil)
+	workerPings = obs.Default().Counter("netmr_worker_pings_total",
+		"Heartbeat pings answered by this process's workers.")
+)

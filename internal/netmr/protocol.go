@@ -26,7 +26,8 @@ import (
 
 // message is the single wire frame, JSON-encoded one per line.
 type message struct {
-	Type    string             `json:"type"`              // hello | task | result | error
+	Type    string             `json:"type"`              // hello | task | result | error | ping | pong
+	ID      string             `json:"id,omitempty"`      // hello: worker identity
 	Job     string             `json:"job,omitempty"`     // task
 	TaskID  int                `json:"task_id,omitempty"` // task | result | error
 	Records []string           `json:"records,omitempty"` // task

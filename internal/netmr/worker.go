@@ -38,7 +38,10 @@ func (w *Worker) Start(masterAddr string) error {
 		return fmt.Errorf("netmr: dial master: %w", err)
 	}
 	c := newConn(raw)
-	if err := c.send(message{Type: "hello", Jobs: w.registry.Names()}, 5*time.Second); err != nil {
+	// The local endpoint is a unique, stable identity for this connection;
+	// the master uses it to attribute shards, failures and RPC latency to
+	// a specific worker.
+	if err := c.send(message{Type: "hello", ID: raw.LocalAddr().String(), Jobs: w.registry.Names()}, 5*time.Second); err != nil {
 		c.close()
 		return err
 	}
@@ -69,11 +72,20 @@ func (w *Worker) serve(c *conn) {
 		case "task":
 			job, ok := w.registry.lookup(m.Job)
 			if !ok {
+				workerTasks.With("unknown_job").Inc()
 				_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, 5*time.Second)
 				continue
 			}
+			start := time.Now()
 			partial := runShard(job, m.Records)
+			workerTaskSeconds.Observe(time.Since(start).Seconds())
+			workerTasks.With("ok").Inc()
 			if err := c.send(message{Type: "result", TaskID: m.TaskID, Partial: partial}, 30*time.Second); err != nil {
+				return
+			}
+		case "ping":
+			workerPings.Inc()
+			if err := c.send(message{Type: "pong"}, 5*time.Second); err != nil {
 				return
 			}
 		default:

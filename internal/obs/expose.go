@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4). Output is deterministic:
+// families are sorted by name and children by label values, so two
+// snapshots of the same state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		if err := fams[name].expose(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) expose(w *bufio.Writer) error {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	kids := make(map[string]any, len(keys))
+	for _, k := range keys {
+		kids[k] = f.kids[k]
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, key := range keys {
+		values := splitLabelKey(key)
+		switch m := kids[key].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, values), fmtFloat(m.Value()))
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labels, values), fmtFloat(m.Value()))
+		case *Histogram:
+			bounds, cum := m.Buckets()
+			leNames := append(append([]string(nil), f.labels...), "le")
+			withLE := func(le string) []string {
+				return append(append([]string(nil), values...), le)
+			}
+			for i, ub := range bounds {
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(leNames, withLE(fmtFloat(ub))), cum[i])
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelPairs(leNames, withLE("+Inf")), m.Count())
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelPairs(f.labels, values), fmtFloat(m.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelPairs(f.labels, values), m.Count())
+		}
+	}
+	return nil
+}
+
+// labelPairs renders {k="v",...}, or "" when there are no labels.
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

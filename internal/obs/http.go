@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsHandler serves the registry in Prometheus text format, ready
+// for any scraper pointed at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// HealthHandler serves a JSON health document. details, if non-nil, is
+// called per request and its entries are merged into the response next
+// to "status": "ok". encoding/json sorts map keys, so the document is
+// deterministic.
+func HealthHandler(details func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		doc := map[string]any{"status": "ok"}
+		if details != nil {
+			for k, v := range details() {
+				doc[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+}
+
+// Server is a live observability endpoint: /metrics and /healthz on one
+// listener.
+type Server struct {
+	Addr string // bound address (host:port)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves
+// /metrics from the registry and /healthz from the details callback in
+// the background until Close.
+func Serve(addr string, r *Registry, details func() map[string]any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/healthz", HealthHandler(details))
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

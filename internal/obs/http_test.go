@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "ticks").Add(3)
+	srv, err := Serve("127.0.0.1:0", r, func() map[string]any {
+		return map[string]any{"workers": 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := httpGet(t, "http://"+srv.Addr+"/metrics")
+	if !strings.Contains(body, "up_total 3\n") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	assertValidPrometheus(t, body)
+
+	health := httpGet(t, "http://"+srv.Addr+"/healthz")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(health), &doc); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, health)
+	}
+	if doc["status"] != "ok" || doc["workers"] != float64(2) {
+		t.Errorf("healthz = %v", doc)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// assertValidPrometheus is a minimal exposition-format parser: every
+// line must be a comment or `name[{labels}] value`, HELP/TYPE must
+// precede their family's samples, and values must parse as floats.
+func assertValidPrometheus(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, err := parseSample(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", ln+1, err)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(name, suffix); ok && typed[cut] {
+				base = cut
+				break
+			}
+		}
+		if !typed[base] {
+			t.Errorf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		_ = value
+	}
+}
+
+func parseSample(line string) (name string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unbalanced braces: %q", line)
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", 0, fmt.Errorf("want `name value`: %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, v, nil
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %g, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	for i, want := range []uint64{1, 3, 4} { // cumulative: ≤0.1, ≤1, ≤10
+		if cum[i] != want {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+}
+
+func TestVecChildrenAreDistinctAndIdempotent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs_total", "jobs", "status")
+	v.With("ok").Add(2)
+	v.With("error").Inc()
+	if v.With("ok").Value() != 2 || v.With("error").Value() != 1 {
+		t.Errorf("children mixed up: ok=%g error=%g", v.With("ok").Value(), v.With("error").Value())
+	}
+	// Re-registration with the same schema returns the same family.
+	if r.CounterVec("jobs_total", "jobs", "status").With("ok") != v.With("ok") {
+		t.Error("re-registration should return the same child")
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m_total", "m")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name should panic")
+		}
+	}()
+	r.Counter("9bad-name", "nope")
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("races_total", "concurrent", "who")
+	h := r.Histogram("race_seconds", "concurrent", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With("a").Inc()
+				v.With("b").Add(0.5)
+				h.Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := v.With("a").Value(); got != 8000 {
+		t.Errorf("a = %g, want 8000", got)
+	}
+	if got := v.With("b").Value(); got != 4000 {
+		t.Errorf("b = %g, want 4000", got)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestWritePrometheusFormatAndDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_last", "sorted last").Set(1)
+	v := r.CounterVec("aa_first_total", "sorted first", "k")
+	v.With("y").Inc()
+	v.With("x").Add(2)
+	r.Histogram("mid_seconds", `la"te\ncy`, []float64{0.5, 1}).Observe(0.25)
+
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two snapshots of the same state must be byte-identical")
+	}
+	out := a.String()
+
+	for _, want := range []string{
+		"# HELP aa_first_total sorted first",
+		"# TYPE aa_first_total counter",
+		`aa_first_total{k="x"} 2`,
+		`aa_first_total{k="y"} 1`,
+		"# TYPE mid_seconds histogram",
+		`mid_seconds_bucket{le="0.5"} 1`,
+		`mid_seconds_bucket{le="1"} 1`,
+		`mid_seconds_bucket{le="+Inf"} 1`,
+		"mid_seconds_sum 0.25",
+		"mid_seconds_count 1",
+		"# TYPE zz_last gauge",
+		"zz_last 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families in sorted name order; labeled children sorted by value.
+	if strings.Index(out, "aa_first_total") > strings.Index(out, "mid_seconds") ||
+		strings.Index(out, "mid_seconds") > strings.Index(out, "zz_last") ||
+		strings.Index(out, `{k="x"}`) > strings.Index(out, `{k="y"}`) {
+		t.Errorf("exposition order wrong:\n%s", out)
+	}
+}
+
+func TestDefaultRegistryIsShared(t *testing.T) {
+	c1 := Default().Counter("obs_test_shared_total", "shared")
+	c2 := Default().Counter("obs_test_shared_total", "shared")
+	if c1 != c2 {
+		t.Error("Default() must return one shared registry")
+	}
+}

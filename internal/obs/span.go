@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one finished span, in exactly the JSON shape of
+// trace.Event so recorded span logs feed the same extraction tooling
+// (PhaseTotal, MaxTaskDuration, ...) the harness applies to simulated
+// engine logs. Start and End are seconds since the recorder's epoch.
+type SpanEvent struct {
+	Job   string  `json:"job"`
+	Stage int     `json:"stage"`
+	Phase string  `json:"phase"`
+	Task  int     `json:"task"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Recorder collects finished spans for one job execution. It is safe for
+// concurrent use; a nil *Recorder is a valid no-op sink, which is what
+// code paths see when the context carries no recorder.
+type Recorder struct {
+	job   string
+	epoch time.Time
+
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// NewRecorder starts an empty span log for the named job; span
+// timestamps are measured from this call.
+func NewRecorder(job string) *Recorder {
+	return &Recorder{job: job, epoch: time.Now()}
+}
+
+// Events returns a copy of the finished spans in end order.
+func (r *Recorder) Events() []SpanEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len reports the number of finished spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON writes the spans as JSON Lines, one event per line — the
+// format trace.ReadJSON parses.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+type recorderKey struct{}
+
+type spanKey struct{}
+
+// WithRecorder returns a context carrying the recorder; StartSpan calls
+// below it record into rec. A nil rec disables recording.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// RecorderFrom returns the context's recorder, or nil when absent.
+func RecorderFrom(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return rec
+}
+
+// Span is one in-flight wall-clock interval. A nil *Span (returned when
+// the context has no recorder) accepts every method as a no-op, so
+// instrumentation sites need no conditionals.
+type Span struct {
+	rec   *Recorder
+	phase string
+	stage int
+	task  int
+	start time.Time
+	once  sync.Once
+}
+
+// StartSpan begins a span named phase (use the trace.Phase vocabulary —
+// "map", "merge", ... — where it applies, so trace tooling can filter).
+// The returned context carries the span: children started from it
+// inherit its stage and task as defaults, giving nested spans a common
+// coordinate without explicit plumbing. When ctx carries no recorder the
+// original context and a nil span are returned and nothing is recorded.
+func StartSpan(ctx context.Context, phase string) (context.Context, *Span) {
+	rec := RecorderFrom(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	s := &Span{rec: rec, phase: phase, task: -1, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		s.stage = parent.stage
+		s.task = parent.task
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetStage tags the span (and, through inheritance, its children) with a
+// stage index.
+func (s *Span) SetStage(stage int) *Span {
+	if s != nil {
+		s.stage = stage
+	}
+	return s
+}
+
+// SetTask tags the span as a task-level event (trace tooling treats
+// Task >= 0 as per-task measurements).
+func (s *Span) SetTask(task int) *Span {
+	if s != nil {
+		s.task = task
+	}
+	return s
+}
+
+// End finishes the span and records it. End is idempotent; only the
+// first call records.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() {
+		end := time.Now()
+		e := SpanEvent{
+			Job:   s.rec.job,
+			Stage: s.stage,
+			Phase: s.phase,
+			Task:  s.task,
+			Start: s.start.Sub(s.rec.epoch).Seconds(),
+			End:   end.Sub(s.rec.epoch).Seconds(),
+		}
+		s.rec.mu.Lock()
+		s.rec.events = append(s.rec.events, e)
+		s.rec.mu.Unlock()
+	})
+}

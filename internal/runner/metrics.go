@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"context"
+	"time"
+
+	"ipso/internal/obs"
+)
+
+// Pool instrumentation, on the process-wide obs registry: counters for
+// task lifecycle, histograms for queue wait (Map entry → task pickup)
+// and task execution time, and a gauge of workers currently executing.
+// Metrics never touch stdout, so the byte-identical-output contract of
+// the harness is unaffected by instrumentation.
+var (
+	tasksStarted = obs.Default().Counter("runner_tasks_started_total",
+		"Tasks picked up by a pool worker.")
+	tasksCompleted = obs.Default().Counter("runner_tasks_completed_total",
+		"Tasks that returned without error.")
+	tasksFailed = obs.Default().Counter("runner_tasks_failed_total",
+		"Tasks that returned an error.")
+	tasksPanicked = obs.Default().Counter("runner_tasks_panicked_total",
+		"Tasks that panicked and were recovered into errors.")
+	queueWait = obs.Default().Histogram("runner_queue_wait_seconds",
+		"Time from Map entry until a worker picked the task up.", nil)
+	taskSeconds = obs.Default().Histogram("runner_task_seconds",
+		"Task execution time.", nil)
+	liveWorkers = obs.Default().Gauge("runner_workers",
+		"Pool workers currently executing a task.")
+)
+
+// observed wraps one task execution with metrics and, when the context
+// carries an obs recorder, a per-task "map" span — the measurement the
+// selfdiag experiment extracts Wp and E[max Tp,i] from.
+func observed[T any](ctx context.Context, i int, enqueued time.Time, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	start := time.Now()
+	queueWait.Observe(start.Sub(enqueued).Seconds())
+	tasksStarted.Inc()
+	liveWorkers.Inc()
+	spanCtx, span := obs.StartSpan(ctx, "map")
+	span.SetTask(i)
+
+	v, err := protect(spanCtx, i, fn)
+
+	span.End()
+	liveWorkers.Dec()
+	taskSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		tasksCompleted.Inc()
+	case isPanicError(err):
+		tasksPanicked.Inc()
+	default:
+		tasksFailed.Inc()
+	}
+	return v, err
+}

@@ -29,6 +29,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 type workersKey struct{}
@@ -65,6 +66,7 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	if workers > n {
 		workers = n
 	}
+	enqueued := time.Now()
 	if workers <= 1 {
 		// Serial fast path: identical task order and RNG usage to the
 		// original single-goroutine harness.
@@ -72,7 +74,7 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := protect(ctx, i, fn)
+			v, err := observed(ctx, i, enqueued, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -99,7 +101,7 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 					errs[i] = err
 					return
 				}
-				v, err := protect(runCtx, i, fn)
+				v, err := observed(runCtx, i, enqueued, fn)
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -143,11 +145,24 @@ func ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) err
 	return err
 }
 
+// panicError marks an error recovered from a task panic, so metrics can
+// distinguish panics from ordinary failures.
+type panicError struct{ err error }
+
+func (p panicError) Error() string { return p.err.Error() }
+
+func (p panicError) Unwrap() error { return p.err }
+
+func isPanicError(err error) bool {
+	var pe panicError
+	return errors.As(err, &pe)
+}
+
 // protect runs one task with panic-to-error recovery.
 func protect[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("runner: task %d panicked: %v\n%s", i, r, debug.Stack())
+			err = panicError{fmt.Errorf("runner: task %d panicked: %v\n%s", i, r, debug.Stack())}
 		}
 	}()
 	return fn(ctx, i)

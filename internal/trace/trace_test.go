@@ -132,6 +132,51 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadJSONMalformedInputs(t *testing.T) {
+	valid := `{"job":"sort","stage":0,"phase":"map","task":0,"start":1,"end":5}`
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+	}{
+		{"empty input", "", true},
+		{"single valid line", valid + "\n", true},
+		{"truncated line", valid + "\n" + `{"job":"sort","phase":"map","task":1,"sta`, false},
+		{"wrong field type", `{"job":"sort","phase":"map","task":0,"start":"abc","end":5}`, false},
+		{"non-object event", `[1,2,3]`, false},
+		{"bare scalar event", `"map"`, false},
+		{"out-of-order timestamps", valid + "\n" + `{"job":"sort","phase":"map","task":1,"start":9,"end":2}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := ReadJSON(strings.NewReader(tc.input))
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ReadJSON(%q): %v", tc.input, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ReadJSON(%q) accepted malformed input (%d events)", tc.input, l.Len())
+			}
+		})
+	}
+}
+
+// A malformed tail must not hand the caller a partially filled log: the
+// error comes with a nil *Log, so there is no temptation to analyze a
+// trace whose later phases silently vanished.
+func TestReadJSONNoPartialLog(t *testing.T) {
+	input := `{"job":"sort","phase":"map","task":0,"start":1,"end":5}` + "\n" + `{broken`
+	l, err := ReadJSON(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("malformed tail should error")
+	}
+	if l != nil {
+		t.Fatalf("got partial log with %d events, want nil", l.Len())
+	}
+}
+
 func TestEventsReturnsCopy(t *testing.T) {
 	l := buildSampleLog(t)
 	evs := l.Events()
