@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping each benchmark to its measured cost, stamped with the
+// commit and date it was measured at:
+//
+//	go test -bench=. -benchtime=5x -benchmem | benchjson -commit $(git rev-parse HEAD) -o BENCH_ipsobench.json
+//
+// CI uses it to publish BENCH_ipsobench.json as both a build artifact
+// and a committed baseline at the repo root, so benchmark history is
+// queryable from the git log alone, without an external dashboard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's measured cost.
+type Benchmark struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the file layout: provenance plus name→cost. Marshalling a
+// map sorts its keys, so regenerated files diff cleanly.
+type Document struct {
+	Commit     string               `json:"commit"`
+	Date       string               `json:"date"`
+	Go         string               `json:"go,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one result row, e.g.
+// "BenchmarkFig2-8   	     100	     68768 ns/op	  2880 B/op	  45 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// Parse reads `go test -bench` output and collects the result rows.
+// The trailing -N GOMAXPROCS suffix is stripped so the key is stable
+// across machines. Non-benchmark lines (goos, pkg, PASS, ok) are
+// ignored; a malformed number inside a matched row is an error.
+func Parse(r io.Reader) (map[string]Benchmark, error) {
+	out := map[string]Benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var b Benchmark
+		var err error
+		if b.Iterations, err = strconv.Atoi(m[2]); err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if m[4] != "" {
+			if b.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+			}
+		}
+		if m[5] != "" {
+			if b.AllocsPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		out[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	commit := fs.String("commit", "", "commit hash the benchmarks were measured at")
+	date := fs.String("date", "", "measurement date (e.g. 2026-08-05)")
+	goVersion := fs.String("go", "", "go toolchain version used")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("benchjson: no benchmark rows on stdin")
+	}
+	doc := Document{Commit: *commit, Date: *date, Go: *goVersion, Benchmarks: benches}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*outPath, data, 0o644)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

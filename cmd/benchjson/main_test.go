@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ipso
+cpu: Some CPU @ 2.20GHz
+BenchmarkFig2_FixedTimeTaxonomy-8   	     100	     68768 ns/op	    2880 B/op	      45 allocs/op
+BenchmarkProvisioning   	      50	     22168.5 ns/op
+BenchmarkNoMem-16   	       1	     12345 ns/op	     100 B/op	       2 allocs/op
+PASS
+ok  	ipso	1.234s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d rows, want 3: %v", len(got), got)
+	}
+	fig2, ok := got["BenchmarkFig2_FixedTimeTaxonomy"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if fig2.Iterations != 100 || fig2.NsPerOp != 68768 || fig2.BytesPerOp != 2880 || fig2.AllocsPerOp != 45 {
+		t.Errorf("fig2 = %+v", fig2)
+	}
+	prov := got["BenchmarkProvisioning"]
+	if prov.NsPerOp != 22168.5 || prov.BytesPerOp != 0 {
+		t.Errorf("row without -benchmem fields = %+v", prov)
+	}
+}
+
+func TestRunEmitsDocument(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-commit", "abc123", "-date", "2026-08-05", "-go", "go1.22"},
+		strings.NewReader(sampleOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Commit != "abc123" || doc.Date != "2026-08-05" || doc.Go != "go1.22" {
+		t.Errorf("provenance = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Errorf("document has %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("PASS\nok ipso 0.1s\n"), &out); err == nil {
+		t.Error("no benchmark rows should be an error")
+	}
+}

@@ -64,6 +64,7 @@ func TestRunEverythingQuick(t *testing.T) {
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "ablation-contention",
 		"futurework", "surface", "fixedsize-mr", "realnet", "selfdiag",
+		"straggler",
 	} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("full run missing experiment %s", id)

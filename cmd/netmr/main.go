@@ -16,6 +16,22 @@
 // /healthz JSON endpoint for the duration of the run; -heartbeat enables
 // periodic liveness pings that evict dead idle workers.
 //
+// Resilience knobs (master): -maxattempts bounds the retry budget per
+// shard lineage, -retrybase/-retrymax/-retryjitter/-retryseed shape the
+// capped exponential backoff, and -speculate enables straggler cloning
+// on the given check interval. If the job cannot finish (for example
+// every worker died), the master still prints the partial statistics it
+// gathered — including the per-worker breakdown — before exiting
+// nonzero, so a degraded run is diagnosable from its output.
+//
+// Fault injection (both roles): -chaos-seed plus -chaos-latency,
+// -chaos-task-latency (distributions like fixed:5ms, exp:5ms,
+// pareto:10ms,1.5,2s, lognormal:8ms,1.2,1s), -chaos-drop, -chaos-corrupt,
+// -chaos-partition/-chaos-partition-dur, -chaos-crash, and -chaos-grace
+// build a seeded, byte-reproducible chaos.Injector: on a worker it
+// perturbs the worker's connection and task execution; on the master it
+// perturbs every admitted connection.
+//
 // Built-in jobs: wordcount (occurrences per word), wordlen (summed word
 // lengths per first letter).
 package main
@@ -31,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"ipso/internal/chaos"
 	"ipso/internal/netmr"
 	"ipso/internal/workload"
 )
@@ -84,7 +101,33 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "master: input generator seed")
 	metricsAddr := fs.String("metricsaddr", "", "master: serve /metrics and /healthz on this address (e.g. 127.0.0.1:0)")
 	heartbeat := fs.Duration("heartbeat", 0, "master: idle-worker liveness ping interval (0 = disabled)")
+
+	maxAttempts := fs.Int("maxattempts", 0, "master: retry budget per shard lineage (0 = default 3)")
+	retryBase := fs.Duration("retrybase", 0, "master: initial retry backoff (0 = default 20ms)")
+	retryMax := fs.Duration("retrymax", 0, "master: retry backoff cap (0 = default 2s)")
+	retryJitter := fs.Float64("retryjitter", 0, "master: retry jitter fraction (0 = default 0.2, negative disables)")
+	retrySeed := fs.Int64("retryseed", 0, "master: deterministic jitter seed")
+	speculate := fs.Duration("speculate", 0, "master: straggler-check interval enabling speculative clones (0 = disabled)")
+
+	chaosSeed := fs.Int64("chaos-seed", 0, "fault injection seed (faults are byte-reproducible per seed)")
+	chaosLatency := fs.String("chaos-latency", "", "injected wire latency distribution (e.g. fixed:5ms, pareto:10ms,1.5,2s)")
+	chaosTaskLatency := fs.String("chaos-task-latency", "", "worker: injected per-task latency distribution")
+	chaosDrop := fs.Float64("chaos-drop", 0, "probability a write kills the connection")
+	chaosCorrupt := fs.Float64("chaos-corrupt", 0, "probability a write has one payload bit flipped")
+	chaosPartition := fs.Float64("chaos-partition", 0, "probability a write opens a partition window")
+	chaosPartitionDur := fs.Duration("chaos-partition-dur", 0, "partition window length (default 250ms)")
+	chaosCrash := fs.Float64("chaos-crash", 0, "worker: probability a task attempt crashes the worker")
+	chaosGrace := fs.Int("chaos-grace", 1, "connection operations exempt from faults (covers the handshake)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	injector, err := buildInjector(chaosConfigArgs{
+		seed: *chaosSeed, latency: *chaosLatency, taskLatency: *chaosTaskLatency,
+		drop: *chaosDrop, corrupt: *chaosCorrupt,
+		partition: *chaosPartition, partitionDur: *chaosPartitionDur,
+		crash: *chaosCrash, grace: *chaosGrace,
+	})
+	if err != nil {
 		return err
 	}
 	switch *role {
@@ -93,12 +136,57 @@ func run(args []string, out io.Writer) error {
 			addr: *addr, job: *job, lines: *lines, shards: *shards,
 			workers: *workers, seed: *seed,
 			metricsAddr: *metricsAddr, heartbeat: *heartbeat,
+			maxAttempts: *maxAttempts,
+			retryBase:   *retryBase, retryMax: *retryMax,
+			retryJitter: *retryJitter, retrySeed: *retrySeed,
+			speculate: *speculate,
+			chaos:     injector,
 		})
 	case "worker":
-		return runWorker(out, *addr)
+		return runWorker(out, *addr, injector)
 	default:
 		return errors.New("need -role master or -role worker")
 	}
+}
+
+// chaosConfigArgs carries the parsed -chaos-* flags.
+type chaosConfigArgs struct {
+	seed                     int64
+	latency, taskLatency     string
+	drop, corrupt, partition float64
+	partitionDur             time.Duration
+	crash                    float64
+	grace                    int
+}
+
+// buildInjector turns the -chaos-* flags into an injector, or nil when
+// every fault knob is at rest (nil disables injection entirely).
+func buildInjector(a chaosConfigArgs) (*chaos.Injector, error) {
+	cfg := chaos.Config{
+		Seed:              a.seed,
+		DropRate:          a.drop,
+		CorruptRate:       a.corrupt,
+		PartitionRate:     a.partition,
+		PartitionDuration: a.partitionDur,
+		CrashRate:         a.crash,
+		GraceOps:          a.grace,
+	}
+	var err error
+	if a.latency != "" {
+		if cfg.Latency, err = chaos.ParseDist(a.latency); err != nil {
+			return nil, fmt.Errorf("-chaos-latency: %w", err)
+		}
+	}
+	if a.taskLatency != "" {
+		if cfg.TaskLatency, err = chaos.ParseDist(a.taskLatency); err != nil {
+			return nil, fmt.Errorf("-chaos-task-latency: %w", err)
+		}
+	}
+	if cfg.Latency.Kind == chaos.DistNone && cfg.TaskLatency.Kind == chaos.DistNone &&
+		cfg.DropRate == 0 && cfg.CorruptRate == 0 && cfg.PartitionRate == 0 && cfg.CrashRate == 0 {
+		return nil, nil
+	}
+	return chaos.New(cfg), nil
 }
 
 type masterOptions struct {
@@ -108,6 +196,13 @@ type masterOptions struct {
 	seed          int64
 	metricsAddr   string
 	heartbeat     time.Duration
+
+	maxAttempts         int
+	retryBase, retryMax time.Duration
+	retryJitter         float64
+	retrySeed           int64
+	speculate           time.Duration
+	chaos               *chaos.Injector
 }
 
 func runMaster(out io.Writer, opts masterOptions) error {
@@ -115,7 +210,16 @@ func runMaster(out io.Writer, opts masterOptions) error {
 	if err != nil {
 		return err
 	}
-	master, err := netmr.NewMaster(registry, netmr.MasterConfig{HeartbeatInterval: opts.heartbeat})
+	master, err := netmr.NewMaster(registry, netmr.MasterConfig{
+		HeartbeatInterval:   opts.heartbeat,
+		MaxAttempts:         opts.maxAttempts,
+		RetryBaseDelay:      opts.retryBase,
+		RetryMaxDelay:       opts.retryMax,
+		RetryJitter:         opts.retryJitter,
+		RetrySeed:           opts.retrySeed,
+		SpeculationInterval: opts.speculate,
+		Chaos:               opts.chaos,
+	})
 	if err != nil {
 		return err
 	}
@@ -142,6 +246,12 @@ func runMaster(out io.Writer, opts masterOptions) error {
 	}
 	result, stats, err := master.Run(context.Background(), opts.job, input, opts.shards)
 	if err != nil {
+		// A degraded run is still a diagnosable one: report everything
+		// the master learned before it gave up, then fail.
+		fmt.Fprintf(out, "job %q did not complete: %v\n", opts.job, err)
+		fmt.Fprintf(out, "degraded: %d of %d shards completed on %d worker(s); partial statistics follow\n",
+			stats.Completed, stats.Shards, stats.Workers)
+		printStats(out, stats)
 		return err
 	}
 	total := 0.0
@@ -149,20 +259,36 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		total += v
 	}
 	fmt.Fprintf(out, "job %q over %d lines: %d keys, value total %.0f\n", opts.job, opts.lines, len(result), total)
-	fmt.Fprintf(out, "workers %d, shards %d, reassignments %d\n", stats.Workers, stats.Shards, stats.Reassignments)
+	printStats(out, stats)
+	return nil
+}
+
+// printStats renders a Stats — complete or partial — in the CLI's
+// output format.
+func printStats(out io.Writer, stats netmr.Stats) {
+	fmt.Fprintf(out, "workers %d, shards %d, completed %d, reassignments %d\n",
+		stats.Workers, stats.Shards, stats.Completed, stats.Reassignments)
+	if stats.Speculations > 0 || stats.Duplicates > 0 || stats.Cancellations > 0 {
+		fmt.Fprintf(out, "speculations %d (wins %d), duplicates discarded %d, launches abandoned %d\n",
+			stats.Speculations, stats.SpecWins, stats.Duplicates, stats.Cancellations)
+	}
 	fmt.Fprintf(out, "split %v | merge %v | total %v\n", stats.SplitWall, stats.MergeWall, stats.TotalWall)
 	for _, w := range stats.PerWorker {
 		fmt.Fprintf(out, "worker %s: shards %d, reassignments %d, busy %v\n", w.ID, w.ShardsRun, w.Reassignments, w.Busy)
 	}
-	return nil
 }
 
-func runWorker(out io.Writer, addr string) error {
+func runWorker(out io.Writer, addr string, injector *chaos.Injector) error {
 	registry, err := netmr.NewRegistry(builtinJobs()...)
 	if err != nil {
 		return err
 	}
-	worker, err := netmr.NewWorker(registry)
+	var wopts []netmr.WorkerOption
+	if injector.Enabled() {
+		fmt.Fprintf(out, "fault injection enabled (seed %d)\n", injector.Seed())
+		wopts = append(wopts, netmr.WithChaos(injector))
+	}
+	worker, err := netmr.NewWorker(registry, wopts...)
 	if err != nil {
 		return err
 	}

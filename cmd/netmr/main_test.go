@@ -130,3 +130,78 @@ func TestMasterEndToEndWithInProcessWorker(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildInjector(t *testing.T) {
+	if in, err := buildInjector(chaosConfigArgs{seed: 9, grace: 1}); err != nil || in != nil {
+		t.Errorf("all-zero knobs should yield nil injector, got %v, %v", in, err)
+	}
+	if _, err := buildInjector(chaosConfigArgs{latency: "pareto:oops"}); err == nil {
+		t.Error("bad -chaos-latency spec should error")
+	}
+	if _, err := buildInjector(chaosConfigArgs{taskLatency: "warp:1ms"}); err == nil {
+		t.Error("bad -chaos-task-latency spec should error")
+	}
+	in, err := buildInjector(chaosConfigArgs{seed: 9, drop: 0.3, latency: "fixed:2ms", grace: 1})
+	if err != nil || !in.Enabled() {
+		t.Fatalf("expected enabled injector, got %v, %v", in, err)
+	}
+	if in.Seed() != 9 {
+		t.Errorf("injector seed = %d, want 9", in.Seed())
+	}
+}
+
+// TestRunMasterDegradedPrintsPartialStats kills the only worker mid-job
+// (injected crash on its first task) and checks the master still reports
+// everything it learned — the degradation message, completion counts,
+// and the per-worker breakdown — before exiting with the error.
+func TestRunMasterDegradedPrintsPartialStats(t *testing.T) {
+	addr := reservePort(t)
+	workerReady := make(chan error, 1)
+	go func() {
+		reg, err := netmr.NewRegistry(builtinJobs()...)
+		if err != nil {
+			workerReady <- err
+			return
+		}
+		in, err := buildInjector(chaosConfigArgs{seed: 3, crash: 1, grace: 1})
+		if err != nil {
+			workerReady <- err
+			return
+		}
+		w, err := netmr.NewWorker(reg, netmr.WithChaos(in))
+		if err != nil {
+			workerReady <- err
+			return
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := w.Start(addr); err == nil {
+				workerReady <- nil
+				return
+			} else if time.Now().After(deadline) {
+				workerReady <- err
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	var sb strings.Builder
+	err := run([]string{
+		"-role", "master", "-addr", addr,
+		"-job", "wordcount", "-lines", "100", "-shards", "4", "-workers", "1",
+		"-retrybase", "1ms", "-retrymax", "2ms",
+	}, &sb)
+	if werr := <-workerReady; werr != nil {
+		t.Fatalf("worker: %v", werr)
+	}
+	if err == nil {
+		t.Fatalf("master should fail once its only worker crashed; output:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"did not complete", "degraded:", "of 4 shards completed", "worker "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded output missing %q:\n%s", want, out)
+		}
+	}
+}

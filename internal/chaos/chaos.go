@@ -1,0 +1,430 @@
+// Package chaos is the seeded, deterministic fault-injection layer of
+// the harness. IPSO's statistic speedup (Eq. 7/8) is governed by the
+// max-order statistic E[max Tp,i(n)]: one straggling or failed shard
+// inflates a whole job, which is exactly what the paper diagnoses on
+// EC2/EMR traces. This package makes those tail effects reproducible on
+// demand: an Injector derives every fault decision — injected latency,
+// connection drops, payload corruption, partitions, worker crashes —
+// from a SplitMix64 stream keyed by a root seed and stable identifiers,
+// so the same seed yields the same fault schedule on every run.
+//
+// Two injection surfaces are exposed: WrapConn decorates a net.Conn
+// with wire-level faults (latency before each op, drops and corruption
+// on writes, injector-wide partition windows), and TaskFault yields the
+// execution-level faults of one task attempt (added latency, crash).
+// Both are nil-receiver safe so production code can call through an
+// unconfigured *Injector at zero cost.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ipso/internal/obs"
+)
+
+// golden is the SplitMix64 increment (2^64 / phi).
+const golden = 0x9E3779B97F4A7C15
+
+// Mix is the SplitMix64 finalizer: a bijective avalanche over 64 bits.
+// It is the primitive behind every derived seed in the harness (the
+// runner's per-task seeds use it too), so one well-tested mixer defines
+// all deterministic stream splitting.
+func Mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Derive folds labeled parts into seed, yielding an independent stream
+// seed for the (seed, parts...) identity. With a single part it is
+// exactly the runner's TaskSeed derivation, so task-level and
+// fault-level streams share one construction.
+func Derive(seed uint64, parts ...uint64) uint64 {
+	z := seed
+	for _, p := range parts {
+		z = Mix(z + (p+1)*golden)
+	}
+	return z
+}
+
+// hashString folds a string key (a stream name, a worker ID) into a
+// uint64 for Derive. FNV-1a: stable across runs and platforms.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SplitMix64 is the tiny, fast, seedable PRNG every fault decision is
+// drawn from. It is not safe for concurrent use; derive one stream per
+// goroutine with Derive instead of sharing.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator starting from seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Uint64 returns the next value of the stream.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += golden
+	return Mix(s.state)
+}
+
+// Float64 returns the next value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Config tunes an Injector. Zero rates and a zero-kind latency
+// distribution inject nothing, so the zero value is a no-op injector.
+type Config struct {
+	// Seed roots every decision stream; two injectors with the same
+	// seed and the same keyed call sequence make identical decisions.
+	Seed int64
+
+	// Latency is sampled and slept before each wrapped connection
+	// operation (reads and writes).
+	Latency Dist
+	// DropRate is the probability a wrapped connection is killed at a
+	// write: the write fails, the connection closes, and every later op
+	// errors — a worker process dying mid-RPC.
+	DropRate float64
+	// CorruptRate is the probability one payload byte of a write is
+	// flipped (never a newline, so line framing survives and the peer
+	// sees a decode error instead of a stall).
+	CorruptRate float64
+	// PartitionRate is the probability a write starts a partition
+	// window of PartitionDuration during which every op on every
+	// connection wrapped by this injector fails — a correlated network
+	// partition rather than a single bad socket.
+	PartitionRate     float64
+	PartitionDuration time.Duration
+
+	// TaskLatency is the extra execution time TaskFault assigns to a
+	// task attempt — the knob that manufactures stragglers.
+	TaskLatency Dist
+	// CrashRate is the probability TaskFault tells the executor to
+	// crash instead of completing the attempt.
+	CrashRate float64
+
+	// GraceOps exempts the first GraceOps operations of each wrapped
+	// connection from faults, letting handshakes complete so chaos
+	// exercises steady-state paths rather than connection setup.
+	GraceOps int
+
+	// Metrics receives the chaos_injected_total counters; nil means the
+	// process-wide obs.Default().
+	Metrics *obs.Registry
+}
+
+// Injector makes deterministic fault decisions from a Config. The nil
+// *Injector is valid and injects nothing.
+type Injector struct {
+	cfg      Config
+	injected *obs.CounterVec
+
+	mu               sync.Mutex
+	conns            uint64    // streams handed out, for unkeyed WrapConn calls
+	partitionedUntil time.Time // injector-wide partition window end
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Injector{
+		cfg: cfg,
+		injected: reg.CounterVec("chaos_injected_total",
+			"Faults injected by kind (latency, drop, corrupt, partition, task_delay, crash).", "kind"),
+	}
+}
+
+// Enabled reports whether the injector exists and can inject anything.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// Seed returns the root seed (0 for a nil injector).
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.Seed
+}
+
+// stream derives the decision stream for a named surface.
+func (in *Injector) stream(name string, parts ...uint64) *SplitMix64 {
+	key := Derive(uint64(in.cfg.Seed), append([]uint64{hashString(name)}, parts...)...)
+	return NewSplitMix64(key)
+}
+
+// record bumps the injected-fault counter for kind.
+func (in *Injector) record(kind string) { in.injected.With(kind).Inc() }
+
+// partitioned reports whether an injector-wide partition window is
+// currently open.
+func (in *Injector) partitioned(now time.Time) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return now.Before(in.partitionedUntil)
+}
+
+// startPartition opens (or extends) the partition window.
+func (in *Injector) startPartition(now time.Time) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if until := now.Add(in.cfg.PartitionDuration); until.After(in.partitionedUntil) {
+		in.partitionedUntil = until
+	}
+}
+
+// TaskFault is the execution-level fault of one task attempt.
+type TaskFault struct {
+	// Delay is extra execution latency to add before the work.
+	Delay time.Duration
+	// Crash tells the executor to die instead of completing.
+	Crash bool
+}
+
+// TaskFault returns the deterministic fault for attempt `attempt` of
+// task `task` on the named stream (typically a worker identity). The
+// same (seed, stream, task, attempt) always yields the same fault.
+func (in *Injector) TaskFault(stream string, task, attempt int) TaskFault {
+	if in == nil {
+		return TaskFault{}
+	}
+	rng := in.stream("task/"+stream, uint64(task), uint64(attempt))
+	var f TaskFault
+	if d := in.cfg.TaskLatency.sample(rng); d > 0 {
+		f.Delay = d
+		in.record("task_delay")
+	}
+	if in.cfg.CrashRate > 0 && rng.Float64() < in.cfg.CrashRate {
+		f.Crash = true
+		in.record("crash")
+	}
+	return f
+}
+
+// Dist is a latency distribution. The zero value samples zero.
+type Dist struct {
+	Kind DistKind
+	// Base is the fixed value, exponential mean, Pareto scale (minimum),
+	// or log-normal median, depending on Kind.
+	Base time.Duration
+	// Max caps every sample (0 means uncapped; required for pareto).
+	Max time.Duration
+	// Alpha is the Pareto tail index or the log-normal sigma.
+	Alpha float64
+}
+
+// DistKind names the supported latency shapes.
+type DistKind int
+
+const (
+	DistNone DistKind = iota
+	DistFixed
+	DistExponential
+	DistPareto
+	DistLogNormal
+)
+
+func (k DistKind) String() string {
+	switch k {
+	case DistNone:
+		return "none"
+	case DistFixed:
+		return "fixed"
+	case DistExponential:
+		return "exp"
+	case DistPareto:
+		return "pareto"
+	case DistLogNormal:
+		return "lognormal"
+	}
+	return "unknown"
+}
+
+// String renders the distribution in the ParseDist syntax.
+func (d Dist) String() string {
+	switch d.Kind {
+	case DistNone:
+		return "none"
+	case DistFixed:
+		return fmt.Sprintf("fixed:%v", d.Base)
+	case DistExponential:
+		if d.Max > 0 {
+			return fmt.Sprintf("exp:%v,%v", d.Base, d.Max)
+		}
+		return fmt.Sprintf("exp:%v", d.Base)
+	case DistPareto:
+		return fmt.Sprintf("pareto:%v,%g,%v", d.Base, d.Alpha, d.Max)
+	case DistLogNormal:
+		return fmt.Sprintf("lognormal:%v,%g,%v", d.Base, d.Alpha, d.Max)
+	}
+	return "unknown"
+}
+
+// ParseDist parses the CLI syntax for latency distributions:
+//
+//	none | "" — no injected latency
+//	fixed:5ms — constant
+//	exp:5ms[,100ms] — exponential with mean 5ms, optional cap
+//	pareto:2ms,1.1,500ms — Pareto with scale 2ms, tail index 1.1, cap
+//	lognormal:5ms,1.2,1s — log-normal with median 5ms, sigma 1.2, cap
+func ParseDist(s string) (Dist, error) {
+	if s == "" || s == "none" {
+		return Dist{}, nil
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	parts := strings.Split(rest, ",")
+	dur := func(i int) (time.Duration, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("chaos: distribution %q: missing argument %d", s, i+1)
+		}
+		return time.ParseDuration(strings.TrimSpace(parts[i]))
+	}
+	num := func(i int) (float64, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("chaos: distribution %q: missing argument %d", s, i+1)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(parts[i]), "%g", &v); err != nil {
+			return 0, fmt.Errorf("chaos: distribution %q: bad number %q", s, parts[i])
+		}
+		return v, nil
+	}
+	var d Dist
+	var err error
+	switch kind {
+	case "fixed":
+		d.Kind = DistFixed
+		if d.Base, err = dur(0); err != nil {
+			return Dist{}, err
+		}
+	case "exp":
+		d.Kind = DistExponential
+		if d.Base, err = dur(0); err != nil {
+			return Dist{}, err
+		}
+		if len(parts) > 1 {
+			if d.Max, err = dur(1); err != nil {
+				return Dist{}, err
+			}
+		}
+	case "pareto", "lognormal":
+		if kind == "pareto" {
+			d.Kind = DistPareto
+		} else {
+			d.Kind = DistLogNormal
+		}
+		if d.Base, err = dur(0); err != nil {
+			return Dist{}, err
+		}
+		if d.Alpha, err = num(1); err != nil {
+			return Dist{}, err
+		}
+		if d.Max, err = dur(2); err != nil {
+			return Dist{}, err
+		}
+	default:
+		return Dist{}, fmt.Errorf("chaos: unknown distribution kind %q (want none, fixed, exp, pareto, lognormal)", kind)
+	}
+	if d.Base < 0 || d.Max < 0 {
+		return Dist{}, fmt.Errorf("chaos: distribution %q: negative duration", s)
+	}
+	if (d.Kind == DistPareto || d.Kind == DistLogNormal) && d.Alpha <= 0 {
+		return Dist{}, fmt.Errorf("chaos: distribution %q: shape must be positive", s)
+	}
+	if d.Kind == DistPareto && d.Max < d.Base {
+		return Dist{}, fmt.Errorf("chaos: distribution %q: cap below scale", s)
+	}
+	return d, nil
+}
+
+// SampleSeconds draws one value in seconds — the model-time form the
+// straggler experiment computes E[max Tp,i(n)] from.
+func (d Dist) SampleSeconds(rng *SplitMix64) float64 {
+	return d.sampleSeconds(rng)
+}
+
+// Sample draws one value as a duration (wire/task injection form).
+func (d Dist) Sample(rng *SplitMix64) time.Duration { return d.sample(rng) }
+
+func (d Dist) sample(rng *SplitMix64) time.Duration {
+	if d.Kind == DistNone {
+		return 0
+	}
+	return time.Duration(d.sampleSeconds(rng) * float64(time.Second))
+}
+
+func (d Dist) sampleSeconds(rng *SplitMix64) float64 {
+	base := d.Base.Seconds()
+	cap := d.Max.Seconds()
+	var v float64
+	switch d.Kind {
+	case DistNone:
+		return 0
+	case DistFixed:
+		return base
+	case DistExponential:
+		v = base * expSample(rng)
+	case DistPareto:
+		// Inverse-CDF of the Pareto tail x^-alpha, truncated at Max so a
+		// single draw cannot exceed the cap (mirrors internal/stats).
+		u := rng.Float64()
+		if cap > base {
+			// Truncation: map u into the CDF mass below the cap.
+			fMax := 1 - pow(base/cap, d.Alpha)
+			u *= fMax
+		}
+		v = base / pow(1-u, 1/d.Alpha)
+	case DistLogNormal:
+		// Base is the median exp(mu); Alpha is sigma.
+		v = base * exp(d.Alpha*normSample(rng))
+	}
+	if v < 0 {
+		v = 0
+	}
+	if cap > 0 && v > cap {
+		v = cap
+	}
+	return v
+}
+
+// Mean returns the distribution's analytic mean in seconds (ignoring
+// truncation for exp and lognormal, exact for fixed and truncated
+// pareto) — used by the straggler model's ideal-speedup baseline.
+func (d Dist) Mean() float64 {
+	base := d.Base.Seconds()
+	cap := d.Max.Seconds()
+	switch d.Kind {
+	case DistNone:
+		return 0
+	case DistFixed:
+		return base
+	case DistExponential:
+		return base
+	case DistPareto:
+		a := d.Alpha
+		if cap <= base {
+			return base
+		}
+		r := base / cap
+		if a == 1 {
+			return base * ln(1/r) / (1 - r)
+		}
+		return base * a / (a - 1) * (1 - pow(r, a-1)) / (1 - pow(r, a))
+	case DistLogNormal:
+		return base * exp(d.Alpha*d.Alpha/2)
+	}
+	return 0
+}

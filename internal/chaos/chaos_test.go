@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ipso/internal/obs"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	a = NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 42 and 43 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	rng := NewSplitMix64(7)
+	for i := 0; i < 10000; i++ {
+		if v := rng.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestDeriveMatchesRunnerTaskSeed(t *testing.T) {
+	// Derive with a single part must reproduce the runner's historical
+	// TaskSeed formula exactly: the byte-identical parallel evaluation
+	// depends on these values never changing.
+	legacy := func(root int64, task int) int64 {
+		z := uint64(root) + (uint64(task)+1)*0x9E3779B97F4A7C15
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		return int64(z)
+	}
+	for _, root := range []int64{0, 7, -3, 1 << 40} {
+		for task := 0; task < 64; task++ {
+			if got := int64(Derive(uint64(root), uint64(task))); got != legacy(root, task) {
+				t.Fatalf("Derive(%d, %d) = %d, want %d", root, task, got, legacy(root, task))
+			}
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	if Derive(1, 2, 3) == Derive(1, 3, 2) {
+		t.Error("part order should matter")
+	}
+	if Derive(1, 2) == Derive(2, 2) {
+		t.Error("seed should matter")
+	}
+}
+
+func TestParseDistRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"none", "fixed:5ms", "exp:5ms", "exp:5ms,100ms",
+		"pareto:2ms,1.1,500ms", "lognormal:5ms,1.2,1s",
+	} {
+		d, err := ParseDist(src)
+		if err != nil {
+			t.Fatalf("ParseDist(%q): %v", src, err)
+		}
+		back, err := ParseDist(d.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", d.String(), src, err)
+		}
+		if back != d {
+			t.Errorf("round trip %q -> %v -> %v", src, d, back)
+		}
+	}
+	if d, err := ParseDist(""); err != nil || d.Kind != DistNone {
+		t.Errorf("empty spec should be the zero distribution, got %v, %v", d, err)
+	}
+	for _, bad := range []string{"gamma:5ms", "fixed:", "pareto:2ms", "pareto:2ms,0,5ms", "pareto:10ms,1.5,5ms", "fixed:-5ms"} {
+		if _, err := ParseDist(bad); err == nil {
+			t.Errorf("ParseDist(%q) should error", bad)
+		}
+	}
+}
+
+func TestDistSampleBoundsAndDeterminism(t *testing.T) {
+	pareto := Dist{Kind: DistPareto, Base: 2 * time.Millisecond, Alpha: 1.1, Max: 500 * time.Millisecond}
+	a, b := NewSplitMix64(9), NewSplitMix64(9)
+	for i := 0; i < 5000; i++ {
+		va, vb := pareto.SampleSeconds(a), pareto.SampleSeconds(b)
+		if va != vb {
+			t.Fatal("pareto sampling not deterministic per seed")
+		}
+		if va < 0.002-1e-12 || va > 0.5+1e-12 {
+			t.Fatalf("pareto sample %v outside [scale, cap]", va)
+		}
+	}
+	exp := Dist{Kind: DistExponential, Base: 5 * time.Millisecond, Max: 20 * time.Millisecond}
+	rng := NewSplitMix64(1)
+	for i := 0; i < 5000; i++ {
+		if v := exp.SampleSeconds(rng); v < 0 || v > 0.02+1e-12 {
+			t.Fatalf("exp sample %v outside [0, cap]", v)
+		}
+	}
+	if v := (Dist{}).SampleSeconds(rng); v != 0 {
+		t.Errorf("zero dist sampled %v", v)
+	}
+	if v := (Dist{Kind: DistFixed, Base: time.Second}).SampleSeconds(rng); v != 1 {
+		t.Errorf("fixed dist sampled %v, want 1", v)
+	}
+}
+
+func TestDistMean(t *testing.T) {
+	if m := (Dist{Kind: DistFixed, Base: 3 * time.Second}).Mean(); m != 3 {
+		t.Errorf("fixed mean %v", m)
+	}
+	// Empirical vs analytic mean for the truncated Pareto.
+	d := Dist{Kind: DistPareto, Base: 100 * time.Millisecond, Alpha: 1.5, Max: 10 * time.Second}
+	rng := NewSplitMix64(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += d.SampleSeconds(rng)
+	}
+	if got, want := sum/n, d.Mean(); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("pareto empirical mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestTaskFaultDeterministicAndNilSafe(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Enabled() {
+		t.Error("nil injector should be disabled")
+	}
+	if f := nilInj.TaskFault("w", 1, 1); f != (TaskFault{}) {
+		t.Errorf("nil injector fault %+v", f)
+	}
+	cfg := Config{
+		Seed:        5,
+		TaskLatency: Dist{Kind: DistExponential, Base: 10 * time.Millisecond},
+		CrashRate:   0.5,
+		Metrics:     obs.NewRegistry(),
+	}
+	a, b := New(cfg), New(cfg)
+	crashes := 0
+	for task := 0; task < 200; task++ {
+		fa := a.TaskFault("worker-1", task, 0)
+		fb := b.TaskFault("worker-1", task, 0)
+		if fa != fb {
+			t.Fatalf("task %d: faults differ: %+v vs %+v", task, fa, fb)
+		}
+		if fa.Crash {
+			crashes++
+		}
+		if f2 := a.TaskFault("worker-2", task, 0); f2 == fa && fa.Delay > 0 {
+			t.Errorf("task %d: distinct streams produced identical nonzero faults", task)
+		}
+	}
+	if crashes < 50 || crashes > 150 {
+		t.Errorf("crash rate 0.5 produced %d/200 crashes", crashes)
+	}
+}

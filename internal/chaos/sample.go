@@ -1,0 +1,28 @@
+package chaos
+
+import "math"
+
+// Thin aliases so the distribution code reads like the formulas.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func exp(x float64) float64    { return math.Exp(x) }
+func ln(x float64) float64     { return math.Log(x) }
+
+// expSample draws a unit-mean exponential via inverse CDF.
+func expSample(rng *SplitMix64) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// normSample draws a standard normal via Box-Muller (one value per
+// call; the paired value is discarded to keep the stream stateless).
+func normSample(rng *SplitMix64) float64 {
+	u1 := rng.Float64()
+	u2 := rng.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -55,6 +55,9 @@ type Grids struct {
 
 	SelfDiagMaxWidth int // selfdiag probe-width cap (0 = uncapped)
 	SelfDiagRounds   int // selfdiag per-task spin rounds
+
+	StragglerNs   []int // straggler wave widths n
+	StragglerReps int   // straggler Monte Carlo repetitions per n
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -105,6 +108,9 @@ func DefaultGrids(quick bool) Grids {
 
 		SelfDiagMaxWidth: 16,
 		SelfDiagRounds:   200000,
+
+		StragglerNs:   []int{4, 8, 16, 32, 64, 128},
+		StragglerReps: 400,
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -115,6 +121,8 @@ func DefaultGrids(quick bool) Grids {
 		g.RealNetWorkers = []int{1, 2}
 		g.SelfDiagMaxWidth = 6
 		g.SelfDiagRounds = 60000
+		g.StragglerNs = []int{4, 16, 64}
+		g.StragglerReps = 120
 	}
 	return g
 }
@@ -399,6 +407,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return SelfDiag(ctx, cfg.Seed, g.SelfDiagMaxWidth, g.SelfDiagRounds)
+		}})
+	r.mustRegister(Experiment{ID: "straggler", Title: "Straggler tails and speculative recovery (Eq. 7/8)",
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return Straggler(ctx, g.StragglerNs, g.StragglerReps, cfg.Seed)
 		}})
 	return r
 }

@@ -17,6 +17,7 @@ func TestDefaultRegistryIDs(t *testing.T) {
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "futurework", "surface",
 		"fixedsize-mr", "ablation-contention", "realnet", "selfdiag",
+		"straggler",
 	}
 	got := r.IDs()
 	if len(got) != len(want) {
@@ -30,6 +31,9 @@ func TestDefaultRegistryIDs(t *testing.T) {
 	e, ok := r.Lookup("realnet")
 	if !ok || !e.Measured {
 		t.Error("realnet must be registered and marked Measured")
+	}
+	if e, ok := r.Lookup("straggler"); !ok || e.Measured {
+		t.Error("straggler must be registered and NOT Measured (it reports only seed-deterministic values)")
 	}
 	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "diag", "provisioning"} {
 		e, ok := r.Lookup(id)

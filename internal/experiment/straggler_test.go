@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ipso/internal/runner"
+)
+
+// TestStragglerRecovery asserts the experiment's headline claims: the
+// injected tail degrades scaling worse as n grows (E[max] of more draws
+// is larger), speculation always helps, and at the straggler-dominated
+// end of the grid it recovers at least half of the E[max] inflation —
+// the acceptance bar for the mitigation being worth its duplicates.
+func TestStragglerRecovery(t *testing.T) {
+	ns := []int{8, 32, 64}
+	rep, err := Straggler(context.Background(), ns, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range rep.Series {
+		series[s.Name] = s
+	}
+	none, ok := series["speedup/no-mitigation"]
+	if !ok {
+		t.Fatal("missing speedup/no-mitigation series")
+	}
+	spec := series["speedup/speculation"]
+	recovery := series["recovery"]
+	if len(none.Y) != len(ns) || len(spec.Y) != len(ns) || len(recovery.Y) != len(ns) {
+		t.Fatalf("series lengths %d/%d/%d, want %d", len(none.Y), len(spec.Y), len(recovery.Y), len(ns))
+	}
+	for i, n := range ns {
+		if none.Y[i] >= float64(n) {
+			t.Errorf("n=%d: no-mitigation speedup %.2f not degraded below ideal %d", n, none.Y[i], n)
+		}
+		if spec.Y[i] <= none.Y[i] {
+			t.Errorf("n=%d: speculation speedup %.2f does not beat no-mitigation %.2f", n, spec.Y[i], none.Y[i])
+		}
+		if i > 0 && recovery.Y[i] <= recovery.Y[i-1] {
+			t.Errorf("recovery not increasing with n: %.3f at n=%d vs %.3f at n=%d",
+				recovery.Y[i], n, recovery.Y[i-1], ns[i-1])
+		}
+	}
+	if last := recovery.Y[len(ns)-1]; last < 0.5 {
+		t.Errorf("recovery at n=%d is %.3f, want >= 0.5", ns[len(ns)-1], last)
+	}
+}
+
+// TestStragglerDeterministic locks the reproducibility contract with
+// chaos in the loop: same seed, any worker-pool width, byte-identical
+// report — including the real-cluster validation rows, whose facts are
+// invariant under retry/speculation races.
+func TestStragglerDeterministic(t *testing.T) {
+	render := func(workers int) string {
+		t.Helper()
+		ctx := runner.WithWorkers(context.Background(), workers)
+		rep, err := Straggler(ctx, []int{4, 16}, 50, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rep.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(1)
+	if wide := render(8); wide != serial {
+		t.Fatalf("straggler output differs across pool widths:\nserial:\n%s\nwide:\n%s", serial, wide)
+	}
+	if !strings.Contains(serial, "distinct words") {
+		t.Fatalf("report missing real-cluster validation:\n%s", serial)
+	}
+}

@@ -4,21 +4,27 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ipso/internal/chaos"
 	"ipso/internal/obs"
 )
 
 // MasterConfig tunes the master.
 type MasterConfig struct {
-	// TaskTimeout bounds one shard execution round-trip (default 30 s).
+	// TaskTimeout bounds one shard execution round-trip (default 30 s) —
+	// the per-shard deadline that turns a hung worker into a retry.
 	TaskTimeout time.Duration
-	// MaxAttempts is how many times a shard may be tried before the job
-	// fails (default 3) — the Hadoop-style task re-execution budget.
+	// MaxAttempts is how many times a shard lineage may be tried before
+	// the job fails (default 3) — the Hadoop-style task re-execution
+	// budget. A speculative clone starts a fresh lineage with its own
+	// budget; the job fails only when a shard has no live or queued
+	// launch left.
 	MaxAttempts int
 	// JobTimeout bounds a whole Run call (default 5 min).
 	JobTimeout time.Duration
@@ -29,6 +35,40 @@ type MasterConfig struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatTimeout bounds one ping round-trip (default 5 s).
 	HeartbeatTimeout time.Duration
+
+	// RetryBaseDelay is the backoff before a failed shard's first retry
+	// (default 20 ms); it doubles per attempt up to RetryMaxDelay
+	// (default 2 s), with a deterministic ±RetryJitter fraction of
+	// jitter (default 0.2; negative disables) seeded by RetrySeed —
+	// so churned clusters do not retry in lockstep, yet a fixed seed
+	// reproduces the exact delay schedule.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	RetryJitter    float64
+	RetrySeed      int64
+
+	// SpeculationInterval, when positive, makes the master check for
+	// straggling shards on this period and clone them onto idle workers
+	// (first result wins, the loser is discarded). Zero disables
+	// speculation (the default).
+	SpeculationInterval time.Duration
+	// SpeculationQuantile picks the reference completion latency from
+	// the shards finished so far (default 0.75); a shard is a straggler
+	// when its current launch has been running longer than
+	// SpeculationMultiplier (default 2) times that reference.
+	SpeculationQuantile   float64
+	SpeculationMultiplier float64
+	// SpeculationMinObservations is how many shards must have completed
+	// before the threshold is trusted (default 3).
+	SpeculationMinObservations int
+	// SpeculationMaxClones bounds the clones per shard (default 1).
+	SpeculationMaxClones int
+
+	// Chaos, when set, wraps every admitted worker connection with the
+	// injector's wire-level faults — the master-side half of the
+	// deterministic fault plane.
+	Chaos *chaos.Injector
+
 	// Metrics is the registry master instruments register on; nil means
 	// the process-wide obs.Default().
 	Metrics *obs.Registry
@@ -47,7 +87,72 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 5 * time.Second
 	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 20 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.RetryJitter == 0 {
+		c.RetryJitter = 0.2
+	} else if c.RetryJitter < 0 {
+		c.RetryJitter = 0
+	}
+	if c.SpeculationQuantile <= 0 || c.SpeculationQuantile > 1 {
+		c.SpeculationQuantile = 0.75
+	}
+	if c.SpeculationMultiplier <= 0 {
+		c.SpeculationMultiplier = 2
+	}
+	if c.SpeculationMinObservations <= 0 {
+		c.SpeculationMinObservations = 3
+	}
+	if c.SpeculationMaxClones <= 0 {
+		c.SpeculationMaxClones = 1
+	}
 	return c
+}
+
+// backoffDelay is the capped exponential backoff with deterministic
+// jitter: base·2^(attempt-1) clamped to max, scaled by a factor drawn
+// uniformly from [1-jitter, 1+jitter] out of the (seed, shard, attempt)
+// stream, clamped to max again so the cap is absolute.
+func backoffDelay(base, max time.Duration, jitter float64, seed int64, shard, attempt int) time.Duration {
+	if base <= 0 || max <= 0 || attempt < 1 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if jitter > 0 {
+		rng := chaos.NewSplitMix64(chaos.Derive(uint64(seed), uint64(shard), uint64(attempt)))
+		d = time.Duration(float64(d) * (1 + jitter*(2*rng.Float64()-1)))
+	}
+	if d > max {
+		d = max
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// latencyQuantile returns the q-quantile (nearest-rank) of xs.
+func latencyQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Round(q * float64(len(s)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
 }
 
 // WorkerStats is the per-worker slice of one Run: which worker did how
@@ -62,11 +167,18 @@ type WorkerStats struct {
 
 // Stats reports the wall-clock phase decomposition of one Run — the real
 // measurements behind the IPSO workload split: the scatter+map wave is
-// the parallelizable portion, the serial merge the internal portion.
+// the parallelizable portion, the serial merge the internal portion —
+// plus the resilience ledger: how often the run had to retry, clone, or
+// discard work to finish.
 type Stats struct {
 	Workers       int           // workers used at job start
 	Shards        int           // split-phase tasks
-	Reassignments int           // shards re-executed after worker failure
+	Completed     int           // shards that delivered a result
+	Reassignments int           // shards requeued (with backoff) after a launch failure
+	Speculations  int           // speculative clones launched for stragglers
+	SpecWins      int           // shards won by a speculative clone
+	Duplicates    int           // late sibling results discarded after completion
+	Cancellations int           // in-flight launches abandoned at exit or cancellation
 	SplitWall     time.Duration // scatter + parallel map (barrier to barrier)
 	MergeWall     time.Duration // serial master-side merge
 	TotalWall     time.Duration
@@ -157,10 +269,10 @@ func (m *Master) acceptLoop(ln net.Listener) {
 }
 
 func (m *Master) admit(raw net.Conn) {
-	c := newConn(raw)
+	c := newConn(m.cfg.Chaos.WrapConn("", raw))
 	hello, err := c.recv(10 * time.Second)
 	if err != nil || hello.Type != "hello" {
-		c.close()
+		_ = c.close()
 		return
 	}
 	id := hello.ID
@@ -173,14 +285,14 @@ func (m *Master) admit(raw net.Conn) {
 		m.metrics.workersJoined.Inc()
 		m.metrics.workers.Set(float64(m.count.Load()))
 	default:
-		c.close() // pool full
+		_ = c.close() // pool full
 	}
 }
 
 // dropWorker closes a failed worker's connection and updates the
 // population accounting.
 func (m *Master) dropWorker(w *workerHandle) {
-	w.c.close()
+	_ = w.c.close()
 	m.count.Add(-1)
 	m.metrics.workersLost.Inc()
 	m.metrics.workers.Set(float64(m.count.Load()))
@@ -248,10 +360,22 @@ func (m *Master) WaitForWorkers(n int, timeout time.Duration) error {
 	return nil
 }
 
+// shardTask is one launchable unit: a shard of records plus its lineage
+// state (retry ordinal, speculative flag, backoff maturity).
 type shardTask struct {
-	id       int
-	records  []string
-	attempts int
+	id          int
+	records     []string
+	attempts    int
+	speculative bool
+	readyAt     time.Time // zero: dispatchable immediately
+}
+
+// flight tracks the live launches of one shard: how many are out, when
+// the latest started (the straggler clock), and how many clones exist.
+type flight struct {
+	launches   int
+	lastLaunch time.Time
+	clones     int
 }
 
 // perWorkerLedger accumulates the Run's per-worker breakdown; dispatch
@@ -301,15 +425,39 @@ func (l *perWorkerLedger) snapshot() []WorkerStats {
 	return out
 }
 
+// launchDone is a successful launch's report back to the Run loop.
+type launchDone struct {
+	task    shardTask
+	partial map[string]float64
+	elapsed time.Duration
+}
+
+// launchFail is a failed launch's report, carrying the cause so budget
+// exhaustion can surface the last real error.
+type launchFail struct {
+	task shardTask
+	err  error
+}
+
 // Run scatters records into shards across the connected workers, waits
 // for the barrier, merges the partials serially, and returns the reduced
 // result with the phase timings. Reduce must be associative and
 // commutative over its values (it is applied both as the workers'
-// map-side combiner and as the master's merge). Cancelling ctx aborts
-// the job between shard completions and returns the context's error;
-// the JobTimeout deadline applies on top of it. When ctx carries an obs
-// recorder, the split and merge phases are recorded as spans ("map" and
-// "merge" in the trace vocabulary).
+// map-side combiner and as the master's merge).
+//
+// Failure handling: a launch that errors or times out is requeued with
+// capped exponential backoff and deterministic jitter, up to MaxAttempts
+// per lineage; the job degrades gracefully onto the surviving workers
+// and fails only when a shard runs out of live launches and budget (the
+// last launch error is wrapped in the returned error) or every worker is
+// gone. With SpeculationInterval set, shards running far beyond the
+// completion-latency quantile are cloned onto idle workers; the first
+// result wins and late siblings are discarded exactly once (counted in
+// Stats.Duplicates). Cancelling ctx aborts the job between events,
+// abandoning in-flight launches (counted in Stats.Cancellations), and
+// returns the context's error; the JobTimeout deadline applies on top.
+// When ctx carries an obs recorder, the split and merge phases are
+// recorded as spans ("map" and "merge" in the trace vocabulary).
 func (m *Master) Run(ctx context.Context, jobName string, records []string, shards int) (result map[string]float64, stats Stats, err error) {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
@@ -341,96 +489,238 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	ledger := newPerWorkerLedger()
 	defer func() { stats.PerWorker = ledger.snapshot() }()
 
+	shardRecords := func(id int) []string {
+		lo := len(records) * id / shards
+		hi := len(records) * (id + 1) / shards
+		return records[lo:hi]
+	}
+
 	// Split phase: scatter shards, collect partials at the barrier.
 	queue := make([]shardTask, 0, shards)
 	for i := 0; i < shards; i++ {
-		lo := len(records) * i / shards
-		hi := len(records) * (i + 1) / shards
-		queue = append(queue, shardTask{id: i, records: records[lo:hi]})
+		queue = append(queue, shardTask{id: i, records: shardRecords(i)})
 	}
-	type shardResult struct {
-		partial map[string]float64
-	}
-	resultCh := make(chan shardResult, shards)
-	failCh := make(chan shardTask, shards)
+
+	// Every launch reports exactly once; the buffers are sized for the
+	// worst case (every lineage of every shard burning its full budget)
+	// so dispatch goroutines can never block after Run returns.
+	capacity := shards * m.cfg.MaxAttempts * (1 + m.cfg.SpeculationMaxClones)
+	resultCh := make(chan launchDone, capacity)
+	failCh := make(chan launchFail, capacity)
 
 	dispatch := func(w *workerHandle, t shardTask) {
 		start := time.Now()
-		err := w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Records: t.records}, m.cfg.TaskTimeout)
+		err := w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}, m.cfg.TaskTimeout)
 		var reply message
 		if err == nil {
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
 		}
+		if err == nil && reply.Type != "result" {
+			err = fmt.Errorf("netmr: worker %s answered shard %d with %q", w.id, t.id, reply.Type)
+		}
 		elapsed := time.Since(start)
 		m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
-		if err != nil || reply.Type != "result" {
-			// Lost or misbehaving worker: drop it, requeue the shard.
+		if err != nil {
+			// Lost or misbehaving worker: drop it, report the failure.
 			ledger.shardFailed(w.id, elapsed)
 			m.metrics.reassignments.With(w.id).Inc()
 			m.dropWorker(w)
-			failCh <- t
+			failCh <- launchFail{task: t, err: err}
 			return
 		}
 		ledger.shardDone(w.id, elapsed)
-		resultCh <- shardResult{partial: reply.Partial}
+		resultCh <- launchDone{task: t, partial: reply.Partial, elapsed: elapsed}
 		m.idle <- w // back to the pool
 	}
 
-	requeue := func(t shardTask) error {
-		t.attempts++
-		stats.Reassignments++
-		if t.attempts >= m.cfg.MaxAttempts {
-			return fmt.Errorf("netmr: shard %d failed %d times", t.id, t.attempts)
+	inflight := make(map[int]*flight, shards)
+	done := make(map[int]bool, shards)
+	var completedLat []float64 // winning-launch latencies, speculation reference
+	partials := make([]map[string]float64, 0, shards)
+	pending := shards
+
+	liveLaunches := func() int {
+		total := 0
+		for _, f := range inflight {
+			total += f.launches
 		}
-		if m.WorkerCount() == 0 {
-			return fmt.Errorf("netmr: all workers lost with shard %d outstanding", t.id)
-		}
-		queue = append(queue, t)
-		return nil
+		return total
 	}
+	queuedShard := func(id int) bool {
+		for _, t := range queue {
+			if t.id == id {
+				return true
+			}
+		}
+		return false
+	}
+	abandon := func() {
+		if n := liveLaunches(); n > 0 {
+			stats.Cancellations += n
+			m.metrics.cancellations.Add(float64(n))
+		}
+	}
+
+	var specTick <-chan time.Time
+	if m.cfg.SpeculationInterval > 0 {
+		ticker := time.NewTicker(m.cfg.SpeculationInterval)
+		defer ticker.Stop()
+		specTick = ticker.C
+	}
+	wake := time.NewTimer(time.Hour)
+	if !wake.Stop() {
+		<-wake.C
+	}
+	defer wake.Stop()
 
 	splitStart := time.Now()
 	_, splitSpan := obs.StartSpan(ctx, "map")
 	deadline := time.NewTimer(m.cfg.JobTimeout)
 	defer deadline.Stop()
-	partials := make([]map[string]float64, 0, shards)
-	pending := shards
 	for pending > 0 {
-		if len(queue) > 0 {
-			select {
-			case w := <-m.idle:
-				t := queue[len(queue)-1]
-				queue = queue[:len(queue)-1]
-				m.metrics.shards.Inc()
-				go dispatch(w, t)
-			case r := <-resultCh:
-				partials = append(partials, r.partial)
-				pending--
-			case t := <-failCh:
-				if err := requeue(t); err != nil {
-					return nil, stats, err
-				}
-			case <-ctx.Done():
-				return nil, stats, ctx.Err()
-			case <-deadline.C:
-				return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
+		// Compact finished shards out of the queue (their retries and
+		// clones are moot), then find a dispatchable task and the next
+		// backoff maturity.
+		kept := queue[:0]
+		for _, t := range queue {
+			if !done[t.id] {
+				kept = append(kept, t)
 			}
-			continue
 		}
-		select {
-		case r := <-resultCh:
-			partials = append(partials, r.partial)
-			pending--
-		case t := <-failCh:
-			if err := requeue(t); err != nil {
-				return nil, stats, err
+		queue = kept
+		now := time.Now()
+		readyIdx := -1
+		var earliest time.Time
+		for i, t := range queue {
+			if !t.readyAt.After(now) {
+				readyIdx = i
+				break
 			}
+			if earliest.IsZero() || t.readyAt.Before(earliest) {
+				earliest = t.readyAt
+			}
+		}
+		var idleCh chan *workerHandle
+		var wakeCh <-chan time.Time
+		if readyIdx >= 0 {
+			idleCh = m.idle
+		} else if !earliest.IsZero() {
+			if !wake.Stop() {
+				select {
+				case <-wake.C:
+				default:
+				}
+			}
+			wake.Reset(earliest.Sub(now))
+			wakeCh = wake.C
+		}
+
+		select {
+		case w := <-idleCh:
+			t := queue[readyIdx]
+			queue = append(queue[:readyIdx], queue[readyIdx+1:]...)
+			f := inflight[t.id]
+			if f == nil {
+				f = &flight{}
+				inflight[t.id] = f
+			}
+			f.launches++
+			f.lastLaunch = time.Now()
+			m.metrics.shards.Inc()
+			go dispatch(w, t)
+
+		case r := <-resultCh:
+			if f := inflight[r.task.id]; f != nil {
+				f.launches--
+			}
+			if done[r.task.id] {
+				// A sibling already delivered this shard: first result
+				// won, this one is discarded.
+				stats.Duplicates++
+				m.metrics.duplicates.Inc()
+				continue
+			}
+			done[r.task.id] = true
+			if r.task.speculative {
+				stats.SpecWins++
+				m.metrics.specWins.Inc()
+			}
+			completedLat = append(completedLat, r.elapsed.Seconds())
+			partials = append(partials, r.partial)
+			stats.Completed++
+			pending--
+
+		case fl := <-failCh:
+			f := inflight[fl.task.id]
+			if f != nil {
+				f.launches--
+			}
+			if done[fl.task.id] {
+				continue // sibling already delivered; failure is moot
+			}
+			t := fl.task
+			t.attempts++
+			if t.attempts >= m.cfg.MaxAttempts {
+				// This lineage is out of budget. The shard survives only
+				// if a sibling launch is live or queued.
+				if (f != nil && f.launches > 0) || queuedShard(t.id) {
+					continue
+				}
+				abandon()
+				return nil, stats, fmt.Errorf("netmr: shard %d failed %d times, retry budget exhausted: %w", t.id, t.attempts, fl.err)
+			}
+			if m.WorkerCount() == 0 && (f == nil || f.launches == 0) {
+				abandon()
+				return nil, stats, fmt.Errorf("netmr: all workers lost with shard %d outstanding: %w", t.id, fl.err)
+			}
+			delay := backoffDelay(m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay, m.cfg.RetryJitter, m.cfg.RetrySeed, t.id, t.attempts)
+			m.metrics.retries.Inc()
+			m.metrics.backoffSeconds.Observe(delay.Seconds())
+			stats.Reassignments++
+			t.readyAt = time.Now().Add(delay)
+			queue = append(queue, t)
+
+		case <-specTick:
+			if len(completedLat) < m.cfg.SpeculationMinObservations {
+				continue
+			}
+			threshold := latencyQuantile(completedLat, m.cfg.SpeculationQuantile) * m.cfg.SpeculationMultiplier
+			now := time.Now()
+			ids := make([]int, 0, len(inflight))
+			for id := range inflight {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				f := inflight[id]
+				if done[id] || f.launches == 0 || f.clones >= m.cfg.SpeculationMaxClones {
+					continue
+				}
+				if now.Sub(f.lastLaunch).Seconds() < threshold {
+					continue
+				}
+				f.clones++
+				stats.Speculations++
+				m.metrics.speculations.Inc()
+				queue = append(queue, shardTask{id: id, records: shardRecords(id), speculative: true})
+			}
+
+		case <-wakeCh:
+			// A backoff matured; rescan the queue.
+
 		case <-ctx.Done():
+			abandon()
 			return nil, stats, ctx.Err()
+
 		case <-deadline.C:
+			abandon()
 			return nil, stats, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
 		}
 	}
+	// Launches still out for shards that already completed (clone races
+	// the job outlived) are abandoned; their workers rejoin the idle
+	// pool when their RPC finishes.
+	abandon()
 	splitSpan.End()
 	stats.SplitWall = time.Since(splitStart)
 	m.metrics.splitSeconds.Observe(stats.SplitWall.Seconds())
@@ -479,7 +769,7 @@ func (m *Master) Close() {
 	for {
 		select {
 		case w := <-m.idle:
-			w.c.close()
+			_ = w.c.close()
 			m.count.Add(-1)
 			m.metrics.workers.Set(float64(m.count.Load()))
 		default:

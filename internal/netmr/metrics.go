@@ -9,17 +9,23 @@ import (
 // it). Families are get-or-create, so several masters in one process
 // share counters — the per-run view lives in Stats.
 type masterMetrics struct {
-	registry      *obs.Registry
-	workersJoined *obs.Counter
-	workersLost   *obs.Counter
-	workers       *obs.Gauge
-	shards        *obs.Counter
-	reassignments *obs.CounterVec
-	heartbeats    *obs.CounterVec
-	jobs          *obs.CounterVec
-	rpcSeconds    *obs.HistogramVec
-	splitSeconds  *obs.Histogram
-	mergeSeconds  *obs.Histogram
+	registry       *obs.Registry
+	workersJoined  *obs.Counter
+	workersLost    *obs.Counter
+	workers        *obs.Gauge
+	shards         *obs.Counter
+	reassignments  *obs.CounterVec
+	heartbeats     *obs.CounterVec
+	jobs           *obs.CounterVec
+	rpcSeconds     *obs.HistogramVec
+	splitSeconds   *obs.Histogram
+	mergeSeconds   *obs.Histogram
+	retries        *obs.Counter
+	backoffSeconds *obs.Histogram
+	speculations   *obs.Counter
+	specWins       *obs.Counter
+	duplicates     *obs.Counter
+	cancellations  *obs.Counter
 }
 
 func newMasterMetrics(r *obs.Registry) *masterMetrics {
@@ -48,13 +54,25 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 			"Split-phase wall time (scatter + parallel map, barrier to barrier).", nil),
 		mergeSeconds: r.Histogram("netmr_merge_seconds",
 			"Serial master-side merge wall time.", nil),
+		retries: r.Counter("netmr_retries_total",
+			"Shards requeued with backoff after a launch failure."),
+		backoffSeconds: r.Histogram("netmr_retry_backoff_seconds",
+			"Backoff delays applied before shard retries.", nil),
+		speculations: r.Counter("netmr_speculations_total",
+			"Speculative clones launched for straggling shards."),
+		specWins: r.Counter("netmr_speculative_wins_total",
+			"Shards whose first finished launch was a speculative clone."),
+		duplicates: r.Counter("netmr_duplicate_results_total",
+			"Late sibling results discarded after a shard already completed."),
+		cancellations: r.Counter("netmr_cancelled_launches_total",
+			"In-flight launches abandoned at job completion or cancellation."),
 	}
 }
 
 // Worker-side instruments, on the process default registry.
 var (
 	workerTasks = obs.Default().CounterVec("netmr_worker_tasks_total",
-		"Shards executed by this process's workers, by result (ok or unknown_job).", "result")
+		"Shards executed by this process's workers, by result (ok, unknown_job, or crashed).", "result")
 	workerTaskSeconds = obs.Default().Histogram("netmr_worker_task_seconds",
 		"Map+combine execution time of one shard on a worker.", nil)
 	workerPings = obs.Default().Counter("netmr_worker_pings_total",

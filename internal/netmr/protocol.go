@@ -30,6 +30,7 @@ type message struct {
 	ID      string             `json:"id,omitempty"`      // hello: worker identity
 	Job     string             `json:"job,omitempty"`     // task
 	TaskID  int                `json:"task_id,omitempty"` // task | result | error
+	Attempt int                `json:"attempt,omitempty"` // task | result: retry ordinal, 0-based
 	Records []string           `json:"records,omitempty"` // task
 	Partial map[string]float64 `json:"partial,omitempty"` // result
 	Jobs    []string           `json:"jobs,omitempty"`    // hello

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ipso/internal/chaos"
 )
 
 // Worker connects to a master and executes shards of registered jobs
@@ -14,6 +16,7 @@ import (
 // of the paper's experiments.
 type Worker struct {
 	registry *Registry
+	chaos    *chaos.Injector
 
 	mu      sync.Mutex
 	netConn net.Conn
@@ -21,12 +24,27 @@ type Worker struct {
 	done    chan struct{}
 }
 
+// WorkerOption configures a Worker at construction.
+type WorkerOption func(*Worker)
+
+// WithChaos attaches a fault injector: the worker's connection gains
+// wire-level faults (latency, drops, corruption, partitions) and every
+// task attempt consults TaskFault for injected execution latency and
+// crashes — the knobs that manufacture stragglers and churn on demand.
+func WithChaos(in *chaos.Injector) WorkerOption {
+	return func(w *Worker) { w.chaos = in }
+}
+
 // NewWorker builds a worker executing jobs from the registry.
-func NewWorker(registry *Registry) (*Worker, error) {
+func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
-	return &Worker{registry: registry, done: make(chan struct{})}, nil
+	w := &Worker{registry: registry, done: make(chan struct{})}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w, nil
 }
 
 // Start connects to the master and serves tasks on a background
@@ -37,18 +55,19 @@ func (w *Worker) Start(masterAddr string) error {
 	if err != nil {
 		return fmt.Errorf("netmr: dial master: %w", err)
 	}
-	c := newConn(raw)
 	// The local endpoint is a unique, stable identity for this connection;
 	// the master uses it to attribute shards, failures and RPC latency to
 	// a specific worker.
-	if err := c.send(message{Type: "hello", ID: raw.LocalAddr().String(), Jobs: w.registry.Names()}, 5*time.Second); err != nil {
-		c.close()
+	id := raw.LocalAddr().String()
+	c := newConn(w.chaos.WrapConn("", raw))
+	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names()}, 5*time.Second); err != nil {
+		_ = c.close()
 		return err
 	}
 	w.mu.Lock()
 	if w.stopped {
 		w.mu.Unlock()
-		c.close()
+		_ = c.close()
 		return errors.New("netmr: worker already stopped")
 	}
 	w.netConn = raw
@@ -56,7 +75,7 @@ func (w *Worker) Start(masterAddr string) error {
 
 	go func() {
 		defer close(w.done)
-		defer c.close()
+		defer func() { _ = c.close() }()
 		w.serve(c)
 	}()
 	return nil
@@ -76,11 +95,22 @@ func (w *Worker) serve(c *conn) {
 				_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, 5*time.Second)
 				continue
 			}
+			if f := w.chaos.TaskFault("task", m.TaskID, m.Attempt); f.Delay > 0 || f.Crash {
+				if f.Delay > 0 {
+					time.Sleep(f.Delay)
+				}
+				if f.Crash {
+					// A crashed worker dies without a word: the connection
+					// closes and the master reassigns the shard.
+					workerTasks.With("crashed").Inc()
+					return
+				}
+			}
 			start := time.Now()
 			partial := runShard(job, m.Records)
 			workerTaskSeconds.Observe(time.Since(start).Seconds())
 			workerTasks.With("ok").Inc()
-			if err := c.send(message{Type: "result", TaskID: m.TaskID, Partial: partial}, 30*time.Second); err != nil {
+			if err := c.send(message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: partial}, 30*time.Second); err != nil {
 				return
 			}
 		case "ping":

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ipso/internal/chaos"
 )
 
 type workersKey struct{}
@@ -168,16 +170,12 @@ func protect[T any](ctx context.Context, i int, fn func(ctx context.Context, i i
 	return fn(ctx, i)
 }
 
-// TaskSeed derives the RNG seed of task i from a root seed using a
-// SplitMix64 finalizer. Each task seeds its own rand.New, so sampling is
-// independent of both sibling tasks and worker scheduling — the
-// property that makes parallel runs byte-identical to serial ones.
+// TaskSeed derives the RNG seed of task i from a root seed using the
+// SplitMix64 finalizer shared with internal/chaos (chaos.Derive with a
+// single part reproduces this value exactly). Each task seeds its own
+// rand.New, so sampling is independent of both sibling tasks and worker
+// scheduling — the property that makes parallel runs byte-identical to
+// serial ones.
 func TaskSeed(root int64, task int) int64 {
-	z := uint64(root) + (uint64(task)+1)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
+	return int64(chaos.Derive(uint64(root), uint64(task)))
 }
