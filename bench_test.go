@@ -116,7 +116,7 @@ func BenchmarkFig8_CFSpeedup(b *testing.B) {
 func BenchmarkFig9_SparkFixedTime(b *testing.B) {
 	execs := []int{2, 4, 8, 16}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure9(context.Background(), experiment.DefaultLoadLevels(), execs); err != nil {
+		if _, err := experiment.Figure9(context.Background(), nil, experiment.DefaultLoadLevels(), execs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -124,7 +124,7 @@ func BenchmarkFig9_SparkFixedTime(b *testing.B) {
 
 func BenchmarkFig10_SparkFixedSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure10(context.Background(), experiment.DefaultFixedSizeTasks, experiment.DefaultFixedSizeExecGrid()); err != nil {
+		if _, err := experiment.Figure10(context.Background(), nil, experiment.DefaultFixedSizeTasks, experiment.DefaultFixedSizeExecGrid()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -194,7 +194,7 @@ func BenchmarkRealNetWordCount(b *testing.B) {
 
 func BenchmarkSparkSurfaceFit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.SparkSurface(context.Background(), []int{1, 2, 4}, []int{2, 4, 8, 16}); err != nil {
+		if _, err := experiment.SparkSurface(context.Background(), nil, []int{1, 2, 4}, []int{2, 4, 8, 16}); err != nil {
 			b.Fatal(err)
 		}
 	}

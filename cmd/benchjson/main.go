@@ -7,6 +7,15 @@
 // CI uses it to publish BENCH_ipsobench.json as both a build artifact
 // and a committed baseline at the repo root, so benchmark history is
 // queryable from the git log alone, without an external dashboard.
+//
+// It can also diff two such documents and gate on allocation count —
+// the one benchmark statistic that is deterministic enough to enforce
+// on shared CI runners (ns/op is noise-prone there, allocs/op is not):
+//
+//	benchjson -compare old.json new.json -max-alloc-regress 10%
+//
+// exits nonzero if any benchmark's allocs_per_op grew by more than the
+// given percentage over the committed baseline.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -87,14 +97,110 @@ func Parse(r io.Reader) (map[string]Benchmark, error) {
 	return out, nil
 }
 
+// parsePercent accepts "10%" or "10" and returns 10.0.
+func parsePercent(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("benchjson: bad percentage %q", s)
+	}
+	return v, nil
+}
+
+func readDoc(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare diffs two documents and returns an error naming every
+// benchmark whose allocs_per_op regressed more than maxAllocRegress
+// percent. Benchmarks present in only one document are reported but
+// never fail the gate (new benchmarks have no baseline; removed ones
+// have nothing to regress).
+func compare(oldDoc, newDoc Document, maxAllocRegress float64, w io.Writer) error {
+	names := make([]string, 0, len(newDoc.Benchmarks))
+	for name := range newDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		nb := newDoc.Benchmarks[name]
+		ob, ok := oldDoc.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-50s (no baseline)\n", name)
+			continue
+		}
+		nsDelta := pctChange(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := pctChange(ob.AllocsPerOp, nb.AllocsPerOp)
+		fmt.Fprintf(w, "%-50s ns/op %+7.1f%%   allocs/op %12.0f -> %-12.0f %+7.1f%%\n",
+			name, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		if ob.AllocsPerOp > 0 && allocDelta > maxAllocRegress {
+			failures = append(failures, fmt.Sprintf("%s allocs/op %+.1f%% (limit %+.1f%%)", name, allocDelta, maxAllocRegress))
+		}
+	}
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-50s (removed)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchjson: allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func pctChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (newV - oldV) / oldV
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	commit := fs.String("commit", "", "commit hash the benchmarks were measured at")
 	date := fs.String("date", "", "measurement date (e.g. 2026-08-05)")
 	goVersion := fs.String("go", "", "go toolchain version used")
 	outPath := fs.String("o", "", "output file (default stdout)")
+	compareMode := fs.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json) instead of converting")
+	maxAllocRegress := fs.String("max-alloc-regress", "10%", "with -compare: fail when allocs_per_op grows more than this over the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compareMode {
+		rest := fs.Args()
+		if len(rest) < 2 {
+			return fmt.Errorf("benchjson: -compare needs exactly two arguments: old.json new.json")
+		}
+		oldPath, newPath := rest[0], rest[1]
+		// Flag parsing stops at the first positional; pick up flags given
+		// after the two files (benchjson -compare old new -max-alloc-regress 10%).
+		if err := fs.Parse(rest[2:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("benchjson: -compare takes exactly two files, got extra %q", fs.Args())
+		}
+		limit, err := parsePercent(*maxAllocRegress)
+		if err != nil {
+			return err
+		}
+		oldDoc, err := readDoc(oldPath)
+		if err != nil {
+			return err
+		}
+		newDoc, err := readDoc(newPath)
+		if err != nil {
+			return err
+		}
+		return compare(oldDoc, newDoc, limit, stdout)
 	}
 	benches, err := Parse(stdin)
 	if err != nil {

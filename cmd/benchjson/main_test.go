@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -61,5 +62,66 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, strings.NewReader("PASS\nok ipso 0.1s\n"), &out); err == nil {
 		t.Error("no benchmark rows should be an error")
+	}
+}
+
+func writeDoc(t *testing.T, name string, doc Document) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/" + name
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGatesOnAllocRegressions(t *testing.T) {
+	oldDoc := Document{Benchmarks: map[string]Benchmark{
+		"BenchmarkA":    {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkB":    {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkGone": {NsPerOp: 1, AllocsPerOp: 1},
+	}}
+	newDoc := Document{Benchmarks: map[string]Benchmark{
+		"BenchmarkA":   {NsPerOp: 500, AllocsPerOp: 1050}, // +5% allocs: fine; ns/op is not gated
+		"BenchmarkB":   {NsPerOp: 50, AllocsPerOp: 1200},  // +20% allocs: regression
+		"BenchmarkNew": {NsPerOp: 1, AllocsPerOp: 1},      // no baseline: fine
+	}}
+	oldPath := writeDoc(t, "old.json", oldDoc)
+	newPath := writeDoc(t, "new.json", newDoc)
+
+	var out strings.Builder
+	err := run([]string{"-compare", oldPath, newPath, "-max-alloc-regress", "10%"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("20%% alloc regression passed the 10%% gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") || strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("gate named the wrong benchmarks: %v", err)
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkNew", "BenchmarkGone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report is missing %s:\n%s", want, out.String())
+		}
+	}
+
+	// A looser limit passes.
+	out.Reset()
+	if err := run([]string{"-compare", oldPath, newPath, "-max-alloc-regress", "25"}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("25%% limit should pass: %v", err)
+	}
+}
+
+func TestCompareArgValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("one file argument should be an error")
+	}
+	if err := run([]string{"-compare", "a.json", "b.json", "-max-alloc-regress", "nope"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unparsable percentage should be an error")
+	}
+	if err := run([]string{"-compare", "/does/not/exist.json", "/nope.json"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing input file should be an error")
 	}
 }

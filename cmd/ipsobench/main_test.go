@@ -99,6 +99,16 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// A second wide run exercises different memo-cache interleavings
+		// (which experiment computes a shared spark point first is
+		// scheduling-dependent); the bytes must not care.
+		wide2, err := runArgs(t, append(args, "8")...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide != wide2 {
+			t.Errorf("mode %q: repeated -parallel 8 runs differ (memoization leaked into output)", mode)
+		}
 		if serial != wide {
 			t.Errorf("mode %q: -parallel 1 and -parallel 8 outputs differ", mode)
 			for i := 0; i < len(serial) && i < len(wide); i++ {

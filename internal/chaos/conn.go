@@ -100,6 +100,39 @@ func (f *faultConn) before(isWrite bool) (corrupt bool, err error) {
 	return corrupt, nil
 }
 
+// alive reports the injected-drop state: deadline setters on a conn the
+// injector already killed surface ErrInjectedDrop (the cause) instead of
+// the underlying "use of closed network connection".
+func (f *faultConn) alive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropped {
+		return ErrInjectedDrop
+	}
+	return nil
+}
+
+func (f *faultConn) SetDeadline(t time.Time) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Conn.SetDeadline(t)
+}
+
+func (f *faultConn) SetReadDeadline(t time.Time) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Conn.SetReadDeadline(t)
+}
+
+func (f *faultConn) SetWriteDeadline(t time.Time) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.Conn.SetWriteDeadline(t)
+}
+
 func (f *faultConn) Read(b []byte) (int, error) {
 	if _, err := f.before(false); err != nil {
 		return 0, err

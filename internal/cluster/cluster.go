@@ -230,14 +230,14 @@ func (c *Cluster) Broadcast(bytes float64, done func()) error {
 		// receives at n·bytes/bw. Wo grows linearly in n; for a
 		// fixed-size workload that is q(n) ∝ n² (γ=2) per Eq. (6).
 		remaining := n
+		arrived := func() { // one shared callback for all n sends
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}
 		for i := 0; i < n; i++ {
-			err := c.masterOut.Submit(bytes/c.master.Spec.NICBW, func() {
-				remaining--
-				if remaining == 0 && done != nil {
-					done()
-				}
-			})
-			if err != nil {
+			if err := c.masterOut.Submit(bytes/c.master.Spec.NICBW, arrived); err != nil {
 				return err
 			}
 		}

@@ -79,11 +79,11 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 			t.Errorf("%s: sweeps differ across identical runs", a[i].App)
 		}
 	}
-	ra, err := Figure10(context.Background(), 32, []int{2, 4, 8, 16})
+	ra, err := Figure10(context.Background(), nil, 32, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := Figure10(context.Background(), 32, []int{2, 4, 8, 16})
+	rb, err := Figure10(context.Background(), nil, 32, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ipso/internal/spark"
+	"ipso/internal/workload"
+)
+
+func sparkApp(t *testing.T, name string) spark.AppModel {
+	t.Helper()
+	for _, app := range workload.SparkBenchmarks() {
+		if app.Name() == name {
+			return app
+		}
+	}
+	t.Fatalf("no spark benchmark named %q", name)
+	return nil
+}
+
+func TestSparkSpeedupMemoized(t *testing.T) {
+	cfg := DefaultConfig(true)
+	app := sparkApp(t, "bayes")
+
+	first, err := cfg.SparkSpeedup(app, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.SparkPointsMemoized(); got != 1 {
+		t.Fatalf("points memoized = %d, want 1", got)
+	}
+	again, err := cfg.SparkSpeedup(app, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatalf("memo hit %g differs from computation %g", again, first)
+	}
+	if got := cfg.SparkPointsMemoized(); got != 1 {
+		t.Fatalf("points memoized after hit = %d, want 1", got)
+	}
+
+	// A cache hit must be indistinguishable from a fresh computation.
+	s, _, _, err := spark.Speedup(workload.SparkConfig(app, 16, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != first {
+		t.Fatalf("memoized %g != direct %g", first, s)
+	}
+
+	// A nil Config computes without caching.
+	var nilCfg *Config
+	s2, err := nilCfg.SparkSpeedup(app, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s {
+		t.Fatalf("nil-config path %g != direct %g", s2, s)
+	}
+}
+
+// TestSparkSpeedupMemoConcurrent hammers one point and several distinct
+// points from many goroutines: every caller must see the same value per
+// point (run under -race this also proves the latching is sound).
+func TestSparkSpeedupMemoConcurrent(t *testing.T) {
+	cfg := DefaultConfig(true)
+	app := sparkApp(t, "svm")
+	const workers = 16
+	vals := make([]float64, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the goroutines share a point, half get distinct ones.
+			m := 2
+			if i%2 == 1 {
+				m = 2 + i
+			}
+			v, err := cfg.SparkSpeedup(app, 4*m, m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < workers; i += 2 {
+		if vals[i] != vals[0] {
+			t.Fatalf("shared point diverged: vals[%d]=%g vals[0]=%g", i, vals[i], vals[0])
+		}
+	}
+	if got := cfg.SparkPointsMemoized(); got != 1+workers/2 {
+		t.Fatalf("points memoized = %d, want %d", got, 1+workers/2)
+	}
+}
+
+// TestSurfaceReusesFigure9Points: the surface grid is a strict subset of
+// Fig. 9's, so running surface after fig9 on a shared Config must add no
+// new simulation points — the memoization the issue's serial-time budget
+// relies on.
+func TestSurfaceReusesFigure9Points(t *testing.T) {
+	cfg := DefaultConfig(true)
+	g := cfg.Grids
+	ctx := context.Background()
+
+	fig9, err := Figure9(ctx, cfg, g.LoadLevels, g.SparkExecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after9 := cfg.SparkPointsMemoized()
+	if after9 == 0 {
+		t.Fatal("Figure9 populated no memo points")
+	}
+	if _, err := SparkSurface(ctx, cfg, g.SurfaceLoads, g.SparkExecs); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.SparkPointsMemoized(); got != after9 {
+		t.Fatalf("surface added %d new points, want 0 (subset of fig9)", got-after9)
+	}
+
+	// And the memoized report must equal a cold, unmemoized one.
+	cold, err := Figure9(ctx, nil, g.LoadLevels, g.SparkExecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig9, cold) {
+		t.Fatal("memoized Figure9 report differs from unmemoized run")
+	}
+}

@@ -135,8 +135,9 @@ type Config struct {
 	Grids Grids
 	Seed  int64
 
-	mu       sync.Mutex
-	mrSweeps []MRSweep
+	mu        sync.Mutex
+	mrSweeps  []MRSweep
+	sparkMemo memoTable // (app, N, m) speedup points shared across experiments
 }
 
 // DefaultConfig builds the standard evaluation configuration.
@@ -355,11 +356,11 @@ func DefaultRegistry() *Registry {
 		}})
 	r.mustRegister(Experiment{ID: "fig9", Title: "Spark fixed-time dimension",
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
-			return Figure9(ctx, cfg.Grids.LoadLevels, cfg.Grids.SparkExecs)
+			return Figure9(ctx, cfg, cfg.Grids.LoadLevels, cfg.Grids.SparkExecs)
 		}})
 	r.mustRegister(Experiment{ID: "fig10", Title: "Spark fixed-size dimension",
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
-			return Figure10(ctx, cfg.Grids.FixedSizeTasks, cfg.Grids.FixedSizeExecs)
+			return Figure10(ctx, cfg, cfg.Grids.FixedSizeTasks, cfg.Grids.FixedSizeExecs)
 		}})
 	r.mustRegister(Experiment{ID: "diag", Title: "Scaling diagnoses of the case studies", Deps: []string{DepMRSweeps},
 		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, _ *Config) (Report, error) {
@@ -387,7 +388,7 @@ func DefaultRegistry() *Registry {
 		}})
 	r.mustRegister(Experiment{ID: "surface", Title: "Spark speedup surfaces S(N, m)",
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
-			return SparkSurface(ctx, cfg.Grids.SurfaceLoads, cfg.Grids.SparkExecs)
+			return SparkSurface(ctx, cfg, cfg.Grids.SurfaceLoads, cfg.Grids.SparkExecs)
 		}})
 	r.mustRegister(Experiment{ID: "fixedsize-mr", Title: "Fixed-size MapReduce dimension",
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {

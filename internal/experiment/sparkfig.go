@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"ipso/internal/runner"
-	"ipso/internal/spark"
 	"ipso/internal/workload"
 )
 
@@ -27,8 +26,9 @@ const DefaultFixedSizeTasks = 96
 func DefaultFixedSizeExecGrid() []int { return []int{2, 4, 8, 16, 24, 32, 48, 64} }
 
 // Figure9 regenerates Fig. 9: the fixed-time dimension of the four Spark
-// benchmarks — speedup versus m with N/m held at each load level.
-func Figure9(ctx context.Context, loadLevels, execs []int) (Report, error) {
+// benchmarks — speedup versus m with N/m held at each load level. cfg
+// (nil allowed) memoizes the speedup points across experiments.
+func Figure9(ctx context.Context, cfg *Config, loadLevels, execs []int) (Report, error) {
 	if len(loadLevels) == 0 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty Fig. 9 grids")
 	}
@@ -45,7 +45,7 @@ func Figure9(ctx context.Context, loadLevels, execs []int) (Report, error) {
 		app := apps[i/perApp]
 		k := loadLevels[(i%perApp)/len(execs)]
 		m := execs[i%len(execs)]
-		s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+		s, err := cfg.SparkSpeedup(app, k*m, m)
 		if err != nil {
 			return 0, fmt.Errorf("experiment: %s N/m=%d m=%d: %w", app.Name(), k, m, err)
 		}
@@ -73,7 +73,8 @@ func Figure9(ctx context.Context, loadLevels, execs []int) (Report, error) {
 
 // Figure10 regenerates Fig. 10: the fixed-size dimension — speedup versus
 // m with the problem size N fixed; the speedups peak and then fall (IVs).
-func Figure10(ctx context.Context, tasks int, execs []int) (Report, error) {
+// cfg (nil allowed) memoizes the speedup points across experiments.
+func Figure10(ctx context.Context, cfg *Config, tasks int, execs []int) (Report, error) {
 	if tasks < 1 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: invalid Fig. 10 grid (tasks=%d)", tasks)
 	}
@@ -86,7 +87,7 @@ func Figure10(ctx context.Context, tasks int, execs []int) (Report, error) {
 	ys, err := runner.Map(ctx, len(apps)*len(execs), func(_ context.Context, i int) (float64, error) {
 		app := apps[i/len(execs)]
 		m := execs[i%len(execs)]
-		s, _, _, err := spark.Speedup(workload.SparkConfig(app, tasks, m))
+		s, err := cfg.SparkSpeedup(app, tasks, m)
 		if err != nil {
 			return 0, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), tasks, m, err)
 		}

@@ -8,7 +8,7 @@ import (
 
 func TestFigure9LoadLevelOrdering(t *testing.T) {
 	execs := []int{4, 8, 16, 32}
-	rep, err := Figure9(context.Background(), DefaultLoadLevels(), execs)
+	rep, err := Figure9(context.Background(), nil, DefaultLoadLevels(), execs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestFigure9LoadLevelOrdering(t *testing.T) {
 
 func TestFigure9SublinearAtBest(t *testing.T) {
 	execs := []int{8, 32}
-	rep, err := Figure9(context.Background(), []int{4}, execs)
+	rep, err := Figure9(context.Background(), nil, []int{4}, execs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestFigure9SublinearAtBest(t *testing.T) {
 }
 
 func TestFigure10PeaksAndFalls(t *testing.T) {
-	rep, err := Figure10(context.Background(), DefaultFixedSizeTasks, DefaultFixedSizeExecGrid())
+	rep, err := Figure10(context.Background(), nil, DefaultFixedSizeTasks, DefaultFixedSizeExecGrid())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,16 +76,16 @@ func TestFigure10PeaksAndFalls(t *testing.T) {
 }
 
 func TestFigureGridValidation(t *testing.T) {
-	if _, err := Figure9(context.Background(), nil, []int{2}); err == nil {
+	if _, err := Figure9(context.Background(), nil, nil, []int{2}); err == nil {
 		t.Error("empty load levels should error")
 	}
-	if _, err := Figure9(context.Background(), []int{0}, []int{2}); err == nil {
+	if _, err := Figure9(context.Background(), nil, []int{0}, []int{2}); err == nil {
 		t.Error("invalid load level should error")
 	}
-	if _, err := Figure10(context.Background(), 0, []int{2}); err == nil {
+	if _, err := Figure10(context.Background(), nil, 0, []int{2}); err == nil {
 		t.Error("invalid task count should error")
 	}
-	if _, err := Figure10(context.Background(), 8, []int{0}); err == nil {
+	if _, err := Figure10(context.Background(), nil, 8, []int{0}); err == nil {
 		t.Error("invalid executor count should error")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"ipso/internal/runner"
-	"ipso/internal/spark"
 	"ipso/internal/stats"
 	"ipso/internal/workload"
 )
@@ -92,8 +91,11 @@ func abs64(x float64) float64 {
 // SparkSurface measures each benchmark on a (N, m) grid, fits the
 // regression surface, and reports the fitted parameters plus the
 // projected fixed-time (N/m = 4) and fixed-size (largest N) curves — the
-// methodology behind the matched curves of Figs. 9-10.
-func SparkSurface(ctx context.Context, loadLevels, execs []int) (Report, error) {
+// methodology behind the matched curves of Figs. 9-10. cfg (nil
+// allowed) memoizes the speedup points: the surface grid is a subset of
+// Fig. 9's, so under a shared Config this experiment is nearly all
+// cache hits.
+func SparkSurface(ctx context.Context, cfg *Config, loadLevels, execs []int) (Report, error) {
 	if len(loadLevels) == 0 || len(execs) == 0 {
 		return Report{}, fmt.Errorf("experiment: empty surface grids")
 	}
@@ -103,7 +105,7 @@ func SparkSurface(ctx context.Context, loadLevels, execs []int) (Report, error) 
 		app := apps[i/perApp]
 		k := loadLevels[(i%perApp)/len(execs)]
 		m := execs[i%len(execs)]
-		s, _, _, err := spark.Speedup(workload.SparkConfig(app, k*m, m))
+		s, err := cfg.SparkSpeedup(app, k*m, m)
 		if err != nil {
 			return SurfacePoint{}, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), k*m, m, err)
 		}

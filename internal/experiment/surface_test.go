@@ -48,7 +48,7 @@ func TestFitSurfaceValidation(t *testing.T) {
 }
 
 func TestSparkSurfaceReport(t *testing.T) {
-	rep, err := SparkSurface(context.Background(), []int{1, 2, 4}, []int{2, 4, 8, 16})
+	rep, err := SparkSurface(context.Background(), nil, []int{1, 2, 4}, []int{2, 4, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestSparkSurfaceReport(t *testing.T) {
 	if len(rep.Series) != 8 {
 		t.Errorf("expected 2 projected curves per app, got %d series", len(rep.Series))
 	}
-	if _, err := SparkSurface(context.Background(), nil, []int{2}); err == nil {
+	if _, err := SparkSurface(context.Background(), nil, nil, []int{2}); err == nil {
 		t.Error("empty grid should error")
 	}
 }

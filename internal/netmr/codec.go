@@ -1,0 +1,331 @@
+package netmr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Wire protocol v2: a length-prefixed binary framing that replaces the
+// line-delimited JSON of v1 on connections that negotiate it (the worker
+// advertises the "bin" capability in its JSON hello, the master answers
+// with a JSON helloack naming the accepted capabilities, and both sides
+// switch). One frame is
+//
+//	uvarint(len(body)) || body
+//	body = type byte || fields... || crc32c(body[:len(body)-4]) (4 B LE)
+//
+// Every field of message is encoded in a fixed order (strings as uvarint
+// length + bytes, ints as varints, Partial as sorted key/IEEE-754 pairs)
+// so any frame round-trips exactly and unknown type bytes still decode —
+// the binary analogue of v1's "ignore unknown frames" forward
+// compatibility. The trailing CRC-32C keeps single-bit wire corruption
+// detectable, which JSON got for free from parse errors.
+const maxFrameBytes = 1 << 26 // 64 MiB hard cap: larger prefixes are corruption
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameTypes maps message type strings to their wire bytes. 0 is
+// reserved so a zeroed buffer never looks like a valid frame.
+var frameTypes = map[string]byte{
+	"hello":     1,
+	"helloack":  2,
+	"task":      3,
+	"result":    4,
+	"error":     5,
+	"ping":      6,
+	"pong":      7,
+	"taskbatch": 8,
+}
+
+var frameNames = func() map[byte]string {
+	m := make(map[byte]string, len(frameTypes))
+	for name, b := range frameTypes {
+		m[b] = name
+	}
+	return m
+}()
+
+// encBufPool recycles frame encode buffers across connections: sends are
+// sequential per conn, so the pool keeps at most one warm buffer per P.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+// appendFrame appends the complete wire frame for m to dst. keys is a
+// reusable scratch slice for sorting Partial (may be nil); the grown
+// scratch is returned for reuse.
+func appendFrame(dst []byte, m *message, keys []string) ([]byte, []string, error) {
+	tb, ok := frameTypes[m.Type]
+	if !ok {
+		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
+	}
+	// Reserve room for the length prefix after the body is built; encode
+	// the body at the end of dst and splice the prefix in front.
+	bodyStart := len(dst)
+	b := append(dst, tb)
+	b = appendString(b, m.ID)
+	b = appendString(b, m.Job)
+	b = binary.AppendVarint(b, int64(m.TaskID))
+	b = binary.AppendVarint(b, int64(m.Attempt))
+	b = appendStrings(b, m.Records)
+	b = binary.AppendUvarint(b, uint64(len(m.Partial)))
+	if len(m.Partial) > 0 {
+		keys = keys[:0]
+		for k := range m.Partial {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Partial[k]))
+		}
+	}
+	b = appendStrings(b, m.Jobs)
+	b = appendString(b, m.Message)
+	b = appendStrings(b, m.Caps)
+	b = binary.AppendUvarint(b, uint64(len(m.Batch)))
+	for _, spec := range m.Batch {
+		b = appendString(b, spec.Job)
+		b = binary.AppendVarint(b, int64(spec.TaskID))
+		b = binary.AppendVarint(b, int64(spec.Attempt))
+		b = appendStrings(b, spec.Records)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
+
+	bodyLen := len(b) - bodyStart
+	if bodyLen > maxFrameBytes {
+		return dst, keys, fmt.Errorf("netmr: frame of %d bytes exceeds the %d limit", bodyLen, maxFrameBytes)
+	}
+	var prefix [binary.MaxVarintLen64]byte
+	pn := binary.PutUvarint(prefix[:], uint64(bodyLen))
+	b = append(b, prefix[:pn]...)                          // grow by prefix length
+	copy(b[bodyStart+pn:], b[bodyStart:bodyStart+bodyLen]) // shift body right
+	copy(b[bodyStart:], prefix[:pn])
+	return b, keys, nil
+}
+
+// frameReader is the cursor decodeFrame parses with. All strings are
+// substrings of one string conversion of the body, so a decoded frame
+// costs one allocation for its text regardless of field count.
+type frameReader struct {
+	s   string
+	off int
+}
+
+// uvarint parses in place (binary.Uvarint would need a []byte copy).
+func (r *frameReader) uvarint() (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := r.off; i < len(r.s); i++ {
+		b := r.s[i]
+		if b < 0x80 {
+			if shift >= 63 && b > 1 {
+				return 0, fmt.Errorf("netmr: uvarint overflow at byte %d", r.off)
+			}
+			r.off = i + 1
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("netmr: uvarint overflow at byte %d", r.off)
+		}
+	}
+	return 0, fmt.Errorf("netmr: truncated uvarint at byte %d", r.off)
+}
+
+func (r *frameReader) varint() (int64, error) {
+	ux, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1) // zigzag decode, as encoding/binary writes them
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+func (r *frameReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.s)-r.off) {
+		return "", fmt.Errorf("netmr: string of %d bytes overruns frame", n)
+	}
+	s := r.s[r.off : r.off+int(n)]
+	r.off += int(n)
+	return s, nil
+}
+
+// strings decodes a string list, appending into dst (reused between
+// frames by the conn when the caller is done with the previous list).
+func (r *frameReader) strings(dst []string) ([]string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each string costs at least its length byte, so a count larger than
+	// the remaining bytes is corruption, not a huge allocation.
+	if n > uint64(len(r.s)-r.off) {
+		return nil, fmt.Errorf("netmr: string list of %d entries overruns frame", n)
+	}
+	if dst == nil || cap(dst) < int(n) {
+		dst = make([]string, 0, n)
+	} else {
+		dst = dst[:0]
+	}
+	for i := uint64(0); i < n; i++ {
+		s, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, s)
+	}
+	return dst, nil
+}
+
+// decodeFrame parses one checksummed body into m, reusing m.Records' and
+// m.Batch's backing arrays when the caller passes them back in. All other
+// slice/map fields are freshly allocated (results outlive the next recv
+// on the master).
+func decodeFrame(body []byte, m *message) error {
+	if len(body) < 5 { // type byte + CRC
+		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
+	}
+	payload, sum := body[:len(body)-4], binary.LittleEndian.Uint32(body[len(body)-4:])
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return fmt.Errorf("netmr: frame checksum mismatch (got %08x, want %08x)", got, sum)
+	}
+	recs, batch := m.Records, m.Batch
+	*m = message{}
+	r := &frameReader{s: string(payload)}
+	tb := r.s[0]
+	r.off = 1
+	if name, ok := frameNames[tb]; ok {
+		m.Type = name
+	} else {
+		m.Type = fmt.Sprintf("?%d", tb) // unknown frames are ignored downstream
+	}
+	var err error
+	if m.ID, err = r.string(); err != nil {
+		return err
+	}
+	if m.Job, err = r.string(); err != nil {
+		return err
+	}
+	var v int64
+	if v, err = r.varint(); err != nil {
+		return err
+	}
+	m.TaskID = int(v)
+	if v, err = r.varint(); err != nil {
+		return err
+	}
+	m.Attempt = int(v)
+	if m.Records, err = r.strings(recs); err != nil {
+		return err
+	}
+	if len(m.Records) == 0 {
+		m.Records = nil
+	}
+	np, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if np > uint64(len(r.s)-r.off)/9 { // key length byte + 8 value bytes minimum
+		return fmt.Errorf("netmr: partial of %d pairs overruns frame", np)
+	}
+	if np > 0 {
+		m.Partial = make(map[string]float64, np)
+		for i := uint64(0); i < np; i++ {
+			k, err := r.string()
+			if err != nil {
+				return err
+			}
+			if len(r.s)-r.off < 8 {
+				return fmt.Errorf("netmr: truncated partial value at byte %d", r.off)
+			}
+			m.Partial[k] = math.Float64frombits(u64at(r.s, r.off))
+			r.off += 8
+		}
+	}
+	if m.Jobs, err = r.strings(nil); err != nil {
+		return err
+	}
+	if len(m.Jobs) == 0 {
+		m.Jobs = nil
+	}
+	if m.Message, err = r.string(); err != nil {
+		return err
+	}
+	if m.Caps, err = r.strings(nil); err != nil {
+		return err
+	}
+	if len(m.Caps) == 0 {
+		m.Caps = nil
+	}
+	nb, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nb > uint64(len(r.s)-r.off) {
+		return fmt.Errorf("netmr: batch of %d specs overruns frame", nb)
+	}
+	if nb > 0 {
+		if cap(batch) < int(nb) {
+			batch = make([]taskSpec, nb)
+		} else {
+			batch = batch[:nb]
+		}
+		for i := range batch {
+			spec := &batch[i]
+			if spec.Job, err = r.string(); err != nil {
+				return err
+			}
+			if v, err = r.varint(); err != nil {
+				return err
+			}
+			spec.TaskID = int(v)
+			if v, err = r.varint(); err != nil {
+				return err
+			}
+			spec.Attempt = int(v)
+			if spec.Records, err = r.strings(spec.Records); err != nil {
+				return err
+			}
+		}
+		m.Batch = batch
+	}
+	if r.off != len(r.s) {
+		return fmt.Errorf("netmr: %d trailing bytes after frame", len(r.s)-r.off)
+	}
+	return nil
+}
+
+// u64at reads a little-endian uint64 from s without a []byte copy.
+func u64at(s string, i int) uint64 {
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+}

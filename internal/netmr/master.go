@@ -64,6 +64,15 @@ type MasterConfig struct {
 	// SpeculationMaxClones bounds the clones per shard (default 1).
 	SpeculationMaxClones int
 
+	// MaxTaskBatch caps how many ready shards one dispatch may pack
+	// into a single taskbatch frame for a worker that negotiated the
+	// "batch" capability (default 1: every shard travels in its own
+	// frame, the v1 behavior). Batching amortizes the per-frame framing
+	// and syscall cost when shards are small; the worker still answers
+	// one result frame per shard, so retry, speculation and accounting
+	// see individual shards throughout.
+	MaxTaskBatch int
+
 	// Chaos, when set, wraps every admitted worker connection with the
 	// injector's wire-level faults — the master-side half of the
 	// deterministic fault plane.
@@ -109,6 +118,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.SpeculationMaxClones <= 0 {
 		c.SpeculationMaxClones = 1
+	}
+	if c.MaxTaskBatch <= 0 {
+		c.MaxTaskBatch = 1
 	}
 	return c
 }
@@ -186,8 +198,9 @@ type Stats struct {
 }
 
 type workerHandle struct {
-	id string
-	c  *conn
+	id    string
+	c     *conn
+	batch bool // worker negotiated multi-shard taskbatch frames
 }
 
 // Master coordinates a pool of connected workers.
@@ -279,8 +292,42 @@ func (m *Master) admit(raw net.Conn) {
 	if id == "" {
 		id = raw.RemoteAddr().String() // pre-ID workers: the peer address
 	}
+	w := &workerHandle{id: id, c: c}
+	// Capability negotiation: accept the capabilities we understand and
+	// confirm them with a JSON helloack, after which both directions of
+	// this connection speak the binary codec. Workers that offered
+	// nothing (protocol v1) never see a helloack and stay on JSON.
+	var accepted []string
+	for _, offered := range hello.Caps {
+		switch offered {
+		case capBinary, capBatch:
+			accepted = append(accepted, offered)
+		}
+	}
+	if len(accepted) > 0 {
+		// If the helloack does not go out (e.g. an injected drop), the
+		// worker never hears of the upgrade — admit the connection on
+		// plain JSON rather than rejecting it, keeping both sides on the
+		// same codec. A genuinely broken connection fails its first
+		// dispatch and is dropped there.
+		if err := c.send(message{Type: "helloack", Caps: accepted}, 10*time.Second); err == nil {
+			for _, a := range accepted {
+				switch a {
+				case capBinary:
+					c.binary = true
+				case capBatch:
+					w.batch = true
+				}
+			}
+		}
+	}
+	codec := "json"
+	if c.binary {
+		codec = "bin"
+	}
+	m.metrics.codecs.With(codec).Inc()
 	select {
-	case m.idle <- &workerHandle{id: id, c: c}:
+	case m.idle <- w:
 		m.count.Add(1)
 		m.metrics.workersJoined.Inc()
 		m.metrics.workers.Set(float64(m.count.Load()))
@@ -508,28 +555,57 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	resultCh := make(chan launchDone, capacity)
 	failCh := make(chan launchFail, capacity)
 
-	dispatch := func(w *workerHandle, t shardTask) {
+	// dispatch ships one or several shards to a worker: a single shard in
+	// its own task frame (the only shape JSON workers understand), several
+	// in one taskbatch frame. The worker answers one result frame per
+	// shard in order; each is reported individually, so a conn failure
+	// mid-batch fails exactly the still-unacknowledged shards.
+	dispatch := func(w *workerHandle, tasks []shardTask) {
 		start := time.Now()
-		err := w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}, m.cfg.TaskTimeout)
-		var reply message
-		if err == nil {
+		var err error
+		if len(tasks) == 1 {
+			t := tasks[0]
+			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}, m.cfg.TaskTimeout)
+		} else {
+			specs := make([]taskSpec, len(tasks))
+			for i, t := range tasks {
+				specs[i] = taskSpec{Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}
+			}
+			err = w.c.send(message{Type: "taskbatch", Batch: specs}, m.cfg.TaskTimeout)
+		}
+		acked := 0
+		prev := start
+		for err == nil && acked < len(tasks) {
+			t := tasks[acked]
+			var reply message
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
+			if err == nil && (reply.Type != "result" || reply.TaskID != t.id) {
+				err = fmt.Errorf("netmr: worker %s answered shard %d with %q (task %d)", w.id, t.id, reply.Type, reply.TaskID)
+			}
+			if err != nil {
+				break
+			}
+			now := time.Now()
+			elapsed := now.Sub(prev)
+			prev = now
+			m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
+			ledger.shardDone(w.id, elapsed)
+			resultCh <- launchDone{task: t, partial: reply.Partial, elapsed: elapsed}
+			acked++
 		}
-		if err == nil && reply.Type != "result" {
-			err = fmt.Errorf("netmr: worker %s answered shard %d with %q", w.id, t.id, reply.Type)
-		}
-		elapsed := time.Since(start)
-		m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
 		if err != nil {
-			// Lost or misbehaving worker: drop it, report the failure.
-			ledger.shardFailed(w.id, elapsed)
-			m.metrics.reassignments.With(w.id).Inc()
+			// Lost or misbehaving worker: drop it, fail every shard it
+			// still owed a result for.
+			elapsed := time.Since(prev)
+			for _, t := range tasks[acked:] {
+				ledger.shardFailed(w.id, elapsed)
+				m.metrics.reassignments.With(w.id).Inc()
+				failCh <- launchFail{task: t, err: err}
+				elapsed = 0 // the round-trip is charged once
+			}
 			m.dropWorker(w)
-			failCh <- launchFail{task: t, err: err}
 			return
 		}
-		ledger.shardDone(w.id, elapsed)
-		resultCh <- launchDone{task: t, partial: reply.Partial, elapsed: elapsed}
 		m.idle <- w // back to the pool
 	}
 
@@ -617,17 +693,33 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 
 		select {
 		case w := <-idleCh:
-			t := queue[readyIdx]
+			batch := append(make([]shardTask, 0, 1), queue[readyIdx])
 			queue = append(queue[:readyIdx], queue[readyIdx+1:]...)
-			f := inflight[t.id]
-			if f == nil {
-				f = &flight{}
-				inflight[t.id] = f
+			if w.batch && m.cfg.MaxTaskBatch > 1 {
+				// Pack more ready shards into the same frame, preserving
+				// queue order.
+				now := time.Now()
+				kept := queue[:0]
+				for _, t := range queue {
+					if len(batch) < m.cfg.MaxTaskBatch && !t.readyAt.After(now) {
+						batch = append(batch, t)
+					} else {
+						kept = append(kept, t)
+					}
+				}
+				queue = kept
 			}
-			f.launches++
-			f.lastLaunch = time.Now()
-			m.metrics.shards.Inc()
-			go dispatch(w, t)
+			for _, t := range batch {
+				f := inflight[t.id]
+				if f == nil {
+					f = &flight{}
+					inflight[t.id] = f
+				}
+				f.launches++
+				f.lastLaunch = time.Now()
+				m.metrics.shards.Inc()
+			}
+			go dispatch(w, batch)
 
 		case r := <-resultCh:
 			if f := inflight[r.task.id]; f != nil {
@@ -727,17 +819,39 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 
 	// Merge phase: one serial pass over all partials — the Ws(n) of this
 	// runtime, growing with the number of distinct keys shipped back.
+	// Jobs with a streaming Combine fold partials directly into the
+	// result; the rest group values per key and Reduce once.
 	mergeStart := time.Now()
 	_, mergeSpan := obs.StartSpan(ctx, "merge")
-	merged := make(map[string][]float64)
-	for _, p := range partials {
-		for k, v := range p {
-			merged[k] = append(merged[k], v)
+	var out map[string]float64
+	if job.Combine != nil {
+		size := 0
+		for _, p := range partials {
+			if len(p) > size {
+				size = len(p)
+			}
 		}
-	}
-	out := make(map[string]float64, len(merged))
-	for k, vs := range merged {
-		out[k] = job.Reduce(k, vs)
+		out = make(map[string]float64, size)
+		for _, p := range partials {
+			for k, v := range p {
+				if acc, ok := out[k]; ok {
+					out[k] = job.Combine(acc, v)
+				} else {
+					out[k] = v
+				}
+			}
+		}
+	} else {
+		merged := make(map[string][]float64)
+		for _, p := range partials {
+			for k, v := range p {
+				merged[k] = append(merged[k], v)
+			}
+		}
+		out = make(map[string]float64, len(merged))
+		for k, vs := range merged {
+			out[k] = job.Reduce(k, vs)
+		}
 	}
 	mergeSpan.End()
 	stats.MergeWall = time.Since(mergeStart)

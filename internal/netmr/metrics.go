@@ -13,6 +13,7 @@ type masterMetrics struct {
 	workersJoined  *obs.Counter
 	workersLost    *obs.Counter
 	workers        *obs.Gauge
+	codecs         *obs.CounterVec
 	shards         *obs.Counter
 	reassignments  *obs.CounterVec
 	heartbeats     *obs.CounterVec
@@ -40,6 +41,8 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 			"Workers dropped after an RPC or heartbeat failure."),
 		workers: r.Gauge("netmr_workers",
 			"Workers currently admitted and not lost."),
+		codecs: r.CounterVec("netmr_worker_codec_total",
+			"Admitted workers by negotiated wire codec (json or bin).", "codec"),
 		shards: r.Counter("netmr_shards_dispatched_total",
 			"Shard executions dispatched to workers (including retries)."),
 		reassignments: r.CounterVec("netmr_shard_reassignments_total",

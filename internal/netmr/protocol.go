@@ -14,19 +14,42 @@
 // The master tolerates worker failure: a shard whose worker dies or
 // times out is reassigned to another live worker (up to a retry budget),
 // the same recovery model as Hadoop's task re-execution.
+//
+// Two wire codecs coexist. The hello exchange is always line-delimited
+// JSON (protocol v1); a worker advertising the "bin" capability is
+// switched to the length-prefixed binary framing of codec.go by a
+// helloack, cutting the per-frame encode/decode cost that shows up as
+// dispatch overhead Wo(n) on real wall clocks. Workers and masters that
+// predate the binary codec simply never negotiate it and keep speaking
+// JSON.
 package netmr
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"time"
 )
 
-// message is the single wire frame, JSON-encoded one per line.
+// capBinary and capBatch are the capability tokens of the hello
+// negotiation: the binary codec and multi-shard task batching.
+const (
+	capBinary = "bin"
+	capBatch  = "batch"
+)
+
+// workerCaps is what a current worker advertises in its hello.
+func workerCaps() []string { return []string{capBinary, capBatch} }
+
+// message is the single wire frame: one JSON line in codec v1, one
+// length-prefixed binary frame in v2 (codec.go). The field set is
+// shared, so the two codecs round-trip the same struct.
 type message struct {
-	Type    string             `json:"type"`              // hello | task | result | error | ping | pong
+	Type    string             `json:"type"`              // hello | helloack | task | taskbatch | result | error | ping | pong
 	ID      string             `json:"id,omitempty"`      // hello: worker identity
 	Job     string             `json:"job,omitempty"`     // task
 	TaskID  int                `json:"task_id,omitempty"` // task | result | error
@@ -35,13 +58,33 @@ type message struct {
 	Partial map[string]float64 `json:"partial,omitempty"` // result
 	Jobs    []string           `json:"jobs,omitempty"`    // hello
 	Message string             `json:"message,omitempty"` // error
+	Caps    []string           `json:"caps,omitempty"`    // hello: offered, helloack: accepted
+	Batch   []taskSpec         `json:"batch,omitempty"`   // taskbatch
 }
 
-// conn wraps a net.Conn with line-delimited JSON framing and deadlines.
+// taskSpec is one shard inside a taskbatch frame; the worker answers
+// each spec with its own result frame, in order.
+type taskSpec struct {
+	Job     string   `json:"job"`
+	TaskID  int      `json:"task_id"`
+	Attempt int      `json:"attempt,omitempty"`
+	Records []string `json:"records,omitempty"`
+}
+
+// conn wraps a net.Conn with framing and deadlines. It starts in JSON
+// mode and is switched to the binary codec by the hello negotiation.
+// A conn is used by one goroutine at a time, so its scratch buffers
+// need no locking.
 type conn struct {
 	raw net.Conn
 	r   *bufio.Reader
 	enc *json.Encoder
+
+	binary bool // codec v2 negotiated for both directions
+
+	keys    []string // sorted-Partial scratch for binary encode
+	body    []byte   // binary frame read buffer
+	scratch message  // binary decode target; Records/Batch backing reused
 }
 
 func newConn(raw net.Conn) *conn {
@@ -53,8 +96,25 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		if err := c.raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 			return err
 		}
+	} else if err := c.raw.SetWriteDeadline(time.Time{}); err != nil {
+		// A previous timed send must not poison this untimed one.
+		return err
 	}
-	if err := c.enc.Encode(m); err != nil {
+	if !c.binary {
+		if err := c.enc.Encode(m); err != nil {
+			return fmt.Errorf("netmr: send %s: %w", m.Type, err)
+		}
+		return nil
+	}
+	bufp := encBufPool.Get().(*[]byte)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys)
+	c.keys = keys
+	if err == nil {
+		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
+	}
+	*bufp = frame[:0]
+	encBufPool.Put(bufp)
+	if err != nil {
 		return fmt.Errorf("netmr: send %s: %w", m.Type, err)
 	}
 	return nil
@@ -68,15 +128,38 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 	} else if err := c.raw.SetReadDeadline(time.Time{}); err != nil {
 		return message{}, err
 	}
-	line, err := c.r.ReadBytes('\n')
+	if !c.binary {
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return message{}, fmt.Errorf("netmr: recv: %w", err)
+		}
+		var m message
+		if err := json.Unmarshal(line, &m); err != nil {
+			return message{}, fmt.Errorf("netmr: decode: %w", err)
+		}
+		return m, nil
+	}
+	n, err := binary.ReadUvarint(c.r)
 	if err != nil {
 		return message{}, fmt.Errorf("netmr: recv: %w", err)
 	}
-	var m message
-	if err := json.Unmarshal(line, &m); err != nil {
-		return message{}, fmt.Errorf("netmr: decode: %w", err)
+	if n > maxFrameBytes {
+		return message{}, fmt.Errorf("netmr: recv: frame length %d exceeds the %d limit", n, maxFrameBytes)
 	}
-	return m, nil
+	if uint64(cap(c.body)) < n {
+		c.body = make([]byte, n)
+	}
+	c.body = c.body[:n]
+	if _, err := io.ReadFull(c.r, c.body); err != nil {
+		return message{}, fmt.Errorf("netmr: recv: %w", err)
+	}
+	if err := decodeFrame(c.body, &c.scratch); err != nil {
+		return message{}, err
+	}
+	// The scratch's Records/Batch backing arrays are reclaimed on the
+	// next recv; callers are done with them by then (the worker finishes
+	// a task before receiving the next frame).
+	return c.scratch, nil
 }
 
 func (c *conn) close() error { return c.raw.Close() }
@@ -88,6 +171,13 @@ type Job struct {
 	Name   string
 	Map    func(record string, emit func(key string, value float64))
 	Reduce func(key string, values []float64) float64
+	// Combine, when set, declares Reduce a streaming fold:
+	// Reduce(k, vs) must equal vs[0] folded with Combine over vs[1:].
+	// Workers then combine values as they are emitted instead of
+	// buffering them per key, and the master merges partials the same
+	// way — the zero-buffer path for associative reductions (sums,
+	// counts, min/max).
+	Combine func(acc, value float64) float64
 }
 
 // Validate checks the job definition.
@@ -121,12 +211,14 @@ func NewRegistry(jobs ...Job) (*Registry, error) {
 	return r, nil
 }
 
-// Names lists the registered job names.
+// Names lists the registered job names, sorted — map iteration order
+// must not leak into hellos, health documents, or logs.
 func (r *Registry) Names() []string {
 	out := make([]string, 0, len(r.jobs))
 	for name := range r.jobs {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -136,20 +228,107 @@ func (r *Registry) lookup(name string) (Job, bool) {
 	return j, ok
 }
 
+// shardScratch holds the flat arena runShard executes in. One scratch
+// per worker is reused across every shard it runs, so steady-state
+// execution allocates only the result map it ships back.
+type shardScratch struct {
+	keyIDs  map[string]int // key → dense id, reset per shard
+	keys    []string       // id → key
+	accs    []float64      // combiner path: running fold per key
+	logKeys []int          // buffered path: emission log (key ids ...)
+	logVals []float64      // ... and values, in emission order
+	counts  []int          // per-key emission counts
+	ends    []int          // per-key arena end offsets (prefix sums)
+	arena   []float64      // all values, grouped by key
+}
+
+func newShardScratch() *shardScratch {
+	return &shardScratch{keyIDs: make(map[string]int)}
+}
+
+func (sc *shardScratch) reset() {
+	clear(sc.keyIDs)
+	sc.keys = sc.keys[:0]
+	sc.accs = sc.accs[:0]
+	sc.logKeys = sc.logKeys[:0]
+	sc.logVals = sc.logVals[:0]
+}
+
 // runShard executes the map side of a job over one shard of records,
 // pre-reducing locally (combiner) so only one value per key crosses the
 // network — mirroring the map-side combine of real frameworks.
-func runShard(j Job, records []string) map[string]float64 {
-	interm := make(map[string][]float64)
+//
+// Jobs with a Combine fold every emission into a per-key accumulator as
+// it happens. Jobs without one log emissions into two flat slices, then
+// group the values into a single arena (counting sort by key id) and
+// call Reduce once per key on its contiguous arena window — the same
+// grouping map[string][]float64 used to do, without a slice per key.
+func runShard(j Job, records []string, sc *shardScratch) map[string]float64 {
+	sc.reset()
+	if j.Combine != nil {
+		emit := func(k string, v float64) {
+			if id, ok := sc.keyIDs[k]; ok {
+				sc.accs[id] = j.Combine(sc.accs[id], v)
+				return
+			}
+			sc.keyIDs[k] = len(sc.keys)
+			sc.keys = append(sc.keys, k)
+			sc.accs = append(sc.accs, v)
+		}
+		for _, rec := range records {
+			j.Map(rec, emit)
+		}
+		out := make(map[string]float64, len(sc.keys))
+		for id, k := range sc.keys {
+			out[k] = sc.accs[id]
+		}
+		return out
+	}
+
 	emit := func(k string, v float64) {
-		interm[k] = append(interm[k], v)
+		id, ok := sc.keyIDs[k]
+		if !ok {
+			id = len(sc.keys)
+			sc.keyIDs[k] = id
+			sc.keys = append(sc.keys, k)
+		}
+		sc.logKeys = append(sc.logKeys, id)
+		sc.logVals = append(sc.logVals, v)
 	}
 	for _, rec := range records {
 		j.Map(rec, emit)
 	}
-	out := make(map[string]float64, len(interm))
-	for k, vs := range interm {
-		out[k] = j.Reduce(k, vs)
+	nk := len(sc.keys)
+	if cap(sc.counts) < nk {
+		sc.counts = make([]int, nk)
+		sc.ends = make([]int, nk)
+	}
+	sc.counts = sc.counts[:nk]
+	sc.ends = sc.ends[:nk]
+	clear(sc.counts)
+	for _, id := range sc.logKeys {
+		sc.counts[id]++
+	}
+	end := 0
+	for id, n := range sc.counts {
+		end += n
+		sc.ends[id] = end
+	}
+	if cap(sc.arena) < len(sc.logVals) {
+		sc.arena = make([]float64, len(sc.logVals))
+	}
+	sc.arena = sc.arena[:len(sc.logVals)]
+	// Scatter values into per-key windows back to front, so ends[id]
+	// walks down to the window start.
+	for i := len(sc.logKeys) - 1; i >= 0; i-- {
+		id := sc.logKeys[i]
+		sc.ends[id]--
+		sc.arena[sc.ends[id]] = sc.logVals[i]
+	}
+	out := make(map[string]float64, nk)
+	for id, k := range sc.keys {
+		lo := sc.ends[id]
+		out[k] = j.Reduce(k, sc.arena[lo:lo+sc.counts[id]])
 	}
 	return out
 }

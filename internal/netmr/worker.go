@@ -17,6 +17,7 @@ import (
 type Worker struct {
 	registry *Registry
 	chaos    *chaos.Injector
+	scratch  *shardScratch // reused across every shard this worker runs
 
 	mu      sync.Mutex
 	netConn net.Conn
@@ -40,7 +41,7 @@ func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
-	w := &Worker{registry: registry, done: make(chan struct{})}
+	w := &Worker{registry: registry, scratch: newShardScratch(), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(w)
 	}
@@ -60,7 +61,11 @@ func (w *Worker) Start(masterAddr string) error {
 	// a specific worker.
 	id := raw.LocalAddr().String()
 	c := newConn(w.chaos.WrapConn("", raw))
-	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names()}, 5*time.Second); err != nil {
+	// The hello is always JSON; Caps advertises the binary codec and
+	// batching, which the master accepts with a helloack. A master that
+	// predates capabilities ignores the field and the connection simply
+	// stays on JSON.
+	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names(), Caps: workerCaps()}, 5*time.Second); err != nil {
 		_ = c.close()
 		return err
 	}
@@ -88,30 +93,26 @@ func (w *Worker) serve(c *conn) {
 			return
 		}
 		switch m.Type {
-		case "task":
-			job, ok := w.registry.lookup(m.Job)
-			if !ok {
-				workerTasks.With("unknown_job").Inc()
-				_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, 5*time.Second)
-				continue
-			}
-			if f := w.chaos.TaskFault("task", m.TaskID, m.Attempt); f.Delay > 0 || f.Crash {
-				if f.Delay > 0 {
-					time.Sleep(f.Delay)
+		case "helloack":
+			// The master accepted our capabilities; everything after
+			// this frame speaks the binary codec in both directions.
+			for _, accepted := range m.Caps {
+				if accepted == capBinary {
+					c.binary = true
 				}
-				if f.Crash {
-					// A crashed worker dies without a word: the connection
-					// closes and the master reassigns the shard.
-					workerTasks.With("crashed").Inc()
+			}
+		case "task":
+			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records) {
+				return
+			}
+		case "taskbatch":
+			// One frame, several shards: each spec is executed in order
+			// and answered with its own result frame.
+			for i := range m.Batch {
+				spec := &m.Batch[i]
+				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records) {
 					return
 				}
-			}
-			start := time.Now()
-			partial := runShard(job, m.Records)
-			workerTaskSeconds.Observe(time.Since(start).Seconds())
-			workerTasks.With("ok").Inc()
-			if err := c.send(message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: partial}, 30*time.Second); err != nil {
-				return
 			}
 		case "ping":
 			workerPings.Inc()
@@ -122,6 +123,34 @@ func (w *Worker) serve(c *conn) {
 			// Ignore unknown frames: forward compatibility.
 		}
 	}
+}
+
+// runTask executes one shard and reports its result (or error) to the
+// master. It returns false when the serve loop must exit: a send
+// failure or an injected crash.
+func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string) bool {
+	job, ok := w.registry.lookup(jobName)
+	if !ok {
+		workerTasks.With("unknown_job").Inc()
+		_ = c.send(message{Type: "error", TaskID: taskID, Message: fmt.Sprintf("unknown job %q", jobName)}, 5*time.Second)
+		return true
+	}
+	if f := w.chaos.TaskFault("task", taskID, attempt); f.Delay > 0 || f.Crash {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Crash {
+			// A crashed worker dies without a word: the connection
+			// closes and the master reassigns the shard.
+			workerTasks.With("crashed").Inc()
+			return false
+		}
+	}
+	start := time.Now()
+	partial := runShard(job, records, w.scratch)
+	workerTaskSeconds.Observe(time.Since(start).Seconds())
+	workerTasks.With("ok").Inc()
+	return c.send(message{Type: "result", TaskID: taskID, Attempt: attempt, Partial: partial}, 30*time.Second) == nil
 }
 
 // Stop closes the connection and waits for the serve loop to exit. It is

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -43,8 +44,12 @@ type Server struct {
 }
 
 // Serve binds addr (use "127.0.0.1:0" for an ephemeral port) and serves
-// /metrics from the registry and /healthz from the details callback in
-// the background until Close.
+// /metrics from the registry, /healthz from the details callback, and
+// the runtime profiles under /debug/pprof/ in the background until
+// Close. The pprof handlers are registered on this mux explicitly (not
+// via the net/http/pprof DefaultServeMux side effect) so profiling is
+// available exactly where the metrics are — the address the operator
+// already knows — and nowhere else.
 func Serve(addr string, r *Registry, details func() map[string]any) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -53,6 +58,11 @@ func Serve(addr string, r *Registry, details func() map[string]any) (*Server, er
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/healthz", HealthHandler(details))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},

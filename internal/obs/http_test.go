@@ -117,3 +117,20 @@ func parseSample(line string) (name string, value float64, err error) {
 	}
 	return name, v, nil
 }
+
+func TestServePprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	index := httpGet(t, "http://"+srv.Addr+"/debug/pprof/")
+	if !strings.Contains(index, "goroutine") || !strings.Contains(index, "heap") {
+		t.Errorf("pprof index missing profiles:\n%.400s", index)
+	}
+	heap := httpGet(t, "http://"+srv.Addr+"/debug/pprof/heap?debug=1")
+	if !strings.Contains(heap, "heap profile:") {
+		t.Errorf("heap profile not served:\n%.200s", heap)
+	}
+}

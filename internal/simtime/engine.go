@@ -13,7 +13,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -28,41 +27,70 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, scheduling order breaking ties. seq is
+// unique per engine, so this is a strict total order.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is the simulation executive: a virtual clock plus a time-ordered
 // event queue. The zero value is not ready; use NewEngine.
+//
+// The queue is a binary min-heap maintained by hand rather than through
+// container/heap: the interface indirection there boxes every event into
+// an `any` on push and pop, which made heap churn the dominant allocation
+// site of the cluster simulations.
 type Engine struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events []event
 	ran    uint64
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{events: make([]event, 0, 64)}
+}
+
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].before(h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	e.events = h
+}
+
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure
+	h = h[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].before(h[c]) {
+			c = r
+		}
+		if h[i].before(h[c]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.events = h
+	return top
 }
 
 // Now returns the current simulation time in seconds.
@@ -81,7 +109,7 @@ func (e *Engine) Schedule(delay float64, fn func()) error {
 		return errors.New("simtime: nil event function")
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -97,7 +125,7 @@ func (e *Engine) MustSchedule(delay float64, fn func()) {
 // the final clock value.
 func (e *Engine) Run() float64 {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
 		e.ran++
 		ev.fn()
@@ -109,7 +137,7 @@ func (e *Engine) Run() float64 {
 // clock to min(deadline, last event time). Remaining events stay queued.
 func (e *Engine) RunUntil(deadline float64) float64 {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.at
 		e.ran++
 		ev.fn()

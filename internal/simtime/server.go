@@ -14,8 +14,11 @@ type Server struct {
 	eng *Engine
 
 	busy    bool
-	queue   []serverItem
+	cur     serverItem   // item in service (valid while busy)
+	queue   []serverItem // waiting items are queue[head:]
+	head    int
 	busyFor float64 // cumulative busy time (utilization accounting)
+	finish  func()  // cached completion event; one closure per server, not per item
 }
 
 type serverItem struct {
@@ -26,7 +29,27 @@ type serverItem struct {
 
 // NewServer returns an idle FIFO server bound to eng.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng}
+	s := &Server{eng: eng}
+	s.finish = func() {
+		// Exactly the old per-item closure's order: the done hook runs
+		// before the next item starts, so any events it schedules keep
+		// their sequence numbers (and with them, run order).
+		if done := s.cur.done; done != nil {
+			done()
+		}
+		if s.head < len(s.queue) {
+			next := s.queue[s.head]
+			s.queue[s.head] = serverItem{} // release the hooks
+			s.head++
+			s.start(next)
+			return
+		}
+		s.busy = false
+		s.cur = serverItem{}
+		s.queue = s.queue[:0] // drained: rewind so the backing array is reused
+		s.head = 0
+	}
+	return s
 }
 
 // Submit enqueues a work item needing the given service time; done (may be
@@ -53,28 +76,18 @@ func (s *Server) SubmitTracked(service float64, started, done func()) error {
 func (s *Server) start(it serverItem) {
 	s.busy = true
 	s.busyFor += it.service
+	s.cur = it
 	if it.started != nil {
 		it.started()
 	}
-	s.eng.MustSchedule(it.service, func() {
-		if it.done != nil {
-			it.done()
-		}
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			s.queue = s.queue[1:]
-			s.start(next)
-		} else {
-			s.busy = false
-		}
-	})
+	s.eng.MustSchedule(it.service, s.finish)
 }
 
 // BusyTime returns the cumulative service time started on this server.
 func (s *Server) BusyTime() float64 { return s.busyFor }
 
 // QueueLen returns the number of items waiting (excluding any in service).
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return len(s.queue) - s.head }
 
 // Resource is a counting semaphore with a FIFO wait queue: Acquire grants
 // a unit when one is free, otherwise queues the grant callback. It models

@@ -34,24 +34,29 @@ import (
 // same Config see identical workloads (only the E[max] barrier effect
 // differs — the statistic model's straggler penalty).
 func taskJitters(cfg Config, stages []Stage) [][]float64 {
+	total := 0
+	for _, st := range stages {
+		total += st.Tasks
+	}
+	// One flat backing array carved into per-stage rows: len(stages)+1
+	// allocations instead of one per stage.
+	flat := make([]float64, total)
 	out := make([][]float64, len(stages))
 	if cfg.Jitter == nil {
+		for i := range flat {
+			flat[i] = 1
+		}
 		for i, st := range stages {
-			row := make([]float64, st.Tasks)
-			for j := range row {
-				row[j] = 1
-			}
-			out[i] = row
+			out[i], flat = flat[:st.Tasks:st.Tasks], flat[st.Tasks:]
 		}
 		return out
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	for i := range flat {
+		flat[i] = cfg.Jitter.Sample(rng)
+	}
 	for i, st := range stages {
-		row := make([]float64, st.Tasks)
-		for j := range row {
-			row[j] = cfg.Jitter.Sample(rng)
-		}
-		out[i] = row
+		out[i], flat = flat[:st.Tasks:st.Tasks], flat[st.Tasks:]
 	}
 	return out
 }
@@ -228,6 +233,9 @@ func RunParallel(cfg Config) (Result, error) {
 
 	// resident tracks each executor's persisted bytes across stages.
 	resident := make([]float64, m)
+	// tasksPerExec is reused across stages (stages never overlap: the
+	// next begins only after every task of the current one completed).
+	tasksPerExec := make([]int, m)
 	jitters := taskJitters(cfg, stages)
 	retries := 0
 	var makespan float64
@@ -241,7 +249,7 @@ func RunParallel(cfg Config) (Result, error) {
 			return
 		}
 		st := stages[si]
-		tasksPerExec := make([]int, m)
+		clear(tasksPerExec)
 		for i := 0; i < st.Tasks; i++ {
 			tasksPerExec[i%m]++
 		}
