@@ -8,14 +8,20 @@
 // and a committed baseline at the repo root, so benchmark history is
 // queryable from the git log alone, without an external dashboard.
 //
-// It can also diff two such documents and gate on allocation count —
-// the one benchmark statistic that is deterministic enough to enforce
-// on shared CI runners (ns/op is noise-prone there, allocs/op is not):
+// It can also diff two such documents and gate on regressions:
 //
 //	benchjson -compare old.json new.json -max-alloc-regress 10%
+//	benchjson -compare old.json new.json -max-ns-regress 50%
 //
-// exits nonzero if any benchmark's allocs_per_op grew by more than the
-// given percentage over the committed baseline.
+// -max-alloc-regress gates allocs_per_op, the one benchmark statistic
+// deterministic enough to enforce tightly on shared CI runners;
+// -max-ns-regress (off by default) additionally gates ns_per_op — it
+// exists to catch order-of-magnitude slowdowns, so its threshold should
+// be generous, well above runner noise. Either gate exits nonzero when
+// any benchmark grew by more than its percentage over the baseline.
+//
+// Custom b.ReportMetric units (e.g. "merge-ms/op") are preserved in a
+// per-benchmark metrics map, reported in comparisons, and never gated.
 package main
 
 import (
@@ -25,18 +31,19 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one benchmark's measured cost.
+// Benchmark is one benchmark's measured cost. Metrics carries any
+// custom b.ReportMetric pairs (unit → value) beyond the standard three.
 type Benchmark struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the file layout: provenance plus name→cost. Marshalling a
@@ -48,45 +55,58 @@ type Document struct {
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
-// benchLine matches one result row, e.g.
-// "BenchmarkFig2-8   	     100	     68768 ns/op	  2880 B/op	  45 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
-
-// Parse reads `go test -bench` output and collects the result rows.
-// The trailing -N GOMAXPROCS suffix is stripped so the key is stable
-// across machines. Non-benchmark lines (goos, pkg, PASS, ok) are
-// ignored; a malformed number inside a matched row is an error.
+// Parse reads `go test -bench` output and collects the result rows, e.g.
+// "BenchmarkFig2-8   	 100	 68768 ns/op	 2880 B/op	 45 allocs/op".
+// A row is walked as (value, unit) field pairs after the name and
+// iteration count, so custom b.ReportMetric units (which a fixed-order
+// pattern would silently drop, along with every standard column after
+// them) land in Metrics. The trailing -N GOMAXPROCS suffix is stripped
+// so the key is stable across machines — unless the stripped name is
+// already taken, which happens under -cpu 1,4: then the suffixed name is
+// kept so both widths survive in one document. Non-benchmark lines
+// (goos, pkg, PASS, ok) are ignored; a malformed number inside a result
+// row is an error.
 func Parse(r io.Reader) (map[string]Benchmark, error) {
 	out := map[string]Benchmark{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		line := sc.Text()
+		f := strings.Fields(line)
+		// name, iterations, then at least one value/unit pair.
+		if len(f) < 4 || len(f)%2 != 0 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
-		name := m[1]
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue // e.g. a verbose-mode "BenchmarkX" start line
+		}
+		b := Benchmark{Iterations: iters}
+		for i := 2; i < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad %s value in %q: %w", f[i+1], line, err)
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		name := f[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
 			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		var b Benchmark
-		var err error
-		if b.Iterations, err = strconv.Atoi(m[2]); err != nil {
-			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
-		}
-		if b.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
-		}
-		if m[4] != "" {
-			if b.BytesPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
-				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
-			}
-		}
-		if m[5] != "" {
-			if b.AllocsPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
-				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+				if _, taken := out[name[:i]]; !taken {
+					name = name[:i]
+				}
 			}
 		}
 		out[name] = b
@@ -120,10 +140,11 @@ func readDoc(path string) (Document, error) {
 
 // compare diffs two documents and returns an error naming every
 // benchmark whose allocs_per_op regressed more than maxAllocRegress
-// percent. Benchmarks present in only one document are reported but
-// never fail the gate (new benchmarks have no baseline; removed ones
-// have nothing to regress).
-func compare(oldDoc, newDoc Document, maxAllocRegress float64, w io.Writer) error {
+// percent, or — when maxNsRegress is non-negative — whose ns_per_op
+// regressed more than maxNsRegress percent. Benchmarks present in only
+// one document are reported but never fail the gates (new benchmarks
+// have no baseline; removed ones have nothing to regress).
+func compare(oldDoc, newDoc Document, maxAllocRegress, maxNsRegress float64, w io.Writer) error {
 	names := make([]string, 0, len(newDoc.Benchmarks))
 	for name := range newDoc.Benchmarks {
 		names = append(names, name)
@@ -141,8 +162,14 @@ func compare(oldDoc, newDoc Document, maxAllocRegress float64, w io.Writer) erro
 		allocDelta := pctChange(ob.AllocsPerOp, nb.AllocsPerOp)
 		fmt.Fprintf(w, "%-50s ns/op %+7.1f%%   allocs/op %12.0f -> %-12.0f %+7.1f%%\n",
 			name, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		for _, unit := range sortedUnits(nb.Metrics) {
+			fmt.Fprintf(w, "%-50s %s %g -> %g\n", name, unit, ob.Metrics[unit], nb.Metrics[unit])
+		}
 		if ob.AllocsPerOp > 0 && allocDelta > maxAllocRegress {
 			failures = append(failures, fmt.Sprintf("%s allocs/op %+.1f%% (limit %+.1f%%)", name, allocDelta, maxAllocRegress))
+		}
+		if maxNsRegress >= 0 && ob.NsPerOp > 0 && nsDelta > maxNsRegress {
+			failures = append(failures, fmt.Sprintf("%s ns/op %+.1f%% (limit %+.1f%%)", name, nsDelta, maxNsRegress))
 		}
 	}
 	for name := range oldDoc.Benchmarks {
@@ -151,9 +178,18 @@ func compare(oldDoc, newDoc Document, maxAllocRegress float64, w io.Writer) erro
 		}
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("benchjson: allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchjson: regressions over the baseline:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }
 
 func pctChange(oldV, newV float64) float64 {
@@ -171,6 +207,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	outPath := fs.String("o", "", "output file (default stdout)")
 	compareMode := fs.Bool("compare", false, "compare two benchmark JSON files (args: old.json new.json) instead of converting")
 	maxAllocRegress := fs.String("max-alloc-regress", "10%", "with -compare: fail when allocs_per_op grows more than this over the baseline")
+	maxNsRegress := fs.String("max-ns-regress", "", "with -compare: also fail when ns_per_op grows more than this (empty = ns/op not gated)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -192,6 +229,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		nsLimit := -1.0 // negative disables the ns/op gate
+		if *maxNsRegress != "" {
+			if nsLimit, err = parsePercent(*maxNsRegress); err != nil {
+				return err
+			}
+		}
 		oldDoc, err := readDoc(oldPath)
 		if err != nil {
 			return err
@@ -200,7 +243,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return compare(oldDoc, newDoc, limit, stdout)
+		return compare(oldDoc, newDoc, limit, nsLimit, stdout)
 	}
 	benches, err := Parse(stdin)
 	if err != nil {

@@ -39,6 +39,43 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseCustomMetrics: b.ReportMetric columns sit between ns/op and
+// B/op in go's output; the pair-walking parser must capture them without
+// losing the standard columns around them.
+func TestParseCustomMetrics(t *testing.T) {
+	const output = `BenchmarkMerge-8   	      10	  51234 ns/op	        12.50 merge-ms/op	  2880 B/op	      45 allocs/op
+`
+	got, err := Parse(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got["BenchmarkMerge"]
+	if b.NsPerOp != 51234 || b.BytesPerOp != 2880 || b.AllocsPerOp != 45 {
+		t.Errorf("standard columns around a custom metric mis-parsed: %+v", b)
+	}
+	if b.Metrics["merge-ms/op"] != 12.5 {
+		t.Errorf("custom metric = %v, want 12.5", b.Metrics)
+	}
+}
+
+// TestParseKeepsCPUVariants: under -cpu 1,4 the same benchmark appears
+// with and without a -N suffix; both rows must survive in the document.
+func TestParseKeepsCPUVariants(t *testing.T) {
+	const output = `BenchmarkMerge   	      10	  90000 ns/op
+BenchmarkMerge-4 	      10	  30000 ns/op
+`
+	got, err := Parse(strings.NewReader(output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d rows, want both cpu variants: %v", len(got), got)
+	}
+	if got["BenchmarkMerge"].NsPerOp != 90000 || got["BenchmarkMerge-4"].NsPerOp != 30000 {
+		t.Errorf("cpu variants collided: %v", got)
+	}
+}
+
 func TestRunEmitsDocument(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-commit", "abc123", "-date", "2026-08-05", "-go", "go1.22"},
@@ -110,6 +147,34 @@ func TestCompareGatesOnAllocRegressions(t *testing.T) {
 	out.Reset()
 	if err := run([]string{"-compare", oldPath, newPath, "-max-alloc-regress", "25"}, strings.NewReader(""), &out); err != nil {
 		t.Fatalf("25%% limit should pass: %v", err)
+	}
+}
+
+func TestCompareGatesOnNsRegressions(t *testing.T) {
+	oldDoc := Document{Benchmarks: map[string]Benchmark{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	newDoc := Document{Benchmarks: map[string]Benchmark{
+		"BenchmarkA": {NsPerOp: 120, AllocsPerOp: 10}, // +20% ns: under a 50% limit
+		"BenchmarkB": {NsPerOp: 400, AllocsPerOp: 10}, // +300% ns: regression
+	}}
+	oldPath := writeDoc(t, "old.json", oldDoc)
+	newPath := writeDoc(t, "new.json", newDoc)
+
+	// Without the flag ns/op is not gated at all.
+	var out strings.Builder
+	if err := run([]string{"-compare", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("ns/op gated without -max-ns-regress: %v", err)
+	}
+
+	out.Reset()
+	err := run([]string{"-compare", oldPath, newPath, "-max-ns-regress", "50%"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("+300%% ns/op passed the 50%% gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkB") || strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("ns gate named the wrong benchmarks: %v", err)
 	}
 }
 

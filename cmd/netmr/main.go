@@ -16,6 +16,12 @@
 // /healthz JSON endpoint for the duration of the run; -heartbeat enables
 // periodic liveness pings that evict dead idle workers.
 //
+// Merge knobs (master): -partitions sets the partitioned merge's width P
+// (0 = GOMAXPROCS) — arriving shard results are hash-split across P
+// folder goroutines while the map phase drains, and part-capable workers
+// ship results pre-split; -serialmerge restores the legacy
+// barrier-then-serial merge for before/after comparison.
+//
 // Resilience knobs (master): -maxattempts bounds the retry budget per
 // shard lineage, -retrybase/-retrymax/-retryjitter/-retryseed shape the
 // capped exponential backoff, and -speculate enables straggler cloning
@@ -108,6 +114,8 @@ func run(args []string, out io.Writer) error {
 	retryJitter := fs.Float64("retryjitter", 0, "master: retry jitter fraction (0 = default 0.2, negative disables)")
 	retrySeed := fs.Int64("retryseed", 0, "master: deterministic jitter seed")
 	speculate := fs.Duration("speculate", 0, "master: straggler-check interval enabling speculative clones (0 = disabled)")
+	partitions := fs.Int("partitions", 0, "master: merge partition count P (0 = GOMAXPROCS, 1 = single partition)")
+	serialMerge := fs.Bool("serialmerge", false, "master: legacy barrier-then-serial merge (disables overlap and partitioning)")
 
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault injection seed (faults are byte-reproducible per seed)")
 	chaosLatency := fs.String("chaos-latency", "", "injected wire latency distribution (e.g. fixed:5ms, pareto:10ms,1.5,2s)")
@@ -139,8 +147,9 @@ func run(args []string, out io.Writer) error {
 			maxAttempts: *maxAttempts,
 			retryBase:   *retryBase, retryMax: *retryMax,
 			retryJitter: *retryJitter, retrySeed: *retrySeed,
-			speculate: *speculate,
-			chaos:     injector,
+			speculate:  *speculate,
+			partitions: *partitions, serialMerge: *serialMerge,
+			chaos: injector,
 		})
 	case "worker":
 		return runWorker(out, *addr, injector)
@@ -202,6 +211,8 @@ type masterOptions struct {
 	retryJitter         float64
 	retrySeed           int64
 	speculate           time.Duration
+	partitions          int
+	serialMerge         bool
 	chaos               *chaos.Injector
 }
 
@@ -218,6 +229,8 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		RetryJitter:         opts.retryJitter,
 		RetrySeed:           opts.retrySeed,
 		SpeculationInterval: opts.speculate,
+		Partitions:          opts.partitions,
+		SerialMerge:         opts.serialMerge,
 		Chaos:               opts.chaos,
 	})
 	if err != nil {
@@ -272,7 +285,8 @@ func printStats(out io.Writer, stats netmr.Stats) {
 		fmt.Fprintf(out, "speculations %d (wins %d), duplicates discarded %d, launches abandoned %d\n",
 			stats.Speculations, stats.SpecWins, stats.Duplicates, stats.Cancellations)
 	}
-	fmt.Fprintf(out, "split %v | merge %v | total %v\n", stats.SplitWall, stats.MergeWall, stats.TotalWall)
+	fmt.Fprintf(out, "split %v | merge %v (overlapped %v, %d partition(s), %d pre-partitioned) | total %v\n",
+		stats.SplitWall, stats.MergeWall, stats.MergeOverlapWall, stats.Partitions, stats.PrePartitioned, stats.TotalWall)
 	for _, w := range stats.PerWorker {
 		fmt.Fprintf(out, "worker %s: shards %d, reassignments %d, busy %v\n", w.ID, w.ShardsRun, w.Reassignments, w.Busy)
 	}

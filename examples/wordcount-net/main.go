@@ -84,9 +84,13 @@ func main() {
 	}
 	fmt.Printf("counted %.0f words, %d distinct keys (dictionary size %d)\n",
 		totalWords, len(counts), workload.DictionarySize)
-	fmt.Printf("split phase (scatter + parallel map): %v\n", stats.SplitWall)
-	fmt.Printf("merge phase (serial, at the master):  %v\n", stats.MergeWall)
-	fmt.Printf("reassignments after failures:         %d\n", stats.Reassignments)
+	fmt.Printf("split phase (scatter + parallel map):  %v\n", stats.SplitWall)
+	fmt.Printf("merge window (%d partitions, at the master): %v, of which %v ran under the map phase\n",
+		stats.Partitions, stats.MergeWall, stats.MergeOverlapWall)
+	fmt.Printf("end-to-end wall:                       %v\n", stats.TotalWall)
+	fmt.Printf("reassignments after failures:          %d\n", stats.Reassignments)
 	fmt.Println("\nthe split/merge wall clocks are the Wp/Ws measurements the IPSO")
-	fmt.Println("estimator consumes — here from a real network execution.")
+	fmt.Println("estimator consumes — here from a real network execution. The")
+	fmt.Println("partitioned, map-overlapped merge shrinks the serial Ws portion")
+	fmt.Println("that otherwise grows with the distinct-key count.")
 }

@@ -35,12 +35,15 @@ type Table struct {
 }
 
 // Report is the output of one experiment: the figure/table identifier,
-// what the paper shows, and the regenerated data.
+// what the paper shows, and the regenerated data. Notes carry free-form
+// findings (fitted model parameters, caveats) that belong next to the
+// tables but fit no grid.
 type Report struct {
 	ID     string // e.g. "fig4", "table1"
 	Title  string
 	Series []Series
 	Tables []Table
+	Notes  []string
 }
 
 // WriteText renders the report as aligned text.
@@ -55,6 +58,11 @@ func (r Report) WriteText(w io.Writer) error {
 	}
 	for _, s := range r.Series {
 		if err := s.writeText(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
 			return err
 		}
 	}

@@ -12,7 +12,7 @@ func TestRealNetSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 2 {
+	if len(rep.Tables) != 2 || len(rep.Tables[0].Rows) != 2 || len(rep.Tables[1].Rows) != 2 {
 		t.Fatalf("unexpected report shape %+v", rep.Tables)
 	}
 	s := seriesByName(t, rep, "realnet/wordcount")
@@ -23,6 +23,19 @@ func TestRealNetSmoke(t *testing.T) {
 		if v <= 0 {
 			t.Errorf("nonpositive measured speedup %g", v)
 		}
+	}
+	// The merge comparison measures both configurations; the fitted
+	// ε(n) notes need at least two positive samples per side.
+	for _, name := range []string{"realnet/merge-serial-ms", "realnet/merge-tail-ms"} {
+		ms := seriesByName(t, rep, name)
+		for _, v := range ms.Y {
+			if v <= 0 {
+				t.Errorf("%s has nonpositive sample %g", name, v)
+			}
+		}
+	}
+	if len(rep.Notes) == 0 {
+		t.Error("expected ε(n) power-law fit notes on the realnet report")
 	}
 }
 

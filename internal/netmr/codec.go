@@ -39,6 +39,7 @@ var frameTypes = map[string]byte{
 	"ping":      6,
 	"pong":      7,
 	"taskbatch": 8,
+	"presult":   9,
 }
 
 var frameNames = func() map[byte]string {
@@ -109,6 +110,21 @@ func appendFrame(dst []byte, m *message, keys []string) ([]byte, []string, error
 		b = binary.AppendVarint(b, int64(spec.TaskID))
 		b = binary.AppendVarint(b, int64(spec.Attempt))
 		b = appendStrings(b, spec.Records)
+	}
+	b = binary.AppendVarint(b, int64(m.Partitions))
+	b = binary.AppendUvarint(b, uint64(len(m.Parts)))
+	for _, part := range m.Parts {
+		b = binary.AppendVarint(b, int64(part.ID))
+		b = binary.AppendUvarint(b, uint64(len(part.Partial)))
+		keys = keys[:0]
+		for k := range part.Partial {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b = appendString(b, k)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(part.Partial[k]))
+		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
 
@@ -206,6 +222,36 @@ func (r *frameReader) strings(dst []string) ([]string, error) {
 	return dst, nil
 }
 
+// pairs decodes one key/IEEE-754 pair list into a fresh map (nil when
+// empty) — the Partial field's wire shape, shared with every partition
+// of a presult frame. Freshly allocated because results outlive the next
+// recv on the master.
+func (r *frameReader) pairs() (map[string]float64, error) {
+	np, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if np > uint64(len(r.s)-r.off)/9 { // key length byte + 8 value bytes minimum
+		return nil, fmt.Errorf("netmr: partial of %d pairs overruns frame", np)
+	}
+	if np == 0 {
+		return nil, nil
+	}
+	out := make(map[string]float64, np)
+	for i := uint64(0); i < np; i++ {
+		k, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if len(r.s)-r.off < 8 {
+			return nil, fmt.Errorf("netmr: truncated partial value at byte %d", r.off)
+		}
+		out[k] = math.Float64frombits(u64at(r.s, r.off))
+		r.off += 8
+	}
+	return out, nil
+}
+
 // decodeFrame parses one checksummed body into m, reusing m.Records' and
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
@@ -250,26 +296,8 @@ func decodeFrame(body []byte, m *message) error {
 	if len(m.Records) == 0 {
 		m.Records = nil
 	}
-	np, err := r.uvarint()
-	if err != nil {
+	if m.Partial, err = r.pairs(); err != nil {
 		return err
-	}
-	if np > uint64(len(r.s)-r.off)/9 { // key length byte + 8 value bytes minimum
-		return fmt.Errorf("netmr: partial of %d pairs overruns frame", np)
-	}
-	if np > 0 {
-		m.Partial = make(map[string]float64, np)
-		for i := uint64(0); i < np; i++ {
-			k, err := r.string()
-			if err != nil {
-				return err
-			}
-			if len(r.s)-r.off < 8 {
-				return fmt.Errorf("netmr: truncated partial value at byte %d", r.off)
-			}
-			m.Partial[k] = math.Float64frombits(u64at(r.s, r.off))
-			r.off += 8
-		}
 	}
 	if m.Jobs, err = r.strings(nil); err != nil {
 		return err
@@ -317,6 +345,30 @@ func decodeFrame(body []byte, m *message) error {
 			}
 		}
 		m.Batch = batch
+	}
+	if v, err = r.varint(); err != nil {
+		return err
+	}
+	m.Partitions = int(v)
+	nparts, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Each partition costs at least its id byte plus a pair count byte.
+	if nparts > uint64(len(r.s)-r.off) {
+		return fmt.Errorf("netmr: part list of %d partitions overruns frame", nparts)
+	}
+	if nparts > 0 {
+		m.Parts = make([]partitionPartial, nparts)
+		for i := range m.Parts {
+			if v, err = r.varint(); err != nil {
+				return err
+			}
+			m.Parts[i].ID = int(v)
+			if m.Parts[i].Partial, err = r.pairs(); err != nil {
+				return err
+			}
+		}
 	}
 	if r.off != len(r.s) {
 		return fmt.Errorf("netmr: %d trailing bytes after frame", len(r.s)-r.off)

@@ -21,8 +21,9 @@ func codecMessages() []message {
 	return []message{
 		{Type: "ping"},
 		{Type: "pong"},
-		{Type: "hello", ID: "127.0.0.1:5555", Jobs: []string{"a", "b"}, Caps: []string{"bin", "batch"}},
+		{Type: "hello", ID: "127.0.0.1:5555", Jobs: []string{"a", "b"}, Caps: []string{"bin", "batch", "part"}},
 		{Type: "helloack", Caps: []string{"bin"}},
+		{Type: "helloack", Caps: []string{"bin", "part"}, Partitions: 8},
 		{Type: "task", Job: "wordcount", TaskID: 3, Attempt: 1, Records: []string{"the quick", "brown fox", ""}},
 		{Type: "task", Job: "", TaskID: -7, Attempt: 0, Records: []string{strings.Repeat("x", 4096)}},
 		{Type: "result", TaskID: 12, Attempt: 2, Partial: map[string]float64{
@@ -33,6 +34,13 @@ func codecMessages() []message {
 			{Job: "wc", TaskID: 0, Records: []string{"r0"}},
 			{Job: "wc", TaskID: 5, Attempt: 2, Records: nil},
 			{Job: "other", TaskID: -1, Records: []string{"a", "b", "c"}},
+		}},
+		{Type: "presult", TaskID: 7, Attempt: 1, Parts: []partitionPartial{
+			{ID: 0, Partial: map[string]float64{"alpha": 2, "": -1}},
+			{ID: 3, Partial: map[string]float64{"πκλ": 1e-300}},
+		}},
+		{Type: "presult", TaskID: -2, Parts: []partitionPartial{
+			{ID: 1, Partial: nil},
 		}},
 	}
 }
@@ -99,6 +107,14 @@ func normalize(m message) message {
 	for i := range m.Batch {
 		if len(m.Batch[i].Records) == 0 {
 			m.Batch[i].Records = nil
+		}
+	}
+	if len(m.Parts) == 0 {
+		m.Parts = nil
+	}
+	for i := range m.Parts {
+		if len(m.Parts[i].Partial) == 0 {
+			m.Parts[i].Partial = nil
 		}
 	}
 	return m

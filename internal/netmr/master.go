@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,20 @@ type MasterConfig struct {
 	SpeculationMinObservations int
 	// SpeculationMaxClones bounds the clones per shard (default 1).
 	SpeculationMaxClones int
+
+	// Partitions is the merge partition count P: arriving shard results
+	// are hash-split into P key ranges, each folded by its own goroutine
+	// while the map phase drains and finalized in parallel. Workers that
+	// negotiate the "part" capability are told P in the helloack and ship
+	// results pre-split, moving the hashing off the master entirely.
+	// Zero defaults to GOMAXPROCS; 1 keeps the merge single-partition
+	// (still map-overlapped).
+	Partitions int
+	// SerialMerge restores the pre-partitioning merge: wait at the split
+	// barrier, then fold every partial through one goroutine. It exists
+	// to measure exactly what the overlapped merge buys (benchmarks diff
+	// the two) and as a conservative fallback.
+	SerialMerge bool
 
 	// MaxTaskBatch caps how many ready shards one dispatch may pack
 	// into a single taskbatch frame for a worker that negotiated the
@@ -122,6 +138,12 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	if c.MaxTaskBatch <= 0 {
 		c.MaxTaskBatch = 1
 	}
+	if c.Partitions <= 0 {
+		c.Partitions = runtime.GOMAXPROCS(0)
+	}
+	if c.SerialMerge {
+		c.Partitions = 1
+	}
 	return c
 }
 
@@ -179,22 +201,32 @@ type WorkerStats struct {
 
 // Stats reports the wall-clock phase decomposition of one Run — the real
 // measurements behind the IPSO workload split: the scatter+map wave is
-// the parallelizable portion, the serial merge the internal portion —
-// plus the resilience ledger: how often the run had to retry, clone, or
-// discard work to finish.
+// the parallelizable portion, the master-side merge the internal portion
+// — plus the resilience ledger: how often the run had to retry, clone,
+// or discard work to finish.
+//
+// Since the merge overlaps the map phase, SplitWall + MergeWall double
+// counts the overlap window: TotalWall is measured end to end and
+// satisfies TotalWall <= SplitWall + MergeWall, with the difference
+// (MergeOverlapWall) being the serial work the overlap hid under the
+// map wave. The merge's critical-path contribution beyond the barrier
+// is MergeWall - MergeOverlapWall.
 type Stats struct {
-	Workers       int           // workers used at job start
-	Shards        int           // split-phase tasks
-	Completed     int           // shards that delivered a result
-	Reassignments int           // shards requeued (with backoff) after a launch failure
-	Speculations  int           // speculative clones launched for stragglers
-	SpecWins      int           // shards won by a speculative clone
-	Duplicates    int           // late sibling results discarded after completion
-	Cancellations int           // in-flight launches abandoned at exit or cancellation
-	SplitWall     time.Duration // scatter + parallel map (barrier to barrier)
-	MergeWall     time.Duration // serial master-side merge
-	TotalWall     time.Duration
-	PerWorker     []WorkerStats // per-worker breakdown, sorted by ID
+	Workers          int           // workers used at job start
+	Shards           int           // split-phase tasks
+	Partitions       int           // merge partitions (folder goroutines)
+	Completed        int           // shards that delivered a result
+	PrePartitioned   int           // winning results that arrived pre-split by a worker
+	Reassignments    int           // shards requeued (with backoff) after a launch failure
+	Speculations     int           // speculative clones launched for stragglers
+	SpecWins         int           // shards won by a speculative clone
+	Duplicates       int           // late sibling results discarded after completion
+	Cancellations    int           // in-flight launches abandoned at exit or cancellation
+	SplitWall        time.Duration // scatter + parallel map (barrier to barrier)
+	MergeWall        time.Duration // merge window: first partial fold to finalize end
+	MergeOverlapWall time.Duration // portion of MergeWall overlapped with the split phase
+	TotalWall        time.Duration // end-to-end wall, measured (not derived)
+	PerWorker        []WorkerStats // per-worker breakdown, sorted by ID
 }
 
 type workerHandle struct {
@@ -302,6 +334,13 @@ func (m *Master) admit(raw net.Conn) {
 		switch offered {
 		case capBinary, capBatch:
 			accepted = append(accepted, offered)
+		case capPartition:
+			// Partitioned results only pay off when the master actually
+			// runs a partitioned merge; a serial-merge master keeps every
+			// worker on flat results.
+			if !m.cfg.SerialMerge && m.cfg.Partitions > 1 {
+				accepted = append(accepted, offered)
+			}
 		}
 	}
 	if len(accepted) > 0 {
@@ -310,7 +349,13 @@ func (m *Master) admit(raw net.Conn) {
 		// plain JSON rather than rejecting it, keeping both sides on the
 		// same codec. A genuinely broken connection fails its first
 		// dispatch and is dropped there.
-		if err := c.send(message{Type: "helloack", Caps: accepted}, 10*time.Second); err == nil {
+		ack := message{Type: "helloack", Caps: accepted}
+		for _, a := range accepted {
+			if a == capPartition {
+				ack.Partitions = m.cfg.Partitions
+			}
+		}
+		if err := c.send(ack, 10*time.Second); err == nil {
 			for _, a := range accepted {
 				switch a {
 				case capBinary:
@@ -472,10 +517,12 @@ func (l *perWorkerLedger) snapshot() []WorkerStats {
 	return out
 }
 
-// launchDone is a successful launch's report back to the Run loop.
+// launchDone is a successful launch's report back to the Run loop: a
+// flat partial (result frame) or a worker-partitioned one (presult).
 type launchDone struct {
 	task    shardTask
 	partial map[string]float64
+	parts   []partitionPartial
 	elapsed time.Duration
 }
 
@@ -529,7 +576,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	if m.ln == nil {
 		return nil, Stats{}, errors.New("netmr: master is not listening")
 	}
-	stats = Stats{Workers: m.WorkerCount(), Shards: shards}
+	stats = Stats{Workers: m.WorkerCount(), Shards: shards, Partitions: m.cfg.Partitions}
 	if stats.Workers == 0 {
 		return nil, Stats{}, errors.New("netmr: no workers connected")
 	}
@@ -579,8 +626,11 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			t := tasks[acked]
 			var reply message
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
-			if err == nil && (reply.Type != "result" || reply.TaskID != t.id) {
+			if err == nil && ((reply.Type != "result" && reply.Type != "presult") || reply.TaskID != t.id) {
 				err = fmt.Errorf("netmr: worker %s answered shard %d with %q (task %d)", w.id, t.id, reply.Type, reply.TaskID)
+			}
+			if err == nil && reply.Type == "presult" {
+				err = validateParts(reply.Parts, m.cfg.Partitions)
 			}
 			if err != nil {
 				break
@@ -590,7 +640,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			prev = now
 			m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
 			ledger.shardDone(w.id, elapsed)
-			resultCh <- launchDone{task: t, partial: reply.Partial, elapsed: elapsed}
+			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, elapsed: elapsed}
 			acked++
 		}
 		if err != nil {
@@ -612,8 +662,20 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	inflight := make(map[int]*flight, shards)
 	done := make(map[int]bool, shards)
 	var completedLat []float64 // winning-launch latencies, speculation reference
-	partials := make([]map[string]float64, 0, shards)
 	pending := shards
+
+	// The merge runs as P partition folders fed while the map phase
+	// drains; SerialMerge instead buffers partials for the legacy
+	// barrier-then-merge pass. The deferred shutdown covers every error
+	// return so an abandoned job never leaks folder goroutines.
+	var eng *mergeEngine
+	var partials []map[string]float64
+	if m.cfg.SerialMerge {
+		partials = make([]map[string]float64, 0, shards)
+	} else {
+		eng = newMergeEngine(job, m.cfg.Partitions, shards)
+		defer eng.shutdown()
+	}
 
 	liveLaunches := func() int {
 		total := 0
@@ -738,7 +800,15 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				m.metrics.specWins.Inc()
 			}
 			completedLat = append(completedLat, r.elapsed.Seconds())
-			partials = append(partials, r.partial)
+			if eng != nil {
+				if r.parts != nil {
+					stats.PrePartitioned++
+					m.metrics.partResults.Inc()
+				}
+				eng.feed(r.parts, r.partial)
+			} else {
+				partials = append(partials, flatten(r.parts, r.partial))
+			}
 			stats.Completed++
 			pending--
 
@@ -814,24 +884,74 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	// pool when their RPC finishes.
 	abandon()
 	splitSpan.End()
-	stats.SplitWall = time.Since(splitStart)
+	barrier := time.Now()
+	stats.SplitWall = barrier.Sub(splitStart)
 	m.metrics.splitSeconds.Observe(stats.SplitWall.Seconds())
 
-	// Merge phase: one serial pass over all partials — the Ws(n) of this
-	// runtime, growing with the number of distinct keys shipped back.
-	// Jobs with a streaming Combine fold partials directly into the
-	// result; the rest group values per key and Reduce once.
-	mergeStart := time.Now()
+	// Merge tail: the part of the merge left beyond the split barrier.
+	// With the engine most folding already happened under the map phase
+	// (MergeOverlapWall), so only the parallel finalize remains here. The
+	// SerialMerge path does all its Ws(n) work in this window.
 	_, mergeSpan := obs.StartSpan(ctx, "merge")
 	var out map[string]float64
-	if job.Combine != nil {
-		size := 0
-		for _, p := range partials {
-			if len(p) > size {
-				size = len(p)
-			}
+	if eng != nil {
+		out, err = eng.finalize(ctx)
+		if err != nil {
+			mergeSpan.End()
+			return nil, stats, err
 		}
-		out = make(map[string]float64, size)
+		stats.MergeOverlapWall = eng.overlap(barrier)
+		for p, d := range eng.busy {
+			m.metrics.mergePartition.With(strconv.Itoa(p)).Observe(d.Seconds())
+		}
+	} else {
+		out = serialMerge(job, partials)
+	}
+	mergeSpan.End()
+	end := time.Now()
+	stats.MergeWall = end.Sub(barrier) + stats.MergeOverlapWall
+	stats.TotalWall = end.Sub(splitStart)
+	m.metrics.mergeSeconds.Observe(stats.MergeWall.Seconds())
+	m.metrics.mergeOverlap.Observe(stats.MergeOverlapWall.Seconds())
+	m.metrics.mergeWidth.Set(float64(m.cfg.Partitions))
+	return out, stats, nil
+}
+
+// flatten collapses a pre-partitioned result back into one map for the
+// SerialMerge path (which should only ever see flat results, since it
+// never grants the part capability — this is defensive).
+func flatten(parts []partitionPartial, whole map[string]float64) map[string]float64 {
+	if parts == nil {
+		return whole
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p.Partial)
+	}
+	out := make(map[string]float64, n)
+	for _, p := range parts {
+		for k, v := range p.Partial {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// serialMerge is the legacy barrier-then-merge: every partial folded
+// through one goroutine after the split completes. Jobs with a streaming
+// Combine fold partials directly into the result; the rest group values
+// per key (slices recycled through valuesPool) and Reduce once.
+func serialMerge(job Job, partials []map[string]float64) map[string]float64 {
+	// The largest partial is a lower bound on the distinct-key count:
+	// pre-sizing on it avoids most rehash-and-copy growth.
+	size := 0
+	for _, p := range partials {
+		if len(p) > size {
+			size = len(p)
+		}
+	}
+	if job.Combine != nil {
+		out := make(map[string]float64, size)
 		for _, p := range partials {
 			for k, v := range p {
 				if acc, ok := out[k]; ok {
@@ -841,23 +961,26 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				}
 			}
 		}
-	} else {
-		merged := make(map[string][]float64)
-		for _, p := range partials {
-			for k, v := range p {
-				merged[k] = append(merged[k], v)
+		return out
+	}
+	merged := make(map[string]*[]float64, size)
+	for _, p := range partials {
+		for k, v := range p {
+			vs, ok := merged[k]
+			if !ok {
+				vs = valuesPool.Get().(*[]float64)
+				*vs = (*vs)[:0]
+				merged[k] = vs
 			}
-		}
-		out = make(map[string]float64, len(merged))
-		for k, vs := range merged {
-			out[k] = job.Reduce(k, vs)
+			*vs = append(*vs, v)
 		}
 	}
-	mergeSpan.End()
-	stats.MergeWall = time.Since(mergeStart)
-	m.metrics.mergeSeconds.Observe(stats.MergeWall.Seconds())
-	stats.TotalWall = stats.SplitWall + stats.MergeWall
-	return out, stats, nil
+	out := make(map[string]float64, len(merged))
+	for k, vs := range merged {
+		out[k] = job.Reduce(k, *vs)
+		valuesPool.Put(vs)
+	}
+	return out
 }
 
 // Close stops accepting workers, halts the heartbeat loop and the

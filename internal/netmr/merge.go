@@ -1,0 +1,267 @@
+package netmr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ipso/internal/runner"
+)
+
+// The partitioned, map-overlapped merge engine. The old merge was the
+// runtime's textbook Ws(n): the master waited at the split barrier, then
+// folded every worker partial through one goroutine — serial work that
+// grows with the number of distinct keys shipped back, exactly the
+// in-proportion serial portion the IPSO model (Eq. 7/8) says caps
+// speedup. The engine attacks it on both axes:
+//
+//   - overlap: every arriving partial is folded the moment it lands,
+//     while the map phase is still draining, so most merge work hides
+//     under the split wall instead of extending the job past it;
+//   - parallelism: keys are hash-partitioned (partitionIndex) and each
+//     partition is owned by one folder goroutine — lock-free, because
+//     ownership is the synchronization — then finalized in parallel via
+//     runner.Map.
+//
+// Workers that negotiated the "part" capability ship results already
+// split per partition (presult frames); everything else — v1 JSON
+// workers, v2 workers without the capability — ships one flat map that
+// the engine's router splits on arrival. Both paths land identical keys
+// in identical partitions, so mixed clusters merge correctly.
+
+// mergeChunk is one routed unit of merge input: a map whose keys all
+// hash to the partition owning the channel it travels on.
+type mergeChunk struct {
+	m map[string]float64
+}
+
+// mergeFeed is one shard result queued for routing: either already
+// partitioned by the worker (parts) or flat (whole).
+type mergeFeed struct {
+	parts []partitionPartial
+	whole map[string]float64
+}
+
+// valuesPool recycles the per-key value slices of the grouped (non
+// Combine) merge across partitions and runs — the map values would
+// otherwise be a fresh small slice per distinct key per job.
+var valuesPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 8)
+		return &s
+	},
+}
+
+// mergeEngine owns the partition accumulators of one Run.
+type mergeEngine struct {
+	job   Job
+	parts int
+
+	inbox chan mergeFeed    // Run loop → router; buffered one slot per shard
+	chans []chan mergeChunk // router → folders, one per partition
+
+	// Per-partition state, each slot owned by its folder goroutine until
+	// the folders are joined.
+	accs   []map[string]float64    // Combine path: running fold
+	groups []map[string]*[]float64 // Reduce path: grouped values (pooled slices)
+	busy   []time.Duration         // fold + finalize wall per partition
+
+	firstFeed  time.Time // when the first partial entered the engine
+	fed        int
+	routerDone chan struct{}
+	folders    sync.WaitGroup
+	finished   bool
+}
+
+// newMergeEngine builds an engine for one Run of job with the given
+// partition count and shard count (the inbox bound: every shard feeds
+// exactly once, so the Run loop never blocks on a feed).
+func newMergeEngine(job Job, parts, shards int) *mergeEngine {
+	if parts < 1 {
+		parts = 1
+	}
+	e := &mergeEngine{
+		job:        job,
+		parts:      parts,
+		inbox:      make(chan mergeFeed, shards),
+		chans:      make([]chan mergeChunk, parts),
+		busy:       make([]time.Duration, parts),
+		routerDone: make(chan struct{}),
+	}
+	if job.Combine != nil {
+		e.accs = make([]map[string]float64, parts)
+		for p := range e.accs {
+			e.accs[p] = map[string]float64{}
+		}
+	} else {
+		e.groups = make([]map[string]*[]float64, parts)
+		for p := range e.groups {
+			e.groups[p] = map[string]*[]float64{}
+		}
+	}
+	for p := range e.chans {
+		e.chans[p] = make(chan mergeChunk, shards)
+	}
+	go e.route()
+	for p := 0; p < parts; p++ {
+		e.folders.Add(1)
+		go e.fold(p)
+	}
+	return e
+}
+
+// feed hands one winning shard result to the engine. Called only from
+// the Run loop; the inbox is sized so it never blocks.
+func (e *mergeEngine) feed(parts []partitionPartial, whole map[string]float64) {
+	if e.fed == 0 {
+		e.firstFeed = time.Now()
+	}
+	e.fed++
+	e.inbox <- mergeFeed{parts: parts, whole: whole}
+}
+
+// route drains the inbox, splitting flat maps by key hash, and forwards
+// each piece to its partition's folder. Runs until the inbox closes, so
+// splitting cost never stalls the dispatch loop.
+func (e *mergeEngine) route() {
+	defer func() {
+		for _, ch := range e.chans {
+			close(ch)
+		}
+		close(e.routerDone)
+	}()
+	for f := range e.inbox {
+		if f.parts != nil {
+			for _, part := range f.parts {
+				if len(part.Partial) > 0 {
+					e.chans[part.ID] <- mergeChunk{m: part.Partial}
+				}
+			}
+			continue
+		}
+		if e.parts == 1 {
+			if len(f.whole) > 0 {
+				e.chans[0] <- mergeChunk{m: f.whole}
+			}
+			continue
+		}
+		split := make([]map[string]float64, e.parts)
+		hint := len(f.whole)/e.parts + 1
+		for k, v := range f.whole {
+			p := partitionIndex(k, e.parts)
+			if split[p] == nil {
+				split[p] = make(map[string]float64, hint)
+			}
+			split[p][k] = v
+		}
+		for p, m := range split {
+			if m != nil {
+				e.chans[p] <- mergeChunk{m: m}
+			}
+		}
+	}
+}
+
+// fold is partition p's owner: it accumulates every chunk routed to p.
+// No locks — only this goroutine touches accs[p]/groups[p]/busy[p]
+// until folders.Wait returns.
+func (e *mergeEngine) fold(p int) {
+	defer e.folders.Done()
+	for c := range e.chans[p] {
+		start := time.Now()
+		if e.accs != nil {
+			acc := e.accs[p]
+			for k, v := range c.m {
+				if prev, ok := acc[k]; ok {
+					acc[k] = e.job.Combine(prev, v)
+				} else {
+					acc[k] = v
+				}
+			}
+		} else {
+			g := e.groups[p]
+			for k, v := range c.m {
+				vs, ok := g[k]
+				if !ok {
+					vs = valuesPool.Get().(*[]float64)
+					*vs = (*vs)[:0]
+					g[k] = vs
+				}
+				*vs = append(*vs, v)
+			}
+		}
+		e.busy[p] += time.Since(start)
+	}
+}
+
+// finalize closes the intake, joins the folders, reduces each partition
+// in parallel on the context's runner pool, and unions the disjoint
+// partitions into one exactly-sized result map. After finalize the
+// engine is spent.
+func (e *mergeEngine) finalize(ctx context.Context) (map[string]float64, error) {
+	e.shutdown()
+	finals := e.accs
+	if e.groups != nil {
+		reduced, err := runner.Map(ctx, e.parts, func(_ context.Context, p int) (map[string]float64, error) {
+			start := time.Now()
+			g := e.groups[p]
+			out := make(map[string]float64, len(g))
+			for k, vs := range g {
+				out[k] = e.job.Reduce(k, *vs)
+				valuesPool.Put(vs)
+			}
+			e.busy[p] += time.Since(start)
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		finals = reduced
+	}
+	total := 0
+	for _, m := range finals {
+		total += len(m)
+	}
+	out := make(map[string]float64, total)
+	for _, m := range finals {
+		for k, v := range m {
+			out[k] = v // partitions are disjoint: plain copy, no fold
+		}
+	}
+	return out, nil
+}
+
+// overlap reports how much of the merge window ran before t (the split
+// barrier): the Ws the engine hid under the map phase.
+func (e *mergeEngine) overlap(t time.Time) time.Duration {
+	if e.fed == 0 || t.Before(e.firstFeed) {
+		return 0
+	}
+	return t.Sub(e.firstFeed)
+}
+
+// shutdown closes the intake and joins the router and folders; it is
+// idempotent, so a Run that errors out mid-job can abandon the engine
+// without leaking its goroutines.
+func (e *mergeEngine) shutdown() {
+	if e.finished {
+		return
+	}
+	e.finished = true
+	close(e.inbox)
+	<-e.routerDone
+	e.folders.Wait()
+}
+
+// validateParts rejects a presult whose partition ids fall outside
+// [0, parts): routing an attacker- or corruption-supplied id would index
+// out of range, so a bad frame fails the launch instead.
+func validateParts(parts []partitionPartial, n int) error {
+	for _, p := range parts {
+		if p.ID < 0 || p.ID >= n {
+			return fmt.Errorf("netmr: partition id %d outside [0,%d)", p.ID, n)
+		}
+	}
+	return nil
+}

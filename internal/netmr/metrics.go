@@ -21,6 +21,10 @@ type masterMetrics struct {
 	rpcSeconds     *obs.HistogramVec
 	splitSeconds   *obs.Histogram
 	mergeSeconds   *obs.Histogram
+	mergeOverlap   *obs.Histogram
+	mergePartition *obs.HistogramVec
+	mergeWidth     *obs.Gauge
+	partResults    *obs.Counter
 	retries        *obs.Counter
 	backoffSeconds *obs.Histogram
 	speculations   *obs.Counter
@@ -56,7 +60,15 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 		splitSeconds: r.Histogram("netmr_split_seconds",
 			"Split-phase wall time (scatter + parallel map, barrier to barrier).", nil),
 		mergeSeconds: r.Histogram("netmr_merge_seconds",
-			"Serial master-side merge wall time.", nil),
+			"Master-side merge window wall time (first partial fold to finalize; overlaps the split phase).", nil),
+		mergeOverlap: r.Histogram("netmr_merge_overlap_seconds",
+			"Merge wall time hidden under the split phase (map-overlap).", nil),
+		mergePartition: r.HistogramVec("netmr_merge_partition_seconds",
+			"Per-partition merge busy time (incremental folds plus finalize).", nil, "partition"),
+		mergeWidth: r.Gauge("netmr_merge_parallelism",
+			"Merge partitions (folder goroutines) of the most recent job."),
+		partResults: r.Counter("netmr_partitioned_results_total",
+			"Winning shard results that arrived pre-partitioned by a worker."),
 		retries: r.Counter("netmr_retries_total",
 			"Shards requeued with backoff after a launch failure."),
 		backoffSeconds: r.Histogram("netmr_retry_backoff_seconds",

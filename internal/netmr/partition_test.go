@@ -1,0 +1,366 @@
+package netmr
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPartitionIndex pins down the routing contract both sides of the
+// wire depend on: deterministic, in range, degenerate at parts<=1, and
+// spread across partitions for realistic key sets.
+func TestPartitionIndex(t *testing.T) {
+	keys := []string{"", "a", "alpha", "beta", "πκλ", strings.Repeat("k", 300)}
+	for _, k := range keys {
+		if got := partitionIndex(k, 1); got != 0 {
+			t.Errorf("partitionIndex(%q, 1) = %d, want 0", k, got)
+		}
+		if got := partitionIndex(k, 0); got != 0 {
+			t.Errorf("partitionIndex(%q, 0) = %d, want 0", k, got)
+		}
+		for _, parts := range []int{2, 3, 7, 64} {
+			got := partitionIndex(k, parts)
+			if got < 0 || got >= parts {
+				t.Fatalf("partitionIndex(%q, %d) = %d out of range", k, parts, got)
+			}
+			if again := partitionIndex(k, parts); again != got {
+				t.Fatalf("partitionIndex(%q, %d) not deterministic: %d then %d", k, parts, got, again)
+			}
+		}
+	}
+	// 1000 distinct keys over 8 partitions: every partition must get some
+	// share — a fixed hash seed makes this deterministic, not flaky.
+	counts := make([]int, 8)
+	for i := 0; i < 1000; i++ {
+		counts[partitionIndex(fmt.Sprintf("key-%d", i), 8)]++
+	}
+	for p, n := range counts {
+		if n == 0 {
+			t.Errorf("partition %d received no keys out of 1000", p)
+		}
+	}
+}
+
+// TestRunShardPartitioned: the partitioned shard execution must be a
+// pure re-arrangement of the flat one — same keys, same values, each key
+// in exactly the partition partitionIndex assigns, empty partitions
+// omitted.
+func TestRunShardPartitioned(t *testing.T) {
+	lines := testLines(t, 120)
+	jobs := map[string]Job{"reduce": wordCountJob()}
+	combined := wordCountJob()
+	combined.Combine = func(acc, v float64) float64 { return acc + v }
+	jobs["combine"] = combined
+
+	for name, job := range jobs {
+		t.Run(name, func(t *testing.T) {
+			want := runShard(job, lines, newShardScratch())
+			for _, parts := range []int{1, 2, 4, 9} {
+				got := runShardPartitioned(job, lines, newShardScratch(), parts)
+				flat := map[string]float64{}
+				for _, p := range got {
+					if p.ID < 0 || p.ID >= parts {
+						t.Fatalf("parts=%d: partition id %d out of range", parts, p.ID)
+					}
+					if len(p.Partial) == 0 {
+						t.Fatalf("parts=%d: empty partition %d shipped", parts, p.ID)
+					}
+					for k, v := range p.Partial {
+						if idx := partitionIndex(k, parts); idx != p.ID {
+							t.Fatalf("parts=%d: key %q in partition %d, hashes to %d", parts, k, p.ID, idx)
+						}
+						flat[k] = v
+					}
+				}
+				if !reflect.DeepEqual(flat, want) {
+					t.Fatalf("parts=%d: partitioned union diverged from flat shard result", parts)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeEngineMatchesSerialMerge drives the engine with a mix of
+// pre-partitioned and flat feeds, in shuffled arrival orders, and checks
+// the result is byte-identical to the legacy serial merge — for both the
+// Combine fold and the grouped Reduce paths, at several widths.
+func TestMergeEngineMatchesSerialMerge(t *testing.T) {
+	lines := testLines(t, 300)
+	const shards = 10
+	per := len(lines) / shards
+
+	plain := wordCountJob()
+	combined := wordCountJob()
+	combined.Combine = func(acc, v float64) float64 { return acc + v }
+
+	for name, job := range map[string]Job{"reduce": plain, "combine": combined} {
+		t.Run(name, func(t *testing.T) {
+			partials := make([]map[string]float64, shards)
+			for i := range partials {
+				partials[i] = runShard(job, lines[i*per:(i+1)*per], newShardScratch())
+			}
+			want := serialMerge(job, partials)
+
+			for _, parts := range []int{1, 2, 4, 7} {
+				for seed := int64(0); seed < 3; seed++ {
+					eng := newMergeEngine(job, parts, shards)
+					order := rand.New(rand.NewSource(seed)).Perm(shards)
+					for _, i := range order {
+						if i%2 == 0 {
+							// Even shards arrive pre-partitioned (a "part" worker)...
+							eng.feed(runShardPartitioned(job, lines[i*per:(i+1)*per], newShardScratch(), parts), nil)
+						} else {
+							// ...odd shards arrive flat (legacy or non-part worker).
+							eng.feed(nil, partials[i])
+						}
+					}
+					got, err := eng.finalize(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("parts=%d seed=%d: engine result diverged from serial merge", parts, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMergeEngineShutdownIdempotent: an abandoned engine (Run erroring
+// out mid-job) must be safe to shut down repeatedly, including after
+// finalize.
+func TestMergeEngineShutdownIdempotent(t *testing.T) {
+	eng := newMergeEngine(wordCountJob(), 3, 4)
+	eng.feed(nil, map[string]float64{"a": 1})
+	eng.shutdown()
+	eng.shutdown()
+	if _, err := eng.finalize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.overlap(time.Now()); d <= 0 {
+		t.Errorf("overlap after feed = %v, want > 0", d)
+	}
+	fresh := newMergeEngine(wordCountJob(), 2, 1)
+	if d := fresh.overlap(time.Now()); d != 0 {
+		t.Errorf("overlap of unfed engine = %v, want 0", d)
+	}
+	fresh.shutdown()
+}
+
+// TestValidateParts: partition ids outside [0, P) must be rejected at
+// dispatch, never routed.
+func TestValidateParts(t *testing.T) {
+	ok := []partitionPartial{{ID: 0}, {ID: 3}}
+	if err := validateParts(ok, 4); err != nil {
+		t.Errorf("valid parts rejected: %v", err)
+	}
+	for _, bad := range [][]partitionPartial{
+		{{ID: -1}},
+		{{ID: 4}},
+		{{ID: 0}, {ID: 99}},
+	} {
+		if err := validateParts(bad, 4); err == nil {
+			t.Errorf("validateParts(%+v, 4) accepted out-of-range id", bad)
+		}
+	}
+}
+
+// runWordCount runs one wordcount job on a fresh cluster with the given
+// master config and returns the result and stats.
+func runWordCount(t *testing.T, cfg MasterConfig, workers int, lines []string, shards int) (map[string]float64, Stats) {
+	t.Helper()
+	master, err := NewMaster(mustRegistry(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+	for i := 0; i < workers; i++ {
+		w, err := NewWorker(mustRegistry(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Start(addr); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+	}
+	if err := master.WaitForWorkers(workers, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := master.Run(context.Background(), "wordcount", lines, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+// TestResultsIdenticalAcrossPartitionConfigs: the partition count, the
+// overlap, and the SerialMerge fallback are pure performance knobs — the
+// reduced output must be identical under every configuration.
+func TestResultsIdenticalAcrossPartitionConfigs(t *testing.T) {
+	lines := testLines(t, 500)
+	want := runShard(wordCountJob(), lines, newShardScratch())
+
+	base := MasterConfig{TaskTimeout: 10 * time.Second, JobTimeout: 30 * time.Second}
+	configs := map[string]MasterConfig{
+		"serial":       {TaskTimeout: base.TaskTimeout, JobTimeout: base.JobTimeout, SerialMerge: true},
+		"partitions-1": {TaskTimeout: base.TaskTimeout, JobTimeout: base.JobTimeout, Partitions: 1},
+		"partitions-3": {TaskTimeout: base.TaskTimeout, JobTimeout: base.JobTimeout, Partitions: 3},
+		"partitions-8": {TaskTimeout: base.TaskTimeout, JobTimeout: base.JobTimeout, Partitions: 8},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			got, stats := runWordCount(t, cfg, 2, lines, 12)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: result diverged from local reference", name)
+			}
+			if cfg.SerialMerge {
+				if stats.MergeOverlapWall != 0 {
+					t.Errorf("SerialMerge overlapped %v, want 0", stats.MergeOverlapWall)
+				}
+				if stats.Partitions != 1 {
+					t.Errorf("SerialMerge Partitions = %d, want 1", stats.Partitions)
+				}
+			} else if cfg.Partitions > 1 && stats.PrePartitioned == 0 {
+				t.Errorf("%s: no result arrived pre-partitioned (PrePartitioned = 0)", name)
+			}
+			if stats.TotalWall > stats.SplitWall+stats.MergeWall {
+				t.Errorf("%s: TotalWall %v > SplitWall+MergeWall %v", name, stats.TotalWall, stats.SplitWall+stats.MergeWall)
+			}
+		})
+	}
+}
+
+// TestMixedClusterPartitioned is the three-generation e2e: one legacy
+// v1 JSON worker, one v2 binary worker without the part capability, and
+// one fully current worker share a partitioned master. The job must
+// produce exactly the single-process reference result, every generation
+// must run shards, and at least the current worker must pre-partition.
+func TestMixedClusterPartitioned(t *testing.T) {
+	master, err := NewMaster(mustRegistry(t), MasterConfig{
+		TaskTimeout: 10 * time.Second, JobTimeout: 30 * time.Second, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+
+	// Generation 1: JSON line protocol, no capabilities at all.
+	legacyJSONWorker(t, addr, wordCountJob())
+	// Generation 2: binary codec but no part capability — ships flat
+	// maps over v2 frames; the master splits them on arrival.
+	unpart, err := NewWorker(mustRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpart.caps = []string{capBinary}
+	if err := unpart.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(unpart.Stop)
+	// Generation 3: current worker, pre-partitions every result.
+	current, err := NewWorker(mustRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := current.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(current.Stop)
+	if err := master.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := testLines(t, 600)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runShard(wordCountJob(), lines, newShardScratch())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("mixed-generation cluster result diverged from reference")
+	}
+	if stats.PrePartitioned == 0 {
+		t.Error("no pre-partitioned result despite a part-capable worker")
+	}
+	if stats.PrePartitioned >= stats.Completed {
+		t.Errorf("PrePartitioned %d should be below Completed %d in a mixed cluster", stats.PrePartitioned, stats.Completed)
+	}
+	for _, ws := range stats.PerWorker {
+		if ws.ShardsRun == 0 {
+			t.Errorf("worker %s ran no shards in the mixed cluster", ws.ID)
+		}
+	}
+}
+
+// FuzzDecodePartitionedResult focuses the codec fuzzer on the presult
+// frame: arbitrary bodies must decode or error, never panic, and a body
+// that decodes must re-encode and round-trip to the same message.
+func FuzzDecodePartitionedResult(f *testing.F) {
+	seeds := []message{
+		{Type: "presult", TaskID: 1, Attempt: 1, Parts: []partitionPartial{
+			{ID: 0, Partial: map[string]float64{"a": 1, "b": 2}},
+			{ID: 2, Partial: map[string]float64{"c": -3.5}},
+		}},
+		{Type: "presult", TaskID: 0, Parts: []partitionPartial{{ID: 7}}},
+		{Type: "presult"},
+	}
+	for _, m := range seeds {
+		frame, _, err := appendFrame(nil, &m, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		r := bufio.NewReader(strings.NewReader(string(frame)))
+		n, err := readUvarintLen(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body := frame[len(frame)-n:]
+		f.Add(body)
+		f.Add(body[:len(body)*2/3])
+		mut := append([]byte(nil), body...)
+		if len(mut) > 4 {
+			mut[4] ^= 0x40
+		}
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m message
+		if err := decodeFrame(body, &m); err != nil {
+			return
+		}
+		if _, ok := frameTypes[m.Type]; !ok {
+			return // unknown type placeholder, ignore-path
+		}
+		frame, _, err := appendFrame(nil, &m, nil)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		r := bufio.NewReader(strings.NewReader(string(frame)))
+		n, err := readUvarintLen(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again message
+		if err := decodeFrame(frame[len(frame)-n:], &again); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(again), normalize(m)) {
+			t.Fatalf("presult round trip lossy:\n in: %+v\nout: %+v", m, again)
+		}
+	})
+}

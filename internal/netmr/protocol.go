@@ -35,31 +35,45 @@ import (
 	"time"
 )
 
-// capBinary and capBatch are the capability tokens of the hello
-// negotiation: the binary codec and multi-shard task batching.
+// capBinary, capBatch and capPartition are the capability tokens of the
+// hello negotiation: the binary codec, multi-shard task batching, and
+// worker-side hash-partitioned results (the master's helloack then
+// carries the partition count the cluster agreed on).
 const (
-	capBinary = "bin"
-	capBatch  = "batch"
+	capBinary    = "bin"
+	capBatch     = "batch"
+	capPartition = "part"
 )
 
 // workerCaps is what a current worker advertises in its hello.
-func workerCaps() []string { return []string{capBinary, capBatch} }
+func workerCaps() []string { return []string{capBinary, capBatch, capPartition} }
 
 // message is the single wire frame: one JSON line in codec v1, one
 // length-prefixed binary frame in v2 (codec.go). The field set is
 // shared, so the two codecs round-trip the same struct.
 type message struct {
-	Type    string             `json:"type"`              // hello | helloack | task | taskbatch | result | error | ping | pong
-	ID      string             `json:"id,omitempty"`      // hello: worker identity
-	Job     string             `json:"job,omitempty"`     // task
-	TaskID  int                `json:"task_id,omitempty"` // task | result | error
-	Attempt int                `json:"attempt,omitempty"` // task | result: retry ordinal, 0-based
-	Records []string           `json:"records,omitempty"` // task
-	Partial map[string]float64 `json:"partial,omitempty"` // result
-	Jobs    []string           `json:"jobs,omitempty"`    // hello
-	Message string             `json:"message,omitempty"` // error
-	Caps    []string           `json:"caps,omitempty"`    // hello: offered, helloack: accepted
-	Batch   []taskSpec         `json:"batch,omitempty"`   // taskbatch
+	Type       string             `json:"type"`                 // hello | helloack | task | taskbatch | result | presult | error | ping | pong
+	ID         string             `json:"id,omitempty"`         // hello: worker identity
+	Job        string             `json:"job,omitempty"`        // task
+	TaskID     int                `json:"task_id,omitempty"`    // task | result | presult | error
+	Attempt    int                `json:"attempt,omitempty"`    // task | result | presult: retry ordinal, 0-based
+	Records    []string           `json:"records,omitempty"`    // task
+	Partial    map[string]float64 `json:"partial,omitempty"`    // result
+	Jobs       []string           `json:"jobs,omitempty"`       // hello
+	Message    string             `json:"message,omitempty"`    // error
+	Caps       []string           `json:"caps,omitempty"`       // hello: offered, helloack: accepted
+	Batch      []taskSpec         `json:"batch,omitempty"`      // taskbatch
+	Partitions int                `json:"partitions,omitempty"` // helloack: merge partition count when "part" was accepted
+	Parts      []partitionPartial `json:"parts,omitempty"`      // presult: per-partition partials
+}
+
+// partitionPartial is one merge partition's slice of a shard result: the
+// keys whose hash lands in partition ID, pre-split by the worker so the
+// master can route it to a partition accumulator without rehashing.
+// Empty partitions are omitted from the Parts list.
+type partitionPartial struct {
+	ID      int                `json:"id"`
+	Partial map[string]float64 `json:"partial,omitempty"`
 }
 
 // taskSpec is one shard inside a taskbatch frame; the worker answers
@@ -228,18 +242,37 @@ func (r *Registry) lookup(name string) (Job, bool) {
 	return j, ok
 }
 
+// partitionIndex hashes key into [0, parts) with FNV-1a — the one hash
+// function workers and master must agree on, since a worker-partitioned
+// result and a master-partitioned fallback must land identical keys in
+// identical partitions.
+func partitionIndex(key string, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(parts))
+}
+
 // shardScratch holds the flat arena runShard executes in. One scratch
 // per worker is reused across every shard it runs, so steady-state
-// execution allocates only the result map it ships back.
+// execution allocates only the result map(s) it ships back.
 type shardScratch struct {
-	keyIDs  map[string]int // key → dense id, reset per shard
-	keys    []string       // id → key
-	accs    []float64      // combiner path: running fold per key
-	logKeys []int          // buffered path: emission log (key ids ...)
-	logVals []float64      // ... and values, in emission order
-	counts  []int          // per-key emission counts
-	ends    []int          // per-key arena end offsets (prefix sums)
-	arena   []float64      // all values, grouped by key
+	keyIDs   map[string]int // key → dense id, reset per shard
+	keys     []string       // id → key
+	accs     []float64      // combiner path: running fold per key
+	logKeys  []int          // buffered path: emission log (key ids ...)
+	logVals  []float64      // ... and values, in emission order
+	counts   []int          // per-key emission counts
+	ends     []int          // per-key arena end offsets (prefix sums)
+	arena    []float64      // all values, grouped by key
+	partOf   []int          // partitioned collect: id → partition
+	partSize []int          // partitioned collect: keys per partition
+	combined bool           // run() took the combiner path
 }
 
 func newShardScratch() *shardScratch {
@@ -254,18 +287,21 @@ func (sc *shardScratch) reset() {
 	sc.logVals = sc.logVals[:0]
 }
 
-// runShard executes the map side of a job over one shard of records,
+// run executes the map side of a job over one shard of records,
 // pre-reducing locally (combiner) so only one value per key crosses the
 // network — mirroring the map-side combine of real frameworks.
 //
 // Jobs with a Combine fold every emission into a per-key accumulator as
 // it happens. Jobs without one log emissions into two flat slices, then
-// group the values into a single arena (counting sort by key id) and
-// call Reduce once per key on its contiguous arena window — the same
-// grouping map[string][]float64 used to do, without a slice per key.
-func runShard(j Job, records []string, sc *shardScratch) map[string]float64 {
+// group the values into a single arena (counting sort by key id), so a
+// collector can call Reduce once per key on its contiguous arena window
+// — the same grouping map[string][]float64 used to do, without a slice
+// per key. After run, sc.keys holds the distinct keys and value(id)
+// yields each key's reduced value.
+func (sc *shardScratch) run(j Job, records []string) {
 	sc.reset()
-	if j.Combine != nil {
+	sc.combined = j.Combine != nil
+	if sc.combined {
 		emit := func(k string, v float64) {
 			if id, ok := sc.keyIDs[k]; ok {
 				sc.accs[id] = j.Combine(sc.accs[id], v)
@@ -278,11 +314,7 @@ func runShard(j Job, records []string, sc *shardScratch) map[string]float64 {
 		for _, rec := range records {
 			j.Map(rec, emit)
 		}
-		out := make(map[string]float64, len(sc.keys))
-		for id, k := range sc.keys {
-			out[k] = sc.accs[id]
-		}
-		return out
+		return
 	}
 
 	emit := func(k string, v float64) {
@@ -325,10 +357,70 @@ func runShard(j Job, records []string, sc *shardScratch) map[string]float64 {
 		sc.ends[id]--
 		sc.arena[sc.ends[id]] = sc.logVals[i]
 	}
-	out := make(map[string]float64, nk)
+}
+
+// value returns key id's shard-local result: the running fold on the
+// combiner path, one Reduce over the arena window otherwise.
+func (sc *shardScratch) value(j Job, id int) float64 {
+	if sc.combined {
+		return sc.accs[id]
+	}
+	lo := sc.ends[id]
+	return j.Reduce(sc.keys[id], sc.arena[lo:lo+sc.counts[id]])
+}
+
+// runShard executes one shard and collects the result into a single map
+// — the unpartitioned wire shape.
+func runShard(j Job, records []string, sc *shardScratch) map[string]float64 {
+	sc.run(j, records)
+	out := make(map[string]float64, len(sc.keys))
 	for id, k := range sc.keys {
-		lo := sc.ends[id]
-		out[k] = j.Reduce(k, sc.arena[lo:lo+sc.counts[id]])
+		out[k] = sc.value(j, id)
+	}
+	return out
+}
+
+// runShardPartitioned executes one shard and collects the result split
+// into hash partitions, each map sized exactly, empty partitions
+// omitted. The hashing cost this moves onto the worker is the cost the
+// master's serial merge no longer pays — the worker side of shrinking
+// Ws(n).
+func runShardPartitioned(j Job, records []string, sc *shardScratch, parts int) []partitionPartial {
+	if parts <= 1 {
+		return []partitionPartial{{ID: 0, Partial: runShard(j, records, sc)}}
+	}
+	sc.run(j, records)
+	nk := len(sc.keys)
+	if cap(sc.partOf) < nk {
+		sc.partOf = make([]int, nk)
+	}
+	sc.partOf = sc.partOf[:nk]
+	if cap(sc.partSize) < parts {
+		sc.partSize = make([]int, parts)
+	}
+	sc.partSize = sc.partSize[:parts]
+	clear(sc.partSize)
+	for id, k := range sc.keys {
+		p := partitionIndex(k, parts)
+		sc.partOf[id] = p
+		sc.partSize[p]++
+	}
+	maps := make([]map[string]float64, parts)
+	nonEmpty := 0
+	for p, n := range sc.partSize {
+		if n > 0 {
+			maps[p] = make(map[string]float64, n)
+			nonEmpty++
+		}
+	}
+	for id, k := range sc.keys {
+		maps[sc.partOf[id]][k] = sc.value(j, id)
+	}
+	out := make([]partitionPartial, 0, nonEmpty)
+	for p, m := range maps {
+		if m != nil {
+			out = append(out, partitionPartial{ID: p, Partial: m})
+		}
 	}
 	return out
 }

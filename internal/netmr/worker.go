@@ -18,6 +18,13 @@ type Worker struct {
 	registry *Registry
 	chaos    *chaos.Injector
 	scratch  *shardScratch // reused across every shard this worker runs
+	caps     []string      // capabilities advertised in the hello
+
+	// partitions is the merge partition count granted in the helloack
+	// when the master accepted the "part" capability; >1 makes this
+	// worker pre-split every result by key hash before shipping it.
+	// Written once by serve before any task arrives.
+	partitions int
 
 	mu      sync.Mutex
 	netConn net.Conn
@@ -41,7 +48,7 @@ func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
-	w := &Worker{registry: registry, scratch: newShardScratch(), done: make(chan struct{})}
+	w := &Worker{registry: registry, scratch: newShardScratch(), caps: workerCaps(), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(w)
 	}
@@ -65,7 +72,7 @@ func (w *Worker) Start(masterAddr string) error {
 	// batching, which the master accepts with a helloack. A master that
 	// predates capabilities ignores the field and the connection simply
 	// stays on JSON.
-	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names(), Caps: workerCaps()}, 5*time.Second); err != nil {
+	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names(), Caps: w.caps}, 5*time.Second); err != nil {
 		_ = c.close()
 		return err
 	}
@@ -97,8 +104,11 @@ func (w *Worker) serve(c *conn) {
 			// The master accepted our capabilities; everything after
 			// this frame speaks the binary codec in both directions.
 			for _, accepted := range m.Caps {
-				if accepted == capBinary {
+				switch accepted {
+				case capBinary:
 					c.binary = true
+				case capPartition:
+					w.partitions = m.Partitions
 				}
 			}
 		case "task":
@@ -147,6 +157,15 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		}
 	}
 	start := time.Now()
+	if w.partitions > 1 {
+		// The master granted the part capability: ship the result
+		// pre-split by key hash so the merge engine routes it straight to
+		// its partition folders — the hashing cost moves off the master.
+		parts := runShardPartitioned(job, records, w.scratch, w.partitions)
+		workerTaskSeconds.Observe(time.Since(start).Seconds())
+		workerTasks.With("ok").Inc()
+		return c.send(message{Type: "presult", TaskID: taskID, Attempt: attempt, Parts: parts}, 30*time.Second) == nil
+	}
 	partial := runShard(job, records, w.scratch)
 	workerTaskSeconds.Observe(time.Since(start).Seconds())
 	workerTasks.With("ok").Inc()
