@@ -24,6 +24,14 @@ import (
 // the binary analogue of v1's "ignore unknown frames" forward
 // compatibility. The trailing CRC-32C keeps single-bit wire corruption
 // detectable, which JSON got for free from parse errors.
+//
+// The layout itself is versioned by capability: the base "bin" layout
+// ends after Batch, and only peers that both negotiated "bin2" append
+// the Partitions/Parts fields. Appending them unconditionally would
+// make every frame undecodable ("trailing bytes") to a peer running
+// the previous binary codec, breaking rolling upgrades of
+// mixed-version clusters — the ext flag on appendFrame/decodeFrame is
+// that negotiation, one consistent value per connection.
 const maxFrameBytes = 1 << 26 // 64 MiB hard cap: larger prefixes are corruption
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -74,11 +82,16 @@ func appendStrings(b []byte, ss []string) []byte {
 
 // appendFrame appends the complete wire frame for m to dst. keys is a
 // reusable scratch slice for sorting Partial (may be nil); the grown
-// scratch is returned for reuse.
-func appendFrame(dst []byte, m *message, keys []string) ([]byte, []string, error) {
+// scratch is returned for reuse. ext selects the bin2 layout (trailing
+// Partitions/Parts fields); the base layout cannot carry either field,
+// so rather than silently dropping them the encode fails.
+func appendFrame(dst []byte, m *message, keys []string, ext bool) ([]byte, []string, error) {
 	tb, ok := frameTypes[m.Type]
 	if !ok {
 		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
+	}
+	if !ext && (m.Partitions != 0 || len(m.Parts) > 0) {
+		return dst, keys, fmt.Errorf("netmr: frame %q carries partition fields but the peer did not negotiate %q", m.Type, capBinaryExt)
 	}
 	// Reserve room for the length prefix after the body is built; encode
 	// the body at the end of dst and splice the prefix in front.
@@ -111,19 +124,21 @@ func appendFrame(dst []byte, m *message, keys []string) ([]byte, []string, error
 		b = binary.AppendVarint(b, int64(spec.Attempt))
 		b = appendStrings(b, spec.Records)
 	}
-	b = binary.AppendVarint(b, int64(m.Partitions))
-	b = binary.AppendUvarint(b, uint64(len(m.Parts)))
-	for _, part := range m.Parts {
-		b = binary.AppendVarint(b, int64(part.ID))
-		b = binary.AppendUvarint(b, uint64(len(part.Partial)))
-		keys = keys[:0]
-		for k := range part.Partial {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			b = appendString(b, k)
-			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(part.Partial[k]))
+	if ext {
+		b = binary.AppendVarint(b, int64(m.Partitions))
+		b = binary.AppendUvarint(b, uint64(len(m.Parts)))
+		for _, part := range m.Parts {
+			b = binary.AppendVarint(b, int64(part.ID))
+			b = binary.AppendUvarint(b, uint64(len(part.Partial)))
+			keys = keys[:0]
+			for k := range part.Partial {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				b = appendString(b, k)
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(part.Partial[k]))
+			}
 		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
@@ -255,8 +270,8 @@ func (r *frameReader) pairs() (map[string]float64, error) {
 // decodeFrame parses one checksummed body into m, reusing m.Records' and
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
-// on the master).
-func decodeFrame(body []byte, m *message) error {
+// on the master). ext selects the bin2 layout, mirroring appendFrame.
+func decodeFrame(body []byte, m *message, ext bool) error {
 	if len(body) < 5 { // type byte + CRC
 		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
 	}
@@ -346,27 +361,29 @@ func decodeFrame(body []byte, m *message) error {
 		}
 		m.Batch = batch
 	}
-	if v, err = r.varint(); err != nil {
-		return err
-	}
-	m.Partitions = int(v)
-	nparts, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	// Each partition costs at least its id byte plus a pair count byte.
-	if nparts > uint64(len(r.s)-r.off) {
-		return fmt.Errorf("netmr: part list of %d partitions overruns frame", nparts)
-	}
-	if nparts > 0 {
-		m.Parts = make([]partitionPartial, nparts)
-		for i := range m.Parts {
-			if v, err = r.varint(); err != nil {
-				return err
-			}
-			m.Parts[i].ID = int(v)
-			if m.Parts[i].Partial, err = r.pairs(); err != nil {
-				return err
+	if ext {
+		if v, err = r.varint(); err != nil {
+			return err
+		}
+		m.Partitions = int(v)
+		nparts, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Each partition costs at least its id byte plus a pair count byte.
+		if nparts > uint64(len(r.s)-r.off) {
+			return fmt.Errorf("netmr: part list of %d partitions overruns frame", nparts)
+		}
+		if nparts > 0 {
+			m.Parts = make([]partitionPartial, nparts)
+			for i := range m.Parts {
+				if v, err = r.varint(); err != nil {
+					return err
+				}
+				m.Parts[i].ID = int(v)
+				if m.Parts[i].Partial, err = r.pairs(); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -21,7 +21,7 @@ func codecMessages() []message {
 	return []message{
 		{Type: "ping"},
 		{Type: "pong"},
-		{Type: "hello", ID: "127.0.0.1:5555", Jobs: []string{"a", "b"}, Caps: []string{"bin", "batch", "part"}},
+		{Type: "hello", ID: "127.0.0.1:5555", Jobs: []string{"a", "b"}, Caps: []string{"bin", "bin2", "batch", "part"}},
 		{Type: "helloack", Caps: []string{"bin"}},
 		{Type: "helloack", Caps: []string{"bin", "part"}, Partitions: 8},
 		{Type: "task", Job: "wordcount", TaskID: 3, Attempt: 1, Records: []string{"the quick", "brown fox", ""}},
@@ -47,24 +47,28 @@ func codecMessages() []message {
 
 func encodeBinary(t *testing.T, m message) []byte {
 	t.Helper()
-	frame, _, err := appendFrame(nil, &m, nil)
+	frame, _, err := appendFrame(nil, &m, nil, true)
 	if err != nil {
 		t.Fatalf("appendFrame(%+v): %v", m, err)
 	}
 	return frame
 }
 
-func decodeBinary(t *testing.T, frame []byte) message {
+// frameBody strips the uvarint length prefix the way recv does.
+func frameBody(t testing.TB, frame []byte) []byte {
 	t.Helper()
-	// Strip the uvarint length prefix the way recv does.
 	r := bufio.NewReader(strings.NewReader(string(frame)))
 	n, err := readUvarintLen(r)
 	if err != nil {
 		t.Fatalf("length prefix: %v", err)
 	}
-	body := frame[len(frame)-n:]
+	return frame[len(frame)-n:]
+}
+
+func decodeBinary(t *testing.T, frame []byte) message {
+	t.Helper()
 	var m message
-	if err := decodeFrame(body, &m); err != nil {
+	if err := decodeFrame(frameBody(t, frame), &m, true); err != nil {
 		t.Fatalf("decodeFrame: %v", err)
 	}
 	return m
@@ -163,16 +167,50 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	var m message
 	for i, in := range codecMessages() {
 		frame := encodeBinary(t, in)
-		r := bufio.NewReader(strings.NewReader(string(frame)))
-		n, err := readUvarintLen(r)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := decodeFrame(frame[len(frame)-n:], &m); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &m, true); err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(normalize(m), normalize(in)) {
 			t.Errorf("reused-scratch decode %d diverged:\n  in: %+v\n out: %+v", i, in, m)
+		}
+	}
+}
+
+// TestBinaryCodecLegacyLayout pins the layout negotiation that keeps
+// mixed-version binary clusters decodable: without bin2 the codec must
+// produce and accept exactly the base layout (no trailing partition
+// fields), refuse to encode frames that need them, and a layout
+// mismatch in either direction must error instead of mis-decoding.
+func TestBinaryCodecLegacyLayout(t *testing.T) {
+	for _, m := range codecMessages() {
+		base := m.Partitions == 0 && len(m.Parts) == 0
+		frame, _, err := appendFrame(nil, &m, nil, false)
+		if !base {
+			if err == nil {
+				t.Errorf("base-layout encode of %q with partition fields must fail, got none", m.Type)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("base-layout encode %q: %v", m.Type, err)
+		}
+		body := frameBody(t, frame)
+		var out message
+		if err := decodeFrame(body, &out, false); err != nil {
+			t.Fatalf("base-layout decode %q: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(normalize(out), normalize(m)) {
+			t.Errorf("base-layout round trip of %q is lossy:\n in: %+v\nout: %+v", m.Type, m, out)
+		}
+		// The same message in the bin2 layout has trailing fields a base
+		// decoder must reject, and a bin2 decoder must reject the base
+		// frame as truncated — mismatches error, never mis-decode.
+		extBody := frameBody(t, encodeBinary(t, m))
+		if err := decodeFrame(extBody, &out, false); err == nil {
+			t.Errorf("base decoder accepted a bin2 %q frame", m.Type)
+		}
+		if err := decodeFrame(body, &out, true); err == nil {
+			t.Errorf("bin2 decoder accepted a base-layout %q frame", m.Type)
 		}
 	}
 }
@@ -182,19 +220,13 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 // this from parse errors).
 func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	m := message{Type: "result", TaskID: 4, Partial: map[string]float64{"k": 2}}
-	frame := encodeBinary(t, m)
-	r := bufio.NewReader(strings.NewReader(string(frame)))
-	n, err := readUvarintLen(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	body := frame[len(frame)-n:]
+	body := frameBody(t, encodeBinary(t, m))
 	for i := range body {
 		for bit := 0; bit < 8; bit++ {
 			mut := append([]byte(nil), body...)
 			mut[i] ^= 1 << bit
 			var out message
-			if err := decodeFrame(mut, &out); err == nil {
+			if err := decodeFrame(mut, &out, true); err == nil {
 				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
 			}
 		}
@@ -202,7 +234,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	// Truncations must be rejected too.
 	for i := 0; i < len(body); i++ {
 		var out message
-		if err := decodeFrame(body[:i], &out); err == nil {
+		if err := decodeFrame(body[:i], &out, true); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", i)
 		}
 	}
@@ -212,17 +244,12 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 // only decode or error.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil)
+		frame, _, err := appendFrame(nil, &m, nil, true)
 		if err != nil {
 			f.Fatal(err)
 		}
 		// Seed with the body (prefix stripped): valid, truncated, corrupt.
-		r := bufio.NewReader(strings.NewReader(string(frame)))
-		n, err := readUvarintLen(r)
-		if err != nil {
-			f.Fatal(err)
-		}
-		body := frame[len(frame)-n:]
+		body := frameBody(f, frame)
 		f.Add(body)
 		f.Add(body[:len(body)/2])
 		mut := append([]byte(nil), body...)
@@ -232,13 +259,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(mut)
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
+		// Both layout generations must be panic-free on arbitrary input.
+		var legacy message
+		_ = decodeFrame(body, &legacy, false)
 		var m message
-		if err := decodeFrame(body, &m); err == nil {
+		if err := decodeFrame(body, &m, true); err == nil {
 			// A frame that decodes must re-encode (unknown type bytes
 			// excepted: they decode to a "?N" placeholder for the
 			// ignore-unknown-frames path).
 			if _, ok := frameTypes[m.Type]; ok {
-				if _, _, err := appendFrame(nil, &m, nil); err != nil {
+				if _, _, err := appendFrame(nil, &m, nil, true); err != nil {
 					t.Fatalf("decoded frame failed to re-encode: %v", err)
 				}
 			}

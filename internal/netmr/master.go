@@ -206,10 +206,11 @@ type WorkerStats struct {
 // or discard work to finish.
 //
 // Since the merge overlaps the map phase, SplitWall + MergeWall double
-// counts the overlap window: TotalWall is measured end to end and
+// counts the overlapped fold time: TotalWall is measured end to end and
 // satisfies TotalWall <= SplitWall + MergeWall, with the difference
-// (MergeOverlapWall) being the serial work the overlap hid under the
-// map wave. The merge's critical-path contribution beyond the barrier
+// (MergeOverlapWall) being the merge work actually performed before the
+// barrier — folder busy time, not the mostly-idle wall window since the
+// first feed. The merge's critical-path contribution beyond the barrier
 // is MergeWall - MergeOverlapWall.
 type Stats struct {
 	Workers          int           // workers used at job start
@@ -223,8 +224,8 @@ type Stats struct {
 	Duplicates       int           // late sibling results discarded after completion
 	Cancellations    int           // in-flight launches abandoned at exit or cancellation
 	SplitWall        time.Duration // scatter + parallel map (barrier to barrier)
-	MergeWall        time.Duration // merge window: first partial fold to finalize end
-	MergeOverlapWall time.Duration // portion of MergeWall overlapped with the split phase
+	MergeWall        time.Duration // merge work wall: overlapped fold time + post-barrier tail
+	MergeOverlapWall time.Duration // fold time spent before the barrier, hidden under the map wave
 	TotalWall        time.Duration // end-to-end wall, measured (not derived)
 	PerWorker        []WorkerStats // per-worker breakdown, sorted by ID
 }
@@ -329,19 +330,31 @@ func (m *Master) admit(raw net.Conn) {
 	// confirm them with a JSON helloack, after which both directions of
 	// this connection speak the binary codec. Workers that offered
 	// nothing (protocol v1) never see a helloack and stay on JSON.
+	offered := make(map[string]bool, len(hello.Caps))
+	for _, o := range hello.Caps {
+		offered[o] = true
+	}
 	var accepted []string
-	for _, offered := range hello.Caps {
-		switch offered {
-		case capBinary, capBatch:
-			accepted = append(accepted, offered)
-		case capPartition:
-			// Partitioned results only pay off when the master actually
-			// runs a partitioned merge; a serial-merge master keeps every
-			// worker on flat results.
-			if !m.cfg.SerialMerge && m.cfg.Partitions > 1 {
-				accepted = append(accepted, offered)
-			}
+	if offered[capBinary] {
+		accepted = append(accepted, capBinary)
+		// The bin2 layout revision (trailing Partitions/Parts fields) is
+		// granted only when both sides speak it, so a mixed-version
+		// binary cluster keeps the base layout both generations decode.
+		if offered[capBinaryExt] {
+			accepted = append(accepted, capBinaryExt)
 		}
+	}
+	if offered[capBatch] {
+		accepted = append(accepted, capBatch)
+	}
+	// Partitioned results only pay off when the master actually runs a
+	// partitioned merge, and they need a wire shape that can carry them:
+	// JSON does natively, the binary codec only with the bin2 layout —
+	// granting part to a bin-without-bin2 worker would make its presult
+	// frames unencodable.
+	if offered[capPartition] && !m.cfg.SerialMerge && m.cfg.Partitions > 1 &&
+		(!offered[capBinary] || offered[capBinaryExt]) {
+		accepted = append(accepted, capPartition)
 	}
 	if len(accepted) > 0 {
 		// If the helloack does not go out (e.g. an injected drop), the
@@ -360,6 +373,8 @@ func (m *Master) admit(raw net.Conn) {
 				switch a {
 				case capBinary:
 					c.binary = true
+				case capBinaryExt:
+					c.binExt = true
 				case capBatch:
 					w.batch = true
 				}
@@ -518,11 +533,14 @@ func (l *perWorkerLedger) snapshot() []WorkerStats {
 }
 
 // launchDone is a successful launch's report back to the Run loop: a
-// flat partial (result frame) or a worker-partitioned one (presult).
+// flat partial (result frame) or a worker-partitioned one (presult —
+// recorded in prepart, since the frame type is the ledger's ground
+// truth for who actually pre-split).
 type launchDone struct {
 	task    shardTask
 	partial map[string]float64
 	parts   []partitionPartial
+	prepart bool
 	elapsed time.Duration
 }
 
@@ -629,8 +647,17 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			if err == nil && ((reply.Type != "result" && reply.Type != "presult") || reply.TaskID != t.id) {
 				err = fmt.Errorf("netmr: worker %s answered shard %d with %q (task %d)", w.id, t.id, reply.Type, reply.TaskID)
 			}
-			if err == nil && reply.Type == "presult" {
-				err = validateParts(reply.Parts, m.cfg.Partitions)
+			if err == nil {
+				if reply.Type == "presult" {
+					err = validateParts(reply.Parts, m.cfg.Partitions)
+				} else {
+					// A flat result frame must not smuggle a partition
+					// payload past validateParts — the merge router
+					// indexes part ids, so an unvalidated one would
+					// panic it. Only presult parts were negotiated;
+					// drop anything else.
+					reply.Parts = nil
+				}
 			}
 			if err != nil {
 				break
@@ -640,7 +667,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			prev = now
 			m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
 			ledger.shardDone(w.id, elapsed)
-			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, elapsed: elapsed}
+			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, prepart: reply.Type == "presult", elapsed: elapsed}
 			acked++
 		}
 		if err != nil {
@@ -801,7 +828,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			}
 			completedLat = append(completedLat, r.elapsed.Seconds())
 			if eng != nil {
-				if r.parts != nil {
+				if r.prepart {
 					stats.PrePartitioned++
 					m.metrics.partResults.Inc()
 				}
@@ -887,6 +914,13 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	barrier := time.Now()
 	stats.SplitWall = barrier.Sub(splitStart)
 	m.metrics.splitSeconds.Observe(stats.SplitWall.Seconds())
+	if eng != nil {
+		// Sampled at the barrier: fold time the folders have already
+		// spent ran under the map phase — the Ws the overlap hid. (The
+		// wall window since the first feed would mostly be idle time
+		// waiting for map results and overstate the win.)
+		stats.MergeOverlapWall = eng.overlapped()
+	}
 
 	// Merge tail: the part of the merge left beyond the split barrier.
 	// With the engine most folding already happened under the map phase
@@ -900,9 +934,8 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			mergeSpan.End()
 			return nil, stats, err
 		}
-		stats.MergeOverlapWall = eng.overlap(barrier)
-		for p, d := range eng.busy {
-			m.metrics.mergePartition.With(strconv.Itoa(p)).Observe(d.Seconds())
+		for p := range eng.busy {
+			m.metrics.mergePartition.With(strconv.Itoa(p)).Observe(time.Duration(eng.busy[p].Load()).Seconds())
 		}
 	} else {
 		out = serialMerge(job, partials)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipso/internal/runner"
@@ -62,13 +63,13 @@ type mergeEngine struct {
 	chans []chan mergeChunk // router → folders, one per partition
 
 	// Per-partition state, each slot owned by its folder goroutine until
-	// the folders are joined.
+	// the folders are joined. busy is atomic (nanoseconds) because the
+	// Run loop samples it at the split barrier — overlapped() — while
+	// the folders are still appending to it.
 	accs   []map[string]float64    // Combine path: running fold
 	groups []map[string]*[]float64 // Reduce path: grouped values (pooled slices)
-	busy   []time.Duration         // fold + finalize wall per partition
+	busy   []atomic.Int64          // fold + finalize wall per partition, ns
 
-	firstFeed  time.Time // when the first partial entered the engine
-	fed        int
 	routerDone chan struct{}
 	folders    sync.WaitGroup
 	finished   bool
@@ -86,7 +87,7 @@ func newMergeEngine(job Job, parts, shards int) *mergeEngine {
 		parts:      parts,
 		inbox:      make(chan mergeFeed, shards),
 		chans:      make([]chan mergeChunk, parts),
-		busy:       make([]time.Duration, parts),
+		busy:       make([]atomic.Int64, parts),
 		routerDone: make(chan struct{}),
 	}
 	if job.Combine != nil {
@@ -114,10 +115,6 @@ func newMergeEngine(job Job, parts, shards int) *mergeEngine {
 // feed hands one winning shard result to the engine. Called only from
 // the Run loop; the inbox is sized so it never blocks.
 func (e *mergeEngine) feed(parts []partitionPartial, whole map[string]float64) {
-	if e.fed == 0 {
-		e.firstFeed = time.Now()
-	}
-	e.fed++
 	e.inbox <- mergeFeed{parts: parts, whole: whole}
 }
 
@@ -164,8 +161,8 @@ func (e *mergeEngine) route() {
 }
 
 // fold is partition p's owner: it accumulates every chunk routed to p.
-// No locks — only this goroutine touches accs[p]/groups[p]/busy[p]
-// until folders.Wait returns.
+// No locks — only this goroutine touches accs[p]/groups[p] until
+// folders.Wait returns (busy[p] is atomic for overlapped's sake).
 func (e *mergeEngine) fold(p int) {
 	defer e.folders.Done()
 	for c := range e.chans[p] {
@@ -191,7 +188,7 @@ func (e *mergeEngine) fold(p int) {
 				*vs = append(*vs, v)
 			}
 		}
-		e.busy[p] += time.Since(start)
+		e.busy[p].Add(int64(time.Since(start)))
 	}
 }
 
@@ -211,7 +208,7 @@ func (e *mergeEngine) finalize(ctx context.Context) (map[string]float64, error) 
 				out[k] = e.job.Reduce(k, *vs)
 				valuesPool.Put(vs)
 			}
-			e.busy[p] += time.Since(start)
+			e.busy[p].Add(int64(time.Since(start)))
 			return out, nil
 		})
 		if err != nil {
@@ -232,13 +229,17 @@ func (e *mergeEngine) finalize(ctx context.Context) (map[string]float64, error) 
 	return out, nil
 }
 
-// overlap reports how much of the merge window ran before t (the split
-// barrier): the Ws the engine hid under the map phase.
-func (e *mergeEngine) overlap(t time.Time) time.Duration {
-	if e.fed == 0 || t.Before(e.firstFeed) {
-		return 0
+// overlapped reports the fold work the folders have performed so far.
+// Sampled at the split barrier it is the Ws the engine actually hid
+// under the map phase — the busy time, not the wall-clock window from
+// the first feed, which is mostly idle waiting for map results and
+// would overstate the overlap.
+func (e *mergeEngine) overlapped() time.Duration {
+	var total time.Duration
+	for p := range e.busy {
+		total += time.Duration(e.busy[p].Load())
 	}
-	return t.Sub(e.firstFeed)
+	return total
 }
 
 // shutdown closes the intake and joins the router and folders; it is

@@ -3,8 +3,10 @@ package netmr
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net"
 	"reflect"
 	"strings"
 	"testing"
@@ -143,12 +145,12 @@ func TestMergeEngineShutdownIdempotent(t *testing.T) {
 	if _, err := eng.finalize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if d := eng.overlap(time.Now()); d <= 0 {
-		t.Errorf("overlap after feed = %v, want > 0", d)
+	if d := eng.overlapped(); d <= 0 {
+		t.Errorf("overlapped busy after feed = %v, want > 0", d)
 	}
 	fresh := newMergeEngine(wordCountJob(), 2, 1)
-	if d := fresh.overlap(time.Now()); d != 0 {
-		t.Errorf("overlap of unfed engine = %v, want 0", d)
+	if d := fresh.overlapped(); d != 0 {
+		t.Errorf("overlapped busy of unfed engine = %v, want 0", d)
 	}
 	fresh.shutdown()
 }
@@ -307,6 +309,185 @@ func TestMixedClusterPartitioned(t *testing.T) {
 	}
 }
 
+// rogueJSONWorker dials the master with a plain JSON hello and answers
+// every task with the frame reply builds — the malformed shapes a
+// misbehaving or malicious worker could ship, which must never crash
+// the master.
+func rogueJSONWorker(t *testing.T, addr string, job Job, reply func(taskID, attempt int, partial map[string]float64) map[string]any) {
+	t.Helper()
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = raw.Close() })
+	enc := json.NewEncoder(raw)
+	dec := json.NewDecoder(bufio.NewReader(raw))
+	if err := enc.Encode(map[string]any{"type": "hello", "id": "rogue", "jobs": []string{job.Name}}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		sc := newShardScratch()
+		for {
+			var m message
+			if err := dec.Decode(&m); err != nil {
+				return
+			}
+			switch m.Type {
+			case "task":
+				partial := runShard(job, m.Records, sc)
+				if err := enc.Encode(reply(m.TaskID, m.Attempt, partial)); err != nil {
+					return
+				}
+			case "ping":
+				if err := enc.Encode(map[string]any{"type": "pong"}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// TestResultFrameSmuggledPartsDropped is the regression test for the
+// router panic: a "result" frame carrying a Parts list with an
+// out-of-range partition id used to skip validateParts and crash the
+// merge router goroutine. The master must drop the unnegotiated
+// payload, merge the flat partial, and finish with correct output —
+// without counting the result as pre-partitioned.
+func TestResultFrameSmuggledPartsDropped(t *testing.T) {
+	master, err := NewMaster(mustRegistry(t), MasterConfig{
+		TaskTimeout: 10 * time.Second, JobTimeout: 30 * time.Second, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+	rogueJSONWorker(t, addr, wordCountJob(), func(taskID, attempt int, partial map[string]float64) map[string]any {
+		return map[string]any{
+			"type": "result", "task_id": taskID, "attempt": attempt,
+			"partial": partial,
+			"parts":   []map[string]any{{"id": 99, "partial": map[string]float64{"smuggled": 1}}},
+		}
+	})
+	if err := master.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lines := testLines(t, 200)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runShard(wordCountJob(), lines, newShardScratch())
+	if _, ok := got["smuggled"]; ok {
+		t.Error("smuggled partition payload leaked into the result")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("result diverged from reference after dropping smuggled parts")
+	}
+	if stats.PrePartitioned != 0 {
+		t.Errorf("smuggled parts counted as pre-partitioned: %d", stats.PrePartitioned)
+	}
+}
+
+// TestPresultOutOfRangePartsFailsLaunch: a presult whose partition ids
+// fall outside [0, P) must fail that worker's launch (never reach the
+// router), and the job must still complete via reassignment to an
+// honest worker.
+func TestPresultOutOfRangePartsFailsLaunch(t *testing.T) {
+	master, err := NewMaster(mustRegistry(t), MasterConfig{
+		TaskTimeout: 5 * time.Second, JobTimeout: 30 * time.Second, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+	rogueJSONWorker(t, addr, wordCountJob(), func(taskID, attempt int, partial map[string]float64) map[string]any {
+		return map[string]any{
+			"type": "presult", "task_id": taskID, "attempt": attempt,
+			"parts": []map[string]any{{"id": 99, "partial": partial}},
+		}
+	})
+	honest, err := NewWorker(mustRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := honest.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(honest.Stop)
+	if err := master.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lines := testLines(t, 200)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runShard(wordCountJob(), lines, newShardScratch())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("result diverged from reference with a rogue presult worker in the pool")
+	}
+	// The rogue's first bad frame drops it; any shard it had been
+	// assigned must have been reassigned to the honest worker.
+	for _, ws := range stats.PerWorker {
+		if ws.ID == "rogue" && ws.ShardsRun > 0 {
+			t.Errorf("rogue presult worker credited with %d shards", ws.ShardsRun)
+		}
+	}
+}
+
+// TestPartitionCapRequiresBin2: a worker that speaks the binary codec
+// but not its bin2 layout revision has no wire shape for presult
+// frames — the master must keep it on flat results instead of granting
+// a capability the negotiated layout cannot encode.
+func TestPartitionCapRequiresBin2(t *testing.T) {
+	master, err := NewMaster(mustRegistry(t), MasterConfig{
+		TaskTimeout: 10 * time.Second, JobTimeout: 30 * time.Second, Partitions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := master.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Close)
+	w, err := NewWorker(mustRegistry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.caps = []string{capBinary, capBatch, capPartition} // no bin2
+	if err := w.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	if err := master.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lines := testLines(t, 200)
+	got, stats, err := master.Run(context.Background(), "wordcount", lines, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runShard(wordCountJob(), lines, newShardScratch())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bin-without-bin2 worker result diverged from reference")
+	}
+	if stats.PrePartitioned != 0 {
+		t.Errorf("PrePartitioned = %d for a worker that must not be granted part", stats.PrePartitioned)
+	}
+	if w.partitions != 0 {
+		t.Errorf("worker granted partitions=%d despite missing bin2", w.partitions)
+	}
+}
+
 // FuzzDecodePartitionedResult focuses the codec fuzzer on the presult
 // frame: arbitrary bodies must decode or error, never panic, and a body
 // that decodes must re-encode and round-trip to the same message.
@@ -320,16 +501,11 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 		{Type: "presult"},
 	}
 	for _, m := range seeds {
-		frame, _, err := appendFrame(nil, &m, nil)
+		frame, _, err := appendFrame(nil, &m, nil, true)
 		if err != nil {
 			f.Fatal(err)
 		}
-		r := bufio.NewReader(strings.NewReader(string(frame)))
-		n, err := readUvarintLen(r)
-		if err != nil {
-			f.Fatal(err)
-		}
-		body := frame[len(frame)-n:]
+		body := frameBody(f, frame)
 		f.Add(body)
 		f.Add(body[:len(body)*2/3])
 		mut := append([]byte(nil), body...)
@@ -340,23 +516,18 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var m message
-		if err := decodeFrame(body, &m); err != nil {
+		if err := decodeFrame(body, &m, true); err != nil {
 			return
 		}
 		if _, ok := frameTypes[m.Type]; !ok {
 			return // unknown type placeholder, ignore-path
 		}
-		frame, _, err := appendFrame(nil, &m, nil)
+		frame, _, err := appendFrame(nil, &m, nil, true)
 		if err != nil {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}
-		r := bufio.NewReader(strings.NewReader(string(frame)))
-		n, err := readUvarintLen(r)
-		if err != nil {
-			t.Fatal(err)
-		}
 		var again message
-		if err := decodeFrame(frame[len(frame)-n:], &again); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &again, true); err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
 		if !reflect.DeepEqual(normalize(again), normalize(m)) {

@@ -35,18 +35,22 @@ import (
 	"time"
 )
 
-// capBinary, capBatch and capPartition are the capability tokens of the
-// hello negotiation: the binary codec, multi-shard task batching, and
-// worker-side hash-partitioned results (the master's helloack then
-// carries the partition count the cluster agreed on).
+// capBinary, capBinaryExt, capBatch and capPartition are the capability
+// tokens of the hello negotiation: the binary codec, its bin2 layout
+// revision (the trailing Partitions/Parts frame fields — versioned
+// separately so a new peer talking to a previous-version binary peer
+// falls back to the layout that peer decodes), multi-shard task
+// batching, and worker-side hash-partitioned results (the master's
+// helloack then carries the partition count the cluster agreed on).
 const (
 	capBinary    = "bin"
+	capBinaryExt = "bin2"
 	capBatch     = "batch"
 	capPartition = "part"
 )
 
 // workerCaps is what a current worker advertises in its hello.
-func workerCaps() []string { return []string{capBinary, capBatch, capPartition} }
+func workerCaps() []string { return []string{capBinary, capBinaryExt, capBatch, capPartition} }
 
 // message is the single wire frame: one JSON line in codec v1, one
 // length-prefixed binary frame in v2 (codec.go). The field set is
@@ -95,6 +99,7 @@ type conn struct {
 	enc *json.Encoder
 
 	binary bool // codec v2 negotiated for both directions
+	binExt bool // bin2 layout (trailing partition fields) negotiated
 
 	keys    []string // sorted-Partial scratch for binary encode
 	body    []byte   // binary frame read buffer
@@ -121,7 +126,7 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		return nil
 	}
 	bufp := encBufPool.Get().(*[]byte)
-	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt)
 	c.keys = keys
 	if err == nil {
 		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
@@ -167,7 +172,7 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 	if _, err := io.ReadFull(c.r, c.body); err != nil {
 		return message{}, fmt.Errorf("netmr: recv: %w", err)
 	}
-	if err := decodeFrame(c.body, &c.scratch); err != nil {
+	if err := decodeFrame(c.body, &c.scratch, c.binExt); err != nil {
 		return message{}, err
 	}
 	// The scratch's Records/Batch backing arrays are reclaimed on the

@@ -107,6 +107,8 @@ func (w *Worker) serve(c *conn) {
 				switch accepted {
 				case capBinary:
 					c.binary = true
+				case capBinaryExt:
+					c.binExt = true
 				case capPartition:
 					w.partitions = m.Partitions
 				}
