@@ -277,6 +277,38 @@ func BenchmarkFullEvaluationParallel(b *testing.B) {
 	benchFullEvaluation(b, runtime.GOMAXPROCS(0))
 }
 
+func BenchmarkModelZooFit(b *testing.B) {
+	// Fit the full five-model zoo (with AICc scoring and leave-one-out
+	// refits) to a retrograde sweep — the selection path every consumer
+	// of BestModel pays per probe round.
+	ns := []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+	speedups := make([]float64, len(ns))
+	for i, n := range ns {
+		speedups[i] = n / (1 + 0.05*(n-1) + 0.001*n*(n-1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sel, err := ipso.FitModels(ns, speedups, ipso.ModelZoo(ipso.FixedSize))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := sel.BestFit(); !ok {
+			b.Fatal("no model selected")
+		}
+	}
+}
+
+func BenchmarkModelZooStudy(b *testing.B) {
+	sweeps := benchSweeps(b)
+	cfg := experiment.DefaultConfig(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ModelZooStudy(context.Background(), sweeps, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Micro-benchmarks of the core model evaluation itself.
 
 func BenchmarkModelSpeedup(b *testing.B) {

@@ -44,9 +44,11 @@ func main() {
 	fmt.Printf("best $/speedup:   n = %d (S = %.2f, $%.4f per job)\n",
 		plan.Best.N, plan.Best.Speedup, plan.Best.Dollars)
 
+	fmt.Printf("selected model:   %s\n", plan.Model.Name())
+
 	// Validate: extrapolate to n = 200 and compare against an actual
 	// (simulated) run there — the run the algorithm never needed.
-	predicted, err := plan.Predictor.Speedup(200)
+	predicted, err := plan.Model.Speedup(200)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,17 +40,22 @@ func (o AutoProvisionOptions) withDefaults() AutoProvisionOptions {
 	return o
 }
 
-// Plan is the outcome of AutoProvision: the fitted model, how much
-// probing it took, and the recommended operating points.
+// Plan is the outcome of AutoProvision: the selected scaling model, how
+// much probing it took, and the recommended operating points.
 type Plan struct {
 	// Probed lists the degrees actually measured.
 	Probed []int
 	// Converged reports whether (δ, γ) reached their tolerances within
 	// the probe budget; when false the plan is a best-effort fit.
 	Converged bool
-	// Estimates and Predictor are the fitted model artifacts.
+	// Estimates holds the IPSO factor-fit diagnostics (η, EX, IN, q and
+	// the workload-growth function the cost model uses).
 	Estimates Estimates
-	Predictor Predictor
+	// Model is the zoo member the probe data selected — whichever
+	// scaling law won on AICc/LOO, IPSO or not.
+	Model ScalingModel
+	// Selection is the full per-model scoreboard behind that choice.
+	Selection ModelSelection
 	// Best is the speedup-per-dollar-optimal operating point.
 	Best ProvisionPoint
 	// HardLimit is the degree beyond which speedup decreases (0 when
@@ -60,8 +65,9 @@ type Plan struct {
 
 // AutoProvision is the paper's envisioned measurement-based provisioning
 // algorithm: probe the system at geometrically spaced small degrees until
-// δ and γ are estimated with confidence, fit the IPSO model, and return
-// the speedup-versus-cost-optimal operating point — without ever running
+// δ and γ are estimated with confidence, fit the scaling-model zoo and
+// keep whichever law the data selects, and return the
+// speedup-versus-cost-optimal operating point — without ever running
 // the workload at large n. The context cancels the probing loop between
 // (and, for cooperative probes, during) measurements.
 func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptions) (Plan, error) {
@@ -119,18 +125,23 @@ func AutoProvision(ctx context.Context, probe ProbeFunc, opts AutoProvisionOptio
 		return Plan{}, err
 	}
 	plan.Estimates = estimates
-	pred, err := est.Predictor()
+	model, sel, err := est.BestModel()
 	if err != nil {
 		return Plan{}, err
 	}
-	plan.Predictor = pred
+	plan.Model, plan.Selection = model, sel
 
 	seq := opts.SeqJobSeconds
 	if seq == 0 {
-		seq = pred.T1
+		t1, err := est.BaselineT1()
+		if err != nil {
+			return Plan{}, err
+		}
+		seq = t1
 	}
 	input := ProvisionInput{
-		Model:            pred.Model(),
+		Model:            model,
+		Growth:           estimates.GrowthFactor(),
 		SeqJobSeconds:    seq,
 		PricePerNodeHour: opts.PricePerNodeHour,
 		MaxN:             opts.MaxN,

@@ -128,7 +128,10 @@ func TestOnlineConvergedEarlyExit(t *testing.T) {
 	if err != nil || converged {
 		t.Errorf("empty estimator converged=%v err=%v", converged, err)
 	}
-	if _, err := e.Predictor(); err == nil {
-		t.Error("predictor without n=1 baseline should error")
+	if _, err := e.BaselineT1(); err == nil {
+		t.Error("baseline without an n=1 observation should error")
+	}
+	if _, _, err := e.BestModel(); err == nil {
+		t.Error("model selection without observations should error")
 	}
 }

@@ -56,6 +56,13 @@ type Diagnosis struct {
 	PeakN, PeakS float64
 	// Fit quality (SSE) of the chosen shape on the normalized data.
 	SSE float64
+	// Notes surfaces anything that degraded the diagnosis — in
+	// particular shape fits that failed to converge, which would
+	// otherwise silently skip the SSE estimate.
+	Notes []string
+	// Models holds the per-model zoo verdicts when the diagnosis was
+	// produced by DiagnoseModels; zero-valued otherwise.
+	Models ModelSelection
 }
 
 // Diagnose runs steps 2-5 of the paper's recommended diagnostic procedure
@@ -128,11 +135,15 @@ func Diagnose(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
 		d.Family = FamilyLinear
 		if fit, err := stats.Linear(ns, speedups); err == nil {
 			d.SSE = shapeSSE(ns, speedups, fit.Eval)
+		} else {
+			d.Notes = append(d.Notes, fmt.Sprintf("linear shape fit failed: %v; SSE not reported", err))
 		}
 	case elasticity >= 0.15:
 		d.Family = FamilySublinear
 		if fit, err := stats.PowerLaw(ns, speedups); err == nil {
 			d.SSE = shapeSSE(ns, speedups, fit.Eval)
+		} else {
+			d.Notes = append(d.Notes, fmt.Sprintf("power-law shape fit failed: %v; SSE not reported", err))
 		}
 	default:
 		d.Family = FamilyBounded
@@ -141,6 +152,11 @@ func Diagnose(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
 		sMax := speedups[last]
 		if res, err := stats.NonlinearFit(sat, ns, speedups, []float64{sMax * 1.5, ns[last] / 2}, stats.NLSOptions{}); err == nil {
 			d.SSE = res.SSE
+			if !res.Converged {
+				d.Notes = append(d.Notes, fmt.Sprintf("saturation fit hit the iteration budget (%d iterations, SSE %.3g); the saturation estimate is suspect", res.Iters, res.SSE))
+			}
+		} else {
+			d.Notes = append(d.Notes, fmt.Sprintf("saturation fit failed: %v; the saturation estimate was skipped", err))
 		}
 	}
 
@@ -180,6 +196,36 @@ func Diagnose(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
 // it returns the exact scaling type (subtype included).
 func DiagnoseWithFactors(w WorkloadType, a Asymptotic) (ScalingType, error) {
 	return a.Classify(w)
+}
+
+// DiagnoseModels runs the shape diagnosis and then fits the full model
+// zoo to the same sweep, attaching per-model verdicts: which scaling law
+// the data selects and how each candidate scored. A failed zoo fit
+// degrades to a note instead of failing the diagnosis.
+func DiagnoseModels(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
+	d, err := Diagnose(w, ns, speedups)
+	if err != nil {
+		return Diagnosis{}, err
+	}
+	sel, err := FitModels(ns, speedups, ModelZoo(w))
+	if err != nil {
+		d.Notes = append(d.Notes, fmt.Sprintf("model zoo fit failed: %v", err))
+		return d, nil
+	}
+	d.Models = sel
+	if best, ok := sel.BestFit(); ok {
+		d.Notes = append(d.Notes, fmt.Sprintf("model zoo selects %s (AICc %.2f, LOO %.3g)", best.Name, best.AICc, best.LOO))
+	} else {
+		d.Notes = append(d.Notes, "model zoo: no candidate fitted the sweep")
+	}
+	for _, f := range sel.Fits {
+		if f.Err != nil {
+			d.Notes = append(d.Notes, fmt.Sprintf("model zoo: %s fit failed: %v", f.Name, f.Err))
+		} else if !f.Converged {
+			d.Notes = append(d.Notes, fmt.Sprintf("model zoo: %s hit the iteration budget (%d iterations)", f.Name, f.Iters))
+		}
+	}
+	return d, nil
 }
 
 func shapeSSE(ns, ys []float64, f func(float64) float64) float64 {

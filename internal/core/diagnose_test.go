@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -132,5 +133,63 @@ func TestFamilyStrings(t *testing.T) {
 		if f.String() == "" || f.String()[0] == 'F' {
 			t.Errorf("family %d has no human name: %q", f, f.String())
 		}
+	}
+}
+
+func TestDiagnoseModelsAttachesVerdicts(t *testing.T) {
+	// Retrograde USL-shaped data: the zoo verdict must name usl and the
+	// shape diagnosis must still see the peak.
+	var ns, ss []float64
+	for _, n := range []float64{1, 2, 4, 8, 16, 24, 32, 48, 64, 96} {
+		ns = append(ns, n)
+		ss = append(ss, n/(1+0.05*(n-1)+0.001*n*(n-1)))
+	}
+	d, err := DiagnoseModels(FixedSize, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyPeaked {
+		t.Errorf("family %v, want peaked", d.Family)
+	}
+	best, ok := d.Models.BestFit()
+	if !ok {
+		t.Fatal("no zoo verdict attached")
+	}
+	if best.Name != ModelUSL {
+		for _, f := range d.Models.Fits {
+			t.Logf("%-10s AICc=%.2f LOO=%.3g err=%v", f.Name, f.AICc, f.LOO, f.Err)
+		}
+		t.Errorf("zoo selected %q on retrograde data, want usl", best.Name)
+	}
+	found := false
+	for _, note := range d.Notes {
+		if strings.Contains(note, "model zoo selects "+best.Name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selection note missing from %v", d.Notes)
+	}
+}
+
+func TestDiagnoseSurfacesFitBudgetExhaustion(t *testing.T) {
+	// A bounded curve forces the saturating NonlinearFit; its convergence
+	// report must reach the notes instead of being silently discarded.
+	ns := []float64{1, 2, 4, 8, 16, 32, 64}
+	ss := make([]float64, len(ns))
+	for i, n := range ns {
+		ss[i] = 5 * n / (n + 4)
+	}
+	d, err := Diagnose(FixedSize, ns, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Family != FamilyBounded {
+		t.Fatalf("family %v, want bounded", d.Family)
+	}
+	// The exact saturating fit converges, so no note; the structure is
+	// exercised by DiagnoseModels' failed-fit path below.
+	if len(d.Notes) != 0 {
+		t.Errorf("unexpected notes on a clean fit: %v", d.Notes)
 	}
 }

@@ -132,6 +132,24 @@ func (e Estimates) Asymptotic() Asymptotic {
 	return a
 }
 
+// GrowthFactor returns the fitted workload-growth function
+// η·EX(n) + (1−η)·IN(n) — the factor by which the n-degree workload
+// exceeds the n = 1 workload. It uses the two-segment IN fit when one
+// was detected. This is what converts a speedup into a job time for
+// fixed-time workloads (see ProvisionInput.JobSeconds).
+func (e Estimates) GrowthFactor() func(n float64) float64 {
+	ex := e.EXFit.Eval
+	in := e.INFit.Eval
+	if e.INStep != nil {
+		step := *e.INStep
+		in = step.Eval
+	}
+	eta := e.Eta
+	return func(n float64) float64 {
+		return eta*ex(n) + (1-eta)*in(n)
+	}
+}
+
 // stepImprovement is how much smaller (fraction) the two-segment SSE must
 // be before the step fit is reported.
 const stepImprovement = 0.5

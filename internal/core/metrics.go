@@ -18,4 +18,10 @@ var (
 		"Workload probes executed by AutoProvision.")
 	provisionDecisions = obs.Default().CounterVec("core_provision_decisions_total",
 		"Provisioning plans produced, by outcome (converged or budget_exhausted).", "outcome")
+	modelFits = obs.Default().CounterVec("core_model_fits_total",
+		"Scaling-model zoo fits that completed, by model.", "model")
+	modelFitFailures = obs.Default().CounterVec("core_model_fit_failures_total",
+		"Scaling-model zoo fits that errored, by model.", "model")
+	modelSelected = obs.Default().CounterVec("core_model_selected_total",
+		"Model-selection winners (AICc with LOO tie-break), by model.", "model")
 )

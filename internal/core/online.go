@@ -15,7 +15,8 @@ import (
 // scale-out degree at a time, maintains bootstrap confidence intervals
 // for δ and γ, recommends the next degree to probe, and declares
 // convergence once the exponents are pinned down — at which point the
-// fitted Predictor answers provisioning questions for any larger n.
+// fitted model zoo (BestModel) answers provisioning questions for any
+// larger n with whichever scaling law the data favors.
 
 // OnlineOptions tunes the estimator.
 type OnlineOptions struct {
@@ -33,6 +34,9 @@ type OnlineOptions struct {
 	Seed          int64
 	// SerialPrecision matches Measurements.SerialPrecision.
 	SerialPrecision float64
+	// Workload selects the zoo dimension for model fitting (default
+	// FixedTime): it decides whether IPSO's δ is free or pinned at 0.
+	Workload WorkloadType
 }
 
 func (o OnlineOptions) withDefaults() OnlineOptions {
@@ -53,6 +57,9 @@ func (o OnlineOptions) withDefaults() OnlineOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workload == 0 {
+		o.Workload = FixedTime
 	}
 	return o
 }
@@ -240,34 +247,100 @@ func (e *OnlineEstimator) NextProbe() int {
 	return int(e.obs[len(e.obs)-1].N * 2)
 }
 
-// Predictor builds the large-n predictor from everything observed. The
-// first observation must be at n = 1 (the η baseline).
-func (e *OnlineEstimator) Predictor() (Predictor, error) {
+// BaselineT1 returns the n = 1 whole-job time T(1) = Wp(1) + Ws(1),
+// with a sub-precision serial phase zeroed. The first observation must
+// be at n = 1.
+func (e *OnlineEstimator) BaselineT1() (float64, error) {
 	if len(e.obs) == 0 || e.obs[0].N != 1 {
-		return Predictor{}, errors.New("core: predictor needs an n=1 baseline observation")
+		return 0, errors.New("core: need an n=1 baseline observation")
 	}
-	est, err := e.Estimates()
-	if err != nil {
-		return Predictor{}, err
-	}
-	tp1 := e.obs[0].Wp
 	ts1 := e.obs[0].Ws
 	if ts1 <= e.opts.SerialPrecision {
 		ts1 = 0
 	}
-	pred, err := NewPredictor(est, tp1, ts1)
-	if err != nil {
-		return Predictor{}, err
+	return e.obs[0].Wp + ts1, nil
+}
+
+// SpeedupSweep derives the measured speedup at every observed degree.
+// Rearranging Eq. (8): the sequential time of the n-workload is
+// Wp(n) + Ws(n), and the parallel time is the split phase (measured
+// E[max Tp,i] when available, Wp(n)/n otherwise) plus the serial and
+// scale-out-induced phases, so S(n) = (Wp+Ws) / (split + Ws + Wo).
+// This is the sweep the model zoo is fitted against.
+func (e *OnlineEstimator) SpeedupSweep() (ns, speedups []float64, err error) {
+	ns = make([]float64, 0, len(e.obs))
+	speedups = make([]float64, 0, len(e.obs))
+	for _, o := range e.obs {
+		split := o.MaxTask
+		if split <= 0 {
+			split = o.Wp / o.N
+		}
+		par := split + o.Ws + o.Wo
+		if par <= 0 {
+			return nil, nil, fmt.Errorf("core: nonpositive parallel time at n=%g", o.N)
+		}
+		ns = append(ns, o.N)
+		speedups = append(speedups, (o.Wp+o.Ws)/par)
 	}
-	// The batch estimator can miss a superlinear q(n) that is still tiny
-	// at the probed degrees; if the raw q trend is detectable, fit it
-	// directly so the predictor extrapolates the overhead too.
-	if !est.HasOverhead {
-		if ns, qs := e.qSeries(); len(qs) >= 3 && qs[len(qs)-1] >= qDetectable {
-			if qFit, err := stats.PowerLaw(ns, qs); err == nil {
-				pred.Q = PowerFactor(qFit.Coeff, qFit.Exponent)
-			}
+	return ns, speedups, nil
+}
+
+// zoo builds the candidate list for this estimator. When an n = 1
+// baseline exists, the generic IPSO member is swapped for the
+// phase-informed variant: η comes from the measured phase breakdown and
+// (β, γ) from the observed q(n) trend — the same direct q fit the
+// Section VI procedure relies on, since a superlinear q(n) is invisible
+// in small-n speedups but measured outright in the traces.
+func (e *OnlineEstimator) zoo() []ScalingModel {
+	zoo := ModelZoo(e.opts.Workload)
+	if len(e.obs) == 0 || e.obs[0].N != 1 {
+		return zoo
+	}
+	ws1 := e.obs[0].Ws
+	if ws1 <= e.opts.SerialPrecision {
+		ws1 = 0
+	}
+	eta, err := EtaFromPhases(e.obs[0].Wp, ws1)
+	if err != nil {
+		return zoo
+	}
+	beta, gamma := 0.0, 0.0
+	if ns, qs := e.qSeries(); len(qs) >= 3 && qs[len(qs)-1] >= qDetectable {
+		if qFit, err := stats.PowerLaw(ns, qs); err == nil {
+			beta, gamma = qFit.Coeff, qFit.Exponent
 		}
 	}
-	return pred, nil
+	zoo[0] = IPSOInformed(e.opts.Workload, eta, beta, gamma)
+	return zoo
+}
+
+// FitZoo fits the full model zoo for the configured workload dimension
+// to the derived speedup sweep and scores every candidate by AICc and
+// leave-one-out error. The returned models are the fitted instances, in
+// the same order as the selection's Fits.
+func (e *OnlineEstimator) FitZoo() (ModelSelection, []ScalingModel, error) {
+	ns, ss, err := e.SpeedupSweep()
+	if err != nil {
+		return ModelSelection{}, nil, err
+	}
+	zoo := e.zoo()
+	sel, err := FitModels(ns, ss, zoo)
+	if err != nil {
+		return ModelSelection{}, nil, err
+	}
+	return sel, zoo, nil
+}
+
+// BestModel fits the zoo and returns the currently selected scaling
+// model — whichever candidate the data favors, IPSO or not — together
+// with the full scoreboard.
+func (e *OnlineEstimator) BestModel() (ScalingModel, ModelSelection, error) {
+	sel, zoo, err := e.FitZoo()
+	if err != nil {
+		return nil, ModelSelection{}, err
+	}
+	if sel.Best < 0 {
+		return nil, sel, errors.New("core: no scaling model fitted the sweep")
+	}
+	return zoo[sel.Best], sel, nil
 }

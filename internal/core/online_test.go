@@ -86,10 +86,14 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 		t.Fatal(err)
 	}
 	converged := false
+	var first Observation
 	for probes := 0; probes < 8; probes++ {
 		obs, err := probe(context.Background(), e.NextProbe())
 		if err != nil {
 			t.Fatal(err)
+		}
+		if probes == 0 {
+			first = obs
 		}
 		if err := e.Observe(obs); err != nil {
 			t.Fatal(err)
@@ -117,7 +121,11 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 	if dci.Point > 0.45 {
 		t.Errorf("δ point estimate %g, want ≪ 1", dci.Point)
 	}
-	pred, err := e.Predictor()
+	est, err := e.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := NewPredictor(est, first.Wp, first.Ws)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +139,23 @@ func TestOnlineConvergesOnSortLikeTruth(t *testing.T) {
 	}
 	if math.Abs(got-want)/want > 0.15 {
 		t.Errorf("extrapolated S(200) = %g, truth %g", got, want)
+	}
+
+	// The model zoo sees the same sweep: whatever law it selects must
+	// also extrapolate this Amdahl-like curve sanely.
+	m, sel, err := e.BestModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf, ok := sel.BestFit(); !ok || bf.Name != m.Name() {
+		t.Fatalf("selection scoreboard (%v) disagrees with BestModel %q", bf, m.Name())
+	}
+	zs, err := m.Speedup(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zs-want)/want > 0.3 {
+		t.Errorf("zoo model %s extrapolated S(200) = %g, truth %g", m.Name(), zs, want)
 	}
 }
 

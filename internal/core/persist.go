@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,6 +19,29 @@ type persistedEstimates struct {
 
 // persistVersion is bumped on breaking format changes.
 const persistVersion = 1
+
+// persistSchemaZoo is the schema generation that stores an arbitrary
+// zoo model's parameter vector. Legacy files (no "schema" field,
+// "version" 1) are the IPSO-only estimates generation above; both keep
+// loading.
+const persistSchemaZoo = 2
+
+// savedParam is one named parameter value of a persisted zoo model.
+type savedParam struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// persistedModel is the schema-2 on-disk form: any zoo model's fitted
+// parameters, the workload dimension it was fitted under, and the n = 1
+// job time needed to turn speedups back into job times.
+type persistedModel struct {
+	Schema   int          `json:"schema"`
+	Model    string       `json:"model"`
+	Workload string       `json:"workload"`
+	Params   []savedParam `json:"params"`
+	T1       float64      `json:"t1_seconds"`
+}
 
 // SaveEstimates writes fitted estimates plus the n = 1 phase baselines as
 // JSON, so a fit made once (e.g. from production logs) can be reused for
@@ -60,4 +84,108 @@ func LoadEstimates(r io.Reader) (Estimates, Predictor, error) {
 		return Estimates{}, Predictor{}, err
 	}
 	return p.Estimates, pred, nil
+}
+
+// SaveScalingModel writes any zoo model's fitted parameters as schema-2
+// JSON: the model name, the workload dimension, the named parameter
+// values, and the n = 1 job time.
+func SaveScalingModel(w io.Writer, m ScalingModel, workload WorkloadType, t1 float64) error {
+	if m == nil {
+		return fmt.Errorf("core: nil scaling model")
+	}
+	if workload != FixedTime && workload != FixedSize {
+		return fmt.Errorf("core: unknown workload type %v", workload)
+	}
+	if t1 <= 0 {
+		return fmt.Errorf("core: invalid baseline t1=%g", t1)
+	}
+	params := m.Params()
+	saved := make([]savedParam, len(params))
+	for i, p := range params {
+		saved[i] = savedParam{Name: p.Name, Value: p.Value}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(persistedModel{
+		Schema:   persistSchemaZoo,
+		Model:    m.Name(),
+		Workload: workload.String(),
+		Params:   saved,
+		T1:       t1,
+	}); err != nil {
+		return fmt.Errorf("core: save scaling model: %w", err)
+	}
+	return nil
+}
+
+// LoadScalingModel reads either persistence generation and rebuilds a
+// fitted ScalingModel. Schema-2 files restore the named zoo model with
+// its stored parameter vector; legacy version-1 estimates files (which
+// predate the zoo and are IPSO-only) are converted to the IPSO model via
+// their asymptotic parameters, under the fixed-time dimension they were
+// fitted in.
+func LoadScalingModel(r io.Reader) (ScalingModel, WorkloadType, float64, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: load scaling model: %w", err)
+	}
+	var probe struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: load scaling model: %w", err)
+	}
+
+	// Legacy generation: no schema field — an IPSO-only estimates file.
+	if probe.Schema == 0 {
+		est, pred, err := LoadEstimates(bytes.NewReader(raw))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		a := est.Asymptotic()
+		m := IPSOScaling(FixedTime)
+		if err := m.SetParams([]float64{a.Eta, a.Alpha, a.Delta, a.Beta, a.Gamma}); err != nil {
+			return nil, 0, 0, err
+		}
+		return m, FixedTime, pred.T1, nil
+	}
+
+	if probe.Schema != persistSchemaZoo {
+		return nil, 0, 0, fmt.Errorf("core: unsupported scaling-model schema %d (want %d)", probe.Schema, persistSchemaZoo)
+	}
+	var p persistedModel
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: load scaling model: %w", err)
+	}
+	var workload WorkloadType
+	switch p.Workload {
+	case FixedTime.String():
+		workload = FixedTime
+	case FixedSize.String():
+		workload = FixedSize
+	default:
+		return nil, 0, 0, fmt.Errorf("core: unknown workload type %q", p.Workload)
+	}
+	if p.T1 <= 0 {
+		return nil, 0, 0, fmt.Errorf("core: corrupt baseline t1=%g", p.T1)
+	}
+	m, err := NewZooModel(p.Model, workload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	want := m.Params()
+	if len(p.Params) != len(want) {
+		return nil, 0, 0, fmt.Errorf("core: %s takes %d parameters, file has %d", p.Model, len(want), len(p.Params))
+	}
+	values := make([]float64, len(p.Params))
+	for i, sp := range p.Params {
+		if sp.Name != want[i].Name {
+			return nil, 0, 0, fmt.Errorf("core: %s parameter %d is %q, file has %q", p.Model, i, want[i].Name, sp.Name)
+		}
+		values[i] = sp.Value
+	}
+	if err := m.SetParams(values); err != nil {
+		return nil, 0, 0, err
+	}
+	return m, workload, p.T1, nil
 }

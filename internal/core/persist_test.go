@@ -82,6 +82,143 @@ func TestSaveLoadEstimatesWithStep(t *testing.T) {
 	}
 }
 
+func TestSaveLoadScalingModelRoundTrip(t *testing.T) {
+	for _, name := range []string{ModelIPSO, ModelUSL, ModelAmdahl, ModelGustafson, ModelPower} {
+		for _, w := range []WorkloadType{FixedTime, FixedSize} {
+			m, err := NewZooModel(name, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Nudge every parameter off its initial value so the
+			// round-trip proves the values (not the defaults) survive.
+			values := make([]float64, len(m.Params()))
+			for i, p := range m.Params() {
+				values[i] = p.Init * 0.5
+				if values[i] < p.Min {
+					values[i] = p.Min
+				}
+			}
+			if err := m.SetParams(values); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := SaveScalingModel(&buf, m, w, 31.65); err != nil {
+				t.Fatal(err)
+			}
+			loaded, lw, t1, err := LoadScalingModel(&buf)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, w, err)
+			}
+			if loaded.Name() != name || lw != w || !almostEqual(t1, 31.65, 1e-12) {
+				t.Errorf("%s/%v: loaded (%s, %v, %g)", name, w, loaded.Name(), lw, t1)
+			}
+			for i, p := range loaded.Params() {
+				if !almostEqual(p.Value, values[i], 1e-12) {
+					t.Errorf("%s/%v: param %s = %g, want %g", name, w, p.Name, p.Value, values[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLoadScalingModelPinnedGenerations pins both on-disk generations as
+// literal JSON: a legacy version-1 estimates file (no schema field,
+// IPSO-only) and a schema-2 zoo file. Both must keep loading verbatim.
+func TestLoadScalingModelPinnedGenerations(t *testing.T) {
+	legacy := `{
+  "version": 1,
+  "estimates": {
+    "Eta": 0.59,
+    "EXFit": {"Slope": 1, "Intercept": 0, "R2": 1},
+    "INFit": {"Slope": 0.377, "Intercept": 0.623, "R2": 0.99},
+    "INStep": null,
+    "Epsilon": {"Coeff": 1.1, "Exponent": 0.3, "R2": 0.98},
+    "QFit": {"Coeff": 0, "Exponent": 0, "R2": 0},
+    "HasOverhead": false
+  },
+  "tp1_seconds": 18.8,
+  "ts1_seconds": 12.85
+}`
+	m, w, t1, err := LoadScalingModel(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != ModelIPSO || w != FixedTime {
+		t.Errorf("legacy load gave (%s, %v), want (ipso, fixed-time)", m.Name(), w)
+	}
+	if !almostEqual(t1, 31.65, 1e-9) {
+		t.Errorf("legacy T1 = %g, want 31.65", t1)
+	}
+	p := m.Params()
+	if !almostEqual(p[0].Value, 0.59, 1e-12) || !almostEqual(p[1].Value, 1.1, 1e-12) || !almostEqual(p[2].Value, 0.3, 1e-12) {
+		t.Errorf("legacy params: η=%g α=%g δ=%g, want 0.59/1.1/0.3", p[0].Value, p[1].Value, p[2].Value)
+	}
+
+	schema2 := `{
+  "schema": 2,
+  "model": "usl",
+  "workload": "fixed-size",
+  "params": [
+    {"name": "sigma", "value": 0.08},
+    {"name": "kappa", "value": 0.0005}
+  ],
+  "t1_seconds": 1602.5
+}`
+	m2, w2, t12, err := LoadScalingModel(strings.NewReader(schema2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name() != ModelUSL || w2 != FixedSize || !almostEqual(t12, 1602.5, 1e-12) {
+		t.Errorf("schema-2 load gave (%s, %v, %g)", m2.Name(), w2, t12)
+	}
+	p2 := m2.Params()
+	if !almostEqual(p2[0].Value, 0.08, 1e-12) || !almostEqual(p2[1].Value, 5e-4, 1e-12) {
+		t.Errorf("schema-2 params σ=%g κ=%g, want 0.08/0.0005", p2[0].Value, p2[1].Value)
+	}
+	// The restored USL keeps its analytic optimum.
+	nStar, _, err := m2.OptimalN(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nStar < 41 || nStar > 44 {
+		t.Errorf("restored USL optimum %d, want ≈43", nStar)
+	}
+}
+
+func TestSaveLoadScalingModelErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveScalingModel(&buf, nil, FixedTime, 1); err == nil {
+		t.Error("nil model should error")
+	}
+	if err := SaveScalingModel(&buf, USLScaling(), WorkloadType(9), 1); err == nil {
+		t.Error("bad workload should error")
+	}
+	if err := SaveScalingModel(&buf, USLScaling(), FixedTime, 0); err == nil {
+		t.Error("bad t1 should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":99}`)); err == nil {
+		t.Error("unknown schema should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":2,"model":"nope","workload":"fixed-time","t1_seconds":1}`)); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":2,"model":"usl","workload":"sideways","t1_seconds":1}`)); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":2,"model":"usl","workload":"fixed-time","t1_seconds":1,"params":[{"name":"sigma","value":0.1}]}`)); err == nil {
+		t.Error("parameter arity mismatch should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":2,"model":"usl","workload":"fixed-time","t1_seconds":1,"params":[{"name":"sigma","value":0.1},{"name":"wrong","value":0}]}`)); err == nil {
+		t.Error("parameter name mismatch should error")
+	}
+	if _, _, _, err := LoadScalingModel(strings.NewReader(`{"schema":2,"model":"usl","workload":"fixed-time","t1_seconds":0,"params":[{"name":"sigma","value":0.1},{"name":"kappa","value":0}]}`)); err == nil {
+		t.Error("corrupt t1 should error")
+	}
+}
+
 func TestSaveLoadEstimatesErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := SaveEstimates(&buf, Estimates{}, 0, 1); err == nil {

@@ -6,16 +6,29 @@ import (
 	"math"
 )
 
-// ProvisionInput describes a provisioning question: a fitted IPSO model
-// for the application, the sequential job time at n = 1, and the
+// SpeedupCurve is the minimal capability provisioning needs from a
+// fitted model: evaluate S(n). Both the deterministic IPSO Model and
+// every ScalingModel in the zoo satisfy it.
+type SpeedupCurve interface {
+	Speedup(n float64) (float64, error)
+}
+
+// ProvisionInput describes a provisioning question: a fitted scaling
+// model for the application, the sequential job time at n = 1, and the
 // per-node-hour price. The paper motivates IPSO precisely for "informed
 // datacenter resource provisioning decisions ... to achieve the best
-// speedup-versus-cost tradeoffs".
+// speedup-versus-cost tradeoffs" — but the question is model-agnostic,
+// so any SpeedupCurve answers it.
 type ProvisionInput struct {
-	Model Model
+	Model SpeedupCurve
+	// Growth is the workload-growth factor W(n)/W(1) (see
+	// Estimates.GrowthFactor). When nil, it is derived from an IPSO
+	// Model as η·EX(n) + (1−η)·IN(n), and taken as 1 (fixed-size) for
+	// any other curve.
+	Growth func(n float64) float64
 	// SeqJobSeconds is the sequential execution time of the n = 1 job
 	// (T(1)). For fixed-time workloads the job grows with n; JobSeconds
-	// accounts for that through the model's workload scaling.
+	// accounts for that through Growth.
 	SeqJobSeconds float64
 	// PricePerNodeHour is the rental price of one processing unit.
 	PricePerNodeHour float64
@@ -24,8 +37,13 @@ type ProvisionInput struct {
 }
 
 func (p ProvisionInput) validate() error {
-	if err := p.Model.Validate(); err != nil {
-		return err
+	if p.Model == nil {
+		return errors.New("core: provisioning needs a fitted model")
+	}
+	if v, ok := p.Model.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
 	}
 	if p.SeqJobSeconds <= 0 {
 		return fmt.Errorf("core: sequential job time %g must be positive", p.SeqJobSeconds)
@@ -39,6 +57,17 @@ func (p ProvisionInput) validate() error {
 	return nil
 }
 
+// growth evaluates the workload-growth factor at n.
+func (p ProvisionInput) growth(n float64) float64 {
+	if p.Growth != nil {
+		return p.Growth(n)
+	}
+	if m, ok := p.Model.(Model); ok {
+		return m.Eta*m.EX(n) + (1-m.Eta)*m.IN(n)
+	}
+	return 1
+}
+
 // JobSeconds returns the parallel job time at scale-out degree n: the
 // workload at n divided by the speedup, i.e.
 // T(n) = T(1) · (η·EX(n) + (1−η)·IN(n)) / S(n).
@@ -50,8 +79,7 @@ func (p ProvisionInput) JobSeconds(n float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	growth := p.Model.Eta*p.Model.EX(n) + (1-p.Model.Eta)*p.Model.IN(n)
-	return p.SeqJobSeconds * growth / s, nil
+	return p.SeqJobSeconds * p.growth(n) / s, nil
 }
 
 // CostDollars returns the rental cost of running the job at degree n:

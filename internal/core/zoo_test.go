@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+var zooSweepNs = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+
+func uslSpeedup(sigma, kappa, n float64) float64 {
+	return n / (1 + sigma*(n-1) + kappa*n*(n-1))
+}
+
+func TestUSLParameterRecovery(t *testing.T) {
+	// Synthetic sweep from known USL parameters must refit to within
+	// tolerance, and selection must pick USL as the generating model.
+	const sigma, kappa = 0.08, 5e-4
+	ss := make([]float64, len(zooSweepNs))
+	for i, n := range zooSweepNs {
+		ss[i] = uslSpeedup(sigma, kappa, n)
+	}
+
+	m := USLScaling()
+	rep, err := m.Fit(zooSweepNs, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SSE > 1e-8 {
+		t.Errorf("SSE = %g, want ~0", rep.SSE)
+	}
+	p := m.Params()
+	if math.Abs(p[0].Value-sigma) > 0.01 {
+		t.Errorf("sigma = %g, want %g", p[0].Value, sigma)
+	}
+	if math.Abs(p[1].Value-kappa) > 1e-4 {
+		t.Errorf("kappa = %g, want %g", p[1].Value, kappa)
+	}
+
+	// Analytic optimum: n* = sqrt((1-sigma)/kappa) ≈ 42.9.
+	nStar, sStar, err := m.OptimalN(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((1 - sigma) / kappa)
+	if math.Abs(float64(nStar)-want) > 1.5 {
+		t.Errorf("OptimalN = %d, want ≈%.1f", nStar, want)
+	}
+	if sStar <= 1 {
+		t.Errorf("peak speedup %g should exceed 1", sStar)
+	}
+
+	sel, err := FitModels(zooSweepNs, ss, ModelZoo(FixedSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := sel.BestFit()
+	if !ok {
+		t.Fatal("no model selected")
+	}
+	if best.Name != ModelUSL {
+		for _, f := range sel.Fits {
+			t.Logf("%-10s AICc=%.2f LOO=%.3g SSE=%.3g err=%v", f.Name, f.AICc, f.LOO, f.SSE, f.Err)
+		}
+		t.Errorf("selected %q, want %q on retrograde USL data", best.Name, ModelUSL)
+	}
+}
+
+func TestAmdahlParameterRecovery(t *testing.T) {
+	const eta = 0.9
+	ss := make([]float64, len(zooSweepNs))
+	for i, n := range zooSweepNs {
+		ss[i] = 1 / (eta/n + 1 - eta)
+	}
+
+	m := AmdahlScaling()
+	if _, err := m.Fit(zooSweepNs, ss); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Params()[0].Value; math.Abs(got-eta) > 0.005 {
+		t.Errorf("eta = %g, want %g", got, eta)
+	}
+
+	sel, err := FitModels(zooSweepNs, ss, ModelZoo(FixedSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := sel.BestFit()
+	if !ok {
+		t.Fatal("no model selected")
+	}
+	if best.Name != ModelAmdahl {
+		for _, f := range sel.Fits {
+			t.Logf("%-10s AICc=%.2f LOO=%.3g SSE=%.3g err=%v", f.Name, f.AICc, f.LOO, f.SSE, f.Err)
+		}
+		t.Errorf("selected %q, want %q on Amdahl data", best.Name, ModelAmdahl)
+	}
+}
+
+func TestIPSOScalingMatchesAsymptotic(t *testing.T) {
+	// The zoo adapter must agree with the reference Asymptotic form.
+	a := Asymptotic{Eta: 0.7, Alpha: 1.2, Delta: 0.4, Beta: 0.004, Gamma: 0.8}
+	m := IPSOScaling(FixedTime)
+	if err := m.SetParams([]float64{a.Eta, a.Alpha, a.Delta, a.Beta, a.Gamma}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range zooSweepNs {
+		want, err := a.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Errorf("S(%g) = %g, want %g", n, got, want)
+		}
+	}
+
+	// Fixed-size pins delta = 0 and drops it from the vector.
+	fs := IPSOScaling(FixedSize)
+	if got := len(fs.Params()); got != 4 {
+		t.Errorf("fixed-size IPSO has %d params, want 4", got)
+	}
+}
+
+func TestZooInterfaceConformance(t *testing.T) {
+	for _, m := range ModelZoo(FixedTime) {
+		if m.Name() == "" {
+			t.Error("model with empty name")
+		}
+		// S(1) ≈ 1 for every member at its initial parameters. IPSO's
+		// Eq. 16 form carries q(1) = β > 0, so exact unity is not
+		// guaranteed — only closeness.
+		s, err := m.Speedup(1)
+		if err != nil {
+			t.Errorf("%s: S(1): %v", m.Name(), err)
+		} else if math.Abs(s-1) > 2e-3 {
+			t.Errorf("%s: S(1) = %g, want ≈1", m.Name(), s)
+		}
+		if _, err := m.Speedup(0.5); err == nil {
+			t.Errorf("%s: n < 1 should error", m.Name())
+		}
+		// Predict is T1/S.
+		s8, err := m.Speedup(8)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		pred, err := m.Predict(100, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if math.Abs(pred-100/s8) > 1e-9 {
+			t.Errorf("%s: Predict(100, 8) = %g, want %g", m.Name(), pred, 100/s8)
+		}
+		if _, err := m.Predict(0, 8); err == nil {
+			t.Errorf("%s: t1 <= 0 should error", m.Name())
+		}
+		// Round-trip a fresh instance by name.
+		clone, err := NewZooModel(m.Name(), FixedTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clone.Name() != m.Name() {
+			t.Errorf("NewZooModel(%q) named %q", m.Name(), clone.Name())
+		}
+	}
+	if _, err := NewZooModel("nope", FixedTime); err == nil {
+		t.Error("unknown model name should error")
+	}
+}
+
+func TestSetParamsClampsAndValidates(t *testing.T) {
+	m := AmdahlScaling()
+	if err := m.SetParams([]float64{1.7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Params()[0].Value; got != 1 {
+		t.Errorf("eta clamped to %g, want 1", got)
+	}
+	if err := m.SetParams([]float64{-0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Params()[0].Value; got != 0 {
+		t.Errorf("eta clamped to %g, want 0", got)
+	}
+	if err := m.SetParams([]float64{0.5, 0.5}); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if err := m.SetParams([]float64{math.NaN()}); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestFitModelsValidation(t *testing.T) {
+	zoo := ModelZoo(FixedTime)
+	if _, err := FitModels(nil, nil, zoo); err == nil {
+		t.Error("empty sweep should error")
+	}
+	if _, err := FitModels([]float64{1, 2}, []float64{1, 1.8}, zoo); err == nil {
+		t.Error("two points should error")
+	}
+	if _, err := FitModels([]float64{1, 4, 2}, []float64{1, 2, 3}, zoo); err == nil {
+		t.Error("non-ascending degrees should error")
+	}
+	if _, err := FitModels([]float64{1, 2, 4}, []float64{1, -2, 3}, zoo); err == nil {
+		t.Error("non-positive speedup should error")
+	}
+	if _, err := FitModels([]float64{1, 2, 4}, []float64{1, 1.8, 3.1}, nil); err == nil {
+		t.Error("no candidates should error")
+	}
+}
+
+func TestFitModelsScoresHonestParamBudget(t *testing.T) {
+	// Five points cannot score the 5-parameter fixed-time IPSO model
+	// (n - k - 1 <= 0): its AICc must be +Inf, and a smaller model wins.
+	ns := []float64{1, 2, 4, 8, 16}
+	ss := make([]float64, len(ns))
+	for i, n := range ns {
+		ss[i] = 0.95*n + 0.05
+	}
+	sel, err := FitModels(ns, ss, ModelZoo(FixedTime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sel.Fits {
+		if f.Name == ModelIPSO && f.Err == nil && !math.IsInf(f.AICc, 1) {
+			t.Errorf("IPSO AICc = %g on 5 points, want +Inf", f.AICc)
+		}
+	}
+	best, ok := sel.BestFit()
+	if !ok {
+		t.Fatal("no model selected")
+	}
+	if best.Name != ModelGustafson {
+		t.Errorf("selected %q on exact Gustafson data, want %q", best.Name, ModelGustafson)
+	}
+}

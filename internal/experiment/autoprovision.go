@@ -38,7 +38,7 @@ func FutureWork(ctx context.Context, pricePerNodeHour float64, validateN int) (R
 	rep := Report{ID: "futurework", Title: "Section VI: measurement-based provisioning via online (δ, γ) estimation"}
 	tbl := Table{
 		Title:   "per-application plans",
-		Headers: []string{"app", "probes", "converged", "δ", "best n", "best S", "$", "predicted S@val", "simulated S@val", "rel err"},
+		Headers: []string{"app", "probes", "converged", "δ", "best n", "best S", "$", "predicted S@val", "simulated S@val", "rel err", "model"},
 	}
 	for _, app := range mrCaseApps() {
 		plan, err := core.AutoProvision(ctx, MRProbe(app), core.AutoProvisionOptions{
@@ -49,7 +49,7 @@ func FutureWork(ctx context.Context, pricePerNodeHour float64, validateN int) (R
 		if err != nil {
 			return Report{}, fmt.Errorf("experiment: autoprovision %s: %w", app.Name(), err)
 		}
-		predicted, err := plan.Predictor.Speedup(float64(validateN))
+		predicted, err := plan.Model.Speedup(float64(validateN))
 		if err != nil {
 			return Report{}, err
 		}
@@ -72,6 +72,7 @@ func FutureWork(ctx context.Context, pricePerNodeHour float64, validateN int) (R
 			f2(predicted),
 			f2(measured),
 			f3(relErr),
+			plan.Model.Name(),
 		})
 	}
 	rep.Tables = append(rep.Tables, tbl)

@@ -65,7 +65,7 @@ func FixedSizeMR(ctx context.Context, totalBytes float64, ns []int) (Report, err
 	rep := Report{ID: "fixedsize-mr", Title: "Beyond the paper: fixed-size MapReduce dimension (unmeasurable on EMR at 1 s precision)"}
 	tbl := Table{
 		Title:   "diagnoses (fixed-size workloads)",
-		Headers: []string{"app", "η", "family", "type", "S at max n", "Amdahl bound"},
+		Headers: []string{"app", "η", "family", "type", "S at max n", "Amdahl bound", "model"},
 	}
 	for a, app := range apps {
 		xs := make([]float64, len(ns))
@@ -80,7 +80,7 @@ func FixedSizeMR(ctx context.Context, totalBytes float64, ns []int) (Report, err
 		}
 		rep.Series = append(rep.Series, Series{Name: app.Name() + "/fixed-size", X: xs, Y: ss})
 
-		d, err := core.Diagnose(core.FixedSize, xs, ss)
+		d, err := core.DiagnoseModels(core.FixedSize, xs, ss)
 		if err != nil {
 			return Report{}, fmt.Errorf("experiment: diagnose %s: %w", app.Name(), err)
 		}
@@ -92,8 +92,12 @@ func FixedSizeMR(ctx context.Context, totalBytes float64, ns []int) (Report, err
 			}
 			bound = f2(b)
 		}
+		model := "(none)"
+		if best, ok := d.Models.BestFit(); ok {
+			model = best.Name
+		}
 		tbl.Rows = append(tbl.Rows, []string{
-			app.Name(), f3(eta), d.Family.String(), d.Type.String(), f2(ss[len(ss)-1]), bound,
+			app.Name(), f3(eta), d.Family.String(), d.Type.String(), f2(ss[len(ss)-1]), bound, model,
 		})
 	}
 	rep.Tables = append(rep.Tables, tbl)

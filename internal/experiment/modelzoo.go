@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ipso/internal/core"
+	"ipso/internal/runner"
+	"ipso/internal/workload"
+)
+
+// zooSweep is one speedup sweep the model-zoo study fits every candidate
+// scaling law to: a measured curve (MapReduce fixed-time, Spark
+// fixed-size) or a synthetic curve with a known generating law.
+type zooSweep struct {
+	Name     string
+	Workload core.WorkloadType
+	Truth    string // generating model of a synthetic sweep; "" = measured
+	Ns       []float64
+	Speedups []float64
+}
+
+// synthZooNs is the scale-out grid of the synthetic sweeps: dense enough
+// at small n to pin the rise, extended far enough to expose the tail
+// regimes (retrograde decline, Amdahl saturation, slow IPSO growth) the
+// models disagree about.
+func synthZooNs() []float64 {
+	return []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+}
+
+// synthZooSweeps builds three synthetic sweeps from known generating
+// laws, each perturbed by ±0.5% multiplicative noise from the seeded
+// RNG — enough to make the fits honest, small enough that information
+// criteria can still tell the generators apart. Generation is
+// single-threaded and depends only on the seed, so reports stay
+// byte-identical at any -parallel width.
+//
+//   - usl-retrograde: USL with σ = 0.05, κ = 0.001 — peaks near n = 31
+//     and declines. The coherency term is the data IPSO's power-law
+//     overhead can only approximate at a higher parameter cost.
+//   - amdahl: the fixed-size law with η = 0.95 — saturates at 20×.
+//   - ipso: Eq. 16 with η = 0.7, α = 1, δ = 0.4, β = 0.004, γ = 0.8 —
+//     partial in-proportion scaling plus sublinear overhead, a shape
+//     outside every classical special case.
+func synthZooSweeps(seed int64) ([]zooSweep, error) {
+	ns := synthZooNs()
+	rng := rand.New(rand.NewSource(seed ^ 0x2005eed))
+	noisy := func(m core.ScalingModel) ([]float64, error) {
+		out := make([]float64, len(ns))
+		for i, n := range ns {
+			s, err := m.Speedup(n)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s * (1 + 0.005*(2*rng.Float64()-1))
+		}
+		return out, nil
+	}
+
+	usl := core.USLScaling()
+	if err := usl.SetParams([]float64{0.05, 0.001}); err != nil {
+		return nil, err
+	}
+	amdahl := core.AmdahlScaling()
+	if err := amdahl.SetParams([]float64{0.95}); err != nil {
+		return nil, err
+	}
+	ipso := core.IPSOScaling(core.FixedTime)
+	if err := ipso.SetParams([]float64{0.7, 1, 0.4, 0.004, 0.8}); err != nil {
+		return nil, err
+	}
+
+	sweeps := []zooSweep{
+		{Name: "synthetic/usl-retrograde", Workload: core.FixedSize, Truth: core.ModelUSL},
+		{Name: "synthetic/amdahl", Workload: core.FixedSize, Truth: core.ModelAmdahl},
+		{Name: "synthetic/ipso", Workload: core.FixedTime, Truth: core.ModelIPSO},
+	}
+	for i, gen := range []core.ScalingModel{usl, amdahl, ipso} {
+		ss, err := noisy(gen)
+		if err != nil {
+			return nil, err
+		}
+		sweeps[i].Ns = ns
+		sweeps[i].Speedups = ss
+	}
+	return sweeps, nil
+}
+
+// sparkZooSweeps measures the fixed-size dimension of the four Spark
+// benchmarks on the Fig. 10 grid — the memo on cfg shares the operating
+// points with fig10/surface, so a combined run simulates each once.
+func sparkZooSweeps(ctx context.Context, cfg *Config) ([]zooSweep, error) {
+	apps := workload.SparkBenchmarks()
+	execs := cfg.Grids.FixedSizeExecs
+	tasks := cfg.Grids.FixedSizeTasks
+	ys, err := runner.Map(ctx, len(apps)*len(execs), func(_ context.Context, i int) (float64, error) {
+		app := apps[i/len(execs)]
+		m := execs[i%len(execs)]
+		s, err := cfg.SparkSpeedup(app, tasks, m)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: %s N=%d m=%d: %w", app.Name(), tasks, m, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(execs))
+	for j, m := range execs {
+		xs[j] = float64(m)
+	}
+	out := make([]zooSweep, len(apps))
+	for a, app := range apps {
+		out[a] = zooSweep{
+			Name:     app.Name() + "/fixed-size",
+			Workload: core.FixedSize,
+			Ns:       xs,
+			Speedups: ys[a*len(execs) : (a+1)*len(execs)],
+		}
+	}
+	return out, nil
+}
+
+// zooScore formats an AICc-like score; ±Inf and NaN print stably.
+func zooScore(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// zooErr formats a leave-one-out or residual magnitude.
+func zooErr(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// ModelZooStudy runs the model-competition study: every candidate
+// scaling law (IPSO, USL, Amdahl, Gustafson, power) is fitted to every
+// workload sweep — the MapReduce fixed-time case studies, the Spark
+// fixed-size benchmarks, and three synthetic sweeps with known
+// generators — and AICc with a leave-one-out tie-break selects the law
+// each sweep supports. The tables show where IPSO wins outright and
+// where a competitor (USL's retrograde coherency term, Amdahl's single
+// fraction) is the more parsimonious explanation.
+func ModelZooStudy(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, err
+	}
+	var zs []zooSweep
+	for _, sw := range sweeps {
+		var ns, ss []float64
+		for _, p := range sw.Points {
+			ns = append(ns, float64(p.N))
+			ss = append(ss, p.Speedup)
+		}
+		zs = append(zs, zooSweep{Name: sw.App + "/fixed-time", Workload: core.FixedTime, Ns: ns, Speedups: ss})
+	}
+	spark, err := sparkZooSweeps(ctx, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	zs = append(zs, spark...)
+	synth, err := synthZooSweeps(cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	zs = append(zs, synth...)
+
+	rep := Report{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected per sweep"}
+	summary := Table{
+		Title:   "model selection per sweep (AICc, LOO tie-break)",
+		Headers: []string{"sweep", "workload", "selected", "AICc", "LOO", "generator"},
+	}
+	score := Table{
+		Title:   "per-model scores (lower AICc is better; ΔAICc vs the selected model)",
+		Headers: []string{"sweep", "model", "AICc", "ΔAICc", "LOO", "SSE", "status"},
+	}
+	ipsoWins, measured := 0, 0
+	recovered := 0
+	for _, z := range zs {
+		sel, err := core.FitModels(z.Ns, z.Speedups, core.ModelZoo(z.Workload))
+		if err != nil {
+			return Report{}, fmt.Errorf("experiment: modelzoo %s: %w", z.Name, err)
+		}
+		best, ok := sel.BestFit()
+		gen := "(measured)"
+		if z.Truth != "" {
+			gen = z.Truth
+		}
+		if ok {
+			summary.Rows = append(summary.Rows, []string{
+				z.Name, z.Workload.String(), best.Name, zooScore(best.AICc), zooErr(best.LOO), gen,
+			})
+		} else {
+			summary.Rows = append(summary.Rows, []string{
+				z.Name, z.Workload.String(), "(none)", "", "", gen,
+			})
+		}
+		if z.Truth == "" {
+			measured++
+			if ok && best.Name == core.ModelIPSO {
+				ipsoWins++
+			}
+		} else if ok {
+			if best.Name == z.Truth {
+				recovered++
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: selection recovers the generating %s model", z.Name, z.Truth))
+			} else {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: selection picked %s over the generating %s model", z.Name, best.Name, z.Truth))
+			}
+		}
+		bestAICc := math.Inf(1)
+		if ok {
+			bestAICc = best.AICc
+		}
+		for _, f := range sel.Fits {
+			status := "ok"
+			switch {
+			case f.Err != nil:
+				status = "fit failed: " + f.Err.Error()
+			case !f.Converged:
+				status = fmt.Sprintf("iteration budget (%d iters)", f.Iters)
+			}
+			score.Rows = append(score.Rows, []string{
+				z.Name, f.Name, zooScore(f.AICc), zooScore(f.AICc - bestAICc),
+				zooErr(f.LOO), zooErr(f.SSE), status,
+			})
+		}
+	}
+	rep.Tables = append(rep.Tables, summary, score)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"IPSO selected on %d of %d measured sweeps; %d of 3 synthetic generators recovered", ipsoWins, measured, recovered))
+	rep.Notes = append(rep.Notes,
+		"the retrograde sweep is where USL's κ·n(n−1) coherency term earns its keep: it matches the post-peak decline at 2 parameters, while IPSO must spend its overhead machinery (β, γ) to approximate the same shape and loses on AICc")
+	return rep, nil
+}

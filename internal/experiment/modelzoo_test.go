@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ipso/internal/core"
+)
+
+// TestSyntheticSelectionsRecoverGenerators is the headline property of the
+// model-zoo study: on sweeps generated from a known law (plus ±0.5%
+// noise), AICc selection must hand the sweep back to its generator —
+// USL for the retrograde curve, Amdahl for the saturating one, IPSO for
+// the mixed in-proportion/overhead shape no classical law matches.
+func TestSyntheticSelectionsRecoverGenerators(t *testing.T) {
+	sweeps, err := synthZooSweeps(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 3 {
+		t.Fatalf("got %d synthetic sweeps, want 3", len(sweeps))
+	}
+	for _, z := range sweeps {
+		sel, err := core.FitModels(z.Ns, z.Speedups, core.ModelZoo(z.Workload))
+		if err != nil {
+			t.Fatalf("%s: %v", z.Name, err)
+		}
+		best, ok := sel.BestFit()
+		if !ok {
+			t.Fatalf("%s: no model fitted", z.Name)
+		}
+		if best.Name != z.Truth {
+			for _, f := range sel.Fits {
+				t.Logf("%s: %s AICc=%.2f LOO=%.3g err=%v", z.Name, f.Name, f.AICc, f.LOO, f.Err)
+			}
+			t.Errorf("%s: selected %s, want the generating %s", z.Name, best.Name, z.Truth)
+		}
+	}
+}
+
+// TestSyntheticRetrogradePeaks pins the shape the USL sweep must have for
+// the "where IPSO can't win" claim to mean anything: a genuine interior
+// peak near n* = √((1−σ)/κ) ≈ 31.
+func TestSyntheticRetrogradePeaks(t *testing.T) {
+	sweeps, err := synthZooSweeps(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := sweeps[0]
+	if z.Truth != core.ModelUSL {
+		t.Fatalf("sweeps[0] generator = %s, want usl", z.Truth)
+	}
+	maxIdx := 0
+	for i, s := range z.Speedups {
+		if s > z.Speedups[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if peak := z.Ns[maxIdx]; peak < 16 || peak > 48 {
+		t.Errorf("retrograde peak at n=%g, want near 31", peak)
+	}
+	if last := z.Speedups[len(z.Speedups)-1]; last >= z.Speedups[maxIdx] {
+		t.Error("retrograde sweep does not decline after its peak")
+	}
+}
+
+// TestModelZooStudyReport runs the full experiment end to end on reduced
+// grids and checks the report structure: both tables, one summary row
+// per sweep, the synthetic recovery notes, and determinism.
+func TestModelZooStudyReport(t *testing.T) {
+	cfg := DefaultConfig(true)
+	cfg.Grids.MR = []int{1, 2, 4, 8, 16}
+	cfg.Grids.FixedSizeExecs = []int{2, 4, 8, 16, 24, 32}
+	sweeps, err := cfg.MRSweeps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ModelZooStudy(context.Background(), sweeps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(rep.Tables))
+	}
+	summary, score := rep.Tables[0], rep.Tables[1]
+	wantSweeps := len(sweeps) + 4 + 3 // MR + spark fixed-size + synthetic
+	if len(summary.Rows) != wantSweeps {
+		t.Errorf("summary rows = %d, want %d", len(summary.Rows), wantSweeps)
+	}
+	if len(score.Rows) != wantSweeps*5 {
+		t.Errorf("score rows = %d, want %d (5 models per sweep)", len(score.Rows), wantSweeps*5)
+	}
+	// The synthetic rows select their generators, so at least one sweep
+	// selects a non-IPSO model — the acceptance bar for the study.
+	nonIPSO := 0
+	for _, row := range summary.Rows {
+		if row[2] != core.ModelIPSO && row[2] != "(none)" {
+			nonIPSO++
+		}
+	}
+	if nonIPSO == 0 {
+		t.Error("no sweep selected a non-IPSO model; the zoo competition is vacuous")
+	}
+	var recoveries int
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "recovers the generating") {
+			recoveries++
+		}
+	}
+	if recoveries != 3 {
+		t.Errorf("%d generator-recovery notes, want 3; notes: %v", recoveries, rep.Notes)
+	}
+
+	// Byte-identical on a second run (the -parallel reproducibility
+	// contract): the study must not depend on map order or shared state.
+	rep2, err := ModelZooStudy(context.Background(), sweeps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := rep.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep2.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two runs of the modelzoo study differ")
+	}
+}

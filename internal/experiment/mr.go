@@ -365,7 +365,8 @@ func Figure7(ctx context.Context, sweeps []MRSweep, fitMaxN int) (Report, error)
 }
 
 // Diagnostics applies the Section V diagnostic procedure to each measured
-// speedup curve.
+// speedup curve, plus the model-zoo verdict: which scaling law the sweep
+// selects under AICc.
 func Diagnostics(ctx context.Context, sweeps []MRSweep) (Report, error) {
 	if err := ctx.Err(); err != nil {
 		return Report{}, err
@@ -373,7 +374,7 @@ func Diagnostics(ctx context.Context, sweeps []MRSweep) (Report, error) {
 	rep := Report{ID: "diag", Title: "Section V diagnostic procedure on measured curves"}
 	tbl := Table{
 		Title:   "diagnoses (fixed-time workloads)",
-		Headers: []string{"app", "family", "type", "needs factor analysis", "root cause"},
+		Headers: []string{"app", "family", "type", "needs factor analysis", "root cause", "model"},
 	}
 	for _, sw := range sweeps {
 		var ns, ss []float64
@@ -381,13 +382,17 @@ func Diagnostics(ctx context.Context, sweeps []MRSweep) (Report, error) {
 			ns = append(ns, float64(p.N))
 			ss = append(ss, p.Speedup)
 		}
-		d, err := core.Diagnose(core.FixedTime, ns, ss)
+		d, err := core.DiagnoseModels(core.FixedTime, ns, ss)
 		if err != nil {
 			return Report{}, fmt.Errorf("experiment: diagnose %s: %w", sw.App, err)
 		}
+		model := "(none)"
+		if best, ok := d.Models.BestFit(); ok {
+			model = best.Name
+		}
 		tbl.Rows = append(tbl.Rows, []string{
 			sw.App, d.Family.String(), d.Type.String(),
-			fmt.Sprintf("%v", d.NeedsFactorAnalysis), d.RootCause,
+			fmt.Sprintf("%v", d.NeedsFactorAnalysis), d.RootCause, model,
 		})
 	}
 	rep.Tables = append(rep.Tables, tbl)

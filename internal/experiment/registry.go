@@ -414,5 +414,9 @@ func DefaultRegistry() *Registry {
 			g := cfg.Grids
 			return Straggler(ctx, g.StragglerNs, g.StragglerReps, cfg.Seed)
 		}})
+	r.mustRegister(Experiment{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected", Deps: []string{DepMRSweeps},
+		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {
+			return ModelZooStudy(ctx, sweeps, cfg)
+		})})
 	return r
 }

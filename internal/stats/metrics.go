@@ -1,0 +1,34 @@
+package stats
+
+import (
+	"ipso/internal/obs"
+)
+
+// Fit-health instrumentation on the process-wide obs registry. Every
+// model in the scaling-model zoo — and every other NonlinearFit caller —
+// funnels through the same Levenberg-Marquardt solver, so these three
+// families make fit quality scrapeable from /metrics: how many fits ran
+// (and whether they met tolerance), how many iterations they spent, and
+// where the final residuals landed.
+var (
+	nlsFits = obs.Default().CounterVec("stats_nls_fits_total",
+		"Nonlinear least-squares fits, by whether the tolerance was reached.", "converged")
+	nlsIterations = obs.Default().Histogram("stats_nls_iterations",
+		"Levenberg-Marquardt iterations per fit.",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200})
+	nlsResidual = obs.Default().Histogram("stats_nls_final_sse",
+		"Final sum of squared residuals per fit.",
+		[]float64{1e-12, 1e-9, 1e-6, 1e-3, 1, 1e3, 1e6})
+)
+
+// reportNLS records one finished fit and passes the result through.
+func reportNLS(res NLSResult) NLSResult {
+	outcome := "false"
+	if res.Converged {
+		outcome = "true"
+	}
+	nlsFits.With(outcome).Inc()
+	nlsIterations.Observe(float64(res.Iters))
+	nlsResidual.Observe(res.SSE)
+	return res
+}

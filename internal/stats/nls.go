@@ -28,11 +28,23 @@ func (o NLSOptions) withDefaults() NLSOptions {
 	return o
 }
 
-// NLSResult is the outcome of a nonlinear least-squares fit.
+// NLSResult is the outcome of a nonlinear least-squares fit, including
+// the solver's convergence report: how many Levenberg-Marquardt
+// iterations were spent and whether the relative-improvement tolerance
+// was actually reached (as opposed to stalling or exhausting MaxIter).
+// Every fit is also exported to the process obs registry (stats_nls_*)
+// so fit health is scrapeable from /metrics.
 type NLSResult struct {
 	Params []float64
 	SSE    float64 // sum of squared residuals
 	Iters  int
+	// Converged reports that the solver stopped because no further
+	// improvement was possible: the relative SSE improvement dropped
+	// below NLSOptions.Tol, or the damping search stalled at a local
+	// minimum. False means the iteration budget (MaxIter) ran out first —
+	// the parameters are the best found, but the fit should be treated
+	// as suspect and surfaced to the caller.
+	Converged bool
 }
 
 // NonlinearFit minimizes Σ (ys[i] − f(p, xs[i]))² over p using the
@@ -139,7 +151,7 @@ func NonlinearFit(f ModelFunc, xs, ys, p0 []float64, opts NLSOptions) (NLSResult
 					lambda = math.Max(lambda*0.3, 1e-12)
 					improved = true
 					if rel < opts.Tol {
-						return NLSResult{Params: p, SSE: sse, Iters: iters + 1}, nil
+						return reportNLS(NLSResult{Params: p, SSE: sse, Iters: iters + 1, Converged: true}), nil
 					}
 					break
 				}
@@ -153,7 +165,9 @@ func NonlinearFit(f ModelFunc, xs, ys, p0 []float64, opts NLSOptions) (NLSResult
 			break
 		}
 	}
-	return NLSResult{Params: p, SSE: sse, Iters: iters}, nil
+	// Reaching here means either a damping stall (a local minimum to
+	// machine precision — converged in practice) or MaxIter exhaustion.
+	return reportNLS(NLSResult{Params: p, SSE: sse, Iters: iters, Converged: iters < opts.MaxIter}), nil
 }
 
 // SolveLinear solves the dense system a·x = b by Gaussian elimination

@@ -39,6 +39,27 @@ func TestNonlinearFitPowerPlusConstant(t *testing.T) {
 	if res.SSE > 1e-6 {
 		t.Errorf("SSE = %g, want ~0 (params %v)", res.SSE, res.Params)
 	}
+	if !res.Converged || res.Iters < 1 {
+		t.Errorf("exact data should converge (Converged=%v Iters=%d)", res.Converged, res.Iters)
+	}
+}
+
+func TestNonlinearFitConvergenceReport(t *testing.T) {
+	// One iteration can't reach tolerance on this curved problem: the
+	// report must say so instead of pretending the fit is good.
+	model := func(p []float64, x float64) float64 { return p[0] * math.Pow(x, p[1]) }
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := []float64{1, 2.9, 8.1, 23, 66}
+	res, err := NonlinearFit(model, xs, ys, []float64{10, 0.1}, NLSOptions{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("MaxIter=1 should not report convergence")
+	}
+	if res.Iters != 1 {
+		t.Errorf("Iters = %d, want 1", res.Iters)
+	}
 }
 
 func TestNonlinearFitErrors(t *testing.T) {

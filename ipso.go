@@ -84,6 +84,27 @@ type (
 	PredictionSpread = core.PredictionSpread
 	// Sensitivity holds the parameter elasticities of S(n).
 	Sensitivity = core.Sensitivity
+	// ScalingModel is the pluggable scaling-law interface behind the
+	// model zoo: IPSO, USL, Amdahl, Gustafson and the power model all
+	// implement it and are fitted/compared on equal footing.
+	ScalingModel = core.ScalingModel
+	// Param describes one bounded free parameter of a ScalingModel.
+	Param = core.Param
+	// FitReport is a model's solver outcome on one sweep.
+	FitReport = core.FitReport
+	// ModelFit is one zoo member's scores (AICc, LOO) on a sweep.
+	ModelFit = core.ModelFit
+	// ModelSelection is the outcome of fitting a zoo to one sweep.
+	ModelSelection = core.ModelSelection
+)
+
+// Zoo model names, stable across persistence and metrics.
+const (
+	ModelIPSO      = core.ModelIPSO
+	ModelUSL       = core.ModelUSL
+	ModelAmdahl    = core.ModelAmdahl
+	ModelGustafson = core.ModelGustafson
+	ModelPower     = core.ModelPower
 )
 
 // Workload types.
@@ -248,4 +269,50 @@ func SaveEstimates(w io.Writer, est Estimates, tp1, ts1 float64) error {
 // LoadEstimates reads a saved fit and rebuilds its Predictor.
 func LoadEstimates(r io.Reader) (Estimates, Predictor, error) {
 	return core.LoadEstimates(r)
+}
+
+// IPSOScaling returns the paper's asymptotic form (Eqs. 14-17) as a
+// fittable zoo member for the given workload dimension.
+func IPSOScaling(w WorkloadType) ScalingModel { return core.IPSOScaling(w) }
+
+// USLScaling returns Gunther's Universal Scalability Law
+// S(n) = n/(1 + σ(n−1) + κn(n−1)) with its analytic optimum.
+func USLScaling() ScalingModel { return core.USLScaling() }
+
+// AmdahlScaling returns Amdahl's law as a fittable one-parameter model.
+func AmdahlScaling() ScalingModel { return core.AmdahlScaling() }
+
+// GustafsonScaling returns Gustafson's law as a fittable one-parameter
+// model.
+func GustafsonScaling() ScalingModel { return core.GustafsonScaling() }
+
+// PowerScaling returns the Schryen-style asymptotic power model a·n^b.
+func PowerScaling() ScalingModel { return core.PowerScaling() }
+
+// ModelZoo returns fresh instances of every candidate scaling model for
+// the workload dimension, in canonical selection order.
+func ModelZoo(w WorkloadType) []ScalingModel { return core.ModelZoo(w) }
+
+// FitModels fits every candidate to a measured sweep and selects the
+// best by AICc with a leave-one-out tie-break.
+func FitModels(ns, speedups []float64, models []ScalingModel) (ModelSelection, error) {
+	return core.FitModels(ns, speedups, models)
+}
+
+// DiagnoseModels runs the Section V diagnosis and attaches the model
+// zoo's per-model verdicts to the result.
+func DiagnoseModels(w WorkloadType, ns, speedups []float64) (Diagnosis, error) {
+	return core.DiagnoseModels(w, ns, speedups)
+}
+
+// SaveScalingModel persists any fitted zoo model (schema-2 JSON).
+func SaveScalingModel(w io.Writer, m ScalingModel, workload WorkloadType, t1 float64) error {
+	return core.SaveScalingModel(w, m, workload, t1)
+}
+
+// LoadScalingModel reads either persistence generation — a schema-2 zoo
+// file or a legacy version-1 IPSO estimates file — and rebuilds the
+// fitted model.
+func LoadScalingModel(r io.Reader) (ScalingModel, WorkloadType, float64, error) {
+	return core.LoadScalingModel(r)
 }
