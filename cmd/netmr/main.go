@@ -14,7 +14,15 @@
 //
 // With -metricsaddr the master also serves Prometheus /metrics and a
 // /healthz JSON endpoint for the duration of the run; -heartbeat enables
-// periodic liveness pings that evict dead idle workers.
+// periodic liveness pings that evict dead idle workers. /healthz answers
+// 503 with "status": "degraded" while workers stand evicted or the last
+// run finished degraded.
+//
+// Tracing (master): -trace prints the job's span timeline and Wp/Ws/Wo
+// phase accounting after the run; -tracefile dumps the spans as JSON
+// Lines (and implies the traced runtime). `netmr trace report <file>`
+// renders a dump offline. Workers negotiate the trace capability at
+// hello; peers without it still run the job with coarser attribution.
 //
 // Merge knobs (master): -partitions sets the partitioned merge's width P
 // (0 = GOMAXPROCS) — arriving shard results are hash-split across P
@@ -97,6 +105,9 @@ func sum(_ string, values []float64) float64 {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], out)
+	}
 	fs := flag.NewFlagSet("netmr", flag.ContinueOnError)
 	role := fs.String("role", "", "master or worker")
 	addr := fs.String("addr", "127.0.0.1:7077", "master address")
@@ -107,6 +118,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 42, "master: input generator seed")
 	metricsAddr := fs.String("metricsaddr", "", "master: serve /metrics and /healthz on this address (e.g. 127.0.0.1:0)")
 	heartbeat := fs.Duration("heartbeat", 0, "master: idle-worker liveness ping interval (0 = disabled)")
+	trace := fs.Bool("trace", false, "master: distributed tracing — print the job's span timeline and phase accounting after the run")
+	traceFile := fs.String("tracefile", "", "master: distributed tracing — dump the job's spans as JSON Lines to this file (implies -trace'd runtime)")
 
 	maxAttempts := fs.Int("maxattempts", 0, "master: retry budget per shard lineage (0 = default 3)")
 	retryBase := fs.Duration("retrybase", 0, "master: initial retry backoff (0 = default 20ms)")
@@ -144,6 +157,7 @@ func run(args []string, out io.Writer) error {
 			addr: *addr, job: *job, lines: *lines, shards: *shards,
 			workers: *workers, seed: *seed,
 			metricsAddr: *metricsAddr, heartbeat: *heartbeat,
+			trace: *trace || *traceFile != "", traceFile: *traceFile,
 			maxAttempts: *maxAttempts,
 			retryBase:   *retryBase, retryMax: *retryMax,
 			retryJitter: *retryJitter, retrySeed: *retrySeed,
@@ -205,6 +219,8 @@ type masterOptions struct {
 	seed          int64
 	metricsAddr   string
 	heartbeat     time.Duration
+	trace         bool
+	traceFile     string
 
 	maxAttempts         int
 	retryBase, retryMax time.Duration
@@ -231,6 +247,7 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		SpeculationInterval: opts.speculate,
 		Partitions:          opts.partitions,
 		SerialMerge:         opts.serialMerge,
+		Trace:               opts.trace,
 		Chaos:               opts.chaos,
 	})
 	if err != nil {
@@ -265,6 +282,9 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		fmt.Fprintf(out, "degraded: %d of %d shards completed on %d worker(s); partial statistics follow\n",
 			stats.Completed, stats.Shards, stats.Workers)
 		printStats(out, stats)
+		if terr := emitTrace(out, master, opts, stats); terr != nil {
+			fmt.Fprintf(out, "trace: %v\n", terr)
+		}
 		return err
 	}
 	total := 0.0
@@ -273,7 +293,55 @@ func runMaster(out io.Writer, opts masterOptions) error {
 	}
 	fmt.Fprintf(out, "job %q over %d lines: %d keys, value total %.0f\n", opts.job, opts.lines, len(result), total)
 	printStats(out, stats)
-	return nil
+	return emitTrace(out, master, opts, stats)
+}
+
+// emitTrace surfaces the traced run: the span timeline and phase
+// accounting on out with -trace, the JSON Lines dump with -tracefile.
+// A no-op when tracing was off or the run produced no trace.
+func emitTrace(out io.Writer, master *netmr.Master, opts masterOptions, stats netmr.Stats) error {
+	if !opts.trace {
+		return nil
+	}
+	trc := master.LastTrace()
+	if trc == nil {
+		return nil
+	}
+	if opts.traceFile != "" {
+		f, err := os.Create(opts.traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trc.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s (%d spans)\n", opts.traceFile, len(trc.Spans()))
+	}
+	return trc.WriteReport(out, stats)
+}
+
+// runTrace implements the offline `netmr trace report <file>`
+// subcommand: parse a -tracefile dump and render the same timeline and
+// phase accounting the live -trace run prints, with the master-side
+// walls reconstructed from the trace's own phase spans.
+func runTrace(args []string, out io.Writer) error {
+	if len(args) != 2 || args[0] != "report" {
+		return errors.New(`usage: netmr trace report <tracefile>`)
+	}
+	f, err := os.Open(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trc, err := netmr.ReadTraceJSON(f)
+	if err != nil {
+		return err
+	}
+	return trc.WriteReport(out, trc.DerivedStats())
 }
 
 // printStats renders a Stats — complete or partial — in the CLI's

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ipso/internal/obs"
+)
+
+// LiveFeed closes the loop the paper leaves as future work: it bridges a
+// running system's measured phase accounts (Wp/Ws/Wo per scale-out
+// degree, e.g. from netmr's job traces) into the online estimator and
+// keeps the model zoo fitted continuously, exporting the selection — the
+// winning model, its AICc scoreboard, the fitted parameters, and the
+// predicted optimal degree — as gauges on a metrics registry. The cluster
+// that produces /metrics is thereby also the system IPSO diagnoses.
+//
+// Feed order is unconstrained: observations may arrive at any degree,
+// repeatedly (repeats of a degree are averaged), which is what live
+// telemetry looks like — unlike OnlineEstimator.Observe, which demands a
+// strictly ascending probe schedule. Refit rebuilds a fresh estimator
+// from the sorted per-degree aggregates on every call.
+
+// LiveFeedOptions tunes the bridge.
+type LiveFeedOptions struct {
+	// Online configures the underlying estimator (zoo dimension, serial
+	// precision, bootstrap settings).
+	Online OnlineOptions
+	// MaxN is the horizon OptimalN is searched on (default 1024).
+	MaxN int
+	// Metrics is the registry the live-fit gauges register on; nil means
+	// the process-wide obs.Default().
+	Metrics *obs.Registry
+}
+
+// degreeAccount is the running mean of every observation at one degree.
+type degreeAccount struct {
+	n                   float64
+	count               int
+	wp, ws, wo, maxTask float64 // running sums
+}
+
+func (a *degreeAccount) mean() Observation {
+	c := float64(a.count)
+	return Observation{N: a.n, Wp: a.wp / c, Ws: a.ws / c, Wo: a.wo / c, MaxTask: a.maxTask / c}
+}
+
+// LiveFeed accumulates phase accounts and refits the zoo on demand.
+type LiveFeed struct {
+	opts LiveFeedOptions
+
+	mu     sync.Mutex
+	byN    map[float64]*degreeAccount
+	sel    ModelSelection
+	best   ScalingModel
+	nStar  int
+	sStar  float64
+	refits int
+
+	observations *obs.Counter
+	refitsTotal  *obs.CounterVec
+	degrees      *obs.Gauge
+	selected     *obs.GaugeVec
+	aiccGauge    *obs.GaugeVec
+	paramGauge   *obs.GaugeVec
+	optimalN     *obs.Gauge
+	optimalS     *obs.Gauge
+}
+
+// NewLiveFeed builds an empty feed and registers its gauges.
+func NewLiveFeed(opts LiveFeedOptions) *LiveFeed {
+	if opts.MaxN <= 0 {
+		opts.MaxN = 1024
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &LiveFeed{
+		opts: opts,
+		byN:  map[float64]*degreeAccount{},
+		observations: reg.Counter("core_livefit_observations_total",
+			"Phase-account observations fed into the live model fit."),
+		refitsTotal: reg.CounterVec("core_livefit_refits_total",
+			"Live zoo refits attempted, by outcome (ok or error).", "outcome"),
+		degrees: reg.Gauge("core_livefit_degrees",
+			"Distinct scale-out degrees accumulated by the live fit."),
+		selected: reg.GaugeVec("core_livefit_selected_model",
+			"1 for the currently selected scaling model, 0 for the other candidates.", "model"),
+		aiccGauge: reg.GaugeVec("core_livefit_model_aicc",
+			"AICc score of each zoo candidate at the last refit (lower is better).", "model"),
+		paramGauge: reg.GaugeVec("core_livefit_model_param",
+			"Fitted parameter values of the selected model at the last refit.", "model", "param"),
+		optimalN: reg.Gauge("core_livefit_optimal_n",
+			"Speedup-maximizing scale-out degree predicted by the selected model."),
+		optimalS: reg.Gauge("core_livefit_optimal_speedup",
+			"Predicted speedup at the optimal scale-out degree."),
+	}
+}
+
+// Observe folds one phase account into the per-degree aggregates.
+// Repeats of a degree average; degrees may arrive in any order.
+func (l *LiveFeed) Observe(o Observation) error {
+	if o.N < 1 {
+		return fmt.Errorf("core: live observation at n=%g (< 1)", o.N)
+	}
+	if o.Wp <= 0 || o.Ws < 0 || o.Wo < 0 {
+		return fmt.Errorf("core: invalid workloads in live observation %+v", o)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.byN[o.N]
+	if a == nil {
+		a = &degreeAccount{n: o.N}
+		l.byN[o.N] = a
+	}
+	a.count++
+	a.wp += o.Wp
+	a.ws += o.Ws
+	a.wo += o.Wo
+	a.maxTask += o.MaxTask
+	l.observations.Inc()
+	l.degrees.Set(float64(len(l.byN)))
+	return nil
+}
+
+// Degrees returns the distinct degrees accumulated so far, ascending.
+func (l *LiveFeed) Degrees() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sortedDegreesLocked()
+}
+
+func (l *LiveFeed) sortedDegreesLocked() []float64 {
+	ns := make([]float64, 0, len(l.byN))
+	for n := range l.byN {
+		ns = append(ns, n)
+	}
+	sort.Float64s(ns)
+	return ns
+}
+
+// estimator rebuilds a fresh OnlineEstimator from the current per-degree
+// means, in ascending degree order — the shape Observe demands.
+func (l *LiveFeed) estimatorLocked() (*OnlineEstimator, error) {
+	est, err := NewOnlineEstimator(l.opts.Online)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range l.sortedDegreesLocked() {
+		if err := est.Observe(l.byN[n].mean()); err != nil {
+			return nil, err
+		}
+	}
+	return est, nil
+}
+
+// Refit rebuilds the estimator from everything fed so far, fits the
+// zoo, and updates the exported gauges. It needs phase accounts at >= 3
+// distinct degrees (FitModels' floor).
+func (l *LiveFeed) Refit() (ModelSelection, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	est, err := l.estimatorLocked()
+	if err != nil {
+		l.refitsTotal.With("error").Inc()
+		return ModelSelection{}, err
+	}
+	best, sel, err := est.BestModel()
+	if err != nil {
+		l.refitsTotal.With("error").Inc()
+		return sel, err
+	}
+	nStar, sStar, err := best.OptimalN(l.opts.MaxN)
+	if err != nil {
+		l.refitsTotal.With("error").Inc()
+		return sel, err
+	}
+	l.sel, l.best, l.nStar, l.sStar = sel, best, nStar, sStar
+	l.refits++
+	l.refitsTotal.With("ok").Inc()
+
+	// Export the scoreboard: exactly one selected_model gauge at 1, the
+	// per-candidate AICc, the winner's fitted parameters, and the
+	// provisioning answer.
+	for i, f := range sel.Fits {
+		sv := 0.0
+		if i == sel.Best {
+			sv = 1
+		}
+		l.selected.With(f.Name).Set(sv)
+		l.aiccGauge.With(f.Name).Set(f.AICc)
+	}
+	if fit, ok := sel.BestFit(); ok {
+		for _, p := range fit.Params {
+			l.paramGauge.With(fit.Name, p.Name).Set(p.Value)
+		}
+	}
+	l.optimalN.Set(float64(nStar))
+	l.optimalS.Set(sStar)
+	return sel, nil
+}
+
+// Best returns the selection of the last successful Refit.
+func (l *LiveFeed) Best() (ScalingModel, ModelSelection, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.best == nil {
+		return nil, ModelSelection{}, errors.New("core: live feed has not refitted yet")
+	}
+	return l.best, l.sel, nil
+}
+
+// OptimalN returns the provisioning answer of the last successful Refit:
+// the speedup-maximizing degree on [1, MaxN] and its predicted speedup.
+func (l *LiveFeed) OptimalN() (int, float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.best == nil {
+		return 0, 0, errors.New("core: live feed has not refitted yet")
+	}
+	return l.nStar, l.sStar, nil
+}
+
+// Refits returns how many refits have succeeded.
+func (l *LiveFeed) Refits() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.refits
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ipso/internal/obs"
+)
+
+// feedEq17 sends exact fixed-time IPSO observations (η = 1, Ws = 0,
+// Wo = β·n^γ) for the given degrees, in the given order.
+func feedEq17(t *testing.T, feed *LiveFeed, beta, gamma float64, ns []float64) {
+	t.Helper()
+	for _, n := range ns {
+		o := Observation{N: n, Wp: n, Ws: 0, Wo: beta * math.Pow(n, gamma), MaxTask: 1}
+		if err := feed.Observe(o); err != nil {
+			t.Fatalf("observe n=%g: %v", n, err)
+		}
+	}
+}
+
+// TestLiveFeedRecoversGroundTruth: a feed of exact Eq. 17 observations
+// must select the phase-informed IPSO model and hit the analytic
+// optimal degree.
+func TestLiveFeedRecoversGroundTruth(t *testing.T) {
+	const beta, gamma = 0.02, 1.5
+	feed := NewLiveFeed(LiveFeedOptions{MaxN: 64, Metrics: obs.NewRegistry()})
+	feedEq17(t, feed, beta, gamma, []float64{1, 2, 4, 8, 16, 32, 64})
+	sel, err := feed.Refit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _, err := feed.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Name() != ModelIPSO {
+		t.Fatalf("selected %q, want %q (fits %v)", best.Name(), ModelIPSO, len(sel.Fits))
+	}
+	nStar, sStar, err := feed.OptimalN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1/(beta*(gamma-1)), 1/gamma) // ≈ 21.5
+	if float64(nStar) < want-2 || float64(nStar) > want+2 {
+		t.Fatalf("optimal n = %d, want near %.1f", nStar, want)
+	}
+	if sStar <= 1 {
+		t.Fatalf("optimal speedup %g, want > 1", sStar)
+	}
+	if feed.Refits() != 1 {
+		t.Fatalf("Refits = %d, want 1", feed.Refits())
+	}
+}
+
+// TestLiveFeedOrderAndRepeats: observations arriving out of order and
+// repeatedly must aggregate to the same fit as a sorted single pass —
+// live telemetry has no probe schedule.
+func TestLiveFeedOrderAndRepeats(t *testing.T) {
+	const beta, gamma = 0.05, 1.4
+	sorted := NewLiveFeed(LiveFeedOptions{MaxN: 128, Metrics: obs.NewRegistry()})
+	feedEq17(t, sorted, beta, gamma, []float64{1, 2, 4, 8, 16, 32})
+
+	scrambled := NewLiveFeed(LiveFeedOptions{MaxN: 128, Metrics: obs.NewRegistry()})
+	// Reverse order, then every degree again (repeats average to the
+	// identical value).
+	feedEq17(t, scrambled, beta, gamma, []float64{32, 16, 8, 4, 2, 1})
+	feedEq17(t, scrambled, beta, gamma, []float64{4, 32, 1, 16, 2, 8})
+
+	wantDegrees := []float64{1, 2, 4, 8, 16, 32}
+	got := scrambled.Degrees()
+	if len(got) != len(wantDegrees) {
+		t.Fatalf("degrees %v, want %v", got, wantDegrees)
+	}
+	for i, n := range wantDegrees {
+		if got[i] != n {
+			t.Fatalf("degrees %v, want ascending %v", got, wantDegrees)
+		}
+	}
+
+	if _, err := sorted.Refit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scrambled.Refit(); err != nil {
+		t.Fatal(err)
+	}
+	n1, s1, _ := sorted.OptimalN()
+	n2, s2, _ := scrambled.OptimalN()
+	if n1 != n2 || math.Abs(s1-s2) > 1e-6 {
+		t.Fatalf("scrambled feed fit (n=%d, S=%g) diverged from sorted (n=%d, S=%g)", n2, s2, n1, s1)
+	}
+}
+
+// TestLiveFeedRejectsInvalid: garbage telemetry is rejected at the
+// door, and refitting with too few degrees fails cleanly.
+func TestLiveFeedRejectsInvalid(t *testing.T) {
+	feed := NewLiveFeed(LiveFeedOptions{Metrics: obs.NewRegistry()})
+	bad := []Observation{
+		{N: 0.5, Wp: 1},
+		{N: 2, Wp: 0},
+		{N: 2, Wp: 1, Ws: -1},
+		{N: 2, Wp: 1, Wo: -0.1},
+	}
+	for _, o := range bad {
+		if err := feed.Observe(o); err == nil {
+			t.Errorf("observation %+v accepted", o)
+		}
+	}
+	if _, _, err := feed.Best(); err == nil {
+		t.Error("Best before any refit must error")
+	}
+	if _, _, err := feed.OptimalN(); err == nil {
+		t.Error("OptimalN before any refit must error")
+	}
+	// Two degrees are below FitModels' floor.
+	feedEq17(t, feed, 0.02, 1.5, []float64{1, 2})
+	if _, err := feed.Refit(); err == nil {
+		t.Error("refit with two degrees must error")
+	}
+}
+
+// TestLiveFeedExportsSelection: the gauges on the registry must mirror
+// the selection — winner at 1, losers at 0, scores and the optimum
+// present — and update on the next refit.
+func TestLiveFeedExportsSelection(t *testing.T) {
+	reg := obs.NewRegistry()
+	feed := NewLiveFeed(LiveFeedOptions{MaxN: 64, Metrics: reg})
+	feedEq17(t, feed, 0.02, 1.5, []float64{1, 2, 4, 8, 16, 32, 64})
+	if _, err := feed.Refit(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("live-fit exposition failed strict parse: %v", err)
+	}
+	find := func(name string) obs.PromFamily {
+		t.Helper()
+		for _, f := range fams {
+			if f.Name == name {
+				return f
+			}
+		}
+		t.Fatalf("family %s missing:\n%s", name, sb.String())
+		return obs.PromFamily{}
+	}
+
+	selected := find("core_livefit_selected_model")
+	ones := 0
+	for _, s := range selected.Samples {
+		if s.Value == 1 {
+			ones++
+			if s.Label("model") != ModelIPSO {
+				t.Fatalf("selected model gauge at 1 for %q, want %q", s.Label("model"), ModelIPSO)
+			}
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("%d selected_model gauges at 1, want exactly 1", ones)
+	}
+	nStar, _, _ := feed.OptimalN()
+	if s, ok := find("core_livefit_optimal_n").Sample("core_livefit_optimal_n"); !ok || s.Value != float64(nStar) {
+		t.Fatalf("optimal_n gauge %v, want %d", s.Value, nStar)
+	}
+	if s, ok := find("core_livefit_observations_total").Sample("core_livefit_observations_total"); !ok || s.Value != 7 {
+		t.Fatalf("observations_total %v, want 7", s.Value)
+	}
+	if s, ok := find("core_livefit_degrees").Sample("core_livefit_degrees"); !ok || s.Value != 7 {
+		t.Fatalf("degrees gauge %v, want 7", s.Value)
+	}
+	if s, ok := find("core_livefit_refits_total").Sample("core_livefit_refits_total", [2]string{"outcome", "ok"}); !ok || s.Value != 1 {
+		t.Fatalf("refits_total{outcome=ok} %v, want 1", s.Value)
+	}
+	aicc := find("core_livefit_model_aicc")
+	if len(aicc.Samples) < 3 {
+		t.Fatalf("only %d AICc gauges exported", len(aicc.Samples))
+	}
+}

@@ -58,6 +58,10 @@ type Grids struct {
 
 	StragglerNs   []int // straggler wave widths n
 	StragglerReps int   // straggler Monte Carlo repetitions per n
+
+	LiveFitWorkers []int // livefit traced-cluster worker pool sizes
+	LiveFitLines   int   // livefit input size (lines)
+	LiveFitShards  int   // livefit shard count
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -111,6 +115,10 @@ func DefaultGrids(quick bool) Grids {
 
 		StragglerNs:   []int{4, 8, 16, 32, 64, 128},
 		StragglerReps: 400,
+
+		LiveFitWorkers: []int{1, 2, 4, 8},
+		LiveFitLines:   20000,
+		LiveFitShards:  16,
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -123,6 +131,9 @@ func DefaultGrids(quick bool) Grids {
 		g.SelfDiagRounds = 60000
 		g.StragglerNs = []int{4, 16, 64}
 		g.StragglerReps = 120
+		g.LiveFitWorkers = []int{1, 2, 3, 4}
+		g.LiveFitLines = 4000
+		g.LiveFitShards = 8
 	}
 	return g
 }
@@ -413,6 +424,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return Straggler(ctx, g.StragglerNs, g.StragglerReps, cfg.Seed)
+		}})
+	r.mustRegister(Experiment{ID: "livefit", Title: "Live-telemetry-fed model fitting from the traced cluster", Measured: true,
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return LiveFit(ctx, g.LiveFitWorkers, g.LiveFitLines, g.LiveFitShards)
 		}})
 	r.mustRegister(Experiment{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected", Deps: []string{DepMRSweeps},
 		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {

@@ -26,12 +26,16 @@ import (
 // detectable, which JSON got for free from parse errors.
 //
 // The layout itself is versioned by capability: the base "bin" layout
-// ends after Batch, and only peers that both negotiated "bin2" append
-// the Partitions/Parts fields. Appending them unconditionally would
-// make every frame undecodable ("trailing bytes") to a peer running
-// the previous binary codec, breaking rolling upgrades of
-// mixed-version clusters — the ext flag on appendFrame/decodeFrame is
-// that negotiation, one consistent value per connection.
+// ends after Batch, only peers that both negotiated "bin2" append the
+// Partitions/Parts fields, and only peers that further negotiated
+// "trace" append the Trace/Spans fields after those. Appending either
+// block unconditionally would make every frame undecodable ("trailing
+// bytes") to a peer running a previous binary codec, breaking rolling
+// upgrades of mixed-version clusters — the ext and trc flags on
+// appendFrame/decodeFrame are that negotiation, one consistent pair of
+// values per connection. The generations nest: trc is only ever
+// granted alongside ext, so the three layouts on the wire are base,
+// base+ext, and base+ext+trc.
 const maxFrameBytes = 1 << 26 // 64 MiB hard cap: larger prefixes are corruption
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -83,15 +87,19 @@ func appendStrings(b []byte, ss []string) []byte {
 // appendFrame appends the complete wire frame for m to dst. keys is a
 // reusable scratch slice for sorting Partial (may be nil); the grown
 // scratch is returned for reuse. ext selects the bin2 layout (trailing
-// Partitions/Parts fields); the base layout cannot carry either field,
-// so rather than silently dropping them the encode fails.
-func appendFrame(dst []byte, m *message, keys []string, ext bool) ([]byte, []string, error) {
+// Partitions/Parts fields) and trc the trace layout (trailing
+// Trace/Spans fields after those); an older layout cannot carry the
+// newer fields, so rather than silently dropping them the encode fails.
+func appendFrame(dst []byte, m *message, keys []string, ext, trc bool) ([]byte, []string, error) {
 	tb, ok := frameTypes[m.Type]
 	if !ok {
 		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
 	}
 	if !ext && (m.Partitions != 0 || len(m.Parts) > 0) {
 		return dst, keys, fmt.Errorf("netmr: frame %q carries partition fields but the peer did not negotiate %q", m.Type, capBinaryExt)
+	}
+	if !trc && (m.Trace != "" || len(m.Spans) > 0) {
+		return dst, keys, fmt.Errorf("netmr: frame %q carries trace fields but the peer did not negotiate %q", m.Type, capTrace)
 	}
 	// Reserve room for the length prefix after the body is built; encode
 	// the body at the end of dst and splice the prefix in front.
@@ -139,6 +147,15 @@ func appendFrame(dst []byte, m *message, keys []string, ext bool) ([]byte, []str
 				b = appendString(b, k)
 				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(part.Partial[k]))
 			}
+		}
+	}
+	if trc {
+		b = appendString(b, m.Trace)
+		b = binary.AppendUvarint(b, uint64(len(m.Spans)))
+		for _, s := range m.Spans {
+			b = appendString(b, s.Phase)
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Start))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.End))
 		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
@@ -270,8 +287,9 @@ func (r *frameReader) pairs() (map[string]float64, error) {
 // decodeFrame parses one checksummed body into m, reusing m.Records' and
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
-// on the master). ext selects the bin2 layout, mirroring appendFrame.
-func decodeFrame(body []byte, m *message, ext bool) error {
+// on the master). ext selects the bin2 layout and trc the trace layout,
+// mirroring appendFrame.
+func decodeFrame(body []byte, m *message, ext, trc bool) error {
 	if len(body) < 5 { // type byte + CRC
 		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
 	}
@@ -384,6 +402,35 @@ func decodeFrame(body []byte, m *message, ext bool) error {
 				if m.Parts[i].Partial, err = r.pairs(); err != nil {
 					return err
 				}
+			}
+		}
+	}
+	if trc {
+		if m.Trace, err = r.string(); err != nil {
+			return err
+		}
+		nspans, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Each span costs at least its phase length byte plus 16 value
+		// bytes, so a count larger than the remaining bytes / 17 is
+		// corruption, not a huge allocation.
+		if nspans > uint64(len(r.s)-r.off)/17 {
+			return fmt.Errorf("netmr: span list of %d entries overruns frame", nspans)
+		}
+		if nspans > 0 {
+			m.Spans = make([]spanSummary, nspans)
+			for i := range m.Spans {
+				if m.Spans[i].Phase, err = r.string(); err != nil {
+					return err
+				}
+				if len(r.s)-r.off < 16 {
+					return fmt.Errorf("netmr: truncated span interval at byte %d", r.off)
+				}
+				m.Spans[i].Start = math.Float64frombits(u64at(r.s, r.off))
+				m.Spans[i].End = math.Float64frombits(u64at(r.s, r.off+8))
+				r.off += 16
 			}
 		}
 	}

@@ -42,12 +42,21 @@ func codecMessages() []message {
 		{Type: "presult", TaskID: -2, Parts: []partitionPartial{
 			{ID: 1, Partial: nil},
 		}},
+		{Type: "task", Job: "wc", TaskID: 1, Records: []string{"traced"}, Trace: "wc-3"},
+		{Type: "result", TaskID: 4, Attempt: 1, Partial: map[string]float64{"k": 2}, Trace: "wc-3", Spans: []spanSummary{
+			{Phase: "decode", Start: 0, End: 0.001},
+			{Phase: "map", Start: 0.001, End: 0.25},
+			{Phase: "", Start: -1.5, End: math.MaxFloat64},
+		}},
+		{Type: "presult", TaskID: 7, Trace: "", Spans: []spanSummary{{Phase: "encode", Start: 1, End: 1}}, Parts: []partitionPartial{
+			{ID: 0, Partial: map[string]float64{"a": 1}},
+		}},
 	}
 }
 
 func encodeBinary(t *testing.T, m message) []byte {
 	t.Helper()
-	frame, _, err := appendFrame(nil, &m, nil, true)
+	frame, _, err := appendFrame(nil, &m, nil, true, true)
 	if err != nil {
 		t.Fatalf("appendFrame(%+v): %v", m, err)
 	}
@@ -68,7 +77,7 @@ func frameBody(t testing.TB, frame []byte) []byte {
 func decodeBinary(t *testing.T, frame []byte) message {
 	t.Helper()
 	var m message
-	if err := decodeFrame(frameBody(t, frame), &m, true); err != nil {
+	if err := decodeFrame(frameBody(t, frame), &m, true, true); err != nil {
 		t.Fatalf("decodeFrame: %v", err)
 	}
 	return m
@@ -121,6 +130,9 @@ func normalize(m message) message {
 			m.Parts[i].Partial = nil
 		}
 	}
+	if len(m.Spans) == 0 {
+		m.Spans = nil
+	}
 	return m
 }
 
@@ -167,7 +179,7 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	var m message
 	for i, in := range codecMessages() {
 		frame := encodeBinary(t, in)
-		if err := decodeFrame(frameBody(t, frame), &m, true); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &m, true, true); err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(normalize(m), normalize(in)) {
@@ -177,40 +189,71 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 }
 
 // TestBinaryCodecLegacyLayout pins the layout negotiation that keeps
-// mixed-version binary clusters decodable: without bin2 the codec must
-// produce and accept exactly the base layout (no trailing partition
-// fields), refuse to encode frames that need them, and a layout
-// mismatch in either direction must error instead of mis-decoding.
+// mixed-version binary clusters decodable across all three generations
+// (base, base+ext, base+ext+trc): each generation must produce and
+// accept exactly its own layout, refuse to encode frames whose fields
+// need a newer one, and any layout mismatch between encoder and decoder
+// must error instead of mis-decoding.
 func TestBinaryCodecLegacyLayout(t *testing.T) {
+	gens := []struct {
+		name     string
+		ext, trc bool
+	}{
+		{"base", false, false},
+		{"bin2", true, false},
+		{"trace", true, true},
+	}
+	carries := func(g struct {
+		name     string
+		ext, trc bool
+	}, m message) bool {
+		if !g.ext && (m.Partitions != 0 || len(m.Parts) > 0) {
+			return false
+		}
+		if !g.trc && (m.Trace != "" || len(m.Spans) > 0) {
+			return false
+		}
+		return true
+	}
 	for _, m := range codecMessages() {
-		base := m.Partitions == 0 && len(m.Parts) == 0
-		frame, _, err := appendFrame(nil, &m, nil, false)
-		if !base {
-			if err == nil {
-				t.Errorf("base-layout encode of %q with partition fields must fail, got none", m.Type)
+		bodies := map[string][]byte{}
+		for _, g := range gens {
+			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc)
+			if !carries(g, m) {
+				if err == nil {
+					t.Errorf("%s-layout encode of %q with newer-generation fields must fail, got none", g.name, m.Type)
+				}
+				continue
 			}
-			continue
+			if err != nil {
+				t.Fatalf("%s-layout encode %q: %v", g.name, m.Type, err)
+			}
+			bodies[g.name] = frameBody(t, frame)
+			var out message
+			if err := decodeFrame(bodies[g.name], &out, g.ext, g.trc); err != nil {
+				t.Fatalf("%s-layout decode %q: %v", g.name, m.Type, err)
+			}
+			if !reflect.DeepEqual(normalize(out), normalize(m)) {
+				t.Errorf("%s-layout round trip of %q is lossy:\n in: %+v\nout: %+v", g.name, m.Type, m, out)
+			}
 		}
-		if err != nil {
-			t.Fatalf("base-layout encode %q: %v", m.Type, err)
-		}
-		body := frameBody(t, frame)
-		var out message
-		if err := decodeFrame(body, &out, false); err != nil {
-			t.Fatalf("base-layout decode %q: %v", m.Type, err)
-		}
-		if !reflect.DeepEqual(normalize(out), normalize(m)) {
-			t.Errorf("base-layout round trip of %q is lossy:\n in: %+v\nout: %+v", m.Type, m, out)
-		}
-		// The same message in the bin2 layout has trailing fields a base
-		// decoder must reject, and a bin2 decoder must reject the base
-		// frame as truncated — mismatches error, never mis-decode.
-		extBody := frameBody(t, encodeBinary(t, m))
-		if err := decodeFrame(extBody, &out, false); err == nil {
-			t.Errorf("base decoder accepted a bin2 %q frame", m.Type)
-		}
-		if err := decodeFrame(body, &out, true); err == nil {
-			t.Errorf("bin2 decoder accepted a base-layout %q frame", m.Type)
+		// A newer frame has trailing fields an older decoder must reject,
+		// and a newer decoder must reject the older frame as truncated —
+		// mismatches error, never mis-decode.
+		for _, enc := range gens {
+			body, ok := bodies[enc.name]
+			if !ok {
+				continue
+			}
+			for _, dec := range gens {
+				if enc == dec {
+					continue
+				}
+				var out message
+				if err := decodeFrame(body, &out, dec.ext, dec.trc); err == nil {
+					t.Errorf("%s decoder accepted a %s-layout %q frame", dec.name, enc.name, m.Type)
+				}
+			}
 		}
 	}
 }
@@ -226,7 +269,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 			mut := append([]byte(nil), body...)
 			mut[i] ^= 1 << bit
 			var out message
-			if err := decodeFrame(mut, &out, true); err == nil {
+			if err := decodeFrame(mut, &out, true, true); err == nil {
 				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
 			}
 		}
@@ -234,7 +277,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	// Truncations must be rejected too.
 	for i := 0; i < len(body); i++ {
 		var out message
-		if err := decodeFrame(body[:i], &out, true); err == nil {
+		if err := decodeFrame(body[:i], &out, true, true); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", i)
 		}
 	}
@@ -244,7 +287,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 // only decode or error.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, true)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -259,16 +302,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(mut)
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
-		// Both layout generations must be panic-free on arbitrary input.
+		// Every layout generation must be panic-free on arbitrary input.
 		var legacy message
-		_ = decodeFrame(body, &legacy, false)
+		_ = decodeFrame(body, &legacy, false, false)
+		var ext message
+		_ = decodeFrame(body, &ext, true, false)
 		var m message
-		if err := decodeFrame(body, &m, true); err == nil {
+		if err := decodeFrame(body, &m, true, true); err == nil {
 			// A frame that decodes must re-encode (unknown type bytes
 			// excepted: they decode to a "?N" placeholder for the
 			// ignore-unknown-frames path).
 			if _, ok := frameTypes[m.Type]; ok {
-				if _, _, err := appendFrame(nil, &m, nil, true); err != nil {
+				if _, _, err := appendFrame(nil, &m, nil, true, true); err != nil {
 					t.Fatalf("decoded frame failed to re-encode: %v", err)
 				}
 			}

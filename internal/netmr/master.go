@@ -89,6 +89,15 @@ type MasterConfig struct {
 	// see individual shards throughout.
 	MaxTaskBatch int
 
+	// Trace enables distributed job tracing: every Run assembles a
+	// JobTrace of launch-level spans (with worker-reported sub-phases
+	// from workers that negotiated the "trace" capability) and the
+	// split/merge master phases, retrievable via LastTrace. Workers
+	// without the capability still participate — their launches appear
+	// in the trace without sub-phase detail and their frames stay
+	// byte-identical to an untraced cluster's.
+	Trace bool
+
 	// Chaos, when set, wraps every admitted worker connection with the
 	// injector's wire-level faults — the master-side half of the
 	// deterministic fault plane.
@@ -234,6 +243,7 @@ type workerHandle struct {
 	id    string
 	c     *conn
 	batch bool // worker negotiated multi-shard taskbatch frames
+	trace bool // worker negotiated span-summary reporting
 }
 
 // Master coordinates a pool of connected workers.
@@ -251,6 +261,17 @@ type Master struct {
 	hbStop  chan struct{}
 	hbDone  chan struct{}
 	obsSrv  *obs.Server
+
+	// Health state surfaced on /healthz: evicted counts workers dropped
+	// since the last clean Run, degraded marks a Run that had to lean on
+	// retry/reassignment (or failed outright). Both reset when a Run
+	// completes without reassignments.
+	evicted  atomic.Int64
+	degraded atomic.Bool
+
+	traceSeq atomic.Int64
+	traceMu  sync.Mutex
+	last     *JobTrace
 }
 
 // NewMaster builds a master able to run jobs from the registry (the
@@ -292,9 +313,18 @@ func (m *Master) Listen(addr string) (string, error) {
 // document at /healthz. It returns the bound address; Close stops it.
 func (m *Master) ServeObservability(addr string) (string, error) {
 	srv, err := obs.Serve(addr, m.metrics.registry, func() map[string]any {
+		status := "ok"
+		evicted := m.evicted.Load()
+		degraded := m.degraded.Load()
+		if evicted > 0 || degraded {
+			status = "degraded"
+		}
 		return map[string]any{
-			"workers": m.WorkerCount(),
-			"jobs":    m.registry.Names(),
+			"status":          status,
+			"workers":         m.WorkerCount(),
+			"workers_evicted": evicted,
+			"degraded":        degraded,
+			"jobs":            m.registry.Names(),
 		}
 	})
 	if err != nil {
@@ -356,6 +386,14 @@ func (m *Master) admit(raw net.Conn) {
 		(!offered[capBinary] || offered[capBinaryExt]) {
 		accepted = append(accepted, capPartition)
 	}
+	// Trace spans ride the same wire-shape rule as partitioned results:
+	// JSON carries them natively, the binary codec only with the trc
+	// layout that nests on bin2 — granting trace to a bin-without-bin2
+	// worker would make its result frames unencodable. Without the
+	// grant a worker's frames stay byte-identical to an untraced one's.
+	if m.cfg.Trace && offered[capTrace] && (!offered[capBinary] || offered[capBinaryExt]) {
+		accepted = append(accepted, capTrace)
+	}
 	if len(accepted) > 0 {
 		// If the helloack does not go out (e.g. an injected drop), the
 		// worker never hears of the upgrade — admit the connection on
@@ -377,6 +415,9 @@ func (m *Master) admit(raw net.Conn) {
 					c.binExt = true
 				case capBatch:
 					w.batch = true
+				case capTrace:
+					c.trc = true
+					w.trace = true
 				}
 			}
 		}
@@ -397,12 +438,23 @@ func (m *Master) admit(raw net.Conn) {
 }
 
 // dropWorker closes a failed worker's connection and updates the
-// population accounting.
+// population accounting. Every eviction marks the master degraded on
+// /healthz until a Run completes cleanly on the surviving population.
 func (m *Master) dropWorker(w *workerHandle) {
 	_ = w.c.close()
 	m.count.Add(-1)
+	m.evicted.Add(1)
 	m.metrics.workersLost.Inc()
 	m.metrics.workers.Set(float64(m.count.Load()))
+}
+
+// LastTrace returns the JobTrace of the most recent (possibly still
+// running) traced Run, or nil when MasterConfig.Trace is off or no job
+// has run yet.
+func (m *Master) LastTrace() *JobTrace {
+	m.traceMu.Lock()
+	defer m.traceMu.Unlock()
+	return m.last
 }
 
 // heartbeatLoop pings every currently idle worker once per interval and
@@ -542,6 +594,7 @@ type launchDone struct {
 	parts   []partitionPartial
 	prepart bool
 	elapsed time.Duration
+	launch  int // trace launch ordinal, -1 when the run is untraced
 }
 
 // launchFail is a failed launch's report, carrying the cause so budget
@@ -579,6 +632,15 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			status = "error"
 		}
 		m.metrics.jobs.With(status).Inc()
+		// Health: a clean run (no failures, no reassignments) proves the
+		// current population healthy again; a run that needed retries or
+		// failed outright is running in graceful degradation.
+		if err == nil && stats.Reassignments == 0 {
+			m.degraded.Store(false)
+			m.evicted.Store(0)
+		} else {
+			m.degraded.Store(true)
+		}
 	}()
 
 	if err := ctx.Err(); err != nil {
@@ -600,6 +662,18 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	}
 	ledger := newPerWorkerLedger()
 	defer func() { stats.PerWorker = ledger.snapshot() }()
+
+	// The job trace opens a launch span at every dispatch and is sealed
+	// on every exit path, so no retry, speculation or cancellation
+	// ordering can leave a span open in the dump.
+	var trc *JobTrace
+	if m.cfg.Trace {
+		trc = newJobTrace(jobName, int(m.traceSeq.Add(1)))
+		m.traceMu.Lock()
+		m.last = trc
+		m.traceMu.Unlock()
+		defer trc.seal()
+	}
 
 	shardRecords := func(id int) []string {
 		lo := len(records) * id / shards
@@ -625,18 +699,30 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	// in one taskbatch frame. The worker answers one result frame per
 	// shard in order; each is reported individually, so a conn failure
 	// mid-batch fails exactly the still-unacknowledged shards.
-	dispatch := func(w *workerHandle, tasks []shardTask) {
+	dispatch := func(w *workerHandle, tasks []shardTask, launches []int) {
+		launchOf := func(i int) int {
+			if launches == nil {
+				return -1
+			}
+			return launches[i]
+		}
+		// Only trace-capable workers see the trace ID on their frames;
+		// everyone else's frames stay byte-identical to an untraced run.
+		traceID := ""
+		if trc != nil && w.trace {
+			traceID = trc.ID
+		}
 		start := time.Now()
 		var err error
 		if len(tasks) == 1 {
 			t := tasks[0]
-			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records, Trace: traceID}, m.cfg.TaskTimeout)
 		} else {
 			specs := make([]taskSpec, len(tasks))
 			for i, t := range tasks {
 				specs[i] = taskSpec{Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}
 			}
-			err = w.c.send(message{Type: "taskbatch", Batch: specs}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "taskbatch", Batch: specs, Trace: traceID}, m.cfg.TaskTimeout)
 		}
 		acked := 0
 		prev := start
@@ -658,6 +744,11 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 					// drop anything else.
 					reply.Parts = nil
 				}
+				if !w.trace {
+					// Same defense for span summaries: only negotiated
+					// trace peers may report phases.
+					reply.Spans = nil
+				}
 			}
 			if err != nil {
 				break
@@ -667,16 +758,22 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			prev = now
 			m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
 			ledger.shardDone(w.id, elapsed)
-			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, prepart: reply.Type == "presult", elapsed: elapsed}
+			if trc != nil {
+				trc.closeLaunch(launchOf(acked), outcomeOK, reply.Spans)
+			}
+			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, prepart: reply.Type == "presult", elapsed: elapsed, launch: launchOf(acked)}
 			acked++
 		}
 		if err != nil {
 			// Lost or misbehaving worker: drop it, fail every shard it
 			// still owed a result for.
 			elapsed := time.Since(prev)
-			for _, t := range tasks[acked:] {
+			for i, t := range tasks[acked:] {
 				ledger.shardFailed(w.id, elapsed)
 				m.metrics.reassignments.With(w.id).Inc()
+				if trc != nil {
+					trc.closeLaunch(launchOf(acked+i), outcomeFailed, nil)
+				}
 				failCh <- launchFail{task: t, err: err}
 				elapsed = 0 // the round-trip is charged once
 			}
@@ -808,7 +905,16 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				f.lastLaunch = time.Now()
 				m.metrics.shards.Inc()
 			}
-			go dispatch(w, batch)
+			var launches []int
+			if trc != nil {
+				// Every launch gets a unique ordinal — (shard, attempt)
+				// collides when speculation clones a lineage.
+				launches = make([]int, len(batch))
+				for i, t := range batch {
+					launches[i] = trc.openLaunch(t.id, t.attempts, w.id)
+				}
+			}
+			go dispatch(w, batch, launches)
 
 		case r := <-resultCh:
 			if f := inflight[r.task.id]; f != nil {
@@ -816,9 +922,13 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			}
 			if done[r.task.id] {
 				// A sibling already delivered this shard: first result
-				// won, this one is discarded.
+				// won, this one is discarded. The dispatch goroutine
+				// closed the launch ok before it knew; relabel it.
 				stats.Duplicates++
 				m.metrics.duplicates.Inc()
+				if trc != nil && r.launch >= 0 {
+					trc.relabel(r.launch, outcomeDuplicate)
+				}
 				continue
 			}
 			done[r.task.id] = true
@@ -913,6 +1023,9 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	splitSpan.End()
 	barrier := time.Now()
 	stats.SplitWall = barrier.Sub(splitStart)
+	if trc != nil {
+		trc.addPhase("split", splitStart, barrier)
+	}
 	m.metrics.splitSeconds.Observe(stats.SplitWall.Seconds())
 	if eng != nil {
 		// Sampled at the barrier: fold time the folders have already
@@ -942,6 +1055,9 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	}
 	mergeSpan.End()
 	end := time.Now()
+	if trc != nil {
+		trc.addPhase("merge", barrier, end)
+	}
 	stats.MergeWall = end.Sub(barrier) + stats.MergeOverlapWall
 	stats.TotalWall = end.Sub(splitStart)
 	m.metrics.mergeSeconds.Observe(stats.MergeWall.Seconds())

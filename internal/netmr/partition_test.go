@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"reflect"
@@ -501,7 +502,7 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 		{Type: "presult"},
 	}
 	for _, m := range seeds {
-		frame, _, err := appendFrame(nil, &m, nil, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -516,22 +517,117 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var m message
-		if err := decodeFrame(body, &m, true); err != nil {
+		if err := decodeFrame(body, &m, true, false); err != nil {
 			return
 		}
 		if _, ok := frameTypes[m.Type]; !ok {
 			return // unknown type placeholder, ignore-path
 		}
-		frame, _, err := appendFrame(nil, &m, nil, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, false)
 		if err != nil {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}
 		var again message
-		if err := decodeFrame(frameBody(t, frame), &again, true); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &again, true, false); err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
 		if !reflect.DeepEqual(normalize(again), normalize(m)) {
 			t.Fatalf("presult round trip lossy:\n in: %+v\nout: %+v", m, again)
 		}
 	})
+}
+
+// FuzzDecodeSpanSummary focuses the codec fuzzer on the trace layout's
+// span-summary block: arbitrary bodies — including truncated and
+// corrupted frames as a non-trace peer would produce — must decode or
+// error, never panic, and a body that decodes must re-encode and
+// round-trip to the same message.
+func FuzzDecodeSpanSummary(f *testing.F) {
+	seeds := []message{
+		{Type: "result", TaskID: 1, Attempt: 1, Partial: map[string]float64{"a": 1}, Trace: "wc-1", Spans: []spanSummary{
+			{Phase: "decode", Start: 0, End: 0.002},
+			{Phase: "map", Start: 0.002, End: 0.8},
+			{Phase: "combine", Start: 0.8, End: 0.9},
+			{Phase: "encode", Start: 0.9, End: 0.95},
+		}},
+		{Type: "presult", TaskID: 3, Trace: "j-9", Spans: []spanSummary{
+			{Phase: "partition", Start: 0.1, End: 0.2},
+		}, Parts: []partitionPartial{{ID: 0, Partial: map[string]float64{"k": 1}}}},
+		{Type: "result", TaskID: 2, Trace: "", Spans: nil},
+		{Type: "task", Job: "wc", TaskID: 0, Records: []string{"r"}, Trace: "wc-2"},
+	}
+	for _, m := range seeds {
+		// Seed both the trace layout and, for messages it can carry, the
+		// bin2 layout a non-trace peer would send: the trc decoder must
+		// reject the latter cleanly, and mutations of either must never
+		// panic it.
+		frame, _, err := appendFrame(nil, &m, nil, true, true)
+		if err != nil {
+			f.Fatal(err)
+		}
+		body := frameBody(f, frame)
+		f.Add(body)
+		f.Add(body[:len(body)*2/3])
+		mut := append([]byte(nil), body...)
+		if len(mut) > 4 {
+			mut[4] ^= 0x40
+		}
+		f.Add(mut)
+		if m.Trace == "" && len(m.Spans) == 0 {
+			plain, _, err := appendFrame(nil, &m, nil, true, false)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(frameBody(f, plain))
+		}
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var m message
+		if err := decodeFrame(body, &m, true, true); err != nil {
+			return
+		}
+		for _, s := range m.Spans {
+			if len(s.Phase) > len(body) {
+				t.Fatalf("span phase of %d bytes from a %d-byte body", len(s.Phase), len(body))
+			}
+		}
+		if _, ok := frameTypes[m.Type]; !ok {
+			return // unknown type placeholder, ignore-path
+		}
+		frame, _, err := appendFrame(nil, &m, nil, true, true)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		var again message
+		if err := decodeFrame(frameBody(t, frame), &again, true, true); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if !sameSpans(m.Spans, again.Spans) {
+			t.Fatalf("span summaries lossy:\n in: %+v\nout: %+v", m.Spans, again.Spans)
+		}
+		if !reflect.DeepEqual(normalize(stripSpans(again)), normalize(stripSpans(m))) {
+			t.Fatalf("traced frame round trip lossy:\n in: %+v\nout: %+v", m, again)
+		}
+	})
+}
+
+// sameSpans compares span summaries bit-exactly (NaN intervals from
+// fuzzed bodies defeat DeepEqual's float semantics on some fields).
+func sameSpans(a, b []spanSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phase != b[i].Phase ||
+			math.Float64bits(a[i].Start) != math.Float64bits(b[i].Start) ||
+			math.Float64bits(a[i].End) != math.Float64bits(b[i].End) {
+			return false
+		}
+	}
+	return true
+}
+
+func stripSpans(m message) message {
+	m.Spans = nil
+	return m
 }

@@ -35,22 +35,30 @@ import (
 	"time"
 )
 
-// capBinary, capBinaryExt, capBatch and capPartition are the capability
-// tokens of the hello negotiation: the binary codec, its bin2 layout
-// revision (the trailing Partitions/Parts frame fields — versioned
+// capBinary, capBinaryExt, capBatch, capPartition and capTrace are the
+// capability tokens of the hello negotiation: the binary codec, its bin2
+// layout revision (the trailing Partitions/Parts frame fields — versioned
 // separately so a new peer talking to a previous-version binary peer
 // falls back to the layout that peer decodes), multi-shard task
-// batching, and worker-side hash-partitioned results (the master's
-// helloack then carries the partition count the cluster agreed on).
+// batching, worker-side hash-partitioned results (the master's
+// helloack then carries the partition count the cluster agreed on), and
+// distributed tracing (the master stamps a trace context onto task
+// frames and the worker ships per-phase span summaries back on result
+// frames — a further trailing layout revision on binary connections,
+// versioned exactly like bin2 so untraced peers keep byte-identical
+// frames).
 const (
 	capBinary    = "bin"
 	capBinaryExt = "bin2"
 	capBatch     = "batch"
 	capPartition = "part"
+	capTrace     = "trace"
 )
 
 // workerCaps is what a current worker advertises in its hello.
-func workerCaps() []string { return []string{capBinary, capBinaryExt, capBatch, capPartition} }
+func workerCaps() []string {
+	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace}
+}
 
 // message is the single wire frame: one JSON line in codec v1, one
 // length-prefixed binary frame in v2 (codec.go). The field set is
@@ -69,6 +77,20 @@ type message struct {
 	Batch      []taskSpec         `json:"batch,omitempty"`      // taskbatch
 	Partitions int                `json:"partitions,omitempty"` // helloack: merge partition count when "part" was accepted
 	Parts      []partitionPartial `json:"parts,omitempty"`      // presult: per-partition partials
+	Trace      string             `json:"trace,omitempty"`      // task | taskbatch: job trace ID; result | presult: echoed back
+	Spans      []spanSummary      `json:"spans,omitempty"`      // result | presult: worker-side phase spans
+}
+
+// spanSummary is one worker-side phase interval shipped back piggybacked
+// on a result frame: the phase name and its [Start, End) window in
+// seconds relative to the moment the worker received the task. The
+// master re-bases these onto its own clock when assembling the job
+// timeline, so workers need no synchronized clocks — only a monotonic
+// one.
+type spanSummary struct {
+	Phase string  `json:"phase"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
 }
 
 // partitionPartial is one merge partition's slice of a shard result: the
@@ -100,6 +122,13 @@ type conn struct {
 
 	binary bool // codec v2 negotiated for both directions
 	binExt bool // bin2 layout (trailing partition fields) negotiated
+	trc    bool // trace layout (trailing Trace/Spans fields) negotiated
+
+	// lastDecode is the wire-decode cost of the most recent recv,
+	// measured only on traced connections: the worker charges it to the
+	// task's "decode" span so deserialization overhead is attributed
+	// instead of vanishing into RPC time.
+	lastDecode time.Duration
 
 	keys    []string // sorted-Partial scratch for binary encode
 	body    []byte   // binary frame read buffer
@@ -126,7 +155,7 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		return nil
 	}
 	bufp := encBufPool.Get().(*[]byte)
-	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc)
 	c.keys = keys
 	if err == nil {
 		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
@@ -152,9 +181,16 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 		if err != nil {
 			return message{}, fmt.Errorf("netmr: recv: %w", err)
 		}
+		var decodeStart time.Time
+		if c.trc {
+			decodeStart = time.Now()
+		}
 		var m message
 		if err := json.Unmarshal(line, &m); err != nil {
 			return message{}, fmt.Errorf("netmr: decode: %w", err)
+		}
+		if c.trc {
+			c.lastDecode = time.Since(decodeStart)
 		}
 		return m, nil
 	}
@@ -172,8 +208,15 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 	if _, err := io.ReadFull(c.r, c.body); err != nil {
 		return message{}, fmt.Errorf("netmr: recv: %w", err)
 	}
-	if err := decodeFrame(c.body, &c.scratch, c.binExt); err != nil {
+	var decodeStart time.Time
+	if c.trc {
+		decodeStart = time.Now()
+	}
+	if err := decodeFrame(c.body, &c.scratch, c.binExt, c.trc); err != nil {
 		return message{}, err
+	}
+	if c.trc {
+		c.lastDecode = time.Since(decodeStart)
 	}
 	// The scratch's Records/Batch backing arrays are reclaimed on the
 	// next recv; callers are done with them by then (the worker finishes
@@ -428,4 +471,125 @@ func runShardPartitioned(j Job, records []string, sc *shardScratch, parts int) [
 		}
 	}
 	return out
+}
+
+// Worker-side phase names recorded into span summaries. "map" and
+// "combine" are the shard's compute (Wp in the IPSO decomposition);
+// "decode", "partition" and "encode" are serialization work that exists
+// only because the job is distributed (Wo attribution).
+const (
+	spanDecode    = "decode"    // wire decode of the task frame
+	spanMap       = "map"       // Map pass over the records (incl. streaming Combine)
+	spanCombine   = "combine"   // per-key reduction of buffered emissions
+	spanPartition = "partition" // hash-splitting keys into merge partitions
+	spanEncode    = "encode"    // building the wire-shape result maps
+)
+
+// spanClock accumulates spanSummary intervals against a fixed epoch —
+// the moment the worker received the task, so the master can re-base
+// the whole window onto its own clock without synchronized clocks.
+type spanClock struct {
+	epoch time.Time
+	spans []spanSummary
+}
+
+// newSpanClock starts a clock whose epoch is decode-duration before now,
+// with the decode interval already recorded: the wire decode happened
+// before the task body could run.
+func newSpanClock(decode time.Duration) (*spanClock, time.Time) {
+	now := time.Now()
+	if decode < 0 {
+		decode = 0
+	}
+	c := &spanClock{epoch: now.Add(-decode)}
+	c.spans = append(c.spans, spanSummary{Phase: spanDecode, Start: 0, End: decode.Seconds()})
+	return c, now
+}
+
+// mark records phase as [from, now) and returns now for chaining.
+func (c *spanClock) mark(phase string, from time.Time) time.Time {
+	now := time.Now()
+	c.spans = append(c.spans, spanSummary{
+		Phase: phase,
+		Start: from.Sub(c.epoch).Seconds(),
+		End:   now.Sub(c.epoch).Seconds(),
+	})
+	return now
+}
+
+// runShardTraced is runShard with per-phase span recording. It is a
+// separate function so the untraced hot path (whose allocation profile
+// CI gates) is untouched; the extra cost here — a few clock reads and
+// one spans slice — is exactly what the tracing-overhead benchmark
+// bounds. The per-key reduction runs as its own pass (the "combine"
+// span) instead of fused into map building, so Wp splits into its two
+// constituents.
+func runShardTraced(j Job, records []string, sc *shardScratch, decode time.Duration) (map[string]float64, []spanSummary) {
+	clock, t := newSpanClock(decode)
+	sc.run(j, records)
+	t = clock.mark(spanMap, t)
+	vals := make([]float64, len(sc.keys))
+	for id := range sc.keys {
+		vals[id] = sc.value(j, id)
+	}
+	t = clock.mark(spanCombine, t)
+	out := make(map[string]float64, len(sc.keys))
+	for id, k := range sc.keys {
+		out[k] = vals[id]
+	}
+	clock.mark(spanEncode, t)
+	return out, clock.spans
+}
+
+// runShardPartitionedTraced is runShardPartitioned with per-phase span
+// recording; the hash split gets its own "partition" span so the cost
+// the part capability moves off the master is visible in the timeline.
+func runShardPartitionedTraced(j Job, records []string, sc *shardScratch, parts int, decode time.Duration) ([]partitionPartial, []spanSummary) {
+	if parts <= 1 {
+		out, spans := runShardTraced(j, records, sc, decode)
+		return []partitionPartial{{ID: 0, Partial: out}}, spans
+	}
+	clock, t := newSpanClock(decode)
+	sc.run(j, records)
+	t = clock.mark(spanMap, t)
+	vals := make([]float64, len(sc.keys))
+	for id := range sc.keys {
+		vals[id] = sc.value(j, id)
+	}
+	t = clock.mark(spanCombine, t)
+	nk := len(sc.keys)
+	if cap(sc.partOf) < nk {
+		sc.partOf = make([]int, nk)
+	}
+	sc.partOf = sc.partOf[:nk]
+	if cap(sc.partSize) < parts {
+		sc.partSize = make([]int, parts)
+	}
+	sc.partSize = sc.partSize[:parts]
+	clear(sc.partSize)
+	for id, k := range sc.keys {
+		p := partitionIndex(k, parts)
+		sc.partOf[id] = p
+		sc.partSize[p]++
+	}
+	t = clock.mark(spanPartition, t)
+	maps := make([]map[string]float64, parts)
+	nonEmpty := 0
+	for p, n := range sc.partSize {
+		if n > 0 {
+			maps[p] = make(map[string]float64, n)
+			nonEmpty++
+		}
+	}
+	for id, k := range sc.keys {
+		maps[sc.partOf[id]][k] = vals[id]
+	}
+	out := make([]partitionPartial, 0, nonEmpty)
+	for p, m := range maps {
+		if m != nil {
+			out = append(out, partitionPartial{ID: p, Partial: m})
+		}
+	}
+	clock.mark(spanEncode, t)
+	return out, clock.spans
 }

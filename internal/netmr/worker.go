@@ -26,6 +26,12 @@ type Worker struct {
 	// Written once by serve before any task arrives.
 	partitions int
 
+	// traced is set when the master granted the "trace" capability: every
+	// shard then runs through the span-recording execution path and ships
+	// its phase summaries back on the result frame. Written once by serve
+	// before any task arrives.
+	traced bool
+
 	mu      sync.Mutex
 	netConn net.Conn
 	stopped bool
@@ -111,20 +117,27 @@ func (w *Worker) serve(c *conn) {
 					c.binExt = true
 				case capPartition:
 					w.partitions = m.Partitions
+				case capTrace:
+					c.trc = true
+					w.traced = true
 				}
 			}
 		case "task":
-			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records) {
+			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records, m.Trace, c.lastDecode) {
 				return
 			}
 		case "taskbatch":
 			// One frame, several shards: each spec is executed in order
-			// and answered with its own result frame.
+			// and answered with its own result frame. The frame's wire
+			// decode happened once, so its cost is charged to the first
+			// shard's decode span only.
+			decode := c.lastDecode
 			for i := range m.Batch {
 				spec := &m.Batch[i]
-				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records) {
+				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records, m.Trace, decode) {
 					return
 				}
+				decode = 0
 			}
 		case "ping":
 			workerPings.Inc()
@@ -139,8 +152,11 @@ func (w *Worker) serve(c *conn) {
 
 // runTask executes one shard and reports its result (or error) to the
 // master. It returns false when the serve loop must exit: a send
-// failure or an injected crash.
-func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string) bool {
+// failure or an injected crash. trace is the job trace ID stamped on
+// the task frame (echoed back on the result) and decode the wire-decode
+// cost of the frame that carried this shard; both are zero-valued on
+// untraced connections.
+func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string, trace string, decode time.Duration) bool {
 	job, ok := w.registry.lookup(jobName)
 	if !ok {
 		workerTasks.With("unknown_job").Inc()
@@ -163,15 +179,27 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		// The master granted the part capability: ship the result
 		// pre-split by key hash so the merge engine routes it straight to
 		// its partition folders — the hashing cost moves off the master.
-		parts := runShardPartitioned(job, records, w.scratch, w.partitions)
+		var parts []partitionPartial
+		var spans []spanSummary
+		if w.traced {
+			parts, spans = runShardPartitionedTraced(job, records, w.scratch, w.partitions, decode)
+		} else {
+			parts = runShardPartitioned(job, records, w.scratch, w.partitions)
+		}
 		workerTaskSeconds.Observe(time.Since(start).Seconds())
 		workerTasks.With("ok").Inc()
-		return c.send(message{Type: "presult", TaskID: taskID, Attempt: attempt, Parts: parts}, 30*time.Second) == nil
+		return c.send(message{Type: "presult", TaskID: taskID, Attempt: attempt, Parts: parts, Trace: trace, Spans: spans}, 30*time.Second) == nil
 	}
-	partial := runShard(job, records, w.scratch)
+	var partial map[string]float64
+	var spans []spanSummary
+	if w.traced {
+		partial, spans = runShardTraced(job, records, w.scratch, decode)
+	} else {
+		partial = runShard(job, records, w.scratch)
+	}
 	workerTaskSeconds.Observe(time.Since(start).Seconds())
 	workerTasks.With("ok").Inc()
-	return c.send(message{Type: "result", TaskID: taskID, Attempt: attempt, Partial: partial}, 30*time.Second) == nil
+	return c.send(message{Type: "result", TaskID: taskID, Attempt: attempt, Partial: partial, Trace: trace, Spans: spans}, 30*time.Second) == nil
 }
 
 // Stop closes the connection and waits for the serve loop to exit. It is

@@ -20,8 +20,11 @@ func MetricsHandler(r *Registry) http.Handler {
 
 // HealthHandler serves a JSON health document. details, if non-nil, is
 // called per request and its entries are merged into the response next
-// to "status": "ok". encoding/json sorts map keys, so the document is
-// deterministic.
+// to "status": "ok". A details map may override "status": any value
+// other than "ok" marks the process degraded and the document is served
+// with 503 Service Unavailable (body included), so load balancers and
+// probes see the degradation without parsing JSON. encoding/json sorts
+// map keys, so the document is deterministic.
 func HealthHandler(details func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		doc := map[string]any{"status": "ok"}
@@ -31,6 +34,9 @@ func HealthHandler(details func() map[string]any) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if status, ok := doc["status"].(string); ok && status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		_ = json.NewEncoder(w).Encode(doc)
 	})
 }

@@ -1,0 +1,449 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A strict parser for the Prometheus text exposition format (0.0.4),
+// covering exactly the dialect WritePrometheus emits. It exists so the
+// scrape surface can be validated end to end — not just "some text came
+// back" but every contract a real scraper relies on: syntactically valid
+// lines, TYPE declared before samples, correct label escaping,
+// deterministic family and child ordering, and the histogram invariants
+// (ascending bounds, monotone cumulative counts, +Inf == _count, _sum
+// and _count present). Any violation is a parse error, never a silent
+// skip.
+
+// PromSample is one scraped series: a metric name, its label pairs in
+// exposition order, and the value.
+type PromSample struct {
+	Name   string
+	Labels [][2]string
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s PromSample) Label(name string) string {
+	for _, kv := range s.Labels {
+		if kv[0] == name {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// key is the child-ordering key: label values joined in label order.
+func (s PromSample) key() string {
+	parts := make([]string, len(s.Labels))
+	for i, kv := range s.Labels {
+		parts[i] = kv[1]
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// PromFamily is one # TYPE block: the declared kind plus every sample
+// under it, in exposition order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// Sample returns the first sample with the given name and label subset
+// (every given pair must match; extra labels on the sample are fine).
+func (f PromFamily) Sample(name string, labels ...[2]string) (PromSample, bool) {
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for _, want := range labels {
+			if s.Label(want[0]) != want[1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return PromSample{}, false
+}
+
+// ParsePrometheus strictly parses one exposition document. It returns
+// the families in document order after validating syntax, ordering and
+// the per-kind invariants described above.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []PromFamily
+	var cur *PromFamily
+	pendingHelp := "" // HELP seen, waiting for its TYPE
+	pendingName := ""
+	lineNo := 0
+
+	flush := func() error {
+		if pendingName != "" {
+			return fmt.Errorf("obs: line %d: HELP for %q without a following TYPE", lineNo, pendingName)
+		}
+		if cur != nil {
+			if err := validateFamily(*cur); err != nil {
+				return err
+			}
+			fams = append(fams, *cur)
+			cur = nil
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			return nil, fmt.Errorf("obs: line %d: blank line in exposition", lineNo)
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("obs: line %d: malformed HELP line %q", lineNo, line)
+			}
+			if err := validMetricName(name); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			if err := validEscapes(help, false); err != nil {
+				return nil, fmt.Errorf("obs: line %d: HELP text: %w", lineNo, err)
+			}
+			pendingName, pendingHelp = name, help
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, kind := fields[0], fields[1]
+			if err := validMetricName(name); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, kind)
+			}
+			if pendingName != "" && pendingName != name {
+				return nil, fmt.Errorf("obs: line %d: HELP for %q followed by TYPE for %q", lineNo, pendingName, name)
+			}
+			help := pendingHelp
+			if pendingName == "" {
+				help = ""
+			}
+			pendingName, pendingHelp = "", ""
+			if cur != nil {
+				if err := validateFamily(*cur); err != nil {
+					return nil, err
+				}
+				fams = append(fams, *cur)
+			}
+			cur = &PromFamily{Name: name, Help: help, Type: kind}
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("obs: line %d: unexpected comment %q", lineNo, line)
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("obs: line %d: sample %q before any TYPE declaration", lineNo, line)
+			}
+			s, err := parsePromSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			if !sampleBelongs(cur.Name, cur.Type, s.Name) {
+				return nil, fmt.Errorf("obs: line %d: sample %q under TYPE %q", lineNo, s.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan exposition: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i].Name <= fams[i-1].Name {
+			return nil, fmt.Errorf("obs: families out of order: %q after %q", fams[i].Name, fams[i-1].Name)
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is legal under a family:
+// the family name itself, or for histograms its _bucket/_sum/_count
+// series.
+func sampleBelongs(family, kind, sample string) bool {
+	if sample == family {
+		return kind != "histogram"
+	}
+	if kind == "histogram" {
+		switch sample {
+		case family + "_bucket", family + "_sum", family + "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// parseSample parses `name{k="v",...} value` with strict label escaping.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if err := validMetricName(s.Name); err != nil {
+		return s, err
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if line[i] == '}' {
+				if len(s.Labels) == 0 {
+					return s, fmt.Errorf("empty label set in %q", line)
+				}
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return s, fmt.Errorf("label without '=' in %q", line)
+			}
+			lname := line[i:j]
+			if err := validMetricName(lname); err != nil {
+				return s, err
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("label %q value is not quoted in %q", lname, line)
+			}
+			val, next, err := parseQuoted(line, j+1)
+			if err != nil {
+				return s, err
+			}
+			s.Labels = append(s.Labels, [2]string{lname, val})
+			i = next
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			if i < len(line) && line[i] == '}' {
+				continue
+			}
+			return s, fmt.Errorf("expected ',' or '}' after label %q in %q", lname, line)
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	raw := line[i+1:]
+	if raw == "" || strings.ContainsAny(raw, " \t") {
+		return s, fmt.Errorf("malformed value %q in %q", raw, line)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable value %q in %q", raw, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseQuoted parses a double-quoted label value starting at the opening
+// quote, enforcing the exposition escape set (\\, \", \n only), and
+// returns the decoded value with the index just past the closing quote.
+func parseQuoted(line string, start int) (string, int, error) {
+	var sb strings.Builder
+	i := start + 1
+	for i < len(line) {
+		c := line[i]
+		switch c {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(line) {
+				return "", 0, fmt.Errorf("dangling backslash in %q", line)
+			}
+			switch line[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c in %q", line[i+1], line)
+			}
+			i += 2
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", line)
+}
+
+// validEscapes checks HELP-style escaped text: only \\ and \n (and for
+// label values also \") may follow a backslash.
+func validEscapes(s string, allowQuote bool) error {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return fmt.Errorf("dangling backslash in %q", s)
+		}
+		switch s[i+1] {
+		case '\\', 'n':
+		case '"':
+			if !allowQuote {
+				return fmt.Errorf("invalid escape \\\" in %q", s)
+			}
+		default:
+			return fmt.Errorf("invalid escape \\%c in %q", s[i+1], s)
+		}
+		i++
+	}
+	return nil
+}
+
+func validMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric or label name")
+	}
+	for i, c := range name {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return fmt.Errorf("invalid metric or label name %q", name)
+		}
+	}
+	return nil
+}
+
+// validateFamily enforces the per-kind invariants on one family block.
+func validateFamily(f PromFamily) error {
+	switch f.Type {
+	case "counter":
+		if err := checkChildOrder(f.Name, f.Samples); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if s.Value < 0 || math.IsNaN(s.Value) {
+				return fmt.Errorf("obs: counter %s%v has non-monotone value %g", s.Name, s.Labels, s.Value)
+			}
+		}
+	case "gauge":
+		if err := checkChildOrder(f.Name, f.Samples); err != nil {
+			return err
+		}
+	case "histogram":
+		return validateHistogram(f)
+	}
+	return nil
+}
+
+// checkChildOrder verifies children are strictly ordered by label values
+// (the writer sorts them), which also rules out duplicate series.
+func checkChildOrder(name string, samples []PromSample) error {
+	for i := 1; i < len(samples); i++ {
+		if samples[i].key() <= samples[i-1].key() {
+			return fmt.Errorf("obs: %s children out of order: %v after %v", name, samples[i].Labels, samples[i-1].Labels)
+		}
+	}
+	return nil
+}
+
+// validateHistogram checks each child's bucket run: ascending le bounds,
+// monotone cumulative counts, a final +Inf bucket, then _sum and _count
+// with +Inf == _count — in exactly that order, children sorted.
+func validateHistogram(f PromFamily) error {
+	i := 0
+	prevChild := ""
+	first := true
+	for i < len(f.Samples) {
+		var bounds []float64
+		var cum []float64
+		for i < len(f.Samples) && f.Samples[i].Name == f.Name+"_bucket" {
+			s := f.Samples[i]
+			le := s.Label("le")
+			if le == "" {
+				return fmt.Errorf("obs: %s_bucket without le label: %v", f.Name, s.Labels)
+			}
+			if got := s.Labels[len(s.Labels)-1][0]; got != "le" {
+				return fmt.Errorf("obs: %s_bucket le label not last: %v", f.Name, s.Labels)
+			}
+			ub := math.Inf(1)
+			if le != "+Inf" {
+				var err error
+				if ub, err = strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("obs: %s_bucket has unparseable le=%q", f.Name, le)
+				}
+			}
+			bounds = append(bounds, ub)
+			cum = append(cum, s.Value)
+			i++
+			if le == "+Inf" {
+				break
+			}
+		}
+		if len(bounds) == 0 {
+			return fmt.Errorf("obs: histogram %s child without buckets at sample %q", f.Name, f.Samples[i].Name)
+		}
+		if !math.IsInf(bounds[len(bounds)-1], 1) {
+			return fmt.Errorf("obs: histogram %s child missing the +Inf bucket", f.Name)
+		}
+		for b := 1; b < len(bounds); b++ {
+			if bounds[b] <= bounds[b-1] {
+				return fmt.Errorf("obs: histogram %s bucket bounds not ascending (%g after %g)", f.Name, bounds[b], bounds[b-1])
+			}
+			if cum[b] < cum[b-1] {
+				return fmt.Errorf("obs: histogram %s cumulative counts decrease (%g after %g)", f.Name, cum[b], cum[b-1])
+			}
+		}
+		if i >= len(f.Samples) || f.Samples[i].Name != f.Name+"_sum" {
+			return fmt.Errorf("obs: histogram %s child missing _sum after buckets", f.Name)
+		}
+		sum := f.Samples[i]
+		i++
+		if i >= len(f.Samples) || f.Samples[i].Name != f.Name+"_count" {
+			return fmt.Errorf("obs: histogram %s child missing _count after _sum", f.Name)
+		}
+		count := f.Samples[i]
+		i++
+		if count.Value != cum[len(cum)-1] {
+			return fmt.Errorf("obs: histogram %s +Inf bucket %g != _count %g", f.Name, cum[len(cum)-1], count.Value)
+		}
+		// The three series of one child must agree on the child labels.
+		childKey := sum.key()
+		if count.key() != childKey {
+			return fmt.Errorf("obs: histogram %s _sum and _count label mismatch", f.Name)
+		}
+		if !first && childKey <= prevChild {
+			return fmt.Errorf("obs: histogram %s children out of order: %q after %q", f.Name, childKey, prevChild)
+		}
+		first = false
+		prevChild = childKey
+	}
+	return nil
+}

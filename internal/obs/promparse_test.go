@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseText(t *testing.T, text string) []PromFamily {
+	t.Helper()
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, text)
+	}
+	return fams
+}
+
+// TestParsePrometheusRoundTrip: everything the registry writes — escaped
+// labels, multi-label children, histograms — must come back through the
+// strict parser with values and label order intact.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aaa_total", "plain counter").Add(3)
+	r.GaugeVec("bbb_gauge", "labelled gauge", "job", "mode").With("word\ncount", `q"\x`).Set(-1.5)
+	r.GaugeVec("bbb_gauge", "labelled gauge", "job", "mode").With("sort", "fast").Set(2)
+	h := r.HistogramVec("ccc_seconds", "latency", []float64{0.1, 1}, "op")
+	h.With("read").Observe(0.05)
+	h.With("read").Observe(0.5)
+	h.With("read").Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseText(t, sb.String())
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if fams[0].Name != "aaa_total" || fams[0].Type != "counter" || fams[0].Help != "plain counter" {
+		t.Fatalf("family 0 = %+v", fams[0])
+	}
+	if s, ok := fams[0].Sample("aaa_total"); !ok || s.Value != 3 {
+		t.Fatalf("aaa_total = %+v (ok=%v)", s, ok)
+	}
+	// The escaped label survives the round trip decoded.
+	if s, ok := fams[1].Sample("bbb_gauge", [2]string{"job", "word\ncount"}, [2]string{"mode", `q"\x`}); !ok || s.Value != -1.5 {
+		t.Fatalf("escaped-label gauge missing or wrong: %+v (ok=%v)", s, ok)
+	}
+	hist := fams[2]
+	if hist.Type != "histogram" {
+		t.Fatalf("ccc_seconds type %q", hist.Type)
+	}
+	if s, ok := hist.Sample("ccc_seconds_count", [2]string{"op", "read"}); !ok || s.Value != 3 {
+		t.Fatalf("histogram count = %+v (ok=%v)", s, ok)
+	}
+	if s, ok := hist.Sample("ccc_seconds_bucket", [2]string{"op", "read"}, [2]string{"le", "+Inf"}); !ok || s.Value != 3 {
+		t.Fatalf("+Inf bucket = %+v (ok=%v)", s, ok)
+	}
+}
+
+// TestParsePrometheusRejects: each broken document violates one
+// contract a scraper relies on and must fail with an error, never parse
+// loosely.
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"blank line", "# TYPE a counter\na 1\n\n"},
+		{"sample before TYPE", "a 1\n"},
+		{"HELP without TYPE", "# HELP a help text\na 1\n"},
+		{"HELP TYPE name mismatch", "# HELP a h\n# TYPE b counter\nb 1\n"},
+		{"unknown kind", "# TYPE a summary\na 1\n"},
+		{"bad metric name", "# TYPE 1a counter\n1a 1\n"},
+		{"foreign sample in family", "# TYPE a counter\nb 1\n"},
+		{"bare name under histogram", "# TYPE a histogram\na 1\n"},
+		{"unquoted label value", "# TYPE a counter\na{x=y} 1\n"},
+		{"unterminated label set", "# TYPE a counter\na{x=\"y\" 1\n"},
+		{"invalid escape", "# TYPE a counter\na{x=\"\\t\"} 1\n"},
+		{"missing value", "# TYPE a counter\na{x=\"y\"}\n"},
+		{"unparseable value", "# TYPE a counter\na pi\n"},
+		{"negative counter", "# TYPE a counter\na -1\n"},
+		{"NaN counter", "# TYPE a counter\na NaN\n"},
+		{"duplicate child", "# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n"},
+		{"children out of order", "# TYPE a gauge\na{x=\"2\"} 1\na{x=\"1\"} 2\n"},
+		{"families out of order", "# TYPE b counter\nb 1\n# TYPE a counter\na 1\n"},
+		{"duplicate family", "# TYPE a counter\na 1\n# TYPE a counter\na 2\n"},
+		{"histogram bucket without le", "# TYPE a histogram\na_bucket{x=\"1\"} 1\na_sum{x=\"1\"} 1\na_count{x=\"1\"} 1\n"},
+		{"histogram le not last", "# TYPE a histogram\na_bucket{le=\"1\",x=\"1\"} 1\na_bucket{le=\"+Inf\",x=\"1\"} 1\na_sum{x=\"1\"} 1\na_count{x=\"1\"} 1\n"},
+		{"histogram missing +Inf", "# TYPE a histogram\na_bucket{le=\"1\"} 1\na_sum 1\na_count 1\n"},
+		{"histogram bounds not ascending", "# TYPE a histogram\na_bucket{le=\"2\"} 1\na_bucket{le=\"1\"} 1\na_bucket{le=\"+Inf\"} 1\na_sum 1\na_count 1\n"},
+		{"histogram counts decrease", "# TYPE a histogram\na_bucket{le=\"1\"} 3\na_bucket{le=\"2\"} 2\na_bucket{le=\"+Inf\"} 3\na_sum 1\na_count 3\n"},
+		{"histogram missing _sum", "# TYPE a histogram\na_bucket{le=\"+Inf\"} 1\na_count 1\n"},
+		{"histogram missing _count", "# TYPE a histogram\na_bucket{le=\"+Inf\"} 1\na_sum 1\n"},
+		{"histogram +Inf != count", "# TYPE a histogram\na_bucket{le=\"+Inf\"} 2\na_sum 1\na_count 3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", tc.name, tc.text)
+		}
+	}
+}
+
+// TestParsePrometheusAccepts: edge cases that are legal must parse —
+// empty document, family with no samples, gauge with special values,
+// multi-child histograms in child order.
+func TestParsePrometheusAccepts(t *testing.T) {
+	if fams := parseText(t, ""); len(fams) != 0 {
+		t.Fatalf("empty document parsed to %d families", len(fams))
+	}
+	fams := parseText(t, "# HELP a counts things\n# TYPE a counter\n")
+	if len(fams) != 1 || fams[0].Help != "counts things" || len(fams[0].Samples) != 0 {
+		t.Fatalf("sampleless family = %+v", fams[0])
+	}
+	fams = parseText(t, "# TYPE g gauge\ng -Inf\n")
+	if v := fams[0].Samples[0].Value; !math.IsInf(v, -1) {
+		t.Fatalf("gauge -Inf parsed to %g", v)
+	}
+	text := "# TYPE h histogram\n" +
+		"h_bucket{op=\"a\",le=\"1\"} 1\nh_bucket{op=\"a\",le=\"+Inf\"} 2\nh_sum{op=\"a\"} 3\nh_count{op=\"a\"} 2\n" +
+		"h_bucket{op=\"b\",le=\"1\"} 0\nh_bucket{op=\"b\",le=\"+Inf\"} 1\nh_sum{op=\"b\"} 9\nh_count{op=\"b\"} 1\n"
+	fams = parseText(t, text)
+	if len(fams[0].Samples) != 8 {
+		t.Fatalf("two-child histogram parsed to %d samples", len(fams[0].Samples))
+	}
+}
