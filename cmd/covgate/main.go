@@ -1,0 +1,136 @@
+// Command covgate turns the coverage step from report-only into a gate:
+// it reads `go tool cover -func` output on stdin, extracts the total
+// statement coverage, and fails when it dropped more than the allowed
+// number of percentage points below the committed baseline:
+//
+//	go test -covermode=atomic -coverprofile=coverage.out ./...
+//	go tool cover -func=coverage.out | covgate -baseline COVERAGE_baseline.txt -max-drop 2
+//
+// The baseline is a small committed text file (comment lines starting
+// with '#' plus one "total <percent>" line), so coverage history is
+// queryable from the git log alone — the same convention the benchmark
+// baseline (BENCH_ipsobench.json via benchjson) follows. Regenerate it
+// after a legitimate shift with:
+//
+//	go tool cover -func=coverage.out | covgate -baseline COVERAGE_baseline.txt -update
+//
+// The gate is asymmetric by design: a drop beyond the tolerance fails,
+// a rise only prints a hint to refresh the baseline. The tolerance
+// absorbs run-to-run jitter from timing-dependent paths (retry,
+// speculation, chaos) without letting a real coverage regression ride
+// in under it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("covgate", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "committed baseline file to gate against (required)")
+	maxDrop := fs.Float64("max-drop", 2, "allowed drop in percentage points before failing")
+	update := fs.Bool("update", false, "write the measured total to the baseline file instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		return fmt.Errorf("need -baseline <file>")
+	}
+	if *maxDrop < 0 {
+		return fmt.Errorf("-max-drop must be >= 0, got %g", *maxDrop)
+	}
+	got, err := parseCoverFunc(in)
+	if err != nil {
+		return err
+	}
+	if *update {
+		content := fmt.Sprintf("# Total statement coverage baseline; regenerate with:\n"+
+			"#   go tool cover -func=coverage.out | go run ./cmd/covgate -baseline %s -update\n"+
+			"total %.1f\n", *baseline, got)
+		if err := os.WriteFile(*baseline, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "baseline %s updated: total %.1f%%\n", *baseline, got)
+		return nil
+	}
+	want, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	switch {
+	case got < want-*maxDrop:
+		return fmt.Errorf("total coverage %.1f%% is %.1f points below the %.1f%% baseline (allowed drop %.1f)",
+			got, want-got, want, *maxDrop)
+	case got > want:
+		fmt.Fprintf(out, "coverage ok: %.1f%% vs %.1f%% baseline — improved; consider refreshing %s\n",
+			got, want, *baseline)
+	default:
+		fmt.Fprintf(out, "coverage ok: %.1f%% vs %.1f%% baseline (allowed drop %.1f)\n", got, want, *maxDrop)
+	}
+	return nil
+}
+
+// parseCoverFunc extracts the percentage from the "total:" row that
+// `go tool cover -func` prints last, e.g.
+//
+//	total:		(statements)	81.4%
+func parseCoverFunc(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	total, found := 0.0, false
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 2 || f[0] != "total:" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(f[len(f)-1], "%"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed total row %q: %w", sc.Text(), err)
+		}
+		total, found = v, true
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("no \"total:\" row on stdin — pipe `go tool cover -func` output in")
+	}
+	return total, nil
+}
+
+// readBaseline parses the committed baseline: '#' comments plus one
+// "total <percent>" line.
+func readBaseline(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 || strings.HasPrefix(f[0], "#") {
+			continue
+		}
+		if len(f) != 2 || f[0] != "total" {
+			return 0, fmt.Errorf("%s: malformed baseline line %q (want \"total <percent>\")", path, line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(f[1], "%"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: malformed baseline percent %q: %w", path, f[1], err)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: no \"total <percent>\" line", path)
+}

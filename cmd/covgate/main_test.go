@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const coverFuncOut = `ipso/internal/core/laws.go:34:	Amdahl		100.0%
+ipso/internal/netmr/master.go:88:	withDefaults	92.3%
+total:			(statements)	81.4%
+`
+
+func writeBaseline(t *testing.T, percent string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "COVERAGE_baseline.txt")
+	content := "# comment line\ntotal " + percent + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := writeBaseline(t, "82.9")
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-max-drop", "2"}, strings.NewReader(coverFuncOut), &out); err != nil {
+		t.Fatalf("drop of 1.5 points within tolerance 2 failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "coverage ok") {
+		t.Errorf("output %q lacks the ok line", out.String())
+	}
+}
+
+func TestGateFailsBeyondTolerance(t *testing.T) {
+	base := writeBaseline(t, "84.0")
+	err := run([]string{"-baseline", base, "-max-drop", "2"}, strings.NewReader(coverFuncOut), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "below the 84.0% baseline") {
+		t.Fatalf("drop of 2.6 points past tolerance 2 got err=%v, want a baseline failure", err)
+	}
+}
+
+func TestGateHintsOnImprovement(t *testing.T) {
+	base := writeBaseline(t, "70.0")
+	var out strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(coverFuncOut), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "consider refreshing") {
+		t.Errorf("output %q lacks the refresh hint", out.String())
+	}
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "COVERAGE_baseline.txt")
+	var out strings.Builder
+	if err := run([]string{"-baseline", path, "-update"}, strings.NewReader(coverFuncOut), &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 81.4 {
+		t.Errorf("baseline after -update = %g, want 81.4", got)
+	}
+	// The written file must gate cleanly against the run that produced it.
+	if err := run([]string{"-baseline", path}, strings.NewReader(coverFuncOut), &strings.Builder{}); err != nil {
+		t.Errorf("freshly updated baseline fails its own run: %v", err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	base := writeBaseline(t, "80.0")
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"missing baseline flag", []string{}, coverFuncOut},
+		{"negative max-drop", []string{"-baseline", base, "-max-drop", "-1"}, coverFuncOut},
+		{"no total row", []string{"-baseline", base}, "nothing useful here\n"},
+		{"malformed total", []string{"-baseline", base}, "total:\t(statements)\tnot-a-number%\n"},
+		{"absent baseline file", []string{"-baseline", filepath.Join(t.TempDir(), "nope.txt")}, coverFuncOut},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args, strings.NewReader(tc.stdin), &strings.Builder{}); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	for _, content := range []string{"", "# only comments\n", "totals 80\n", "total eighty\n", "total 80 extra\n"} {
+		path := filepath.Join(t.TempDir(), "b.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readBaseline(path); err == nil {
+			t.Errorf("baseline %q accepted", content)
+		}
+	}
+}

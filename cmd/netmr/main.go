@@ -28,7 +28,12 @@
 // (0 = GOMAXPROCS) — arriving shard results are hash-split across P
 // folder goroutines while the map phase drains, and part-capable workers
 // ship results pre-split; -serialmerge restores the legacy
-// barrier-then-serial merge for before/after comparison.
+// barrier-then-serial merge for before/after comparison; -reducers R
+// promotes the fold to a distributed phase — reduce-capable workers
+// persist partitioned map output, fetch each other's partitions and fold
+// the R partitions themselves, leaving the master only the union of R
+// disjoint key spaces. Clusters without reduce-capable workers fall back
+// to the master-side merge transparently.
 //
 // Resilience knobs (master): -maxattempts bounds the retry budget per
 // shard lineage, -retrybase/-retrymax/-retryjitter/-retryseed shape the
@@ -129,6 +134,7 @@ func run(args []string, out io.Writer) error {
 	speculate := fs.Duration("speculate", 0, "master: straggler-check interval enabling speculative clones (0 = disabled)")
 	partitions := fs.Int("partitions", 0, "master: merge partition count P (0 = GOMAXPROCS, 1 = single partition)")
 	serialMerge := fs.Bool("serialmerge", false, "master: legacy barrier-then-serial merge (disables overlap and partitioning)")
+	reducers := fs.Int("reducers", 0, "master: distributed reduce tasks R run on workers (0 = merge on the master)")
 
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault injection seed (faults are byte-reproducible per seed)")
 	chaosLatency := fs.String("chaos-latency", "", "injected wire latency distribution (e.g. fixed:5ms, pareto:10ms,1.5,2s)")
@@ -162,7 +168,7 @@ func run(args []string, out io.Writer) error {
 			retryBase:   *retryBase, retryMax: *retryMax,
 			retryJitter: *retryJitter, retrySeed: *retrySeed,
 			speculate:  *speculate,
-			partitions: *partitions, serialMerge: *serialMerge,
+			partitions: *partitions, serialMerge: *serialMerge, reducers: *reducers,
 			chaos: injector,
 		})
 	case "worker":
@@ -229,6 +235,7 @@ type masterOptions struct {
 	speculate           time.Duration
 	partitions          int
 	serialMerge         bool
+	reducers            int
 	chaos               *chaos.Injector
 }
 
@@ -247,6 +254,7 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		SpeculationInterval: opts.speculate,
 		Partitions:          opts.partitions,
 		SerialMerge:         opts.serialMerge,
+		Reducers:            opts.reducers,
 		Trace:               opts.trace,
 		Chaos:               opts.chaos,
 	})
@@ -353,10 +361,28 @@ func printStats(out io.Writer, stats netmr.Stats) {
 		fmt.Fprintf(out, "speculations %d (wins %d), duplicates discarded %d, launches abandoned %d\n",
 			stats.Speculations, stats.SpecWins, stats.Duplicates, stats.Cancellations)
 	}
+	if stats.Reducers > 0 {
+		fmt.Fprintf(out, "reduce: %d task(s) on workers, %d map output(s) stored, %d relayed, %s shuffled, reduce wall %v\n",
+			stats.ReduceTasks, stats.MapOutputsStored, stats.MapOutputsRelayed,
+			formatBytes(stats.ShuffleBytes), stats.ReduceWall)
+	}
 	fmt.Fprintf(out, "split %v | merge %v (overlapped %v, %d partition(s), %d pre-partitioned) | total %v\n",
 		stats.SplitWall, stats.MergeWall, stats.MergeOverlapWall, stats.Partitions, stats.PrePartitioned, stats.TotalWall)
 	for _, w := range stats.PerWorker {
 		fmt.Fprintf(out, "worker %s: shards %d, reassignments %d, busy %v\n", w.ID, w.ShardsRun, w.Reassignments, w.Busy)
+	}
+}
+
+// formatBytes renders a byte count with a binary-unit suffix for the
+// shuffle-volume line.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
 	}
 }
 

@@ -62,6 +62,11 @@ type Grids struct {
 	LiveFitWorkers []int // livefit traced-cluster worker pool sizes
 	LiveFitLines   int   // livefit input size (lines)
 	LiveFitShards  int   // livefit shard count
+
+	DistReduceWorkers []int // distreduce worker pool sizes
+	DistReduceLines   int   // distreduce input size (lines)
+	DistReduceShards  int   // distreduce map shard count
+	DistReduceR       int   // distreduce reduce tasks R
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -119,6 +124,11 @@ func DefaultGrids(quick bool) Grids {
 		LiveFitWorkers: []int{1, 2, 4, 8},
 		LiveFitLines:   20000,
 		LiveFitShards:  16,
+
+		DistReduceWorkers: []int{1, 2, 4, 8},
+		DistReduceLines:   20000,
+		DistReduceShards:  16,
+		DistReduceR:       8,
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -134,6 +144,10 @@ func DefaultGrids(quick bool) Grids {
 		g.LiveFitWorkers = []int{1, 2, 3, 4}
 		g.LiveFitLines = 4000
 		g.LiveFitShards = 8
+		g.DistReduceWorkers = []int{1, 2, 4}
+		g.DistReduceLines = 4000
+		g.DistReduceShards = 8
+		g.DistReduceR = 4
 	}
 	return g
 }
@@ -429,6 +443,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return LiveFit(ctx, g.LiveFitWorkers, g.LiveFitLines, g.LiveFitShards)
+		}})
+	r.mustRegister(Experiment{ID: "distreduce", Title: "Distributed worker-side reduce: ε(n) with reduce on vs off", Measured: true,
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return DistReduce(ctx, g.DistReduceWorkers, g.DistReduceLines, g.DistReduceShards, g.DistReduceR)
 		}})
 	r.mustRegister(Experiment{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected", Deps: []string{DepMRSweeps},
 		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {

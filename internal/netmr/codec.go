@@ -27,15 +27,18 @@ import (
 //
 // The layout itself is versioned by capability: the base "bin" layout
 // ends after Batch, only peers that both negotiated "bin2" append the
-// Partitions/Parts fields, and only peers that further negotiated
-// "trace" append the Trace/Spans fields after those. Appending either
-// block unconditionally would make every frame undecodable ("trailing
-// bytes") to a peer running a previous binary codec, breaking rolling
-// upgrades of mixed-version clusters — the ext and trc flags on
-// appendFrame/decodeFrame are that negotiation, one consistent pair of
-// values per connection. The generations nest: trc is only ever
-// granted alongside ext, so the three layouts on the wire are base,
-// base+ext, and base+ext+trc.
+// Partitions/Parts fields, peers that further negotiated "trace" append
+// the Trace/Spans fields after those, and peers that negotiated
+// "reduce" append the Run/Reducers/Fetch/Bytes/Tasks/Locs fields last.
+// Appending any block unconditionally would make every frame
+// undecodable ("trailing bytes") to a peer running a previous binary
+// codec, breaking rolling upgrades of mixed-version clusters — the
+// ext/trc/red flags on appendFrame/decodeFrame are that negotiation,
+// one consistent tuple of values per connection. The trc and red blocks
+// are granted only alongside ext but independently of each other, so
+// the layouts on the wire are base, base+ext, base+ext+trc,
+// base+ext+red, and base+ext+trc+red — both sides derive the same
+// tuple from the same negotiated capability set.
 const maxFrameBytes = 1 << 26 // 64 MiB hard cap: larger prefixes are corruption
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -43,15 +46,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // frameTypes maps message type strings to their wire bytes. 0 is
 // reserved so a zeroed buffer never looks like a valid frame.
 var frameTypes = map[string]byte{
-	"hello":     1,
-	"helloack":  2,
-	"task":      3,
-	"result":    4,
-	"error":     5,
-	"ping":      6,
-	"pong":      7,
-	"taskbatch": 8,
-	"presult":   9,
+	"hello":       1,
+	"helloack":    2,
+	"task":        3,
+	"result":      4,
+	"error":       5,
+	"ping":        6,
+	"pong":        7,
+	"taskbatch":   8,
+	"presult":     9,
+	"reducetask":  10,
+	"fetch":       11,
+	"fetchresult": 12,
+	"mapdone":     13,
 }
 
 var frameNames = func() map[byte]string {
@@ -87,10 +94,12 @@ func appendStrings(b []byte, ss []string) []byte {
 // appendFrame appends the complete wire frame for m to dst. keys is a
 // reusable scratch slice for sorting Partial (may be nil); the grown
 // scratch is returned for reuse. ext selects the bin2 layout (trailing
-// Partitions/Parts fields) and trc the trace layout (trailing
-// Trace/Spans fields after those); an older layout cannot carry the
-// newer fields, so rather than silently dropping them the encode fails.
-func appendFrame(dst []byte, m *message, keys []string, ext, trc bool) ([]byte, []string, error) {
+// Partitions/Parts fields), trc the trace layout (trailing Trace/Spans
+// fields after those), and red the reduce layout (trailing
+// Run/Reducers/Fetch/Bytes/Tasks/Locs fields last); an older layout
+// cannot carry the newer fields, so rather than silently dropping them
+// the encode fails.
+func appendFrame(dst []byte, m *message, keys []string, ext, trc, red bool) ([]byte, []string, error) {
 	tb, ok := frameTypes[m.Type]
 	if !ok {
 		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
@@ -100,6 +109,9 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc bool) ([]byte, 
 	}
 	if !trc && (m.Trace != "" || len(m.Spans) > 0) {
 		return dst, keys, fmt.Errorf("netmr: frame %q carries trace fields but the peer did not negotiate %q", m.Type, capTrace)
+	}
+	if !red && (m.Run != "" || m.Reducers != 0 || m.Fetch != "" || m.Bytes != 0 || len(m.Tasks) > 0 || len(m.Locs) > 0) {
+		return dst, keys, fmt.Errorf("netmr: frame %q carries reduce fields but the peer did not negotiate %q", m.Type, capReduce)
 	}
 	// Reserve room for the length prefix after the body is built; encode
 	// the body at the end of dst and splice the prefix in front.
@@ -156,6 +168,24 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc bool) ([]byte, 
 			b = appendString(b, s.Phase)
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Start))
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.End))
+		}
+	}
+	if red {
+		b = appendString(b, m.Run)
+		b = binary.AppendVarint(b, int64(m.Reducers))
+		b = appendString(b, m.Fetch)
+		b = binary.AppendVarint(b, m.Bytes)
+		b = binary.AppendUvarint(b, uint64(len(m.Tasks)))
+		for _, t := range m.Tasks {
+			b = binary.AppendVarint(b, int64(t))
+		}
+		b = binary.AppendUvarint(b, uint64(len(m.Locs)))
+		for _, loc := range m.Locs {
+			b = appendString(b, loc.Addr)
+			b = binary.AppendUvarint(b, uint64(len(loc.Tasks)))
+			for _, t := range loc.Tasks {
+				b = binary.AppendVarint(b, int64(t))
+			}
 		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
@@ -284,12 +314,37 @@ func (r *frameReader) pairs() (map[string]float64, error) {
 	return out, nil
 }
 
+// ints decodes a varint list into a fresh slice (nil when empty).
+func (r *frameReader) ints() ([]int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry costs at least one byte, so a count larger than the
+	// remaining bytes is corruption, not a huge allocation.
+	if n > uint64(len(r.s)-r.off) {
+		return nil, fmt.Errorf("netmr: int list of %d entries overruns frame", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
 // decodeFrame parses one checksummed body into m, reusing m.Records' and
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
-// on the master). ext selects the bin2 layout and trc the trace layout,
-// mirroring appendFrame.
-func decodeFrame(body []byte, m *message, ext, trc bool) error {
+// on the master). ext selects the bin2 layout, trc the trace layout and
+// red the reduce layout, mirroring appendFrame.
+func decodeFrame(body []byte, m *message, ext, trc, red bool) error {
 	if len(body) < 5 { // type byte + CRC
 		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
 	}
@@ -431,6 +486,44 @@ func decodeFrame(body []byte, m *message, ext, trc bool) error {
 				m.Spans[i].Start = math.Float64frombits(u64at(r.s, r.off))
 				m.Spans[i].End = math.Float64frombits(u64at(r.s, r.off+8))
 				r.off += 16
+			}
+		}
+	}
+	if red {
+		if m.Run, err = r.string(); err != nil {
+			return err
+		}
+		if v, err = r.varint(); err != nil {
+			return err
+		}
+		m.Reducers = int(v)
+		if m.Fetch, err = r.string(); err != nil {
+			return err
+		}
+		if m.Bytes, err = r.varint(); err != nil {
+			return err
+		}
+		if m.Tasks, err = r.ints(); err != nil {
+			return err
+		}
+		nlocs, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Each loc costs at least its addr length byte plus a task count
+		// byte.
+		if nlocs > uint64(len(r.s)-r.off) {
+			return fmt.Errorf("netmr: loc list of %d entries overruns frame", nlocs)
+		}
+		if nlocs > 0 {
+			m.Locs = make([]fetchLoc, nlocs)
+			for i := range m.Locs {
+				if m.Locs[i].Addr, err = r.string(); err != nil {
+					return err
+				}
+				if m.Locs[i].Tasks, err = r.ints(); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -51,12 +51,29 @@ func codecMessages() []message {
 		{Type: "presult", TaskID: 7, Trace: "", Spans: []spanSummary{{Phase: "encode", Start: 1, End: 1}}, Parts: []partitionPartial{
 			{ID: 0, Partial: map[string]float64{"a": 1}},
 		}},
+		{Type: "hello", ID: "127.0.0.1:5556", Jobs: []string{"wc"}, Caps: []string{"bin", "bin2", "reduce"}, Fetch: "127.0.0.1:7001"},
+		{Type: "helloack", Caps: []string{"bin", "bin2", "reduce"}, Reducers: 4},
+		{Type: "task", Job: "wc", TaskID: 2, Records: []string{"persist me"}, Run: "wc#1"},
+		{Type: "mapdone", TaskID: 2, Attempt: 1, Run: "wc#1"},
+		{Type: "reducetask", Job: "wc", TaskID: 1, Attempt: 0, Run: "wc#1",
+			Locs: []fetchLoc{
+				{Addr: "127.0.0.1:7001", Tasks: []int{0, 2}},
+				{Addr: "127.0.0.1:7002", Tasks: []int{1}},
+				{Addr: "", Tasks: nil},
+			},
+			Parts: []partitionPartial{{ID: 3, Partial: map[string]float64{"relayed": 1}}}},
+		{Type: "fetch", Run: "wc#1", TaskID: 0, Tasks: []int{0, 1, 2, -5}},
+		{Type: "fetchresult", TaskID: 0, Parts: []partitionPartial{
+			{ID: 0, Partial: map[string]float64{"a": 1}},
+			{ID: 2, Partial: nil},
+		}},
+		{Type: "result", TaskID: 1, Attempt: 2, Partial: map[string]float64{"folded": 9}, Bytes: 123456789},
 	}
 }
 
 func encodeBinary(t *testing.T, m message) []byte {
 	t.Helper()
-	frame, _, err := appendFrame(nil, &m, nil, true, true)
+	frame, _, err := appendFrame(nil, &m, nil, true, true, true)
 	if err != nil {
 		t.Fatalf("appendFrame(%+v): %v", m, err)
 	}
@@ -77,7 +94,7 @@ func frameBody(t testing.TB, frame []byte) []byte {
 func decodeBinary(t *testing.T, frame []byte) message {
 	t.Helper()
 	var m message
-	if err := decodeFrame(frameBody(t, frame), &m, true, true); err != nil {
+	if err := decodeFrame(frameBody(t, frame), &m, true, true, true); err != nil {
 		t.Fatalf("decodeFrame: %v", err)
 	}
 	return m
@@ -133,6 +150,17 @@ func normalize(m message) message {
 	if len(m.Spans) == 0 {
 		m.Spans = nil
 	}
+	if len(m.Tasks) == 0 {
+		m.Tasks = nil
+	}
+	if len(m.Locs) == 0 {
+		m.Locs = nil
+	}
+	for i := range m.Locs {
+		if len(m.Locs[i].Tasks) == 0 {
+			m.Locs[i].Tasks = nil
+		}
+	}
 	return m
 }
 
@@ -179,7 +207,7 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	var m message
 	for i, in := range codecMessages() {
 		frame := encodeBinary(t, in)
-		if err := decodeFrame(frameBody(t, frame), &m, true, true); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &m, true, true, true); err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(normalize(m), normalize(in)) {
@@ -188,38 +216,52 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	}
 }
 
+// codecGen names one binary layout generation: which capability-gated
+// field blocks its frames carry.
+type codecGen struct {
+	name          string
+	ext, trc, red bool
+}
+
+// codecGens is every layout a negotiated connection can land on (trc and
+// red both nest on ext and are independent of each other).
+func codecGens() []codecGen {
+	return []codecGen{
+		{"base", false, false, false},
+		{"bin2", true, false, false},
+		{"trace", true, true, false},
+		{"reduce", true, false, true},
+		{"trace+reduce", true, true, true},
+	}
+}
+
+// carries reports whether generation g's layout can represent m.
+func (g codecGen) carries(m message) bool {
+	if !g.ext && (m.Partitions != 0 || len(m.Parts) > 0) {
+		return false
+	}
+	if !g.trc && (m.Trace != "" || len(m.Spans) > 0) {
+		return false
+	}
+	if !g.red && (m.Run != "" || m.Reducers != 0 || m.Fetch != "" || m.Bytes != 0 || len(m.Tasks) > 0 || len(m.Locs) > 0) {
+		return false
+	}
+	return true
+}
+
 // TestBinaryCodecLegacyLayout pins the layout negotiation that keeps
-// mixed-version binary clusters decodable across all three generations
-// (base, base+ext, base+ext+trc): each generation must produce and
-// accept exactly its own layout, refuse to encode frames whose fields
-// need a newer one, and any layout mismatch between encoder and decoder
-// must error instead of mis-decoding.
+// mixed-version binary clusters decodable across all five generations
+// (base, +ext, +ext+trc, +ext+red, +ext+trc+red): each generation must
+// produce and accept exactly its own layout, refuse to encode frames
+// whose fields need a newer one, and any layout mismatch between encoder
+// and decoder must error instead of mis-decoding.
 func TestBinaryCodecLegacyLayout(t *testing.T) {
-	gens := []struct {
-		name     string
-		ext, trc bool
-	}{
-		{"base", false, false},
-		{"bin2", true, false},
-		{"trace", true, true},
-	}
-	carries := func(g struct {
-		name     string
-		ext, trc bool
-	}, m message) bool {
-		if !g.ext && (m.Partitions != 0 || len(m.Parts) > 0) {
-			return false
-		}
-		if !g.trc && (m.Trace != "" || len(m.Spans) > 0) {
-			return false
-		}
-		return true
-	}
+	gens := codecGens()
 	for _, m := range codecMessages() {
 		bodies := map[string][]byte{}
 		for _, g := range gens {
-			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc)
-			if !carries(g, m) {
+			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc, g.red)
+			if !g.carries(m) {
 				if err == nil {
 					t.Errorf("%s-layout encode of %q with newer-generation fields must fail, got none", g.name, m.Type)
 				}
@@ -230,7 +272,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 			}
 			bodies[g.name] = frameBody(t, frame)
 			var out message
-			if err := decodeFrame(bodies[g.name], &out, g.ext, g.trc); err != nil {
+			if err := decodeFrame(bodies[g.name], &out, g.ext, g.trc, g.red); err != nil {
 				t.Fatalf("%s-layout decode %q: %v", g.name, m.Type, err)
 			}
 			if !reflect.DeepEqual(normalize(out), normalize(m)) {
@@ -250,7 +292,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 					continue
 				}
 				var out message
-				if err := decodeFrame(body, &out, dec.ext, dec.trc); err == nil {
+				if err := decodeFrame(body, &out, dec.ext, dec.trc, dec.red); err == nil {
 					t.Errorf("%s decoder accepted a %s-layout %q frame", dec.name, enc.name, m.Type)
 				}
 			}
@@ -269,7 +311,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 			mut := append([]byte(nil), body...)
 			mut[i] ^= 1 << bit
 			var out message
-			if err := decodeFrame(mut, &out, true, true); err == nil {
+			if err := decodeFrame(mut, &out, true, true, true); err == nil {
 				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
 			}
 		}
@@ -277,7 +319,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	// Truncations must be rejected too.
 	for i := 0; i < len(body); i++ {
 		var out message
-		if err := decodeFrame(body[:i], &out, true, true); err == nil {
+		if err := decodeFrame(body[:i], &out, true, true, true); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", i)
 		}
 	}
@@ -287,7 +329,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 // only decode or error.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil, true, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, true)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -303,18 +345,18 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		// Every layout generation must be panic-free on arbitrary input.
-		var legacy message
-		_ = decodeFrame(body, &legacy, false, false)
-		var ext message
-		_ = decodeFrame(body, &ext, true, false)
-		var m message
-		if err := decodeFrame(body, &m, true, true); err == nil {
-			// A frame that decodes must re-encode (unknown type bytes
-			// excepted: they decode to a "?N" placeholder for the
-			// ignore-unknown-frames path).
-			if _, ok := frameTypes[m.Type]; ok {
-				if _, _, err := appendFrame(nil, &m, nil, true, true); err != nil {
-					t.Fatalf("decoded frame failed to re-encode: %v", err)
+		for _, g := range codecGens() {
+			var out message
+			err := decodeFrame(body, &out, g.ext, g.trc, g.red)
+			if err != nil {
+				continue
+			}
+			// A frame that decodes must re-encode under the same layout
+			// (unknown type bytes excepted: they decode to a "?N"
+			// placeholder for the ignore-unknown-frames path).
+			if _, ok := frameTypes[out.Type]; ok {
+				if _, _, err := appendFrame(nil, &out, nil, g.ext, g.trc, g.red); err != nil {
+					t.Fatalf("%s-layout decoded frame failed to re-encode: %v", g.name, err)
 				}
 			}
 		}

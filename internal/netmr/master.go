@@ -77,8 +77,24 @@ type MasterConfig struct {
 	// SerialMerge restores the pre-partitioning merge: wait at the split
 	// barrier, then fold every partial through one goroutine. It exists
 	// to measure exactly what the overlapped merge buys (benchmarks diff
-	// the two) and as a conservative fallback.
+	// the two) and as a conservative fallback. It also disables the
+	// distributed reduce phase (Reducers).
 	SerialMerge bool
+
+	// Reducers, when positive, promotes reduce to a distributed phase
+	// with R = Reducers reduce tasks: reduce-capable workers persist
+	// their partitioned map output locally and answer with a payload-free
+	// mapdone, the master assigns the R partitions back to those workers
+	// as reduce tasks (scheduled through the same retry/backoff/
+	// speculation loop as map shards), and intermediate data flows
+	// worker→worker over fetch frames. Map results from v1/non-reduce
+	// workers are split on the master and relayed inline on the reduce
+	// task frames, so mixed clusters still merge byte-identically. It
+	// forces Partitions = Reducers (the two phases must agree on the key
+	// hash space); a run that starts with no reduce-capable worker falls
+	// back to the master-side merge engine transparently. Zero (the
+	// default) keeps the reduce on the master.
+	Reducers int
 
 	// MaxTaskBatch caps how many ready shards one dispatch may pack
 	// into a single taskbatch frame for a worker that negotiated the
@@ -152,6 +168,15 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.SerialMerge {
 		c.Partitions = 1
+		c.Reducers = 0
+	}
+	if c.Reducers < 0 {
+		c.Reducers = 0
+	}
+	if c.Reducers > 0 {
+		// The reduce partition space is the merge partition space: workers
+		// pre-split by it either way, and the relay fallback buckets by it.
+		c.Partitions = c.Reducers
 	}
 	return c
 }
@@ -227,9 +252,9 @@ type Stats struct {
 	Partitions       int           // merge partitions (folder goroutines)
 	Completed        int           // shards that delivered a result
 	PrePartitioned   int           // winning results that arrived pre-split by a worker
-	Reassignments    int           // shards requeued (with backoff) after a launch failure
+	Reassignments    int           // tasks requeued (with backoff) after a launch failure
 	Speculations     int           // speculative clones launched for stragglers
-	SpecWins         int           // shards won by a speculative clone
+	SpecWins         int           // tasks won by a speculative clone
 	Duplicates       int           // late sibling results discarded after completion
 	Cancellations    int           // in-flight launches abandoned at exit or cancellation
 	SplitWall        time.Duration // scatter + parallel map (barrier to barrier)
@@ -237,13 +262,25 @@ type Stats struct {
 	MergeOverlapWall time.Duration // fold time spent before the barrier, hidden under the map wave
 	TotalWall        time.Duration // end-to-end wall, measured (not derived)
 	PerWorker        []WorkerStats // per-worker breakdown, sorted by ID
+
+	// Distributed-reduce accounts, all zero when the run merged on the
+	// master (Reducers unset, SerialMerge, or no reduce-capable worker
+	// present at job start — the transparent fallback).
+	Reducers          int           // reduce tasks the run distributed (R)
+	ReduceTasks       int           // reduce tasks that delivered a partition result
+	MapOutputsStored  int           // winning map outputs persisted worker-side for peer fetches
+	MapOutputsRelayed int           // winning map outputs split on the master and relayed inline
+	ShuffleBytes      int64         // intermediate bytes reducers fetched worker-to-worker
+	ReduceWall        time.Duration // reduce phase wall (split barrier to last reduce result)
 }
 
 type workerHandle struct {
-	id    string
-	c     *conn
-	batch bool // worker negotiated multi-shard taskbatch frames
-	trace bool // worker negotiated span-summary reporting
+	id     string
+	c      *conn
+	batch  bool   // worker negotiated multi-shard taskbatch frames
+	trace  bool   // worker negotiated span-summary reporting
+	reduce bool   // worker negotiated the distributed reduce phase
+	fetch  string // shuffle listener address of a reduce-capable worker
 }
 
 // Master coordinates a pool of connected workers.
@@ -252,15 +289,17 @@ type Master struct {
 	registry *Registry
 	metrics  *masterMetrics
 
-	ln      net.Listener
-	idle    chan *workerHandle
-	count   atomic.Int64
-	runMu   sync.Mutex // one Run at a time
-	closeMu sync.Mutex
-	closed  bool
-	hbStop  chan struct{}
-	hbDone  chan struct{}
-	obsSrv  *obs.Server
+	ln       net.Listener
+	idle     chan *workerHandle
+	count    atomic.Int64
+	redCount atomic.Int64 // admitted reduce-capable workers not yet lost
+	runSeq   atomic.Int64 // run ids for intermediate-output keying
+	runMu    sync.Mutex   // one Run at a time
+	closeMu  sync.Mutex
+	closed   bool
+	hbStop   chan struct{}
+	hbDone   chan struct{}
+	obsSrv   *obs.Server
 
 	// Health state surfaced on /healthz: evicted counts workers dropped
 	// since the last clean Run, degraded marks a Run that had to lean on
@@ -394,6 +433,14 @@ func (m *Master) admit(raw net.Conn) {
 	if m.cfg.Trace && offered[capTrace] && (!offered[capBinary] || offered[capBinaryExt]) {
 		accepted = append(accepted, capTrace)
 	}
+	// Distributed reduce follows the same wire-shape rule again (its
+	// fields ride a further layout block on bin2) and additionally needs
+	// the worker to have a reachable shuffle listener — a reduce grant
+	// without a fetch address would strand its stored map outputs.
+	if m.cfg.Reducers > 0 && offered[capReduce] && hello.Fetch != "" &&
+		(!offered[capBinary] || offered[capBinaryExt]) {
+		accepted = append(accepted, capReduce)
+	}
 	if len(accepted) > 0 {
 		// If the helloack does not go out (e.g. an injected drop), the
 		// worker never hears of the upgrade — admit the connection on
@@ -402,8 +449,11 @@ func (m *Master) admit(raw net.Conn) {
 		// dispatch and is dropped there.
 		ack := message{Type: "helloack", Caps: accepted}
 		for _, a := range accepted {
-			if a == capPartition {
+			switch a {
+			case capPartition:
 				ack.Partitions = m.cfg.Partitions
+			case capReduce:
+				ack.Reducers = m.cfg.Reducers
 			}
 		}
 		if err := c.send(ack, 10*time.Second); err == nil {
@@ -418,6 +468,10 @@ func (m *Master) admit(raw net.Conn) {
 				case capTrace:
 					c.trc = true
 					w.trace = true
+				case capReduce:
+					c.red = true
+					w.reduce = true
+					w.fetch = hello.Fetch
 				}
 			}
 		}
@@ -430,6 +484,9 @@ func (m *Master) admit(raw net.Conn) {
 	select {
 	case m.idle <- w:
 		m.count.Add(1)
+		if w.reduce {
+			m.redCount.Add(1)
+		}
 		m.metrics.workersJoined.Inc()
 		m.metrics.workers.Set(float64(m.count.Load()))
 	default:
@@ -443,6 +500,9 @@ func (m *Master) admit(raw net.Conn) {
 func (m *Master) dropWorker(w *workerHandle) {
 	_ = w.c.close()
 	m.count.Add(-1)
+	if w.reduce {
+		m.redCount.Add(-1)
+	}
 	m.evicted.Add(1)
 	m.metrics.workersLost.Inc()
 	m.metrics.workers.Set(float64(m.count.Load()))
@@ -585,16 +645,22 @@ func (l *perWorkerLedger) snapshot() []WorkerStats {
 }
 
 // launchDone is a successful launch's report back to the Run loop: a
-// flat partial (result frame) or a worker-partitioned one (presult —
+// flat partial (result frame), a worker-partitioned one (presult —
 // recorded in prepart, since the frame type is the ledger's ground
-// truth for who actually pre-split).
+// truth for who actually pre-split), or a persisted one (mapdone — the
+// payload stayed on the worker, whose shuffle address rides along). The
+// reduce phase reuses the same struct for its partition results, with
+// bytes carrying the shuffle volume the reducer reported.
 type launchDone struct {
-	task    shardTask
-	partial map[string]float64
-	parts   []partitionPartial
-	prepart bool
-	elapsed time.Duration
-	launch  int // trace launch ordinal, -1 when the run is untraced
+	task      shardTask
+	partial   map[string]float64
+	parts     []partitionPartial
+	prepart   bool
+	stored    bool
+	fetchAddr string
+	bytes     int64
+	elapsed   time.Duration
+	launch    int // trace launch ordinal, -1 when the run is untraced
 }
 
 // launchFail is a failed launch's report, carrying the cause so budget
@@ -663,6 +729,21 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	ledger := newPerWorkerLedger()
 	defer func() { stats.PerWorker = ledger.snapshot() }()
 
+	// Distributed reduce engages only when configured and at least one
+	// reduce-capable worker is present right now; otherwise the run falls
+	// back to the master-side merge engine transparently (the output is
+	// byte-identical either way). The decision is taken once per run: a
+	// reduce worker joining mid-run simply is not leaned on this time.
+	useReduce := m.cfg.Reducers > 0 && m.redCount.Load() > 0
+	runID := fmt.Sprintf("%s#%d", jobName, m.runSeq.Add(1))
+	var mapLocs map[int]string     // map task id → winning worker's shuffle address
+	var relay [][]partitionPartial // reduce partition → relayed per-map-task partials
+	if useReduce {
+		stats.Reducers = m.cfg.Reducers
+		mapLocs = make(map[int]string, shards)
+		relay = make([][]partitionPartial, m.cfg.Reducers)
+	}
+
 	// The job trace opens a launch span at every dispatch and is sealed
 	// on every exit path, so no retry, speculation or cancellation
 	// ordering can leave a span open in the dump.
@@ -712,17 +793,24 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 		if trc != nil && w.trace {
 			traceID = trc.ID
 		}
+		// Only reduce-capable workers are told to persist (the Run stamp);
+		// everyone else ships results as before and the master relays them
+		// into the reduce tasks.
+		run := ""
+		if useReduce && w.reduce {
+			run = runID
+		}
 		start := time.Now()
 		var err error
 		if len(tasks) == 1 {
 			t := tasks[0]
-			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records, Trace: traceID}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records, Run: run, Trace: traceID}, m.cfg.TaskTimeout)
 		} else {
 			specs := make([]taskSpec, len(tasks))
 			for i, t := range tasks {
 				specs[i] = taskSpec{Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}
 			}
-			err = w.c.send(message{Type: "taskbatch", Batch: specs, Trace: traceID}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "taskbatch", Batch: specs, Run: run, Trace: traceID}, m.cfg.TaskTimeout)
 		}
 		acked := 0
 		prev := start
@@ -730,18 +818,22 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			t := tasks[acked]
 			var reply message
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
-			if err == nil && ((reply.Type != "result" && reply.Type != "presult") || reply.TaskID != t.id) {
-				err = fmt.Errorf("netmr: worker %s answered shard %d with %q (task %d)", w.id, t.id, reply.Type, reply.TaskID)
+			if err == nil {
+				okType := reply.Type == "result" || reply.Type == "presult" ||
+					(reply.Type == "mapdone" && run != "")
+				if !okType || reply.TaskID != t.id {
+					err = fmt.Errorf("netmr: worker %s answered shard %d with %q (task %d)", w.id, t.id, reply.Type, reply.TaskID)
+				}
 			}
 			if err == nil {
 				if reply.Type == "presult" {
 					err = validateParts(reply.Parts, m.cfg.Partitions)
 				} else {
-					// A flat result frame must not smuggle a partition
-					// payload past validateParts — the merge router
-					// indexes part ids, so an unvalidated one would
-					// panic it. Only presult parts were negotiated;
-					// drop anything else.
+					// A flat result or mapdone frame must not smuggle a
+					// partition payload past validateParts — the merge
+					// router indexes part ids, so an unvalidated one
+					// would panic it. Only presult parts were
+					// negotiated; drop anything else.
 					reply.Parts = nil
 				}
 				if !w.trace {
@@ -761,7 +853,12 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			if trc != nil {
 				trc.closeLaunch(launchOf(acked), outcomeOK, reply.Spans)
 			}
-			resultCh <- launchDone{task: t, partial: reply.Partial, parts: reply.Parts, prepart: reply.Type == "presult", elapsed: elapsed, launch: launchOf(acked)}
+			resultCh <- launchDone{
+				task: t, partial: reply.Partial, parts: reply.Parts,
+				prepart: reply.Type == "presult",
+				stored:  reply.Type == "mapdone", fetchAddr: w.fetch,
+				elapsed: elapsed, launch: launchOf(acked),
+			}
 			acked++
 		}
 		if err != nil {
@@ -790,13 +887,18 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 
 	// The merge runs as P partition folders fed while the map phase
 	// drains; SerialMerge instead buffers partials for the legacy
-	// barrier-then-merge pass. The deferred shutdown covers every error
-	// return so an abandoned job never leaks folder goroutines.
+	// barrier-then-merge pass; a distributed reduce replaces the engine
+	// entirely (map outputs either stay on workers or land in the relay
+	// buffers). The deferred shutdown covers every error return so an
+	// abandoned job never leaks folder goroutines.
 	var eng *mergeEngine
 	var partials []map[string]float64
-	if m.cfg.SerialMerge {
+	switch {
+	case useReduce:
+		// No master-side fold: the reduce phase after the barrier does it.
+	case m.cfg.SerialMerge:
 		partials = make([]map[string]float64, 0, shards)
-	} else {
+	default:
 		eng = newMergeEngine(job, m.cfg.Partitions, shards)
 		defer eng.shutdown()
 	}
@@ -911,7 +1013,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				// collides when speculation clones a lineage.
 				launches = make([]int, len(batch))
 				for i, t := range batch {
-					launches[i] = trc.openLaunch(t.id, t.attempts, w.id)
+					launches[i] = trc.openLaunch("task", t.id, t.attempts, w.id)
 				}
 			}
 			go dispatch(w, batch, launches)
@@ -937,13 +1039,34 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				m.metrics.specWins.Inc()
 			}
 			completedLat = append(completedLat, r.elapsed.Seconds())
-			if eng != nil {
+			switch {
+			case r.stored:
+				// The winning output is persisted on the worker; remember
+				// whose shuffle listener holds this map task's partitions.
+				mapLocs[r.task.id] = r.fetchAddr
+				stats.MapOutputsStored++
+				m.metrics.mapOutputs.With("stored").Inc()
+			case useReduce:
+				// A v1/non-reduce worker's output: split it by the reduce
+				// hash here and park each slice in its partition's relay
+				// buffer, to ride inline on the reduce task frame. Part
+				// workers arrive pre-split by R already (P = R).
+				if r.prepart {
+					stats.PrePartitioned++
+					m.metrics.partResults.Inc()
+				}
+				for _, p := range splitForRelay(r.parts, r.partial, m.cfg.Reducers) {
+					relay[p.ID] = append(relay[p.ID], partitionPartial{ID: r.task.id, Partial: p.Partial})
+				}
+				stats.MapOutputsRelayed++
+				m.metrics.mapOutputs.With("relayed").Inc()
+			case eng != nil:
 				if r.prepart {
 					stats.PrePartitioned++
 					m.metrics.partResults.Inc()
 				}
 				eng.feed(r.parts, r.partial)
-			} else {
+			default:
 				partials = append(partials, flatten(r.parts, r.partial))
 			}
 			stats.Completed++
@@ -1035,6 +1158,47 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 		stats.MergeOverlapWall = eng.overlapped()
 	}
 
+	// Reduce phase: the R partitions go back out to the reduce-capable
+	// workers as tasks; the per-key fold happens there, not here. What is
+	// left for the master's "merge" window afterwards is only the union of
+	// R disjoint key spaces — O(keys) map copies, no Reduce/Combine calls.
+	if useReduce {
+		_, reduceSpan := obs.StartSpan(ctx, "reduce")
+		finals, rerr := m.runReducePhase(ctx, jobName, runID, mapLocs, relay, &stats, ledger, trc, deadline.C)
+		reduceSpan.End()
+		reduceEnd := time.Now()
+		stats.ReduceWall = reduceEnd.Sub(barrier)
+		m.metrics.reduceSeconds.Observe(stats.ReduceWall.Seconds())
+		m.metrics.shuffleBytes.Add(float64(stats.ShuffleBytes))
+		if trc != nil {
+			trc.addPhase("reduce", barrier, reduceEnd)
+		}
+		if rerr != nil {
+			return nil, stats, rerr
+		}
+		_, mergeSpan := obs.StartSpan(ctx, "merge")
+		total := 0
+		for _, f := range finals {
+			total += len(f)
+		}
+		out := make(map[string]float64, total)
+		for _, f := range finals {
+			for k, v := range f {
+				out[k] = v
+			}
+		}
+		mergeSpan.End()
+		end := time.Now()
+		if trc != nil {
+			trc.addPhase("merge", reduceEnd, end)
+		}
+		stats.MergeWall = end.Sub(reduceEnd)
+		stats.TotalWall = end.Sub(splitStart)
+		m.metrics.mergeSeconds.Observe(stats.MergeWall.Seconds())
+		m.metrics.mergeWidth.Set(float64(m.cfg.Reducers))
+		return out, stats, nil
+	}
+
 	// Merge tail: the part of the merge left beyond the split barrier.
 	// With the engine most folding already happened under the map phase
 	// (MergeOverlapWall), so only the parallel finalize remains here. The
@@ -1064,6 +1228,31 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	m.metrics.mergeOverlap.Observe(stats.MergeOverlapWall.Seconds())
 	m.metrics.mergeWidth.Set(float64(m.cfg.Partitions))
 	return out, stats, nil
+}
+
+// splitForRelay hash-splits one non-persisted map output by the reduce
+// partition space. A pre-partitioned result (P = R in reduce mode) is
+// already in that space and passes through; a flat one is bucketed by the
+// same partitionIndex the workers use.
+func splitForRelay(parts []partitionPartial, whole map[string]float64, reducers int) []partitionPartial {
+	if parts != nil {
+		return parts
+	}
+	buckets := make([]map[string]float64, reducers)
+	for k, v := range whole {
+		p := partitionIndex(k, reducers)
+		if buckets[p] == nil {
+			buckets[p] = map[string]float64{}
+		}
+		buckets[p][k] = v
+	}
+	out := make([]partitionPartial, 0, reducers)
+	for p, b := range buckets {
+		if b != nil {
+			out = append(out, partitionPartial{ID: p, Partial: b})
+		}
+	}
+	return out
 }
 
 // flatten collapses a pre-partitioned result back into one map for the

@@ -25,6 +25,10 @@ type masterMetrics struct {
 	mergePartition *obs.HistogramVec
 	mergeWidth     *obs.Gauge
 	partResults    *obs.Counter
+	reduceTasks    *obs.CounterVec
+	reduceSeconds  *obs.Histogram
+	shuffleBytes   *obs.Counter
+	mapOutputs     *obs.CounterVec
 	retries        *obs.Counter
 	backoffSeconds *obs.Histogram
 	speculations   *obs.Counter
@@ -69,6 +73,14 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 			"Merge partitions (folder goroutines) of the most recent job."),
 		partResults: r.Counter("netmr_partitioned_results_total",
 			"Winning shard results that arrived pre-partitioned by a worker."),
+		reduceTasks: r.CounterVec("netmr_reduce_tasks_total",
+			"Worker-side reduce task launches by outcome (ok or failed).", "status"),
+		reduceSeconds: r.Histogram("netmr_reduce_seconds",
+			"Distributed reduce phase wall time (split barrier to last reduce result).", nil),
+		shuffleBytes: r.Counter("netmr_shuffle_bytes_total",
+			"Intermediate bytes reducers fetched worker-to-worker."),
+		mapOutputs: r.CounterVec("netmr_map_outputs_total",
+			"Winning map outputs of reduce-mode jobs by placement (stored worker-side or relayed via the master).", "mode"),
 		retries: r.Counter("netmr_retries_total",
 			"Shards requeued with backoff after a launch failure."),
 		backoffSeconds: r.Histogram("netmr_retry_backoff_seconds",
@@ -87,9 +99,19 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 // Worker-side instruments, on the process default registry.
 var (
 	workerTasks = obs.Default().CounterVec("netmr_worker_tasks_total",
-		"Shards executed by this process's workers, by result (ok, unknown_job, or crashed).", "result")
+		"Tasks executed by this process's workers, by result (ok, unknown_job, fetch_failed, or crashed).", "result")
 	workerTaskSeconds = obs.Default().Histogram("netmr_worker_task_seconds",
 		"Map+combine execution time of one shard on a worker.", nil)
+	workerReduceSeconds = obs.Default().Histogram("netmr_worker_reduce_seconds",
+		"Fetch+fold execution time of one reduce task on a worker.", nil)
+	workerFetches = obs.Default().CounterVec("netmr_worker_fetches_total",
+		"Peer shuffle fetches issued by this process's reducers, by result (ok or failed).", "result")
+	workerFetchSeconds = obs.Default().Histogram("netmr_worker_fetch_seconds",
+		"Round-trip latency of one peer shuffle fetch.", nil)
+	workerShuffleBytes = obs.Default().Counter("netmr_worker_shuffle_bytes_total",
+		"Intermediate bytes this process's reducers fetched from peers.")
+	workerServes = obs.Default().CounterVec("netmr_worker_fetch_serves_total",
+		"Shuffle fetch requests served by this process's workers, by result (ok or rejected).", "result")
 	workerPings = obs.Default().Counter("netmr_worker_pings_total",
 		"Heartbeat pings answered by this process's workers.")
 )

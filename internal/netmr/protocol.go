@@ -35,39 +35,43 @@ import (
 	"time"
 )
 
-// capBinary, capBinaryExt, capBatch, capPartition and capTrace are the
-// capability tokens of the hello negotiation: the binary codec, its bin2
-// layout revision (the trailing Partitions/Parts frame fields — versioned
-// separately so a new peer talking to a previous-version binary peer
-// falls back to the layout that peer decodes), multi-shard task
-// batching, worker-side hash-partitioned results (the master's
-// helloack then carries the partition count the cluster agreed on), and
-// distributed tracing (the master stamps a trace context onto task
-// frames and the worker ships per-phase span summaries back on result
-// frames — a further trailing layout revision on binary connections,
-// versioned exactly like bin2 so untraced peers keep byte-identical
-// frames).
+// capBinary, capBinaryExt, capBatch, capPartition, capTrace and
+// capReduce are the capability tokens of the hello negotiation: the
+// binary codec, its bin2 layout revision (the trailing Partitions/Parts
+// frame fields — versioned separately so a new peer talking to a
+// previous-version binary peer falls back to the layout that peer
+// decodes), multi-shard task batching, worker-side hash-partitioned
+// results (the master's helloack then carries the partition count the
+// cluster agreed on), distributed tracing (the master stamps a trace
+// context onto task frames and the worker ships per-phase span
+// summaries back on result frames — a further trailing layout revision
+// on binary connections, versioned exactly like bin2 so untraced peers
+// keep byte-identical frames), and distributed reduce (the worker
+// persists partitioned map output, serves it to peer reducers over
+// fetch frames, and accepts reduce tasks — one more trailing layout
+// revision carrying the Run/Reducers/Fetch/Bytes/Tasks/Locs fields).
 const (
 	capBinary    = "bin"
 	capBinaryExt = "bin2"
 	capBatch     = "batch"
 	capPartition = "part"
 	capTrace     = "trace"
+	capReduce    = "reduce"
 )
 
 // workerCaps is what a current worker advertises in its hello.
 func workerCaps() []string {
-	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace}
+	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce}
 }
 
 // message is the single wire frame: one JSON line in codec v1, one
 // length-prefixed binary frame in v2 (codec.go). The field set is
 // shared, so the two codecs round-trip the same struct.
 type message struct {
-	Type       string             `json:"type"`                 // hello | helloack | task | taskbatch | result | presult | error | ping | pong
+	Type       string             `json:"type"`                 // hello | helloack | task | taskbatch | result | presult | error | ping | pong | reducetask | fetch | fetchresult | mapdone
 	ID         string             `json:"id,omitempty"`         // hello: worker identity
 	Job        string             `json:"job,omitempty"`        // task
-	TaskID     int                `json:"task_id,omitempty"`    // task | result | presult | error
+	TaskID     int                `json:"task_id,omitempty"`    // task | result | presult | error; reducetask | fetch: reduce partition
 	Attempt    int                `json:"attempt,omitempty"`    // task | result | presult: retry ordinal, 0-based
 	Records    []string           `json:"records,omitempty"`    // task
 	Partial    map[string]float64 `json:"partial,omitempty"`    // result
@@ -76,9 +80,27 @@ type message struct {
 	Caps       []string           `json:"caps,omitempty"`       // hello: offered, helloack: accepted
 	Batch      []taskSpec         `json:"batch,omitempty"`      // taskbatch
 	Partitions int                `json:"partitions,omitempty"` // helloack: merge partition count when "part" was accepted
-	Parts      []partitionPartial `json:"parts,omitempty"`      // presult: per-partition partials
+	Parts      []partitionPartial `json:"parts,omitempty"`      // presult: per-partition partials; reducetask | fetchresult: per-map-task partials (ID is the map task id)
 	Trace      string             `json:"trace,omitempty"`      // task | taskbatch: job trace ID; result | presult: echoed back
 	Spans      []spanSummary      `json:"spans,omitempty"`      // result | presult: worker-side phase spans
+
+	// Distributed-reduce fields, carried only on connections that
+	// negotiated the "reduce" capability (a fourth trailing layout block
+	// on binary frames). The hello/helloack exchange is always JSON, so
+	// Fetch and Reducers need no layout versioning there.
+	Run      string     `json:"run,omitempty"`      // task | mapdone | reducetask | fetch: run id intermediate output is keyed by
+	Reducers int        `json:"reducers,omitempty"` // helloack: reduce partition count when "reduce" was accepted
+	Fetch    string     `json:"fetch,omitempty"`    // hello: worker's shuffle listener address
+	Bytes    int64      `json:"bytes,omitempty"`    // result (of a reduce task): intermediate bytes fetched
+	Tasks    []int      `json:"tasks,omitempty"`    // fetch: map task ids whose partition slice is wanted
+	Locs     []fetchLoc `json:"locs,omitempty"`     // reducetask: where winning map outputs are stored
+}
+
+// fetchLoc names one worker's shuffle listener and the map tasks whose
+// persisted output it holds — the reduce task's treasure map.
+type fetchLoc struct {
+	Addr  string `json:"addr"`
+	Tasks []int  `json:"tasks"`
 }
 
 // spanSummary is one worker-side phase interval shipped back piggybacked
@@ -123,12 +145,18 @@ type conn struct {
 	binary bool // codec v2 negotiated for both directions
 	binExt bool // bin2 layout (trailing partition fields) negotiated
 	trc    bool // trace layout (trailing Trace/Spans fields) negotiated
+	red    bool // reduce layout (trailing Run/…/Locs fields) negotiated
 
 	// lastDecode is the wire-decode cost of the most recent recv,
 	// measured only on traced connections: the worker charges it to the
 	// task's "decode" span so deserialization overhead is attributed
 	// instead of vanishing into RPC time.
 	lastDecode time.Duration
+
+	// lastFrameLen is the encoded size of the most recent recv (body
+	// bytes in binary mode, line bytes in JSON mode) — what a reducer
+	// charges to Stats.ShuffleBytes per fetched frame.
+	lastFrameLen int
 
 	keys    []string // sorted-Partial scratch for binary encode
 	body    []byte   // binary frame read buffer
@@ -155,7 +183,7 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		return nil
 	}
 	bufp := encBufPool.Get().(*[]byte)
-	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc, c.red)
 	c.keys = keys
 	if err == nil {
 		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
@@ -181,6 +209,7 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 		if err != nil {
 			return message{}, fmt.Errorf("netmr: recv: %w", err)
 		}
+		c.lastFrameLen = len(line)
 		var decodeStart time.Time
 		if c.trc {
 			decodeStart = time.Now()
@@ -208,11 +237,12 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 	if _, err := io.ReadFull(c.r, c.body); err != nil {
 		return message{}, fmt.Errorf("netmr: recv: %w", err)
 	}
+	c.lastFrameLen = len(c.body)
 	var decodeStart time.Time
 	if c.trc {
 		decodeStart = time.Now()
 	}
-	if err := decodeFrame(c.body, &c.scratch, c.binExt, c.trc); err != nil {
+	if err := decodeFrame(c.body, &c.scratch, c.binExt, c.trc, c.red); err != nil {
 		return message{}, err
 	}
 	if c.trc {
@@ -483,6 +513,8 @@ const (
 	spanCombine   = "combine"   // per-key reduction of buffered emissions
 	spanPartition = "partition" // hash-splitting keys into merge partitions
 	spanEncode    = "encode"    // building the wire-shape result maps
+	spanFetch     = "fetch"     // reduce task: pulling intermediate partitions from peers
+	spanReduce    = "reduce"    // reduce task: folding the fetched partials
 )
 
 // spanClock accumulates spanSummary intervals against a fixed epoch —

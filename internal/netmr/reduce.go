@@ -1,0 +1,295 @@
+package netmr
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Master-side scheduler of the distributed reduce phase: after the split
+// barrier the R partitions go back out to the reduce-capable workers as
+// reduce tasks, under the same retry/backoff/speculation discipline as
+// map shards. The master never folds a key here — its remaining job is
+// routing: telling each reducer where the winning map outputs live (the
+// fetch plan) and carrying the relayed slices of v1/non-reduce workers.
+
+// runReducePhase assigns the R reduce partitions to reduce-capable
+// workers and returns their folded partitions, indexed by partition id.
+// mapLocs records which worker's shuffle listener holds each winning map
+// output; relay carries the master-split outputs of non-persisting
+// workers, inlined on each partition's task frame. Non-reduce workers
+// drawn from the idle pool are parked for the duration and returned on
+// every exit path.
+func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapLocs map[int]string, relay [][]partitionPartial, stats *Stats, ledger *perWorkerLedger, trc *JobTrace, deadline <-chan time.Time) ([]map[string]float64, error) {
+	R := m.cfg.Reducers
+	// The fetch plan is the same for every partition: each holder address
+	// with the (sorted) map tasks it stores, addresses in stable order so
+	// every reducer gathers — and therefore folds — identically.
+	byAddr := make(map[string][]int, len(mapLocs))
+	for task, addr := range mapLocs {
+		byAddr[addr] = append(byAddr[addr], task)
+	}
+	addrs := make([]string, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	locs := make([]fetchLoc, 0, len(addrs))
+	for _, addr := range addrs {
+		tasks := byAddr[addr]
+		sort.Ints(tasks)
+		locs = append(locs, fetchLoc{Addr: addr, Tasks: tasks})
+	}
+
+	queue := make([]shardTask, 0, R)
+	for p := 0; p < R; p++ {
+		queue = append(queue, shardTask{id: p})
+	}
+	capacity := R * m.cfg.MaxAttempts * (1 + m.cfg.SpeculationMaxClones)
+	resultCh := make(chan launchDone, capacity)
+	failCh := make(chan launchFail, capacity)
+
+	// dispatchReduce ships one partition to a reduce worker and reports
+	// exactly once. Any reply that is not this partition's result — an
+	// error frame from a failed gather included — drops the worker, the
+	// same contract the map phase applies.
+	dispatchReduce := func(w *workerHandle, t shardTask, launch int) {
+		traceID := ""
+		if trc != nil && w.trace {
+			traceID = trc.ID
+		}
+		start := time.Now()
+		err := w.c.send(message{Type: "reducetask", Job: jobName, TaskID: t.id, Attempt: t.attempts, Run: runID, Locs: locs, Parts: relay[t.id], Trace: traceID}, m.cfg.TaskTimeout)
+		var reply message
+		if err == nil {
+			reply, err = w.c.recv(m.cfg.TaskTimeout)
+		}
+		if err == nil && (reply.Type != "result" || reply.TaskID != t.id) {
+			detail := reply.Message
+			if detail == "" {
+				detail = fmt.Sprintf("frame %q (task %d)", reply.Type, reply.TaskID)
+			}
+			err = fmt.Errorf("netmr: worker %s failed reduce partition %d: %s", w.id, t.id, detail)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			ledger.shardFailed(w.id, elapsed)
+			m.metrics.reassignments.With(w.id).Inc()
+			if trc != nil {
+				trc.closeLaunch(launch, outcomeFailed, nil)
+			}
+			failCh <- launchFail{task: t, err: err}
+			m.dropWorker(w)
+			return
+		}
+		if !w.trace {
+			reply.Spans = nil // only negotiated trace peers may report phases
+		}
+		m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
+		ledger.shardDone(w.id, elapsed)
+		if trc != nil {
+			trc.closeLaunch(launch, outcomeOK, reply.Spans)
+		}
+		resultCh <- launchDone{task: t, partial: reply.Partial, bytes: reply.Bytes, elapsed: elapsed, launch: launch}
+		m.idle <- w
+	}
+
+	finals := make([]map[string]float64, R)
+	inflight := make(map[int]*flight, R)
+	done := make(map[int]bool, R)
+	var completedLat []float64
+	pending := R
+
+	// Only reduce-capable workers can serve this phase; everyone else
+	// pulled from the idle pool parks here until the phase ends.
+	var parked []*workerHandle
+	defer func() {
+		for _, w := range parked {
+			m.idle <- w
+		}
+	}()
+
+	liveLaunches := func() int {
+		total := 0
+		for _, f := range inflight {
+			total += f.launches
+		}
+		return total
+	}
+	queuedShard := func(id int) bool {
+		for _, t := range queue {
+			if t.id == id {
+				return true
+			}
+		}
+		return false
+	}
+	abandon := func() {
+		if n := liveLaunches(); n > 0 {
+			stats.Cancellations += n
+			m.metrics.cancellations.Add(float64(n))
+		}
+	}
+
+	var specTick <-chan time.Time
+	if m.cfg.SpeculationInterval > 0 {
+		ticker := time.NewTicker(m.cfg.SpeculationInterval)
+		defer ticker.Stop()
+		specTick = ticker.C
+	}
+	wake := time.NewTimer(time.Hour)
+	if !wake.Stop() {
+		<-wake.C
+	}
+	defer wake.Stop()
+
+	for pending > 0 {
+		kept := queue[:0]
+		for _, t := range queue {
+			if !done[t.id] {
+				kept = append(kept, t)
+			}
+		}
+		queue = kept
+		now := time.Now()
+		readyIdx := -1
+		var earliest time.Time
+		for i, t := range queue {
+			if !t.readyAt.After(now) {
+				readyIdx = i
+				break
+			}
+			if earliest.IsZero() || t.readyAt.Before(earliest) {
+				earliest = t.readyAt
+			}
+		}
+		var idleCh chan *workerHandle
+		var wakeCh <-chan time.Time
+		if readyIdx >= 0 {
+			idleCh = m.idle
+		} else if !earliest.IsZero() {
+			if !wake.Stop() {
+				select {
+				case <-wake.C:
+				default:
+				}
+			}
+			wake.Reset(earliest.Sub(now))
+			wakeCh = wake.C
+		}
+
+		select {
+		case w := <-idleCh:
+			if !w.reduce {
+				parked = append(parked, w)
+				continue
+			}
+			t := queue[readyIdx]
+			queue = append(queue[:readyIdx], queue[readyIdx+1:]...)
+			f := inflight[t.id]
+			if f == nil {
+				f = &flight{}
+				inflight[t.id] = f
+			}
+			f.launches++
+			f.lastLaunch = time.Now()
+			launch := -1
+			if trc != nil {
+				launch = trc.openLaunch("rtask", t.id, t.attempts, w.id)
+			}
+			go dispatchReduce(w, t, launch)
+
+		case r := <-resultCh:
+			if f := inflight[r.task.id]; f != nil {
+				f.launches--
+			}
+			if done[r.task.id] {
+				stats.Duplicates++
+				m.metrics.duplicates.Inc()
+				if trc != nil && r.launch >= 0 {
+					trc.relabel(r.launch, outcomeDuplicate)
+				}
+				continue
+			}
+			done[r.task.id] = true
+			if r.task.speculative {
+				stats.SpecWins++
+				m.metrics.specWins.Inc()
+			}
+			completedLat = append(completedLat, r.elapsed.Seconds())
+			finals[r.task.id] = r.partial
+			stats.ReduceTasks++
+			stats.ShuffleBytes += r.bytes
+			m.metrics.reduceTasks.With("ok").Inc()
+			pending--
+
+		case fl := <-failCh:
+			f := inflight[fl.task.id]
+			if f != nil {
+				f.launches--
+			}
+			m.metrics.reduceTasks.With("failed").Inc()
+			if done[fl.task.id] {
+				continue // sibling already delivered; failure is moot
+			}
+			t := fl.task
+			t.attempts++
+			if t.attempts >= m.cfg.MaxAttempts {
+				if (f != nil && f.launches > 0) || queuedShard(t.id) {
+					continue
+				}
+				abandon()
+				return nil, fmt.Errorf("netmr: reduce partition %d failed %d times, retry budget exhausted: %w", t.id, t.attempts, fl.err)
+			}
+			if m.redCount.Load() == 0 && (f == nil || f.launches == 0) {
+				abandon()
+				return nil, fmt.Errorf("netmr: all reduce-capable workers lost with partition %d outstanding: %w", t.id, fl.err)
+			}
+			delay := backoffDelay(m.cfg.RetryBaseDelay, m.cfg.RetryMaxDelay, m.cfg.RetryJitter, m.cfg.RetrySeed, t.id, t.attempts)
+			m.metrics.retries.Inc()
+			m.metrics.backoffSeconds.Observe(delay.Seconds())
+			stats.Reassignments++
+			t.readyAt = time.Now().Add(delay)
+			queue = append(queue, t)
+
+		case <-specTick:
+			if len(completedLat) < m.cfg.SpeculationMinObservations {
+				continue
+			}
+			threshold := latencyQuantile(completedLat, m.cfg.SpeculationQuantile) * m.cfg.SpeculationMultiplier
+			now := time.Now()
+			ids := make([]int, 0, len(inflight))
+			for id := range inflight {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				f := inflight[id]
+				if done[id] || f.launches == 0 || f.clones >= m.cfg.SpeculationMaxClones {
+					continue
+				}
+				if now.Sub(f.lastLaunch).Seconds() < threshold {
+					continue
+				}
+				f.clones++
+				stats.Speculations++
+				m.metrics.speculations.Inc()
+				queue = append(queue, shardTask{id: id, speculative: true})
+			}
+
+		case <-wakeCh:
+			// A backoff matured; rescan the queue.
+
+		case <-ctx.Done():
+			abandon()
+			return nil, ctx.Err()
+
+		case <-deadline:
+			abandon()
+			return nil, fmt.Errorf("netmr: job timed out after %v", m.cfg.JobTimeout)
+		}
+	}
+	abandon()
+	return finals, nil
+}

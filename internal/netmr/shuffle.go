@@ -1,0 +1,317 @@
+package netmr
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Worker-side half of the distributed reduce phase: a reduce-capable
+// worker persists its partitioned map output in memory keyed by
+// (run, map task), serves it to peer reducers over fetch/fetchresult
+// frames on a dedicated shuffle listener, and executes reduce tasks by
+// pulling every map task's slice of its partition from those peers (or
+// from the master-relayed inline partials of v1/non-reduce peers) and
+// folding them — the OSDI'04 shape where reduce work scales with the
+// cluster instead of living in the master process.
+
+// shuffleTimeout bounds one fetch round-trip between workers.
+const shuffleTimeout = 30 * time.Second
+
+// interStore is a worker's in-memory intermediate store. It holds the
+// partitioned map output of exactly one run at a time: a task stored
+// under a new run id evicts everything from the previous run, so a
+// long-lived worker does not accumulate dead intermediates across jobs.
+// The serve goroutine writes; shuffle-server goroutines read
+// concurrently, hence the lock.
+type interStore struct {
+	mu       sync.Mutex
+	run      string
+	reducers int
+	tasks    map[int][]partitionPartial // map task id → per-partition partials
+}
+
+func newInterStore() *interStore {
+	return &interStore{tasks: map[int][]partitionPartial{}}
+}
+
+// setReducers publishes the helloack-granted reduce partition count to
+// the shuffle server goroutines (which validate fetch requests with it).
+func (s *interStore) setReducers(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reducers = r
+}
+
+// put stores one map task's partitioned output under run, evicting any
+// previous run's intermediates first.
+func (s *interStore) put(run string, task int, parts []partitionPartial) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.run != run {
+		s.run = run
+		clear(s.tasks)
+	}
+	s.tasks[task] = parts
+}
+
+// slice answers one fetch: partition's slice of every requested map
+// task, as per-map-task partials (ID is the map task id; a task that
+// emitted no keys into the partition contributes a nil Partial, which
+// still acknowledges the task is held). A mismatched run, an
+// out-of-range partition or an unknown task id is a request the serving
+// worker must refuse — not panic over — whatever a rogue or confused
+// reducer sends.
+func (s *interStore) slice(run string, partition int, tasks []int) ([]partitionPartial, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if run == "" || run != s.run {
+		return nil, fmt.Errorf("run %q is not held (current %q)", run, s.run)
+	}
+	if partition < 0 || partition >= s.reducers {
+		return nil, fmt.Errorf("partition %d out of range [0,%d)", partition, s.reducers)
+	}
+	out := make([]partitionPartial, 0, len(tasks))
+	for _, task := range tasks {
+		parts, ok := s.tasks[task]
+		if !ok {
+			return nil, fmt.Errorf("map output for task %d is not held", task)
+		}
+		var m map[string]float64
+		for _, p := range parts {
+			if p.ID == partition {
+				m = p.Partial
+				break
+			}
+		}
+		out = append(out, partitionPartial{ID: task, Partial: m})
+	}
+	return out, nil
+}
+
+// startFetchListener binds the worker's shuffle listener on an ephemeral
+// localhost port and serves fetch requests until the listener closes.
+// The returned address is what the worker advertises in its hello.
+func (w *Worker) startFetchListener() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("netmr: shuffle listen: %w", err)
+	}
+	w.mu.Lock()
+	w.fetchLn = ln
+	w.mu.Unlock()
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go w.serveFetch(raw)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serveFetch handles one reducer connection. Shuffle connections are
+// negotiation-free: only reduce-capable peers ever dial one, so both
+// ends speak the full binary layout (ext+red) unconditionally. A bad
+// request gets an error frame and the connection keeps serving — one
+// rogue fetch must not take the worker's other partitions down with it.
+func (w *Worker) serveFetch(raw net.Conn) {
+	c := newConn(raw)
+	c.binary, c.binExt, c.red = true, true, true
+	defer func() { _ = c.close() }()
+	for {
+		m, err := c.recv(shuffleTimeout)
+		if err != nil {
+			return // peer done (or garbage framing — either way, hang up)
+		}
+		if m.Type != "fetch" {
+			workerServes.With("rejected").Inc()
+			if c.send(message{Type: "error", Message: fmt.Sprintf("unexpected frame %q on shuffle connection", m.Type)}, shuffleTimeout) != nil {
+				return
+			}
+			continue
+		}
+		parts, err := w.store.slice(m.Run, m.TaskID, m.Tasks)
+		if err != nil {
+			workerServes.With("rejected").Inc()
+			if c.send(message{Type: "error", TaskID: m.TaskID, Message: err.Error()}, shuffleTimeout) != nil {
+				return
+			}
+			continue
+		}
+		workerServes.With("ok").Inc()
+		if c.send(message{Type: "fetchresult", TaskID: m.TaskID, Parts: parts}, shuffleTimeout) != nil {
+			return
+		}
+	}
+}
+
+// fetchPartition pulls partition's slice of the given map tasks from a
+// peer's shuffle listener, returning the per-task partials and the
+// encoded bytes transferred.
+func fetchPartition(addr, run string, partition int, tasks []int) ([]partitionPartial, int64, error) {
+	raw, err := net.DialTimeout("tcp", addr, shuffleTimeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("netmr: fetch dial %s: %w", addr, err)
+	}
+	c := newConn(raw)
+	c.binary, c.binExt, c.red = true, true, true
+	defer func() { _ = c.close() }()
+	if err := c.send(message{Type: "fetch", Run: run, TaskID: partition, Tasks: tasks}, shuffleTimeout); err != nil {
+		return nil, 0, err
+	}
+	reply, err := c.recv(shuffleTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch reply.Type {
+	case "fetchresult":
+		return reply.Parts, int64(c.lastFrameLen), nil
+	case "error":
+		return nil, 0, fmt.Errorf("netmr: fetch from %s refused: %s", addr, reply.Message)
+	default:
+		return nil, 0, fmt.Errorf("netmr: fetch from %s answered %q", addr, reply.Type)
+	}
+}
+
+// taskPartial pairs one map task id with its slice of the reduce
+// partition being assembled.
+type taskPartial struct {
+	task    int
+	partial map[string]float64
+}
+
+// runReduceTask executes one reduce task: gather the partition's slice
+// of every map task — master-relayed inline partials plus peer fetches
+// (the worker's own store is read directly, no loopback dial) — fold
+// them in ascending map-task order, and answer with a flat result frame
+// carrying the partition's final key space and the intermediate bytes
+// fetched. A gather failure is answered with an error frame: the master
+// treats it like any failed launch and reassigns the partition.
+func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
+	job, ok := w.registry.lookup(m.Job)
+	if !ok {
+		workerTasks.With("unknown_job").Inc()
+		_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, shuffleTimeout)
+		return true
+	}
+	if f := w.chaos.TaskFault("reduce", m.TaskID, m.Attempt); f.Delay > 0 || f.Crash {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Crash {
+			workerTasks.With("crashed").Inc()
+			return false
+		}
+	}
+	var clock *spanClock
+	var t time.Time
+	if w.traced {
+		clock, t = newSpanClock(decode)
+	}
+	start := time.Now()
+	inputs := make([]taskPartial, 0, len(m.Parts))
+	for _, p := range m.Parts {
+		// Master-relayed partials from v1/non-reduce peers: ID is the map
+		// task id here, not a partition index.
+		inputs = append(inputs, taskPartial{task: p.ID, partial: p.Partial})
+	}
+	var fetched int64
+	var gatherErr error
+	for _, loc := range m.Locs {
+		var parts []partitionPartial
+		if loc.Addr == w.fetchAddr {
+			// Our own store: read it directly instead of dialing ourselves.
+			parts, gatherErr = w.store.slice(m.Run, m.TaskID, loc.Tasks)
+		} else {
+			fetchStart := time.Now()
+			var n int64
+			parts, n, gatherErr = fetchPartition(loc.Addr, m.Run, m.TaskID, loc.Tasks)
+			workerFetchSeconds.Observe(time.Since(fetchStart).Seconds())
+			fetched += n
+			if gatherErr == nil {
+				workerFetches.With("ok").Inc()
+			} else {
+				workerFetches.With("failed").Inc()
+			}
+		}
+		if gatherErr != nil {
+			break
+		}
+		for _, p := range parts {
+			inputs = append(inputs, taskPartial{task: p.ID, partial: p.Partial})
+		}
+	}
+	if gatherErr != nil {
+		workerTasks.With("fetch_failed").Inc()
+		_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: gatherErr.Error()}, shuffleTimeout)
+		return true
+	}
+	workerShuffleBytes.Add(float64(fetched))
+	if clock != nil {
+		t = clock.mark(spanFetch, t)
+	}
+	// Deterministic fold order: ascending map task id, whatever order the
+	// relays and fetches arrived in.
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].task < inputs[j].task })
+	out := foldTaskPartials(job, inputs)
+	if clock != nil {
+		t = clock.mark(spanReduce, t)
+	}
+	workerReduceSeconds.Observe(time.Since(start).Seconds())
+	workerTasks.With("ok").Inc()
+	var spans []spanSummary
+	if clock != nil {
+		clock.mark(spanEncode, t)
+		spans = clock.spans
+	}
+	return c.send(message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: out, Bytes: fetched, Trace: m.Trace, Spans: spans}, shuffleTimeout) == nil
+}
+
+// foldTaskPartials merges per-map-task partials of one partition into
+// its final key space: a streaming fold for jobs with a Combine, a
+// group-then-Reduce for the rest — the same semantics as the master's
+// serialMerge, executed worker-side.
+func foldTaskPartials(job Job, inputs []taskPartial) map[string]float64 {
+	size := 0
+	for _, in := range inputs {
+		if len(in.partial) > size {
+			size = len(in.partial)
+		}
+	}
+	if job.Combine != nil {
+		out := make(map[string]float64, size)
+		for _, in := range inputs {
+			for k, v := range in.partial {
+				if acc, ok := out[k]; ok {
+					out[k] = job.Combine(acc, v)
+				} else {
+					out[k] = v
+				}
+			}
+		}
+		return out
+	}
+	merged := make(map[string]*[]float64, size)
+	for _, in := range inputs {
+		for k, v := range in.partial {
+			vs, ok := merged[k]
+			if !ok {
+				vs = valuesPool.Get().(*[]float64)
+				*vs = (*vs)[:0]
+				merged[k] = vs
+			}
+			*vs = append(*vs, v)
+		}
+	}
+	out := make(map[string]float64, len(merged))
+	for k, vs := range merged {
+		out[k] = job.Reduce(k, *vs)
+		valuesPool.Put(vs)
+	}
+	return out
+}

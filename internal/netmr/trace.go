@@ -31,10 +31,11 @@ const (
 
 // TraceSpan is one interval of the assembled job timeline, on the
 // master's clock (seconds since the job trace epoch). Launch-level spans
-// have Phase "task" and a unique Launch ordinal — (shard, attempt) alone
-// collides when a speculative clone restarts a lineage — with the
-// worker-reported sub-phases sharing that ordinal. Master-level phase
-// spans ("split", "merge") have Launch and Shard of -1.
+// have Phase "task" (a map shard) or "rtask" (a reduce partition) and a
+// unique Launch ordinal — (shard, attempt) alone collides when a
+// speculative clone restarts a lineage — with the worker-reported
+// sub-phases sharing that ordinal. Master-level phase spans ("split",
+// "reduce", "merge") have Launch and Shard of -1.
 type TraceSpan struct {
 	Launch  int     `json:"launch"`
 	Shard   int     `json:"task"`
@@ -82,9 +83,11 @@ func newJobTrace(job string, seq int) *JobTrace {
 func (t *JobTrace) since(at time.Time) float64 { return at.Sub(t.epoch).Seconds() }
 
 // openLaunch records a dispatch and returns the launch ordinal the
-// dispatch goroutine closes it with. Sealed traces refuse new launches
-// (a dispatch racing Run's return cannot resurrect the trace).
-func (t *JobTrace) openLaunch(shard, attempt int, worker string) int {
+// dispatch goroutine closes it with. phase is the launch kind — "task"
+// for a map shard, "rtask" for a reduce partition. Sealed traces refuse
+// new launches (a dispatch racing Run's return cannot resurrect the
+// trace).
+func (t *JobTrace) openLaunch(phase string, shard, attempt int, worker string) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.sealed {
@@ -94,7 +97,7 @@ func (t *JobTrace) openLaunch(shard, attempt int, worker string) int {
 	t.next++
 	t.open[id] = &TraceSpan{
 		Launch: id, Shard: shard, Attempt: attempt, Worker: worker,
-		Phase: "task", Start: t.since(time.Now()),
+		Phase: phase, Start: t.since(time.Now()),
 	}
 	return id
 }
@@ -205,13 +208,13 @@ func (t *JobTrace) OpenLaunches() int {
 	return len(t.open)
 }
 
-// Outcomes counts launch-level spans by outcome.
+// Outcomes counts launch-level spans (map and reduce) by outcome.
 func (t *JobTrace) Outcomes() map[string]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := map[string]int{}
 	for _, sp := range t.spans {
-		if sp.Phase == "task" {
+		if sp.Phase == "task" || sp.Phase == "rtask" {
 			out[sp.Outcome]++
 		}
 	}
@@ -289,7 +292,13 @@ func (t *JobTrace) DerivedStats() Stats {
 			s.SplitWall = time.Duration(sp.Duration() * float64(time.Second))
 		case "merge":
 			s.MergeWall = time.Duration(sp.Duration() * float64(time.Second))
-		case "task":
+		case "reduce":
+			// Master-level reduce phase only: a worker's "reduce" sub-span
+			// shares the name but rides a launch ordinal.
+			if sp.Launch < 0 {
+				s.ReduceWall = time.Duration(sp.Duration() * float64(time.Second))
+			}
+		case "task", "rtask":
 			if sp.Worker != "" {
 				workers[sp.Worker] = true
 			}
@@ -301,18 +310,23 @@ func (t *JobTrace) DerivedStats() Stats {
 }
 
 // PhaseBreakdown is the wall-clock attribution of one traced Run into
-// the IPSO phases, in seconds. The three headline accounts are exact by
-// construction: MaxTask + Ws + Wo = TotalWall, matching the parallel-
-// time denominator of the speedup derivation (Eq. 8 rearranged, as
-// core.SpeedupSweep consumes it). The remaining fields attribute where
-// Wo actually went.
+// the IPSO phases, in seconds. The headline accounts are exact by
+// construction: MaxTask + MaxReduce + Ws + Wo = TotalWall, matching the
+// parallel-time denominator of the speedup derivation (Eq. 8 rearranged,
+// as core.SpeedupSweep consumes it); MaxReduce is zero whenever the run
+// merged on the master. A distributed reduce moves the per-key fold out
+// of Ws and into Reduce — distributed Wp, paced by the slowest reduce
+// task — leaving Ws only the union of the R disjoint partition results.
+// The remaining fields attribute where Wo actually went.
 type PhaseBreakdown struct {
 	Workers int
 
-	Wp      float64 // Σ map+combine over winning launches (parallelizable compute)
-	Ws      float64 // merge tail beyond the split barrier (serial residue)
-	Wo      float64 // TotalWall − MaxTask − Ws: scale-out-induced overhead
-	MaxTask float64 // max per-winning-launch map+combine: measured E[max Tp,i]
+	Wp        float64 // Σ map+combine over winning launches (parallelizable compute)
+	Ws        float64 // merge tail beyond the split barrier (serial residue)
+	Wo        float64 // TotalWall − MaxTask − MaxReduce − Ws: scale-out-induced overhead
+	MaxTask   float64 // max per-winning-launch map+combine: measured E[max Tp,i]
+	Reduce    float64 // Σ worker-side fold over winning reduce launches (distributed Ws→Wp)
+	MaxReduce float64 // max per-winning-reduce-launch fold: the reduce wave's critical path
 
 	TotalWall float64
 
@@ -320,6 +334,7 @@ type PhaseBreakdown struct {
 	Decode    float64 // wire decode of task frames (winning launches)
 	Partition float64 // worker-side hash splitting (winning launches)
 	Encode    float64 // wire-shape result building (winning launches)
+	Fetch     float64 // reducer-side shuffle gathers (winning reduce launches)
 	RPCGap    float64 // winning launch round-trip time not covered by worker spans
 	Wasted    float64 // launch time of failed, duplicate and cancelled launches
 }
@@ -343,13 +358,15 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 	}
 
 	// Group worker sub-phases per launch, then account winning launches
-	// into Wp and the serialization phases, losing launches into Wasted.
+	// into Wp (map) or Reduce (rtask) and the serialization phases,
+	// losing launches into Wasted.
 	type launchAcc struct {
 		span    TraceSpan
-		compute float64 // map + combine
+		compute float64 // map + combine, or the reduce fold on an rtask
 		decode  float64
 		part    float64
 		encode  float64
+		fetch   float64
 		sub     float64 // all worker-reported time
 	}
 	accs := map[int]*launchAcc{}
@@ -367,9 +384,9 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		}
 		d := sp.Duration()
 		switch sp.Phase {
-		case "task":
+		case "task", "rtask":
 			acc.span = *sp
-		case spanMap, spanCombine:
+		case spanMap, spanCombine, spanReduce:
 			acc.compute += d
 			acc.sub += d
 		case spanDecode:
@@ -377,6 +394,9 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 			acc.sub += d
 		case spanPartition:
 			acc.part += d
+			acc.sub += d
+		case spanFetch:
+			acc.fetch += d
 			acc.sub += d
 		case spanEncode:
 			acc.encode += d
@@ -387,29 +407,37 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 
 	for _, acc := range accs {
 		launchWall := acc.span.Duration()
-		if acc.span.Outcome == outcomeOK {
-			compute := acc.compute
-			if acc.sub == 0 {
-				// No worker spans: the whole round trip is the best
-				// available stand-in for the task's compute.
-				compute = launchWall
+		if acc.span.Outcome != outcomeOK {
+			b.Wasted += launchWall
+			continue
+		}
+		compute := acc.compute
+		if acc.sub == 0 {
+			// No worker spans: the whole round trip is the best
+			// available stand-in for the task's compute.
+			compute = launchWall
+		}
+		if acc.span.Phase == "rtask" {
+			b.Reduce += compute
+			if compute > b.MaxReduce {
+				b.MaxReduce = compute
 			}
+		} else {
 			b.Wp += compute
 			if compute > b.MaxTask {
 				b.MaxTask = compute
 			}
-			b.Decode += acc.decode
-			b.Partition += acc.part
-			b.Encode += acc.encode
-			if gap := launchWall - acc.sub; gap > 0 && acc.sub > 0 {
-				b.RPCGap += gap
-			}
-		} else {
-			b.Wasted += launchWall
+		}
+		b.Decode += acc.decode
+		b.Partition += acc.part
+		b.Encode += acc.encode
+		b.Fetch += acc.fetch
+		if gap := launchWall - acc.sub; gap > 0 && acc.sub > 0 {
+			b.RPCGap += gap
 		}
 	}
 
-	b.Wo = b.TotalWall - b.MaxTask - b.Ws
+	b.Wo = b.TotalWall - b.MaxTask - b.MaxReduce - b.Ws
 	if b.Wo < 0 {
 		b.Wo = 0
 	}
@@ -439,7 +467,7 @@ func (t *JobTrace) WriteReport(w io.Writer, stats Stats) error {
 		switch {
 		case sp.Launch < 0:
 			phases = append(phases, sp)
-		case sp.Phase == "task":
+		case sp.Phase == "task" || sp.Phase == "rtask":
 			tasks = append(tasks, sp)
 		default:
 			subs[sp.Launch] = append(subs[sp.Launch], sp)
@@ -456,8 +484,12 @@ func (t *JobTrace) WriteReport(w io.Writer, stats Stats) error {
 		fmt.Fprintf(bw, "%-9s %s\n", sp.Phase, fmtWindow(sp))
 	}
 	for _, sp := range tasks {
-		fmt.Fprintf(bw, "launch %3d shard %3d attempt %d %-9s %s worker %s\n",
-			sp.Launch, sp.Shard, sp.Attempt, sp.Outcome, fmtWindow(sp), sp.Worker)
+		kind := "shard"
+		if sp.Phase == "rtask" {
+			kind = "rpart"
+		}
+		fmt.Fprintf(bw, "launch %3d %s %3d attempt %d %-9s %s worker %s\n",
+			sp.Launch, kind, sp.Shard, sp.Attempt, sp.Outcome, fmtWindow(sp), sp.Worker)
 		ss := subs[sp.Launch]
 		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
 		for _, sub := range ss {
@@ -468,6 +500,10 @@ func (t *JobTrace) WriteReport(w io.Writer, stats Stats) error {
 	b := t.Breakdown(stats)
 	fmt.Fprintf(bw, "phase accounting (n=%d): Wp %.3fms  Ws %.3fms  Wo %.3fms  max-task %.3fms  total %.3fms\n",
 		b.Workers, b.Wp*1e3, b.Ws*1e3, b.Wo*1e3, b.MaxTask*1e3, b.TotalWall*1e3)
+	if b.Reduce > 0 {
+		fmt.Fprintf(bw, "distributed reduce: Σfold %.3fms  max-rtask %.3fms  fetch %.3fms\n",
+			b.Reduce*1e3, b.MaxReduce*1e3, b.Fetch*1e3)
+	}
 	fmt.Fprintf(bw, "Wo attribution: decode %.3fms  partition %.3fms  encode %.3fms  rpc-gap %.3fms  wasted %.3fms\n",
 		b.Decode*1e3, b.Partition*1e3, b.Encode*1e3, b.RPCGap*1e3, b.Wasted*1e3)
 	if b.Wp > 0 && b.Workers > 0 {

@@ -369,7 +369,7 @@ func TestTraceCancellationClosesLaunches(t *testing.T) {
 		t.Fatalf("no cancelled launches in trace (outcomes %v)", outcomes)
 	}
 	// The sealed trace rejects further launches.
-	if id := trc.openLaunch(0, 0, "late"); id != -1 {
+	if id := trc.openLaunch("task", 0, 0, "late"); id != -1 {
 		t.Fatalf("sealed trace accepted launch %d", id)
 	}
 }

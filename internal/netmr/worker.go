@@ -32,6 +32,17 @@ type Worker struct {
 	// before any task arrives.
 	traced bool
 
+	// Distributed-reduce state: reducers is the reduce partition count
+	// granted in the helloack when the master accepted the "reduce"
+	// capability (written once by serve before any task arrives);
+	// fetchAddr is this worker's shuffle listener address (advertised in
+	// the hello) and store its intermediate map-output store, which the
+	// shuffle server goroutines read concurrently.
+	reducers  int
+	fetchAddr string
+	fetchLn   net.Listener
+	store     *interStore
+
 	mu      sync.Mutex
 	netConn net.Conn
 	stopped bool
@@ -54,7 +65,7 @@ func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
-	w := &Worker{registry: registry, scratch: newShardScratch(), caps: workerCaps(), done: make(chan struct{})}
+	w := &Worker{registry: registry, scratch: newShardScratch(), caps: workerCaps(), store: newInterStore(), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(w)
 	}
@@ -74,18 +85,43 @@ func (w *Worker) Start(masterAddr string) error {
 	// a specific worker.
 	id := raw.LocalAddr().String()
 	c := newConn(w.chaos.WrapConn("", raw))
+	// A reduce-capable worker needs a shuffle listener before the hello
+	// can advertise its address; if the listener cannot bind, the worker
+	// simply does not offer reduce rather than failing to start.
+	caps := w.caps
+	for _, offered := range caps {
+		if offered != capReduce {
+			continue
+		}
+		if addr, lnErr := w.startFetchListener(); lnErr == nil {
+			w.fetchAddr = addr
+		} else {
+			trimmed := make([]string, 0, len(caps)-1)
+			for _, o := range caps {
+				if o != capReduce {
+					trimmed = append(trimmed, o)
+				}
+			}
+			caps = trimmed
+		}
+		break
+	}
 	// The hello is always JSON; Caps advertises the binary codec and
 	// batching, which the master accepts with a helloack. A master that
 	// predates capabilities ignores the field and the connection simply
 	// stays on JSON.
-	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names(), Caps: w.caps}, 5*time.Second); err != nil {
+	if err := c.send(message{Type: "hello", ID: id, Jobs: w.registry.Names(), Caps: caps, Fetch: w.fetchAddr}, 5*time.Second); err != nil {
 		_ = c.close()
 		return err
 	}
 	w.mu.Lock()
 	if w.stopped {
+		ln := w.fetchLn
 		w.mu.Unlock()
 		_ = c.close()
+		if ln != nil {
+			_ = ln.Close()
+		}
 		return errors.New("netmr: worker already stopped")
 	}
 	w.netConn = raw
@@ -120,10 +156,14 @@ func (w *Worker) serve(c *conn) {
 				case capTrace:
 					c.trc = true
 					w.traced = true
+				case capReduce:
+					c.red = true
+					w.reducers = m.Reducers
+					w.store.setReducers(m.Reducers)
 				}
 			}
 		case "task":
-			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records, m.Trace, c.lastDecode) {
+			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records, m.Run, m.Trace, c.lastDecode) {
 				return
 			}
 		case "taskbatch":
@@ -134,10 +174,14 @@ func (w *Worker) serve(c *conn) {
 			decode := c.lastDecode
 			for i := range m.Batch {
 				spec := &m.Batch[i]
-				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records, m.Trace, decode) {
+				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records, m.Run, m.Trace, decode) {
 					return
 				}
 				decode = 0
+			}
+		case "reducetask":
+			if !w.runReduceTask(c, m, c.lastDecode) {
+				return
 			}
 		case "ping":
 			workerPings.Inc()
@@ -152,11 +196,14 @@ func (w *Worker) serve(c *conn) {
 
 // runTask executes one shard and reports its result (or error) to the
 // master. It returns false when the serve loop must exit: a send
-// failure or an injected crash. trace is the job trace ID stamped on
-// the task frame (echoed back on the result) and decode the wire-decode
-// cost of the frame that carried this shard; both are zero-valued on
-// untraced connections.
-func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string, trace string, decode time.Duration) bool {
+// failure or an injected crash. run, when non-empty, is the persist-mode
+// signal of a distributed-reduce job: the shard's output is partitioned
+// by the granted reducer count, stored for peer fetches, and only a
+// payload-free mapdone travels back. trace is the job trace ID stamped
+// on the task frame (echoed back on the result) and decode the
+// wire-decode cost of the frame that carried this shard; both are
+// zero-valued on untraced connections.
+func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string, run, trace string, decode time.Duration) bool {
 	job, ok := w.registry.lookup(jobName)
 	if !ok {
 		workerTasks.With("unknown_job").Inc()
@@ -175,6 +222,22 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		}
 	}
 	start := time.Now()
+	if run != "" && w.reducers > 0 {
+		// Persist mode: partition by the reduce count, keep the output
+		// local for the reduce phase, acknowledge with a mapdone. The
+		// shuffle bytes this keeps off the master are the whole point.
+		var parts []partitionPartial
+		var spans []spanSummary
+		if w.traced {
+			parts, spans = runShardPartitionedTraced(job, records, w.scratch, w.reducers, decode)
+		} else {
+			parts = runShardPartitioned(job, records, w.scratch, w.reducers)
+		}
+		w.store.put(run, taskID, parts)
+		workerTaskSeconds.Observe(time.Since(start).Seconds())
+		workerTasks.With("ok").Inc()
+		return c.send(message{Type: "mapdone", TaskID: taskID, Attempt: attempt, Run: run, Trace: trace, Spans: spans}, 30*time.Second) == nil
+	}
 	if w.partitions > 1 {
 		// The master granted the part capability: ship the result
 		// pre-split by key hash so the merge engine routes it straight to
@@ -210,7 +273,11 @@ func (w *Worker) Stop() {
 	already := w.stopped
 	w.stopped = true
 	nc := w.netConn
+	ln := w.fetchLn
 	w.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
 	if nc != nil {
 		nc.Close()
 	}
