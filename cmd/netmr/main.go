@@ -35,6 +35,13 @@
 // disjoint key spaces. Clusters without reduce-capable workers fall back
 // to the master-side merge transparently.
 //
+// Out-of-core shuffle knobs: -shuffle-timeout bounds one worker-to-worker
+// shuffle round-trip (on the master it is pushed cluster-wide via the
+// helloack; on a worker it is the local default until a master overrides
+// it); -spill-budget bounds the bytes of intermediate state a worker
+// keeps resident, spilling sorted runs to -spill-dir (default: the OS
+// temp dir) beyond it — 0 keeps everything in memory.
+//
 // Resilience knobs (master): -maxattempts bounds the retry budget per
 // shard lineage, -retrybase/-retrymax/-retryjitter/-retryseed shape the
 // capped exponential backoff, and -speculate enables straggler cloning
@@ -135,6 +142,9 @@ func run(args []string, out io.Writer) error {
 	partitions := fs.Int("partitions", 0, "master: merge partition count P (0 = GOMAXPROCS, 1 = single partition)")
 	serialMerge := fs.Bool("serialmerge", false, "master: legacy barrier-then-serial merge (disables overlap and partitioning)")
 	reducers := fs.Int("reducers", 0, "master: distributed reduce tasks R run on workers (0 = merge on the master)")
+	shuffleTimeout := fs.Duration("shuffle-timeout", 0, "worker-to-worker shuffle round-trip bound (0 = default 30s; the master pushes its value cluster-wide)")
+	spillBudget := fs.Int64("spill-budget", 0, "worker: resident bytes of intermediate state before spilling to disk (0 = never spill)")
+	spillDir := fs.String("spill-dir", "", "worker: scratch root for spill files (empty = OS temp dir)")
 
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault injection seed (faults are byte-reproducible per seed)")
 	chaosLatency := fs.String("chaos-latency", "", "injected wire latency distribution (e.g. fixed:5ms, pareto:10ms,1.5,2s)")
@@ -169,10 +179,13 @@ func run(args []string, out io.Writer) error {
 			retryJitter: *retryJitter, retrySeed: *retrySeed,
 			speculate:  *speculate,
 			partitions: *partitions, serialMerge: *serialMerge, reducers: *reducers,
-			chaos: injector,
+			shuffleTimeout: *shuffleTimeout,
+			chaos:          injector,
 		})
 	case "worker":
-		return runWorker(out, *addr, injector)
+		return runWorker(out, *addr, injector, netmr.WorkerConfig{
+			ShuffleTimeout: *shuffleTimeout, SpillBudget: *spillBudget, SpillDir: *spillDir,
+		})
 	default:
 		return errors.New("need -role master or -role worker")
 	}
@@ -236,6 +249,7 @@ type masterOptions struct {
 	partitions          int
 	serialMerge         bool
 	reducers            int
+	shuffleTimeout      time.Duration
 	chaos               *chaos.Injector
 }
 
@@ -255,6 +269,7 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		Partitions:          opts.partitions,
 		SerialMerge:         opts.serialMerge,
 		Reducers:            opts.reducers,
+		ShuffleTimeout:      opts.shuffleTimeout,
 		Trace:               opts.trace,
 		Chaos:               opts.chaos,
 	})
@@ -366,6 +381,14 @@ func printStats(out io.Writer, stats netmr.Stats) {
 			stats.ReduceTasks, stats.MapOutputsStored, stats.MapOutputsRelayed,
 			formatBytes(stats.ShuffleBytes), stats.ReduceWall)
 	}
+	if stats.SpillRuns > 0 || stats.CompressedBytes > 0 {
+		fmt.Fprintf(out, "out-of-core: %d spill run(s), %s spilled, %s saved by frame compression\n",
+			stats.SpillRuns, formatBytes(stats.SpilledBytes), formatBytes(stats.CompressedBytes))
+	}
+	if stats.ReplicaFetches > 0 || stats.RecoveryWall > 0 {
+		fmt.Fprintf(out, "recovery: %d replica fetch(es), recovery wall %v\n",
+			stats.ReplicaFetches, stats.RecoveryWall)
+	}
 	fmt.Fprintf(out, "split %v | merge %v (overlapped %v, %d partition(s), %d pre-partitioned) | total %v\n",
 		stats.SplitWall, stats.MergeWall, stats.MergeOverlapWall, stats.Partitions, stats.PrePartitioned, stats.TotalWall)
 	for _, w := range stats.PerWorker {
@@ -386,12 +409,12 @@ func formatBytes(n int64) string {
 	}
 }
 
-func runWorker(out io.Writer, addr string, injector *chaos.Injector) error {
+func runWorker(out io.Writer, addr string, injector *chaos.Injector, cfg netmr.WorkerConfig) error {
 	registry, err := netmr.NewRegistry(builtinJobs()...)
 	if err != nil {
 		return err
 	}
-	var wopts []netmr.WorkerOption
+	wopts := []netmr.WorkerOption{netmr.WithWorkerConfig(cfg)}
 	if injector.Enabled() {
 		fmt.Fprintf(out, "fault injection enabled (seed %d)\n", injector.Seed())
 		wopts = append(wopts, netmr.WithChaos(injector))

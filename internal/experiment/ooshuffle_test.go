@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOOShuffleReport is the acceptance check for the out-of-core
+// shuffle study: the budget sweep must keep the output identical while
+// actually spilling at the tightest budget (the experiment itself errors
+// on a budget violation or divergence), and the scale sweep must produce
+// all four ε(n)/q(n) refit notes.
+func TestOOShuffleReport(t *testing.T) {
+	rep, err := OOShuffle(context.Background(), []int{1, 2}, 3000, 6, 3, []int64{0, 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("expected budget-sweep and scale-sweep tables, got %d", len(rep.Tables))
+	}
+	if rows := len(rep.Tables[0].Rows); rows != 2 {
+		t.Errorf("budget sweep has %d rows, want 2", rows)
+	}
+	if rows := len(rep.Tables[1].Rows); rows != 2 {
+		t.Errorf("scale sweep has %d rows, want 2", rows)
+	}
+	s := seriesByName(t, rep, "ooshuffle/budget-wall-ms")
+	for _, v := range s.Y {
+		if v <= 0 {
+			t.Errorf("budget-wall series has nonpositive sample %g", v)
+		}
+	}
+	seriesByName(t, rep, "ooshuffle/q-off")
+	seriesByName(t, rep, "ooshuffle/q-on")
+	if len(rep.Notes) != 6 {
+		t.Errorf("expected the identity note plus four fit notes plus the attribution note, got %v", rep.Notes)
+	}
+}
+
+func TestOOShuffleValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := OOShuffle(ctx, []int{1}, 10, 2, 2, []int64{0, 1024}); err == nil {
+		t.Error("single-point grid should error (fit needs >=2 points)")
+	}
+	if _, err := OOShuffle(ctx, []int{1, 2}, 0, 2, 2, []int64{0, 1024}); err == nil {
+		t.Error("zero lines should error")
+	}
+	if _, err := OOShuffle(ctx, []int{1, 2}, 10, 2, 0, []int64{0, 1024}); err == nil {
+		t.Error("zero reducers should error")
+	}
+	if _, err := OOShuffle(ctx, []int{1, 2}, 10, 2, 2, []int64{1024}); err == nil {
+		t.Error("single-budget sweep should error")
+	}
+	if _, err := OOShuffle(ctx, []int{1, 2}, 10, 2, 2, []int64{1024, 0}); err == nil {
+		t.Error("budgets not starting at 0 should error")
+	}
+}

@@ -67,6 +67,12 @@ type Grids struct {
 	DistReduceLines   int   // distreduce input size (lines)
 	DistReduceShards  int   // distreduce map shard count
 	DistReduceR       int   // distreduce reduce tasks R
+
+	OOShuffleWorkers []int   // ooshuffle worker pool sizes
+	OOShuffleLines   int     // ooshuffle input size (lines)
+	OOShuffleShards  int     // ooshuffle map shard count
+	OOShuffleR       int     // ooshuffle reduce tasks R
+	OOShuffleBudgets []int64 // spill budget sweep, bytes; first entry must be 0 (unconstrained)
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -129,6 +135,12 @@ func DefaultGrids(quick bool) Grids {
 		DistReduceLines:   20000,
 		DistReduceShards:  16,
 		DistReduceR:       8,
+
+		OOShuffleWorkers: []int{1, 2, 4, 8},
+		OOShuffleLines:   20000,
+		OOShuffleShards:  16,
+		OOShuffleR:       8,
+		OOShuffleBudgets: []int64{0, 256 << 10, 64 << 10, 16 << 10, 4 << 10},
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -148,6 +160,11 @@ func DefaultGrids(quick bool) Grids {
 		g.DistReduceLines = 4000
 		g.DistReduceShards = 8
 		g.DistReduceR = 4
+		g.OOShuffleWorkers = []int{1, 2, 4}
+		g.OOShuffleLines = 4000
+		g.OOShuffleShards = 8
+		g.OOShuffleR = 4
+		g.OOShuffleBudgets = []int64{0, 32 << 10, 4 << 10}
 	}
 	return g
 }
@@ -448,6 +465,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return DistReduce(ctx, g.DistReduceWorkers, g.DistReduceLines, g.DistReduceShards, g.DistReduceR)
+		}})
+	r.mustRegister(Experiment{ID: "ooshuffle", Title: "Out-of-core shuffle: spill budget sweep and ε(n)/q(n) refits", Measured: true,
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return OOShuffle(ctx, g.OOShuffleWorkers, g.OOShuffleLines, g.OOShuffleShards, g.OOShuffleR, g.OOShuffleBudgets)
 		}})
 	r.mustRegister(Experiment{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected", Deps: []string{DepMRSweeps},
 		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {

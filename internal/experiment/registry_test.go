@@ -17,7 +17,7 @@ func TestDefaultRegistryIDs(t *testing.T) {
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "futurework", "surface",
 		"fixedsize-mr", "ablation-contention", "realnet", "selfdiag",
-		"straggler", "livefit", "distreduce", "modelzoo",
+		"straggler", "livefit", "distreduce", "ooshuffle", "modelzoo",
 	}
 	got := r.IDs()
 	if len(got) != len(want) {
@@ -37,6 +37,9 @@ func TestDefaultRegistryIDs(t *testing.T) {
 	}
 	if e, ok := r.Lookup("distreduce"); !ok || !e.Measured {
 		t.Error("distreduce must be registered and marked Measured (it times real cluster runs)")
+	}
+	if e, ok := r.Lookup("ooshuffle"); !ok || !e.Measured {
+		t.Error("ooshuffle must be registered and marked Measured (it times real cluster runs)")
 	}
 	if e, ok := r.Lookup("straggler"); !ok || e.Measured {
 		t.Error("straggler must be registered and NOT Measured (it reports only seed-deterministic values)")

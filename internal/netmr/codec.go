@@ -33,13 +33,30 @@ import (
 // Appending any block unconditionally would make every frame
 // undecodable ("trailing bytes") to a peer running a previous binary
 // codec, breaking rolling upgrades of mixed-version clusters — the
-// ext/trc/red flags on appendFrame/decodeFrame are that negotiation,
-// one consistent tuple of values per connection. The trc and red blocks
-// are granted only alongside ext but independently of each other, so
-// the layouts on the wire are base, base+ext, base+ext+trc,
-// base+ext+red, and base+ext+trc+red — both sides derive the same
-// tuple from the same negotiated capability set.
+// ext/trc/red/cmp flags on appendFrame/decodeFrame are that
+// negotiation, one consistent tuple of values per connection. The trc,
+// red and cmp blocks are granted only alongside ext but independently
+// of each other, so the layouts on the wire are base, base+ext and any
+// combination of the trc/red/cmp suffixes on top — both sides derive
+// the same tuple from the same negotiated capability set.
+//
+// The "comp" capability additionally wraps every body of the
+// connection in a one-byte flag layer:
+//
+//	0x00 || body                                  (stored)
+//	0x01 || uvarint(len(body)) || lzCompress(body) (compressed)
+//
+// The CRC is computed over the raw body before compression, so the
+// checksum still guards the decompressed payload end to end. Only
+// bulk payload frames (result/presult/fetchresult/replicate) at or
+// above lzCompressThreshold are candidates, and only when the
+// compressed form is actually smaller.
 const maxFrameBytes = 1 << 26 // 64 MiB hard cap: larger prefixes are corruption
+
+// lzCompressThreshold is the smallest body worth attempting to
+// compress; tiny control frames cost more in flag/length overhead than
+// they save.
+const lzCompressThreshold = 4096
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -59,6 +76,17 @@ var frameTypes = map[string]byte{
 	"fetch":       11,
 	"fetchresult": 12,
 	"mapdone":     13,
+	"replicate":   14,
+	"replicack":   15,
+}
+
+// compressibleFrames names the bulk payload frame types the comp layer
+// may compress; control frames always travel stored.
+var compressibleFrames = map[string]bool{
+	"result":      true,
+	"presult":     true,
+	"fetchresult": true,
+	"replicate":   true,
 }
 
 var frameNames = func() map[byte]string {
@@ -95,11 +123,13 @@ func appendStrings(b []byte, ss []string) []byte {
 // reusable scratch slice for sorting Partial (may be nil); the grown
 // scratch is returned for reuse. ext selects the bin2 layout (trailing
 // Partitions/Parts fields), trc the trace layout (trailing Trace/Spans
-// fields after those), and red the reduce layout (trailing
-// Run/Reducers/Fetch/Bytes/Tasks/Locs fields last); an older layout
-// cannot carry the newer fields, so rather than silently dropping them
-// the encode fails.
-func appendFrame(dst []byte, m *message, keys []string, ext, trc, red bool) ([]byte, []string, error) {
+// fields after those), red the reduce layout (trailing
+// Run/Reducers/Fetch/Bytes/Tasks/Locs fields), and cmp the comp layout
+// (trailing Rep/Spills/Spilled/CompBytes/ShuffleMs fields last, plus
+// the one-byte compression flag layer around the whole body); an older
+// layout cannot carry the newer fields, so rather than silently
+// dropping them the encode fails.
+func appendFrame(dst []byte, m *message, keys []string, ext, trc, red, cmp bool) ([]byte, []string, error) {
 	tb, ok := frameTypes[m.Type]
 	if !ok {
 		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
@@ -112,6 +142,9 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc, red bool) ([]b
 	}
 	if !red && (m.Run != "" || m.Reducers != 0 || m.Fetch != "" || m.Bytes != 0 || len(m.Tasks) > 0 || len(m.Locs) > 0) {
 		return dst, keys, fmt.Errorf("netmr: frame %q carries reduce fields but the peer did not negotiate %q", m.Type, capReduce)
+	}
+	if !cmp && (m.Rep != "" || len(m.CompAddrs) > 0 || m.Spills != 0 || m.Spilled != 0 || m.CompBytes != 0 || m.ShuffleMs != 0) {
+		return dst, keys, fmt.Errorf("netmr: frame %q carries comp fields but the peer did not negotiate %q", m.Type, capComp)
 	}
 	// Reserve room for the length prefix after the body is built; encode
 	// the body at the end of dst and splice the prefix in front.
@@ -188,7 +221,18 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc, red bool) ([]b
 			}
 		}
 	}
+	if cmp {
+		b = appendString(b, m.Rep)
+		b = appendStrings(b, m.CompAddrs)
+		b = binary.AppendVarint(b, int64(m.Spills))
+		b = binary.AppendVarint(b, m.Spilled)
+		b = binary.AppendVarint(b, m.CompBytes)
+		b = binary.AppendVarint(b, m.ShuffleMs)
+	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
+	if cmp {
+		b = wrapCompressed(b, bodyStart, m.Type)
+	}
 
 	bodyLen := len(b) - bodyStart
 	if bodyLen > maxFrameBytes {
@@ -200,6 +244,71 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc, red bool) ([]b
 	copy(b[bodyStart+pn:], b[bodyStart:bodyStart+bodyLen]) // shift body right
 	copy(b[bodyStart:], prefix[:pn])
 	return b, keys, nil
+}
+
+// lzBufPool recycles compression scratch buffers across sends.
+var lzBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// wrapCompressed applies the comp flag layer to the raw checksummed
+// body at b[bodyStart:]: bulk payload frames at or above
+// lzCompressThreshold are LZ-compressed when that actually shrinks
+// them, everything else travels stored behind the one-byte flag.
+func wrapCompressed(b []byte, bodyStart int, typ string) []byte {
+	raw := b[bodyStart:]
+	if compressibleFrames[typ] && len(raw) >= lzCompressThreshold {
+		bufp := lzBufPool.Get().(*[]byte)
+		buf := (*bufp)[:0]
+		buf = append(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(raw)))
+		buf = lzCompress(buf, raw)
+		if len(buf) < len(raw)+1 {
+			b = append(b[:bodyStart], buf...)
+			*bufp = buf[:0]
+			lzBufPool.Put(bufp)
+			return b
+		}
+		*bufp = buf[:0]
+		lzBufPool.Put(bufp)
+	}
+	b = append(b, 0)
+	copy(b[bodyStart+1:], b[bodyStart:len(b)-1]) // shift body right one byte
+	b[bodyStart] = 0
+	return b
+}
+
+// unwrapCompressedBody strips the comp flag layer from a received frame
+// body, returning the raw checksummed body that decodeFrame expects.
+// scratch is the reusable decompression buffer (grown and returned for
+// reuse); compressed reports whether the wire form was the compressed
+// variant.
+func unwrapCompressedBody(body, scratch []byte) (raw, scratchOut []byte, compressed bool, err error) {
+	if len(body) == 0 {
+		return nil, scratch, false, fmt.Errorf("netmr: empty comp frame body")
+	}
+	switch body[0] {
+	case 0:
+		return body[1:], scratch, false, nil
+	case 1:
+		rawLen, n := binary.Uvarint(body[1:])
+		if n <= 0 || rawLen > maxFrameBytes {
+			return nil, scratch, false, fmt.Errorf("netmr: bad compressed frame length prefix")
+		}
+		out, err := lzDecompress(scratch[:0], body[1+n:], int(rawLen))
+		if err != nil {
+			return nil, scratch, false, err
+		}
+		if uint64(len(out)) != rawLen {
+			return nil, out, false, fmt.Errorf("netmr: compressed frame declared %d bytes but decompressed to %d", rawLen, len(out))
+		}
+		return out, out, true, nil
+	default:
+		return nil, scratch, false, fmt.Errorf("netmr: unknown compression flag %d", body[0])
+	}
 }
 
 // frameReader is the cursor decodeFrame parses with. All strings are
@@ -342,9 +451,12 @@ func (r *frameReader) ints() ([]int, error) {
 // decodeFrame parses one checksummed body into m, reusing m.Records' and
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
-// on the master). ext selects the bin2 layout, trc the trace layout and
-// red the reduce layout, mirroring appendFrame.
-func decodeFrame(body []byte, m *message, ext, trc, red bool) error {
+// on the master). ext selects the bin2 layout, trc the trace layout,
+// red the reduce layout and cmp the comp layout, mirroring appendFrame.
+// On comp connections the caller unwraps the compression flag layer
+// (unwrapCompressedBody) first; body here is always the raw checksummed
+// form.
+func decodeFrame(body []byte, m *message, ext, trc, red, cmp bool) error {
 	if len(body) < 5 { // type byte + CRC
 		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
 	}
@@ -525,6 +637,30 @@ func decodeFrame(body []byte, m *message, ext, trc, red bool) error {
 					return err
 				}
 			}
+		}
+	}
+	if cmp {
+		if m.Rep, err = r.string(); err != nil {
+			return err
+		}
+		if m.CompAddrs, err = r.strings(nil); err != nil {
+			return err
+		}
+		if len(m.CompAddrs) == 0 {
+			m.CompAddrs = nil
+		}
+		if v, err = r.varint(); err != nil {
+			return err
+		}
+		m.Spills = int(v)
+		if m.Spilled, err = r.varint(); err != nil {
+			return err
+		}
+		if m.CompBytes, err = r.varint(); err != nil {
+			return err
+		}
+		if m.ShuffleMs, err = r.varint(); err != nil {
+			return err
 		}
 	}
 	if r.off != len(r.s) {

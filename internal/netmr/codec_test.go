@@ -73,7 +73,7 @@ func codecMessages() []message {
 
 func encodeBinary(t *testing.T, m message) []byte {
 	t.Helper()
-	frame, _, err := appendFrame(nil, &m, nil, true, true, true)
+	frame, _, err := appendFrame(nil, &m, nil, true, true, true, false)
 	if err != nil {
 		t.Fatalf("appendFrame(%+v): %v", m, err)
 	}
@@ -94,7 +94,7 @@ func frameBody(t testing.TB, frame []byte) []byte {
 func decodeBinary(t *testing.T, frame []byte) message {
 	t.Helper()
 	var m message
-	if err := decodeFrame(frameBody(t, frame), &m, true, true, true); err != nil {
+	if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false); err != nil {
 		t.Fatalf("decodeFrame: %v", err)
 	}
 	return m
@@ -161,6 +161,9 @@ func normalize(m message) message {
 			m.Locs[i].Tasks = nil
 		}
 	}
+	if len(m.CompAddrs) == 0 {
+		m.CompAddrs = nil
+	}
 	return m
 }
 
@@ -207,7 +210,7 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	var m message
 	for i, in := range codecMessages() {
 		frame := encodeBinary(t, in)
-		if err := decodeFrame(frameBody(t, frame), &m, true, true, true); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false); err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(normalize(m), normalize(in)) {
@@ -219,19 +222,23 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 // codecGen names one binary layout generation: which capability-gated
 // field blocks its frames carry.
 type codecGen struct {
-	name          string
-	ext, trc, red bool
+	name               string
+	ext, trc, red, cmp bool
 }
 
-// codecGens is every layout a negotiated connection can land on (trc and
-// red both nest on ext and are independent of each other).
+// codecGens is every layout a negotiated connection can land on (trc,
+// red and cmp all nest on ext and are independent of each other; the
+// list samples the cmp combinations rather than exhausting all eight).
 func codecGens() []codecGen {
 	return []codecGen{
-		{"base", false, false, false},
-		{"bin2", true, false, false},
-		{"trace", true, true, false},
-		{"reduce", true, false, true},
-		{"trace+reduce", true, true, true},
+		{"base", false, false, false, false},
+		{"bin2", true, false, false, false},
+		{"trace", true, true, false, false},
+		{"reduce", true, false, true, false},
+		{"trace+reduce", true, true, true, false},
+		{"comp", true, false, false, true},
+		{"reduce+comp", true, false, true, true},
+		{"trace+reduce+comp", true, true, true, true},
 	}
 }
 
@@ -246,7 +253,23 @@ func (g codecGen) carries(m message) bool {
 	if !g.red && (m.Run != "" || m.Reducers != 0 || m.Fetch != "" || m.Bytes != 0 || len(m.Tasks) > 0 || len(m.Locs) > 0) {
 		return false
 	}
+	if !g.cmp && (m.Rep != "" || len(m.CompAddrs) > 0 || m.Spills != 0 || m.Spilled != 0 || m.CompBytes != 0 || m.ShuffleMs != 0) {
+		return false
+	}
 	return true
+}
+
+// decodeGen decodes one wire body under generation g, stripping the comp
+// flag layer first when g carries it — the same two steps recv performs.
+func decodeGen(body []byte, m *message, g codecGen) error {
+	if g.cmp {
+		raw, _, _, err := unwrapCompressedBody(body, nil)
+		if err != nil {
+			return err
+		}
+		body = raw
+	}
+	return decodeFrame(body, m, g.ext, g.trc, g.red, g.cmp)
 }
 
 // TestBinaryCodecLegacyLayout pins the layout negotiation that keeps
@@ -260,7 +283,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 	for _, m := range codecMessages() {
 		bodies := map[string][]byte{}
 		for _, g := range gens {
-			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc, g.red)
+			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc, g.red, g.cmp)
 			if !g.carries(m) {
 				if err == nil {
 					t.Errorf("%s-layout encode of %q with newer-generation fields must fail, got none", g.name, m.Type)
@@ -272,7 +295,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 			}
 			bodies[g.name] = frameBody(t, frame)
 			var out message
-			if err := decodeFrame(bodies[g.name], &out, g.ext, g.trc, g.red); err != nil {
+			if err := decodeGen(bodies[g.name], &out, g); err != nil {
 				t.Fatalf("%s-layout decode %q: %v", g.name, m.Type, err)
 			}
 			if !reflect.DeepEqual(normalize(out), normalize(m)) {
@@ -292,7 +315,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 					continue
 				}
 				var out message
-				if err := decodeFrame(body, &out, dec.ext, dec.trc, dec.red); err == nil {
+				if err := decodeGen(body, &out, dec); err == nil {
 					t.Errorf("%s decoder accepted a %s-layout %q frame", dec.name, enc.name, m.Type)
 				}
 			}
@@ -311,7 +334,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 			mut := append([]byte(nil), body...)
 			mut[i] ^= 1 << bit
 			var out message
-			if err := decodeFrame(mut, &out, true, true, true); err == nil {
+			if err := decodeFrame(mut, &out, true, true, true, false); err == nil {
 				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
 			}
 		}
@@ -319,7 +342,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	// Truncations must be rejected too.
 	for i := 0; i < len(body); i++ {
 		var out message
-		if err := decodeFrame(body[:i], &out, true, true, true); err == nil {
+		if err := decodeFrame(body[:i], &out, true, true, true, false); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", i)
 		}
 	}
@@ -329,7 +352,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 // only decode or error.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil, true, true, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, true, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -347,7 +370,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		// Every layout generation must be panic-free on arbitrary input.
 		for _, g := range codecGens() {
 			var out message
-			err := decodeFrame(body, &out, g.ext, g.trc, g.red)
+			err := decodeFrame(body, &out, g.ext, g.trc, g.red, g.cmp)
 			if err != nil {
 				continue
 			}
@@ -355,7 +378,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			// (unknown type bytes excepted: they decode to a "?N"
 			// placeholder for the ignore-unknown-frames path).
 			if _, ok := frameTypes[out.Type]; ok {
-				if _, _, err := appendFrame(nil, &out, nil, g.ext, g.trc, g.red); err != nil {
+				if _, _, err := appendFrame(nil, &out, nil, g.ext, g.trc, g.red, g.cmp); err != nil {
 					t.Fatalf("%s-layout decoded frame failed to re-encode: %v", g.name, err)
 				}
 			}

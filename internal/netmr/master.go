@@ -96,6 +96,13 @@ type MasterConfig struct {
 	// default) keeps the reduce on the master.
 	Reducers int
 
+	// ShuffleTimeout bounds one worker-to-worker shuffle round-trip — a
+	// reducer's fetch of a peer's stored partitions, or a mapper's
+	// replication push (default 30 s). Workers learn it on the helloack
+	// of a reduce grant; workers on older generations keep their own
+	// built-in default.
+	ShuffleTimeout time.Duration
+
 	// MaxTaskBatch caps how many ready shards one dispatch may pack
 	// into a single taskbatch frame for a worker that negotiated the
 	// "batch" capability (default 1: every shard travels in its own
@@ -162,6 +169,9 @@ func (c MasterConfig) withDefaults() MasterConfig {
 	}
 	if c.MaxTaskBatch <= 0 {
 		c.MaxTaskBatch = 1
+	}
+	if c.ShuffleTimeout <= 0 {
+		c.ShuffleTimeout = defaultShuffleTimeout
 	}
 	if c.Partitions <= 0 {
 		c.Partitions = runtime.GOMAXPROCS(0)
@@ -272,6 +282,16 @@ type Stats struct {
 	MapOutputsRelayed int           // winning map outputs split on the master and relayed inline
 	ShuffleBytes      int64         // intermediate bytes reducers fetched worker-to-worker
 	ReduceWall        time.Duration // reduce phase wall (split barrier to last reduce result)
+
+	// Out-of-core shuffle accounts: how much of the run's intermediate
+	// state left memory (spill), how much wire volume compression saved,
+	// and what intermediate losses cost. All zero on a run that fit in
+	// memory on an all-healthy comp cluster.
+	SpillRuns       int           // sorted spill runs workers flushed under memory pressure
+	SpilledBytes    int64         // bytes of intermediate state written to spill files
+	CompressedBytes int64         // shuffle wire bytes saved by frame compression
+	ReplicaFetches  int           // fetch routings redirected to a replica after a holder died
+	RecoveryWall    time.Duration // first detected intermediate loss to reduce completion
 }
 
 type workerHandle struct {
@@ -280,6 +300,7 @@ type workerHandle struct {
 	batch  bool   // worker negotiated multi-shard taskbatch frames
 	trace  bool   // worker negotiated span-summary reporting
 	reduce bool   // worker negotiated the distributed reduce phase
+	comp   bool   // worker negotiated compressed frames + replication
 	fetch  string // shuffle listener address of a reduce-capable worker
 }
 
@@ -311,6 +332,69 @@ type Master struct {
 	traceSeq atomic.Int64
 	traceMu  sync.Mutex
 	last     *JobTrace
+
+	// Shuffle-address liveness: which reduce-capable shuffle listeners are
+	// believed reachable, and which of them speak the comp generation. An
+	// address is marked dead when its worker is dropped or when a reducer
+	// reports a failed fetch against it; the reduce scheduler consults the
+	// registry per dispatch to route around dead holders via replicas.
+	addrMu   sync.Mutex
+	addrLive map[string]bool
+	addrComp map[string]bool
+}
+
+// addFetchAddr registers (or revives) a shuffle listener address.
+func (m *Master) addFetchAddr(addr string, comp bool) {
+	m.addrMu.Lock()
+	defer m.addrMu.Unlock()
+	m.addrLive[addr] = true
+	m.addrComp[addr] = comp
+}
+
+// markAddrDead records that fetches against addr should not be routed.
+func (m *Master) markAddrDead(addr string) {
+	m.addrMu.Lock()
+	defer m.addrMu.Unlock()
+	if m.addrLive[addr] {
+		m.addrLive[addr] = false
+	}
+}
+
+// addrAlive reports whether addr is believed reachable.
+func (m *Master) addrAlive(addr string) bool {
+	m.addrMu.Lock()
+	defer m.addrMu.Unlock()
+	return m.addrLive[addr]
+}
+
+// liveCompAddrs returns the sorted live comp-generation shuffle
+// addresses — the peers a comp reducer may dial with the flag layer, and
+// the candidate replica holders.
+func (m *Master) liveCompAddrs() []string {
+	m.addrMu.Lock()
+	defer m.addrMu.Unlock()
+	out := make([]string, 0, len(m.addrLive))
+	for addr, live := range m.addrLive {
+		if live && m.addrComp[addr] {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickReplicaAddr chooses the replica holder for a mapper at self: the
+// first live comp shuffle address that is not the mapper's own (a replica
+// on the primary's disk would die with it). Empty when the mapper is the
+// only comp-capable worker — the master then holds the fallback copy
+// inline on the mapdone frame.
+func (m *Master) pickReplicaAddr(self string) string {
+	for _, addr := range m.liveCompAddrs() {
+		if addr != self {
+			return addr
+		}
+	}
+	return ""
 }
 
 // NewMaster builds a master able to run jobs from the registry (the
@@ -325,6 +409,8 @@ func NewMaster(registry *Registry, cfg MasterConfig) (*Master, error) {
 		registry: registry,
 		metrics:  newMasterMetrics(cfg.Metrics),
 		idle:     make(chan *workerHandle, 1024),
+		addrLive: make(map[string]bool),
+		addrComp: make(map[string]bool),
 	}, nil
 }
 
@@ -441,6 +527,13 @@ func (m *Master) admit(raw net.Conn) {
 		(!offered[capBinary] || offered[capBinaryExt]) {
 		accepted = append(accepted, capReduce)
 	}
+	// Compressed frames wrap binary bodies in a flag layer, so the grant
+	// requires the full binary stack; a comp grant also opts the worker
+	// into intermediate replication (the Rep field rides the same layout
+	// block). JSON and older binary workers keep byte-identical frames.
+	if offered[capComp] && offered[capBinary] && offered[capBinaryExt] {
+		accepted = append(accepted, capComp)
+	}
 	if len(accepted) > 0 {
 		// If the helloack does not go out (e.g. an injected drop), the
 		// worker never hears of the upgrade — admit the connection on
@@ -454,6 +547,9 @@ func (m *Master) admit(raw net.Conn) {
 				ack.Partitions = m.cfg.Partitions
 			case capReduce:
 				ack.Reducers = m.cfg.Reducers
+				// The shuffle deadline travels with the reduce grant so the
+				// whole cluster agrees on when a fetch has hung.
+				ack.ShuffleMs = m.cfg.ShuffleTimeout.Milliseconds()
 			}
 		}
 		if err := c.send(ack, 10*time.Second); err == nil {
@@ -472,9 +568,15 @@ func (m *Master) admit(raw net.Conn) {
 					c.red = true
 					w.reduce = true
 					w.fetch = hello.Fetch
+				case capComp:
+					c.cmp = true
+					w.comp = true
 				}
 			}
 		}
+	}
+	if w.reduce && w.fetch != "" {
+		m.addFetchAddr(w.fetch, w.comp)
 	}
 	codec := "json"
 	if c.binary {
@@ -499,6 +601,9 @@ func (m *Master) admit(raw net.Conn) {
 // /healthz until a Run completes cleanly on the surviving population.
 func (m *Master) dropWorker(w *workerHandle) {
 	_ = w.c.close()
+	if w.fetch != "" {
+		m.markAddrDead(w.fetch)
+	}
 	m.count.Add(-1)
 	if w.reduce {
 		m.redCount.Add(-1)
@@ -658,7 +763,11 @@ type launchDone struct {
 	prepart   bool
 	stored    bool
 	fetchAddr string
+	repAddr   string // peer holding the replica of a stored output ("" = none)
 	bytes     int64
+	spills    int   // spill runs the launch flushed under memory pressure
+	spilled   int64 // bytes those runs wrote
+	compBytes int64 // shuffle wire bytes compression saved (reduce results)
 	elapsed   time.Duration
 	launch    int // trace launch ordinal, -1 when the run is untraced
 }
@@ -738,10 +847,19 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	runID := fmt.Sprintf("%s#%d", jobName, m.runSeq.Add(1))
 	var mapLocs map[int]string     // map task id → winning worker's shuffle address
 	var relay [][]partitionPartial // reduce partition → relayed per-map-task partials
+	// Replica bookkeeping: where each stored map output's peer copy lives
+	// (replicaLocs), and the master-held copies of outputs whose mapper
+	// could not replicate — no eligible peer, or the push failed — which
+	// rode inline on the mapdone frame (replicaParts). The reduce phase
+	// consults both before resorting to map re-execution lineage.
+	var replicaLocs map[int]string
+	var replicaParts map[int][]partitionPartial
 	if useReduce {
 		stats.Reducers = m.cfg.Reducers
 		mapLocs = make(map[int]string, shards)
 		relay = make([][]partitionPartial, m.cfg.Reducers)
+		replicaLocs = make(map[int]string, shards)
+		replicaParts = make(map[int][]partitionPartial)
 	}
 
 	// The job trace opens a launch span at every dispatch and is sealed
@@ -800,17 +918,25 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 		if useReduce && w.reduce {
 			run = runID
 		}
+		// A comp worker persisting output is named a replica peer — the
+		// first live comp shuffle listener other than its own — so its
+		// partitions survive the worker. No eligible peer leaves Rep
+		// empty and the worker ships the copy back inline instead.
+		rep := ""
+		if run != "" && w.comp {
+			rep = m.pickReplicaAddr(w.fetch)
+		}
 		start := time.Now()
 		var err error
 		if len(tasks) == 1 {
 			t := tasks[0]
-			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records, Run: run, Trace: traceID}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "task", Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records, Run: run, Rep: rep, Trace: traceID}, m.cfg.TaskTimeout)
 		} else {
 			specs := make([]taskSpec, len(tasks))
 			for i, t := range tasks {
 				specs[i] = taskSpec{Job: jobName, TaskID: t.id, Attempt: t.attempts, Records: t.records}
 			}
-			err = w.c.send(message{Type: "taskbatch", Batch: specs, Run: run, Trace: traceID}, m.cfg.TaskTimeout)
+			err = w.c.send(message{Type: "taskbatch", Batch: specs, Run: run, Rep: rep, Trace: traceID}, m.cfg.TaskTimeout)
 		}
 		acked := 0
 		prev := start
@@ -826,14 +952,19 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				}
 			}
 			if err == nil {
-				if reply.Type == "presult" {
+				if reply.Type == "presult" ||
+					(reply.Type == "mapdone" && run != "" && w.comp) {
+					// A comp mapdone may legitimately carry its partition
+					// set: the master-held replica of an output whose
+					// mapper had no peer to replicate to. Validate it like
+					// a presult — the reduce relay indexes part ids.
 					err = validateParts(reply.Parts, m.cfg.Partitions)
 				} else {
-					// A flat result or mapdone frame must not smuggle a
-					// partition payload past validateParts — the merge
-					// router indexes part ids, so an unvalidated one
-					// would panic it. Only presult parts were
-					// negotiated; drop anything else.
+					// A flat result or pre-comp mapdone frame must not
+					// smuggle a partition payload past validateParts — the
+					// merge router indexes part ids, so an unvalidated one
+					// would panic it. Only negotiated parts pass; drop
+					// anything else.
 					reply.Parts = nil
 				}
 				if !w.trace {
@@ -857,6 +988,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				task: t, partial: reply.Partial, parts: reply.Parts,
 				prepart: reply.Type == "presult",
 				stored:  reply.Type == "mapdone", fetchAddr: w.fetch,
+				repAddr: reply.Rep, spills: reply.Spills, spilled: reply.Spilled,
 				elapsed: elapsed, launch: launchOf(acked),
 			}
 			acked++
@@ -1042,8 +1174,22 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			switch {
 			case r.stored:
 				// The winning output is persisted on the worker; remember
-				// whose shuffle listener holds this map task's partitions.
+				// whose shuffle listener holds this map task's partitions,
+				// and where the durable copy lives: a peer replica when the
+				// push succeeded, the inline partition set on the master
+				// otherwise.
 				mapLocs[r.task.id] = r.fetchAddr
+				if r.repAddr != "" {
+					replicaLocs[r.task.id] = r.repAddr
+				} else if r.parts != nil {
+					replicaParts[r.task.id] = r.parts
+				}
+				if r.spills > 0 {
+					stats.SpillRuns += r.spills
+					stats.SpilledBytes += r.spilled
+					m.metrics.spillRuns.Add(float64(r.spills))
+					m.metrics.spilledBytes.Add(float64(r.spilled))
+				}
 				stats.MapOutputsStored++
 				m.metrics.mapOutputs.With("stored").Inc()
 			case useReduce:
@@ -1164,7 +1310,12 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	// R disjoint key spaces — O(keys) map copies, no Reduce/Combine calls.
 	if useReduce {
 		_, reduceSpan := obs.StartSpan(ctx, "reduce")
-		finals, rerr := m.runReducePhase(ctx, jobName, runID, mapLocs, relay, &stats, ledger, trc, deadline.C)
+		plan := &reducePlan{
+			jobName: jobName, job: job, runID: runID,
+			mapLocs: mapLocs, replicaLocs: replicaLocs, replicaParts: replicaParts,
+			relay: relay, shards: shards, shardRecords: shardRecords,
+		}
+		finals, rerr := m.runReducePhase(ctx, plan, &stats, ledger, trc, deadline.C)
 		reduceSpan.End()
 		reduceEnd := time.Now()
 		stats.ReduceWall = reduceEnd.Sub(barrier)

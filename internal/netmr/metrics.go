@@ -35,6 +35,13 @@ type masterMetrics struct {
 	specWins       *obs.Counter
 	duplicates     *obs.Counter
 	cancellations  *obs.Counter
+
+	spillRuns       *obs.Counter
+	spilledBytes    *obs.Counter
+	compressedBytes *obs.Counter
+	replicaFetches  *obs.Counter
+	mapReexecs      *obs.Counter
+	recoverySeconds *obs.Histogram
 }
 
 func newMasterMetrics(r *obs.Registry) *masterMetrics {
@@ -93,6 +100,18 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 			"Late sibling results discarded after a shard already completed."),
 		cancellations: r.Counter("netmr_cancelled_launches_total",
 			"In-flight launches abandoned at job completion or cancellation."),
+		spillRuns: r.Counter("netmr_spill_runs_total",
+			"Sorted spill runs workers flushed under memory pressure."),
+		spilledBytes: r.Counter("netmr_spilled_bytes_total",
+			"Bytes of intermediate state workers wrote to spill files."),
+		compressedBytes: r.Counter("netmr_compressed_bytes_total",
+			"Shuffle wire bytes saved by frame compression."),
+		replicaFetches: r.Counter("netmr_replica_fetches_total",
+			"Fetch routings redirected to a replica after the primary holder died."),
+		mapReexecs: r.Counter("netmr_map_reexecutions_total",
+			"Map tasks re-executed from lineage after both the primary and its replica were lost."),
+		recoverySeconds: r.Histogram("netmr_recovery_seconds",
+			"Wall time from first detected intermediate loss to reduce-phase completion.", nil),
 	}
 }
 
@@ -114,4 +133,14 @@ var (
 		"Shuffle fetch requests served by this process's workers, by result (ok or rejected).", "result")
 	workerPings = obs.Default().Counter("netmr_worker_pings_total",
 		"Heartbeat pings answered by this process's workers.")
+	workerSpillRuns = obs.Default().Counter("netmr_worker_spill_runs_total",
+		"Sorted spill runs this process's workers flushed under memory pressure.")
+	workerSpilledBytes = obs.Default().Counter("netmr_worker_spilled_bytes_total",
+		"Bytes this process's workers wrote to spill files.")
+	workerSpillErrors = obs.Default().Counter("netmr_worker_spill_errors_total",
+		"Spill attempts that failed (the data stayed resident).")
+	workerReplications = obs.Default().CounterVec("netmr_worker_replications_total",
+		"Partition-set replications this process's workers pushed to peers, by result (ok or failed).", "result")
+	workerReplicasStored = obs.Default().Counter("netmr_worker_replicas_stored_total",
+		"Peer partition sets this process's workers accepted as replicas.")
 )

@@ -50,6 +50,12 @@ import (
 // persists partitioned map output, serves it to peer reducers over
 // fetch frames, and accepts reduce tasks — one more trailing layout
 // revision carrying the Run/Reducers/Fetch/Bytes/Tasks/Locs fields).
+// capComp adds the out-of-core shuffle generation: frame compression
+// (a one-byte flag layer on every body, bulk payloads LZ-compressed
+// above a threshold), replica placement (the master names a peer on
+// task frames, the worker replicates its persisted partitions there
+// before mapdone), and the trailing Rep/Spills/Spilled/CompBytes/
+// ShuffleMs layout block — versioned exactly like trace and reduce.
 const (
 	capBinary    = "bin"
 	capBinaryExt = "bin2"
@@ -57,11 +63,12 @@ const (
 	capPartition = "part"
 	capTrace     = "trace"
 	capReduce    = "reduce"
+	capComp      = "comp"
 )
 
 // workerCaps is what a current worker advertises in its hello.
 func workerCaps() []string {
-	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce}
+	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce, capComp}
 }
 
 // message is the single wire frame: one JSON line in codec v1, one
@@ -94,6 +101,16 @@ type message struct {
 	Bytes    int64      `json:"bytes,omitempty"`    // result (of a reduce task): intermediate bytes fetched
 	Tasks    []int      `json:"tasks,omitempty"`    // fetch: map task ids whose partition slice is wanted
 	Locs     []fetchLoc `json:"locs,omitempty"`     // reducetask: where winning map outputs are stored
+
+	// Out-of-core shuffle fields, carried only on connections that
+	// negotiated the "comp" capability (a fifth trailing layout block on
+	// binary frames, plus the compression flag layer around the body).
+	Rep       string   `json:"rep,omitempty"`        // task | taskbatch: peer shuffle addr to replicate to; mapdone: addr actually replicated to
+	CompAddrs []string `json:"comp_addrs,omitempty"` // reducetask: shuffle addrs that speak the comp generation (fetch dial hint)
+	Spills    int      `json:"spills,omitempty"`     // mapdone | result: spill runs written while producing this output
+	Spilled   int64    `json:"spilled,omitempty"`    // mapdone | result: bytes written to spill files
+	CompBytes int64    `json:"comp_bytes,omitempty"` // result (of a reduce task): wire bytes saved by frame compression
+	ShuffleMs int64    `json:"shuffle_ms,omitempty"` // helloack: shuffle timeout, milliseconds
 }
 
 // fetchLoc names one worker's shuffle listener and the map tasks whose
@@ -146,6 +163,14 @@ type conn struct {
 	binExt bool // bin2 layout (trailing partition fields) negotiated
 	trc    bool // trace layout (trailing Trace/Spans fields) negotiated
 	red    bool // reduce layout (trailing Run/…/Locs fields) negotiated
+	cmp    bool // comp layout (flag layer + trailing Rep/…/ShuffleMs fields) negotiated
+
+	// sniff arms one-shot generation detection on shuffle-server
+	// connections: the first body byte of a comp dialer is its
+	// compression flag (0x00/0x01), a legacy reduce dialer's is its
+	// frame type byte (never below 2 on a shuffle connection), so the
+	// server adopts the dialer's generation without a handshake.
+	sniff bool
 
 	// lastDecode is the wire-decode cost of the most recent recv,
 	// measured only on traced connections: the worker charges it to the
@@ -158,8 +183,15 @@ type conn struct {
 	// charges to Stats.ShuffleBytes per fetched frame.
 	lastFrameLen int
 
+	// lastRawLen is the decompressed body size of the most recent recv on
+	// a comp connection (equal to lastFrameLen-1 for stored bodies);
+	// lastRawLen - lastFrameLen is the wire saving frame compression
+	// bought, which reducers report as CompBytes.
+	lastRawLen int
+
 	keys    []string // sorted-Partial scratch for binary encode
 	body    []byte   // binary frame read buffer
+	cbuf    []byte   // comp decompression buffer
 	scratch message  // binary decode target; Records/Batch backing reused
 }
 
@@ -183,7 +215,7 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		return nil
 	}
 	bufp := encBufPool.Get().(*[]byte)
-	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc, c.red)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc, c.red, c.cmp)
 	c.keys = keys
 	if err == nil {
 		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
@@ -242,7 +274,21 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 	if c.trc {
 		decodeStart = time.Now()
 	}
-	if err := decodeFrame(c.body, &c.scratch, c.binExt, c.trc, c.red); err != nil {
+	body := c.body
+	if c.sniff {
+		c.cmp = len(body) > 0 && body[0] <= 1
+		c.sniff = false
+	}
+	if c.cmp {
+		raw, scratch, _, err := unwrapCompressedBody(body, c.cbuf)
+		if err != nil {
+			return message{}, fmt.Errorf("netmr: recv: %w", err)
+		}
+		c.cbuf = scratch
+		body = raw
+	}
+	c.lastRawLen = len(body)
+	if err := decodeFrame(body, &c.scratch, c.binExt, c.trc, c.red, c.cmp); err != nil {
 		return message{}, err
 	}
 	if c.trc {
@@ -515,6 +561,9 @@ const (
 	spanEncode    = "encode"    // building the wire-shape result maps
 	spanFetch     = "fetch"     // reduce task: pulling intermediate partitions from peers
 	spanReduce    = "reduce"    // reduce task: folding the fetched partials
+	spanSpill     = "spill"     // writing sorted spill runs when the memory budget is exceeded
+	spanMergeRuns = "mergeruns" // reduce task: loser-tree merge-fold of spilled runs
+	spanReplicate = "replicate" // pushing a persisted partition set to the replica peer
 )
 
 // spanClock accumulates spanSummary intervals against a fixed epoch —
@@ -547,6 +596,23 @@ func (c *spanClock) mark(phase string, from time.Time) time.Time {
 		End:   now.Sub(c.epoch).Seconds(),
 	})
 	return now
+}
+
+// appendSpanAfter appends a synthetic span of duration d placed right
+// after the latest recorded interval — how spill and replicate work
+// that happens outside the shard-compute clock joins the timeline
+// without overlapping the compute spans.
+func appendSpanAfter(spans []spanSummary, phase string, d time.Duration) []spanSummary {
+	if d <= 0 {
+		return spans
+	}
+	end := 0.0
+	for _, s := range spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return append(spans, spanSummary{Phase: phase, Start: end, End: end + d.Seconds()})
 }
 
 // runShardTraced is runShard with per-phase span recording. It is a

@@ -14,32 +14,108 @@ import (
 // routing: telling each reducer where the winning map outputs live (the
 // fetch plan) and carrying the relayed slices of v1/non-reduce workers.
 
+// reducePlan is everything the reduce phase needs to route intermediate
+// data: where the winning map outputs live (mapLocs), where their peer
+// replicas live (replicaLocs), the master-held replica payloads of
+// unreplicated outputs (replicaParts), the relayed slices of v1 workers
+// (relay), and the lineage inputs (job + shardRecords) for the last-ditch
+// map re-execution fallback.
+type reducePlan struct {
+	jobName      string
+	job          Job
+	runID        string
+	mapLocs      map[int]string
+	replicaLocs  map[int]string
+	replicaParts map[int][]partitionPartial
+	relay        [][]partitionPartial
+	shards       int
+	shardRecords func(int) []string
+}
+
 // runReducePhase assigns the R reduce partitions to reduce-capable
 // workers and returns their folded partitions, indexed by partition id.
-// mapLocs records which worker's shuffle listener holds each winning map
-// output; relay carries the master-split outputs of non-persisting
-// workers, inlined on each partition's task frame. Non-reduce workers
-// drawn from the idle pool are parked for the duration and returned on
-// every exit path.
-func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapLocs map[int]string, relay [][]partitionPartial, stats *Stats, ledger *perWorkerLedger, trc *JobTrace, deadline <-chan time.Time) ([]map[string]float64, error) {
+// Non-reduce workers drawn from the idle pool are parked for the
+// duration and returned on every exit path.
+//
+// Unlike the map phase, fetch plans are computed per dispatch against the
+// current shuffle-address liveness view: a map output whose primary
+// holder died is rerouted to its peer replica, falls back to the
+// master-held copy inline on the task frame, and only when every copy is
+// gone is the map task re-executed from lineage on the master (cached, so
+// R partitions pay for one re-execution). The fold output is
+// byte-identical on every route — reducers order partials by map task id
+// before folding, not by arrival.
+func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *Stats, ledger *perWorkerLedger, trc *JobTrace, deadline <-chan time.Time) ([]map[string]float64, error) {
 	R := m.cfg.Reducers
-	// The fetch plan is the same for every partition: each holder address
-	// with the (sorted) map tasks it stores, addresses in stable order so
-	// every reducer gathers — and therefore folds — identically.
-	byAddr := make(map[string][]int, len(mapLocs))
-	for task, addr := range mapLocs {
-		byAddr[addr] = append(byAddr[addr], task)
+
+	// Sorted stored-task ids: the deterministic iteration base for every
+	// per-dispatch plan.
+	storedTasks := make([]int, 0, len(plan.mapLocs))
+	for task := range plan.mapLocs {
+		storedTasks = append(storedTasks, task)
 	}
-	addrs := make([]string, 0, len(byAddr))
-	for addr := range byAddr {
-		addrs = append(addrs, addr)
+	sort.Ints(storedTasks)
+
+	// recoveryAt marks the first time a dispatch had to route around a
+	// lost intermediate; RecoveryWall runs from there to phase completion.
+	var recoveryAt time.Time
+	recovered := func() {
+		if recoveryAt.IsZero() {
+			recoveryAt = time.Now()
+		}
 	}
-	sort.Strings(addrs)
-	locs := make([]fetchLoc, 0, len(addrs))
-	for _, addr := range addrs {
-		tasks := byAddr[addr]
-		sort.Ints(tasks)
-		locs = append(locs, fetchLoc{Addr: addr, Tasks: tasks})
+	var scratch *shardScratch // lazy, only allocated if lineage re-execution happens
+
+	// buildPlan computes one dispatch's fetch plan: each live holder
+	// address with the (sorted) map tasks to fetch from it, plus the
+	// partition's slice of any output that has to travel inline (master
+	// replica or re-executed). Runs in the event-loop goroutine — it
+	// mutates shared state (replicaParts cache, stats).
+	buildPlan := func(partition int) ([]fetchLoc, []partitionPartial) {
+		byAddr := make(map[string][]int)
+		var inline []partitionPartial
+		for _, task := range storedTasks {
+			addr := plan.mapLocs[task]
+			if m.addrAlive(addr) {
+				byAddr[addr] = append(byAddr[addr], task)
+				continue
+			}
+			if rep, ok := plan.replicaLocs[task]; ok && m.addrAlive(rep) {
+				byAddr[rep] = append(byAddr[rep], task)
+				stats.ReplicaFetches++
+				m.metrics.replicaFetches.Inc()
+				recovered()
+				continue
+			}
+			parts, ok := plan.replicaParts[task]
+			if !ok {
+				// Primary and replica both gone: re-execute the map task
+				// from lineage on the master and cache the partition set
+				// where an inline replica would have been.
+				if scratch == nil {
+					scratch = newShardScratch()
+				}
+				parts = runShardPartitioned(plan.job, plan.shardRecords(task), scratch, R)
+				plan.replicaParts[task] = parts
+				m.metrics.mapReexecs.Inc()
+			}
+			recovered()
+			for _, p := range parts {
+				if p.ID == partition {
+					inline = append(inline, partitionPartial{ID: task, Partial: p.Partial})
+				}
+			}
+		}
+		addrs := make([]string, 0, len(byAddr))
+		for addr := range byAddr {
+			addrs = append(addrs, addr)
+		}
+		sort.Strings(addrs)
+		locs := make([]fetchLoc, 0, len(addrs))
+		for _, addr := range addrs {
+			locs = append(locs, fetchLoc{Addr: addr, Tasks: byAddr[addr]})
+		}
+		return locs, inline
 	}
 
 	queue := make([]shardTask, 0, R)
@@ -51,19 +127,31 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 	failCh := make(chan launchFail, capacity)
 
 	// dispatchReduce ships one partition to a reduce worker and reports
-	// exactly once. Any reply that is not this partition's result — an
-	// error frame from a failed gather included — drops the worker, the
-	// same contract the map phase applies.
-	dispatchReduce := func(w *workerHandle, t shardTask, launch int) {
+	// exactly once. A reply that is not this partition's result drops the
+	// worker — except a comp reducer's "the fetch failed" report (an error
+	// frame naming the holder address): there the reducer is healthy and
+	// the holder is not, so the holder is marked dead, the reducer returns
+	// to the pool, and the retry re-plans around the loss.
+	dispatchReduce := func(w *workerHandle, t shardTask, locs []fetchLoc, parts []partitionPartial, compAddrs []string, launch int) {
 		traceID := ""
 		if trc != nil && w.trace {
 			traceID = trc.ID
 		}
 		start := time.Now()
-		err := w.c.send(message{Type: "reducetask", Job: jobName, TaskID: t.id, Attempt: t.attempts, Run: runID, Locs: locs, Parts: relay[t.id], Trace: traceID}, m.cfg.TaskTimeout)
+		err := w.c.send(message{Type: "reducetask", Job: plan.jobName, TaskID: t.id, Attempt: t.attempts, Run: plan.runID, Locs: locs, Parts: parts, CompAddrs: compAddrs, Trace: traceID}, m.cfg.TaskTimeout)
 		var reply message
 		if err == nil {
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
+		}
+		elapsed := time.Since(start)
+		if err == nil && reply.Type == "error" && reply.TaskID == t.id && reply.Fetch != "" {
+			m.markAddrDead(reply.Fetch)
+			if trc != nil {
+				trc.closeLaunch(launch, outcomeFailed, nil)
+			}
+			failCh <- launchFail{task: t, err: fmt.Errorf("netmr: reduce partition %d: fetch from %s failed: %s", t.id, reply.Fetch, reply.Message)}
+			m.idle <- w
+			return
 		}
 		if err == nil && (reply.Type != "result" || reply.TaskID != t.id) {
 			detail := reply.Message
@@ -72,7 +160,6 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 			}
 			err = fmt.Errorf("netmr: worker %s failed reduce partition %d: %s", w.id, t.id, detail)
 		}
-		elapsed := time.Since(start)
 		if err != nil {
 			ledger.shardFailed(w.id, elapsed)
 			m.metrics.reassignments.With(w.id).Inc()
@@ -91,7 +178,11 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 		if trc != nil {
 			trc.closeLaunch(launch, outcomeOK, reply.Spans)
 		}
-		resultCh <- launchDone{task: t, partial: reply.Partial, bytes: reply.Bytes, elapsed: elapsed, launch: launch}
+		resultCh <- launchDone{
+			task: t, partial: reply.Partial, bytes: reply.Bytes,
+			compBytes: reply.CompBytes, spills: reply.Spills, spilled: reply.Spilled,
+			elapsed: elapsed, launch: launch,
+		}
 		m.idle <- w
 	}
 
@@ -198,7 +289,24 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 			if trc != nil {
 				launch = trc.openLaunch("rtask", t.id, t.attempts, w.id)
 			}
-			go dispatchReduce(w, t, launch)
+			// The routing plan is computed here, in the event loop, against
+			// the liveness view of this instant — not in the dispatch
+			// goroutine, where the shared replica cache and stats would
+			// race.
+			locs, inline := buildPlan(t.id)
+			taskParts := plan.relay[t.id]
+			if len(inline) > 0 {
+				taskParts = append(append([]partitionPartial{}, taskParts...), inline...)
+			}
+			// Only comp reducers get the comp-peer list (the frame field
+			// needs the comp layout); they dial the flag layer exclusively
+			// to addresses on it, so mixed-generation shuffle planes never
+			// misparse each other.
+			var compAddrs []string
+			if w.comp {
+				compAddrs = m.liveCompAddrs()
+			}
+			go dispatchReduce(w, t, locs, taskParts, compAddrs, launch)
 
 		case r := <-resultCh:
 			if f := inflight[r.task.id]; f != nil {
@@ -221,6 +329,16 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 			finals[r.task.id] = r.partial
 			stats.ReduceTasks++
 			stats.ShuffleBytes += r.bytes
+			if r.compBytes > 0 {
+				stats.CompressedBytes += r.compBytes
+				m.metrics.compressedBytes.Add(float64(r.compBytes))
+			}
+			if r.spills > 0 {
+				stats.SpillRuns += r.spills
+				stats.SpilledBytes += r.spilled
+				m.metrics.spillRuns.Add(float64(r.spills))
+				m.metrics.spilledBytes.Add(float64(r.spilled))
+			}
 			m.metrics.reduceTasks.With("ok").Inc()
 			pending--
 
@@ -291,5 +409,9 @@ func (m *Master) runReducePhase(ctx context.Context, jobName, runID string, mapL
 		}
 	}
 	abandon()
+	if !recoveryAt.IsZero() {
+		stats.RecoveryWall = time.Since(recoveryAt)
+		m.metrics.recoverySeconds.Observe(stats.RecoveryWall.Seconds())
+	}
 	return finals, nil
 }

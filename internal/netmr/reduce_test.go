@@ -55,8 +55,8 @@ func TestInterStoreSliceRejectsRogue(t *testing.T) {
 	s.put("wc#1", 0, []partitionPartial{
 		{ID: 0, Partial: map[string]float64{"a": 1}},
 		{ID: 1, Partial: map[string]float64{"b": 2}},
-	})
-	s.put("wc#1", 3, []partitionPartial{{ID: 1, Partial: map[string]float64{"c": 3}}})
+	}, 2)
+	s.put("wc#1", 3, []partitionPartial{{ID: 1, Partial: map[string]float64{"c": 3}}}, 2)
 
 	if _, err := s.slice("other#9", 0, []int{0}); err == nil {
 		t.Error("foreign run id accepted")
@@ -86,7 +86,7 @@ func TestInterStoreSliceRejectsRogue(t *testing.T) {
 		t.Fatalf("slice = %+v, want %+v", got, want)
 	}
 	// A new run evicts the old one.
-	s.put("wc#2", 0, []partitionPartial{{ID: 0, Partial: map[string]float64{"z": 1}}})
+	s.put("wc#2", 0, []partitionPartial{{ID: 0, Partial: map[string]float64{"z": 1}}}, 2)
 	if _, err := s.slice("wc#1", 0, []int{0}); err == nil {
 		t.Error("evicted run still served")
 	}
@@ -318,15 +318,15 @@ func TestRogueFetchRejected(t *testing.T) {
 	w.store.put("wc#1", 0, []partitionPartial{
 		{ID: 0, Partial: map[string]float64{"a": 1}},
 		{ID: 1, Partial: map[string]float64{"b": 2}},
-	})
+	}, 2)
 
-	if _, _, err := fetchPartition(addr, "wc#1", 99, []int{0}); err == nil {
+	if _, _, _, err := fetchPartition(addr, "wc#1", 99, []int{0}, defaultShuffleTimeout, false); err == nil {
 		t.Error("out-of-range partition id served")
 	}
-	if _, _, err := fetchPartition(addr, "evil#7", 0, []int{0}); err == nil {
+	if _, _, _, err := fetchPartition(addr, "evil#7", 0, []int{0}, defaultShuffleTimeout, false); err == nil {
 		t.Error("foreign job's run id served")
 	}
-	if _, _, err := fetchPartition(addr, "wc#1", 0, []int{5}); err == nil {
+	if _, _, _, err := fetchPartition(addr, "wc#1", 0, []int{5}, defaultShuffleTimeout, false); err == nil {
 		t.Error("unknown map task served")
 	}
 
@@ -339,22 +339,22 @@ func TestRogueFetchRejected(t *testing.T) {
 	c := newConn(raw)
 	c.binary, c.binExt, c.red = true, true, true
 	defer func() { _ = c.close() }()
-	if err := c.send(message{Type: "ping"}, shuffleTimeout); err != nil {
+	if err := c.send(message{Type: "ping"}, defaultShuffleTimeout); err != nil {
 		t.Fatal(err)
 	}
-	if reply, err := c.recv(shuffleTimeout); err != nil || reply.Type != "error" {
+	if reply, err := c.recv(defaultShuffleTimeout); err != nil || reply.Type != "error" {
 		t.Fatalf("non-fetch frame got (%+v, %v), want an error frame", reply, err)
 	}
-	if err := c.send(message{Type: "fetch", Run: "wc#1", TaskID: -1, Tasks: []int{0}}, shuffleTimeout); err != nil {
+	if err := c.send(message{Type: "fetch", Run: "wc#1", TaskID: -1, Tasks: []int{0}}, defaultShuffleTimeout); err != nil {
 		t.Fatal(err)
 	}
-	if reply, err := c.recv(shuffleTimeout); err != nil || reply.Type != "error" {
+	if reply, err := c.recv(defaultShuffleTimeout); err != nil || reply.Type != "error" {
 		t.Fatalf("negative partition got (%+v, %v), want an error frame", reply, err)
 	}
-	if err := c.send(message{Type: "fetch", Run: "wc#1", TaskID: 1, Tasks: []int{0}}, shuffleTimeout); err != nil {
+	if err := c.send(message{Type: "fetch", Run: "wc#1", TaskID: 1, Tasks: []int{0}}, defaultShuffleTimeout); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := c.recv(shuffleTimeout)
+	reply, err := c.recv(defaultShuffleTimeout)
 	if err != nil || reply.Type != "fetchresult" {
 		t.Fatalf("valid fetch after rogues got (%+v, %v), want fetchresult", reply, err)
 	}
@@ -444,8 +444,9 @@ func TestRogueReduceErrorReassigned(t *testing.T) {
 
 // TestCompatMatrix is the mixed-version compatibility gate CI pins: one
 // worker of every protocol generation — v1 JSON, bin, bin2, trace,
-// reduce — paired with a current worker under a master that has every
-// feature enabled, each run compared against the single-shard reference.
+// reduce, comp — paired with a current worker under a master that has
+// every feature enabled, each run compared against the single-shard
+// reference.
 func TestCompatMatrix(t *testing.T) {
 	gens := []struct {
 		name string
@@ -455,7 +456,8 @@ func TestCompatMatrix(t *testing.T) {
 		{"bin", []string{capBinary}},
 		{"bin2", []string{capBinary, capBinaryExt, capBatch, capPartition}},
 		{"trace", []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace}},
-		{"reduce", workerCaps()},
+		{"reduce", []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce}},
+		{"comp", workerCaps()},
 	}
 	lines := testLines(t, 400)
 	want := runShard(wordCountJob(), lines, newShardScratch())
@@ -528,7 +530,7 @@ func reduceFrameSeeds() []message {
 // body that decodes must re-encode and round-trip to the same message.
 func FuzzDecodeReduceFrame(f *testing.F) {
 	for _, m := range reduceFrameSeeds() {
-		frame, _, err := appendFrame(nil, &m, nil, true, false, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, false, true, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -544,7 +546,7 @@ func FuzzDecodeReduceFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, body []byte) {
 		for _, layout := range []struct{ trc bool }{{false}, {true}} {
 			var m message
-			if err := decodeFrame(body, &m, true, layout.trc, true); err != nil {
+			if err := decodeFrame(body, &m, true, layout.trc, true, false); err != nil {
 				continue
 			}
 			for _, loc := range m.Locs {
@@ -558,12 +560,12 @@ func FuzzDecodeReduceFrame(f *testing.F) {
 			if _, ok := frameTypes[m.Type]; !ok {
 				continue // unknown type placeholder, ignore-path
 			}
-			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true)
+			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true, false)
 			if err != nil {
 				t.Fatalf("decoded frame failed to re-encode: %v", err)
 			}
 			var again message
-			if err := decodeFrame(frameBody(t, frame), &again, true, layout.trc, true); err != nil {
+			if err := decodeFrame(frameBody(t, frame), &again, true, layout.trc, true, false); err != nil {
 				t.Fatalf("re-encoded frame failed to decode: %v", err)
 			}
 			if !reflect.DeepEqual(normalize(stripSpans(again)), normalize(stripSpans(m))) {
@@ -582,8 +584,8 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if os.Getenv("NETMR_WRITE_FUZZ_CORPUS") == "" {
 		t.Skip("set NETMR_WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
 	}
-	encode := func(m message, ext, trc, red bool) []byte {
-		frame, _, err := appendFrame(nil, &m, nil, ext, trc, red)
+	encode := func(m message, ext, trc, red, cmp bool) []byte {
+		frame, _, err := appendFrame(nil, &m, nil, ext, trc, red, cmp)
 		if err != nil {
 			t.Fatalf("encode %+v: %v", m, err)
 		}
@@ -601,26 +603,30 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		corpora[fuzzName] = append(corpora[fuzzName], bodies...)
 	}
 	for _, m := range codecMessages() {
-		body := encode(m, true, true, true)
+		body := encode(m, true, true, true, false)
 		add("FuzzDecodeFrame", body, body[:len(body)/2], mutate(body))
 	}
 	for _, m := range reduceFrameSeeds() {
-		body := encode(m, true, false, true)
+		body := encode(m, true, false, true, false)
 		add("FuzzDecodeReduceFrame", body, body[:len(body)*2/3], mutate(body))
 	}
 	for _, m := range codecMessages() {
 		if m.Type != "presult" || m.Trace != "" || len(m.Spans) > 0 {
 			continue
 		}
-		body := encode(m, true, false, false)
+		body := encode(m, true, false, false, false)
 		add("FuzzDecodePartitionedResult", body, mutate(body))
 	}
 	for _, m := range codecMessages() {
 		if m.Trace == "" && len(m.Spans) == 0 {
 			continue
 		}
-		body := encode(m, true, true, false)
+		body := encode(m, true, true, false, false)
 		add("FuzzDecodeSpanSummary", body, mutate(body))
+	}
+	for _, m := range compFrameSeeds() {
+		body := encode(m, true, true, true, true)
+		add("FuzzDecodeCompressedFrame", body, body[:len(body)/2], mutate(body))
 	}
 	for fuzzName, bodies := range corpora {
 		dir := filepath.Join("testdata", "fuzz", fuzzName)

@@ -3,38 +3,74 @@ package netmr
 import (
 	"fmt"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
 )
 
 // Worker-side half of the distributed reduce phase: a reduce-capable
-// worker persists its partitioned map output in memory keyed by
-// (run, map task), serves it to peer reducers over fetch/fetchresult
-// frames on a dedicated shuffle listener, and executes reduce tasks by
-// pulling every map task's slice of its partition from those peers (or
-// from the master-relayed inline partials of v1/non-reduce peers) and
-// folding them — the OSDI'04 shape where reduce work scales with the
-// cluster instead of living in the master process.
+// worker persists its partitioned map output keyed by (run, map task),
+// serves it to peer reducers over fetch/fetchresult frames on a
+// dedicated shuffle listener, and executes reduce tasks by pulling
+// every map task's slice of its partition from those peers (or from the
+// master-relayed inline partials of v1/non-reduce peers) and folding
+// them — the OSDI'04 shape where reduce work scales with the cluster
+// instead of living in the master process.
+//
+// The store is out-of-core: a configurable byte budget bounds how much
+// intermediate output stays resident, whole partition sets spilling to
+// per-run temp files (sorted by key, indexed by partition) when it is
+// exceeded, and comp-generation peers replicate each persisted set to
+// one peer so a worker lost after mapdone no longer loses its outputs.
 
-// shuffleTimeout bounds one fetch round-trip between workers.
-const shuffleTimeout = 30 * time.Second
+// defaultShuffleTimeout bounds one fetch round-trip between workers
+// unless WorkerConfig/MasterConfig override it.
+const defaultShuffleTimeout = 30 * time.Second
 
-// interStore is a worker's in-memory intermediate store. It holds the
-// partitioned map output of exactly one run at a time: a task stored
-// under a new run id evicts everything from the previous run, so a
-// long-lived worker does not accumulate dead intermediates across jobs.
-// The serve goroutine writes; shuffle-server goroutines read
-// concurrently, hence the lock.
+// storedTask is one map task's partition set: in memory (parts) until
+// the store's budget forces it to disk (spill), never both.
+type storedTask struct {
+	parts []partitionPartial
+	bytes int64
+	spill *spillFile
+}
+
+// interStore is a worker's intermediate store. It holds the partitioned
+// map output of exactly one run at a time: a task stored under a new
+// run id evicts everything from the previous run — including its spill
+// files and its granted reducer count, so a stale count never validates
+// fetches against an evicted run. The serve goroutine writes;
+// shuffle-server goroutines read concurrently, hence the lock.
 type interStore struct {
 	mu       sync.Mutex
 	run      string
 	reducers int
-	tasks    map[int][]partitionPartial // map task id → per-partition partials
+
+	budget  int64  // resident-byte watermark; 0 = never spill
+	baseDir string // spill scratch root; "" = os.TempDir()
+	dir     string // current run's spill dir, created lazily
+
+	mem  int64 // resident bytes of in-memory partition sets
+	peak int64 // high-water resident bytes, measured after spilling
+
+	totalSpills  int
+	totalSpilled int64
+
+	tasks map[int]*storedTask
 }
 
 func newInterStore() *interStore {
-	return &interStore{tasks: map[int][]partitionPartial{}}
+	return &interStore{tasks: map[int]*storedTask{}}
+}
+
+// configure sets the spill policy. Called before Start, so no lock
+// contention matters; it takes the lock anyway for the race detector's
+// peace of mind.
+func (s *interStore) configure(budget int64, dir string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget, s.baseDir = budget, dir
 }
 
 // setReducers publishes the helloack-granted reduce partition count to
@@ -45,25 +81,122 @@ func (s *interStore) setReducers(r int) {
 	s.reducers = r
 }
 
-// put stores one map task's partitioned output under run, evicting any
-// previous run's intermediates first.
-func (s *interStore) put(run string, task int, parts []partitionPartial) {
+// put stores one map task's partitioned output under run — its own or a
+// peer's it replicates — evicting any previous run's intermediates
+// first. reducers is the partition count of the run (the spill section
+// table is sized by it, and a run change adopts it so the evicted run's
+// count cannot leak forward). When the byte budget is exceeded, whole
+// partition sets spill to disk in ascending task order until the store
+// fits again; spills/spilled report what this call flushed. A spill
+// error leaves the set resident (correct, just over budget).
+func (s *interStore) put(run string, task int, parts []partitionPartial, reducers int) (spills int, spilled int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.run != run {
+		s.evictLocked()
 		s.run = run
-		clear(s.tasks)
+		s.reducers = reducers
 	}
-	s.tasks[task] = parts
+	if old, ok := s.tasks[task]; ok {
+		// A speculation loser or a replica of output already held: replace.
+		if old.spill != nil {
+			old.spill.remove()
+		} else {
+			s.mem -= old.bytes
+		}
+	}
+	st := &storedTask{parts: parts, bytes: partialMemBytes(parts)}
+	s.tasks[task] = st
+	s.mem += st.bytes
+	if s.budget > 0 && s.mem > s.budget {
+		spills, spilled, err = s.spillLocked()
+		s.totalSpills += spills
+		s.totalSpilled += spilled
+	}
+	if s.mem > s.peak {
+		s.peak = s.mem
+	}
+	return spills, spilled, err
+}
+
+// spillLocked flushes resident partition sets in ascending task order
+// until the store fits its budget again.
+func (s *interStore) spillLocked() (int, int64, error) {
+	if s.dir == "" {
+		dir, err := ensureSpillDir(s.baseDir, s.run)
+		if err != nil {
+			return 0, 0, err
+		}
+		s.dir = dir
+	}
+	ids := make([]int, 0, len(s.tasks))
+	for id, st := range s.tasks {
+		if st.spill == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var spills int
+	var spilled int64
+	for _, id := range ids {
+		if s.mem <= s.budget {
+			break
+		}
+		st := s.tasks[id]
+		sf, n, err := writeSpillFile(s.dir, id, st.parts, s.reducers)
+		if err != nil {
+			return spills, spilled, err
+		}
+		st.spill = sf
+		st.parts = nil
+		s.mem -= st.bytes
+		spills++
+		spilled += n
+	}
+	return spills, spilled, nil
+}
+
+// evictLocked drops every held task, spill files and scratch dir
+// included.
+func (s *interStore) evictLocked() {
+	for _, st := range s.tasks {
+		if st.spill != nil {
+			st.spill.remove()
+		}
+	}
+	clear(s.tasks)
+	s.mem = 0
+	if s.dir != "" {
+		_ = os.RemoveAll(s.dir)
+		s.dir = ""
+	}
+}
+
+// evictAll is evictLocked for Worker.Stop: nothing survives, and the
+// run id is cleared so late fetches are refused rather than answered
+// from a torn-down store.
+func (s *interStore) evictAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	s.run = ""
+}
+
+// stats reports the high-water resident bytes and cumulative spill
+// volume — what the ooshuffle experiment asserts its budget against.
+func (s *interStore) stats() (peak, spilled int64, runs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak, s.totalSpilled, s.totalSpills
 }
 
 // slice answers one fetch: partition's slice of every requested map
 // task, as per-map-task partials (ID is the map task id; a task that
 // emitted no keys into the partition contributes a nil Partial, which
-// still acknowledges the task is held). A mismatched run, an
-// out-of-range partition or an unknown task id is a request the serving
-// worker must refuse — not panic over — whatever a rogue or confused
-// reducer sends.
+// still acknowledges the task is held). Spilled tasks are read back
+// from their section on disk. A mismatched run, an out-of-range
+// partition or an unknown task id is a request the serving worker must
+// refuse — not panic over — whatever a rogue or confused reducer sends.
 func (s *interStore) slice(run string, partition int, tasks []int) ([]partitionPartial, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -75,15 +208,23 @@ func (s *interStore) slice(run string, partition int, tasks []int) ([]partitionP
 	}
 	out := make([]partitionPartial, 0, len(tasks))
 	for _, task := range tasks {
-		parts, ok := s.tasks[task]
+		st, ok := s.tasks[task]
 		if !ok {
 			return nil, fmt.Errorf("map output for task %d is not held", task)
 		}
 		var m map[string]float64
-		for _, p := range parts {
-			if p.ID == partition {
-				m = p.Partial
-				break
+		if st.spill != nil {
+			sec, err := st.spill.section(partition)
+			if err != nil {
+				return nil, err
+			}
+			m = sec
+		} else {
+			for _, p := range st.parts {
+				if p.ID == partition {
+					m = p.Partial
+					break
+				}
 			}
 		}
 		out = append(out, partitionPartial{ID: task, Partial: m})
@@ -114,67 +255,123 @@ func (w *Worker) startFetchListener() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// serveFetch handles one reducer connection. Shuffle connections are
-// negotiation-free: only reduce-capable peers ever dial one, so both
-// ends speak the full binary layout (ext+red) unconditionally. A bad
-// request gets an error frame and the connection keeps serving — one
-// rogue fetch must not take the worker's other partitions down with it.
+// serveFetch handles one peer shuffle connection. Shuffle connections
+// are negotiation-free on the reduce layout (only reduce-capable peers
+// dial one, so both ends speak ext+red unconditionally); whether the
+// dialer additionally speaks the comp generation is sniffed from the
+// first body byte — the comp flag layer starts with 0x00/0x01, a
+// legacy body with its frame type byte (never below 2 on a shuffle
+// connection) — so reduce-only peers from the previous generation stay
+// byte-identical. A bad request gets an error frame and the connection
+// keeps serving — one rogue fetch must not take the worker's other
+// partitions down with it.
 func (w *Worker) serveFetch(raw net.Conn) {
 	c := newConn(raw)
 	c.binary, c.binExt, c.red = true, true, true
+	c.sniff = true
 	defer func() { _ = c.close() }()
+	to := w.shuffleTO()
 	for {
-		m, err := c.recv(shuffleTimeout)
+		m, err := c.recv(to)
 		if err != nil {
 			return // peer done (or garbage framing — either way, hang up)
 		}
-		if m.Type != "fetch" {
-			workerServes.With("rejected").Inc()
-			if c.send(message{Type: "error", Message: fmt.Sprintf("unexpected frame %q on shuffle connection", m.Type)}, shuffleTimeout) != nil {
+		switch m.Type {
+		case "fetch":
+			parts, err := w.store.slice(m.Run, m.TaskID, m.Tasks)
+			if err != nil {
+				workerServes.With("rejected").Inc()
+				if c.send(message{Type: "error", TaskID: m.TaskID, Message: err.Error()}, to) != nil {
+					return
+				}
+				continue
+			}
+			workerServes.With("ok").Inc()
+			if c.send(message{Type: "fetchresult", TaskID: m.TaskID, Parts: parts}, to) != nil {
 				return
 			}
-			continue
-		}
-		parts, err := w.store.slice(m.Run, m.TaskID, m.Tasks)
-		if err != nil {
-			workerServes.With("rejected").Inc()
-			if c.send(message{Type: "error", TaskID: m.TaskID, Message: err.Error()}, shuffleTimeout) != nil {
+		case "replicate":
+			if _, _, err := w.store.put(m.Run, m.TaskID, m.Parts, m.Reducers); err != nil {
+				workerServes.With("rejected").Inc()
+				if c.send(message{Type: "error", TaskID: m.TaskID, Message: err.Error()}, to) != nil {
+					return
+				}
+				continue
+			}
+			workerReplicasStored.Inc()
+			if c.send(message{Type: "replicack", TaskID: m.TaskID}, to) != nil {
 				return
 			}
-			continue
-		}
-		workerServes.With("ok").Inc()
-		if c.send(message{Type: "fetchresult", TaskID: m.TaskID, Parts: parts}, shuffleTimeout) != nil {
-			return
+		default:
+			workerServes.With("rejected").Inc()
+			if c.send(message{Type: "error", Message: fmt.Sprintf("unexpected frame %q on shuffle connection", m.Type)}, to) != nil {
+				return
+			}
 		}
 	}
 }
 
 // fetchPartition pulls partition's slice of the given map tasks from a
-// peer's shuffle listener, returning the per-task partials and the
-// encoded bytes transferred.
-func fetchPartition(addr, run string, partition int, tasks []int) ([]partitionPartial, int64, error) {
-	raw, err := net.DialTimeout("tcp", addr, shuffleTimeout)
+// peer's shuffle listener, returning the per-task partials, the encoded
+// bytes transferred, and — on comp connections — the wire bytes frame
+// compression saved. cmp must reflect the target peer's generation (the
+// master names comp-capable addrs on the reducetask frame).
+func fetchPartition(addr, run string, partition int, tasks []int, timeout time.Duration, cmp bool) ([]partitionPartial, int64, int64, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, 0, fmt.Errorf("netmr: fetch dial %s: %w", addr, err)
+		return nil, 0, 0, fmt.Errorf("netmr: fetch dial %s: %w", addr, err)
 	}
 	c := newConn(raw)
-	c.binary, c.binExt, c.red = true, true, true
+	c.binary, c.binExt, c.red, c.cmp = true, true, true, cmp
 	defer func() { _ = c.close() }()
-	if err := c.send(message{Type: "fetch", Run: run, TaskID: partition, Tasks: tasks}, shuffleTimeout); err != nil {
-		return nil, 0, err
+	if err := c.send(message{Type: "fetch", Run: run, TaskID: partition, Tasks: tasks}, timeout); err != nil {
+		return nil, 0, 0, err
 	}
-	reply, err := c.recv(shuffleTimeout)
+	reply, err := c.recv(timeout)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	switch reply.Type {
 	case "fetchresult":
-		return reply.Parts, int64(c.lastFrameLen), nil
+		var saved int64
+		if cmp {
+			if sv := int64(c.lastRawLen) - int64(c.lastFrameLen); sv > 0 {
+				saved = sv
+			}
+		}
+		return reply.Parts, int64(c.lastFrameLen), saved, nil
 	case "error":
-		return nil, 0, fmt.Errorf("netmr: fetch from %s refused: %s", addr, reply.Message)
+		return nil, 0, 0, fmt.Errorf("netmr: fetch from %s refused: %s", addr, reply.Message)
 	default:
-		return nil, 0, fmt.Errorf("netmr: fetch from %s answered %q", addr, reply.Type)
+		return nil, 0, 0, fmt.Errorf("netmr: fetch from %s answered %q", addr, reply.Type)
+	}
+}
+
+// replicateParts pushes one persisted partition set to a peer's shuffle
+// listener (always a comp-generation peer — the master only names
+// those) and waits for the replicack.
+func replicateParts(addr, run string, task int, parts []partitionPartial, reducers int, timeout time.Duration) error {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("netmr: replicate dial %s: %w", addr, err)
+	}
+	c := newConn(raw)
+	c.binary, c.binExt, c.red, c.cmp = true, true, true, true
+	defer func() { _ = c.close() }()
+	if err := c.send(message{Type: "replicate", Run: run, TaskID: task, Parts: parts, Reducers: reducers}, timeout); err != nil {
+		return err
+	}
+	reply, err := c.recv(timeout)
+	if err != nil {
+		return err
+	}
+	switch reply.Type {
+	case "replicack":
+		return nil
+	case "error":
+		return fmt.Errorf("netmr: replicate to %s refused: %s", addr, reply.Message)
+	default:
+		return fmt.Errorf("netmr: replicate to %s answered %q", addr, reply.Type)
 	}
 }
 
@@ -190,13 +387,18 @@ type taskPartial struct {
 // (the worker's own store is read directly, no loopback dial) — fold
 // them in ascending map-task order, and answer with a flat result frame
 // carrying the partition's final key space and the intermediate bytes
-// fetched. A gather failure is answered with an error frame: the master
-// treats it like any failed launch and reassigns the partition.
+// fetched. Under a spill budget the gathered partials buffer through a
+// spillFolder whose sorted runs merge back via loser tree, keeping the
+// output byte-identical to the in-memory fold. A gather failure is
+// answered with an error frame naming the peer that failed (Fetch), so
+// the master can consult replica locations instead of evicting the
+// healthy reducer.
 func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
+	to := w.shuffleTO()
 	job, ok := w.registry.lookup(m.Job)
 	if !ok {
 		workerTasks.With("unknown_job").Inc()
-		_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, shuffleTimeout)
+		_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: fmt.Sprintf("unknown job %q", m.Job)}, to)
 		return true
 	}
 	if f := w.chaos.TaskFault("reduce", m.TaskID, m.Attempt); f.Delay > 0 || f.Crash {
@@ -214,25 +416,51 @@ func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 		clock, t = newSpanClock(decode)
 	}
 	start := time.Now()
-	inputs := make([]taskPartial, 0, len(m.Parts))
-	for _, p := range m.Parts {
-		// Master-relayed partials from v1/non-reduce peers: ID is the map
-		// task id here, not a partition index.
-		inputs = append(inputs, taskPartial{task: p.ID, partial: p.Partial})
+	var folder *spillFolder
+	if w.spillBudget > 0 {
+		if dir, err := ensureSpillDir(w.spillDir, m.Run); err == nil {
+			folder = newSpillFolder(w.spillBudget, dir)
+			defer folder.discard()
+		}
 	}
-	var fetched int64
+	var inputs []taskPartial
+	gather := func(task int, partial map[string]float64) error {
+		if folder != nil {
+			return folder.add(task, partial)
+		}
+		inputs = append(inputs, taskPartial{task: task, partial: partial})
+		return nil
+	}
 	var gatherErr error
+	var failedAddr string
+	for _, p := range m.Parts {
+		// Master-relayed partials from v1/non-reduce peers (or recovered
+		// map re-executions): ID is the map task id here, not a partition
+		// index.
+		if gatherErr = gather(p.ID, p.Partial); gatherErr != nil {
+			break
+		}
+	}
+	compAddrs := map[string]bool{}
+	for _, a := range m.CompAddrs {
+		compAddrs[a] = true
+	}
+	var fetched, compSaved int64
 	for _, loc := range m.Locs {
+		if gatherErr != nil {
+			break
+		}
 		var parts []partitionPartial
 		if loc.Addr == w.fetchAddr {
 			// Our own store: read it directly instead of dialing ourselves.
 			parts, gatherErr = w.store.slice(m.Run, m.TaskID, loc.Tasks)
 		} else {
 			fetchStart := time.Now()
-			var n int64
-			parts, n, gatherErr = fetchPartition(loc.Addr, m.Run, m.TaskID, loc.Tasks)
+			var n, sv int64
+			parts, n, sv, gatherErr = fetchPartition(loc.Addr, m.Run, m.TaskID, loc.Tasks, to, c.cmp && compAddrs[loc.Addr])
 			workerFetchSeconds.Observe(time.Since(fetchStart).Seconds())
 			fetched += n
+			compSaved += sv
 			if gatherErr == nil {
 				workerFetches.With("ok").Inc()
 			} else {
@@ -240,36 +468,72 @@ func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 			}
 		}
 		if gatherErr != nil {
+			failedAddr = loc.Addr
 			break
 		}
 		for _, p := range parts {
-			inputs = append(inputs, taskPartial{task: p.ID, partial: p.Partial})
+			if gatherErr = gather(p.ID, p.Partial); gatherErr != nil {
+				break
+			}
 		}
 	}
 	if gatherErr != nil {
 		workerTasks.With("fetch_failed").Inc()
-		_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: gatherErr.Error()}, shuffleTimeout)
+		fail := message{Type: "error", TaskID: m.TaskID, Message: gatherErr.Error()}
+		if c.cmp {
+			fail.Fetch = failedAddr
+		}
+		_ = c.send(fail, to)
 		return true
 	}
 	workerShuffleBytes.Add(float64(fetched))
 	if clock != nil {
 		t = clock.mark(spanFetch, t)
 	}
-	// Deterministic fold order: ascending map task id, whatever order the
-	// relays and fetches arrived in.
-	sort.Slice(inputs, func(i, j int) bool { return inputs[i].task < inputs[j].task })
-	out := foldTaskPartials(job, inputs)
+	var out map[string]float64
+	merged := false
+	if folder != nil {
+		var foldErr error
+		out, merged, foldErr = folder.fold(job)
+		if foldErr != nil {
+			workerTasks.With("fold_failed").Inc()
+			_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: foldErr.Error()}, to)
+			return true
+		}
+	} else {
+		// Deterministic fold order: ascending map task id, whatever order
+		// the relays and fetches arrived in.
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i].task < inputs[j].task })
+		out = foldTaskPartials(job, inputs)
+	}
 	if clock != nil {
-		t = clock.mark(spanReduce, t)
+		if merged {
+			t = clock.mark(spanMergeRuns, t)
+		} else {
+			t = clock.mark(spanReduce, t)
+		}
 	}
 	workerReduceSeconds.Observe(time.Since(start).Seconds())
 	workerTasks.With("ok").Inc()
 	var spans []spanSummary
 	if clock != nil {
 		clock.mark(spanEncode, t)
+		if folder != nil && folder.flushDur > 0 {
+			clock.spans = appendSpanAfter(clock.spans, spanSpill, folder.flushDur)
+		}
 		spans = clock.spans
 	}
-	return c.send(message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: out, Bytes: fetched, Trace: m.Trace, Spans: spans}, shuffleTimeout) == nil
+	res := message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: out, Bytes: fetched, Trace: m.Trace, Spans: spans}
+	if c.cmp {
+		res.CompBytes = compSaved
+		if folder != nil {
+			res.Spills = folder.spillRuns
+			res.Spilled = folder.spilledBytes
+			workerSpillRuns.Add(float64(folder.spillRuns))
+			workerSpilledBytes.Add(float64(folder.spilledBytes))
+		}
+	}
+	return c.send(res, to) == nil
 }
 
 // foldTaskPartials merges per-map-task partials of one partition into

@@ -1,0 +1,511 @@
+package netmr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Out-of-core halves of the shuffle: the map-side interStore spills
+// whole map-task partition sets to per-run temp files when its byte
+// budget is exceeded, and the reduce-side fold buffers gathered task
+// partials through a spillFolder that flushes sorted runs and merges
+// them back with a loser tree. Both sides keep the fold order — and
+// therefore the job output — byte-identical to the all-in-memory path:
+// per key, values are folded in ascending map-task order either way.
+
+// partialMemBytes estimates the resident cost of one partition set: key
+// bytes + an 8-byte value + fixed per-entry map overhead. The estimate
+// only needs to be deterministic and monotone with real usage; the
+// budget is a watermark, not an allocator.
+func partialMemBytes(parts []partitionPartial) int64 {
+	var n int64
+	for _, p := range parts {
+		for k := range p.Partial {
+			n += int64(len(k)) + 8 + 16
+		}
+		n += 48 // map header + slice entry
+	}
+	return n
+}
+
+// spillFile is one map task's partition set on disk: R sections in
+// partition order, each section the partition's keys sorted with their
+// values. The offset index stays in memory so a fetch reads exactly one
+// section back.
+type spillFile struct {
+	f       *os.File
+	offsets []int64 // per partition: section start; -1 when the partition is empty
+	lengths []int64
+}
+
+// writeSpillFile flushes parts (a task's partition set, partition count
+// reducers) to a new file under dir and returns the handle plus the
+// bytes written.
+func writeSpillFile(dir string, task int, parts []partitionPartial, reducers int) (*spillFile, int64, error) {
+	f, err := os.CreateTemp(dir, fmt.Sprintf("task-%d-*.spill", task))
+	if err != nil {
+		return nil, 0, fmt.Errorf("netmr: spill create: %w", err)
+	}
+	sf := &spillFile{f: f, offsets: make([]int64, reducers), lengths: make([]int64, reducers)}
+	for p := range sf.offsets {
+		sf.offsets[p] = -1
+	}
+	w := bufio.NewWriter(f)
+	var off int64
+	var keys []string
+	var scratch [binary.MaxVarintLen64]byte
+	for _, part := range parts {
+		if part.ID < 0 || part.ID >= reducers {
+			continue // validated upstream; never index out of the section table
+		}
+		keys = keys[:0]
+		for k := range part.Partial {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sf.offsets[part.ID] = off
+		n := binary.PutUvarint(scratch[:], uint64(len(keys)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return nil, 0, closeSpillErr(sf, err)
+		}
+		off += int64(n)
+		for _, k := range keys {
+			n := binary.PutUvarint(scratch[:], uint64(len(k)))
+			if _, err := w.Write(scratch[:n]); err != nil {
+				return nil, 0, closeSpillErr(sf, err)
+			}
+			if _, err := w.WriteString(k); err != nil {
+				return nil, 0, closeSpillErr(sf, err)
+			}
+			binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(part.Partial[k]))
+			if _, err := w.Write(scratch[:8]); err != nil {
+				return nil, 0, closeSpillErr(sf, err)
+			}
+			off += int64(n) + int64(len(k)) + 8
+		}
+		sf.lengths[part.ID] = off - sf.offsets[part.ID]
+	}
+	if err := w.Flush(); err != nil {
+		return nil, 0, closeSpillErr(sf, err)
+	}
+	return sf, off, nil
+}
+
+func closeSpillErr(sf *spillFile, err error) error {
+	sf.remove()
+	return fmt.Errorf("netmr: spill write: %w", err)
+}
+
+// section reads one partition's slice back (nil when the task emitted
+// nothing into it).
+func (sf *spillFile) section(partition int) (map[string]float64, error) {
+	if partition < 0 || partition >= len(sf.offsets) || sf.offsets[partition] < 0 {
+		return nil, nil
+	}
+	buf := make([]byte, sf.lengths[partition])
+	if _, err := sf.f.ReadAt(buf, sf.offsets[partition]); err != nil {
+		return nil, fmt.Errorf("netmr: spill read: %w", err)
+	}
+	r := &frameReader{s: string(buf)}
+	nk, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nk == 0 {
+		return map[string]float64{}, nil
+	}
+	out := make(map[string]float64, nk)
+	for i := uint64(0); i < nk; i++ {
+		k, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if len(r.s)-r.off < 8 {
+			return nil, fmt.Errorf("netmr: truncated spill value at byte %d", r.off)
+		}
+		out[k] = math.Float64frombits(u64at(r.s, r.off))
+		r.off += 8
+	}
+	return out, nil
+}
+
+// remove closes and deletes the backing file.
+func (sf *spillFile) remove() {
+	name := sf.f.Name()
+	_ = sf.f.Close()
+	_ = os.Remove(name)
+}
+
+// spillTriple is one (key, map task, value) record of a reduce-side
+// spill run, the unit the loser tree merges on.
+type spillTriple struct {
+	key  string
+	task int
+	val  float64
+}
+
+// tripleLess orders triples by (key, ascending map task) — the exact
+// fold order of the in-memory path, so a merged fold feeds each key its
+// values in the same sequence.
+func tripleLess(a, b spillTriple) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.task < b.task
+}
+
+// tripleStream yields sorted triples — from a spilled run file or the
+// in-memory remainder — until exhausted.
+type tripleStream interface {
+	next() (spillTriple, bool, error)
+}
+
+// memTripleStream iterates a sorted in-memory triple slice.
+type memTripleStream struct {
+	triples []spillTriple
+	i       int
+}
+
+func (s *memTripleStream) next() (spillTriple, bool, error) {
+	if s.i >= len(s.triples) {
+		return spillTriple{}, false, nil
+	}
+	t := s.triples[s.i]
+	s.i++
+	return t, true, nil
+}
+
+// fileTripleStream reads one spill run back sequentially.
+type fileTripleStream struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+func (s *fileTripleStream) next() (spillTriple, bool, error) {
+	kl, err := binary.ReadUvarint(s.r)
+	if err == io.EOF {
+		return spillTriple{}, false, nil
+	}
+	if err != nil {
+		return spillTriple{}, false, fmt.Errorf("netmr: spill run read: %w", err)
+	}
+	kb := make([]byte, kl)
+	if _, err := io.ReadFull(s.r, kb); err != nil {
+		return spillTriple{}, false, fmt.Errorf("netmr: spill run read: %w", err)
+	}
+	task, err := binary.ReadVarint(s.r)
+	if err != nil {
+		return spillTriple{}, false, fmt.Errorf("netmr: spill run read: %w", err)
+	}
+	var vb [8]byte
+	if _, err := io.ReadFull(s.r, vb[:]); err != nil {
+		return spillTriple{}, false, fmt.Errorf("netmr: spill run read: %w", err)
+	}
+	return spillTriple{
+		key:  string(kb),
+		task: int(task),
+		val:  math.Float64frombits(binary.LittleEndian.Uint64(vb[:])),
+	}, true, nil
+}
+
+func (s *fileTripleStream) close() {
+	name := s.f.Name()
+	_ = s.f.Close()
+	_ = os.Remove(name)
+}
+
+// loserTree is a k-way tournament merge over sorted triple streams:
+// tree[1:] are the internal nodes, each remembering the loser of its
+// match, and tree[0] the overall winner, so replacing a popped head
+// replays log2(k) comparisons along one leaf-to-root path instead of a
+// heap's full sift — the classic structure for merging many spill runs.
+type loserTree struct {
+	streams []tripleStream
+	tree    []int         // tree[0]: winner; tree[1:]: per-node losers
+	heads   []spillTriple // current head per stream
+	alive   []bool        // stream still has a head
+}
+
+// newLoserTree primes every stream and plays the initial tournament.
+// Empty slots (-1) absorb the first contender unopposed, so k adjust
+// passes fill the whole tree.
+func newLoserTree(streams []tripleStream) (*loserTree, error) {
+	k := len(streams)
+	lt := &loserTree{
+		streams: streams,
+		tree:    make([]int, k),
+		heads:   make([]spillTriple, k),
+		alive:   make([]bool, k),
+	}
+	for i, s := range streams {
+		t, ok, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		lt.heads[i], lt.alive[i] = t, ok
+	}
+	for i := range lt.tree {
+		lt.tree[i] = -1
+	}
+	for i := 0; i < k; i++ {
+		winner := i
+		parked := false
+		for node := (i + k) / 2; node > 0; node /= 2 {
+			if lt.tree[node] < 0 {
+				lt.tree[node] = winner // first arrival: wait here for an opponent
+				parked = true
+				break
+			}
+			if lt.less(lt.tree[node], winner) {
+				winner, lt.tree[node] = lt.tree[node], winner
+			}
+		}
+		if !parked {
+			lt.tree[0] = winner
+		}
+	}
+	return lt, nil
+}
+
+// less orders two stream indices by their heads; an exhausted stream
+// loses to everything, so the winner is always a live head while any
+// remain.
+func (lt *loserTree) less(a, b int) bool {
+	if !lt.alive[a] {
+		return false
+	}
+	if !lt.alive[b] {
+		return true
+	}
+	return tripleLess(lt.heads[a], lt.heads[b])
+}
+
+// next pops the smallest head across all streams; ok is false when every
+// stream is exhausted.
+func (lt *loserTree) next() (spillTriple, bool, error) {
+	w := lt.tree[0]
+	if w < 0 || !lt.alive[w] {
+		return spillTriple{}, false, nil
+	}
+	out := lt.heads[w]
+	t, ok, err := lt.streams[w].next()
+	if err != nil {
+		return spillTriple{}, false, err
+	}
+	lt.heads[w], lt.alive[w] = t, ok
+	// Replay the refilled leaf against the recorded losers on its path.
+	k := len(lt.streams)
+	winner := w
+	for node := (w + k) / 2; node > 0; node /= 2 {
+		if lt.less(lt.tree[node], winner) {
+			winner, lt.tree[node] = lt.tree[node], winner
+		}
+	}
+	lt.tree[0] = winner
+	return out, true, nil
+}
+
+// spillFolder buffers gathered task partials for one reduce task under a
+// byte budget, flushing sorted runs to dir when it is exceeded. fold
+// merges the runs and the in-memory remainder back into the partition's
+// final key space.
+type spillFolder struct {
+	budget int64 // 0: never spill
+	dir    string
+
+	mem     int64
+	triples []spillTriple
+	runs    []*fileTripleStream
+
+	spillRuns    int
+	spilledBytes int64
+	flushDur     time.Duration // wall time spent writing runs (the "spill" span)
+}
+
+func newSpillFolder(budget int64, dir string) *spillFolder {
+	return &spillFolder{budget: budget, dir: dir}
+}
+
+// add buffers one gathered task partial, spilling the buffer as a sorted
+// run when the budget is exceeded.
+func (f *spillFolder) add(task int, partial map[string]float64) error {
+	for k, v := range partial {
+		f.triples = append(f.triples, spillTriple{key: k, task: task, val: v})
+		f.mem += int64(len(k)) + 8 + 16
+	}
+	if f.budget > 0 && f.mem > f.budget && len(f.triples) > 0 {
+		return f.flush()
+	}
+	return nil
+}
+
+// flush writes the buffered triples, sorted by (key, task), as one run
+// file and empties the buffer.
+func (f *spillFolder) flush() error {
+	flushStart := time.Now()
+	defer func() { f.flushDur += time.Since(flushStart) }()
+	sort.Slice(f.triples, func(i, j int) bool { return tripleLess(f.triples[i], f.triples[j]) })
+	file, err := os.CreateTemp(f.dir, "reduce-run-*.spill")
+	if err != nil {
+		return fmt.Errorf("netmr: spill run create: %w", err)
+	}
+	w := bufio.NewWriter(file)
+	var scratch [binary.MaxVarintLen64]byte
+	var written int64
+	for _, t := range f.triples {
+		n := binary.PutUvarint(scratch[:], uint64(len(t.key)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return f.flushErr(file, err)
+		}
+		if _, err := w.WriteString(t.key); err != nil {
+			return f.flushErr(file, err)
+		}
+		written += int64(n) + int64(len(t.key))
+		n = binary.PutVarint(scratch[:], int64(t.task))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return f.flushErr(file, err)
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(t.val))
+		if _, err := w.Write(scratch[:8]); err != nil {
+			return f.flushErr(file, err)
+		}
+		written += int64(n) + 8
+	}
+	if err := w.Flush(); err != nil {
+		return f.flushErr(file, err)
+	}
+	if _, err := file.Seek(0, io.SeekStart); err != nil {
+		return f.flushErr(file, err)
+	}
+	f.runs = append(f.runs, &fileTripleStream{f: file, r: bufio.NewReader(file)})
+	f.spillRuns++
+	f.spilledBytes += written
+	f.triples = f.triples[:0]
+	f.mem = 0
+	return nil
+}
+
+func (f *spillFolder) flushErr(file *os.File, err error) error {
+	name := file.Name()
+	_ = file.Close()
+	_ = os.Remove(name)
+	return fmt.Errorf("netmr: spill run write: %w", err)
+}
+
+// fold merges every spilled run and the in-memory remainder into the
+// final key space, streaming the per-key fold off the loser tree.
+// merged reports whether disk runs participated (the "mergeruns" span).
+// The runs' files are removed on return.
+func (f *spillFolder) fold(job Job) (out map[string]float64, merged bool, err error) {
+	defer f.discard()
+	if len(f.runs) == 0 {
+		// Pure in-memory path: regroup the triples per task and reuse the
+		// reference fold so both paths share one implementation.
+		byTask := map[int]map[string]float64{}
+		for _, t := range f.triples {
+			m := byTask[t.task]
+			if m == nil {
+				m = map[string]float64{}
+				byTask[t.task] = m
+			}
+			m[t.key] = t.val
+		}
+		inputs := make([]taskPartial, 0, len(byTask))
+		for task, m := range byTask {
+			inputs = append(inputs, taskPartial{task: task, partial: m})
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i].task < inputs[j].task })
+		return foldTaskPartials(job, inputs), false, nil
+	}
+	sort.Slice(f.triples, func(i, j int) bool { return tripleLess(f.triples[i], f.triples[j]) })
+	streams := make([]tripleStream, 0, len(f.runs)+1)
+	for _, run := range f.runs {
+		streams = append(streams, run)
+	}
+	if len(f.triples) > 0 {
+		streams = append(streams, &memTripleStream{triples: f.triples})
+	}
+	lt, err := newLoserTree(streams)
+	if err != nil {
+		return nil, true, err
+	}
+	out = map[string]float64{}
+	var curKey string
+	var curVals []float64
+	var have bool
+	finishKey := func() {
+		if !have {
+			return
+		}
+		if job.Combine != nil {
+			acc := curVals[0]
+			for _, v := range curVals[1:] {
+				acc = job.Combine(acc, v)
+			}
+			out[curKey] = acc
+		} else {
+			out[curKey] = job.Reduce(curKey, curVals)
+		}
+		curVals = curVals[:0]
+	}
+	for {
+		t, ok, err := lt.next()
+		if err != nil {
+			return nil, true, err
+		}
+		if !ok {
+			break
+		}
+		if !have || t.key != curKey {
+			finishKey()
+			curKey, have = t.key, true
+		}
+		curVals = append(curVals, t.val)
+	}
+	finishKey()
+	return out, true, nil
+}
+
+// discard releases every spilled run file and the buffer.
+func (f *spillFolder) discard() {
+	for _, run := range f.runs {
+		run.close()
+	}
+	f.runs = nil
+	f.triples = nil
+	f.mem = 0
+}
+
+// ensureSpillDir creates (or reuses) the per-run scratch directory under
+// base, falling back to the OS temp dir when base is empty.
+func ensureSpillDir(base, run string) (string, error) {
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir := filepath.Join(base, "netmr-spill", sanitizeRun(run))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("netmr: spill dir: %w", err)
+	}
+	return dir, nil
+}
+
+// sanitizeRun maps a run id ("wordcount#3") onto a path-safe directory
+// name.
+func sanitizeRun(run string) string {
+	b := []byte(run)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -335,6 +335,8 @@ type PhaseBreakdown struct {
 	Partition float64 // worker-side hash splitting (winning launches)
 	Encode    float64 // wire-shape result building (winning launches)
 	Fetch     float64 // reducer-side shuffle gathers (winning reduce launches)
+	Spill     float64 // out-of-core writes: spill-run flushes under memory pressure
+	Replicate float64 // mapper-side replica pushes to peer workers
 	RPCGap    float64 // winning launch round-trip time not covered by worker spans
 	Wasted    float64 // launch time of failed, duplicate and cancelled launches
 }
@@ -367,6 +369,8 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		part    float64
 		encode  float64
 		fetch   float64
+		spill   float64
+		repl    float64
 		sub     float64 // all worker-reported time
 	}
 	accs := map[int]*launchAcc{}
@@ -386,7 +390,9 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		switch sp.Phase {
 		case "task", "rtask":
 			acc.span = *sp
-		case spanMap, spanCombine, spanReduce:
+		case spanMap, spanCombine, spanReduce, spanMergeRuns:
+			// A streaming merge of spilled runs is the reduce fold: same
+			// per-key work, different input plumbing.
 			acc.compute += d
 			acc.sub += d
 		case spanDecode:
@@ -400,6 +406,12 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 			acc.sub += d
 		case spanEncode:
 			acc.encode += d
+			acc.sub += d
+		case spanSpill:
+			acc.spill += d
+			acc.sub += d
+		case spanReplicate:
+			acc.repl += d
 			acc.sub += d
 		}
 	}
@@ -432,6 +444,8 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		b.Partition += acc.part
 		b.Encode += acc.encode
 		b.Fetch += acc.fetch
+		b.Spill += acc.spill
+		b.Replicate += acc.repl
 		if gap := launchWall - acc.sub; gap > 0 && acc.sub > 0 {
 			b.RPCGap += gap
 		}
@@ -506,6 +520,10 @@ func (t *JobTrace) WriteReport(w io.Writer, stats Stats) error {
 	}
 	fmt.Fprintf(bw, "Wo attribution: decode %.3fms  partition %.3fms  encode %.3fms  rpc-gap %.3fms  wasted %.3fms\n",
 		b.Decode*1e3, b.Partition*1e3, b.Encode*1e3, b.RPCGap*1e3, b.Wasted*1e3)
+	if b.Spill > 0 || b.Replicate > 0 {
+		fmt.Fprintf(bw, "out-of-core: spill %.3fms  replicate %.3fms\n",
+			b.Spill*1e3, b.Replicate*1e3)
+	}
 	if b.Wp > 0 && b.Workers > 0 {
 		q := float64(b.Workers) * b.Wo / b.Wp
 		fmt.Fprintf(bw, "derived: epsilon-input (Wp, Ws) = (%.3fms, %.3fms), q(n) = n*Wo/Wp = %.4f\n",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipso/internal/chaos"
@@ -43,6 +44,24 @@ type Worker struct {
 	fetchLn   net.Listener
 	store     *interStore
 
+	// comp is set when the master granted the "comp" capability: frames
+	// gain the compression flag layer and the worker replicates each
+	// persisted partition set to the peer the master names on the task
+	// frame (Rep) before acknowledging mapdone.
+	comp bool
+
+	// Out-of-core configuration (WithWorkerConfig). The shuffle timeout
+	// is atomic because the helloack handler may adjust it while the
+	// fetch-listener goroutines are already serving peers.
+	shuffleTimeoutNs atomic.Int64
+	spillBudget      int64
+	spillDir         string
+
+	// killAfterMapdone is a test hook: after the first successful
+	// mapdone the worker tears its shuffle listener down and dies, the
+	// "mapper lost mid-shuffle" chaos scenario.
+	killAfterMapdone bool
+
 	mu      sync.Mutex
 	netConn net.Conn
 	stopped bool
@@ -60,16 +79,63 @@ func WithChaos(in *chaos.Injector) WorkerOption {
 	return func(w *Worker) { w.chaos = in }
 }
 
+// WorkerConfig is the out-of-core shuffle tuning of one worker.
+type WorkerConfig struct {
+	// ShuffleTimeout bounds one shuffle round-trip (fetch or replicate).
+	// Zero means the 30s default; the master's helloack may lower or
+	// raise it cluster-wide.
+	ShuffleTimeout time.Duration
+	// SpillBudget bounds the bytes of intermediate state kept resident —
+	// both the map-output store and each reduce task's gather buffer.
+	// Zero keeps everything in memory (the previous behavior).
+	SpillBudget int64
+	// SpillDir is the scratch root for spill files; empty means the OS
+	// temp dir. Files live under <SpillDir>/netmr-spill/<run>/.
+	SpillDir string
+}
+
+// WithWorkerConfig applies out-of-core shuffle settings.
+func WithWorkerConfig(cfg WorkerConfig) WorkerOption {
+	return func(w *Worker) {
+		if cfg.ShuffleTimeout > 0 {
+			w.shuffleTimeoutNs.Store(int64(cfg.ShuffleTimeout))
+		}
+		w.spillBudget = cfg.SpillBudget
+		w.spillDir = cfg.SpillDir
+	}
+}
+
+// shuffleTO is the current shuffle round-trip bound, safe to read from
+// the fetch-server goroutines while the helloack handler updates it.
+func (w *Worker) shuffleTO() time.Duration {
+	return time.Duration(w.shuffleTimeoutNs.Load())
+}
+
 // NewWorker builds a worker executing jobs from the registry.
 func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 	if registry == nil || len(registry.jobs) == 0 {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
-	w := &Worker{registry: registry, scratch: newShardScratch(), caps: workerCaps(), store: newInterStore(), done: make(chan struct{})}
+	w := &Worker{
+		registry: registry,
+		scratch:  newShardScratch(),
+		caps:     workerCaps(),
+		store:    newInterStore(),
+		done:     make(chan struct{}),
+	}
+	w.shuffleTimeoutNs.Store(int64(defaultShuffleTimeout))
 	for _, opt := range opts {
 		opt(w)
 	}
+	w.store.configure(w.spillBudget, w.spillDir)
 	return w, nil
+}
+
+// StoreStats reports the intermediate store's high-water resident bytes
+// and cumulative spill volume — what a budget-constrained run asserts
+// it never exceeded its budget with.
+func (w *Worker) StoreStats() (peakBytes, spilledBytes int64, spillRuns int) {
+	return w.store.stats()
 }
 
 // Start connects to the master and serves tasks on a background
@@ -160,10 +226,16 @@ func (w *Worker) serve(c *conn) {
 					c.red = true
 					w.reducers = m.Reducers
 					w.store.setReducers(m.Reducers)
+					if m.ShuffleMs > 0 {
+						w.shuffleTimeoutNs.Store(int64(time.Duration(m.ShuffleMs) * time.Millisecond))
+					}
+				case capComp:
+					c.cmp = true
+					w.comp = true
 				}
 			}
 		case "task":
-			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records, m.Run, m.Trace, c.lastDecode) {
+			if !w.runTask(c, m.Job, m.TaskID, m.Attempt, m.Records, m.Run, m.Trace, m.Rep, c.lastDecode) {
 				return
 			}
 		case "taskbatch":
@@ -174,7 +246,7 @@ func (w *Worker) serve(c *conn) {
 			decode := c.lastDecode
 			for i := range m.Batch {
 				spec := &m.Batch[i]
-				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records, m.Run, m.Trace, decode) {
+				if !w.runTask(c, spec.Job, spec.TaskID, spec.Attempt, spec.Records, m.Run, m.Trace, m.Rep, decode) {
 					return
 				}
 				decode = 0
@@ -202,8 +274,10 @@ func (w *Worker) serve(c *conn) {
 // payload-free mapdone travels back. trace is the job trace ID stamped
 // on the task frame (echoed back on the result) and decode the
 // wire-decode cost of the frame that carried this shard; both are
-// zero-valued on untraced connections.
-func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string, run, trace string, decode time.Duration) bool {
+// zero-valued on untraced connections. rep, on comp connections in
+// persist mode, names the peer shuffle listener to replicate the
+// partition set to before mapdone.
+func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records []string, run, trace, rep string, decode time.Duration) bool {
 	job, ok := w.registry.lookup(jobName)
 	if !ok {
 		workerTasks.With("unknown_job").Inc()
@@ -233,10 +307,63 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		} else {
 			parts = runShardPartitioned(job, records, w.scratch, w.reducers)
 		}
-		w.store.put(run, taskID, parts)
+		putStart := time.Now()
+		spills, spilled, perr := w.store.put(run, taskID, parts, w.reducers)
+		if perr != nil {
+			// Spill failure leaves the set resident — correct, just over
+			// budget; the job proceeds.
+			workerSpillErrors.Inc()
+		}
+		putDur := time.Since(putStart)
+		done := message{Type: "mapdone", TaskID: taskID, Attempt: attempt, Run: run, Trace: trace}
+		var repDur time.Duration
+		if c.cmp {
+			done.Spills = spills
+			done.Spilled = spilled
+			if spills > 0 {
+				workerSpillRuns.Add(float64(spills))
+				workerSpilledBytes.Add(float64(spilled))
+			}
+			if rep != "" {
+				repStart := time.Now()
+				if rerr := replicateParts(rep, run, taskID, parts, w.reducers, w.shuffleTO()); rerr == nil {
+					done.Rep = rep
+					workerReplications.With("ok").Inc()
+				} else {
+					// The named peer would not take the replica: ship the
+					// set inline so the master holds it instead.
+					done.Parts = parts
+					workerReplications.With("failed").Inc()
+				}
+				repDur = time.Since(repStart)
+			} else {
+				// No peer qualifies: the master holds the replica.
+				done.Parts = parts
+			}
+		}
+		if w.traced {
+			if spills > 0 {
+				spans = appendSpanAfter(spans, spanSpill, putDur)
+			}
+			spans = appendSpanAfter(spans, spanReplicate, repDur)
+		}
+		done.Spans = spans
 		workerTaskSeconds.Observe(time.Since(start).Seconds())
 		workerTasks.With("ok").Inc()
-		return c.send(message{Type: "mapdone", TaskID: taskID, Attempt: attempt, Run: run, Trace: trace, Spans: spans}, 30*time.Second) == nil
+		if c.send(done, 30*time.Second) != nil {
+			return false
+		}
+		if w.killAfterMapdone {
+			// Chaos hook: die right after acknowledging the map output,
+			// taking the shuffle listener — and the only primary copy —
+			// with us.
+			if ln := w.fetchLn; ln != nil {
+				_ = ln.Close()
+			}
+			w.store.evictAll()
+			return false
+		}
+		return true
 	}
 	if w.partitions > 1 {
 		// The master granted the part capability: ship the result
@@ -284,4 +411,7 @@ func (w *Worker) Stop() {
 	if nc != nil && !already {
 		<-w.done
 	}
+	// Release the intermediate store — spill files included — now that
+	// no task can touch it; late shuffle fetches get refusals.
+	w.store.evictAll()
 }
