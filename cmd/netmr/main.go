@@ -42,6 +42,14 @@
 // keeps resident, spilling sorted runs to -spill-dir (default: the OS
 // temp dir) beyond it — 0 keeps everything in memory.
 //
+// Pipelined shuffle knobs: -shuffle-fanout (worker) bounds how many
+// peers one reduce task fetches from concurrently over pooled
+// connections (1 restores the serial gather); -early-shuffle (master)
+// dispatches reduce tasks as soon as the first map output lands,
+// streaming later map locations to the running reducers so their
+// fetches hide under the map tail — output stays byte-identical either
+// way.
+//
 // Resilience knobs (master): -maxattempts bounds the retry budget per
 // shard lineage, -retrybase/-retrymax/-retryjitter/-retryseed shape the
 // capped exponential backoff, and -speculate enables straggler cloning
@@ -145,6 +153,8 @@ func run(args []string, out io.Writer) error {
 	shuffleTimeout := fs.Duration("shuffle-timeout", 0, "worker-to-worker shuffle round-trip bound (0 = default 30s; the master pushes its value cluster-wide)")
 	spillBudget := fs.Int64("spill-budget", 0, "worker: resident bytes of intermediate state before spilling to disk (0 = never spill)")
 	spillDir := fs.String("spill-dir", "", "worker: scratch root for spill files (empty = OS temp dir)")
+	shuffleFanout := fs.Int("shuffle-fanout", 0, "worker: concurrent peers one reduce task fetches from (0 = default 4, 1 = serial gather)")
+	earlyShuffle := fs.Bool("early-shuffle", false, "master: dispatch reduce tasks before the map barrier, streaming later map locations to running reducers")
 
 	chaosSeed := fs.Int64("chaos-seed", 0, "fault injection seed (faults are byte-reproducible per seed)")
 	chaosLatency := fs.String("chaos-latency", "", "injected wire latency distribution (e.g. fixed:5ms, pareto:10ms,1.5,2s)")
@@ -179,12 +189,13 @@ func run(args []string, out io.Writer) error {
 			retryJitter: *retryJitter, retrySeed: *retrySeed,
 			speculate:  *speculate,
 			partitions: *partitions, serialMerge: *serialMerge, reducers: *reducers,
-			shuffleTimeout: *shuffleTimeout,
-			chaos:          injector,
+			shuffleTimeout: *shuffleTimeout, earlyShuffle: *earlyShuffle,
+			chaos: injector,
 		})
 	case "worker":
 		return runWorker(out, *addr, injector, netmr.WorkerConfig{
 			ShuffleTimeout: *shuffleTimeout, SpillBudget: *spillBudget, SpillDir: *spillDir,
+			ShuffleFanout: *shuffleFanout,
 		})
 	default:
 		return errors.New("need -role master or -role worker")
@@ -250,6 +261,7 @@ type masterOptions struct {
 	serialMerge         bool
 	reducers            int
 	shuffleTimeout      time.Duration
+	earlyShuffle        bool
 	chaos               *chaos.Injector
 }
 
@@ -270,6 +282,7 @@ func runMaster(out io.Writer, opts masterOptions) error {
 		SerialMerge:         opts.serialMerge,
 		Reducers:            opts.reducers,
 		ShuffleTimeout:      opts.shuffleTimeout,
+		EarlyShuffle:        opts.earlyShuffle,
 		Trace:               opts.trace,
 		Chaos:               opts.chaos,
 	})
@@ -385,9 +398,13 @@ func printStats(out io.Writer, stats netmr.Stats) {
 		fmt.Fprintf(out, "out-of-core: %d spill run(s), %s spilled, %s saved by frame compression\n",
 			stats.SpillRuns, formatBytes(stats.SpilledBytes), formatBytes(stats.CompressedBytes))
 	}
-	if stats.ReplicaFetches > 0 || stats.RecoveryWall > 0 {
-		fmt.Fprintf(out, "recovery: %d replica fetch(es), recovery wall %v\n",
-			stats.ReplicaFetches, stats.RecoveryWall)
+	if stats.EarlyReduceTasks > 0 || stats.LocsStreamed > 0 {
+		fmt.Fprintf(out, "pipelined shuffle: %d reduce task(s) launched before the barrier, %d location update(s) streamed, %d abort(s)\n",
+			stats.EarlyReduceTasks, stats.LocsStreamed, stats.EarlyAborts)
+	}
+	if stats.ReplicaFetches > 0 || stats.RecoveryWall > 0 || stats.Failovers > 0 {
+		fmt.Fprintf(out, "recovery: %d replica fetch(es), %d worker-local failover(s), recovery wall %v\n",
+			stats.ReplicaFetches, stats.Failovers, stats.RecoveryWall)
 	}
 	fmt.Fprintf(out, "split %v | merge %v (overlapped %v, %d partition(s), %d pre-partitioned) | total %v\n",
 		stats.SplitWall, stats.MergeWall, stats.MergeOverlapWall, stats.Partitions, stats.PrePartitioned, stats.TotalWall)

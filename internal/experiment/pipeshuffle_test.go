@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPipeShuffleReport: the pipelined-shuffle study must produce one
+// table row per operating point, both q(n) series, and the two fit
+// notes plus the comparison — with early dispatch actually firing at
+// every multi-worker point.
+func TestPipeShuffleReport(t *testing.T) {
+	rep, err := PipeShuffle(context.Background(), []int{1, 2}, 2000, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 2 {
+		t.Fatalf("unexpected report shape %+v", rep.Tables)
+	}
+	for _, row := range rep.Tables[0].Rows {
+		if row[len(row)-1] != "yes" {
+			t.Errorf("row %v not marked byte-identical", row)
+		}
+	}
+	for _, name := range []string{"pipeshuffle/q-barrier", "pipeshuffle/q-early"} {
+		s := seriesByName(t, rep, name)
+		if len(s.X) != 2 {
+			t.Errorf("%s has %d samples, want 2", name, len(s.X))
+		}
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Errorf("%s has nonpositive sample %g", name, v)
+			}
+		}
+	}
+	if len(rep.Notes) != 4 {
+		t.Errorf("expected two q(n) fit notes, the comparison, and the invariant note, got %v", rep.Notes)
+	}
+}
+
+func TestPipeShuffleValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := PipeShuffle(ctx, []int{1}, 10, 2, 2); err == nil {
+		t.Error("single-point grid should error (fit needs >=2 points)")
+	}
+	if _, err := PipeShuffle(ctx, []int{1, 2}, 0, 2, 2); err == nil {
+		t.Error("zero lines should error")
+	}
+	if _, err := PipeShuffle(ctx, []int{1, 2}, 10, 2, 0); err == nil {
+		t.Error("zero reducers should error")
+	}
+	if _, err := PipeShuffle(ctx, []int{1, 0}, 10, 2, 2); err == nil {
+		t.Error("invalid worker count should error")
+	}
+}

@@ -73,6 +73,11 @@ type Grids struct {
 	OOShuffleShards  int     // ooshuffle map shard count
 	OOShuffleR       int     // ooshuffle reduce tasks R
 	OOShuffleBudgets []int64 // spill budget sweep, bytes; first entry must be 0 (unconstrained)
+
+	PipeShuffleWorkers []int // pipeshuffle worker pool sizes
+	PipeShuffleLines   int   // pipeshuffle input size (lines)
+	PipeShuffleShards  int   // pipeshuffle map shard count
+	PipeShuffleR       int   // pipeshuffle reduce tasks R
 }
 
 // DoublingGrid builds a doubling grid from lo that always ends at hi —
@@ -141,6 +146,11 @@ func DefaultGrids(quick bool) Grids {
 		OOShuffleShards:  16,
 		OOShuffleR:       8,
 		OOShuffleBudgets: []int64{0, 256 << 10, 64 << 10, 16 << 10, 4 << 10},
+
+		PipeShuffleWorkers: []int{1, 2, 4, 8},
+		PipeShuffleLines:   20000,
+		PipeShuffleShards:  16,
+		PipeShuffleR:       8,
 	}
 	if quick {
 		g.MR = []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -165,6 +175,10 @@ func DefaultGrids(quick bool) Grids {
 		g.OOShuffleShards = 8
 		g.OOShuffleR = 4
 		g.OOShuffleBudgets = []int64{0, 32 << 10, 4 << 10}
+		g.PipeShuffleWorkers = []int{1, 2, 4}
+		g.PipeShuffleLines = 4000
+		g.PipeShuffleShards = 8
+		g.PipeShuffleR = 4
 	}
 	return g
 }
@@ -470,6 +484,11 @@ func DefaultRegistry() *Registry {
 		Run: func(ctx context.Context, cfg *Config) (Report, error) {
 			g := cfg.Grids
 			return OOShuffle(ctx, g.OOShuffleWorkers, g.OOShuffleLines, g.OOShuffleShards, g.OOShuffleR, g.OOShuffleBudgets)
+		}})
+	r.mustRegister(Experiment{ID: "pipeshuffle", Title: "Pipelined shuffle: q(n) with early reduce dispatch vs the map barrier", Measured: true,
+		Run: func(ctx context.Context, cfg *Config) (Report, error) {
+			g := cfg.Grids
+			return PipeShuffle(ctx, g.PipeShuffleWorkers, g.PipeShuffleLines, g.PipeShuffleShards, g.PipeShuffleR)
 		}})
 	r.mustRegister(Experiment{ID: "modelzoo", Title: "Scaling-model zoo: competing laws fitted and selected", Deps: []string{DepMRSweeps},
 		Run: withSweeps(func(ctx context.Context, sweeps []MRSweep, cfg *Config) (Report, error) {

@@ -17,7 +17,7 @@ func TestDefaultRegistryIDs(t *testing.T) {
 		"fig9", "fig10", "diag", "provisioning", "ablation-broadcast",
 		"ablation-memory", "ablation-statistic", "futurework", "surface",
 		"fixedsize-mr", "ablation-contention", "realnet", "selfdiag",
-		"straggler", "livefit", "distreduce", "ooshuffle", "modelzoo",
+		"straggler", "livefit", "distreduce", "ooshuffle", "pipeshuffle", "modelzoo",
 	}
 	got := r.IDs()
 	if len(got) != len(want) {

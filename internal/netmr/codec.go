@@ -28,17 +28,20 @@ import (
 // The layout itself is versioned by capability: the base "bin" layout
 // ends after Batch, only peers that both negotiated "bin2" append the
 // Partitions/Parts fields, peers that further negotiated "trace" append
-// the Trace/Spans fields after those, and peers that negotiated
-// "reduce" append the Run/Reducers/Fetch/Bytes/Tasks/Locs fields last.
+// the Trace/Spans fields after those, peers that negotiated "reduce"
+// append the Run/Reducers/Fetch/Bytes/Tasks/Locs fields, peers that
+// negotiated "comp" append the Rep/…/ShuffleMs fields, and peers that
+// negotiated "early" append the Total/Reps/Failovers fields last.
 // Appending any block unconditionally would make every frame
 // undecodable ("trailing bytes") to a peer running a previous binary
 // codec, breaking rolling upgrades of mixed-version clusters — the
-// ext/trc/red/cmp flags on appendFrame/decodeFrame are that
+// ext/trc/red/cmp/erl flags on appendFrame/decodeFrame are that
 // negotiation, one consistent tuple of values per connection. The trc,
-// red and cmp blocks are granted only alongside ext but independently
-// of each other, so the layouts on the wire are base, base+ext and any
-// combination of the trc/red/cmp suffixes on top — both sides derive
-// the same tuple from the same negotiated capability set.
+// red, cmp and erl blocks are granted only alongside ext but
+// independently of each other, so the layouts on the wire are base,
+// base+ext and any combination of the trc/red/cmp/erl suffixes on top —
+// both sides derive the same tuple from the same negotiated capability
+// set.
 //
 // The "comp" capability additionally wraps every body of the
 // connection in a one-byte flag layer:
@@ -78,6 +81,7 @@ var frameTypes = map[string]byte{
 	"mapdone":     13,
 	"replicate":   14,
 	"replicack":   15,
+	"morelocs":    16,
 }
 
 // compressibleFrames names the bulk payload frame types the comp layer
@@ -124,12 +128,13 @@ func appendStrings(b []byte, ss []string) []byte {
 // scratch is returned for reuse. ext selects the bin2 layout (trailing
 // Partitions/Parts fields), trc the trace layout (trailing Trace/Spans
 // fields after those), red the reduce layout (trailing
-// Run/Reducers/Fetch/Bytes/Tasks/Locs fields), and cmp the comp layout
-// (trailing Rep/Spills/Spilled/CompBytes/ShuffleMs fields last, plus
-// the one-byte compression flag layer around the whole body); an older
+// Run/Reducers/Fetch/Bytes/Tasks/Locs fields), cmp the comp layout
+// (trailing Rep/Spills/Spilled/CompBytes/ShuffleMs fields, plus the
+// one-byte compression flag layer around the whole body), and erl the
+// early layout (trailing Total/Reps/Failovers fields last); an older
 // layout cannot carry the newer fields, so rather than silently
 // dropping them the encode fails.
-func appendFrame(dst []byte, m *message, keys []string, ext, trc, red, cmp bool) ([]byte, []string, error) {
+func appendFrame(dst []byte, m *message, keys []string, ext, trc, red, cmp, erl bool) ([]byte, []string, error) {
 	tb, ok := frameTypes[m.Type]
 	if !ok {
 		return dst, keys, fmt.Errorf("netmr: unencodable frame type %q", m.Type)
@@ -145,6 +150,9 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc, red, cmp bool)
 	}
 	if !cmp && (m.Rep != "" || len(m.CompAddrs) > 0 || m.Spills != 0 || m.Spilled != 0 || m.CompBytes != 0 || m.ShuffleMs != 0) {
 		return dst, keys, fmt.Errorf("netmr: frame %q carries comp fields but the peer did not negotiate %q", m.Type, capComp)
+	}
+	if !erl && (m.Total != 0 || len(m.Reps) > 0 || m.Failovers != 0) {
+		return dst, keys, fmt.Errorf("netmr: frame %q carries early fields but the peer did not negotiate %q", m.Type, capEarly)
 	}
 	// Reserve room for the length prefix after the body is built; encode
 	// the body at the end of dst and splice the prefix in front.
@@ -228,6 +236,18 @@ func appendFrame(dst []byte, m *message, keys []string, ext, trc, red, cmp bool)
 		b = binary.AppendVarint(b, m.Spilled)
 		b = binary.AppendVarint(b, m.CompBytes)
 		b = binary.AppendVarint(b, m.ShuffleMs)
+	}
+	if erl {
+		b = binary.AppendVarint(b, int64(m.Total))
+		b = binary.AppendUvarint(b, uint64(len(m.Reps)))
+		for _, rep := range m.Reps {
+			b = appendString(b, rep.Addr)
+			b = binary.AppendUvarint(b, uint64(len(rep.Tasks)))
+			for _, t := range rep.Tasks {
+				b = binary.AppendVarint(b, int64(t))
+			}
+		}
+		b = binary.AppendVarint(b, int64(m.Failovers))
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[bodyStart:], crcTable))
 	if cmp {
@@ -452,11 +472,11 @@ func (r *frameReader) ints() ([]int, error) {
 // m.Batch's backing arrays when the caller passes them back in. All other
 // slice/map fields are freshly allocated (results outlive the next recv
 // on the master). ext selects the bin2 layout, trc the trace layout,
-// red the reduce layout and cmp the comp layout, mirroring appendFrame.
-// On comp connections the caller unwraps the compression flag layer
-// (unwrapCompressedBody) first; body here is always the raw checksummed
-// form.
-func decodeFrame(body []byte, m *message, ext, trc, red, cmp bool) error {
+// red the reduce layout, cmp the comp layout and erl the early layout,
+// mirroring appendFrame. On comp connections the caller unwraps the
+// compression flag layer (unwrapCompressedBody) first; body here is
+// always the raw checksummed form.
+func decodeFrame(body []byte, m *message, ext, trc, red, cmp, erl bool) error {
 	if len(body) < 5 { // type byte + CRC
 		return fmt.Errorf("netmr: frame of %d bytes is too short", len(body))
 	}
@@ -662,6 +682,36 @@ func decodeFrame(body []byte, m *message, ext, trc, red, cmp bool) error {
 		if m.ShuffleMs, err = r.varint(); err != nil {
 			return err
 		}
+	}
+	if erl {
+		if v, err = r.varint(); err != nil {
+			return err
+		}
+		m.Total = int(v)
+		nreps, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		// Each rep costs at least its addr length byte plus a task count
+		// byte.
+		if nreps > uint64(len(r.s)-r.off) {
+			return fmt.Errorf("netmr: rep list of %d entries overruns frame", nreps)
+		}
+		if nreps > 0 {
+			m.Reps = make([]fetchLoc, nreps)
+			for i := range m.Reps {
+				if m.Reps[i].Addr, err = r.string(); err != nil {
+					return err
+				}
+				if m.Reps[i].Tasks, err = r.ints(); err != nil {
+					return err
+				}
+			}
+		}
+		if v, err = r.varint(); err != nil {
+			return err
+		}
+		m.Failovers = int(v)
 	}
 	if r.off != len(r.s) {
 		return fmt.Errorf("netmr: %d trailing bytes after frame", len(r.s)-r.off)

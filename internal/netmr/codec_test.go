@@ -68,12 +68,22 @@ func codecMessages() []message {
 			{ID: 2, Partial: nil},
 		}},
 		{Type: "result", TaskID: 1, Attempt: 2, Partial: map[string]float64{"folded": 9}, Bytes: 123456789},
+		{Type: "reducetask", Job: "wc", TaskID: 0, Run: "wc#2",
+			Locs:  []fetchLoc{{Addr: "127.0.0.1:7001", Tasks: []int{0}}},
+			Reps:  []fetchLoc{{Addr: "127.0.0.1:7003", Tasks: []int{0}}, {Addr: "", Tasks: nil}},
+			Total: 8},
+		{Type: "morelocs", Run: "wc#2", TaskID: 3,
+			Locs:  []fetchLoc{{Addr: "127.0.0.1:7002", Tasks: []int{5}}},
+			Reps:  []fetchLoc{{Addr: "127.0.0.1:7004", Tasks: []int{5}}},
+			Parts: []partitionPartial{{ID: 6, Partial: nil}}},
+		{Type: "morelocs", Run: "wc#2", TaskID: 1, Message: "abort"},
+		{Type: "result", TaskID: 2, Attempt: 1, Partial: map[string]float64{"f": 1}, Bytes: 77, Failovers: 3},
 	}
 }
 
 func encodeBinary(t *testing.T, m message) []byte {
 	t.Helper()
-	frame, _, err := appendFrame(nil, &m, nil, true, true, true, false)
+	frame, _, err := appendFrame(nil, &m, nil, true, true, true, false, true)
 	if err != nil {
 		t.Fatalf("appendFrame(%+v): %v", m, err)
 	}
@@ -94,7 +104,7 @@ func frameBody(t testing.TB, frame []byte) []byte {
 func decodeBinary(t *testing.T, frame []byte) message {
 	t.Helper()
 	var m message
-	if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false); err != nil {
+	if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false, true); err != nil {
 		t.Fatalf("decodeFrame: %v", err)
 	}
 	return m
@@ -164,6 +174,14 @@ func normalize(m message) message {
 	if len(m.CompAddrs) == 0 {
 		m.CompAddrs = nil
 	}
+	if len(m.Reps) == 0 {
+		m.Reps = nil
+	}
+	for i := range m.Reps {
+		if len(m.Reps[i].Tasks) == 0 {
+			m.Reps[i].Tasks = nil
+		}
+	}
 	return m
 }
 
@@ -210,7 +228,7 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 	var m message
 	for i, in := range codecMessages() {
 		frame := encodeBinary(t, in)
-		if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &m, true, true, true, false, true); err != nil {
 			t.Fatalf("decode %d: %v", i, err)
 		}
 		if !reflect.DeepEqual(normalize(m), normalize(in)) {
@@ -222,23 +240,26 @@ func TestBinaryCodecBufferReuse(t *testing.T) {
 // codecGen names one binary layout generation: which capability-gated
 // field blocks its frames carry.
 type codecGen struct {
-	name               string
-	ext, trc, red, cmp bool
+	name                    string
+	ext, trc, red, cmp, erl bool
 }
 
 // codecGens is every layout a negotiated connection can land on (trc,
-// red and cmp all nest on ext and are independent of each other; the
-// list samples the cmp combinations rather than exhausting all eight).
+// red and cmp all nest on ext and are independent of each other; erl is
+// only granted alongside cmp, so the list samples the reachable
+// combinations rather than exhausting all of them).
 func codecGens() []codecGen {
 	return []codecGen{
-		{"base", false, false, false, false},
-		{"bin2", true, false, false, false},
-		{"trace", true, true, false, false},
-		{"reduce", true, false, true, false},
-		{"trace+reduce", true, true, true, false},
-		{"comp", true, false, false, true},
-		{"reduce+comp", true, false, true, true},
-		{"trace+reduce+comp", true, true, true, true},
+		{"base", false, false, false, false, false},
+		{"bin2", true, false, false, false, false},
+		{"trace", true, true, false, false, false},
+		{"reduce", true, false, true, false, false},
+		{"trace+reduce", true, true, true, false, false},
+		{"comp", true, false, false, true, false},
+		{"reduce+comp", true, false, true, true, false},
+		{"trace+reduce+comp", true, true, true, true, false},
+		{"early", true, false, true, true, true},
+		{"trace+early", true, true, true, true, true},
 	}
 }
 
@@ -256,6 +277,9 @@ func (g codecGen) carries(m message) bool {
 	if !g.cmp && (m.Rep != "" || len(m.CompAddrs) > 0 || m.Spills != 0 || m.Spilled != 0 || m.CompBytes != 0 || m.ShuffleMs != 0) {
 		return false
 	}
+	if !g.erl && (m.Total != 0 || len(m.Reps) > 0 || m.Failovers != 0) {
+		return false
+	}
 	return true
 }
 
@@ -269,7 +293,7 @@ func decodeGen(body []byte, m *message, g codecGen) error {
 		}
 		body = raw
 	}
-	return decodeFrame(body, m, g.ext, g.trc, g.red, g.cmp)
+	return decodeFrame(body, m, g.ext, g.trc, g.red, g.cmp, g.erl)
 }
 
 // TestBinaryCodecLegacyLayout pins the layout negotiation that keeps
@@ -283,7 +307,7 @@ func TestBinaryCodecLegacyLayout(t *testing.T) {
 	for _, m := range codecMessages() {
 		bodies := map[string][]byte{}
 		for _, g := range gens {
-			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc, g.red, g.cmp)
+			frame, _, err := appendFrame(nil, &m, nil, g.ext, g.trc, g.red, g.cmp, g.erl)
 			if !g.carries(m) {
 				if err == nil {
 					t.Errorf("%s-layout encode of %q with newer-generation fields must fail, got none", g.name, m.Type)
@@ -334,7 +358,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 			mut := append([]byte(nil), body...)
 			mut[i] ^= 1 << bit
 			var out message
-			if err := decodeFrame(mut, &out, true, true, true, false); err == nil {
+			if err := decodeFrame(mut, &out, true, true, true, false, true); err == nil {
 				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
 			}
 		}
@@ -342,7 +366,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 	// Truncations must be rejected too.
 	for i := 0; i < len(body); i++ {
 		var out message
-		if err := decodeFrame(body[:i], &out, true, true, true, false); err == nil {
+		if err := decodeFrame(body[:i], &out, true, true, true, false, true); err == nil {
 			t.Fatalf("truncation to %d bytes went undetected", i)
 		}
 	}
@@ -352,7 +376,7 @@ func TestDecodeFrameRejectsCorruption(t *testing.T) {
 // only decode or error.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil, true, true, true, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, true, false, true)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -370,7 +394,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		// Every layout generation must be panic-free on arbitrary input.
 		for _, g := range codecGens() {
 			var out message
-			err := decodeFrame(body, &out, g.ext, g.trc, g.red, g.cmp)
+			err := decodeFrame(body, &out, g.ext, g.trc, g.red, g.cmp, g.erl)
 			if err != nil {
 				continue
 			}
@@ -378,7 +402,7 @@ func FuzzDecodeFrame(f *testing.F) {
 			// (unknown type bytes excepted: they decode to a "?N"
 			// placeholder for the ignore-unknown-frames path).
 			if _, ok := frameTypes[out.Type]; ok {
-				if _, _, err := appendFrame(nil, &out, nil, g.ext, g.trc, g.red, g.cmp); err != nil {
+				if _, _, err := appendFrame(nil, &out, nil, g.ext, g.trc, g.red, g.cmp, g.erl); err != nil {
 					t.Fatalf("%s-layout decoded frame failed to re-encode: %v", g.name, err)
 				}
 			}

@@ -127,7 +127,7 @@ func TestLZDecompressRejectsMalformed(t *testing.T) {
 // raw body, and both unwrap back to the identical checksummed body.
 func TestCompFrameWireForms(t *testing.T) {
 	small := message{Type: "ping"}
-	frame, _, err := appendFrame(nil, &small, nil, true, true, true, true)
+	frame, _, err := appendFrame(nil, &small, nil, true, true, true, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestCompFrameWireForms(t *testing.T) {
 		t.Fatalf("stored unwrap = (compressed=%v, %v)", compressed, err)
 	}
 	var back message
-	if err := decodeFrame(raw, &back, true, true, true, true); err != nil {
+	if err := decodeFrame(raw, &back, true, true, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 	if back.Type != "ping" {
@@ -152,7 +152,7 @@ func TestCompFrameWireForms(t *testing.T) {
 		big["shared-key-prefix-"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i%7))] = float64(i % 3)
 	}
 	large := message{Type: "result", TaskID: 1, Partial: big}
-	compFrame, _, err := appendFrame(nil, &large, nil, true, true, true, true)
+	compFrame, _, err := appendFrame(nil, &large, nil, true, true, true, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCompFrameWireForms(t *testing.T) {
 		t.Fatalf("compressed body %d bytes, raw %d — no wire saving", len(compBody), len(unwrapped))
 	}
 	var again message
-	if err := decodeFrame(unwrapped, &again, true, true, true, true); err != nil {
+	if err := decodeFrame(unwrapped, &again, true, true, true, true, true); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(again.Partial, big) {
@@ -189,7 +189,7 @@ func TestCompFieldsRefusedWithoutCap(t *testing.T) {
 		{Type: "helloack", ShuffleMs: 1000},
 	}
 	for _, m := range carriers {
-		if _, _, err := appendFrame(nil, &m, nil, true, true, true, false); err == nil {
+		if _, _, err := appendFrame(nil, &m, nil, true, true, true, false, true); err == nil {
 			t.Errorf("%+v encoded without the comp layout", m)
 		}
 	}
@@ -201,18 +201,18 @@ func TestCompFieldsRefusedWithoutCap(t *testing.T) {
 // catches every mix-up before a field is misread.
 func TestCompCrossGenerationRejected(t *testing.T) {
 	for _, m := range compFrameSeeds() {
-		compFrame, _, err := appendFrame(nil, &m, nil, true, true, true, true)
+		compFrame, _, err := appendFrame(nil, &m, nil, true, true, true, true, true)
 		if err != nil {
 			t.Fatalf("%q: %v", m.Type, err)
 		}
 		compBody := frameBody(t, compFrame)
 		var out message
-		if err := decodeFrame(compBody, &out, true, true, true, true); err == nil {
+		if err := decodeFrame(compBody, &out, true, true, true, true, true); err == nil {
 			t.Errorf("%q: comp wire body decoded without unwrapping the flag layer", m.Type)
 		}
 	}
 	for _, m := range codecMessages() {
-		frame, _, err := appendFrame(nil, &m, nil, true, true, true, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, true, false, true)
 		if err != nil {
 			t.Fatalf("%q: %v", m.Type, err)
 		}
@@ -220,7 +220,7 @@ func TestCompCrossGenerationRejected(t *testing.T) {
 		raw, _, _, err := unwrapCompressedBody(body, nil)
 		if err == nil {
 			var out message
-			err = decodeFrame(raw, &out, true, true, true, true)
+			err = decodeFrame(raw, &out, true, true, true, true, true)
 		}
 		if err == nil {
 			t.Errorf("%q: non-comp body accepted by a comp decoder", m.Type)
@@ -234,7 +234,7 @@ func TestCompCrossGenerationRejected(t *testing.T) {
 // and round-trip to the same message.
 func FuzzDecodeCompressedFrame(f *testing.F) {
 	for _, m := range compFrameSeeds() {
-		frame, _, err := appendFrame(nil, &m, nil, true, true, true, true)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, true, true, true)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -254,13 +254,13 @@ func FuzzDecodeCompressedFrame(f *testing.F) {
 		}
 		for _, layout := range []struct{ trc bool }{{false}, {true}} {
 			var m message
-			if err := decodeFrame(raw, &m, true, layout.trc, true, true); err != nil {
+			if err := decodeFrame(raw, &m, true, layout.trc, true, true, true); err != nil {
 				continue
 			}
 			if _, ok := frameTypes[m.Type]; !ok {
 				continue // unknown type placeholder, ignore-path
 			}
-			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true, true)
+			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true, true, true)
 			if err != nil {
 				t.Fatalf("decoded frame failed to re-encode: %v", err)
 			}
@@ -269,7 +269,7 @@ func FuzzDecodeCompressedFrame(f *testing.F) {
 				t.Fatalf("re-encoded frame failed to unwrap: %v", err)
 			}
 			var again message
-			if err := decodeFrame(raw2, &again, true, layout.trc, true, true); err != nil {
+			if err := decodeFrame(raw2, &again, true, layout.trc, true, true, true); err != nil {
 				t.Fatalf("re-encoded frame failed to decode: %v", err)
 			}
 			if !reflect.DeepEqual(normalize(stripSpans(again)), normalize(stripSpans(m))) {

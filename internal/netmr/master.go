@@ -103,6 +103,17 @@ type MasterConfig struct {
 	// built-in default.
 	ShuffleTimeout time.Duration
 
+	// EarlyShuffle, when true (and the distributed reduce engages), lets
+	// the master dispatch reduce tasks before the map barrier: once the
+	// first map output lands, idle early-capable reduce workers receive
+	// a reducetask announcing the run's total map count, and the
+	// locations of later outputs stream to them over morelocs frames as
+	// their mapdones land — so fetch time hides under the map tail
+	// instead of serializing behind the barrier. Workers without the
+	// "early" capability, and runs with this off, keep the barrier path
+	// byte-identically; the job output is byte-identical either way.
+	EarlyShuffle bool
+
 	// MaxTaskBatch caps how many ready shards one dispatch may pack
 	// into a single taskbatch frame for a worker that negotiated the
 	// "batch" capability (default 1: every shard travels in its own
@@ -292,6 +303,12 @@ type Stats struct {
 	CompressedBytes int64         // shuffle wire bytes saved by frame compression
 	ReplicaFetches  int           // fetch routings redirected to a replica after a holder died
 	RecoveryWall    time.Duration // first detected intermediate loss to reduce completion
+
+	// Pipelined-shuffle accounts, zero on barrier-mode runs.
+	EarlyReduceTasks int // reduce tasks dispatched before the map barrier
+	EarlyAborts      int // early launches aborted to free their worker for a map retry
+	LocsStreamed     int // morelocs updates streamed to running early reducers
+	Failovers        int // reducer fetches rerouted worker-locally to a replica
 }
 
 type workerHandle struct {
@@ -301,6 +318,7 @@ type workerHandle struct {
 	trace  bool   // worker negotiated span-summary reporting
 	reduce bool   // worker negotiated the distributed reduce phase
 	comp   bool   // worker negotiated compressed frames + replication
+	early  bool   // worker negotiated the pipelined-shuffle layout
 	fetch  string // shuffle listener address of a reduce-capable worker
 }
 
@@ -534,6 +552,15 @@ func (m *Master) admit(raw net.Conn) {
 	if offered[capComp] && offered[capBinary] && offered[capBinaryExt] {
 		accepted = append(accepted, capComp)
 	}
+	// The early (pipelined-shuffle) layout nests on the comp generation:
+	// morelocs streaming leans on comp's fetch-failure reporting and
+	// replica plumbing, so the grant requires the comp grant. The layout
+	// is granted even when EarlyShuffle is off — reducetask frames then
+	// carry replica locations (Reps) for worker-local failover, with
+	// Total zero keeping the barrier gather.
+	if offered[capEarly] && offered[capComp] && offered[capBinary] && offered[capBinaryExt] {
+		accepted = append(accepted, capEarly)
+	}
 	if len(accepted) > 0 {
 		// If the helloack does not go out (e.g. an injected drop), the
 		// worker never hears of the upgrade — admit the connection on
@@ -571,6 +598,9 @@ func (m *Master) admit(raw net.Conn) {
 				case capComp:
 					c.cmp = true
 					w.comp = true
+				case capEarly:
+					c.erl = true
+					w.early = true
 				}
 			}
 		}
@@ -768,8 +798,25 @@ type launchDone struct {
 	spills    int   // spill runs the launch flushed under memory pressure
 	spilled   int64 // bytes those runs wrote
 	compBytes int64 // shuffle wire bytes compression saved (reduce results)
+	failovers int   // fetches the reducer rerouted to a replica locally
 	elapsed   time.Duration
 	launch    int // trace launch ordinal, -1 when the run is untraced
+}
+
+// errEarlyAborted marks an early reduce launch the master itself called
+// back (its worker was needed for a map retry). The reduce phase requeues
+// the partition through the barrier path without charging the attempt
+// budget — an abort is the master's choice, not a failure.
+var errEarlyAborted = errors.New("netmr: early reduce launch aborted")
+
+// earlyLaunch is the Run loop's handle on one pipelined reduce dispatch:
+// the partition it owns and the buffered channel the loop streams
+// morelocs updates through. The channel is closed at the map barrier
+// (stream complete) or right after an abort marker; its buffer is sized
+// so the loop never blocks on a send.
+type earlyLaunch struct {
+	partition int
+	updates   chan message
 }
 
 // launchFail is a failed launch's report, carrying the cause so budget
@@ -893,6 +940,19 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	resultCh := make(chan launchDone, capacity)
 	failCh := make(chan launchFail, capacity)
 
+	// Reduce-phase launch reports funnel through channels created up
+	// front, because with EarlyShuffle on reduce launches start under the
+	// map tail — before runReducePhase exists to receive them. The
+	// buffers cover every barrier-path lineage plus one early launch per
+	// partition, so no reporter can ever block.
+	var rResultCh chan launchDone
+	var rFailCh chan launchFail
+	if useReduce {
+		rcap := m.cfg.Reducers * (1 + m.cfg.MaxAttempts*(1+m.cfg.SpeculationMaxClones))
+		rResultCh = make(chan launchDone, rcap)
+		rFailCh = make(chan launchFail, rcap)
+	}
+
 	// dispatch ships one or several shards to a worker: a single shard in
 	// its own task frame (the only shape JSON workers understand), several
 	// in one taskbatch frame. The worker answers one result frame per
@@ -989,7 +1049,8 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				prepart: reply.Type == "presult",
 				stored:  reply.Type == "mapdone", fetchAddr: w.fetch,
 				repAddr: reply.Rep, spills: reply.Spills, spilled: reply.Spilled,
-				elapsed: elapsed, launch: launchOf(acked),
+				compBytes: reply.CompBytes,
+				elapsed:   elapsed, launch: launchOf(acked),
 			}
 			acked++
 		}
@@ -1010,6 +1071,235 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			return
 		}
 		m.idle <- w // back to the pool
+	}
+
+	// ---- Early-shuffle engine ----------------------------------------
+	// With EarlyShuffle on, idle early-capable reduce workers left over
+	// once the map queue drains go to work before the barrier: each gets
+	// a reducetask naming the map outputs known so far plus the run's
+	// total map count, and every later winning output streams to it as a
+	// morelocs frame — the reducer fetches under the map tail and folds
+	// the moment coverage completes. An abort (a map retry needs the
+	// worker pool back) requeues the partition through the barrier path,
+	// whose dispatches stay byte-identical to a non-early run.
+	earlyActive := map[int]*earlyLaunch{}
+	earlyLaunched := map[int]bool{}
+	relayedSet := map[int]bool{}
+	var earlySkipped []*workerHandle
+	earlyDisabled := !useReduce || !m.cfg.EarlyShuffle
+	earlyOK := func() bool {
+		// Only the map tail qualifies: a non-empty queue means shards
+		// still need workers, and launching with zero known outputs
+		// would buy nothing over waiting for the next mapdone.
+		return !earlyDisabled && len(earlyLaunched) < m.cfg.Reducers &&
+			len(queue) == 0 && len(mapLocs)+len(relayedSet) > 0
+	}
+	flushSkipped := func() {
+		for _, w := range earlySkipped {
+			m.idle <- w
+		}
+		earlySkipped = earlySkipped[:0]
+	}
+	abortOneEarly := func() {
+		if len(earlyActive) == 0 {
+			return
+		}
+		// Deterministic pick: the highest partition launched last and has
+		// overlapped the least fetching — the cheapest launch to lose.
+		maxP := -1
+		for p := range earlyActive {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		el := earlyActive[maxP]
+		el.updates <- message{Type: "morelocs", Run: runID, TaskID: maxP, Message: "abort"}
+		close(el.updates)
+		delete(earlyActive, maxP)
+		stats.EarlyAborts++
+		m.metrics.earlyAborts.Inc()
+	}
+	closeEarly := func(abort bool) {
+		ps := make([]int, 0, len(earlyActive))
+		for p := range earlyActive {
+			ps = append(ps, p)
+		}
+		sort.Ints(ps)
+		for _, p := range ps {
+			el := earlyActive[p]
+			if abort {
+				el.updates <- message{Type: "morelocs", Run: runID, TaskID: p, Message: "abort"}
+				stats.EarlyAborts++
+				m.metrics.earlyAborts.Inc()
+			}
+			close(el.updates)
+			delete(earlyActive, p)
+		}
+	}
+	// Error returns mid-map must not leave early reducers blocked in
+	// their stream recv: abort every live launch on the way out. The
+	// launch goroutines report into buffered channels nobody drains —
+	// sized for that — and hand their workers back to the pool.
+	defer closeEarly(true)
+
+	// buildEarly snapshots partition p's gather plan at launch time:
+	// locations for stored outputs (rerouted when a primary is already
+	// gone), replica addresses for worker-local failover, and explicit
+	// inline entries for master-held copies and relayed outputs — nil
+	// Partial markers included for tasks that emitted nothing into p, so
+	// the reducer's coverage count can reach Total. An output that would
+	// need lineage re-execution returns !ok: pre-barrier recovery is not
+	// worth the re-run, the barrier path handles it.
+	buildEarly := func(p int) (locs []fetchLoc, parts []partitionPartial, reps []fetchLoc, ok bool) {
+		stored := make([]int, 0, len(mapLocs))
+		for t := range mapLocs {
+			stored = append(stored, t)
+		}
+		sort.Ints(stored)
+		byAddr := map[string][]int{}
+		repBy := map[string][]int{}
+		var addrs, repAddrs []string
+		for _, task := range stored {
+			addr := mapLocs[task]
+			if m.addrAlive(addr) {
+				if _, seen := byAddr[addr]; !seen {
+					addrs = append(addrs, addr)
+				}
+				byAddr[addr] = append(byAddr[addr], task)
+				if rep, okr := replicaLocs[task]; okr && m.addrAlive(rep) {
+					if _, seen := repBy[rep]; !seen {
+						repAddrs = append(repAddrs, rep)
+					}
+					repBy[rep] = append(repBy[rep], task)
+				}
+				continue
+			}
+			if rep, okr := replicaLocs[task]; okr && m.addrAlive(rep) {
+				stats.ReplicaFetches++
+				m.metrics.replicaFetches.Inc()
+				if _, seen := byAddr[rep]; !seen {
+					addrs = append(addrs, rep)
+				}
+				byAddr[rep] = append(byAddr[rep], task)
+				continue
+			}
+			mp, okp := replicaParts[task]
+			if !okp {
+				return nil, nil, nil, false
+			}
+			var slice map[string]float64
+			for _, pp := range mp {
+				if pp.ID == p {
+					slice = pp.Partial
+					break
+				}
+			}
+			parts = append(parts, partitionPartial{ID: task, Partial: slice})
+		}
+		for _, addr := range addrs {
+			locs = append(locs, fetchLoc{Addr: addr, Tasks: byAddr[addr]})
+		}
+		for _, addr := range repAddrs {
+			reps = append(reps, fetchLoc{Addr: addr, Tasks: repBy[addr]})
+		}
+		relayed := make([]int, 0, len(relayedSet))
+		for t := range relayedSet {
+			relayed = append(relayed, t)
+		}
+		sort.Ints(relayed)
+		for _, task := range relayed {
+			var slice map[string]float64
+			for _, pp := range relay[p] {
+				if pp.ID == task {
+					slice = pp.Partial
+					break
+				}
+			}
+			parts = append(parts, partitionPartial{ID: task, Partial: slice})
+		}
+		return locs, parts, reps, true
+	}
+
+	// dispatchEarly runs one early launch end to end on its own
+	// goroutine: send the snapshot reducetask, forward streamed morelocs
+	// updates until the Run loop closes the stream (barrier or abort),
+	// then collect the single reply the worker owes. Reports exactly
+	// once into the reduce-phase channels — runReducePhase drains them
+	// after the barrier.
+	dispatchEarly := func(w *workerHandle, el *earlyLaunch, fr message, launch int) {
+		t := shardTask{id: el.partition}
+		start := time.Now()
+		err := w.c.send(fr, m.cfg.TaskTimeout)
+		aborted := false
+		for err == nil {
+			u, open := <-el.updates
+			if !open {
+				break
+			}
+			if u.Message == "abort" {
+				aborted = true
+			}
+			err = w.c.send(u, m.cfg.TaskTimeout)
+		}
+		var reply message
+		if err == nil {
+			reply, err = w.c.recv(m.cfg.TaskTimeout)
+		}
+		elapsed := time.Since(start)
+		if err == nil {
+			switch {
+			case reply.Type == "result" && reply.TaskID == t.id:
+				if !w.trace {
+					reply.Spans = nil
+				}
+				m.metrics.rpcSeconds.With(w.id).Observe(elapsed.Seconds())
+				ledger.shardDone(w.id, elapsed)
+				if trc != nil {
+					trc.closeLaunch(launch, outcomeOK, reply.Spans)
+				}
+				rResultCh <- launchDone{
+					task: t, partial: reply.Partial, bytes: reply.Bytes,
+					compBytes: reply.CompBytes, spills: reply.Spills, spilled: reply.Spilled,
+					failovers: reply.Failovers, elapsed: elapsed, launch: launch,
+				}
+				m.idle <- w
+				return
+			case aborted && reply.Type == "error" && reply.TaskID == t.id && reply.Fetch == "":
+				// The abort acknowledgement: not a failure, the partition
+				// just goes back through the barrier path without charging
+				// its attempt budget.
+				if trc != nil {
+					trc.closeLaunch(launch, outcomeCancelled, nil)
+				}
+				rFailCh <- launchFail{task: t, err: errEarlyAborted}
+				m.idle <- w
+				return
+			case reply.Type == "error" && reply.TaskID == t.id && reply.Fetch != "":
+				// A fetch failure names the dead holder: the reducer is
+				// healthy, the holder is not. The barrier-path retry
+				// re-plans around the loss.
+				m.markAddrDead(reply.Fetch)
+				if trc != nil {
+					trc.closeLaunch(launch, outcomeFailed, nil)
+				}
+				rFailCh <- launchFail{task: t, err: fmt.Errorf("netmr: reduce partition %d: fetch from %s failed: %s", t.id, reply.Fetch, reply.Message)}
+				m.idle <- w
+				return
+			default:
+				detail := reply.Message
+				if detail == "" {
+					detail = fmt.Sprintf("frame %q (task %d)", reply.Type, reply.TaskID)
+				}
+				err = fmt.Errorf("netmr: worker %s failed early reduce partition %d: %s", w.id, t.id, detail)
+			}
+		}
+		ledger.shardFailed(w.id, elapsed)
+		m.metrics.reassignments.With(w.id).Inc()
+		if trc != nil {
+			trc.closeLaunch(launch, outcomeFailed, nil)
+		}
+		rFailCh <- launchFail{task: t, err: err}
+		m.dropWorker(w)
 	}
 
 	inflight := make(map[int]*flight, shards)
@@ -1098,7 +1388,7 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 		}
 		var idleCh chan *workerHandle
 		var wakeCh <-chan time.Time
-		if readyIdx >= 0 {
+		if readyIdx >= 0 || earlyOK() {
 			idleCh = m.idle
 		} else if !earliest.IsZero() {
 			if !wake.Stop() {
@@ -1113,6 +1403,58 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 
 		select {
 		case w := <-idleCh:
+			if readyIdx < 0 {
+				// Early-shuffle window: the map queue is drained, every
+				// remaining shard is in flight — this worker has nothing to
+				// map. Qualified ones take the lowest unlaunched partition;
+				// the rest park aside until a map retry (or the barrier)
+				// wants the pool back, so the loop cannot spin on them.
+				if !w.reduce || !w.early {
+					earlySkipped = append(earlySkipped, w)
+					continue
+				}
+				p := -1
+				for i := 0; i < m.cfg.Reducers; i++ {
+					if !earlyLaunched[i] {
+						p = i
+						break
+					}
+				}
+				if p < 0 {
+					earlySkipped = append(earlySkipped, w)
+					continue
+				}
+				locs, iparts, reps, ok := buildEarly(p)
+				if !ok {
+					// An intermediate would need lineage re-execution;
+					// leave recovery to the barrier path and stop early
+					// dispatching for this run.
+					earlyDisabled = true
+					earlySkipped = append(earlySkipped, w)
+					continue
+				}
+				el := &earlyLaunch{partition: p, updates: make(chan message, shards+2)}
+				earlyLaunched[p] = true
+				earlyActive[p] = el
+				stats.EarlyReduceTasks++
+				m.metrics.earlyLaunches.Inc()
+				launch := -1
+				traceID := ""
+				if trc != nil {
+					launch = trc.openLaunch("rtask", p, 0, w.id)
+					if w.trace {
+						traceID = trc.ID
+					}
+				}
+				// Early grants require the comp grant, so the peer list and
+				// replica addresses are always safe on this frame.
+				go dispatchEarly(w, el, message{
+					Type: "reducetask", Job: jobName, TaskID: p, Run: runID,
+					Locs: locs, Parts: iparts, Reps: reps, Total: shards,
+					CompAddrs: m.liveCompAddrs(), Trace: traceID,
+				}, launch)
+				continue
+			}
 			batch := append(make([]shardTask, 0, 1), queue[readyIdx])
 			queue = append(queue[:readyIdx], queue[readyIdx+1:]...)
 			if w.batch && m.cfg.MaxTaskBatch > 1 {
@@ -1184,11 +1526,31 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				} else if r.parts != nil {
 					replicaParts[r.task.id] = r.parts
 				}
+				// Stream the new location (and its replica, for worker-local
+				// failover) to every running early reducer. Exactly-once per
+				// task per launch: the snapshot covered tasks done before
+				// the launch, this covers the ones after — both on this one
+				// goroutine.
+				for _, el := range earlyActive {
+					u := message{Type: "morelocs", Run: runID, TaskID: el.partition,
+						Locs: []fetchLoc{{Addr: r.fetchAddr, Tasks: []int{r.task.id}}}}
+					if r.repAddr != "" {
+						u.Reps = []fetchLoc{{Addr: r.repAddr, Tasks: []int{r.task.id}}}
+					}
+					el.updates <- u
+					stats.LocsStreamed++
+					m.metrics.locsStreamed.Inc()
+				}
 				if r.spills > 0 {
 					stats.SpillRuns += r.spills
 					stats.SpilledBytes += r.spilled
 					m.metrics.spillRuns.Add(float64(r.spills))
 					m.metrics.spilledBytes.Add(float64(r.spilled))
+				}
+				if r.compBytes > 0 {
+					// Spill-section compression savings ride the mapdone.
+					stats.CompressedBytes += r.compBytes
+					m.metrics.compressedBytes.Add(float64(r.compBytes))
 				}
 				stats.MapOutputsStored++
 				m.metrics.mapOutputs.With("stored").Inc()
@@ -1201,8 +1563,28 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 					stats.PrePartitioned++
 					m.metrics.partResults.Inc()
 				}
-				for _, p := range splitForRelay(r.parts, r.partial, m.cfg.Reducers) {
+				split := splitForRelay(r.parts, r.partial, m.cfg.Reducers)
+				for _, p := range split {
 					relay[p.ID] = append(relay[p.ID], partitionPartial{ID: r.task.id, Partial: p.Partial})
+				}
+				if !earlyDisabled {
+					relayedSet[r.task.id] = true
+				}
+				// Relayed outputs stream inline — a nil Partial when the
+				// task emitted nothing into the launch's partition, so the
+				// reducer still counts it toward Total.
+				for _, el := range earlyActive {
+					var slice map[string]float64
+					for _, p := range split {
+						if p.ID == el.partition {
+							slice = p.Partial
+							break
+						}
+					}
+					el.updates <- message{Type: "morelocs", Run: runID, TaskID: el.partition,
+						Parts: []partitionPartial{{ID: r.task.id, Partial: slice}}}
+					stats.LocsStreamed++
+					m.metrics.locsStreamed.Inc()
 				}
 				stats.MapOutputsRelayed++
 				m.metrics.mapOutputs.With("relayed").Inc()
@@ -1247,6 +1629,14 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			stats.Reassignments++
 			t.readyAt = time.Now().Add(delay)
 			queue = append(queue, t)
+			// The retry needs a worker. Skipped workers go back to the
+			// pool; if none were parked and early launches hold workers,
+			// call one back — its partition reruns after the barrier.
+			if len(earlySkipped) > 0 {
+				flushSkipped()
+			} else {
+				abortOneEarly()
+			}
 
 		case <-specTick:
 			if len(completedLat) < m.cfg.SpeculationMinObservations {
@@ -1272,6 +1662,9 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 				m.metrics.speculations.Inc()
 				queue = append(queue, shardTask{id: id, records: shardRecords(id), speculative: true})
 			}
+			if len(queue) > 0 {
+				flushSkipped() // clones need workers the early window parked
+			}
 
 		case <-wakeCh:
 			// A backoff matured; rescan the queue.
@@ -1289,6 +1682,12 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 	// the job outlived) are abandoned; their workers rejoin the idle
 	// pool when their RPC finishes.
 	abandon()
+	// Stream complete: every winning output has been streamed, so close
+	// each early reducer's update channel — the reducer folds as soon as
+	// its coverage reaches Total — and release parked workers for the
+	// reduce phase.
+	closeEarly(false)
+	flushSkipped()
 	splitSpan.End()
 	barrier := time.Now()
 	stats.SplitWall = barrier.Sub(splitStart)
@@ -1315,7 +1714,8 @@ func (m *Master) Run(ctx context.Context, jobName string, records []string, shar
 			mapLocs: mapLocs, replicaLocs: replicaLocs, replicaParts: replicaParts,
 			relay: relay, shards: shards, shardRecords: shardRecords,
 		}
-		finals, rerr := m.runReducePhase(ctx, plan, &stats, ledger, trc, deadline.C)
+		finals, rerr := m.runReducePhase(ctx, plan, &stats, ledger, trc, deadline.C,
+			rResultCh, rFailCh, earlyLaunched)
 		reduceSpan.End()
 		reduceEnd := time.Now()
 		stats.ReduceWall = reduceEnd.Sub(barrier)

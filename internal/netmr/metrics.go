@@ -42,6 +42,11 @@ type masterMetrics struct {
 	replicaFetches  *obs.Counter
 	mapReexecs      *obs.Counter
 	recoverySeconds *obs.Histogram
+
+	earlyLaunches *obs.Counter
+	earlyAborts   *obs.Counter
+	locsStreamed  *obs.Counter
+	failovers     *obs.Counter
 }
 
 func newMasterMetrics(r *obs.Registry) *masterMetrics {
@@ -112,6 +117,14 @@ func newMasterMetrics(r *obs.Registry) *masterMetrics {
 			"Map tasks re-executed from lineage after both the primary and its replica were lost."),
 		recoverySeconds: r.Histogram("netmr_recovery_seconds",
 			"Wall time from first detected intermediate loss to reduce-phase completion.", nil),
+		earlyLaunches: r.Counter("netmr_early_reduce_launches_total",
+			"Reduce tasks dispatched before the map barrier (pipelined shuffle)."),
+		earlyAborts: r.Counter("netmr_early_reduce_aborts_total",
+			"Early reduce launches aborted to free their worker for a map retry."),
+		locsStreamed: r.Counter("netmr_morelocs_streamed_total",
+			"morelocs updates streamed to running early reducers."),
+		failovers: r.Counter("netmr_reduce_failovers_total",
+			"Reducer fetches rerouted worker-locally to a replica holder."),
 	}
 }
 
@@ -143,4 +156,8 @@ var (
 		"Partition-set replications this process's workers pushed to peers, by result (ok or failed).", "result")
 	workerReplicasStored = obs.Default().Counter("netmr_worker_replicas_stored_total",
 		"Peer partition sets this process's workers accepted as replicas.")
+	workerPoolOps = obs.Default().CounterVec("netmr_worker_shuffle_pool_total",
+		"Shuffle connection pool operations, by kind (hit, miss, or evict).", "kind")
+	workerFailovers = obs.Default().Counter("netmr_worker_fetch_failovers_total",
+		"Reducer fetches this process's workers rerouted to a replica holder.")
 )

@@ -502,7 +502,7 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 		{Type: "presult"},
 	}
 	for _, m := range seeds {
-		frame, _, err := appendFrame(nil, &m, nil, true, false, false, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, false, false, false, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -517,18 +517,18 @@ func FuzzDecodePartitionedResult(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var m message
-		if err := decodeFrame(body, &m, true, false, false, false); err != nil {
+		if err := decodeFrame(body, &m, true, false, false, false, false); err != nil {
 			return
 		}
 		if _, ok := frameTypes[m.Type]; !ok {
 			return // unknown type placeholder, ignore-path
 		}
-		frame, _, err := appendFrame(nil, &m, nil, true, false, false, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, false, false, false, false)
 		if err != nil {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}
 		var again message
-		if err := decodeFrame(frameBody(t, frame), &again, true, false, false, false); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &again, true, false, false, false, false); err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
 		if !reflect.DeepEqual(normalize(again), normalize(m)) {
@@ -561,7 +561,7 @@ func FuzzDecodeSpanSummary(f *testing.F) {
 		// bin2 layout a non-trace peer would send: the trc decoder must
 		// reject the latter cleanly, and mutations of either must never
 		// panic it.
-		frame, _, err := appendFrame(nil, &m, nil, true, true, false, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, false, false, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -574,7 +574,7 @@ func FuzzDecodeSpanSummary(f *testing.F) {
 		}
 		f.Add(mut)
 		if m.Trace == "" && len(m.Spans) == 0 {
-			plain, _, err := appendFrame(nil, &m, nil, true, false, false, false)
+			plain, _, err := appendFrame(nil, &m, nil, true, false, false, false, false)
 			if err != nil {
 				f.Fatal(err)
 			}
@@ -583,7 +583,7 @@ func FuzzDecodeSpanSummary(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var m message
-		if err := decodeFrame(body, &m, true, true, false, false); err != nil {
+		if err := decodeFrame(body, &m, true, true, false, false, false); err != nil {
 			return
 		}
 		for _, s := range m.Spans {
@@ -594,12 +594,12 @@ func FuzzDecodeSpanSummary(f *testing.F) {
 		if _, ok := frameTypes[m.Type]; !ok {
 			return // unknown type placeholder, ignore-path
 		}
-		frame, _, err := appendFrame(nil, &m, nil, true, true, false, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, true, false, false, false)
 		if err != nil {
 			t.Fatalf("decoded frame failed to re-encode: %v", err)
 		}
 		var again message
-		if err := decodeFrame(frameBody(t, frame), &again, true, true, false, false); err != nil {
+		if err := decodeFrame(frameBody(t, frame), &again, true, true, false, false, false); err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
 		if !sameSpans(m.Spans, again.Spans) {

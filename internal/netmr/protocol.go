@@ -56,6 +56,14 @@ import (
 // task frames, the worker replicates its persisted partitions there
 // before mapdone), and the trailing Rep/Spills/Spilled/CompBytes/
 // ShuffleMs layout block — versioned exactly like trace and reduce.
+// capEarly adds the pipelined shuffle generation: the master may
+// dispatch a reduce task before the map barrier (Total > 0 announces
+// how many map outputs will eventually exist) and stream later
+// map-output locations to the running reducer over morelocs frames;
+// replica addresses (Reps) ride the task and morelocs frames so the
+// reducer fails over to a replica locally, and the reducer reports how
+// often it did (Failovers) — one more trailing layout block, versioned
+// exactly like trace/reduce/comp.
 const (
 	capBinary    = "bin"
 	capBinaryExt = "bin2"
@@ -64,11 +72,12 @@ const (
 	capTrace     = "trace"
 	capReduce    = "reduce"
 	capComp      = "comp"
+	capEarly     = "early"
 )
 
 // workerCaps is what a current worker advertises in its hello.
 func workerCaps() []string {
-	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce, capComp}
+	return []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce, capComp, capEarly}
 }
 
 // message is the single wire frame: one JSON line in codec v1, one
@@ -111,6 +120,16 @@ type message struct {
 	Spilled   int64    `json:"spilled,omitempty"`    // mapdone | result: bytes written to spill files
 	CompBytes int64    `json:"comp_bytes,omitempty"` // result (of a reduce task): wire bytes saved by frame compression
 	ShuffleMs int64    `json:"shuffle_ms,omitempty"` // helloack: shuffle timeout, milliseconds
+
+	// Pipelined-shuffle fields, carried only on connections that
+	// negotiated the "early" capability (a sixth trailing layout block on
+	// binary frames). Total > 0 on a reducetask marks it an early
+	// dispatch: the reducer gathers the initial Locs/Parts, then keeps
+	// receiving morelocs frames (same Run/TaskID, incremental Locs/Parts/
+	// Reps — or Message "abort") until it has covered Total map tasks.
+	Total     int        `json:"total,omitempty"`     // reducetask: map tasks the run will eventually produce (early mode)
+	Reps      []fetchLoc `json:"reps,omitempty"`      // reducetask | morelocs: replica shuffle addrs per map task (local failover)
+	Failovers int        `json:"failovers,omitempty"` // result (of a reduce task): fetches locally rerouted to a replica
 }
 
 // fetchLoc names one worker's shuffle listener and the map tasks whose
@@ -164,6 +183,7 @@ type conn struct {
 	trc    bool // trace layout (trailing Trace/Spans fields) negotiated
 	red    bool // reduce layout (trailing Run/…/Locs fields) negotiated
 	cmp    bool // comp layout (flag layer + trailing Rep/…/ShuffleMs fields) negotiated
+	erl    bool // early layout (trailing Total/Reps/Failovers fields) negotiated
 
 	// sniff arms one-shot generation detection on shuffle-server
 	// connections: the first body byte of a comp dialer is its
@@ -215,7 +235,7 @@ func (c *conn) send(m message, timeout time.Duration) error {
 		return nil
 	}
 	bufp := encBufPool.Get().(*[]byte)
-	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc, c.red, c.cmp)
+	frame, keys, err := appendFrame((*bufp)[:0], &m, c.keys, c.binExt, c.trc, c.red, c.cmp, c.erl)
 	c.keys = keys
 	if err == nil {
 		_, err = c.raw.Write(frame) // one write: one frame per chaos fault op
@@ -288,7 +308,7 @@ func (c *conn) recv(timeout time.Duration) (message, error) {
 		body = raw
 	}
 	c.lastRawLen = len(body)
-	if err := decodeFrame(body, &c.scratch, c.binExt, c.trc, c.red, c.cmp); err != nil {
+	if err := decodeFrame(body, &c.scratch, c.binExt, c.trc, c.red, c.cmp, c.erl); err != nil {
 		return message{}, err
 	}
 	if c.trc {
@@ -564,6 +584,7 @@ const (
 	spanSpill     = "spill"     // writing sorted spill runs when the memory budget is exceeded
 	spanMergeRuns = "mergeruns" // reduce task: loser-tree merge-fold of spilled runs
 	spanReplicate = "replicate" // pushing a persisted partition set to the replica peer
+	spanAwait     = "await"     // early reduce task: waiting for the next morelocs round
 )
 
 // spanClock accumulates spanSummary intervals against a fixed epoch —

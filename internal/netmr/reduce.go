@@ -2,6 +2,7 @@ package netmr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -45,7 +46,16 @@ type reducePlan struct {
 // R partitions pay for one re-execution). The fold output is
 // byte-identical on every route — reducers order partials by map task id
 // before folding, not by arrival.
-func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *Stats, ledger *perWorkerLedger, trc *JobTrace, deadline <-chan time.Time) ([]map[string]float64, error) {
+//
+// The report channels are created by Run before the map phase because
+// pipelined (early) launches start under the map tail: partitions in
+// earlySeeded are already in flight when this loop starts, so they are
+// kept out of the queue and accounted as live launches — each reports
+// exactly once, possibly into the pre-seeded channel buffers. An early
+// launch the master aborted fails with errEarlyAborted and requeues
+// without charging the attempt budget.
+func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *Stats, ledger *perWorkerLedger, trc *JobTrace, deadline <-chan time.Time,
+	resultCh chan launchDone, failCh chan launchFail, earlySeeded map[int]bool) ([]map[string]float64, error) {
 	R := m.cfg.Reducers
 
 	// Sorted stored-task ids: the deterministic iteration base for every
@@ -67,17 +77,22 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 	var scratch *shardScratch // lazy, only allocated if lineage re-execution happens
 
 	// buildPlan computes one dispatch's fetch plan: each live holder
-	// address with the (sorted) map tasks to fetch from it, plus the
-	// partition's slice of any output that has to travel inline (master
-	// replica or re-executed). Runs in the event-loop goroutine — it
-	// mutates shared state (replicaParts cache, stats).
-	buildPlan := func(partition int) ([]fetchLoc, []partitionPartial) {
+	// address with the (sorted) map tasks to fetch from it, the replica
+	// addresses an early-layout reducer may fail over to worker-locally,
+	// plus the partition's slice of any output that has to travel inline
+	// (master replica or re-executed). Runs in the event-loop goroutine —
+	// it mutates shared state (replicaParts cache, stats).
+	buildPlan := func(partition int) ([]fetchLoc, []partitionPartial, []fetchLoc) {
 		byAddr := make(map[string][]int)
+		repBy := make(map[string][]int)
 		var inline []partitionPartial
 		for _, task := range storedTasks {
 			addr := plan.mapLocs[task]
 			if m.addrAlive(addr) {
 				byAddr[addr] = append(byAddr[addr], task)
+				if rep, ok := plan.replicaLocs[task]; ok && m.addrAlive(rep) {
+					repBy[rep] = append(repBy[rep], task)
+				}
 				continue
 			}
 			if rep, ok := plan.replicaLocs[task]; ok && m.addrAlive(rep) {
@@ -115,16 +130,24 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 		for _, addr := range addrs {
 			locs = append(locs, fetchLoc{Addr: addr, Tasks: byAddr[addr]})
 		}
-		return locs, inline
+		repAddrs := make([]string, 0, len(repBy))
+		for addr := range repBy {
+			repAddrs = append(repAddrs, addr)
+		}
+		sort.Strings(repAddrs)
+		reps := make([]fetchLoc, 0, len(repAddrs))
+		for _, addr := range repAddrs {
+			reps = append(reps, fetchLoc{Addr: addr, Tasks: repBy[addr]})
+		}
+		return locs, inline, reps
 	}
 
 	queue := make([]shardTask, 0, R)
 	for p := 0; p < R; p++ {
-		queue = append(queue, shardTask{id: p})
+		if !earlySeeded[p] {
+			queue = append(queue, shardTask{id: p})
+		}
 	}
-	capacity := R * m.cfg.MaxAttempts * (1 + m.cfg.SpeculationMaxClones)
-	resultCh := make(chan launchDone, capacity)
-	failCh := make(chan launchFail, capacity)
 
 	// dispatchReduce ships one partition to a reduce worker and reports
 	// exactly once. A reply that is not this partition's result drops the
@@ -132,13 +155,20 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 	// frame naming the holder address): there the reducer is healthy and
 	// the holder is not, so the holder is marked dead, the reducer returns
 	// to the pool, and the retry re-plans around the loss.
-	dispatchReduce := func(w *workerHandle, t shardTask, locs []fetchLoc, parts []partitionPartial, compAddrs []string, launch int) {
+	dispatchReduce := func(w *workerHandle, t shardTask, locs []fetchLoc, parts []partitionPartial, compAddrs []string, reps []fetchLoc, launch int) {
 		traceID := ""
 		if trc != nil && w.trace {
 			traceID = trc.ID
 		}
+		fr := message{Type: "reducetask", Job: plan.jobName, TaskID: t.id, Attempt: t.attempts, Run: plan.runID, Locs: locs, Parts: parts, CompAddrs: compAddrs, Trace: traceID}
+		if w.early {
+			// Replica addresses ride the early layout: the reducer retries
+			// a dead holder's tasks against the replica itself instead of
+			// failing the whole launch back to the master.
+			fr.Reps = reps
+		}
 		start := time.Now()
-		err := w.c.send(message{Type: "reducetask", Job: plan.jobName, TaskID: t.id, Attempt: t.attempts, Run: plan.runID, Locs: locs, Parts: parts, CompAddrs: compAddrs, Trace: traceID}, m.cfg.TaskTimeout)
+		err := w.c.send(fr, m.cfg.TaskTimeout)
 		var reply message
 		if err == nil {
 			reply, err = w.c.recv(m.cfg.TaskTimeout)
@@ -181,7 +211,7 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 		resultCh <- launchDone{
 			task: t, partial: reply.Partial, bytes: reply.Bytes,
 			compBytes: reply.CompBytes, spills: reply.Spills, spilled: reply.Spilled,
-			elapsed: elapsed, launch: launch,
+			failovers: reply.Failovers, elapsed: elapsed, launch: launch,
 		}
 		m.idle <- w
 	}
@@ -191,6 +221,12 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 	done := make(map[int]bool, R)
 	var completedLat []float64
 	pending := R
+	// Early launches are live flights this loop inherits; their ages are
+	// reset to the phase start so the speculation clock does not read the
+	// map overlap as straggling.
+	for p := range earlySeeded {
+		inflight[p] = &flight{launches: 1, lastLaunch: time.Now()}
+	}
 
 	// Only reduce-capable workers can serve this phase; everyone else
 	// pulled from the idle pool parks here until the phase ends.
@@ -293,7 +329,7 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 			// the liveness view of this instant — not in the dispatch
 			// goroutine, where the shared replica cache and stats would
 			// race.
-			locs, inline := buildPlan(t.id)
+			locs, inline, reps := buildPlan(t.id)
 			taskParts := plan.relay[t.id]
 			if len(inline) > 0 {
 				taskParts = append(append([]partitionPartial{}, taskParts...), inline...)
@@ -306,7 +342,7 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 			if w.comp {
 				compAddrs = m.liveCompAddrs()
 			}
-			go dispatchReduce(w, t, locs, taskParts, compAddrs, launch)
+			go dispatchReduce(w, t, locs, taskParts, compAddrs, reps, launch)
 
 		case r := <-resultCh:
 			if f := inflight[r.task.id]; f != nil {
@@ -329,6 +365,10 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 			finals[r.task.id] = r.partial
 			stats.ReduceTasks++
 			stats.ShuffleBytes += r.bytes
+			if r.failovers > 0 {
+				stats.Failovers += r.failovers
+				m.metrics.failovers.Add(float64(r.failovers))
+			}
 			if r.compBytes > 0 {
 				stats.CompressedBytes += r.compBytes
 				m.metrics.compressedBytes.Add(float64(r.compBytes))
@@ -346,6 +386,15 @@ func (m *Master) runReducePhase(ctx context.Context, plan *reducePlan, stats *St
 			f := inflight[fl.task.id]
 			if f != nil {
 				f.launches--
+			}
+			if errors.Is(fl.err, errEarlyAborted) {
+				// The master called this early launch back to free its
+				// worker for a map retry — not a failure. Requeue at no
+				// cost to the attempt budget.
+				if !done[fl.task.id] && !queuedShard(fl.task.id) {
+					queue = append(queue, fl.task)
+				}
+				continue
 			}
 			m.metrics.reduceTasks.With("failed").Inc()
 			if done[fl.task.id] {

@@ -444,9 +444,10 @@ func TestRogueReduceErrorReassigned(t *testing.T) {
 
 // TestCompatMatrix is the mixed-version compatibility gate CI pins: one
 // worker of every protocol generation — v1 JSON, bin, bin2, trace,
-// reduce, comp — paired with a current worker under a master that has
-// every feature enabled, each run compared against the single-shard
-// reference.
+// reduce, comp, early — paired with a current worker under a master
+// that has every feature enabled (including early shuffle, so morelocs
+// streaming runs against every older generation), each run compared
+// against the single-shard reference.
 func TestCompatMatrix(t *testing.T) {
 	gens := []struct {
 		name string
@@ -457,7 +458,8 @@ func TestCompatMatrix(t *testing.T) {
 		{"bin2", []string{capBinary, capBinaryExt, capBatch, capPartition}},
 		{"trace", []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace}},
 		{"reduce", []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce}},
-		{"comp", workerCaps()},
+		{"comp", []string{capBinary, capBinaryExt, capBatch, capPartition, capTrace, capReduce, capComp}},
+		{"early", workerCaps()},
 	}
 	lines := testLines(t, 400)
 	want := runShard(wordCountJob(), lines, newShardScratch())
@@ -465,7 +467,7 @@ func TestCompatMatrix(t *testing.T) {
 		t.Run(g.name, func(t *testing.T) {
 			master, addr := startReduceCluster(t, MasterConfig{
 				TaskTimeout: 10 * time.Second, JobTimeout: 30 * time.Second,
-				Reducers: 3, Trace: true, MaxTaskBatch: 2,
+				Reducers: 3, Trace: true, MaxTaskBatch: 2, EarlyShuffle: true,
 			}, 1)
 			if g.caps == nil {
 				legacyJSONWorker(t, addr, wordCountJob())
@@ -521,6 +523,8 @@ func reduceFrameSeeds() []message {
 		}},
 		{Type: "mapdone", TaskID: 2, Attempt: 1, Run: "wc#1"},
 		{Type: "result", TaskID: 1, Attempt: 2, Partial: map[string]float64{"folded": 9}, Bytes: 1 << 40},
+		{Type: "morelocs", Run: "wc#1", TaskID: 2, Locs: []fetchLoc{{Addr: "127.0.0.1:7001", Tasks: []int{4}}}},
+		{Type: "morelocs", Run: "wc#1", TaskID: 0, Message: "abort"},
 	}
 }
 
@@ -530,7 +534,7 @@ func reduceFrameSeeds() []message {
 // body that decodes must re-encode and round-trip to the same message.
 func FuzzDecodeReduceFrame(f *testing.F) {
 	for _, m := range reduceFrameSeeds() {
-		frame, _, err := appendFrame(nil, &m, nil, true, false, true, false)
+		frame, _, err := appendFrame(nil, &m, nil, true, false, true, false, false)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -546,7 +550,7 @@ func FuzzDecodeReduceFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, body []byte) {
 		for _, layout := range []struct{ trc bool }{{false}, {true}} {
 			var m message
-			if err := decodeFrame(body, &m, true, layout.trc, true, false); err != nil {
+			if err := decodeFrame(body, &m, true, layout.trc, true, false, false); err != nil {
 				continue
 			}
 			for _, loc := range m.Locs {
@@ -560,12 +564,12 @@ func FuzzDecodeReduceFrame(f *testing.F) {
 			if _, ok := frameTypes[m.Type]; !ok {
 				continue // unknown type placeholder, ignore-path
 			}
-			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true, false)
+			frame, _, err := appendFrame(nil, &m, nil, true, layout.trc, true, false, false)
 			if err != nil {
 				t.Fatalf("decoded frame failed to re-encode: %v", err)
 			}
 			var again message
-			if err := decodeFrame(frameBody(t, frame), &again, true, layout.trc, true, false); err != nil {
+			if err := decodeFrame(frameBody(t, frame), &again, true, layout.trc, true, false, false); err != nil {
 				t.Fatalf("re-encoded frame failed to decode: %v", err)
 			}
 			if !reflect.DeepEqual(normalize(stripSpans(again)), normalize(stripSpans(m))) {
@@ -584,8 +588,8 @@ func TestWriteFuzzCorpus(t *testing.T) {
 	if os.Getenv("NETMR_WRITE_FUZZ_CORPUS") == "" {
 		t.Skip("set NETMR_WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
 	}
-	encode := func(m message, ext, trc, red, cmp bool) []byte {
-		frame, _, err := appendFrame(nil, &m, nil, ext, trc, red, cmp)
+	encode := func(m message, ext, trc, red, cmp, erl bool) []byte {
+		frame, _, err := appendFrame(nil, &m, nil, ext, trc, red, cmp, erl)
 		if err != nil {
 			t.Fatalf("encode %+v: %v", m, err)
 		}
@@ -603,29 +607,29 @@ func TestWriteFuzzCorpus(t *testing.T) {
 		corpora[fuzzName] = append(corpora[fuzzName], bodies...)
 	}
 	for _, m := range codecMessages() {
-		body := encode(m, true, true, true, false)
+		body := encode(m, true, true, true, false, true)
 		add("FuzzDecodeFrame", body, body[:len(body)/2], mutate(body))
 	}
 	for _, m := range reduceFrameSeeds() {
-		body := encode(m, true, false, true, false)
+		body := encode(m, true, false, true, false, false)
 		add("FuzzDecodeReduceFrame", body, body[:len(body)*2/3], mutate(body))
 	}
 	for _, m := range codecMessages() {
 		if m.Type != "presult" || m.Trace != "" || len(m.Spans) > 0 {
 			continue
 		}
-		body := encode(m, true, false, false, false)
+		body := encode(m, true, false, false, false, false)
 		add("FuzzDecodePartitionedResult", body, mutate(body))
 	}
 	for _, m := range codecMessages() {
 		if m.Trace == "" && len(m.Spans) == 0 {
 			continue
 		}
-		body := encode(m, true, true, false, false)
+		body := encode(m, true, true, false, false, false)
 		add("FuzzDecodeSpanSummary", body, mutate(body))
 	}
 	for _, m := range compFrameSeeds() {
-		body := encode(m, true, true, true, true)
+		body := encode(m, true, true, true, true, true)
 		add("FuzzDecodeCompressedFrame", body, body[:len(body)/2], mutate(body))
 	}
 	for fuzzName, bodies := range corpora {

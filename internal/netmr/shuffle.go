@@ -1,12 +1,16 @@
 package netmr
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"sort"
 	"sync"
 	"time"
+
+	"ipso/internal/runner"
 )
 
 // Worker-side half of the distributed reduce phase: a reduce-capable
@@ -89,7 +93,7 @@ func (s *interStore) setReducers(r int) {
 // partition sets spill to disk in ascending task order until the store
 // fits again; spills/spilled report what this call flushed. A spill
 // error leaves the set resident (correct, just over budget).
-func (s *interStore) put(run string, task int, parts []partitionPartial, reducers int) (spills int, spilled int64, err error) {
+func (s *interStore) put(run string, task int, parts []partitionPartial, reducers int) (spills int, spilled, saved int64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.run != run {
@@ -109,23 +113,24 @@ func (s *interStore) put(run string, task int, parts []partitionPartial, reducer
 	s.tasks[task] = st
 	s.mem += st.bytes
 	if s.budget > 0 && s.mem > s.budget {
-		spills, spilled, err = s.spillLocked()
+		spills, spilled, saved, err = s.spillLocked()
 		s.totalSpills += spills
 		s.totalSpilled += spilled
 	}
 	if s.mem > s.peak {
 		s.peak = s.mem
 	}
-	return spills, spilled, err
+	return spills, spilled, saved, err
 }
 
 // spillLocked flushes resident partition sets in ascending task order
-// until the store fits its budget again.
-func (s *interStore) spillLocked() (int, int64, error) {
+// until the store fits its budget again. spilled counts bytes that hit
+// disk; saved is what section compression kept off it.
+func (s *interStore) spillLocked() (int, int64, int64, error) {
 	if s.dir == "" {
 		dir, err := ensureSpillDir(s.baseDir, s.run)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		s.dir = dir
 	}
@@ -137,23 +142,24 @@ func (s *interStore) spillLocked() (int, int64, error) {
 	}
 	sort.Ints(ids)
 	var spills int
-	var spilled int64
+	var spilled, saved int64
 	for _, id := range ids {
 		if s.mem <= s.budget {
 			break
 		}
 		st := s.tasks[id]
-		sf, n, err := writeSpillFile(s.dir, id, st.parts, s.reducers)
+		sf, n, sv, err := writeSpillFile(s.dir, id, st.parts, s.reducers)
 		if err != nil {
-			return spills, spilled, err
+			return spills, spilled, saved, err
 		}
 		st.spill = sf
 		st.parts = nil
 		s.mem -= st.bytes
 		spills++
 		spilled += n
+		saved += sv
 	}
-	return spills, spilled, nil
+	return spills, spilled, saved, nil
 }
 
 // evictLocked drops every held task, spill files and scratch dir
@@ -249,10 +255,34 @@ func (w *Worker) startFetchListener() (string, error) {
 			if err != nil {
 				return // listener closed
 			}
+			w.mu.Lock()
+			w.fetchConns[raw] = struct{}{}
+			w.mu.Unlock()
 			go w.serveFetch(raw)
 		}
 	}()
 	return ln.Addr().String(), nil
+}
+
+// closeFetchPlane tears the shuffle plane down whole: the listener (no
+// new peers) and every accepted socket (in-flight peers, including the
+// pooled connections riding them). Stop and the mapper-loss chaos hooks
+// use it — a worker whose listener merely closed would keep serving
+// peers that connected earlier.
+func (w *Worker) closeFetchPlane() {
+	w.mu.Lock()
+	ln := w.fetchLn
+	conns := make([]net.Conn, 0, len(w.fetchConns))
+	for c := range w.fetchConns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
 }
 
 // serveFetch handles one peer shuffle connection. Shuffle connections
@@ -269,7 +299,12 @@ func (w *Worker) serveFetch(raw net.Conn) {
 	c := newConn(raw)
 	c.binary, c.binExt, c.red = true, true, true
 	c.sniff = true
-	defer func() { _ = c.close() }()
+	defer func() {
+		_ = c.close()
+		w.mu.Lock()
+		delete(w.fetchConns, raw)
+		w.mu.Unlock()
+	}()
 	to := w.shuffleTO()
 	for {
 		m, err := c.recv(to)
@@ -291,7 +326,7 @@ func (w *Worker) serveFetch(raw net.Conn) {
 				return
 			}
 		case "replicate":
-			if _, _, err := w.store.put(m.Run, m.TaskID, m.Parts, m.Reducers); err != nil {
+			if _, _, _, err := w.store.put(m.Run, m.TaskID, m.Parts, m.Reducers); err != nil {
 				workerServes.With("rejected").Inc()
 				if c.send(message{Type: "error", TaskID: m.TaskID, Message: err.Error()}, to) != nil {
 					return
@@ -311,19 +346,12 @@ func (w *Worker) serveFetch(raw net.Conn) {
 	}
 }
 
-// fetchPartition pulls partition's slice of the given map tasks from a
-// peer's shuffle listener, returning the per-task partials, the encoded
+// fetchExchange runs one fetch request/response over an established
+// shuffle connection, returning the per-task partials, the encoded
 // bytes transferred, and — on comp connections — the wire bytes frame
-// compression saved. cmp must reflect the target peer's generation (the
-// master names comp-capable addrs on the reducetask frame).
-func fetchPartition(addr, run string, partition int, tasks []int, timeout time.Duration, cmp bool) ([]partitionPartial, int64, int64, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("netmr: fetch dial %s: %w", addr, err)
-	}
-	c := newConn(raw)
-	c.binary, c.binExt, c.red, c.cmp = true, true, true, cmp
-	defer func() { _ = c.close() }()
+// compression saved. A refusal (error frame from a healthy peer) comes
+// back as a peerRefusal so the pool knows the connection survived it.
+func fetchExchange(c *conn, addr, run string, partition int, tasks []int, timeout time.Duration) ([]partitionPartial, int64, int64, error) {
 	if err := c.send(message{Type: "fetch", Run: run, TaskID: partition, Tasks: tasks}, timeout); err != nil {
 		return nil, 0, 0, err
 	}
@@ -334,30 +362,22 @@ func fetchPartition(addr, run string, partition int, tasks []int, timeout time.D
 	switch reply.Type {
 	case "fetchresult":
 		var saved int64
-		if cmp {
+		if c.cmp {
 			if sv := int64(c.lastRawLen) - int64(c.lastFrameLen); sv > 0 {
 				saved = sv
 			}
 		}
 		return reply.Parts, int64(c.lastFrameLen), saved, nil
 	case "error":
-		return nil, 0, 0, fmt.Errorf("netmr: fetch from %s refused: %s", addr, reply.Message)
+		return nil, 0, 0, &peerRefusal{msg: fmt.Sprintf("netmr: fetch from %s refused: %s", addr, reply.Message)}
 	default:
 		return nil, 0, 0, fmt.Errorf("netmr: fetch from %s answered %q", addr, reply.Type)
 	}
 }
 
-// replicateParts pushes one persisted partition set to a peer's shuffle
-// listener (always a comp-generation peer — the master only names
-// those) and waits for the replicack.
-func replicateParts(addr, run string, task int, parts []partitionPartial, reducers int, timeout time.Duration) error {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return fmt.Errorf("netmr: replicate dial %s: %w", addr, err)
-	}
-	c := newConn(raw)
-	c.binary, c.binExt, c.red, c.cmp = true, true, true, true
-	defer func() { _ = c.close() }()
+// replicateExchange runs one replicate request/response over an
+// established shuffle connection.
+func replicateExchange(c *conn, addr, run string, task int, parts []partitionPartial, reducers int, timeout time.Duration) error {
 	if err := c.send(message{Type: "replicate", Run: run, TaskID: task, Parts: parts, Reducers: reducers}, timeout); err != nil {
 		return err
 	}
@@ -369,10 +389,38 @@ func replicateParts(addr, run string, task int, parts []partitionPartial, reduce
 	case "replicack":
 		return nil
 	case "error":
-		return fmt.Errorf("netmr: replicate to %s refused: %s", addr, reply.Message)
+		return &peerRefusal{msg: fmt.Sprintf("netmr: replicate to %s refused: %s", addr, reply.Message)}
 	default:
 		return fmt.Errorf("netmr: replicate to %s answered %q", addr, reply.Type)
 	}
+}
+
+// fetchPartition pulls partition's slice of the given map tasks from a
+// peer's shuffle listener over a fresh dial-per-call connection. The
+// pooled path (shufflePool.fetchPartition) has replaced it on the hot
+// path; this remains as the unpooled baseline the shuffle benchmarks
+// compare against. cmp must reflect the target peer's generation (the
+// master names comp-capable addrs on the reducetask frame).
+func fetchPartition(addr, run string, partition int, tasks []int, timeout time.Duration, cmp bool) ([]partitionPartial, int64, int64, error) {
+	c, err := dialShuffle(addr, cmp, timeout)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer func() { _ = c.close() }()
+	return fetchExchange(c, addr, run, partition, tasks, timeout)
+}
+
+// replicateParts pushes one persisted partition set to a peer's shuffle
+// listener (always a comp-generation peer — the master only names
+// those) over a fresh dial-per-call connection and waits for the
+// replicack. Like fetchPartition, superseded by the pooled path.
+func replicateParts(addr, run string, task int, parts []partitionPartial, reducers int, timeout time.Duration) error {
+	c, err := dialShuffle(addr, true, timeout)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.close() }()
+	return replicateExchange(c, addr, run, task, parts, reducers, timeout)
 }
 
 // taskPartial pairs one map task id with its slice of the reduce
@@ -382,17 +430,118 @@ type taskPartial struct {
 	partial map[string]float64
 }
 
+// fetchError names the peer whose fetch (or local read) failed, so the
+// reduce error frame can carry the address for the master's recovery
+// lineage.
+type fetchError struct {
+	addr string
+	err  error
+}
+
+func (e *fetchError) Error() string { return e.err.Error() }
+func (e *fetchError) Unwrap() error { return e.err }
+
+// locResult is one location's gathered slice plus its transfer
+// accounting — assembled concurrently by fetchRound, folded in location
+// order by the caller.
+type locResult struct {
+	parts     []partitionPartial
+	fetched   int64
+	saved     int64
+	failovers int
+}
+
+// fetchRound pulls partition's slice from every location concurrently,
+// bounded by the worker's shuffle fan-out, with results in location
+// order so the fold input is independent of arrival order. The worker's
+// own store is read directly (no loopback dial); peer fetches go
+// through the connection pool. A primary's failure fails over to the
+// map tasks' replica holders when repOf names them; only when that too
+// fails (or no replica covers a task) does the round error, naming the
+// primary so the master routes recovery around it.
+func (w *Worker) fetchRound(run string, partition int, locs []fetchLoc, repOf map[int]string, compAddrs map[string]bool, cmp bool, to time.Duration) ([]locResult, error) {
+	ctx := runner.WithWorkers(context.Background(), w.shuffleFanout)
+	return runner.Map(ctx, len(locs), func(_ context.Context, i int) (locResult, error) {
+		loc := locs[i]
+		if loc.Addr == w.fetchAddr {
+			parts, err := w.store.slice(run, partition, loc.Tasks)
+			if err != nil {
+				return locResult{}, &fetchError{addr: loc.Addr, err: err}
+			}
+			return locResult{parts: parts}, nil
+		}
+		fetchStart := time.Now()
+		parts, n, sv, err := w.pool.fetchPartition(loc.Addr, run, partition, loc.Tasks, to, cmp && compAddrs[loc.Addr])
+		workerFetchSeconds.Observe(time.Since(fetchStart).Seconds())
+		if err == nil {
+			workerFetches.With("ok").Inc()
+			return locResult{parts: parts, fetched: n, saved: sv}, nil
+		}
+		workerFetches.With("failed").Inc()
+		res, ferr := w.fetchFailover(run, partition, loc, repOf, compAddrs, cmp, to)
+		if ferr != nil {
+			return locResult{}, &fetchError{addr: loc.Addr, err: err}
+		}
+		return res, nil
+	})
+}
+
+// fetchFailover re-pulls one failed location's map tasks from their
+// replica holders. Every task must have a known replica distinct from
+// the failed primary and every replica fetch must succeed — a partial
+// recovery is no recovery, so the primary's failure stands otherwise.
+func (w *Worker) fetchFailover(run string, partition int, loc fetchLoc, repOf map[int]string, compAddrs map[string]bool, cmp bool, to time.Duration) (locResult, error) {
+	if len(repOf) == 0 {
+		return locResult{}, fmt.Errorf("netmr: no replica locations known")
+	}
+	groups := map[string][]int{}
+	var order []string
+	for _, task := range loc.Tasks {
+		rep, ok := repOf[task]
+		if !ok || rep == loc.Addr {
+			return locResult{}, fmt.Errorf("netmr: no replica holds map task %d", task)
+		}
+		if _, seen := groups[rep]; !seen {
+			order = append(order, rep)
+		}
+		groups[rep] = append(groups[rep], task)
+	}
+	var out locResult
+	for _, rep := range order {
+		fetchStart := time.Now()
+		parts, n, sv, err := w.pool.fetchPartition(rep, run, partition, groups[rep], to, cmp && compAddrs[rep])
+		workerFetchSeconds.Observe(time.Since(fetchStart).Seconds())
+		if err != nil {
+			workerFetches.With("failed").Inc()
+			return locResult{}, err
+		}
+		workerFetches.With("ok").Inc()
+		out.parts = append(out.parts, parts...)
+		out.fetched += n
+		out.saved += sv
+		out.failovers++
+	}
+	workerFailovers.Add(float64(out.failovers))
+	return out, nil
+}
+
 // runReduceTask executes one reduce task: gather the partition's slice
 // of every map task — master-relayed inline partials plus peer fetches
 // (the worker's own store is read directly, no loopback dial) — fold
 // them in ascending map-task order, and answer with a flat result frame
 // carrying the partition's final key space and the intermediate bytes
-// fetched. Under a spill budget the gathered partials buffer through a
-// spillFolder whose sorted runs merge back via loser tree, keeping the
-// output byte-identical to the in-memory fold. A gather failure is
-// answered with an error frame naming the peer that failed (Fetch), so
-// the master can consult replica locations instead of evicting the
-// healthy reducer.
+// fetched. Fetches run concurrently up to the shuffle fan-out over
+// pooled connections, and fetch failures fail over to replica holders
+// locally when the task frame named them. Under a spill budget the
+// gathered partials buffer through a spillFolder whose sorted runs
+// merge back via loser tree, keeping the output byte-identical to the
+// in-memory fold. On an early dispatch (Total > 0) the initial
+// locations are only a prefix: the worker keeps receiving morelocs
+// frames — gathering each batch as it lands, under the map tail — until
+// every announced map output is covered or the master aborts the
+// launch. A gather failure is answered with an error frame naming the
+// peer that failed (Fetch), so the master can consult replica locations
+// instead of evicting the healthy reducer.
 func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 	to := w.shuffleTO()
 	job, ok := w.registry.lookup(m.Job)
@@ -424,57 +573,92 @@ func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 		}
 	}
 	var inputs []taskPartial
+	covered := 0
 	gather := func(task int, partial map[string]float64) error {
+		covered++
 		if folder != nil {
 			return folder.add(task, partial)
 		}
 		inputs = append(inputs, taskPartial{task: task, partial: partial})
 		return nil
 	}
-	var gatherErr error
-	var failedAddr string
-	for _, p := range m.Parts {
-		// Master-relayed partials from v1/non-reduce peers (or recovered
-		// map re-executions): ID is the map task id here, not a partition
-		// index.
-		if gatherErr = gather(p.ID, p.Partial); gatherErr != nil {
-			break
-		}
-	}
 	compAddrs := map[string]bool{}
 	for _, a := range m.CompAddrs {
 		compAddrs[a] = true
 	}
+	repOf := map[int]string{}
+	noteReps := func(reps []fetchLoc) {
+		for _, rep := range reps {
+			for _, task := range rep.Tasks {
+				repOf[task] = rep.Addr
+			}
+		}
+	}
+	noteReps(m.Reps)
 	var fetched, compSaved int64
-	for _, loc := range m.Locs {
-		if gatherErr != nil {
-			break
-		}
-		var parts []partitionPartial
-		if loc.Addr == w.fetchAddr {
-			// Our own store: read it directly instead of dialing ourselves.
-			parts, gatherErr = w.store.slice(m.Run, m.TaskID, loc.Tasks)
-		} else {
-			fetchStart := time.Now()
-			var n, sv int64
-			parts, n, sv, gatherErr = fetchPartition(loc.Addr, m.Run, m.TaskID, loc.Tasks, to, c.cmp && compAddrs[loc.Addr])
-			workerFetchSeconds.Observe(time.Since(fetchStart).Seconds())
-			fetched += n
-			compSaved += sv
-			if gatherErr == nil {
-				workerFetches.With("ok").Inc()
-			} else {
-				workerFetches.With("failed").Inc()
-			}
-		}
-		if gatherErr != nil {
-			failedAddr = loc.Addr
-			break
-		}
+	var failovers int
+	// round gathers one batch of map outputs: the master-relayed inline
+	// partials (from v1/non-reduce peers or recovered map re-executions;
+	// ID is the map task id there, not a partition index), then the
+	// fetch locations, concurrently.
+	round := func(parts []partitionPartial, locs []fetchLoc) (string, error) {
 		for _, p := range parts {
-			if gatherErr = gather(p.ID, p.Partial); gatherErr != nil {
-				break
+			if err := gather(p.ID, p.Partial); err != nil {
+				return "", err
 			}
+		}
+		results, err := w.fetchRound(m.Run, m.TaskID, locs, repOf, compAddrs, c.cmp, to)
+		if err != nil {
+			var fe *fetchError
+			if errors.As(err, &fe) {
+				return fe.addr, err
+			}
+			return "", err
+		}
+		for _, r := range results {
+			fetched += r.fetched
+			compSaved += r.saved
+			failovers += r.failovers
+			for _, p := range r.parts {
+				if err := gather(p.ID, p.Partial); err != nil {
+					return "", err
+				}
+			}
+		}
+		return "", nil
+	}
+	failedAddr, gatherErr := round(m.Parts, m.Locs)
+	if clock != nil {
+		t = clock.mark(spanFetch, t)
+	}
+	// Early dispatch: the master announced how many map outputs the run
+	// will produce and streams the still-missing locations as their
+	// mapdones land. The blocked recv is the await span — together with
+	// the per-round fetch spans, the overlap the trace assembler shows
+	// hiding under the map tail.
+	for gatherErr == nil && m.Total > 0 && covered < m.Total {
+		um, err := c.recv(0)
+		if err != nil {
+			return false
+		}
+		if clock != nil {
+			t = clock.mark(spanAwait, t)
+		}
+		if um.Type != "morelocs" || um.Run != m.Run {
+			gatherErr = fmt.Errorf("expected morelocs for run %s, got %q", m.Run, um.Type)
+			break
+		}
+		if um.Message == "abort" {
+			// The master wants this worker back (a map shard needs
+			// retrying); acknowledge and re-enter the serve loop.
+			workerTasks.With("aborted").Inc()
+			_ = c.send(message{Type: "error", TaskID: m.TaskID, Message: "early reduce aborted"}, to)
+			return true
+		}
+		noteReps(um.Reps)
+		failedAddr, gatherErr = round(um.Parts, um.Locs)
+		if clock != nil {
+			t = clock.mark(spanFetch, t)
 		}
 	}
 	if gatherErr != nil {
@@ -487,9 +671,6 @@ func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 		return true
 	}
 	workerShuffleBytes.Add(float64(fetched))
-	if clock != nil {
-		t = clock.mark(spanFetch, t)
-	}
 	var out map[string]float64
 	merged := false
 	if folder != nil {
@@ -524,9 +705,13 @@ func (w *Worker) runReduceTask(c *conn, m message, decode time.Duration) bool {
 		spans = clock.spans
 	}
 	res := message{Type: "result", TaskID: m.TaskID, Attempt: m.Attempt, Partial: out, Bytes: fetched, Trace: m.Trace, Spans: spans}
+	if c.erl {
+		res.Failovers = failovers
+	}
 	if c.cmp {
 		res.CompBytes = compSaved
 		if folder != nil {
+			res.CompBytes += folder.compSaved
 			res.Spills = folder.spillRuns
 			res.Spilled = folder.spilledBytes
 			workerSpillRuns.Add(float64(folder.spillRuns))

@@ -1,0 +1,189 @@
+package netmr
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pooled shuffle-plane connections. Before pooling, every reduce-side
+// fetch and every replication push dialed the peer fresh — a TCP
+// handshake per exchange that scales with both the cluster width and
+// the map task count, pure per-degree overhead q(n) in the IPSO
+// decomposition. The pool keeps idle connections per peer and reuses
+// them across exchanges; serveFetch already serves any number of
+// requests per connection, so the protocol needed no change.
+//
+// A cached connection can be stale (the peer restarted, an idle
+// timeout fired, a chaos fault cut it), and staleness only surfaces on
+// use. withConn therefore retries exactly once on a fresh dial when an
+// exchange over a pooled connection fails — a failure on the fresh
+// connection is a real peer failure and propagates. Application-level
+// refusals (an error frame from a healthy peer) are not connection
+// failures: the connection returns to the pool and the refusal
+// propagates without a redial.
+
+// defaultShufflePoolPerPeer caps the idle connections kept per peer.
+// The parallel gather holds at most fanout connections to one peer at
+// a time, so the cap follows the default fanout.
+const defaultShufflePoolPerPeer = 4
+
+// shuffleConn is one pooled connection and the comp generation it was
+// dialed with. The serving peer sniffs the generation from the first
+// body byte, once per connection — so the generation is fixed at dial
+// time and a cached connection of the wrong generation is useless.
+type shuffleConn struct {
+	c   *conn
+	cmp bool
+}
+
+// shufflePool is a worker's cache of idle shuffle-plane connections,
+// keyed by peer address. Fetch goroutines check conns out and in
+// concurrently; each checked-out conn is used by one goroutine.
+type shufflePool struct {
+	mu      sync.Mutex
+	perPeer int
+	idle    map[string][]*shuffleConn
+	closed  bool
+}
+
+func newShufflePool(perPeer int) *shufflePool {
+	if perPeer <= 0 {
+		perPeer = defaultShufflePoolPerPeer
+	}
+	return &shufflePool{perPeer: perPeer, idle: map[string][]*shuffleConn{}}
+}
+
+// peerRefusal marks an application-level refusal carried on an error
+// frame: the connection is healthy (the peer answered), only the
+// request was rejected. withConn keeps the connection pooled and never
+// redials for one.
+type peerRefusal struct{ msg string }
+
+func (e *peerRefusal) Error() string { return e.msg }
+
+func isPeerRefusal(err error) bool {
+	var pr *peerRefusal
+	return errors.As(err, &pr)
+}
+
+// dialShuffle opens a fresh shuffle-plane connection. Shuffle
+// connections are negotiation-free on the reduce layout; cmp must
+// reflect the target peer's generation (the master names comp-capable
+// addrs on the reducetask frame).
+func dialShuffle(addr string, cmp bool, timeout time.Duration) (*conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netmr: shuffle dial %s: %w", addr, err)
+	}
+	c := newConn(raw)
+	c.binary, c.binExt, c.red, c.cmp = true, true, true, cmp
+	return c, nil
+}
+
+// get pops an idle connection to addr of the wanted generation, or nil
+// when the exchange must dial. Cached connections of the other
+// generation are evicted on sight — the peer sniffed their generation
+// at the first frame and cannot renegotiate.
+func (p *shufflePool) get(addr string, cmp bool) *conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stack := p.idle[addr]
+	for len(stack) > 0 {
+		sc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		p.idle[addr] = stack
+		if sc.cmp != cmp {
+			_ = sc.c.close()
+			workerPoolOps.With("evict").Inc()
+			continue
+		}
+		workerPoolOps.With("hit").Inc()
+		return sc.c
+	}
+	workerPoolOps.With("miss").Inc()
+	return nil
+}
+
+// put returns a healthy connection to addr's idle stack; a full stack
+// or a closed pool closes it instead.
+func (p *shufflePool) put(addr string, c *conn, cmp bool) {
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.perPeer {
+		p.mu.Unlock()
+		_ = c.close()
+		workerPoolOps.With("evict").Inc()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], &shuffleConn{c: c, cmp: cmp})
+	p.mu.Unlock()
+}
+
+// evict closes one checked-out connection that failed mid-exchange.
+func (p *shufflePool) evict(c *conn) {
+	_ = c.close()
+	workerPoolOps.With("evict").Inc()
+}
+
+// closeAll closes every idle connection and marks the pool closed, so
+// later puts close their connections instead of caching them — the
+// Worker.Stop teardown.
+func (p *shufflePool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for addr, stack := range p.idle {
+		for _, sc := range stack {
+			_ = sc.c.close()
+		}
+		delete(p.idle, addr)
+	}
+}
+
+// withConn runs one shuffle exchange against addr over a pooled
+// connection: check out or dial, run fn, check the connection back in
+// on success (or refusal). A failure over a pooled connection is
+// indistinguishable from staleness, so the connection is evicted and
+// fn retried exactly once over a fresh dial; a failure over a fresh
+// connection propagates.
+func (p *shufflePool) withConn(addr string, cmp bool, timeout time.Duration, fn func(c *conn) error) error {
+	if c := p.get(addr, cmp); c != nil {
+		err := fn(c)
+		if err == nil || isPeerRefusal(err) {
+			p.put(addr, c, cmp)
+			return err
+		}
+		p.evict(c)
+	}
+	c, err := dialShuffle(addr, cmp, timeout)
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	if err == nil || isPeerRefusal(err) {
+		p.put(addr, c, cmp)
+		return err
+	}
+	p.evict(c)
+	return err
+}
+
+// fetchPartition is fetchPartition over the pool: same exchange, reused
+// connection, stale-redial-once.
+func (p *shufflePool) fetchPartition(addr, run string, partition int, tasks []int, timeout time.Duration, cmp bool) (parts []partitionPartial, n, saved int64, err error) {
+	err = p.withConn(addr, cmp, timeout, func(c *conn) error {
+		var ferr error
+		parts, n, saved, ferr = fetchExchange(c, addr, run, partition, tasks, timeout)
+		return ferr
+	})
+	return parts, n, saved, err
+}
+
+// replicateParts is replicateParts over the pool.
+func (p *shufflePool) replicateParts(addr, run string, task int, parts []partitionPartial, reducers int, timeout time.Duration) error {
+	return p.withConn(addr, true, timeout, func(c *conn) error {
+		return replicateExchange(c, addr, run, task, parts, reducers, timeout)
+	})
+}

@@ -37,30 +37,35 @@ func partialMemBytes(parts []partitionPartial) int64 {
 
 // spillFile is one map task's partition set on disk: R sections in
 // partition order, each section the partition's keys sorted with their
-// values. The offset index stays in memory so a fetch reads exactly one
-// section back.
+// values — LZ-compressed when that actually shrinks it. The offset index
+// stays in memory so a fetch reads exactly one section back.
 type spillFile struct {
 	f       *os.File
 	offsets []int64 // per partition: section start; -1 when the partition is empty
-	lengths []int64
+	lengths []int64 // on-disk section length
+	rawLens []int64 // uncompressed length; 0 means the section is stored raw
 }
 
 // writeSpillFile flushes parts (a task's partition set, partition count
-// reducers) to a new file under dir and returns the handle plus the
-// bytes written.
-func writeSpillFile(dir string, task int, parts []partitionPartial, reducers int) (*spillFile, int64, error) {
+// reducers) to a new file under dir and returns the handle, the bytes
+// that hit disk, and the bytes compression saved. Sections at or above
+// lzCompressThreshold are compressed when the result is smaller — the
+// same policy frames use on the wire, so tiny sections never pay the
+// compressor for nothing.
+func writeSpillFile(dir string, task int, parts []partitionPartial, reducers int) (*spillFile, int64, int64, error) {
 	f, err := os.CreateTemp(dir, fmt.Sprintf("task-%d-*.spill", task))
 	if err != nil {
-		return nil, 0, fmt.Errorf("netmr: spill create: %w", err)
+		return nil, 0, 0, fmt.Errorf("netmr: spill create: %w", err)
 	}
-	sf := &spillFile{f: f, offsets: make([]int64, reducers), lengths: make([]int64, reducers)}
+	sf := &spillFile{f: f, offsets: make([]int64, reducers), lengths: make([]int64, reducers), rawLens: make([]int64, reducers)}
 	for p := range sf.offsets {
 		sf.offsets[p] = -1
 	}
 	w := bufio.NewWriter(f)
-	var off int64
+	var off, saved int64
 	var keys []string
-	var scratch [binary.MaxVarintLen64]byte
+	var sec, cbuf []byte
+	var scratch [8]byte
 	for _, part := range parts {
 		if part.ID < 0 || part.ID >= reducers {
 			continue // validated upstream; never index out of the section table
@@ -70,32 +75,34 @@ func writeSpillFile(dir string, task int, parts []partitionPartial, reducers int
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		sf.offsets[part.ID] = off
-		n := binary.PutUvarint(scratch[:], uint64(len(keys)))
-		if _, err := w.Write(scratch[:n]); err != nil {
-			return nil, 0, closeSpillErr(sf, err)
-		}
-		off += int64(n)
+		sec = sec[:0]
+		sec = binary.AppendUvarint(sec, uint64(len(keys)))
 		for _, k := range keys {
-			n := binary.PutUvarint(scratch[:], uint64(len(k)))
-			if _, err := w.Write(scratch[:n]); err != nil {
-				return nil, 0, closeSpillErr(sf, err)
-			}
-			if _, err := w.WriteString(k); err != nil {
-				return nil, 0, closeSpillErr(sf, err)
-			}
-			binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(part.Partial[k]))
-			if _, err := w.Write(scratch[:8]); err != nil {
-				return nil, 0, closeSpillErr(sf, err)
-			}
-			off += int64(n) + int64(len(k)) + 8
+			sec = binary.AppendUvarint(sec, uint64(len(k)))
+			sec = append(sec, k...)
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(part.Partial[k]))
+			sec = append(sec, scratch[:]...)
 		}
-		sf.lengths[part.ID] = off - sf.offsets[part.ID]
+		payload := sec
+		if len(sec) >= lzCompressThreshold {
+			cbuf = lzCompress(cbuf[:0], sec)
+			if len(cbuf) < len(sec) {
+				payload = cbuf
+				sf.rawLens[part.ID] = int64(len(sec))
+				saved += int64(len(sec) - len(cbuf))
+			}
+		}
+		if _, err := w.Write(payload); err != nil {
+			return nil, 0, 0, closeSpillErr(sf, err)
+		}
+		sf.offsets[part.ID] = off
+		sf.lengths[part.ID] = int64(len(payload))
+		off += int64(len(payload))
 	}
 	if err := w.Flush(); err != nil {
-		return nil, 0, closeSpillErr(sf, err)
+		return nil, 0, 0, closeSpillErr(sf, err)
 	}
-	return sf, off, nil
+	return sf, off, saved, nil
 }
 
 func closeSpillErr(sf *spillFile, err error) error {
@@ -112,6 +119,13 @@ func (sf *spillFile) section(partition int) (map[string]float64, error) {
 	buf := make([]byte, sf.lengths[partition])
 	if _, err := sf.f.ReadAt(buf, sf.offsets[partition]); err != nil {
 		return nil, fmt.Errorf("netmr: spill read: %w", err)
+	}
+	if raw := sf.rawLens[partition]; raw > 0 {
+		dec, err := lzDecompress(make([]byte, 0, raw), buf, int(raw))
+		if err != nil {
+			return nil, fmt.Errorf("netmr: spill read: %w", err)
+		}
+		buf = dec
 	}
 	r := &frameReader{s: string(buf)}
 	nk, err := r.uvarint()
@@ -182,10 +196,89 @@ func (s *memTripleStream) next() (spillTriple, bool, error) {
 	return t, true, nil
 }
 
+// spillBlockSize is the raw-byte granularity reduce-side run files are
+// compressed at: big enough to amortize block headers and give the
+// compressor context, small enough to keep the read-back streaming.
+const spillBlockSize = 64 << 10
+
+// spillRunReader streams a block-framed run file back as its raw byte
+// sequence. Each block is flag(1B: 0 raw, 1 compressed) || uvarint(raw
+// length) || uvarint(payload length) || payload; blocks decompress one
+// at a time, so a merged fold never holds more than one block of any
+// run resident.
+type spillRunReader struct {
+	r   *bufio.Reader
+	blk []byte // current block, decompressed
+	pay []byte // payload scratch, reused across blocks
+	off int
+}
+
+// fill loads the next block when the current one is drained. A clean
+// end-of-file between blocks is io.EOF; truncation inside a block is a
+// hard error.
+func (s *spillRunReader) fill() error {
+	for s.off >= len(s.blk) {
+		flag, err := s.r.ReadByte()
+		if err != nil {
+			return err // io.EOF: clean end of the run
+		}
+		rawLen, err := binary.ReadUvarint(s.r)
+		if err != nil {
+			return fmt.Errorf("netmr: spill run block header: %w", err)
+		}
+		payLen, err := binary.ReadUvarint(s.r)
+		if err != nil {
+			return fmt.Errorf("netmr: spill run block header: %w", err)
+		}
+		if cap(s.pay) < int(payLen) {
+			s.pay = make([]byte, payLen)
+		}
+		s.pay = s.pay[:payLen]
+		if _, err := io.ReadFull(s.r, s.pay); err != nil {
+			return fmt.Errorf("netmr: spill run block body: %w", err)
+		}
+		switch flag {
+		case 0:
+			if rawLen != payLen {
+				return fmt.Errorf("netmr: raw spill block length mismatch (%d != %d)", rawLen, payLen)
+			}
+			s.blk, s.pay = s.pay, s.blk
+		case 1:
+			blk, err := lzDecompress(s.blk[:0], s.pay, int(rawLen))
+			if err != nil {
+				return fmt.Errorf("netmr: spill run block: %w", err)
+			}
+			s.blk = blk
+		default:
+			return fmt.Errorf("netmr: spill run block flag %d", flag)
+		}
+		s.off = 0
+	}
+	return nil
+}
+
+func (s *spillRunReader) ReadByte() (byte, error) {
+	if err := s.fill(); err != nil {
+		return 0, err
+	}
+	b := s.blk[s.off]
+	s.off++
+	return b, nil
+}
+
+func (s *spillRunReader) Read(p []byte) (int, error) {
+	if err := s.fill(); err != nil {
+		return 0, err
+	}
+	n := copy(p, s.blk[s.off:])
+	s.off += n
+	return n, nil
+}
+
 // fileTripleStream reads one spill run back sequentially.
 type fileTripleStream struct {
 	f *os.File
-	r *bufio.Reader
+	r *spillRunReader
 }
 
 func (s *fileTripleStream) next() (spillTriple, bool, error) {
@@ -325,7 +418,8 @@ type spillFolder struct {
 	runs    []*fileTripleStream
 
 	spillRuns    int
-	spilledBytes int64
+	spilledBytes int64         // bytes that hit disk (post-compression)
+	compSaved    int64         // bytes block compression kept off disk
 	flushDur     time.Duration // wall time spent writing runs (the "spill" span)
 }
 
@@ -346,8 +440,8 @@ func (f *spillFolder) add(task int, partial map[string]float64) error {
 	return nil
 }
 
-// flush writes the buffered triples, sorted by (key, task), as one run
-// file and empties the buffer.
+// flush writes the buffered triples, sorted by (key, task), as one
+// block-compressed run file and empties the buffer.
 func (f *spillFolder) flush() error {
 	flushStart := time.Now()
 	defer func() { f.flushDur += time.Since(flushStart) }()
@@ -357,26 +451,53 @@ func (f *spillFolder) flush() error {
 		return fmt.Errorf("netmr: spill run create: %w", err)
 	}
 	w := bufio.NewWriter(file)
-	var scratch [binary.MaxVarintLen64]byte
-	var written int64
+	var scratch [8]byte
+	var blk, cbuf []byte
+	var written, saved int64
+	// emit frames one raw block: compressed when that shrinks it, raw
+	// otherwise — the read path switches per block on the flag byte.
+	emit := func() error {
+		if len(blk) == 0 {
+			return nil
+		}
+		flag := byte(0)
+		payload := blk
+		if len(blk) >= lzCompressThreshold {
+			cbuf = lzCompress(cbuf[:0], blk)
+			if len(cbuf) < len(blk) {
+				flag = 1
+				payload = cbuf
+				saved += int64(len(blk) - len(cbuf))
+			}
+		}
+		var hdr [2*binary.MaxVarintLen64 + 1]byte
+		hdr[0] = flag
+		n := 1 + binary.PutUvarint(hdr[1:], uint64(len(blk)))
+		n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		written += int64(n) + int64(len(payload))
+		blk = blk[:0]
+		return nil
+	}
 	for _, t := range f.triples {
-		n := binary.PutUvarint(scratch[:], uint64(len(t.key)))
-		if _, err := w.Write(scratch[:n]); err != nil {
-			return f.flushErr(file, err)
+		blk = binary.AppendUvarint(blk, uint64(len(t.key)))
+		blk = append(blk, t.key...)
+		blk = binary.AppendVarint(blk, int64(t.task))
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(t.val))
+		blk = append(blk, scratch[:]...)
+		if len(blk) >= spillBlockSize {
+			if err := emit(); err != nil {
+				return f.flushErr(file, err)
+			}
 		}
-		if _, err := w.WriteString(t.key); err != nil {
-			return f.flushErr(file, err)
-		}
-		written += int64(n) + int64(len(t.key))
-		n = binary.PutVarint(scratch[:], int64(t.task))
-		if _, err := w.Write(scratch[:n]); err != nil {
-			return f.flushErr(file, err)
-		}
-		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(t.val))
-		if _, err := w.Write(scratch[:8]); err != nil {
-			return f.flushErr(file, err)
-		}
-		written += int64(n) + 8
+	}
+	if err := emit(); err != nil {
+		return f.flushErr(file, err)
 	}
 	if err := w.Flush(); err != nil {
 		return f.flushErr(file, err)
@@ -384,9 +505,10 @@ func (f *spillFolder) flush() error {
 	if _, err := file.Seek(0, io.SeekStart); err != nil {
 		return f.flushErr(file, err)
 	}
-	f.runs = append(f.runs, &fileTripleStream{f: file, r: bufio.NewReader(file)})
+	f.runs = append(f.runs, &fileTripleStream{f: file, r: &spillRunReader{r: bufio.NewReader(file)}})
 	f.spillRuns++
 	f.spilledBytes += written
+	f.compSaved += saved
 	f.triples = f.triples[:0]
 	f.mem = 0
 	return nil

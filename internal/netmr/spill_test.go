@@ -105,7 +105,7 @@ func TestInterStoreSpillMatchesMemory(t *testing.T) {
 	}
 	reference := newInterStore()
 	for task, parts := range sets {
-		if _, _, err := reference.put("wc#1", task, parts, R); err != nil {
+		if _, _, _, err := reference.put("wc#1", task, parts, R); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func TestInterStoreSpillMatchesMemory(t *testing.T) {
 		s.configure(budget, t.TempDir())
 		var spilled int64
 		for task, parts := range sets {
-			_, n, err := s.put("wc#1", task, parts, R)
+			_, n, _, err := s.put("wc#1", task, parts, R)
 			if err != nil {
 				t.Fatalf("budget=%d: put: %v", budget, err)
 			}
@@ -176,14 +176,14 @@ func TestEvictedRunReducersReset(t *testing.T) {
 		{ID: 0, Partial: map[string]float64{"a": 1}},
 		{ID: 3, Partial: map[string]float64{"d": 4}},
 	}
-	if _, _, err := w.store.put("wc#1", 0, parts4, 4); err != nil {
+	if _, _, _, err := w.store.put("wc#1", 0, parts4, 4); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, _, err := fetchPartition(addr, "wc#1", 3, []int{0}, defaultShuffleTimeout, false); err != nil {
 		t.Fatalf("partition 3 under the 4-reducer run refused: %v", err)
 	}
 	// New run with a smaller reducer count evicts the old one wholesale.
-	if _, _, err := w.store.put("wc#2", 0, []partitionPartial{{ID: 0, Partial: map[string]float64{"z": 1}}}, 2); err != nil {
+	if _, _, _, err := w.store.put("wc#2", 0, []partitionPartial{{ID: 0, Partial: map[string]float64{"z": 1}}}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, _, err := fetchPartition(addr, "wc#1", 0, []int{0}, defaultShuffleTimeout, false); err == nil {

@@ -335,10 +335,18 @@ type PhaseBreakdown struct {
 	Partition float64 // worker-side hash splitting (winning launches)
 	Encode    float64 // wire-shape result building (winning launches)
 	Fetch     float64 // reducer-side shuffle gathers (winning reduce launches)
+	Await     float64 // early reducers idle between morelocs deliveries
 	Spill     float64 // out-of-core writes: spill-run flushes under memory pressure
 	Replicate float64 // mapper-side replica pushes to peer workers
 	RPCGap    float64 // winning launch round-trip time not covered by worker spans
 	Wasted    float64 // launch time of failed, duplicate and cancelled launches
+
+	// HiddenFetch is the portion of winning reducers' fetch+await time
+	// that ran inside the split-phase window — shuffle work the early
+	// dispatch hid under the map tail. It refines, never changes, the
+	// invariant MaxTask+MaxReduce+Ws+Wo = TotalWall: hidden time was
+	// never on the post-barrier critical path to begin with.
+	HiddenFetch float64
 }
 
 // Breakdown attributes the traced run's wall clock. stats supplies the
@@ -369,13 +377,38 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		part    float64
 		encode  float64
 		fetch   float64
+		await   float64
 		spill   float64
 		repl    float64
+		hidden  float64 // fetch+await overlapped with the split window
 		sub     float64 // all worker-reported time
 	}
 	accs := map[int]*launchAcc{}
 	t.mu.Lock()
 	spans := t.spans
+	// The split-phase window first: fetch/await spans overlapping it ran
+	// under the map tail (early shuffle), and the overlap is attributed
+	// separately as HiddenFetch.
+	var splitStart, splitEnd float64
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Launch < 0 && sp.Phase == "split" {
+			splitStart, splitEnd = sp.Start, sp.End
+		}
+	}
+	overlap := func(sp *TraceSpan) float64 {
+		lo, hi := sp.Start, sp.End
+		if lo < splitStart {
+			lo = splitStart
+		}
+		if hi > splitEnd {
+			hi = splitEnd
+		}
+		if hi > lo {
+			return hi - lo
+		}
+		return 0
+	}
 	for i := range spans {
 		sp := &spans[i]
 		if sp.Launch < 0 {
@@ -403,6 +436,11 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 			acc.sub += d
 		case spanFetch:
 			acc.fetch += d
+			acc.hidden += overlap(sp)
+			acc.sub += d
+		case spanAwait:
+			acc.await += d
+			acc.hidden += overlap(sp)
 			acc.sub += d
 		case spanEncode:
 			acc.encode += d
@@ -444,6 +482,8 @@ func (t *JobTrace) Breakdown(stats Stats) PhaseBreakdown {
 		b.Partition += acc.part
 		b.Encode += acc.encode
 		b.Fetch += acc.fetch
+		b.Await += acc.await
+		b.HiddenFetch += acc.hidden
 		b.Spill += acc.spill
 		b.Replicate += acc.repl
 		if gap := launchWall - acc.sub; gap > 0 && acc.sub > 0 {
@@ -517,6 +557,10 @@ func (t *JobTrace) WriteReport(w io.Writer, stats Stats) error {
 	if b.Reduce > 0 {
 		fmt.Fprintf(bw, "distributed reduce: Σfold %.3fms  max-rtask %.3fms  fetch %.3fms\n",
 			b.Reduce*1e3, b.MaxReduce*1e3, b.Fetch*1e3)
+	}
+	if b.Await > 0 || b.HiddenFetch > 0 {
+		fmt.Fprintf(bw, "pipelined shuffle: await %.3fms  hidden-under-map %.3fms\n",
+			b.Await*1e3, b.HiddenFetch*1e3)
 	}
 	fmt.Fprintf(bw, "Wo attribution: decode %.3fms  partition %.3fms  encode %.3fms  rpc-gap %.3fms  wasted %.3fms\n",
 		b.Decode*1e3, b.Partition*1e3, b.Encode*1e3, b.RPCGap*1e3, b.Wasted*1e3)

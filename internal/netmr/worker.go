@@ -44,11 +44,24 @@ type Worker struct {
 	fetchLn   net.Listener
 	store     *interStore
 
+	// fetchConns tracks the accepted shuffle-plane sockets (guarded by
+	// mu) so tearing the plane down severs in-flight peers too: closing
+	// only the listener refuses new dials but leaves accepted sockets —
+	// and the peers' pooled connections riding them — fully alive.
+	fetchConns map[net.Conn]struct{}
+
 	// comp is set when the master granted the "comp" capability: frames
 	// gain the compression flag layer and the worker replicates each
 	// persisted partition set to the peer the master names on the task
 	// frame (Rep) before acknowledging mapdone.
 	comp bool
+
+	// Pipelined-shuffle state: pool caches idle shuffle-plane connections
+	// per peer (reused by reduce fetches and replication pushes), and
+	// shuffleFanout bounds how many peers one reduce task fetches from
+	// concurrently.
+	pool          *shufflePool
+	shuffleFanout int
 
 	// Out-of-core configuration (WithWorkerConfig). The shuffle timeout
 	// is atomic because the helloack handler may adjust it while the
@@ -61,6 +74,13 @@ type Worker struct {
 	// mapdone the worker tears its shuffle listener down and dies, the
 	// "mapper lost mid-shuffle" chaos scenario.
 	killAfterMapdone bool
+
+	// closeFetchAfterMapdone is a milder test hook: after the first
+	// successful mapdone the worker closes only its shuffle listener but
+	// stays alive and keeps mapping. The master still routes fetches at
+	// the primary, so reducers must fail over to the replica addresses
+	// on their own — the worker-local failover scenario.
+	closeFetchAfterMapdone bool
 
 	mu      sync.Mutex
 	netConn net.Conn
@@ -92,6 +112,10 @@ type WorkerConfig struct {
 	// SpillDir is the scratch root for spill files; empty means the OS
 	// temp dir. Files live under <SpillDir>/netmr-spill/<run>/.
 	SpillDir string
+	// ShuffleFanout bounds how many peers one reduce task fetches from
+	// concurrently; it also caps the idle connections the shuffle pool
+	// keeps per peer. Zero means the default (4); 1 gathers serially.
+	ShuffleFanout int
 }
 
 // WithWorkerConfig applies out-of-core shuffle settings.
@@ -102,6 +126,9 @@ func WithWorkerConfig(cfg WorkerConfig) WorkerOption {
 		}
 		w.spillBudget = cfg.SpillBudget
 		w.spillDir = cfg.SpillDir
+		if cfg.ShuffleFanout > 0 {
+			w.shuffleFanout = cfg.ShuffleFanout
+		}
 	}
 }
 
@@ -117,17 +144,20 @@ func NewWorker(registry *Registry, opts ...WorkerOption) (*Worker, error) {
 		return nil, errors.New("netmr: worker needs a non-empty registry")
 	}
 	w := &Worker{
-		registry: registry,
-		scratch:  newShardScratch(),
-		caps:     workerCaps(),
-		store:    newInterStore(),
-		done:     make(chan struct{}),
+		registry:      registry,
+		scratch:       newShardScratch(),
+		caps:          workerCaps(),
+		store:         newInterStore(),
+		shuffleFanout: defaultShufflePoolPerPeer,
+		fetchConns:    make(map[net.Conn]struct{}),
+		done:          make(chan struct{}),
 	}
 	w.shuffleTimeoutNs.Store(int64(defaultShuffleTimeout))
 	for _, opt := range opts {
 		opt(w)
 	}
 	w.store.configure(w.spillBudget, w.spillDir)
+	w.pool = newShufflePool(w.shuffleFanout)
 	return w, nil
 }
 
@@ -232,6 +262,8 @@ func (w *Worker) serve(c *conn) {
 				case capComp:
 					c.cmp = true
 					w.comp = true
+				case capEarly:
+					c.erl = true
 				}
 			}
 		case "task":
@@ -308,7 +340,7 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 			parts = runShardPartitioned(job, records, w.scratch, w.reducers)
 		}
 		putStart := time.Now()
-		spills, spilled, perr := w.store.put(run, taskID, parts, w.reducers)
+		spills, spilled, saved, perr := w.store.put(run, taskID, parts, w.reducers)
 		if perr != nil {
 			// Spill failure leaves the set resident — correct, just over
 			// budget; the job proceeds.
@@ -320,13 +352,14 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		if c.cmp {
 			done.Spills = spills
 			done.Spilled = spilled
+			done.CompBytes = saved
 			if spills > 0 {
 				workerSpillRuns.Add(float64(spills))
 				workerSpilledBytes.Add(float64(spilled))
 			}
 			if rep != "" {
 				repStart := time.Now()
-				if rerr := replicateParts(rep, run, taskID, parts, w.reducers, w.shuffleTO()); rerr == nil {
+				if rerr := w.pool.replicateParts(rep, run, taskID, parts, w.reducers, w.shuffleTO()); rerr == nil {
 					done.Rep = rep
 					workerReplications.With("ok").Inc()
 				} else {
@@ -355,13 +388,18 @@ func (w *Worker) runTask(c *conn, jobName string, taskID, attempt int, records [
 		}
 		if w.killAfterMapdone {
 			// Chaos hook: die right after acknowledging the map output,
-			// taking the shuffle listener — and the only primary copy —
+			// taking the shuffle plane — and the only primary copy —
 			// with us.
-			if ln := w.fetchLn; ln != nil {
-				_ = ln.Close()
-			}
+			w.closeFetchPlane()
 			w.store.evictAll()
 			return false
+		}
+		if w.closeFetchAfterMapdone {
+			// Chaos hook: the shuffle plane dies — listener and accepted
+			// peer sockets both — but the worker does not, so the master
+			// keeps routing fetches here and reducers must fail over to
+			// the replica addresses themselves.
+			w.closeFetchPlane()
 		}
 		return true
 	}
@@ -400,11 +438,8 @@ func (w *Worker) Stop() {
 	already := w.stopped
 	w.stopped = true
 	nc := w.netConn
-	ln := w.fetchLn
 	w.mu.Unlock()
-	if ln != nil {
-		_ = ln.Close()
-	}
+	w.closeFetchPlane()
 	if nc != nil {
 		nc.Close()
 	}
@@ -414,4 +449,5 @@ func (w *Worker) Stop() {
 	// Release the intermediate store — spill files included — now that
 	// no task can touch it; late shuffle fetches get refusals.
 	w.store.evictAll()
+	w.pool.closeAll()
 }
